@@ -1,0 +1,185 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6): BenchmarkTable1* times the compilation phases of each
+// benchmark program (Table 1), and BenchmarkFig14* runs the weak-scaling
+// experiments of Fig. 14a–e, reporting throughput-per-node and parallel
+// efficiency as benchmark metrics.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package bench
+
+import (
+	"testing"
+
+	"autopart/internal/apps/circuit"
+	"autopart/internal/apps/miniaero"
+	"autopart/internal/apps/pennant"
+	"autopart/internal/apps/spmv"
+	"autopart/internal/apps/stencil"
+	"autopart/internal/sim"
+	"autopart/pkg/autopart"
+)
+
+// benchCompile times the full pipeline on one benchmark program and
+// reports the per-phase breakdown (Table 1's rows) as metrics.
+func benchCompile(b *testing.B, src string, wantLoops int) {
+	b.Helper()
+	var c *autopart.Compiled
+	var err error
+	for i := 0; i < b.N; i++ {
+		c, err = autopart.Compile(src, autopart.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(c.Parallel) != wantLoops {
+		b.Fatalf("parallel loops = %d, want %d", len(c.Parallel), wantLoops)
+	}
+	b.ReportMetric(float64(c.Timing.Inference.Microseconds()), "inference-µs")
+	b.ReportMetric(float64(c.Timing.Solver.Microseconds()), "solver-µs")
+	b.ReportMetric(float64(c.Timing.Rewrite.Microseconds()), "rewrite-µs")
+	b.ReportMetric(float64(wantLoops), "loops")
+}
+
+func BenchmarkTable1SpMV(b *testing.B)     { benchCompile(b, spmv.Source, 1) }
+func BenchmarkTable1Stencil(b *testing.B)  { benchCompile(b, stencil.Source(), 2) }
+func BenchmarkTable1Circuit(b *testing.B)  { benchCompile(b, circuit.Source, 3) }
+func BenchmarkTable1MiniAero(b *testing.B) { benchCompile(b, miniaero.Source(), 26) }
+func BenchmarkTable1PENNANT(b *testing.B)  { benchCompile(b, pennant.Source(), 37) }
+
+// reportFigure publishes each series' parallel efficiency.
+func reportFigure(b *testing.B, fig sim.Figure) {
+	b.Helper()
+	for _, s := range fig.Series {
+		b.ReportMetric(100*s.Efficiency(), s.Label+"-eff-%")
+	}
+	b.Logf("\n%s", fig.Render())
+}
+
+var benchNodes = []int{1, 2, 4, 8, 16, 32, 64}
+
+func BenchmarkFig14aSpMV(b *testing.B) {
+	cfg := spmv.DefaultConfig()
+	model := sim.ModelFor(float64(cfg.RowsPerNode*cfg.NnzPerRow), spmv.RealIterSeconds)
+	var fig sim.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = spmv.Figure14a(cfg, model, benchNodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportFigure(b, fig)
+}
+
+func BenchmarkFig14bStencil(b *testing.B) {
+	cfg := stencil.DefaultConfig()
+	model := sim.ModelFor(float64(cfg.PointsPerNode())*9, stencil.RealIterSeconds)
+	var fig sim.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = stencil.Figure14b(cfg, model, benchNodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportFigure(b, fig)
+}
+
+func BenchmarkFig14cMiniAero(b *testing.B) {
+	cfg := miniaero.DefaultConfig()
+	model := sim.ModelFor(float64(cfg.CellsPerNode())*30, miniaero.RealIterSeconds)
+	var fig sim.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = miniaero.Figure14c(cfg, model, benchNodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportFigure(b, fig)
+}
+
+func BenchmarkFig14dCircuit(b *testing.B) {
+	cfg := circuit.DefaultConfig()
+	model := sim.ModelFor(float64(cfg.WiresPerCluster)*10, circuit.RealIterSeconds)
+	var fig sim.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = circuit.Figure14d(cfg, model, benchNodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportFigure(b, fig)
+}
+
+func BenchmarkFig14ePENNANT(b *testing.B) {
+	cfg := pennant.Config{W: 32, ZonesPerPiece: 1600, Jitter: 64}
+	model := sim.ModelFor(float64(cfg.ZonesPerPiece)*4*20, pennant.RealIterSeconds)
+	var fig sim.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = pennant.Figure14e(cfg, model, benchNodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportFigure(b, fig)
+}
+
+// Ablation benches: the §5 optimizations on/off (design-choice ablations
+// called out in DESIGN.md).
+
+func BenchmarkAblationRelaxationOff(b *testing.B) {
+	// MiniAero without §5.1: reduction buffers reappear.
+	cfg := miniaero.Config{DX: 8, DY: 8, DZ: 16}
+	model := sim.ModelFor(float64(cfg.CellsPerNode())*30, miniaero.RealIterSeconds)
+	for _, opts := range []struct {
+		name string
+		o    autopart.Options
+	}{
+		{"relaxed", autopart.Options{}},
+		{"buffered", autopart.Options{DisableRelaxation: true}},
+	} {
+		c, err := autopart.Compile(miniaero.Source(), opts.o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var p sim.Point
+		for i := 0; i < b.N; i++ {
+			p, err = miniaero.AutoPoint(cfg, model, c, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(p.Throughput, opts.name+"-cells/s")
+	}
+}
+
+func BenchmarkAblationPrivateSubPartitionsOff(b *testing.B) {
+	// Circuit without §5.2: reduction buffers cover whole subregions.
+	cfg := circuit.Config{WiresPerCluster: 1000, NodesPerCluster: 500, SharedFraction: 0.02, CrossFraction: 0.2}
+	model := sim.ModelFor(float64(cfg.WiresPerCluster)*10, circuit.RealIterSeconds)
+	for _, opts := range []struct {
+		name string
+		o    autopart.Options
+	}{
+		{"private", autopart.Options{}},
+		{"full-buffers", autopart.Options{DisablePrivateSubPartitions: true}},
+	} {
+		c, err := autopart.Compile(circuit.HintSource, opts.o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var p sim.Point
+		for i := 0; i < b.N; i++ {
+			p, err = circuit.AutoPoint(cfg, model, c, 16, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(p.Throughput, opts.name+"-wires/s")
+	}
+}

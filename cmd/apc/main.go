@@ -1,0 +1,123 @@
+// Command apc is the auto-partitioning compiler driver: it reads a loop
+// DSL program, runs constraint inference (§2) and the solver (§3) with
+// the §5 optimizations, and prints the inferred constraints, the
+// synthesized DPL program, and the parallel launch structure.
+//
+// Usage:
+//
+//	apc [-constraints] [-launches] file.dsl
+//	apc -builtin spmv|stencil|circuit|miniaero|pennant
+//	cat file.dsl | apc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"autopart/internal/apps/circuit"
+	"autopart/internal/apps/miniaero"
+	"autopart/internal/apps/pennant"
+	"autopart/internal/apps/spmv"
+	"autopart/internal/apps/stencil"
+	"autopart/internal/runtime"
+	"autopart/pkg/autopart"
+)
+
+func main() {
+	showConstraints := flag.Bool("constraints", false, "print the inferred partitioning constraints per loop")
+	showLaunches := flag.Bool("launches", false, "print the parallel launch structure (region requirements)")
+	builtin := flag.String("builtin", "", "compile a builtin benchmark program (spmv, stencil, circuit, miniaero, pennant)")
+	noRelax := flag.Bool("no-relax", false, "disable the §5.1 disjointness relaxation")
+	noPrivate := flag.Bool("no-private", false, "disable §5.2 private sub-partitions")
+	flag.Parse()
+
+	src, err := loadSource(*builtin, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apc:", err)
+		os.Exit(1)
+	}
+
+	c, err := autopart.Compile(src, autopart.Options{
+		DisableRelaxation:           *noRelax,
+		DisablePrivateSubPartitions: *noPrivate,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apc:", err)
+		os.Exit(1)
+	}
+
+	if *showConstraints {
+		for i, plan := range c.Plans {
+			relaxed := ""
+			if plan.Relaxed {
+				relaxed = " (relaxed per §5.1)"
+			}
+			fmt.Printf("loop %d: for %s in %s%s\n", i, c.Loops[i].Var, c.Loops[i].Region, relaxed)
+			fmt.Printf("  %s\n", plan.Sys)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("synthesized DPL program:")
+	fmt.Println(indent(c.Solution.Program.String()))
+	if c.Private != nil && len(c.Private.Extra.Stmts) > 0 {
+		fmt.Println("private sub-partitions (§5.2, Theorem 5.1):")
+		fmt.Println(indent(c.Private.Extra.String()))
+	}
+
+	if *showLaunches {
+		fmt.Println("parallel launches:")
+		for i, pl := range c.Parallel {
+			l := runtime.FromParallelLoop(fmt.Sprintf("loop%d", i), pl)
+			fmt.Printf("  %s\n", l)
+		}
+	}
+
+	fmt.Printf("\ncompile time: parse %v, inference %v, solver %v, rewrite %v (total %v)\n",
+		c.Timing.Parse, c.Timing.Inference, c.Timing.Solver, c.Timing.Rewrite, c.Timing.Total())
+}
+
+func loadSource(builtin string, args []string) (string, error) {
+	switch builtin {
+	case "spmv":
+		return spmv.Source, nil
+	case "stencil":
+		return stencil.Source(), nil
+	case "circuit":
+		return circuit.Source, nil
+	case "circuit-hint":
+		return circuit.HintSource, nil
+	case "miniaero":
+		return miniaero.Source(), nil
+	case "pennant":
+		return pennant.Source(), nil
+	case "":
+	default:
+		return "", fmt.Errorf("unknown builtin %q", builtin)
+	}
+	if len(args) > 0 {
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	}
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func indent(s string) string {
+	out := "  "
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += "  "
+		}
+	}
+	return out
+}

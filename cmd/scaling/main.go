@@ -1,0 +1,88 @@
+// Command scaling regenerates the weak-scaling figures of the paper's
+// evaluation (Fig. 14a–e) on the simulated cluster and prints the series
+// as a text table.
+//
+// Usage:
+//
+//	scaling -fig 14a [-nodes 1,2,4,...,256]
+//	scaling -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"autopart/internal/apps/circuit"
+	"autopart/internal/apps/miniaero"
+	"autopart/internal/apps/pennant"
+	"autopart/internal/apps/spmv"
+	"autopart/internal/apps/stencil"
+	"autopart/internal/sim"
+)
+
+func main() {
+	figFlag := flag.String("fig", "all", "figure to regenerate: 14a, 14b, 14c, 14d, 14e, or all")
+	nodesFlag := flag.String("nodes", "1,2,4,8,16,32,64", "comma-separated node counts")
+	flag.Parse()
+
+	nodes, err := parseNodes(*nodesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaling:", err)
+		os.Exit(1)
+	}
+
+	figs := []string{"14a", "14b", "14c", "14d", "14e"}
+	if *figFlag != "all" {
+		figs = []string{*figFlag}
+	}
+	for _, id := range figs {
+		fig, err := run(id, nodes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scaling:", err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Render())
+	}
+}
+
+func run(id string, nodes []int) (sim.Figure, error) {
+	switch id {
+	case "14a":
+		cfg := spmv.DefaultConfig()
+		model := sim.ModelFor(float64(cfg.RowsPerNode*cfg.NnzPerRow), spmv.RealIterSeconds)
+		return spmv.Figure14a(cfg, model, nodes)
+	case "14b":
+		cfg := stencil.DefaultConfig()
+		model := sim.ModelFor(float64(cfg.PointsPerNode())*9, stencil.RealIterSeconds)
+		return stencil.Figure14b(cfg, model, nodes)
+	case "14c":
+		cfg := miniaero.DefaultConfig()
+		model := sim.ModelFor(float64(cfg.CellsPerNode())*30, miniaero.RealIterSeconds)
+		return miniaero.Figure14c(cfg, model, nodes)
+	case "14d":
+		cfg := circuit.DefaultConfig()
+		model := sim.ModelFor(float64(cfg.WiresPerCluster)*10, circuit.RealIterSeconds)
+		return circuit.Figure14d(cfg, model, nodes)
+	case "14e":
+		cfg := pennant.DefaultConfig()
+		model := sim.ModelFor(float64(cfg.ZonesPerPiece)*4*20, pennant.RealIterSeconds)
+		return pennant.Figure14e(cfg, model, nodes)
+	default:
+		return sim.Figure{}, fmt.Errorf("unknown figure %q", id)
+	}
+}
+
+func parseNodes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad node count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+// Command tables regenerates Table 1 of the paper: the compile-time
+// breakdown (constraint inference, constraint solver, code rewrite) for
+// each benchmark program, along with the number of auto-parallelized
+// loops. Binary generation is not reproduced (no GPU backend) and is
+// reported as n/a.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"autopart/internal/apps/circuit"
+	"autopart/internal/apps/miniaero"
+	"autopart/internal/apps/pennant"
+	"autopart/internal/apps/spmv"
+	"autopart/internal/apps/stencil"
+	"autopart/pkg/autopart"
+)
+
+func main() {
+	apps := []struct {
+		name string
+		src  string
+	}{
+		{"SpMV", spmv.Source},
+		{"Stencil", stencil.Source()},
+		{"Circuit", circuit.Source},
+		{"MiniAero", miniaero.Source()},
+		{"PENNANT", pennant.Source()},
+	}
+
+	type row struct {
+		name   string
+		timing autopart.Timing
+		loops  int
+	}
+	rows := make([]row, 0, len(apps))
+	for _, app := range apps {
+		// Warm once, then measure the best of three runs (compile times
+		// jitter at the microsecond scale).
+		var best autopart.Timing
+		var loops int
+		for i := 0; i < 4; i++ {
+			c, err := autopart.Compile(app.src, autopart.Options{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tables: %s: %v\n", app.name, err)
+				os.Exit(1)
+			}
+			loops = len(c.Parallel)
+			if i == 1 || (i > 1 && c.Timing.Total() < best.Total()) {
+				best = c.Timing
+			}
+		}
+		rows = append(rows, row{app.name, best, loops})
+	}
+
+	fmt.Println("Table 1: Compilation time breakdown")
+	fmt.Printf("%-22s", "")
+	for _, r := range rows {
+		fmt.Printf(" %10s", r.name)
+	}
+	fmt.Println()
+	line := func(label string, f func(row) string) {
+		fmt.Printf("%-22s", label)
+		for _, r := range rows {
+			fmt.Printf(" %10s", f(r))
+		}
+		fmt.Println()
+	}
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000) }
+	line("Constraint inference", func(r row) string { return ms(r.timing.Inference) })
+	line("Constraint solver", func(r row) string { return ms(r.timing.Solver) })
+	line("Code rewrite", func(r row) string { return ms(r.timing.Rewrite) })
+	line("Binary generation", func(row) string { return "n/a" })
+	line("Total", func(r row) string { return ms(r.timing.Total()) })
+	line("Num. parallel loops", func(r row) string { return fmt.Sprintf("%d", r.loops) })
+}

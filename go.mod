@@ -1,0 +1,3 @@
+module autopart
+
+go 1.22

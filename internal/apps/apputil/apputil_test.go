@@ -1,0 +1,85 @@
+package apputil
+
+import (
+	"testing"
+
+	"autopart/internal/geometry"
+	"autopart/internal/infer"
+	"autopart/internal/ir"
+	"autopart/internal/region"
+	"autopart/internal/sim"
+	"autopart/pkg/autopart"
+)
+
+const src = `
+region R { v: scalar, w: scalar }
+function h : R -> R
+for i in R {
+  R[i].v += R[h(i)].w
+}
+`
+
+func machine(n int64) *ir.Machine {
+	r := region.New("R", n)
+	r.AddScalarField("v")
+	r.AddScalarField("w")
+	m := ir.NewMachine().AddRegion(r)
+	m.AddFunc("h", geometry.AffineMap{Name: "h", Stride: 1, Offset: 1, Modulo: n})
+	return m
+}
+
+func TestBuildAuto(t *testing.T) {
+	m := machine(64)
+	auto, err := BuildAuto(src, m, 4, nil, autopart.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(auto.Launches) != 1 {
+		t.Fatalf("launches = %d", len(auto.Launches))
+	}
+	iter := auto.IterSym(0)
+	p, ok := auto.Partition(iter)
+	if !ok || p.NumSubs() != 4 {
+		t.Fatalf("iteration partition: %v, %v", p, ok)
+	}
+	if !p.IsDisjoint() || !p.IsComplete() {
+		t.Error("iteration partition must be disjoint and complete")
+	}
+	if _, ok := auto.Partition("nope"); ok {
+		t.Error("unknown partition lookup should fail")
+	}
+	if sym, ok := auto.AccessSym(0, "R", infer.ReadAccess); !ok || sym == "" {
+		t.Errorf("AccessSym = %q, %v", sym, ok)
+	}
+	if _, ok := auto.AccessSym(0, "Nope", -1); ok {
+		t.Error("AccessSym for unknown region should fail")
+	}
+}
+
+func TestMeasureIterations(t *testing.T) {
+	m := machine(64)
+	auto, err := BuildAuto(src, m, 4, nil, autopart.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iter := auto.Parts[auto.IterSym(0)]
+	st := sim.NewState().OwnAll("R", []string{"v", "w"}, iter)
+	model := sim.ModelFor(64, 0.05)
+	stats, err := MeasureIterations(model, auto.Launches, auto.Parts, st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Time <= 0 {
+		t.Error("iteration time should be positive")
+	}
+}
+
+func TestBuildAutoErrors(t *testing.T) {
+	if _, err := BuildAuto("region R {", machine(8), 2, nil, autopart.Options{}); err == nil {
+		t.Error("parse error should propagate")
+	}
+	// Machine missing the region.
+	if _, err := BuildAuto(src, ir.NewMachine(), 2, nil, autopart.Options{}); err == nil {
+		t.Error("missing region should propagate")
+	}
+}

@@ -1,0 +1,357 @@
+// Package circuit is the Circuit benchmark of §6.4 (Fig. 14d): current
+// simulation over an unstructured graph of wires and nodes. The graph
+// generator reproduces the paper's layout: circuit nodes form clusters
+// (one per compute node in weak scaling), at most 20% of wires touch
+// "shared" nodes, and the shared nodes occupy the first ~1% of the node
+// region — which is exactly what sinks the hint-less auto version: an
+// equal partition of nodes concentrates every shared node in the first
+// subregion, making its owner a communication bottleneck.
+//
+// Three parallel loops form the main loop (Table 1): calculate new
+// currents, distribute charge (two uncentered reductions through the
+// wire endpoints), and update voltages.
+package circuit
+
+import (
+	"fmt"
+
+	"autopart/internal/apps/apputil"
+	"autopart/internal/geometry"
+	"autopart/internal/ir"
+	"autopart/internal/region"
+	"autopart/internal/runtime"
+	"autopart/internal/sim"
+	"autopart/pkg/autopart"
+)
+
+// Source is the three-loop circuit kernel.
+const Source = `
+region Wires { in_node: index(Nodes), out_node: index(Nodes), current: scalar, resistance: scalar }
+region Nodes { voltage: scalar, charge: scalar, capacitance: scalar }
+
+for w in Wires {
+  Wires[w].current = cur(Nodes[Wires[w].in_node].voltage, Nodes[Wires[w].out_node].voltage, Wires[w].resistance)
+}
+for w in Wires {
+  Nodes[Wires[w].in_node].charge += Wires[w].current
+  Nodes[Wires[w].out_node].charge += 0 - Wires[w].current
+}
+for n in Nodes {
+  Nodes[n].voltage = vlt(Nodes[n].voltage, Nodes[n].charge, Nodes[n].capacitance)
+  Nodes[n].charge = 0
+}
+`
+
+// HintSource is Source plus the §6.4 user constraint: the generator's
+// private/shared node partitions form a disjoint, complete partition of
+// Nodes.
+const HintSource = Source + `
+extern partition pn_private of Nodes
+extern partition pn_shared of Nodes
+assert disjoint(pn_private + pn_shared)
+assert complete(pn_private + pn_shared, Nodes)
+`
+
+// RealIterSeconds is the real system's per-node iteration time implied
+// by Fig. 14d (1e5 wires/node at ~5e6 wires/s/node).
+const RealIterSeconds = 0.02
+
+// Config sizes the workload.
+type Config struct {
+	// WiresPerCluster is the wire count per cluster (= per node).
+	WiresPerCluster int64
+	// NodesPerCluster is the circuit-node count per cluster.
+	NodesPerCluster int64
+	// SharedFraction is the fraction of each cluster's nodes that are
+	// shared (boundary) nodes, placed at the front of the region (the
+	// paper's ~1%).
+	SharedFraction float64
+	// CrossFraction is the fraction of wires connecting to shared nodes
+	// (the paper's ≤20%).
+	CrossFraction float64
+}
+
+// DefaultConfig stands in for the paper's 1e5 wires per node.
+func DefaultConfig() Config {
+	return Config{
+		WiresPerCluster: 2000,
+		NodesPerCluster: 1000,
+		SharedFraction:  0.02,
+		CrossFraction:   0.20,
+	}
+}
+
+// Graph is the generated circuit with the generator's partitions.
+type Graph struct {
+	Machine *ir.Machine
+	// PnPrivate/PnShared are the generator's node partitions (the hint).
+	PnPrivate, PnShared *region.Partition
+	// NodeOwner is the disjoint complete owner distribution of nodes
+	// (private ∪ shared per cluster).
+	NodeOwner *region.Partition
+	// WireOwner is the per-cluster wire partition.
+	WireOwner *region.Partition
+}
+
+// lcg is a small deterministic random sequence (the graph must be
+// reproducible across the sequential and parallel builds).
+type lcg struct{ s uint64 }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 17
+}
+
+func (l *lcg) intn(n int64) int64 { return int64(l.next() % uint64(n)) }
+
+// Build generates the clustered circuit graph for a node count.
+func Build(cfg Config, clusters int) *Graph {
+	sharedPerCluster := int64(cfg.SharedFraction * float64(cfg.NodesPerCluster))
+	if sharedPerCluster < 1 {
+		sharedPerCluster = 1
+	}
+	privatePerCluster := cfg.NodesPerCluster - sharedPerCluster
+	totalShared := sharedPerCluster * int64(clusters)
+	totalNodes := cfg.NodesPerCluster * int64(clusters)
+	totalWires := cfg.WiresPerCluster * int64(clusters)
+
+	nodes := region.New("Nodes", totalNodes)
+	nodes.AddScalarField("voltage")
+	nodes.AddScalarField("charge")
+	nodes.AddScalarField("capacitance")
+	wires := region.New("Wires", totalWires)
+	wires.AddIndexField("in_node")
+	wires.AddIndexField("out_node")
+	wires.AddScalarField("current")
+	wires.AddScalarField("resistance")
+
+	// Layout: shared nodes first (grouped by cluster), then private
+	// nodes grouped by cluster.
+	sharedOf := func(cluster, k int64) int64 { return cluster*sharedPerCluster + k }
+	privateOf := func(cluster, k int64) int64 {
+		return totalShared + cluster*privatePerCluster + k
+	}
+
+	rng := &lcg{s: 20191117}
+	in := wires.Index("in_node")
+	out := wires.Index("out_node")
+	res := wires.Scalar("resistance")
+	volt := nodes.Scalar("voltage")
+	capa := nodes.Scalar("capacitance")
+	for i := range volt {
+		volt[i] = float64(i%11 + 1)
+		capa[i] = float64(i%7 + 1)
+	}
+
+	crossEvery := int64(1)
+	if cfg.CrossFraction > 0 {
+		crossEvery = int64(1 / cfg.CrossFraction)
+	}
+	for c := int64(0); c < int64(clusters); c++ {
+		for k := int64(0); k < cfg.WiresPerCluster; k++ {
+			w := c*cfg.WiresPerCluster + k
+			res[w] = float64(w%13 + 1)
+			in[w] = privateOf(c, rng.intn(privatePerCluster))
+			if cfg.CrossFraction > 0 && k%crossEvery == 0 {
+				// A cross-cluster wire: its far endpoint is a shared node
+				// of this cluster or a neighbor.
+				nc := c
+				if clusters > 1 && rng.intn(2) == 0 {
+					nc = (c + 1) % int64(clusters)
+				}
+				out[w] = sharedOf(nc, rng.intn(sharedPerCluster))
+			} else {
+				out[w] = privateOf(c, rng.intn(privatePerCluster))
+			}
+		}
+	}
+
+	// Generator partitions (the hint): per cluster, its shared block and
+	// its private block.
+	privSubs := make([]geometry.IndexSet, clusters)
+	sharedSubs := make([]geometry.IndexSet, clusters)
+	ownerSubs := make([]geometry.IndexSet, clusters)
+	wireSubs := make([]geometry.IndexSet, clusters)
+	for c := int64(0); c < int64(clusters); c++ {
+		sharedSubs[c] = geometry.Range(sharedOf(c, 0), sharedOf(c, sharedPerCluster))
+		privSubs[c] = geometry.Range(privateOf(c, 0), privateOf(c, privatePerCluster))
+		ownerSubs[c] = sharedSubs[c].Union(privSubs[c])
+		wireSubs[c] = geometry.Range(c*cfg.WiresPerCluster, (c+1)*cfg.WiresPerCluster)
+	}
+
+	m := ir.NewMachine().AddRegion(nodes).AddRegion(wires)
+	return &Graph{
+		Machine:   m,
+		PnPrivate: region.NewPartition("pn_private", nodes, privSubs),
+		PnShared:  region.NewPartition("pn_shared", nodes, sharedSubs),
+		NodeOwner: region.NewPartition("nodeOwner", nodes, ownerSubs),
+		WireOwner: region.NewPartition("wireOwner", wires, wireSubs),
+	}
+}
+
+// wireFields and nodeFields for owner setup.
+var (
+	wireFields = []string{"in_node", "out_node", "current", "resistance"}
+	nodeFields = []string{"voltage", "charge", "capacitance"}
+)
+
+// AutoPoint prices the hint-less auto version: node data is distributed
+// by the generator (owner = cluster blocks), but the synthesized
+// partitions use equal partitions of both regions.
+func AutoPoint(cfg Config, model sim.Model, c *autopart.Compiled, nodes int, hinted bool) (sim.Point, error) {
+	g := Build(cfg, nodes)
+	var ext map[string]*region.Partition
+	if hinted {
+		ext = map[string]*region.Partition{
+			"pn_private": g.PnPrivate,
+			"pn_shared":  g.PnShared,
+		}
+	}
+	auto, err := apputil.InstantiateAuto(c, g.Machine, nodes, ext)
+	if err != nil {
+		return sim.Point{}, err
+	}
+	st := sim.NewState().
+		OwnAll("Nodes", nodeFields, g.NodeOwner).
+		OwnAll("Wires", wireFields, g.WireOwner)
+
+	stats, err := apputil.MeasureIterations(model, auto.Launches, auto.Parts, st, 1)
+	if err != nil {
+		return sim.Point{}, err
+	}
+	return sim.Point{
+		Nodes:      nodes,
+		Time:       stats.Time,
+		Throughput: float64(cfg.WiresPerCluster) / stats.Time,
+	}, nil
+}
+
+// ManualPoint prices the hand-optimized version: cluster-aligned
+// partitions with explicit ghost node reads; its reduction instances
+// cover each cluster's whole shared allocation (the generator's
+// conservative over-allocation the paper describes), modeled by an
+// oversized buffer without a private sub-partition.
+func ManualPoint(cfg Config, model sim.Model, c *autopart.Compiled, nodes int) (sim.Point, error) {
+	g := Build(cfg, nodes)
+	m := g.Machine
+	nodesRegion := m.Regions["Nodes"]
+
+	// Ghost partition: own nodes plus own + neighbor shared blocks (what
+	// the wires can touch).
+	ghostSubs := make([]geometry.IndexSet, nodes)
+	reduceSubs := make([]geometry.IndexSet, nodes)
+	touchedSubs := make([]geometry.IndexSet, nodes)
+	allShared := g.PnShared.UnionAll()
+	inMap := m.Regions["Wires"].PointerMap("in_node")
+	outMap := m.Regions["Wires"].PointerMap("out_node")
+	space := nodesRegion.Space()
+	for j := 0; j < nodes; j++ {
+		next := (j + 1) % nodes
+		touch := g.NodeOwner.Sub(j).Union(g.PnShared.Sub(next))
+		ghostSubs[j] = touch
+		// The paper: the hand-optimized code "always requests reduction
+		// buffers for the entire subset reserved for shared circuit
+		// nodes even when only a few nodes in this subset are shared".
+		reduceSubs[j] = allShared
+		// The elements its wires actually reduce into.
+		wires := g.WireOwner.Sub(j)
+		touchedSubs[j] = geometry.Image(wires, inMap, space).
+			Union(geometry.Image(wires, outMap, space)).
+			Intersect(allShared)
+	}
+	ghost := region.NewPartition("ghost", nodesRegion, ghostSubs)
+	reduceInst := region.NewPartition("reduceInst", nodesRegion, reduceSubs)
+	touchedInst := region.NewPartition("touched", nodesRegion, touchedSubs)
+
+	parts := map[string]*region.Partition{
+		"wires":   g.WireOwner,
+		"owner":   g.NodeOwner,
+		"ghost":   ghost,
+		"reduce":  reduceInst,
+		"touched": touchedInst,
+		"priv":    g.PnPrivate,
+	}
+	work := func(i int) float64 { return float64(len(c.Parallel[i].Access)) }
+	launches := []*runtime.Launch{
+		{
+			Name: "currents", IterSym: "wires", WorkPerElement: work(0),
+			Reqs: []runtime.Requirement{
+				{Region: "Wires", Fields: []string{"in_node", "out_node", "resistance"}, Priv: runtime.ReadOnly, Sym: "wires"},
+				{Region: "Nodes", Fields: []string{"voltage"}, Priv: runtime.ReadOnly, Sym: "ghost"},
+				{Region: "Wires", Fields: []string{"current"}, Priv: runtime.WriteDiscard, Sym: "wires"},
+			},
+		},
+		{
+			Name: "charge", IterSym: "wires", WorkPerElement: work(1),
+			Reqs: []runtime.Requirement{
+				{Region: "Wires", Fields: []string{"in_node", "out_node", "current"}, Priv: runtime.ReadOnly, Sym: "wires"},
+				// Private charge contributions apply in place...
+				{Region: "Nodes", Fields: []string{"charge"}, Priv: runtime.ReadWrite, Sym: "priv"},
+				// ...while the shared ones use the oversized instance.
+				{Region: "Nodes", Fields: []string{"charge"}, Priv: runtime.Reduce, Sym: "reduce", ReduceOp: "+=", TouchedSym: "touched"},
+			},
+		},
+		{
+			Name: "voltages", IterSym: "owner", WorkPerElement: work(2),
+			Reqs: []runtime.Requirement{
+				{Region: "Nodes", Fields: nodeFields, Priv: runtime.ReadWrite, Sym: "owner"},
+			},
+		},
+	}
+	st := sim.NewState().
+		OwnAll("Nodes", nodeFields, g.NodeOwner).
+		OwnAll("Wires", wireFields, g.WireOwner)
+
+	stats, err := apputil.MeasureIterations(model, launches, parts, st, 1)
+	if err != nil {
+		return sim.Point{}, err
+	}
+	return sim.Point{
+		Nodes:      nodes,
+		Time:       stats.Time,
+		Throughput: float64(cfg.WiresPerCluster) / stats.Time,
+	}, nil
+}
+
+// Figure14d produces the Manual, Auto+Hint, and Auto series.
+func Figure14d(cfg Config, model sim.Model, nodeCounts []int) (sim.Figure, error) {
+	plain, err := autopart.Compile(Source, autopart.Options{})
+	if err != nil {
+		return sim.Figure{}, err
+	}
+	hinted, err := autopart.Compile(HintSource, autopart.Options{})
+	if err != nil {
+		return sim.Figure{}, err
+	}
+	manual := sim.Series{Label: "Manual"}
+	autoHint := sim.Series{Label: "Auto+Hint"}
+	auto := sim.Series{Label: "Auto"}
+	for _, n := range nodeCounts {
+		mp, err := ManualPoint(cfg, model, plain, n)
+		if err != nil {
+			return sim.Figure{}, fmt.Errorf("circuit manual nodes=%d: %w", n, err)
+		}
+		manual.Points = append(manual.Points, mp)
+		hp, err := AutoPoint(cfg, model, hinted, n, true)
+		if err != nil {
+			return sim.Figure{}, fmt.Errorf("circuit auto+hint nodes=%d: %w", n, err)
+		}
+		autoHint.Points = append(autoHint.Points, hp)
+		ap, err := AutoPoint(cfg, model, plain, n, false)
+		if err != nil {
+			return sim.Figure{}, fmt.Errorf("circuit auto nodes=%d: %w", n, err)
+		}
+		auto.Points = append(auto.Points, ap)
+	}
+	return sim.Figure{
+		ID:       "14d",
+		Title:    fmt.Sprintf("Circuit (%d wires/node)", cfg.WiresPerCluster),
+		WorkUnit: "wires/s",
+		Series:   []sim.Series{manual, autoHint, auto},
+	}, nil
+}
+
+// CompileOnly compiles the hint-less kernel (for Table 1).
+func CompileOnly() (*autopart.Compiled, error) {
+	return autopart.Compile(Source, autopart.Options{})
+}

@@ -1,0 +1,337 @@
+// Package miniaero is the MiniAero benchmark of §6.3 (Fig. 14c): a
+// Navier-Stokes proxy on a 3D hexahedral mesh. Faces carry flux between
+// the two cells they touch; every face loop reads cell state through the
+// c1/c2 pointers and updates cell residuals via uncentered reductions,
+// so the §5.1 relaxation applies and eliminates reduction buffers
+// completely.
+//
+// Two mesh generators mirror the paper's setup: the sequential generator
+// orders faces by direction (the input the auto-parallelized code runs
+// on, which makes each node's derived face subregions non-contiguous),
+// while the parallel generator used by the hand-optimized code groups —
+// and duplicates — faces per node so each subregion is one contiguous
+// block.
+package miniaero
+
+import (
+	"fmt"
+	"strings"
+
+	"autopart/internal/apps/apputil"
+	"autopart/internal/geometry"
+	"autopart/internal/ir"
+	"autopart/internal/region"
+	"autopart/internal/runtime"
+	"autopart/internal/sim"
+	"autopart/pkg/autopart"
+)
+
+// cellFields are the per-cell quantities.
+var cellFields = []string{
+	"rho", "mom", "ene", // conserved
+	"prim_v", "prim_p", // primitives
+	"lim",                           // limiter
+	"res_rho", "res_mom", "res_ene", // residuals
+	"rho0", // RK stage base
+}
+
+// Source builds the 26-loop DSL program: 2 setup loops plus 4 RK stages
+// of (2 face-flux loops + 4 cell loops), matching Table 1's loop count.
+func Source() string {
+	var sb strings.Builder
+	sb.WriteString("region Faces { c1: index(Cells), c2: index(Cells), area: scalar, flux_rho: scalar, flux_mom: scalar, flux_ene: scalar }\n")
+	sb.WriteString("region Cells { ")
+	for i, f := range cellFields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s: scalar", f)
+	}
+	sb.WriteString(" }\n")
+
+	// Setup: save the stage base and compute initial primitives.
+	sb.WriteString(`
+for c in Cells {
+  Cells[c].rho0 = Cells[c].rho
+}
+for c in Cells {
+  Cells[c].prim_v = pv(Cells[c].rho, Cells[c].mom)
+  Cells[c].prim_p = pp(Cells[c].rho, Cells[c].ene)
+}
+`)
+	for stage := 0; stage < 4; stage++ {
+		// Inviscid flux + residual accumulation (one loop: reads cell
+		// primitives through the face pointers, reduces into residuals).
+		fmt.Fprintf(&sb, `
+for f in Faces {
+  fr%[1]d = inv_r(Cells[Faces[f].c1].prim_v, Cells[Faces[f].c2].prim_v, Faces[f].area)
+  Faces[f].flux_rho = fr%[1]d
+  Cells[Faces[f].c1].res_rho += fr%[1]d
+  Cells[Faces[f].c2].res_rho += fr%[1]d
+  fm%[1]d = inv_m(Cells[Faces[f].c1].prim_p, Cells[Faces[f].c2].prim_p, Faces[f].area)
+  Faces[f].flux_mom = fm%[1]d
+  Cells[Faces[f].c1].res_mom += fm%[1]d
+  Cells[Faces[f].c2].res_mom += fm%[1]d
+}
+for f in Faces {
+  fe%[1]d = vis_e(Cells[Faces[f].c1].lim, Cells[Faces[f].c2].lim, Faces[f].area)
+  Faces[f].flux_ene = fe%[1]d
+  Cells[Faces[f].c1].res_ene += fe%[1]d
+  Cells[Faces[f].c2].res_ene += fe%[1]d
+}
+for c in Cells {
+  Cells[c].rho = rk(Cells[c].rho0, Cells[c].res_rho)
+  Cells[c].mom = rk(Cells[c].mom, Cells[c].res_mom)
+  Cells[c].ene = rk(Cells[c].ene, Cells[c].res_ene)
+}
+for c in Cells {
+  Cells[c].prim_v = pv(Cells[c].rho, Cells[c].mom)
+  Cells[c].prim_p = pp(Cells[c].rho, Cells[c].ene)
+}
+for c in Cells {
+  Cells[c].lim = lm(Cells[c].prim_v, Cells[c].prim_p)
+}
+for c in Cells {
+  Cells[c].res_rho = 0
+  Cells[c].res_mom = 0
+  Cells[c].res_ene = 0
+}
+`, stage)
+	}
+	return sb.String()
+}
+
+// RealIterSeconds is the real system's per-node iteration time implied
+// by Fig. 14c (2.1e6 cells/node at ~5e6 cells/s/node).
+const RealIterSeconds = 0.42
+
+// Config sizes the workload: each node owns a DX×DY×DZ brick of cells,
+// bricks stacked along z.
+type Config struct {
+	DX, DY, DZ int64
+}
+
+// DefaultConfig stands in for the paper's 2.1e6 cells per node.
+func DefaultConfig() Config { return Config{DX: 12, DY: 12, DZ: 12} }
+
+// CellsPerNode returns the weak-scaling work unit count.
+func (c Config) CellsPerNode() int64 { return c.DX * c.DY * c.DZ }
+
+// cellIndex linearizes (x, y, gz) with the z-layer outermost so each
+// node's cells are contiguous.
+func (c Config) cellIndex(x, y, gz int64) int64 {
+	return gz*c.DX*c.DY + y*c.DX + x
+}
+
+// BuildMachineSequential generates the mesh the way a sequential code
+// would: faces grouped by direction (x, then y, then z), each direction
+// enumerated x-outer/y-mid/z-inner so runs along z are contiguous.
+func BuildMachineSequential(cfg Config, nodes int) *ir.Machine {
+	gz := cfg.DZ * int64(nodes)
+	nCells := cfg.DX * cfg.DY * gz
+
+	type facePair struct{ a, b int64 }
+	var pairs []facePair
+	// x-faces.
+	for x := int64(0); x < cfg.DX-1; x++ {
+		for y := int64(0); y < cfg.DY; y++ {
+			for z := int64(0); z < gz; z++ {
+				pairs = append(pairs, facePair{cfg.cellIndex(x, y, z), cfg.cellIndex(x+1, y, z)})
+			}
+		}
+	}
+	// y-faces.
+	for x := int64(0); x < cfg.DX; x++ {
+		for y := int64(0); y < cfg.DY-1; y++ {
+			for z := int64(0); z < gz; z++ {
+				pairs = append(pairs, facePair{cfg.cellIndex(x, y, z), cfg.cellIndex(x, y+1, z)})
+			}
+		}
+	}
+	// z-faces (these cross node boundaries).
+	for x := int64(0); x < cfg.DX; x++ {
+		for y := int64(0); y < cfg.DY; y++ {
+			for z := int64(0); z < gz-1; z++ {
+				pairs = append(pairs, facePair{cfg.cellIndex(x, y, z), cfg.cellIndex(x, y, z+1)})
+			}
+		}
+	}
+
+	faces := region.New("Faces", int64(len(pairs)))
+	faces.AddIndexField("c1")
+	faces.AddIndexField("c2")
+	for _, f := range []string{"area", "flux_rho", "flux_mom", "flux_ene"} {
+		faces.AddScalarField(f)
+	}
+	c1 := faces.Index("c1")
+	c2 := faces.Index("c2")
+	area := faces.Scalar("area")
+	for i, p := range pairs {
+		c1[i] = p.a
+		c2[i] = p.b
+		area[i] = float64(i%5 + 1)
+	}
+
+	cells := region.New("Cells", nCells)
+	for _, f := range cellFields {
+		cells.AddScalarField(f)
+	}
+	rho := cells.Scalar("rho")
+	mom := cells.Scalar("mom")
+	ene := cells.Scalar("ene")
+	for i := int64(0); i < nCells; i++ {
+		rho[i] = float64(i%19 + 1)
+		mom[i] = float64(i%23 + 1)
+		ene[i] = float64(i%29 + 1)
+	}
+	return ir.NewMachine().AddRegion(faces).AddRegion(cells)
+}
+
+// AutoPoint prices the auto-parallelized version at one node count.
+func AutoPoint(cfg Config, model sim.Model, c *autopart.Compiled, nodes int) (sim.Point, error) {
+	m := BuildMachineSequential(cfg, nodes)
+	auto, err := apputil.InstantiateAuto(c, m, nodes, nil)
+	if err != nil {
+		return sim.Point{}, err
+	}
+	// Owners: cells by the cell-loop iteration partition (equal blocks);
+	// face data lives where the face loops use it, so its owner is the
+	// (disjointified) face iteration partition.
+	cellIter := auto.Parts[auto.IterSym(0)]
+	faceIterSym := ""
+	for i, pl := range c.Parallel {
+		if pl.Loop.Region == "Faces" {
+			faceIterSym = auto.IterSym(i)
+			break
+		}
+	}
+	faceOwner := region.Disjointify("faceOwner", auto.Parts[faceIterSym])
+	st := sim.NewState().
+		OwnAll("Cells", cellFields, cellIter).
+		OwnAll("Faces", []string{"c1", "c2", "area", "flux_rho", "flux_mom", "flux_ene"}, faceOwner)
+
+	stats, err := apputil.MeasureIterations(model, auto.Launches, auto.Parts, st, 1)
+	if err != nil {
+		return sim.Point{}, err
+	}
+	return sim.Point{
+		Nodes:      nodes,
+		Time:       stats.Time,
+		Throughput: float64(cfg.CellsPerNode()) / stats.Time,
+	}, nil
+}
+
+// ManualPoint prices the hand-optimized version: per-node contiguous
+// face blocks with boundary faces duplicated, ghost-layer cell reads,
+// reductions applied locally (no reduction instances at all).
+func ManualPoint(cfg Config, model sim.Model, c *autopart.Compiled, nodes int) (sim.Point, error) {
+	perNodeCells := cfg.CellsPerNode()
+	nCells := perNodeCells * int64(nodes)
+	layer := cfg.DX * cfg.DY
+
+	// Region sizes only matter for partition bounds; the manual mesh has
+	// the same faces as the sequential one plus one duplicated boundary
+	// layer per node boundary.
+	gz := cfg.DZ * int64(nodes)
+	totalFaces := (cfg.DX-1)*cfg.DY*gz + cfg.DX*(cfg.DY-1)*gz + cfg.DX*cfg.DY*(gz-1)
+	totalManualFaces := totalFaces + layer*int64(nodes-1)
+	perNodeFaces := totalManualFaces / int64(nodes)
+	facesRegion := region.New("Faces", perNodeFaces*int64(nodes))
+	cellsRegion := region.New("Cells", nCells)
+
+	faceSubs := make([]geometry.IndexSet, nodes)
+	cellSubs := make([]geometry.IndexSet, nodes)
+	ghostSubs := make([]geometry.IndexSet, nodes)
+	for j := 0; j < nodes; j++ {
+		faceSubs[j] = geometry.Range(int64(j)*perNodeFaces, int64(j+1)*perNodeFaces)
+		lo := int64(j) * perNodeCells
+		hi := lo + perNodeCells
+		cellSubs[j] = geometry.Range(lo, hi)
+		glo := lo - layer
+		ghi := hi + layer
+		if glo < 0 {
+			glo = 0
+		}
+		if ghi > nCells {
+			ghi = nCells
+		}
+		ghostSubs[j] = geometry.Range(glo, ghi)
+	}
+	parts := map[string]*region.Partition{
+		"faces": region.NewPartition("faces", facesRegion, faceSubs),
+		"cells": region.NewPartition("cells", cellsRegion, cellSubs),
+		"ghost": region.NewPartition("ghost", cellsRegion, ghostSubs),
+	}
+
+	// Mirror the auto launches' shapes with manual partitions: face
+	// loops read the ghost layer and write residuals locally (duplicated
+	// faces make reductions node-local); cell loops are fully local.
+	var launches []*runtime.Launch
+	for i, pl := range c.Parallel {
+		work := float64(len(pl.Access))
+		if pl.Loop.Region == "Faces" {
+			launches = append(launches, &runtime.Launch{
+				Name: fmt.Sprintf("face%d", i), IterSym: "faces", WorkPerElement: work,
+				Reqs: []runtime.Requirement{
+					{Region: "Cells", Fields: []string{"prim_v", "prim_p", "lim"}, Priv: runtime.ReadOnly, Sym: "ghost"},
+					{Region: "Faces", Fields: []string{"flux_rho", "flux_mom", "flux_ene"}, Priv: runtime.WriteDiscard, Sym: "faces"},
+					{Region: "Cells", Fields: []string{"res_rho", "res_mom", "res_ene"}, Priv: runtime.ReadWrite, Sym: "cells"},
+				},
+			})
+		} else {
+			launches = append(launches, &runtime.Launch{
+				Name: fmt.Sprintf("cell%d", i), IterSym: "cells", WorkPerElement: work,
+				Reqs: []runtime.Requirement{
+					{Region: "Cells", Fields: cellFields, Priv: runtime.ReadWrite, Sym: "cells"},
+				},
+			})
+		}
+	}
+
+	st := sim.NewState().
+		OwnAll("Cells", cellFields, parts["cells"]).
+		OwnAll("Faces", []string{"flux_rho", "flux_mom", "flux_ene"}, parts["faces"])
+
+	stats, err := apputil.MeasureIterations(model, launches, parts, st, 1)
+	if err != nil {
+		return sim.Point{}, err
+	}
+	return sim.Point{
+		Nodes:      nodes,
+		Time:       stats.Time,
+		Throughput: float64(perNodeCells) / stats.Time,
+	}, nil
+}
+
+// Figure14c produces the Manual and Auto weak-scaling series.
+func Figure14c(cfg Config, model sim.Model, nodeCounts []int) (sim.Figure, error) {
+	c, err := autopart.Compile(Source(), autopart.Options{})
+	if err != nil {
+		return sim.Figure{}, err
+	}
+	manual := sim.Series{Label: "Manual"}
+	auto := sim.Series{Label: "Auto"}
+	for _, n := range nodeCounts {
+		ap, err := AutoPoint(cfg, model, c, n)
+		if err != nil {
+			return sim.Figure{}, fmt.Errorf("miniaero auto nodes=%d: %w", n, err)
+		}
+		auto.Points = append(auto.Points, ap)
+		mp, err := ManualPoint(cfg, model, c, n)
+		if err != nil {
+			return sim.Figure{}, fmt.Errorf("miniaero manual nodes=%d: %w", n, err)
+		}
+		manual.Points = append(manual.Points, mp)
+	}
+	return sim.Figure{
+		ID:       "14c",
+		Title:    fmt.Sprintf("MiniAero (%d cells/node)", cfg.CellsPerNode()),
+		WorkUnit: "cells/s",
+		Series:   []sim.Series{manual, auto},
+	}, nil
+}
+
+// CompileOnly compiles the kernel (for Table 1).
+func CompileOnly() (*autopart.Compiled, error) {
+	return autopart.Compile(Source(), autopart.Options{})
+}

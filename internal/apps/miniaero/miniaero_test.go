@@ -1,0 +1,108 @@
+package miniaero
+
+import (
+	"testing"
+
+	"autopart/internal/sim"
+	"autopart/pkg/autopart"
+)
+
+func TestSourceCompiles(t *testing.T) {
+	c, err := CompileOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Parallel) != 26 {
+		t.Errorf("parallel loops = %d, want 26 (Table 1)", len(c.Parallel))
+	}
+	// Every face loop must be relaxed (§5.1 applies to all of them, so
+	// the whole Faces group relaxes).
+	faceLoops, relaxed := 0, 0
+	for i, plan := range c.Plans {
+		if c.Loops[i].Region == "Faces" {
+			faceLoops++
+			if plan.Relaxed {
+				relaxed++
+			}
+		}
+	}
+	if faceLoops != 8 {
+		t.Errorf("face loops = %d, want 8", faceLoops)
+	}
+	if relaxed != faceLoops {
+		t.Errorf("relaxed face loops = %d/%d; reduction buffers were not eliminated", relaxed, faceLoops)
+	}
+	// No private sub-partitions should be needed (everything relaxed).
+	if len(c.Private.PrivateOf) != 0 {
+		t.Errorf("unexpected private sub-partitions: %v", c.Private.PrivateOf)
+	}
+}
+
+func TestDifferentialSmall(t *testing.T) {
+	cfg := Config{DX: 3, DY: 3, DZ: 2}
+	c, err := autopart.Compile(Source(), autopart.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqM := BuildMachineSequential(cfg, 2)
+	parM := BuildMachineSequential(cfg, 2)
+	if err := c.RunSequential(seqM); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunParallel(parM, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range seqM.Regions {
+		if same, diff := r.SameData(parM.Regions[name]); !same {
+			t.Fatalf("region %s differs: %s", name, diff)
+		}
+	}
+}
+
+func TestMeshShape(t *testing.T) {
+	cfg := Config{DX: 3, DY: 3, DZ: 2}
+	m := BuildMachineSequential(cfg, 2)
+	cells := m.Regions["Cells"]
+	faces := m.Regions["Faces"]
+	if cells.Size() != 3*3*4 {
+		t.Errorf("cells = %d", cells.Size())
+	}
+	// x: 2·3·4, y: 3·2·4, z: 3·3·3.
+	if want := int64(2*3*4 + 3*2*4 + 3*3*3); faces.Size() != want {
+		t.Errorf("faces = %d, want %d", faces.Size(), want)
+	}
+	// All pointers valid and adjacent.
+	c1 := faces.Index("c1")
+	c2 := faces.Index("c2")
+	for i := range c1 {
+		if c1[i] < 0 || c2[i] >= cells.Size() || c1[i] >= c2[i] {
+			t.Fatalf("face %d: %d -> %d", i, c1[i], c2[i])
+		}
+	}
+}
+
+func TestFigure14cShape(t *testing.T) {
+	// A taller brick keeps the ghost-layer-to-volume ratio near the
+	// paper's regime.
+	cfg := Config{DX: 8, DY: 8, DZ: 32}
+	model := sim.ModelFor(float64(cfg.CellsPerNode())*30, RealIterSeconds)
+	fig, err := Figure14c(cfg, model, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, _ := fig.SeriesByLabel("Manual")
+	auto, _ := fig.SeriesByLabel("Auto")
+	// Paper: both ≈98% efficiency, auto ≈2% slower on average.
+	if eff := manual.Efficiency(); eff < 0.93 {
+		t.Errorf("manual efficiency = %.3f\n%s", eff, fig.Render())
+	}
+	if eff := auto.Efficiency(); eff < 0.88 {
+		t.Errorf("auto efficiency = %.3f\n%s", eff, fig.Render())
+	}
+	am, _ := auto.At(8)
+	mm, _ := manual.At(8)
+	ratio := am.Throughput / mm.Throughput
+	if ratio >= 1.0 || ratio < 0.90 {
+		t.Errorf("auto/manual at 8 nodes = %.3f, want slightly below 1\n%s", ratio, fig.Render())
+	}
+}

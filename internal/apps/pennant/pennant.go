@@ -1,0 +1,575 @@
+// Package pennant is the PENNANT benchmark of §6.5 (Fig. 14e):
+// Lagrangian hydrodynamics on a 2D mesh of polygonal zones, triangular
+// sides, and points. Each side carries five pointers: the previous and
+// next side of the same zone (mapss3/mapss4), its zone (mapsz), and the
+// two points at its corners (mapsp1/mapsp2).
+//
+// Mirroring the paper's parallel mesh generator, points shared between
+// pieces occupy the initial entries of the point region (grouped by
+// piece boundary), which is what breaks the hint-less auto version: an
+// equal partition of points piles every shared point onto the first
+// subregions. The generator also distributes zones unevenly across
+// pieces (real PENNANT meshes are not divisible), so the equal side
+// partitions the solver synthesizes drift away from piece boundaries —
+// Hint1 (the point partition alone) cannot fix that, which is why it
+// stops scaling; Hint2 additionally reuses the generator's side and zone
+// partitions and its private-point partition, matching the
+// hand-optimized version.
+package pennant
+
+import (
+	"fmt"
+	"strings"
+
+	"autopart/internal/apps/apputil"
+	"autopart/internal/geometry"
+	"autopart/internal/ir"
+	"autopart/internal/region"
+	"autopart/internal/runtime"
+	"autopart/internal/sim"
+	"autopart/pkg/autopart"
+)
+
+// zoneFields, sideFields, pointFields list the physics state.
+var (
+	zoneFields = []string{
+		"zr", "ze", "zp", // density, energy, pressure
+		"zvol", "zvol0", "zm", // volumes, mass
+		"zw", "zdu", // work, velocity delta
+	}
+	sideFieldsScalar = []string{"sarea", "svol", "smf", "sft"}
+	pointFields      = []string{
+		"px", "py", "px0", "py0", // coordinates
+		"pu", "pv", // velocity
+		"pf", "pg", // force accumulators
+		"pmass", // mass accumulator
+	}
+)
+
+// Source builds the 37-loop DSL program: PENNANT's per-cycle phases with
+// point-centered, zone-centered, and side-centered loops.
+func Source() string {
+	var sb strings.Builder
+	sb.WriteString("region Zones { ")
+	for i, f := range zoneFields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s: scalar", f)
+	}
+	sb.WriteString(" }\n")
+	sb.WriteString("region Sides { mapsz: index(Zones), mapss3: index(Sides), mapss4: index(Sides), mapsp1: index(Points), mapsp2: index(Points)")
+	for _, f := range sideFieldsScalar {
+		fmt.Fprintf(&sb, ", %s: scalar", f)
+	}
+	sb.WriteString(" }\n")
+	sb.WriteString("region Points { ")
+	for i, f := range pointFields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s: scalar", f)
+	}
+	sb.WriteString(" }\n")
+
+	// Phase 1: save state (3 point loops + 2 zone loops).
+	sb.WriteString(`
+for p1 in Points {
+  Points[p1].px0 = Points[p1].px
+  Points[p1].py0 = Points[p1].py
+}
+for p2 in Points {
+  Points[p2].pf = 0
+  Points[p2].pg = 0
+}
+for p3 in Points {
+  Points[p3].pmass = 0
+}
+for z1 in Zones {
+  Zones[z1].zvol0 = Zones[z1].zvol
+}
+for z2 in Zones {
+  Zones[z2].zw = 0
+}
+`)
+	// Phase 2: two corrector half-steps, each with side-centered
+	// geometry/force loops and reductions (2 × 12 side loops).
+	for half := 0; half < 2; half++ {
+		fmt.Fprintf(&sb, `
+for s1%[1]d in Sides {
+  Sides[s1%[1]d].sarea = ar(Points[Sides[s1%[1]d].mapsp1].px, Points[Sides[s1%[1]d].mapsp2].px, Points[Sides[s1%[1]d].mapsp1].py)
+}
+for s2%[1]d in Sides {
+  Sides[s2%[1]d].svol = vl(Sides[s2%[1]d].sarea, Sides[Sides[s2%[1]d].mapss3].sarea, Sides[Sides[s2%[1]d].mapss4].sarea)
+}
+for s3%[1]d in Sides {
+  Zones[Sides[s3%[1]d].mapsz].zvol += Sides[s3%[1]d].svol
+}
+for s4%[1]d in Sides {
+  Zones[Sides[s4%[1]d].mapsz].zw += wk(Sides[s4%[1]d].svol, Sides[s4%[1]d].smf)
+}
+for z3%[1]d in Zones {
+  Zones[z3%[1]d].zr = rh(Zones[z3%[1]d].zm, Zones[z3%[1]d].zvol)
+  Zones[z3%[1]d].zp = pr(Zones[z3%[1]d].zr, Zones[z3%[1]d].ze)
+}
+for s5%[1]d in Sides {
+  Sides[s5%[1]d].sft = fc(Zones[Sides[s5%[1]d].mapsz].zp, Sides[s5%[1]d].sarea)
+}
+for s6%[1]d in Sides {
+  Points[Sides[s6%[1]d].mapsp1].pf += Sides[s6%[1]d].sft
+}
+for s7%[1]d in Sides {
+  Points[Sides[s7%[1]d].mapsp2].pg += Sides[s7%[1]d].sft
+}
+for s8%[1]d in Sides {
+  Points[Sides[s8%[1]d].mapsp1].pmass += ms(Sides[s8%[1]d].smf, Sides[s8%[1]d].svol)
+}
+for p4%[1]d in Points {
+  Points[p4%[1]d].pu = ac(Points[p4%[1]d].pu, Points[p4%[1]d].pf, Points[p4%[1]d].pmass)
+  Points[p4%[1]d].pv = ac(Points[p4%[1]d].pv, Points[p4%[1]d].pg, Points[p4%[1]d].pmass)
+}
+for p5%[1]d in Points {
+  Points[p5%[1]d].px = mv(Points[p5%[1]d].px0, Points[p5%[1]d].pu)
+  Points[p5%[1]d].py = mv(Points[p5%[1]d].py0, Points[p5%[1]d].pv)
+}
+for z4%[1]d in Zones {
+  Zones[z4%[1]d].ze = en(Zones[z4%[1]d].ze, Zones[z4%[1]d].zw, Zones[z4%[1]d].zm)
+}
+`, half)
+	}
+	// Phase 3: diagnostics (4 zone loops + 4 side loops).
+	sb.WriteString(`
+for z5 in Zones {
+  Zones[z5].zdu = du(Zones[z5].zp, Zones[z5].zr)
+}
+for z6 in Zones {
+  Zones[z6].zw = 0
+}
+for s9 in Sides {
+  Sides[s9].smf = mf(Sides[s9].sarea, Zones[Sides[s9].mapsz].zr)
+}
+for s10 in Sides {
+  Zones[Sides[s10].mapsz].zw += Sides[s10].smf
+}
+for z7 in Zones {
+  Zones[z7].zvol = cv(Zones[z7].zvol, Zones[z7].zw)
+}
+for s11 in Sides {
+  Sides[s11].sft = fc(Zones[Sides[s11].mapsz].zdu, Sides[s11].sarea)
+}
+for s12 in Sides {
+  Points[Sides[s12].mapsp1].pf += Sides[s12].sft
+}
+for p6 in Points {
+  Points[p6].pu = ac(Points[p6].pu, Points[p6].pf, Points[p6].pmass)
+}
+`)
+	return sb.String()
+}
+
+// hint1Asserts is the §6.5 Hint1: the generator's point partitions.
+const hint1Asserts = `
+extern partition pp_private of Points
+extern partition pp_shared of Points
+assert disjoint(pp_private + pp_shared)
+assert complete(pp_private + pp_shared, Points)
+`
+
+// hint2Asserts is Hint2: additionally reuse the generator's side and
+// zone partitions (with the recursive same-piece side constraints) and
+// the private point partition for reduction buffers.
+const hint2Asserts = hint1Asserts + `
+extern partition rs_p of Sides
+extern partition rz_p of Zones
+assert disjoint(rs_p)
+assert complete(rs_p, Sides)
+assert disjoint(rz_p)
+assert complete(rz_p, Zones)
+assert image(rs_p, Sides.mapsz, Zones) <= rz_p
+assert image(rs_p, Sides.mapss3, Sides) <= rs_p
+assert image(rs_p, Sides.mapss4, Sides) <= rs_p
+assert preimage(Sides, Sides.mapsp1, pp_private) <= rs_p
+`
+
+// HintSource builds the program with the requested hint level (0, 1, 2).
+func HintSource(level int) string {
+	switch level {
+	case 1:
+		return Source() + hint1Asserts
+	case 2:
+		return Source() + hint2Asserts
+	default:
+		return Source()
+	}
+}
+
+// RealIterSeconds is the real system's per-node iteration time implied
+// by Fig. 14e (1.8e6 zones/node at ~1.6e8 zones/s/node).
+const RealIterSeconds = 0.011
+
+// Config sizes the workload: each piece holds roughly ZonesPerPiece
+// quad zones in a strip W zones wide.
+type Config struct {
+	// W is the strip width in zones.
+	W int64
+	// ZonesPerPiece is the average zone count per piece (weak scaling).
+	ZonesPerPiece int64
+	// Jitter is the per-piece zone-count variation (the paper's meshes
+	// are not evenly divisible; this is what makes equal side partitions
+	// drift off piece boundaries).
+	Jitter int64
+}
+
+// DefaultConfig stands in for the paper's 1.8e6 zones per node. The
+// boundary-to-interior point ratio (~1%) matches the paper's mesh, which
+// keeps every shared point inside the first few equal chunks — the
+// regime where the hint-less auto version bottlenecks.
+func DefaultConfig() Config { return Config{W: 64, ZonesPerPiece: 6400, Jitter: 256} }
+
+// Mesh is a generated PENNANT mesh with the generator's partitions.
+type Mesh struct {
+	Machine *ir.Machine
+	// PpPrivate/PpShared are the generator's point partitions (Hint1).
+	PpPrivate, PpShared *region.Partition
+	// RsP/RzP are the generator's side and zone partitions (Hint2).
+	RsP, RzP *region.Partition
+	// PointOwner is the disjoint complete point distribution.
+	PointOwner *region.Partition
+	// ZonesOf holds the zone count per piece.
+	ZonesOf []int64
+}
+
+// Build generates the mesh for a piece count. Zones form a W-wide strip;
+// piece k owns zonesOf[k] consecutive zone rows-worth of zones. Sides: 4
+// per zone (quad). Points: (W+1) × (rows+1) grid; points on rows at
+// piece boundaries are shared and stored first (grouped per boundary),
+// interior points follow grouped per piece.
+func Build(cfg Config, pieces int) *Mesh {
+	zonesOf := make([]int64, pieces)
+	var totalZones int64
+	for k := range zonesOf {
+		j := cfg.Jitter * int64(k%3-1) // -J, 0, +J pattern; sums ≈ 0
+		if k == pieces-1 {
+			// Balance the total.
+			j = cfg.ZonesPerPiece*int64(pieces) - totalZones - cfg.ZonesPerPiece
+		}
+		zonesOf[k] = cfg.ZonesPerPiece + j
+		totalZones += zonesOf[k]
+	}
+	totalSides := 4 * totalZones
+
+	// Points: one boundary row of W+1 points between consecutive pieces
+	// (shared), plus interior points per piece. The precise interior
+	// count does not affect partitioning behaviour; we allocate one
+	// point per zone plus one boundary row per piece.
+	ptsPerBoundary := cfg.W + 1
+	numBoundaries := int64(pieces - 1)
+	sharedTotal := ptsPerBoundary * numBoundaries
+	interiorOf := make([]int64, pieces)
+	var interiorTotal int64
+	for k := range interiorOf {
+		interiorOf[k] = zonesOf[k] + ptsPerBoundary
+		interiorTotal += interiorOf[k]
+	}
+	totalPoints := sharedTotal + interiorTotal
+
+	zones := region.New("Zones", totalZones)
+	for _, f := range zoneFields {
+		zones.AddScalarField(f)
+	}
+	sides := region.New("Sides", totalSides)
+	for _, f := range []string{"mapsz", "mapss3", "mapss4", "mapsp1", "mapsp2"} {
+		sides.AddIndexField(f)
+	}
+	for _, f := range sideFieldsScalar {
+		sides.AddScalarField(f)
+	}
+	points := region.New("Points", totalPoints)
+	for _, f := range pointFields {
+		points.AddScalarField(f)
+	}
+
+	// Piece boundaries in zone/side/point index space.
+	zoneStart := make([]int64, pieces+1)
+	interiorStart := make([]int64, pieces+1)
+	for k := 0; k < pieces; k++ {
+		zoneStart[k+1] = zoneStart[k] + zonesOf[k]
+		interiorStart[k+1] = interiorStart[k] + interiorOf[k]
+	}
+	interiorBase := sharedTotal
+
+	// Pointer fields.
+	mapsz := sides.Index("mapsz")
+	mapss3 := sides.Index("mapss3")
+	mapss4 := sides.Index("mapss4")
+	mapsp1 := sides.Index("mapsp1")
+	mapsp2 := sides.Index("mapsp2")
+
+	pieceOfZone := func(z int64) int {
+		for k := 0; k < pieces; k++ {
+			if z < zoneStart[k+1] {
+				return k
+			}
+		}
+		return pieces - 1
+	}
+	rng := &lcg{s: 3}
+	for z := int64(0); z < totalZones; z++ {
+		k := pieceOfZone(z)
+		zl := z - zoneStart[k] // zone index within the piece
+		for c := int64(0); c < 4; c++ {
+			s := 4*z + c
+			mapsz[s] = z
+			mapss3[s] = 4*z + (c+3)%4
+			mapss4[s] = 4*z + (c+1)%4
+			// Zones in the first/last row of a piece touch boundary
+			// (shared) points; interior zones use the piece's own points.
+			onLowBoundary := k > 0 && zl < cfg.W
+			onHighBoundary := k < pieces-1 && zl >= zonesOf[k]-cfg.W
+			p1 := interiorBase + interiorStart[k] + (zl+c)%interiorOf[k]
+			p2 := interiorBase + interiorStart[k] + (zl+c+1)%interiorOf[k]
+			if onLowBoundary && c == 0 {
+				b := int64(k - 1)
+				p1 = b*ptsPerBoundary + (zl % ptsPerBoundary)
+			}
+			if onHighBoundary && c == 2 {
+				b := int64(k)
+				p2 = b*ptsPerBoundary + ((zl + rng.intn(2)) % ptsPerBoundary)
+			}
+			mapsp1[s] = p1
+			mapsp2[s] = p2
+		}
+	}
+
+	// Initial state.
+	for _, f := range []string{"zvol", "zm", "ze"} {
+		data := zones.Scalar(f)
+		for i := range data {
+			data[i] = float64(i%9 + 1)
+		}
+	}
+	for _, f := range []string{"px", "py", "pu", "pv"} {
+		data := points.Scalar(f)
+		for i := range data {
+			data[i] = float64(i%13 + 1)
+		}
+	}
+	smf := sides.Scalar("smf")
+	for i := range smf {
+		smf[i] = float64(i%5 + 1)
+	}
+
+	// Generator partitions.
+	ppPriv := make([]geometry.IndexSet, pieces)
+	ppShared := make([]geometry.IndexSet, pieces)
+	owner := make([]geometry.IndexSet, pieces)
+	rsSubs := make([]geometry.IndexSet, pieces)
+	rzSubs := make([]geometry.IndexSet, pieces)
+	for k := 0; k < pieces; k++ {
+		ppPriv[k] = geometry.Range(interiorBase+interiorStart[k], interiorBase+interiorStart[k+1])
+		// Piece k owns the boundary below it (boundary k-1... assign
+		// boundary b to piece b).
+		if k < pieces-1 {
+			ppShared[k] = geometry.Range(int64(k)*ptsPerBoundary, int64(k+1)*ptsPerBoundary)
+		} else {
+			ppShared[k] = geometry.EmptySet()
+		}
+		owner[k] = ppPriv[k].Union(ppShared[k])
+		rzSubs[k] = geometry.Range(zoneStart[k], zoneStart[k+1])
+		rsSubs[k] = geometry.Range(4*zoneStart[k], 4*zoneStart[k+1])
+	}
+
+	m := ir.NewMachine().AddRegion(zones).AddRegion(sides).AddRegion(points)
+	return &Mesh{
+		Machine:    m,
+		PpPrivate:  region.NewPartition("pp_private", points, ppPriv),
+		PpShared:   region.NewPartition("pp_shared", points, ppShared),
+		RsP:        region.NewPartition("rs_p", sides, rsSubs),
+		RzP:        region.NewPartition("rz_p", zones, rzSubs),
+		PointOwner: region.NewPartition("pointOwner", points, owner),
+		ZonesOf:    zonesOf,
+	}
+}
+
+type lcg struct{ s uint64 }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 17
+}
+
+func (l *lcg) intn(n int64) int64 { return int64(l.next() % uint64(n)) }
+
+// externs returns the external partitions for a hint level.
+func (mesh *Mesh) externs(level int) map[string]*region.Partition {
+	switch level {
+	case 1:
+		return map[string]*region.Partition{
+			"pp_private": mesh.PpPrivate,
+			"pp_shared":  mesh.PpShared,
+		}
+	case 2:
+		return map[string]*region.Partition{
+			"pp_private": mesh.PpPrivate,
+			"pp_shared":  mesh.PpShared,
+			"rs_p":       mesh.RsP,
+			"rz_p":       mesh.RzP,
+		}
+	default:
+		return nil
+	}
+}
+
+// AutoPoint prices the auto-parallelized version at a hint level.
+func AutoPoint(cfg Config, model sim.Model, c *autopart.Compiled, mesh *Mesh, pieces, level int) (sim.Point, error) {
+	auto, err := apputil.InstantiateAuto(c, mesh.Machine, pieces, mesh.externs(level))
+	if err != nil {
+		return sim.Point{}, err
+	}
+	st := ownerState(mesh)
+	stats, err := apputil.MeasureIterations(model, auto.Launches, auto.Parts, st, 1)
+	if err != nil {
+		return sim.Point{}, err
+	}
+	return sim.Point{
+		Nodes:      pieces,
+		Time:       stats.Time,
+		Throughput: float64(cfg.ZonesPerPiece) / stats.Time,
+	}, nil
+}
+
+func ownerState(mesh *Mesh) *sim.State {
+	return sim.NewState().
+		OwnAll("Zones", zoneFields, mesh.RzP).
+		OwnAll("Sides", append([]string{"mapsz", "mapss3", "mapss4", "mapsp1", "mapsp2"}, sideFieldsScalar...), mesh.RsP).
+		OwnAll("Points", pointFields, mesh.PointOwner)
+}
+
+// ManualPoint prices the hand-optimized version: piece-aligned
+// partitions, ghost points (own + both adjacent boundary groups),
+// private-point reductions in place, shared ones via tight instances.
+func ManualPoint(cfg Config, model sim.Model, c *autopart.Compiled, mesh *Mesh, pieces int) (sim.Point, error) {
+	points := mesh.Machine.Regions["Points"]
+	ghost := make([]geometry.IndexSet, pieces)
+	sharedInst := make([]geometry.IndexSet, pieces)
+	for k := 0; k < pieces; k++ {
+		g := mesh.PpPrivate.Sub(k).Union(mesh.PpShared.Sub(k))
+		s := mesh.PpShared.Sub(k)
+		if k > 0 {
+			g = g.Union(mesh.PpShared.Sub(k - 1))
+			s = s.Union(mesh.PpShared.Sub(k - 1))
+		}
+		ghost[k] = g
+		sharedInst[k] = s
+	}
+	parts := map[string]*region.Partition{
+		"zones":  mesh.RzP,
+		"sides":  mesh.RsP,
+		"points": mesh.PointOwner,
+		"priv":   mesh.PpPrivate,
+		"ghost":  region.NewPartition("ghost", points, ghost),
+		"shared": region.NewPartition("shared", points, sharedInst),
+	}
+
+	var launches []*runtime.Launch
+	for i, pl := range c.Parallel {
+		work := float64(len(pl.Access))
+		switch pl.Loop.Region {
+		case "Points":
+			launches = append(launches, &runtime.Launch{
+				Name: fmt.Sprintf("pt%d", i), IterSym: "points", WorkPerElement: work,
+				Reqs: []runtime.Requirement{
+					{Region: "Points", Fields: pointFields, Priv: runtime.ReadWrite, Sym: "points"},
+				},
+			})
+		case "Zones":
+			launches = append(launches, &runtime.Launch{
+				Name: fmt.Sprintf("zn%d", i), IterSym: "zones", WorkPerElement: work,
+				Reqs: []runtime.Requirement{
+					{Region: "Zones", Fields: zoneFields, Priv: runtime.ReadWrite, Sym: "zones"},
+				},
+			})
+		default: // Sides
+			reqs := []runtime.Requirement{
+				{Region: "Sides", Fields: append([]string{"mapsz", "mapss3", "mapss4", "mapsp1", "mapsp2"}, sideFieldsScalar...), Priv: runtime.ReadWrite, Sym: "sides"},
+				{Region: "Zones", Fields: []string{"zp", "zr", "zdu", "zvol", "zw"}, Priv: runtime.ReadWrite, Sym: "zones"},
+			}
+			// Side loops touching points read ghosts, reduce privately
+			// in place, and use a tight shared instance.
+			if touchesPoints(c, i) {
+				reqs = append(reqs,
+					runtime.Requirement{Region: "Points", Fields: []string{"px", "py"}, Priv: runtime.ReadOnly, Sym: "ghost"},
+					runtime.Requirement{Region: "Points", Fields: []string{"pf"}, Priv: runtime.Reduce, Sym: "shared", ReduceOp: "+="},
+				)
+			}
+			launches = append(launches, &runtime.Launch{
+				Name: fmt.Sprintf("sd%d", i), IterSym: "sides", WorkPerElement: work, Reqs: reqs,
+			})
+		}
+	}
+	st := ownerState(mesh)
+	stats, err := apputil.MeasureIterations(model, launches, parts, st, 1)
+	if err != nil {
+		return sim.Point{}, err
+	}
+	return sim.Point{
+		Nodes:      pieces,
+		Time:       stats.Time,
+		Throughput: float64(cfg.ZonesPerPiece) / stats.Time,
+	}, nil
+}
+
+// touchesPoints reports whether a loop accesses the point region.
+func touchesPoints(c *autopart.Compiled, loop int) bool {
+	for _, info := range c.Parallel[loop].Access {
+		if info.Region == "Points" {
+			return true
+		}
+	}
+	return false
+}
+
+// Figure14e produces the Manual, Auto+Hint2, Auto+Hint1, and Auto
+// series.
+func Figure14e(cfg Config, model sim.Model, nodeCounts []int) (sim.Figure, error) {
+	compiled := make([]*autopart.Compiled, 3)
+	for level := 0; level <= 2; level++ {
+		c, err := autopart.Compile(HintSource(level), autopart.Options{})
+		if err != nil {
+			return sim.Figure{}, fmt.Errorf("pennant hint%d: %w", level, err)
+		}
+		compiled[level] = c
+	}
+	series := []sim.Series{
+		{Label: "Manual"},
+		{Label: "Auto+Hint2"},
+		{Label: "Auto+Hint1"},
+		{Label: "Auto"},
+	}
+	for _, n := range nodeCounts {
+		mesh := Build(cfg, n)
+		mp, err := ManualPoint(cfg, model, compiled[0], mesh, n)
+		if err != nil {
+			return sim.Figure{}, fmt.Errorf("pennant manual nodes=%d: %w", n, err)
+		}
+		series[0].Points = append(series[0].Points, mp)
+		for level := 2; level >= 0; level-- {
+			p, err := AutoPoint(cfg, model, compiled[level], mesh, n, level)
+			if err != nil {
+				return sim.Figure{}, fmt.Errorf("pennant hint%d nodes=%d: %w", level, n, err)
+			}
+			series[3-level].Points = append(series[3-level].Points, p)
+		}
+	}
+	return sim.Figure{
+		ID:       "14e",
+		Title:    fmt.Sprintf("PENNANT (%d zones/node)", cfg.ZonesPerPiece),
+		WorkUnit: "zones/s",
+		Series:   series,
+	}, nil
+}
+
+// CompileOnly compiles the hint-less kernel (for Table 1).
+func CompileOnly() (*autopart.Compiled, error) {
+	return autopart.Compile(Source(), autopart.Options{})
+}

@@ -1,0 +1,181 @@
+package pennant
+
+import (
+	"strings"
+	"testing"
+
+	"autopart/internal/sim"
+	"autopart/pkg/autopart"
+)
+
+func TestSourceCompiles(t *testing.T) {
+	c, err := CompileOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Parallel) != 37 {
+		t.Errorf("parallel loops = %d, want 37 (Table 1)", len(c.Parallel))
+	}
+	// Side loops are not relaxed (geometry loops block the group), so
+	// the point reductions carry §5.2 private sub-partitions.
+	for _, p := range c.Plans {
+		if p.Relaxed {
+			t.Error("no PENNANT loop should be relaxed")
+		}
+	}
+	if len(c.Private.PrivateOf) == 0 {
+		t.Error("expected private sub-partitions for the point/zone reductions")
+	}
+}
+
+func TestHint2ReusesGeneratorPartitions(t *testing.T) {
+	c, err := autopart.Compile(HintSource(2), autopart.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := c.Solution.Program.String()
+	for _, frag := range []string{
+		"= rs_p",
+		"= rz_p",
+		"image(rs_p, Sides[·].mapsz, Zones)",
+		"(pp_private ∪ pp_shared)",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("Hint2 solution missing %q:\n%s", frag, text)
+		}
+	}
+	// No fresh equal partitions of Sides or Zones.
+	if strings.Contains(text, "equal(Sides)") || strings.Contains(text, "equal(Zones)") {
+		t.Errorf("Hint2 should reuse the generator partitions:\n%s", text)
+	}
+}
+
+func TestHint1KeepsEqualSides(t *testing.T) {
+	c, err := autopart.Compile(HintSource(1), autopart.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := c.Solution.Program.String()
+	if !strings.Contains(text, "equal(Sides)") {
+		t.Errorf("Hint1 has no side partition hint and must synthesize one:\n%s", text)
+	}
+	if !strings.Contains(text, "(pp_private ∪ pp_shared)") {
+		t.Errorf("Hint1 should reuse the point partitions:\n%s", text)
+	}
+}
+
+func TestMeshShape(t *testing.T) {
+	cfg := Config{W: 8, ZonesPerPiece: 64, Jitter: 8}
+	mesh := Build(cfg, 4)
+	zones := mesh.Machine.Regions["Zones"]
+	sides := mesh.Machine.Regions["Sides"]
+	points := mesh.Machine.Regions["Points"]
+
+	if zones.Size() != 4*64 {
+		t.Errorf("zones = %d", zones.Size())
+	}
+	if sides.Size() != 4*zones.Size() {
+		t.Errorf("sides = %d", sides.Size())
+	}
+	var total int64
+	for _, z := range mesh.ZonesOf {
+		total += z
+	}
+	if total != zones.Size() {
+		t.Errorf("zonesOf sums to %d", total)
+	}
+	// Jitter must make pieces uneven.
+	if mesh.ZonesOf[0] == mesh.ZonesOf[1] {
+		t.Error("pieces should be uneven")
+	}
+
+	// Pointers valid; mapss3/4 stay within the same zone's sides.
+	mapsz := sides.Index("mapsz")
+	mapss3 := sides.Index("mapss3")
+	for s := int64(0); s < sides.Size(); s++ {
+		if mapsz[s] != s/4 {
+			t.Fatalf("mapsz[%d] = %d", s, mapsz[s])
+		}
+		if mapss3[s]/4 != s/4 {
+			t.Fatalf("mapss3 escapes the zone: side %d -> %d", s, mapss3[s])
+		}
+	}
+	for _, f := range []string{"mapsp1", "mapsp2"} {
+		for _, v := range sides.Index(f) {
+			if v < 0 || v >= points.Size() {
+				t.Fatalf("%s out of range: %d", f, v)
+			}
+		}
+	}
+
+	// Generator partitions: disjoint complete owner; rs_p/rz_p aligned.
+	if !mesh.PointOwner.IsDisjoint() || !mesh.PointOwner.IsComplete() {
+		t.Error("point owner must be disjoint and complete")
+	}
+	if !mesh.RsP.IsDisjoint() || !mesh.RsP.IsComplete() {
+		t.Error("rs_p must be disjoint and complete")
+	}
+	if !mesh.RzP.IsDisjoint() || !mesh.RzP.IsComplete() {
+		t.Error("rz_p must be disjoint and complete")
+	}
+}
+
+func TestDifferentialSmall(t *testing.T) {
+	cfg := Config{W: 8, ZonesPerPiece: 48, Jitter: 8}
+	for level := 0; level <= 2; level++ {
+		c, err := autopart.Compile(HintSource(level), autopart.Options{})
+		if err != nil {
+			t.Fatalf("hint%d: %v", level, err)
+		}
+		seqMesh := Build(cfg, 3)
+		parMesh := Build(cfg, 3)
+		if err := c.RunSequential(seqMesh.Machine); err != nil {
+			t.Fatalf("hint%d sequential: %v", level, err)
+		}
+		if err := c.RunParallel(parMesh.Machine, 3, parMesh.externs(level)); err != nil {
+			t.Fatalf("hint%d parallel: %v", level, err)
+		}
+		for name, r := range seqMesh.Machine.Regions {
+			if same, diff := r.SameData(parMesh.Machine.Regions[name]); !same {
+				t.Fatalf("hint%d region %s differs: %s", level, name, diff)
+			}
+		}
+	}
+}
+
+func TestFigure14eShape(t *testing.T) {
+	cfg := Config{W: 32, ZonesPerPiece: 1600, Jitter: 64}
+	model := sim.ModelFor(float64(cfg.ZonesPerPiece)*4*20, RealIterSeconds)
+	fig, err := Figure14e(cfg, model, []int{1, 2, 4, 8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, _ := fig.SeriesByLabel("Manual")
+	hint2, _ := fig.SeriesByLabel("Auto+Hint2")
+	hint1, _ := fig.SeriesByLabel("Auto+Hint1")
+	auto, _ := fig.SeriesByLabel("Auto")
+
+	// Paper shape: Auto keeps up only to ~4 nodes then drops; Hint1 sits
+	// between Auto and Hint2; Hint2 matches Manual.
+	a4, _ := auto.At(4)
+	h4, _ := hint2.At(4)
+	if a4.Throughput < 0.85*h4.Throughput {
+		t.Errorf("Auto should keep up to 4 nodes\n%s", fig.Render())
+	}
+	a32, _ := auto.At(32)
+	h32, _ := hint2.At(32)
+	if a32.Throughput > 0.85*h32.Throughput {
+		t.Errorf("Auto should drop at scale\n%s", fig.Render())
+	}
+	h132, _ := hint1.At(32)
+	if h132.Throughput > h32.Throughput {
+		t.Errorf("Hint1 should not beat Hint2\n%s", fig.Render())
+	}
+	m32, _ := manual.At(32)
+	if h32.Throughput < 0.95*m32.Throughput {
+		t.Errorf("Hint2 should match Manual\n%s", fig.Render())
+	}
+	if eff := hint2.Efficiency(); eff < 0.85 {
+		t.Errorf("Hint2 efficiency = %.3f\n%s", eff, fig.Render())
+	}
+}

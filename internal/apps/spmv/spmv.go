@@ -1,0 +1,179 @@
+// Package spmv is the SpMV microbenchmark of §6.1 (Fig. 10 / Fig. 14a):
+// CSR sparse matrix-vector multiplication over a banded ("diagonal")
+// matrix with a fixed number of nonzeros per row, auto-parallelized via
+// the generalized IMAGE operator of §4.
+package spmv
+
+import (
+	"fmt"
+
+	"autopart/internal/apps/apputil"
+	"autopart/internal/geometry"
+	"autopart/internal/ir"
+	"autopart/internal/region"
+	"autopart/internal/sim"
+	"autopart/pkg/autopart"
+)
+
+// Source is the SpMV kernel of Fig. 10a in DSL syntax.
+const Source = `
+region Y { val: scalar }
+region Ranges : Y { span: range(Mat) }
+region Mat { val: scalar, ind: index(X) }
+region X : Y { val: scalar }
+
+for i in Y {
+  for k in Ranges[i].span {
+    Y[i].val += Mat[k].val * X[Mat[k].ind].val
+  }
+}
+`
+
+// RealIterSeconds is the real system's per-node iteration time implied
+// by Fig. 14a (0.4e9 nonzeros/node at ~8e9 nonzeros/s/node).
+const RealIterSeconds = 0.05
+
+// Config sizes the workload.
+type Config struct {
+	// RowsPerNode is the number of matrix rows per node (weak scaling).
+	RowsPerNode int64
+	// NnzPerRow is the fixed nonzero count per row (the band width).
+	NnzPerRow int64
+}
+
+// DefaultConfig is a laptop-scale stand-in for the paper's 0.4e9
+// nonzeros per node.
+func DefaultConfig() Config {
+	return Config{RowsPerNode: 4096, NnzPerRow: 8}
+}
+
+// BuildMachine generates the banded CSR matrix for a node count: row i
+// has nonzeros in columns i-b .. i+b-1 clipped to the matrix.
+func BuildMachine(cfg Config, nodes int) *ir.Machine {
+	rows := cfg.RowsPerNode * int64(nodes)
+	half := cfg.NnzPerRow / 2
+
+	y := region.New("Y", rows)
+	y.AddScalarField("val")
+	ranges := region.New("Ranges", rows)
+	ranges.AddRangeField("span")
+	x := region.New("X", rows)
+	x.AddScalarField("val")
+
+	// Count nonzeros first.
+	var nnz int64
+	colsOf := func(i int64) (int64, int64) {
+		lo := i - half
+		hi := i + (cfg.NnzPerRow - half)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > rows {
+			hi = rows
+		}
+		return lo, hi
+	}
+	for i := int64(0); i < rows; i++ {
+		lo, hi := colsOf(i)
+		nnz += hi - lo
+	}
+
+	mat := region.New("Mat", nnz)
+	mat.AddScalarField("val")
+	mat.AddIndexField("ind")
+	spans := ranges.Ranges("span")
+	vals := mat.Scalar("val")
+	inds := mat.Index("ind")
+	xv := x.Scalar("val")
+
+	var off int64
+	for i := int64(0); i < rows; i++ {
+		lo, hi := colsOf(i)
+		spans[i] = geometry.Interval{Lo: off, Hi: off + (hi - lo)}
+		for c := lo; c < hi; c++ {
+			vals[off] = float64((i+c)%7 + 1)
+			inds[off] = c
+			off++
+		}
+		xv[i] = float64(i%13 + 1)
+	}
+
+	return ir.NewMachine().AddRegion(y).AddRegion(ranges).AddRegion(mat).AddRegion(x)
+}
+
+// AutoPoint prices one node count with the auto-parallelized code.
+func AutoPoint(cfg Config, model sim.Model, c *autopart.Compiled, nodes int) (sim.Point, error) {
+	m := BuildMachine(cfg, nodes)
+	auto, err := apputil.InstantiateAuto(c, m, nodes, nil)
+	if err != nil {
+		return sim.Point{}, err
+	}
+
+	// Weight each task's compute by its share of the matrix, not its row
+	// count.
+	matSym, ok := auto.AccessSym(0, "Mat", -1)
+	if !ok {
+		return sim.Point{}, fmt.Errorf("spmv: no Mat access")
+	}
+	auto.Launches[0].WorkSym = matSym
+	// One inner-loop iteration ≈ 1 work unit per nonzero.
+	auto.Launches[0].WorkPerElement = 1
+
+	iter := auto.Parts[auto.IterSym(0)]
+	matPart := auto.Parts[matSym]
+	st := sim.NewState().
+		Own("Y", "val", iter).
+		Own("Ranges", "span", rename(iter, m.Regions["Ranges"])).
+		OwnAll("Mat", []string{"val", "ind"}, matPart).
+		Own("X", "val", rename(iter, m.Regions["X"]))
+
+	stats, err := apputil.MeasureIterations(model, auto.Launches, auto.Parts, st, 1)
+	if err != nil {
+		return sim.Point{}, err
+	}
+	nnz := float64(m.Regions["Mat"].Size())
+	return sim.Point{
+		Nodes:      nodes,
+		Time:       stats.Time,
+		Throughput: nnz / float64(nodes) / stats.Time,
+	}, nil
+}
+
+// rename views a partition of one region as the owner distribution of a
+// same-spaced region (Y, Ranges, and X share an index space).
+func rename(p *region.Partition, r *region.Region) *region.Partition {
+	subs := make([]geometry.IndexSet, p.NumSubs())
+	for i := range subs {
+		subs[i] = p.Sub(i)
+	}
+	return region.NewPartition(p.Name()+"@"+r.Name(), r, subs)
+}
+
+// Figure14a produces the weak-scaling series of Fig. 14a (Auto only, as
+// in the paper).
+func Figure14a(cfg Config, model sim.Model, nodeCounts []int) (sim.Figure, error) {
+	c, err := autopart.Compile(Source, autopart.Options{})
+	if err != nil {
+		return sim.Figure{}, err
+	}
+	var auto sim.Series
+	auto.Label = "Auto"
+	for _, n := range nodeCounts {
+		p, err := AutoPoint(cfg, model, c, n)
+		if err != nil {
+			return sim.Figure{}, fmt.Errorf("spmv nodes=%d: %w", n, err)
+		}
+		auto.Points = append(auto.Points, p)
+	}
+	return sim.Figure{
+		ID:       "14a",
+		Title:    fmt.Sprintf("SpMV (%d non-zeros/node)", cfg.RowsPerNode*cfg.NnzPerRow),
+		WorkUnit: "non-zeros/s",
+		Series:   []sim.Series{auto},
+	}, nil
+}
+
+// CompileOnly compiles the kernel (for Table 1).
+func CompileOnly() (*autopart.Compiled, error) {
+	return autopart.Compile(Source, autopart.Options{})
+}

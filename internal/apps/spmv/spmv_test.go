@@ -1,0 +1,81 @@
+package spmv
+
+import (
+	"testing"
+
+	"autopart/internal/sim"
+	"autopart/pkg/autopart"
+)
+
+func TestBuildMachineShape(t *testing.T) {
+	cfg := Config{RowsPerNode: 16, NnzPerRow: 4}
+	m := BuildMachine(cfg, 2)
+	rows := int64(32)
+	if m.Regions["Y"].Size() != rows || m.Regions["X"].Size() != rows {
+		t.Fatal("vector sizes wrong")
+	}
+	mat := m.Regions["Mat"]
+	// Interior rows have exactly NnzPerRow entries; boundary rows fewer.
+	spans := m.Regions["Ranges"].Ranges("span")
+	if spans[16].Len() != 4 {
+		t.Errorf("interior row nnz = %d", spans[16].Len())
+	}
+	if spans[0].Len() >= 4 {
+		t.Errorf("boundary row should be clipped: %d", spans[0].Len())
+	}
+	// Column indices stay in range.
+	for _, c := range mat.Index("ind") {
+		if c < 0 || c >= rows {
+			t.Fatalf("column %d out of range", c)
+		}
+	}
+}
+
+func TestDifferentialSmall(t *testing.T) {
+	cfg := Config{RowsPerNode: 12, NnzPerRow: 4}
+	c, err := autopart.Compile(Source, autopart.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqM := BuildMachine(cfg, 2)
+	parM := BuildMachine(cfg, 2)
+	if err := c.RunSequential(seqM); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunParallel(parM, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range seqM.Regions {
+		if same, diff := r.SameData(parM.Regions[name]); !same {
+			t.Fatalf("region %s differs: %s", name, diff)
+		}
+	}
+}
+
+func TestFigure14aShape(t *testing.T) {
+	cfg := Config{RowsPerNode: 512, NnzPerRow: 8}
+	fig, err := Figure14a(cfg, sim.ModelFor(float64(cfg.RowsPerNode*cfg.NnzPerRow), RealIterSeconds), []int{1, 2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, ok := fig.SeriesByLabel("Auto")
+	if !ok || len(auto.Points) != 5 {
+		t.Fatalf("series = %+v", fig.Series)
+	}
+	// The paper reports 99% parallel efficiency: the banded matrix keeps
+	// X reads almost entirely local. Allow a generous margin but demand
+	// near-flat scaling.
+	if eff := auto.Efficiency(); eff < 0.90 || eff > 1.02 {
+		t.Errorf("parallel efficiency = %.3f, want ≈0.99\n%s", eff, fig.Render())
+	}
+}
+
+func TestCompileOnly(t *testing.T) {
+	c, err := CompileOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Parallel) != 1 {
+		t.Errorf("parallel loops = %d, want 1 (Table 1)", len(c.Parallel))
+	}
+}

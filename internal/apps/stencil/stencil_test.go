@@ -1,0 +1,75 @@
+package stencil
+
+import (
+	"testing"
+
+	"autopart/internal/sim"
+	"autopart/pkg/autopart"
+)
+
+func TestSourceCompiles(t *testing.T) {
+	c, err := CompileOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Parallel) != 2 {
+		t.Errorf("parallel loops = %d, want 2 (Table 1)", len(c.Parallel))
+	}
+	// Eight distinct image partitions plus the iteration partition:
+	// count distinct symbols in the first loop.
+	syms := map[string]bool{}
+	for _, info := range c.Parallel[0].Access {
+		syms[info.Sym] = true
+	}
+	if len(syms) < 9 {
+		t.Errorf("distinct partitions in compute loop = %d, want ≥9 (8 neighbors + center)", len(syms))
+	}
+}
+
+func TestDifferentialSmall(t *testing.T) {
+	cfg := Config{Width: 8, RowsPerNode: 4}
+	c, err := autopart.Compile(Source(), autopart.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqM := BuildMachine(cfg, 3)
+	parM := BuildMachine(cfg, 3)
+	if err := c.RunSequential(seqM); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunParallel(parM, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range seqM.Regions {
+		if same, diff := r.SameData(parM.Regions[name]); !same {
+			t.Fatalf("region %s differs: %s", name, diff)
+		}
+	}
+}
+
+func TestFigure14bShape(t *testing.T) {
+	cfg := DefaultConfig()
+	model := sim.ModelFor(float64(cfg.PointsPerNode())*9, RealIterSeconds)
+	fig, err := Figure14b(cfg, model, []int{1, 2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, _ := fig.SeriesByLabel("Manual")
+	auto, _ := fig.SeriesByLabel("Auto")
+
+	// Paper: manual ≈98% efficiency, auto ≈93%, auto ≈3% slower.
+	if eff := manual.Efficiency(); eff < 0.90 {
+		t.Errorf("manual efficiency = %.3f\n%s", eff, fig.Render())
+	}
+	if eff := auto.Efficiency(); eff < 0.80 {
+		t.Errorf("auto efficiency = %.3f\n%s", eff, fig.Render())
+	}
+	// Auto must lag manual at scale, but not catastrophically (within
+	// ~15%).
+	am, _ := auto.At(16)
+	mm, _ := manual.At(16)
+	ratio := am.Throughput / mm.Throughput
+	if ratio >= 1.0 || ratio < 0.85 {
+		t.Errorf("auto/manual at 16 nodes = %.3f, want slightly below 1\n%s", ratio, fig.Render())
+	}
+}

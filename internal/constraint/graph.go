@@ -1,0 +1,238 @@
+package constraint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autopart/internal/dpl"
+)
+
+// Edge is one edge of a constraint graph: an unlabeled edge From→To
+// encodes From ⊆ To; an edge labeled with a function symbol encodes
+// image(From, Func, R) ⊆ To (Fig. 9). Multi marks generalized IMAGE
+// edges.
+type Edge struct {
+	From, To string
+	Func     string // "" for plain subset edges
+	Multi    bool
+}
+
+func (e Edge) String() string {
+	if e.Func == "" {
+		return fmt.Sprintf("%s → %s", e.From, e.To)
+	}
+	op := "image"
+	if e.Multi {
+		op = "IMAGE"
+	}
+	return fmt.Sprintf("%s →[%s %s] %s", e.From, op, e.Func, e.To)
+}
+
+// Graph is the constraint-graph view of a system: nodes are partition
+// symbols (tagged with their regions), edges are the two subset-
+// constraint forms the inference algorithm generates. Subset constraints
+// of other shapes (e.g. involving external expressions) are not
+// represented and therefore never unified away.
+type Graph struct {
+	Nodes  []string          // sorted symbols
+	Region map[string]string // node -> region (from PART predicates)
+	// Sig is the node's predicate signature ("", "D", "C", or "DC").
+	// Unification prefers same-signature pairings (mapping a plain read
+	// partition onto a reduction target strengthens constraints
+	// needlessly when an exact twin exists) but does not require them —
+	// Example 5 merges a pred-less read partition with a COMP iteration
+	// partition.
+	Sig   map[string]string
+	Edges []Edge
+}
+
+// BuildGraph constructs the constraint graph of a system.
+func BuildGraph(sys *System) *Graph {
+	g := &Graph{Region: sys.PartOf(), Sig: map[string]string{}}
+	for _, p := range sys.Preds {
+		v, ok := p.E.(dpl.Var)
+		if !ok {
+			continue
+		}
+		switch p.Kind {
+		case Disj:
+			g.Sig[v.Name] += "D"
+		case Comp:
+			g.Sig[v.Name] += "C"
+		}
+	}
+	seen := map[string]bool{}
+	addNode := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			g.Nodes = append(g.Nodes, name)
+		}
+	}
+	for _, v := range sys.Symbols() {
+		addNode(v)
+	}
+	for _, c := range sys.Subsets {
+		to, ok := c.R.(dpl.Var)
+		if !ok {
+			continue
+		}
+		switch l := c.L.(type) {
+		case dpl.Var:
+			g.Edges = append(g.Edges, Edge{From: l.Name, To: to.Name})
+		case dpl.ImageExpr:
+			if from, ok := l.Of.(dpl.Var); ok {
+				g.Edges = append(g.Edges, Edge{From: from.Name, To: to.Name, Func: l.Func})
+			}
+		case dpl.ImageMultiExpr:
+			if from, ok := l.Of.(dpl.Var); ok {
+				g.Edges = append(g.Edges, Edge{From: from.Name, To: to.Name, Func: l.Func, Multi: true})
+			}
+		}
+	}
+	sort.Strings(g.Nodes)
+	return g
+}
+
+// OutEdges returns edges leaving a node.
+func (g *Graph) OutEdges(node string) []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.From == node {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for i, e := range g.Edges {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(e.String())
+	}
+	return sb.String()
+}
+
+// Mapping is a candidate unification: pairs of symbols to be equated,
+// keyed by the symbol from the second graph.
+type Mapping map[string]string
+
+// CommonSubgraphs enumerates candidate unifications between the symbols
+// of two constraint (sub)systems, largest first. A candidate maps nodes
+// of b onto nodes of a such that regions match and every mapped edge of b
+// has an identically-labeled counterpart in a. This is the product-graph
+// construction the paper describes (§3.2); we enumerate maximal greedy
+// matches rather than solving maximum-common-subgraph exactly.
+func CommonSubgraphs(a, b *Graph) []Mapping {
+	// Candidate node pairs: same region; exact-signature pairs first.
+	type pair struct{ an, bn string }
+	var pairs []pair
+	for exact := 0; exact < 2; exact++ {
+		for _, bn := range b.Nodes {
+			for _, an := range a.Nodes {
+				if a.Region[an] == "" || a.Region[an] != b.Region[bn] {
+					continue
+				}
+				match := a.Sig[an] == b.Sig[bn]
+				if (exact == 0) == match {
+					pairs = append(pairs, pair{an, bn})
+				}
+			}
+		}
+	}
+
+	// Grow a mapping greedily from each seed pair, following matching
+	// edges in both directions.
+	var results []Mapping
+	var mismatches []int
+	seen := map[string]bool{}
+	for _, seed := range pairs {
+		m := Mapping{seed.bn: seed.an}
+		used := map[string]bool{seed.an: true}
+		grow(a, b, m, used)
+		if len(m) == 0 {
+			continue
+		}
+		key := mappingKey(m)
+		if !seen[key] {
+			seen[key] = true
+			results = append(results, m)
+			mm := 0
+			for bn, an := range m {
+				if a.Sig[an] != b.Sig[bn] {
+					mm++
+				}
+			}
+			mismatches = append(mismatches, mm)
+		}
+	}
+	order := make([]int, len(results))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		i, j := order[x], order[y]
+		if len(results[i]) != len(results[j]) {
+			return len(results[i]) > len(results[j])
+		}
+		return mismatches[i] < mismatches[j]
+	})
+	out := make([]Mapping, len(results))
+	for x, i := range order {
+		out[x] = results[i]
+	}
+	return out
+}
+
+func grow(a, b *Graph, m Mapping, used map[string]bool) {
+	changed := true
+	for changed {
+		changed = false
+		for bn, an := range m {
+			for _, be := range b.OutEdges(bn) {
+				if _, mapped := m[be.To]; mapped {
+					continue
+				}
+				// Prefer a target with the same predicate signature; fall
+				// back to any structurally compatible one.
+				var fallback string
+				found := false
+				for _, ae := range a.OutEdges(an) {
+					if used[ae.To] || ae.Func != be.Func || ae.Multi != be.Multi {
+						continue
+					}
+					if a.Region[ae.To] != b.Region[be.To] {
+						continue
+					}
+					if a.Sig[ae.To] == b.Sig[be.To] {
+						m[be.To] = ae.To
+						used[ae.To] = true
+						changed = true
+						found = true
+						break
+					}
+					if fallback == "" {
+						fallback = ae.To
+					}
+				}
+				if !found && fallback != "" {
+					m[be.To] = fallback
+					used[fallback] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func mappingKey(m Mapping) string {
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		keys = append(keys, k+"="+v)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}

@@ -1,0 +1,145 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"autopart/internal/dpl"
+)
+
+// figure9System builds the constraint of Example 5 / Fig. 9a:
+//
+//	image(P1, cell, Cells) ⊆ P2, image(P2, h, Cells) ⊆ P3,
+//	image(P4, h, Cells) ⊆ P5
+func figure9System() *System {
+	sys := &System{}
+	sys.AddPred(Pred{Kind: Part, E: v("P1"), Region: "Particles"})
+	for _, p := range []string{"P2", "P3", "P4", "P5"} {
+		sys.AddPred(Pred{Kind: Part, E: v(p), Region: "Cells"})
+	}
+	sys.AddSubset(Subset{L: img(v("P1"), "cell", "Cells"), R: v("P2")})
+	sys.AddSubset(Subset{L: img(v("P2"), "h", "Cells"), R: v("P3")})
+	sys.AddSubset(Subset{L: img(v("P4"), "h", "Cells"), R: v("P5")})
+	return sys
+}
+
+func TestBuildGraph(t *testing.T) {
+	g := BuildGraph(figure9System())
+	if len(g.Nodes) != 5 {
+		t.Fatalf("nodes = %v", g.Nodes)
+	}
+	if len(g.Edges) != 3 {
+		t.Fatalf("edges = %v", g.Edges)
+	}
+	if g.Region["P1"] != "Particles" || g.Region["P2"] != "Cells" {
+		t.Errorf("regions = %v", g.Region)
+	}
+	out := g.OutEdges("P2")
+	if len(out) != 1 || out[0].To != "P3" || out[0].Func != "h" {
+		t.Errorf("OutEdges(P2) = %v", out)
+	}
+	s := g.String()
+	if !strings.Contains(s, "P1 →[image cell] P2") {
+		t.Errorf("graph string = %q", s)
+	}
+}
+
+func TestBuildGraphPlainAndMultiEdges(t *testing.T) {
+	sys := &System{}
+	sys.AddPred(Pred{Kind: Part, E: v("A"), Region: "R"})
+	sys.AddPred(Pred{Kind: Part, E: v("B"), Region: "R"})
+	sys.AddPred(Pred{Kind: Part, E: v("M"), Region: "Mat"})
+	sys.AddSubset(Subset{L: v("A"), R: v("B")})
+	sys.AddSubset(Subset{L: dpl.ImageMultiExpr{Of: v("A"), Func: "F", Region: "Mat"}, R: v("M")})
+	// Non-graph constraint shapes are skipped.
+	sys.AddSubset(Subset{L: pre("R", "f", v("B")), R: v("A")})
+	sys.AddSubset(Subset{L: v("A"), R: eq("R")})
+
+	g := BuildGraph(sys)
+	if len(g.Edges) != 2 {
+		t.Fatalf("edges = %v", g.Edges)
+	}
+	if !g.Edges[1].Multi {
+		t.Error("IMAGE edge should be marked Multi")
+	}
+	if got := g.Edges[0].String(); got != "A → B" {
+		t.Errorf("plain edge = %q", got)
+	}
+	if got := g.Edges[1].String(); got != "A →[IMAGE F] M" {
+		t.Errorf("multi edge = %q", got)
+	}
+}
+
+func TestCommonSubgraphsFigure9(t *testing.T) {
+	// Split Fig. 9a into the two loops' systems: loop 1 contributes
+	// P1→P2→P3, loop 2 contributes P4→P5. The subgraph P2→P3 in loop 1
+	// is isomorphic to P4→P5 in loop 2.
+	loop1 := &System{}
+	loop1.AddPred(Pred{Kind: Part, E: v("P1"), Region: "Particles"})
+	loop1.AddPred(Pred{Kind: Part, E: v("P2"), Region: "Cells"})
+	loop1.AddPred(Pred{Kind: Part, E: v("P3"), Region: "Cells"})
+	loop1.AddSubset(Subset{L: img(v("P1"), "cell", "Cells"), R: v("P2")})
+	loop1.AddSubset(Subset{L: img(v("P2"), "h", "Cells"), R: v("P3")})
+
+	loop2 := &System{}
+	loop2.AddPred(Pred{Kind: Part, E: v("P4"), Region: "Cells"})
+	loop2.AddPred(Pred{Kind: Part, E: v("P5"), Region: "Cells"})
+	loop2.AddSubset(Subset{L: img(v("P4"), "h", "Cells"), R: v("P5")})
+
+	maps := CommonSubgraphs(BuildGraph(loop1), BuildGraph(loop2))
+	if len(maps) == 0 {
+		t.Fatal("no common subgraphs found")
+	}
+	// The biggest candidate must unify P4 with P2 and P5 with P3.
+	best := maps[0]
+	if len(best) != 2 || best["P4"] != "P2" || best["P5"] != "P3" {
+		t.Errorf("best mapping = %v", best)
+	}
+}
+
+func TestCommonSubgraphsRegionMismatch(t *testing.T) {
+	a := &System{}
+	a.AddPred(Pred{Kind: Part, E: v("A"), Region: "R"})
+	b := &System{}
+	b.AddPred(Pred{Kind: Part, E: v("B"), Region: "S"})
+	if maps := CommonSubgraphs(BuildGraph(a), BuildGraph(b)); len(maps) != 0 {
+		t.Errorf("cross-region unification must not be proposed: %v", maps)
+	}
+}
+
+func TestCommonSubgraphsEdgeLabelsMatter(t *testing.T) {
+	a := &System{}
+	a.AddPred(Pred{Kind: Part, E: v("A1"), Region: "R"})
+	a.AddPred(Pred{Kind: Part, E: v("A2"), Region: "R"})
+	a.AddSubset(Subset{L: img(v("A1"), "f", "R"), R: v("A2")})
+
+	b := &System{}
+	b.AddPred(Pred{Kind: Part, E: v("B1"), Region: "R"})
+	b.AddPred(Pred{Kind: Part, E: v("B2"), Region: "R"})
+	b.AddSubset(Subset{L: img(v("B1"), "g", "R"), R: v("B2")})
+
+	maps := CommonSubgraphs(BuildGraph(a), BuildGraph(b))
+	// Node pairs still unify individually (singletons), but no mapping
+	// may pair the f-edge with the g-edge, i.e. no mapping of size 2
+	// containing both endpoints via edge growth... verify none maps B2 to
+	// A2 while mapping B1 to A1.
+	for _, m := range maps {
+		if m["B1"] == "A1" && m["B2"] == "A2" {
+			t.Errorf("edge labels ignored in mapping %v", m)
+		}
+	}
+}
+
+func TestCommonSubgraphsLargestFirst(t *testing.T) {
+	maps := CommonSubgraphs(BuildGraph(figure9System()), BuildGraph(figure9System()))
+	for i := 1; i < len(maps); i++ {
+		if len(maps[i]) > len(maps[i-1]) {
+			t.Fatal("mappings not sorted by size descending")
+		}
+	}
+	// Self-unification must offer the identity-ish full mapping first:
+	// P1→P2→P3 chain has 3 nodes.
+	if len(maps[0]) < 3 {
+		t.Errorf("largest self-mapping = %v", maps[0])
+	}
+}

@@ -1,0 +1,368 @@
+package constraint
+
+import (
+	"autopart/internal/dpl"
+)
+
+// Prover decides entailment of individual constraints from a set of
+// hypotheses using the DPL lemmas of Fig. 8 (plus monotonicity of the
+// operators). It is sound but deliberately incomplete, mirroring the
+// paper's resolution check: every rule applied is a valid lemma, and a
+// failed proof simply means "not known to hold".
+type Prover struct {
+	// partOf maps partition symbols to the regions they partition
+	// (from PART predicates).
+	partOf map[string]string
+	// hypSubsets are subset hypotheses (other conjuncts, external
+	// constraints).
+	hypSubsets []Subset
+	// disjVars/compVars/partVars are predicate hypotheses on symbols.
+	disjVars map[string]bool
+	compVars map[string]map[string]bool // symbol -> regions
+	// hypDisjExprs holds DISJ hypotheses on non-variable expressions
+	// (e.g. the Circuit hint DISJ(pn_private ∪ pn_shared)).
+	hypDisjExprs []dpl.Expr
+	hypCompExprs []Pred
+
+	maxDepth int
+}
+
+// NewProver builds a prover whose hypotheses are all conjuncts of sys
+// except the one being proven (the caller excludes it), plus any external
+// assumptions already inside sys.
+func NewProver(sys *System) *Prover {
+	p := &Prover{
+		partOf:   sys.PartOf(),
+		disjVars: map[string]bool{},
+		compVars: map[string]map[string]bool{},
+		maxDepth: 10,
+	}
+	for _, pred := range sys.Preds {
+		switch pred.Kind {
+		case Disj:
+			if v, ok := pred.E.(dpl.Var); ok {
+				p.disjVars[v.Name] = true
+			} else {
+				p.hypDisjExprs = append(p.hypDisjExprs, pred.E)
+			}
+		case Comp:
+			if v, ok := pred.E.(dpl.Var); ok {
+				if p.compVars[v.Name] == nil {
+					p.compVars[v.Name] = map[string]bool{}
+				}
+				p.compVars[v.Name][pred.Region] = true
+			} else {
+				p.hypCompExprs = append(p.hypCompExprs, pred)
+			}
+		}
+	}
+	p.hypSubsets = append(p.hypSubsets, sys.Subsets...)
+	return p
+}
+
+// WithoutSubset returns a copy of the prover lacking one occurrence of a
+// subset hypothesis (so a conjunct is not used to prove itself; a second
+// structurally identical copy — e.g. an external assumption — remains
+// usable).
+func (p *Prover) WithoutSubset(c Subset) *Prover {
+	q := *p
+	q.hypSubsets = nil
+	removed := false
+	for _, h := range p.hypSubsets {
+		if !removed && dpl.Equal(h.L, c.L) && dpl.Equal(h.R, c.R) {
+			removed = true
+			continue
+		}
+		q.hypSubsets = append(q.hypSubsets, h)
+	}
+	return &q
+}
+
+// ProvePred attempts to prove a predicate.
+func (p *Prover) ProvePred(pred Pred) bool {
+	switch pred.Kind {
+	case Part:
+		return p.provePart(pred.E, pred.Region)
+	case Disj:
+		return p.ProveDisj(pred.E)
+	case Comp:
+		return p.ProveComp(pred.E, pred.Region)
+	default:
+		return false
+	}
+}
+
+// provePart checks PART(E, R) via lemmas L1–L4 and hypotheses.
+func (p *Prover) provePart(e dpl.Expr, region string) bool {
+	switch x := e.(type) {
+	case dpl.Var:
+		return p.partOf[x.Name] == region
+	case dpl.EqualExpr:
+		return x.Region == region // L1
+	case dpl.ImageExpr:
+		return x.Region == region // L2
+	case dpl.PreimageExpr:
+		return x.Region == region // L3
+	case dpl.ImageMultiExpr:
+		return x.Region == region
+	case dpl.PreimageMultiExpr:
+		return x.Region == region
+	case dpl.BinExpr:
+		if x.Op == dpl.OpMinus {
+			return p.provePart(x.L, region) // L4 (difference needs only LHS)
+		}
+		return p.provePart(x.L, region) && p.provePart(x.R, region) // L4
+	default:
+		return false
+	}
+}
+
+// ProveDisj checks DISJ(E) via L1, L8–L12 and hypotheses.
+func (p *Prover) ProveDisj(e dpl.Expr) bool {
+	return p.proveDisj(e, p.maxDepth)
+}
+
+func (p *Prover) proveDisj(e dpl.Expr, depth int) bool {
+	if depth <= 0 {
+		return false
+	}
+	// Hypothesis on the exact expression.
+	for _, h := range p.hypDisjExprs {
+		if dpl.Equal(h, e) {
+			return true
+		}
+	}
+	switch x := e.(type) {
+	case dpl.Var:
+		if p.disjVars[x.Name] {
+			return true
+		}
+	case dpl.EqualExpr:
+		return true // L1
+	case dpl.BinExpr:
+		switch x.Op {
+		case dpl.OpIntersect: // L9
+			if p.proveDisj(x.L, depth-1) || p.proveDisj(x.R, depth-1) {
+				return true
+			}
+		case dpl.OpMinus: // L10
+			if p.proveDisj(x.L, depth-1) {
+				return true
+			}
+		case dpl.OpUnion:
+			// No lemma concludes DISJ of a union except via L8 below.
+		}
+	case dpl.PreimageExpr: // L12 (single-valued preimage only)
+		if p.proveDisj(x.Of, depth-1) {
+			return true
+		}
+	}
+	// L8: E ⊆ E2 with DISJ(E2).
+	for _, h := range p.hypSubsets {
+		if dpl.Equal(h.L, e) && p.proveDisj(h.R, depth-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// ProveComp checks COMP(E, R) via L1, L5–L7 and hypotheses.
+func (p *Prover) ProveComp(e dpl.Expr, region string) bool {
+	return p.proveComp(e, region, p.maxDepth)
+}
+
+func (p *Prover) proveComp(e dpl.Expr, region string, depth int) bool {
+	if depth <= 0 {
+		return false
+	}
+	for _, h := range p.hypCompExprs {
+		if h.Region == region && dpl.Equal(h.E, e) {
+			return true
+		}
+	}
+	switch x := e.(type) {
+	case dpl.Var:
+		if p.compVars[x.Name][region] {
+			return true
+		}
+	case dpl.EqualExpr:
+		return x.Region == region // L1
+	case dpl.BinExpr:
+		if x.Op == dpl.OpUnion { // L6
+			if p.proveComp(x.L, region, depth-1) || p.proveComp(x.R, region, depth-1) {
+				return true
+			}
+		}
+	case dpl.PreimageExpr: // L7
+		if x.Region == region {
+			// COMP(E1, R1) for the source partition; its region is the
+			// region E1 partitions.
+			if r1, ok := dpl.RegionOf(x.Of, p.partOf); ok && p.proveComp(x.Of, r1, depth-1) {
+				return true
+			}
+		}
+	case dpl.PreimageMultiExpr:
+		// L7 extends to PREIMAGE under the paper's convention that range
+		// maps are total with non-empty ranges; we do NOT rely on it.
+	}
+	// L5: E1 ⊆ E with COMP(E1, R) and PART(E, R).
+	if p.provePart(e, region) {
+		for _, h := range p.hypSubsets {
+			if dpl.Equal(h.R, e) && p.proveComp(h.L, region, depth-1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// proofState tracks subset proof-search progress: in-progress goals fail
+// (cycle cut) while proven goals succeed on re-query.
+type proofState int
+
+const (
+	proofInProgress proofState = iota + 1
+	proofProven
+)
+
+// ProveSubset attempts to prove L ⊆ R using structural rules,
+// monotonicity, hypotheses with transitivity, and L14.
+func (p *Prover) ProveSubset(c Subset) bool {
+	return p.proveSubset(c.L, c.R, p.maxDepth, map[string]proofState{})
+}
+
+func (p *Prover) proveSubset(a, b dpl.Expr, depth int, visited map[string]proofState) (proven bool) {
+	if depth <= 0 {
+		return false
+	}
+	if dpl.Equal(a, b) {
+		return true
+	}
+	key := dpl.Key(a) + " ⊆ " + dpl.Key(b)
+	switch visited[key] {
+	case proofProven:
+		return true
+	case proofInProgress:
+		return false
+	}
+	visited[key] = proofInProgress
+	defer func() {
+		if proven {
+			visited[key] = proofProven
+		} else {
+			delete(visited, key)
+		}
+	}()
+
+	// L13 and friends: decompose the left-hand side.
+	if x, ok := a.(dpl.BinExpr); ok {
+		switch x.Op {
+		case dpl.OpUnion: // L13
+			if p.proveSubset(x.L, b, depth-1, visited) && p.proveSubset(x.R, b, depth-1, visited) {
+				return true
+			}
+		case dpl.OpIntersect:
+			if p.proveSubset(x.L, b, depth-1, visited) || p.proveSubset(x.R, b, depth-1, visited) {
+				return true
+			}
+		case dpl.OpMinus:
+			if p.proveSubset(x.L, b, depth-1, visited) {
+				return true
+			}
+		}
+	}
+
+	// Decompose the right-hand side union.
+	if y, ok := b.(dpl.BinExpr); ok && y.Op == dpl.OpUnion {
+		if p.proveSubset(a, y.L, depth-1, visited) || p.proveSubset(a, y.R, depth-1, visited) {
+			return true
+		}
+	}
+
+	// Monotonicity of image/preimage in their partition argument.
+	switch x := a.(type) {
+	case dpl.ImageExpr:
+		if y, ok := b.(dpl.ImageExpr); ok && x.Func == y.Func && x.Region == y.Region {
+			if p.proveSubset(x.Of, y.Of, depth-1, visited) {
+				return true
+			}
+		}
+	case dpl.PreimageExpr:
+		if y, ok := b.(dpl.PreimageExpr); ok && x.Func == y.Func && x.Region == y.Region {
+			if p.proveSubset(x.Of, y.Of, depth-1, visited) {
+				return true
+			}
+		}
+	case dpl.ImageMultiExpr:
+		if y, ok := b.(dpl.ImageMultiExpr); ok && x.Func == y.Func && x.Region == y.Region {
+			if p.proveSubset(x.Of, y.Of, depth-1, visited) {
+				return true
+			}
+		}
+	case dpl.PreimageMultiExpr:
+		if y, ok := b.(dpl.PreimageMultiExpr); ok && x.Func == y.Func && x.Region == y.Region {
+			if p.proveSubset(x.Of, y.Of, depth-1, visited) {
+				return true
+			}
+		}
+	}
+
+	// L14: image(E1, f, R2) ⊆ E2 if E1 ⊆ preimage(R1, f, E2) and
+	// PART(E2, R2). Holds for single-valued image only.
+	if x, ok := a.(dpl.ImageExpr); ok {
+		if p.provePart(b, x.Region) {
+			if r1, ok := dpl.RegionOf(x.Of, p.partOf); ok {
+				goal := dpl.PreimageExpr{Region: r1, Func: x.Func, Of: b}
+				if p.proveSubset(x.Of, goal, depth-1, visited) {
+					return true
+				}
+			}
+		}
+	}
+
+	// Hypotheses with transitivity: a ⊆ h.R whenever a == h.L and
+	// h.R ⊆ b; also a ⊆ b via a ⊆ h.L chains is covered by recursion.
+	for _, h := range p.hypSubsets {
+		if dpl.Equal(h.L, a) && p.proveSubset(h.R, b, depth-1, visited) {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckResolved verifies the final consistency condition of Algorithm 2:
+// every conjunct of the (fully substituted) obligation system is entailed
+// by the other conjuncts, the assumptions (external constraints, §3.3),
+// and the DPL lemmas. It returns the first unprovable conjunct on
+// failure.
+func CheckResolved(obligations, assumptions *System) (bool, string) {
+	for i, pred := range obligations.Preds {
+		// A goal must not be used as its own hypothesis: rebuild the
+		// system without it. PART predicates are exempt (they are
+		// region-typing facts, and provePart on a Var needs the PART
+		// hypothesis to know the symbol's region).
+		rest := &System{Subsets: obligations.Subsets}
+		for j, q := range obligations.Preds {
+			if j != i || q.Kind == Part {
+				rest.Preds = append(rest.Preds, q)
+			}
+		}
+		if assumptions != nil {
+			rest.And(assumptions)
+		}
+		if !NewProver(rest).ProvePred(pred) {
+			return false, pred.String()
+		}
+	}
+	combined := obligations.Clone()
+	if assumptions != nil {
+		combined.And(assumptions)
+	}
+	base := NewProver(combined)
+	for _, c := range obligations.Subsets {
+		if !base.WithoutSubset(c).ProveSubset(c) {
+			return false, c.String()
+		}
+	}
+	return true, ""
+}

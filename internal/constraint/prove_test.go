@@ -1,0 +1,295 @@
+package constraint
+
+import (
+	"testing"
+
+	"autopart/internal/dpl"
+)
+
+// proverFor builds a prover over a hypothesis system.
+func proverFor(hyps *System) *Prover { return NewProver(hyps) }
+
+func TestProvePartStructural(t *testing.T) {
+	hyps := &System{}
+	hyps.AddPred(Pred{Kind: Part, E: v("P"), Region: "R"})
+	p := proverFor(hyps)
+
+	cases := []struct {
+		e    dpl.Expr
+		reg  string
+		want bool
+	}{
+		{eq("R"), "R", true},                // L1
+		{eq("R"), "S", false},               // wrong region
+		{v("P"), "R", true},                 // hypothesis
+		{v("P"), "S", false},                // wrong region
+		{v("Q"), "R", false},                // unknown symbol
+		{img(v("P"), "f", "S"), "S", true},  // L2
+		{img(v("P"), "f", "S"), "R", false}, // wrong region
+		{pre("S", "f", v("P")), "S", true},  // L3
+		{union(eq("R"), v("P")), "R", true}, // L4
+		{union(eq("R"), v("Q")), "R", false},
+		{dpl.BinExpr{Op: dpl.OpMinus, L: v("P"), R: v("Q")}, "R", true}, // L4 difference
+		{dpl.ImageMultiExpr{Of: v("P"), Func: "F", Region: "M"}, "M", true},
+		{dpl.PreimageMultiExpr{Region: "Y", Func: "F", Of: v("P")}, "Y", true},
+	}
+	for _, tc := range cases {
+		if got := p.ProvePred(Pred{Kind: Part, E: tc.e, Region: tc.reg}); got != tc.want {
+			t.Errorf("PART(%s, %s) = %v, want %v", tc.e, tc.reg, got, tc.want)
+		}
+	}
+}
+
+func TestProveDisj(t *testing.T) {
+	hyps := &System{}
+	hyps.AddPred(Pred{Kind: Part, E: v("P"), Region: "R"})
+	hyps.AddPred(Pred{Kind: Disj, E: v("D")})
+	hyps.AddSubset(Subset{L: v("X"), R: v("D")}) // X ⊆ D
+	p := proverFor(hyps)
+
+	cases := []struct {
+		e    dpl.Expr
+		want bool
+	}{
+		{eq("R"), true}, // L1
+		{v("D"), true},  // hypothesis
+		{v("P"), false}, // PART alone does not give DISJ
+		{v("X"), true},  // L8 through X ⊆ D
+		{dpl.BinExpr{Op: dpl.OpIntersect, L: v("P"), R: v("D")}, true},  // L9
+		{dpl.BinExpr{Op: dpl.OpIntersect, L: v("P"), R: v("Q")}, false}, // neither disjoint
+		{dpl.BinExpr{Op: dpl.OpMinus, L: v("D"), R: v("P")}, true},      // L10
+		{dpl.BinExpr{Op: dpl.OpMinus, L: v("P"), R: v("D")}, false},
+		{union(v("D"), v("D")), false}, // unions are not disjoint in general
+		{pre("S", "f", v("D")), true},  // L12
+		{pre("S", "f", v("P")), false},
+		{dpl.PreimageMultiExpr{Region: "S", Func: "F", Of: v("D")}, false}, // L12 excluded for PREIMAGE
+	}
+	for _, tc := range cases {
+		if got := p.ProveDisj(tc.e); got != tc.want {
+			t.Errorf("DISJ(%s) = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestProveDisjExprHypothesis(t *testing.T) {
+	// The Circuit hint: DISJ(pn_private ∪ pn_shared) as a hypothesis on a
+	// compound expression, from which DISJ of each side follows (L11 via
+	// L8: side ⊆ union).
+	u := union(v("pn_private"), v("pn_shared"))
+	hyps := &System{}
+	hyps.AddPred(Pred{Kind: Disj, E: u})
+	hyps.AddSubset(Subset{L: v("pn_private"), R: u})
+	hyps.AddSubset(Subset{L: v("pn_shared"), R: u})
+	p := proverFor(hyps)
+
+	if !p.ProveDisj(u) {
+		t.Error("hypothesis on the union itself should hold")
+	}
+	if !p.ProveDisj(v("pn_private")) || !p.ProveDisj(v("pn_shared")) {
+		t.Error("sides of a disjoint union should be provably disjoint via L8")
+	}
+}
+
+func TestProveComp(t *testing.T) {
+	hyps := &System{}
+	hyps.AddPred(Pred{Kind: Part, E: v("P"), Region: "R"})
+	hyps.AddPred(Pred{Kind: Part, E: v("C"), Region: "R"})
+	hyps.AddPred(Pred{Kind: Comp, E: v("C"), Region: "R"})
+	hyps.AddSubset(Subset{L: v("C"), R: v("P")}) // C ⊆ P
+	p := proverFor(hyps)
+
+	cases := []struct {
+		e    dpl.Expr
+		reg  string
+		want bool
+	}{
+		{eq("R"), "R", true}, // L1
+		{eq("S"), "R", false},
+		{v("C"), "R", true},                  // hypothesis
+		{v("C"), "S", false},                 // wrong region
+		{v("P"), "R", true},                  // L5: C ⊆ P, COMP(C,R), PART(P,R)
+		{union(v("C"), v("Q")), "R", true},   // L6 (no PART side condition)
+		{union(v("C"), v("P")), "R", true},   // L6
+		{pre("S", "f", v("C")), "S", true},   // L7
+		{pre("S", "f", v("Q")), "S", false},  // source completeness unknown
+		{pre("S", "f", eq("R2")), "S", true}, // L7 with closed complete source
+	}
+	for _, tc := range cases {
+		if got := p.ProveComp(tc.e, tc.reg); got != tc.want {
+			t.Errorf("COMP(%s, %s) = %v, want %v", tc.e, tc.reg, got, tc.want)
+		}
+	}
+}
+
+func TestProveSubsetStructural(t *testing.T) {
+	hyps := &System{}
+	hyps.AddPred(Pred{Kind: Part, E: v("A"), Region: "R"})
+	hyps.AddPred(Pred{Kind: Part, E: v("B"), Region: "R"})
+	hyps.AddSubset(Subset{L: v("A"), R: v("B")})
+	p := proverFor(hyps)
+
+	inter := dpl.BinExpr{Op: dpl.OpIntersect, L: v("A"), R: v("X")}
+	minus := dpl.BinExpr{Op: dpl.OpMinus, L: v("A"), R: v("X")}
+
+	cases := []struct {
+		a, b dpl.Expr
+		want bool
+	}{
+		{v("A"), v("A"), true},                                // reflexivity
+		{v("A"), v("B"), true},                                // hypothesis
+		{v("B"), v("A"), false},                               // not symmetric
+		{v("A"), union(v("B"), v("X")), true},                 // RHS union, via hyp
+		{v("A"), union(v("X"), v("B")), true},                 // other side
+		{union(v("A"), v("A")), v("B"), true},                 // L13
+		{union(v("A"), v("X")), v("B"), false},                // X unrelated
+		{inter, v("B"), true},                                 // intersection shrink
+		{minus, v("B"), true},                                 // difference shrink
+		{img(v("A"), "f", "S"), img(v("B"), "f", "S"), true},  // monotone
+		{img(v("A"), "f", "S"), img(v("B"), "g", "S"), false}, // different func
+		{pre("S", "f", v("A")), pre("S", "f", v("B")), true},  // monotone
+		{dpl.ImageMultiExpr{Of: v("A"), Func: "F", Region: "M"},
+			dpl.ImageMultiExpr{Of: v("B"), Func: "F", Region: "M"}, true},
+		{dpl.PreimageMultiExpr{Region: "Y", Func: "F", Of: v("A")},
+			dpl.PreimageMultiExpr{Region: "Y", Func: "F", Of: v("B")}, true},
+	}
+	for _, tc := range cases {
+		if got := p.ProveSubset(Subset{L: tc.a, R: tc.b}); got != tc.want {
+			t.Errorf("%s ⊆ %s = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestProveSubsetL14(t *testing.T) {
+	// Example 3's key step: P1 = preimage(R, g, P2) discharges
+	// image(P1, g, S) ⊆ P2 via L14, given PART(P2, S).
+	hyps := &System{}
+	hyps.AddPred(Pred{Kind: Part, E: v("P2"), Region: "S"})
+	p := proverFor(hyps)
+
+	p1 := pre("R", "g", v("P2"))
+	goal := Subset{L: img(p1, "g", "S"), R: v("P2")}
+	if !p.ProveSubset(goal) {
+		t.Error("L14 should discharge image(preimage(R,g,P2), g, S) ⊆ P2")
+	}
+
+	// Wrong function: not provable.
+	bad := Subset{L: img(pre("R", "h", v("P2")), "g", "S"), R: v("P2")}
+	if p.ProveSubset(bad) {
+		t.Error("L14 must require matching functions")
+	}
+
+	// L14 is excluded for the generalized IMAGE.
+	badMulti := Subset{
+		L: dpl.ImageMultiExpr{Of: dpl.PreimageMultiExpr{Region: "R", Func: "G", Of: v("P2")}, Func: "G", Region: "S"},
+		R: v("P2"),
+	}
+	if p.ProveSubset(badMulti) {
+		t.Error("L14 must not apply to IMAGE/PREIMAGE")
+	}
+}
+
+func TestProveSubsetTransitivity(t *testing.T) {
+	hyps := &System{}
+	hyps.AddSubset(Subset{L: v("A"), R: v("B")})
+	hyps.AddSubset(Subset{L: v("B"), R: v("C")})
+	p := proverFor(hyps)
+	if !p.ProveSubset(Subset{L: v("A"), R: v("C")}) {
+		t.Error("transitive chain A ⊆ B ⊆ C should prove A ⊆ C")
+	}
+	if p.ProveSubset(Subset{L: v("C"), R: v("A")}) {
+		t.Error("no reverse entailment")
+	}
+}
+
+func TestCheckResolvedExample2(t *testing.T) {
+	// Example 2 after substitution: P1 = equal(R), P2 = image(equal(R), g, S),
+	// P3 = equal(R). Remaining constraint (with equalities substituted in):
+	//   PART(equal(R),R) ∧ COMP(equal(R),R) ∧ DISJ(equal(R)) ∧
+	//   PART(image(equal(R),g,S), S) ∧ image(equal(R),g,S) ⊆ image(equal(R),g,S)[dropped]
+	sys := &System{}
+	sys.AddPred(Pred{Kind: Part, E: eq("R"), Region: "R"})
+	sys.AddPred(Pred{Kind: Comp, E: eq("R"), Region: "R"})
+	sys.AddPred(Pred{Kind: Disj, E: eq("R")})
+	sys.AddPred(Pred{Kind: Part, E: img(eq("R"), "g", "S"), Region: "S"})
+
+	ok, failed := CheckResolved(sys, nil)
+	if !ok {
+		t.Errorf("Example 2 resolution should check out; failed on %s", failed)
+	}
+}
+
+func TestCheckResolvedExample3(t *testing.T) {
+	// Example 3: P2 = equal(S), P1 = preimage(R, g, P2). After
+	// substitution the interesting conjuncts are:
+	//   DISJ(preimage(R,g,equal(S)))           (L12+L1)
+	//   COMP(preimage(R,g,equal(S)), R)        (L7+L1)
+	//   DISJ(equal(S))                         (L1)
+	//   image(preimage(R,g,equal(S)), g, S) ⊆ equal(S)   (L14)
+	p1 := pre("R", "g", eq("S"))
+	sys := &System{}
+	sys.AddPred(Pred{Kind: Part, E: p1, Region: "R"})
+	sys.AddPred(Pred{Kind: Comp, E: p1, Region: "R"})
+	sys.AddPred(Pred{Kind: Disj, E: p1})
+	sys.AddPred(Pred{Kind: Part, E: eq("S"), Region: "S"})
+	sys.AddPred(Pred{Kind: Disj, E: eq("S")})
+	sys.AddSubset(Subset{L: img(p1, "g", "S"), R: eq("S")})
+
+	ok, failed := CheckResolved(sys, nil)
+	if !ok {
+		t.Errorf("Example 3 resolution should check out; failed on %s", failed)
+	}
+}
+
+func TestCheckResolvedFailure(t *testing.T) {
+	// An image partition is not disjoint in general.
+	sys := &System{}
+	sys.AddPred(Pred{Kind: Disj, E: img(eq("R"), "f", "S")})
+	ok, failed := CheckResolved(sys, nil)
+	if ok {
+		t.Fatal("DISJ(image(...)) must not be provable")
+	}
+	if failed == "" {
+		t.Error("failure should name the conjunct")
+	}
+}
+
+func TestCheckResolvedWithAssumptions(t *testing.T) {
+	// External partitions pP, pC with the Fig. 4 invariant. Obligation:
+	// the invariant itself reused for an inferred constraint
+	// image(pP, cell, Cells) ⊆ pC, provable only from the assumption.
+	assume := &System{}
+	assume.AddPred(Pred{Kind: Part, E: v("pP"), Region: "Particles"})
+	assume.AddPred(Pred{Kind: Part, E: v("pC"), Region: "Cells"})
+	assume.AddPred(Pred{Kind: Disj, E: v("pC")})
+	assume.AddSubset(Subset{L: img(v("pP"), "cell", "Cells"), R: v("pC")})
+
+	obl := &System{}
+	obl.AddPred(Pred{Kind: Disj, E: v("pC")})
+	obl.AddSubset(Subset{L: img(v("pP"), "cell", "Cells"), R: v("pC")})
+
+	ok, failed := CheckResolved(obl, assume)
+	if !ok {
+		t.Errorf("assumption-backed obligations should check; failed on %s", failed)
+	}
+
+	// Without assumptions they must fail.
+	if ok, _ := CheckResolved(obl, nil); ok {
+		t.Error("obligations should not self-prove")
+	}
+}
+
+func TestCheckResolvedRecursiveExternal(t *testing.T) {
+	// PENNANT Hint2: recursive constraint image(rs_p, mapss3, rs) ⊆ rs_p
+	// is consistent when rs_p is a provided (external) partition — the
+	// assumption discharges the obligation.
+	assume := &System{}
+	assume.AddPred(Pred{Kind: Part, E: v("rs_p"), Region: "rs"})
+	assume.AddSubset(Subset{L: img(v("rs_p"), "mapss3", "rs"), R: v("rs_p")})
+
+	obl := &System{}
+	obl.AddSubset(Subset{L: img(v("rs_p"), "mapss3", "rs"), R: v("rs_p")})
+
+	if ok, failed := CheckResolved(obl, assume); !ok {
+		t.Errorf("recursive external constraint should check; failed on %s", failed)
+	}
+}

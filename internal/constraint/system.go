@@ -1,0 +1,281 @@
+// Package constraint implements the partitioning constraint language of
+// Fig. 5: subset constraints between partition expressions and the
+// PART/DISJ/COMP predicates, together with the lemma library of Fig. 8 as
+// an entailment prover and the constraint-graph view used by unification.
+//
+// Expressions are shared with package dpl, exactly as in the paper where
+// DPL operators appear syntactically inside constraints.
+package constraint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autopart/internal/dpl"
+)
+
+// PredKind identifies a predicate.
+type PredKind int
+
+// Predicate kinds.
+const (
+	// Part is PART(E, R): E is a partition of region R.
+	Part PredKind = iota
+	// Disj is DISJ(E): E's subregions are pairwise disjoint.
+	Disj
+	// Comp is COMP(E, R): E's subregions cover R.
+	Comp
+)
+
+func (k PredKind) String() string {
+	switch k {
+	case Part:
+		return "PART"
+	case Disj:
+		return "DISJ"
+	case Comp:
+		return "COMP"
+	default:
+		return fmt.Sprintf("PredKind(%d)", int(k))
+	}
+}
+
+// Pred is a predicate on a partition expression.
+type Pred struct {
+	Kind   PredKind
+	E      dpl.Expr
+	Region string // for Part and Comp
+}
+
+func (p Pred) String() string {
+	switch p.Kind {
+	case Disj:
+		return fmt.Sprintf("DISJ(%s)", p.E)
+	default:
+		return fmt.Sprintf("%s(%s, %s)", p.Kind, p.E, p.Region)
+	}
+}
+
+// Subset is the constraint L ⊆ R (subregion-wise).
+type Subset struct {
+	L, R dpl.Expr
+}
+
+func (s Subset) String() string { return fmt.Sprintf("%s ⊆ %s", s.L, s.R) }
+
+// System is a conjunction of predicates and subset constraints.
+type System struct {
+	Preds   []Pred
+	Subsets []Subset
+}
+
+// Clone returns a deep-enough copy (expressions are immutable).
+func (s *System) Clone() *System {
+	return &System{
+		Preds:   append([]Pred(nil), s.Preds...),
+		Subsets: append([]Subset(nil), s.Subsets...),
+	}
+}
+
+// And appends the conjuncts of other.
+func (s *System) And(other *System) {
+	s.Preds = append(s.Preds, other.Preds...)
+	s.Subsets = append(s.Subsets, other.Subsets...)
+}
+
+// AddPred appends a predicate, skipping exact duplicates.
+func (s *System) AddPred(p Pred) {
+	for _, q := range s.Preds {
+		if q.Kind == p.Kind && q.Region == p.Region && dpl.Equal(q.E, p.E) {
+			return
+		}
+	}
+	s.Preds = append(s.Preds, p)
+}
+
+// AddSubset appends a subset constraint, skipping duplicates and
+// tautologies.
+func (s *System) AddSubset(c Subset) {
+	if dpl.Equal(c.L, c.R) {
+		return
+	}
+	for _, q := range s.Subsets {
+		if dpl.Equal(q.L, c.L) && dpl.Equal(q.R, c.R) {
+			return
+		}
+	}
+	s.Subsets = append(s.Subsets, c)
+}
+
+// Subst replaces a partition symbol with an expression throughout the
+// system and drops resulting tautologies and duplicates. Deduplication
+// matters for soundness: the final entailment check removes a conjunct
+// before proving it, and a surviving identical copy would let any
+// conjunct prove itself. Only conjuncts that mention the substituted
+// symbol can newly collide, so only those are checked (against the
+// whole list).
+func (s *System) Subst(name string, e dpl.Expr) {
+	mentions := func(x dpl.Expr) bool {
+		for _, v := range dpl.FreeVars(x) {
+			if v == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	predChanged := make([]bool, len(s.Preds))
+	for i := range s.Preds {
+		if mentions(s.Preds[i].E) {
+			s.Preds[i].E = dpl.Subst(s.Preds[i].E, name, e)
+			predChanged[i] = true
+		}
+	}
+	preds := s.Preds[:0]
+	kept := 0
+	for i, p := range s.Preds {
+		dup := false
+		for j := 0; j < kept; j++ {
+			q := preds[j]
+			if (predChanged[i] || predChanged[j]) && q.Kind == p.Kind && q.Region == p.Region && dpl.Equal(q.E, p.E) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			preds = append(preds, p)
+			predChanged[kept] = predChanged[i]
+			kept++
+		}
+	}
+	s.Preds = preds
+
+	subChanged := make([]bool, len(s.Subsets))
+	for i := range s.Subsets {
+		if mentions(s.Subsets[i].L) || mentions(s.Subsets[i].R) {
+			s.Subsets[i].L = dpl.Subst(s.Subsets[i].L, name, e)
+			s.Subsets[i].R = dpl.Subst(s.Subsets[i].R, name, e)
+			subChanged[i] = true
+		}
+	}
+	out := s.Subsets[:0]
+	kept = 0
+	for i, c := range s.Subsets {
+		if dpl.Equal(c.L, c.R) {
+			continue
+		}
+		dup := false
+		for j := 0; j < kept; j++ {
+			q := out[j]
+			if (subChanged[i] || subChanged[j]) && dpl.Equal(q.L, c.L) && dpl.Equal(q.R, c.R) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+			subChanged[kept] = subChanged[i]
+			kept++
+		}
+	}
+	s.Subsets = out
+}
+
+// Symbols returns all partition symbols appearing in the system, sorted.
+func (s *System) Symbols() []string {
+	seen := map[string]bool{}
+	add := func(e dpl.Expr) {
+		for _, v := range dpl.FreeVars(e) {
+			seen[v] = true
+		}
+	}
+	for _, p := range s.Preds {
+		add(p.E)
+	}
+	for _, c := range s.Subsets {
+		add(c.L)
+		add(c.R)
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PartOf returns the region of each symbol P that has a PART(P, R)
+// predicate; the map feeds dpl.RegionOf.
+func (s *System) PartOf() map[string]string {
+	out := map[string]string{}
+	for _, p := range s.Preds {
+		if p.Kind == Part {
+			if v, ok := p.E.(dpl.Var); ok {
+				out[v.Name] = p.Region
+			}
+		}
+	}
+	return out
+}
+
+// HasPred reports whether the system contains a predicate of the given
+// kind on a symbol.
+func (s *System) HasPred(kind PredKind, symbol string) bool {
+	for _, p := range s.Preds {
+		if p.Kind == kind {
+			if v, ok := p.E.(dpl.Var); ok && v.Name == symbol {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SubsetsInto returns the subset constraints whose right-hand side is
+// exactly the symbol.
+func (s *System) SubsetsInto(symbol string) []Subset {
+	var out []Subset
+	for _, c := range s.Subsets {
+		if v, ok := c.R.(dpl.Var); ok && v.Name == symbol {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (s *System) String() string {
+	parts := make([]string, 0, len(s.Preds)+len(s.Subsets))
+	for _, p := range s.Preds {
+		parts = append(parts, p.String())
+	}
+	for _, c := range s.Subsets {
+		parts = append(parts, c.String())
+	}
+	if len(parts) == 0 {
+		return "⊤"
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Conjuncts returns every conjunct as a printable unit (predicates first,
+// then subsets), used by the final entailment check.
+type Conjunct struct {
+	Pred    *Pred
+	Subset  *Subset
+	Summary string
+}
+
+// Conjuncts lists the system's conjuncts.
+func (s *System) Conjuncts() []Conjunct {
+	out := make([]Conjunct, 0, len(s.Preds)+len(s.Subsets))
+	for i := range s.Preds {
+		p := s.Preds[i]
+		out = append(out, Conjunct{Pred: &p, Summary: p.String()})
+	}
+	for i := range s.Subsets {
+		c := s.Subsets[i]
+		out = append(out, Conjunct{Subset: &c, Summary: c.String()})
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package dpl
+
+import (
+	"fmt"
+
+	"autopart/internal/geometry"
+	"autopart/internal/region"
+)
+
+// Context supplies everything needed to evaluate DPL expressions against
+// concrete data: the regions, the index maps referenced by name inside
+// image/preimage operators, the color count for equal partitions, and the
+// partition bindings accumulated so far (including externally provided
+// partitions, §3.3).
+type Context struct {
+	// Colors is the number of subregions equal(R) creates; it is also the
+	// color space every evaluated partition uses.
+	Colors int
+
+	regions   map[string]*region.Region
+	maps      map[string]geometry.IndexMap
+	multiMaps map[string]geometry.MultiMap
+	bindings  map[string]*region.Partition
+}
+
+// NewContext creates an evaluation context with the given color count.
+func NewContext(colors int) *Context {
+	return &Context{
+		Colors:    colors,
+		regions:   map[string]*region.Region{},
+		maps:      map[string]geometry.IndexMap{},
+		multiMaps: map[string]geometry.MultiMap{},
+		bindings:  map[string]*region.Partition{},
+	}
+}
+
+// AddRegion registers a region under its own name.
+func (c *Context) AddRegion(r *region.Region) *Context {
+	c.regions[r.Name()] = r
+	return c
+}
+
+// Region looks up a region by name.
+func (c *Context) Region(name string) (*region.Region, bool) {
+	r, ok := c.regions[name]
+	return r, ok
+}
+
+// AddMap registers a single-valued index map under the name DPL
+// expressions use to reference it.
+func (c *Context) AddMap(name string, m geometry.IndexMap) *Context {
+	c.maps[name] = m
+	return c
+}
+
+// AddMultiMap registers a multi-valued map (for IMAGE/PREIMAGE).
+func (c *Context) AddMultiMap(name string, m geometry.MultiMap) *Context {
+	c.multiMaps[name] = m
+	return c
+}
+
+// Bind associates a partition symbol with a concrete partition; used both
+// for program evaluation and for external partitions.
+func (c *Context) Bind(name string, p *region.Partition) *Context {
+	c.bindings[name] = p
+	return c
+}
+
+// Binding looks up a bound partition.
+func (c *Context) Binding(name string) (*region.Partition, bool) {
+	p, ok := c.bindings[name]
+	return p, ok
+}
+
+func (c *Context) lookupMap(name string) (geometry.IndexMap, error) {
+	if name == "id" {
+		return geometry.IdentityMap{}, nil
+	}
+	m, ok := c.maps[name]
+	if !ok {
+		return nil, fmt.Errorf("dpl: unknown index map %q", name)
+	}
+	return m, nil
+}
+
+func (c *Context) lookupMultiMap(name string) (geometry.MultiMap, error) {
+	if m, ok := c.multiMaps[name]; ok {
+		return m, nil
+	}
+	// A single-valued map may appear in a generalized operator; lift it.
+	if m, ok := c.maps[name]; ok {
+		return geometry.Lift(m), nil
+	}
+	return nil, fmt.Errorf("dpl: unknown multi-valued map %q", name)
+}
+
+func (c *Context) lookupRegion(name string) (*region.Region, error) {
+	r, ok := c.regions[name]
+	if !ok {
+		return nil, fmt.Errorf("dpl: unknown region %q", name)
+	}
+	return r, nil
+}
+
+// Eval computes the concrete partition denoted by e. The resulting
+// partition is named by the expression's syntax.
+func (c *Context) Eval(e Expr) (*region.Partition, error) {
+	switch x := e.(type) {
+	case Var:
+		p, ok := c.bindings[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("dpl: unbound partition symbol %q", x.Name)
+		}
+		return p, nil
+
+	case EqualExpr:
+		r, err := c.lookupRegion(x.Region)
+		if err != nil {
+			return nil, err
+		}
+		return region.Equal(e.String(), r, c.Colors), nil
+
+	case ImageExpr:
+		of, err := c.Eval(x.Of)
+		if err != nil {
+			return nil, err
+		}
+		f, err := c.lookupMap(x.Func)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.lookupRegion(x.Region)
+		if err != nil {
+			return nil, err
+		}
+		return region.Image(e.String(), of, f, r), nil
+
+	case PreimageExpr:
+		of, err := c.Eval(x.Of)
+		if err != nil {
+			return nil, err
+		}
+		f, err := c.lookupMap(x.Func)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.lookupRegion(x.Region)
+		if err != nil {
+			return nil, err
+		}
+		return region.Preimage(e.String(), r, f, of), nil
+
+	case ImageMultiExpr:
+		of, err := c.Eval(x.Of)
+		if err != nil {
+			return nil, err
+		}
+		f, err := c.lookupMultiMap(x.Func)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.lookupRegion(x.Region)
+		if err != nil {
+			return nil, err
+		}
+		return region.ImageMulti(e.String(), of, f, r), nil
+
+	case PreimageMultiExpr:
+		of, err := c.Eval(x.Of)
+		if err != nil {
+			return nil, err
+		}
+		f, err := c.lookupMultiMap(x.Func)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.lookupRegion(x.Region)
+		if err != nil {
+			return nil, err
+		}
+		return region.PreimageMulti(e.String(), r, f, of), nil
+
+	case BinExpr:
+		l, err := c.Eval(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.Eval(x.R)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case OpUnion:
+			return region.Union(e.String(), l, r), nil
+		case OpIntersect:
+			return region.Intersect(e.String(), l, r), nil
+		case OpMinus:
+			return region.Subtract(e.String(), l, r), nil
+		default:
+			return nil, fmt.Errorf("dpl: unknown operator %v", x.Op)
+		}
+
+	default:
+		return nil, fmt.Errorf("dpl: unknown expression %T", e)
+	}
+}

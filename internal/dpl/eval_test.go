@@ -1,0 +1,280 @@
+package dpl
+
+import (
+	"math/rand"
+	"testing"
+
+	"autopart/internal/geometry"
+	"autopart/internal/region"
+)
+
+// figure1Context builds the Particles/Cells configuration of Fig. 1: each
+// particle points to a cell, and h is the +1 neighbor function on cells.
+func figure1Context(t *testing.T, nParticles, nCells int64, colors int) (*Context, *region.Region, *region.Region) {
+	t.Helper()
+	particles := region.New("Particles", nParticles)
+	particles.AddIndexField("cell")
+	particles.AddScalarField("pos")
+	cells := region.New("Cells", nCells)
+	cells.AddScalarField("vel")
+	cells.AddScalarField("acc")
+
+	rng := rand.New(rand.NewSource(7))
+	cellOf := particles.Index("cell")
+	for i := range cellOf {
+		cellOf[i] = rng.Int63n(nCells)
+	}
+
+	ctx := NewContext(colors)
+	ctx.AddRegion(particles).AddRegion(cells)
+	ctx.AddMap("Particles[·].cell", particles.PointerMap("cell"))
+	ctx.AddMap("h", geometry.AffineMap{Name: "h", Stride: 1, Offset: 1, Modulo: nCells})
+	return ctx, particles, cells
+}
+
+func TestEvalProgramA(t *testing.T) {
+	// Program A of Fig. 2a.
+	ctx, particles, cells := figure1Context(t, 40, 10, 4)
+	var prog Program
+	prog.Append("P1", EqualExpr{Region: "Particles"})
+	prog.Append("P2", ImageExpr{Of: Var{Name: "P1"}, Func: "Particles[·].cell", Region: "Cells"})
+	prog.Append("P3", ImageExpr{Of: Var{Name: "P2"}, Func: "h", Region: "Cells"})
+	prog.Append("P4", EqualExpr{Region: "Cells"})
+	prog.Append("P5", ImageExpr{Of: Var{Name: "P4"}, Func: "h", Region: "Cells"})
+
+	parts, err := prog.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2, p3, p4, p5 := parts["P1"], parts["P2"], parts["P3"], parts["P4"], parts["P5"]
+
+	// Fig. 1c constraints must hold.
+	if !p1.IsComplete() || !p4.IsComplete() {
+		t.Error("iteration-space partitions must be complete")
+	}
+	cellOf := particles.PointerMap("cell")
+	for i := 0; i < ctx.Colors; i++ {
+		img := geometry.Image(p1.Sub(i), cellOf, cells.Space())
+		if !img.SubsetOf(p2.Sub(i)) {
+			t.Errorf("image(P1,cell)[%d] ⊄ P2[%d]", i, i)
+		}
+	}
+	h := geometry.AffineMap{Name: "h", Stride: 1, Offset: 1, Modulo: cells.Size()}
+	for i := 0; i < ctx.Colors; i++ {
+		if !geometry.Image(p2.Sub(i), h, cells.Space()).SubsetOf(p3.Sub(i)) {
+			t.Errorf("image(P2,h)[%d] ⊄ P3[%d]", i, i)
+		}
+		if !geometry.Image(p4.Sub(i), h, cells.Space()).SubsetOf(p5.Sub(i)) {
+			t.Errorf("image(P4,h)[%d] ⊄ P5[%d]", i, i)
+		}
+	}
+}
+
+func TestEvalProgramB(t *testing.T) {
+	// Program B of Fig. 2b: derive P1 by preimage.
+	ctx, particles, cells := figure1Context(t, 40, 10, 4)
+	var prog Program
+	prog.Append("P2", EqualExpr{Region: "Cells"})
+	prog.Append("P4", Var{Name: "P2"})
+	prog.Append("P1", PreimageExpr{Region: "Particles", Func: "Particles[·].cell", Of: Var{Name: "P2"}})
+	prog.Append("P3", ImageExpr{Of: Var{Name: "P2"}, Func: "h", Region: "Cells"})
+	prog.Append("P5", Var{Name: "P3"})
+
+	parts, err := prog.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := parts["P1"]
+	// P1 is a preimage of a disjoint complete partition under a total
+	// function: must be disjoint and complete (lemmas L7, L12).
+	if !p1.IsDisjoint() || !p1.IsComplete() {
+		t.Error("P1 must be a disjoint complete partition of Particles")
+	}
+	if p1.Parent() != particles {
+		t.Error("P1 should partition Particles")
+	}
+	if parts["P4"].Parent() != cells {
+		t.Error("P4 should partition Cells")
+	}
+	// Aliased statements share subregions.
+	if !parts["P4"].SamePartition(parts["P2"]) || !parts["P5"].SamePartition(parts["P3"]) {
+		t.Error("aliases must denote the same partition")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	ctx := NewContext(2)
+	r := region.New("R", 4)
+	ctx.AddRegion(r)
+
+	cases := []Expr{
+		Var{Name: "missing"},
+		EqualExpr{Region: "nope"},
+		ImageExpr{Of: EqualExpr{Region: "R"}, Func: "nope", Region: "R"},
+		ImageExpr{Of: EqualExpr{Region: "R"}, Func: "id", Region: "nope"},
+		PreimageExpr{Region: "nope", Func: "id", Of: EqualExpr{Region: "R"}},
+		PreimageExpr{Region: "R", Func: "nope", Of: EqualExpr{Region: "R"}},
+		ImageMultiExpr{Of: EqualExpr{Region: "R"}, Func: "nope", Region: "R"},
+		PreimageMultiExpr{Region: "R", Func: "nope", Of: EqualExpr{Region: "R"}},
+		BinExpr{Op: OpUnion, L: Var{Name: "missing"}, R: EqualExpr{Region: "R"}},
+		BinExpr{Op: OpUnion, L: EqualExpr{Region: "R"}, R: Var{Name: "missing"}},
+	}
+	for _, e := range cases {
+		if _, err := ctx.Eval(e); err == nil {
+			t.Errorf("Eval(%s) should fail", e)
+		}
+	}
+}
+
+func TestEvalIdentityAndLiftedMulti(t *testing.T) {
+	ctx := NewContext(2)
+	r := region.New("R", 6)
+	s := region.New("S", 6)
+	ctx.AddRegion(r).AddRegion(s)
+	ctx.AddMap("f", geometry.AffineMap{Name: "f", Stride: 1, Offset: 0})
+
+	// "id" is built in.
+	p, err := ctx.Eval(ImageExpr{Of: EqualExpr{Region: "R"}, Func: "id", Region: "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Sub(0).String(); got != "{0..2}" {
+		t.Errorf("identity image = %s", got)
+	}
+
+	// A single-valued map used in IMAGE is lifted automatically.
+	q, err := ctx.Eval(ImageMultiExpr{Of: EqualExpr{Region: "R"}, Func: "f", Region: "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.SamePartition(p.Rename(q.Name())) {
+		t.Error("lifted IMAGE should agree with image for single-valued maps")
+	}
+}
+
+func TestEvalBinaryOps(t *testing.T) {
+	ctx := NewContext(2)
+	r := region.New("R", 8)
+	ctx.AddRegion(r)
+	ctx.AddMap("shift", geometry.AffineMap{Name: "shift", Stride: 1, Offset: 2, Modulo: 8})
+
+	eq := EqualExpr{Region: "R"}
+	sh := ImageExpr{Of: eq, Func: "shift", Region: "R"}
+	union, err := ctx.Eval(BinExpr{Op: OpUnion, L: eq, R: sh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := ctx.Eval(BinExpr{Op: OpIntersect, L: eq, R: sh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minus, err := ctx.Eval(BinExpr{Op: OpMinus, L: eq, R: sh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if !inter.Sub(i).SubsetOf(union.Sub(i)) || !minus.Sub(i).SubsetOf(union.Sub(i)) {
+			t.Error("intersection and difference must be inside the union")
+		}
+		if !minus.Sub(i).Disjoint(inter.Sub(i)) {
+			t.Error("difference and intersection must be disjoint")
+		}
+	}
+}
+
+func TestProgramCSE(t *testing.T) {
+	img := ImageExpr{Of: Var{Name: "P1"}, Func: "h", Region: "Cells"}
+	var prog Program
+	prog.Append("P1", EqualExpr{Region: "Cells"})
+	prog.Append("P3", img)
+	prog.Append("P5", img) // duplicate of P3
+	prog.Append("P6", ImageExpr{Of: Var{Name: "P5"}, Func: "h", Region: "Cells"})
+
+	out := prog.CSE()
+	if got, ok := out.Lookup("P5"); !ok || got.String() != "P3" {
+		t.Errorf("P5 should alias P3, got %v", got)
+	}
+	// P6 should now reference P3, not P5.
+	if got, _ := out.Lookup("P6"); got.String() != "image(P3, h, Cells)" {
+		t.Errorf("P6 = %s", got)
+	}
+	if err := out.TopoCheck(nil); err != nil {
+		t.Errorf("TopoCheck after CSE: %v", err)
+	}
+}
+
+func TestProgramCSEChainedAliases(t *testing.T) {
+	var prog Program
+	prog.Append("A", EqualExpr{Region: "R"})
+	prog.Append("B", Var{Name: "A"})
+	prog.Append("C", Var{Name: "B"})
+	prog.Append("D", ImageExpr{Of: Var{Name: "C"}, Func: "f", Region: "R"})
+	out := prog.CSE()
+	if got, _ := out.Lookup("C"); got.String() != "A" {
+		t.Errorf("C should canonicalize to A, got %s", got)
+	}
+	if got, _ := out.Lookup("D"); got.String() != "image(A, f, R)" {
+		t.Errorf("D = %s", got)
+	}
+}
+
+func TestProgramTopoCheck(t *testing.T) {
+	var prog Program
+	prog.Append("P2", ImageExpr{Of: Var{Name: "P1"}, Func: "f", Region: "R"})
+	if err := prog.TopoCheck(nil); err == nil {
+		t.Error("use-before-def should fail TopoCheck")
+	}
+	if err := prog.TopoCheck(map[string]bool{"P1": true}); err != nil {
+		t.Errorf("external symbol should satisfy TopoCheck: %v", err)
+	}
+}
+
+func TestNumPartitionOps(t *testing.T) {
+	var prog Program
+	prog.Append("P1", EqualExpr{Region: "R"})                                 // 1 op
+	prog.Append("P2", Var{Name: "P1"})                                        // alias: free
+	prog.Append("P3", ImageExpr{Of: Var{Name: "P1"}, Func: "f", Region: "R"}) // 2 nodes
+	if got := prog.NumPartitionOps(); got != 3 {
+		t.Errorf("NumPartitionOps = %d, want 3", got)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	var prog Program
+	prog.Append("P1", EqualExpr{Region: "R"})
+	prog.Append("P2", Var{Name: "P1"})
+	want := "P1 = equal(R)\nP2 = P1"
+	if got := prog.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestEvalExternalBinding(t *testing.T) {
+	ctx := NewContext(2)
+	r := region.New("R", 6)
+	ctx.AddRegion(r)
+	ext := region.Equal("mine", r, 2)
+	ctx.Bind("pExt", ext)
+
+	var prog Program
+	prog.Append("P", Var{Name: "pExt"})
+	parts, err := prog.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parts["P"].SamePartition(ext) {
+		t.Error("external binding should flow into the program")
+	}
+	if got, ok := ctx.Binding("P"); !ok || got != parts["P"] {
+		t.Error("program results should be bound in the context")
+	}
+	if _, ok := ctx.Binding("nope"); ok {
+		t.Error("unknown binding lookup should fail")
+	}
+	if _, ok := ctx.Region("R"); !ok {
+		t.Error("region lookup should succeed")
+	}
+	if _, ok := ctx.Region("nope"); ok {
+		t.Error("unknown region lookup should fail")
+	}
+}

@@ -1,0 +1,213 @@
+package dpl
+
+import (
+	"testing"
+)
+
+func TestExprString(t *testing.T) {
+	e := ImageExpr{Of: Var{Name: "P1"}, Func: "Particles[·].cell", Region: "Cells"}
+	if got, want := e.String(), "image(P1, Particles[·].cell, Cells)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	p := PreimageExpr{Region: "Particles", Func: "f", Of: Var{Name: "P2"}}
+	if got, want := p.String(), "preimage(Particles, f, P2)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	b := BinExpr{Op: OpMinus, L: Var{Name: "A"}, R: Var{Name: "B"}}
+	if got, want := b.String(), "(A − B)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	im := ImageMultiExpr{Of: Var{Name: "P"}, Func: "Ranges[·]", Region: "Mat"}
+	if got, want := im.String(), "IMAGE(P, Ranges[·], Mat)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	pm := PreimageMultiExpr{Region: "Y", Func: "Ranges[·]", Of: Var{Name: "P"}}
+	if got, want := pm.String(), "PREIMAGE(Y, Ranges[·], P)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if (EqualExpr{Region: "R"}).String() != "equal(R)" {
+		t.Error("equal print wrong")
+	}
+	for _, op := range []BinOp{OpUnion, OpIntersect, OpMinus} {
+		if op.String() == "" {
+			t.Error("empty op string")
+		}
+	}
+	if BinOp(9).String() != "BinOp(9)" {
+		t.Error("unknown op string")
+	}
+}
+
+func TestExprEqual(t *testing.T) {
+	a := ImageExpr{Of: Var{Name: "P"}, Func: "f", Region: "R"}
+	b := ImageExpr{Of: Var{Name: "P"}, Func: "f", Region: "R"}
+	c := ImageExpr{Of: Var{Name: "Q"}, Func: "f", Region: "R"}
+	if !Equal(a, b) {
+		t.Error("identical expressions should be Equal")
+	}
+	if Equal(a, c) {
+		t.Error("different expressions should not be Equal")
+	}
+	if Equal(a, Var{Name: "P"}) {
+		t.Error("different kinds should not be Equal")
+	}
+	if !Equal(
+		BinExpr{Op: OpUnion, L: a, R: c},
+		BinExpr{Op: OpUnion, L: b, R: c},
+	) {
+		t.Error("structural equality should recurse")
+	}
+	if Equal(BinExpr{Op: OpUnion, L: a, R: c}, BinExpr{Op: OpIntersect, L: a, R: c}) {
+		t.Error("different ops should not be Equal")
+	}
+	if !Equal(PreimageExpr{Region: "R", Func: "f", Of: a}, PreimageExpr{Region: "R", Func: "f", Of: b}) {
+		t.Error("preimage equality should recurse")
+	}
+	if !Equal(EqualExpr{Region: "R"}, EqualExpr{Region: "R"}) {
+		t.Error("equal exprs should be Equal")
+	}
+}
+
+func TestFreeVarsAndClosed(t *testing.T) {
+	e := BinExpr{
+		Op: OpUnion,
+		L:  ImageExpr{Of: Var{Name: "P2"}, Func: "f", Region: "R"},
+		R: BinExpr{
+			Op: OpMinus,
+			L:  Var{Name: "P1"},
+			R:  PreimageExpr{Region: "S", Func: "g", Of: Var{Name: "P2"}},
+		},
+	}
+	got := FreeVars(e)
+	if len(got) != 2 || got[0] != "P1" || got[1] != "P2" {
+		t.Errorf("FreeVars = %v", got)
+	}
+	if Closed(e) {
+		t.Error("expression with vars should not be closed")
+	}
+	if !Closed(EqualExpr{Region: "R"}) {
+		t.Error("equal(R) is closed")
+	}
+	if !Closed(ImageExpr{Of: EqualExpr{Region: "R"}, Func: "f", Region: "S"}) {
+		t.Error("image of closed is closed")
+	}
+}
+
+func TestSubst(t *testing.T) {
+	e := BinExpr{
+		Op: OpIntersect,
+		L:  Var{Name: "P"},
+		R:  ImageExpr{Of: Var{Name: "P"}, Func: "f", Region: "R"},
+	}
+	got := Subst(e, "P", EqualExpr{Region: "R"})
+	want := "(equal(R) ∩ image(equal(R), f, R))"
+	if got.String() != want {
+		t.Errorf("Subst = %s, want %s", got, want)
+	}
+	// Non-matching name is identity.
+	if !Equal(Subst(e, "Q", EqualExpr{Region: "R"}), e) {
+		t.Error("Subst of absent symbol should not change expression")
+	}
+	// Multi-valued operators substitute too.
+	me := ImageMultiExpr{Of: Var{Name: "P"}, Func: "F", Region: "R"}
+	if Subst(me, "P", Var{Name: "Q"}).String() != "IMAGE(Q, F, R)" {
+		t.Error("Subst through IMAGE failed")
+	}
+	pe := PreimageMultiExpr{Region: "R", Func: "F", Of: Var{Name: "P"}}
+	if Subst(pe, "P", Var{Name: "Q"}).String() != "PREIMAGE(R, F, Q)" {
+		t.Error("Subst through PREIMAGE failed")
+	}
+}
+
+func TestSize(t *testing.T) {
+	if Size(Var{Name: "P"}) != 1 {
+		t.Error("Size(Var) != 1")
+	}
+	e := BinExpr{
+		Op: OpUnion,
+		L:  ImageExpr{Of: Var{Name: "P"}, Func: "f", Region: "R"},
+		R:  PreimageExpr{Region: "S", Func: "g", Of: EqualExpr{Region: "S"}},
+	}
+	if got := Size(e); got != 5 {
+		t.Errorf("Size = %d, want 5", got)
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	partOf := map[string]string{"P": "R", "Q": "S"}
+	cases := []struct {
+		e    Expr
+		want string
+		ok   bool
+	}{
+		{Var{Name: "P"}, "R", true},
+		{Var{Name: "X"}, "", false},
+		{EqualExpr{Region: "R"}, "R", true},
+		{ImageExpr{Of: Var{Name: "P"}, Func: "f", Region: "S"}, "S", true},
+		{PreimageExpr{Region: "T", Func: "f", Of: Var{Name: "P"}}, "T", true},
+		{ImageMultiExpr{Of: Var{Name: "P"}, Func: "F", Region: "M"}, "M", true},
+		{PreimageMultiExpr{Region: "Y", Func: "F", Of: Var{Name: "P"}}, "Y", true},
+		{BinExpr{Op: OpUnion, L: Var{Name: "P"}, R: Var{Name: "P"}}, "R", true},
+		{BinExpr{Op: OpUnion, L: Var{Name: "P"}, R: Var{Name: "Q"}}, "", false},
+		{BinExpr{Op: OpMinus, L: Var{Name: "P"}, R: Var{Name: "X"}}, "R", true},
+	}
+	for _, tc := range cases {
+		got, ok := RegionOf(tc.e, partOf)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("RegionOf(%s) = %q, %v; want %q, %v", tc.e, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	partOf := map[string]string{"P": "R"}
+	// image(P, id, R) simplifies to P when P partitions R.
+	e := ImageExpr{Of: Var{Name: "P"}, Func: "id", Region: "R"}
+	if got := Simplify(e, partOf); got.String() != "P" {
+		t.Errorf("Simplify = %s, want P", got)
+	}
+	// image(P, id, S) does not simplify (different region).
+	e2 := ImageExpr{Of: Var{Name: "P"}, Func: "id", Region: "S"}
+	if got := Simplify(e2, partOf); got.String() != e2.String() {
+		t.Errorf("Simplify = %s, want unchanged", got)
+	}
+	// P ∪ P simplifies to P.
+	u := BinExpr{Op: OpUnion, L: Var{Name: "P"}, R: Var{Name: "P"}}
+	if got := Simplify(u, partOf); got.String() != "P" {
+		t.Errorf("Simplify union = %s", got)
+	}
+	// Nested simplification.
+	n := BinExpr{Op: OpIntersect, L: e, R: Var{Name: "P"}}
+	if got := Simplify(n, partOf); got.String() != "P" {
+		t.Errorf("Simplify nested = %s", got)
+	}
+	// Minus of identical operands is preserved (empty partition is a
+	// valid value; we do not constant-fold it).
+	m := BinExpr{Op: OpMinus, L: Var{Name: "P"}, R: Var{Name: "P"}}
+	if got := Simplify(m, partOf); got.String() != m.String() {
+		t.Errorf("Simplify minus = %s", got)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	if UnionAll(nil) != nil {
+		t.Error("UnionAll(nil) should be nil")
+	}
+	one := []Expr{Var{Name: "A"}}
+	if UnionAll(one).String() != "A" {
+		t.Error("singleton union should be the element")
+	}
+	three := []Expr{Var{Name: "A"}, Var{Name: "B"}, Var{Name: "A"}, Var{Name: "C"}}
+	got := UnionAll(three).String()
+	// Consecutive duplicates collapse only when equal to the accumulated
+	// expression; A B A C keeps both As apart... the second A is not equal
+	// to (A ∪ B), so it is kept.
+	want := "(((A ∪ B) ∪ A) ∪ C)"
+	if got != want {
+		t.Errorf("UnionAll = %q, want %q", got, want)
+	}
+	dup := []Expr{Var{Name: "A"}, Var{Name: "A"}}
+	if UnionAll(dup).String() != "A" {
+		t.Error("immediate duplicate should collapse")
+	}
+}

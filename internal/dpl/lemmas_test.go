@@ -1,0 +1,364 @@
+package dpl
+
+// Property tests for the DPL resolution lemmas of Fig. 8 (L1–L14). Each
+// lemma is a fact about the DPL operators the constraint solver relies on
+// for soundness; here we check every one of them against the evaluator on
+// randomized regions, partitions, and index maps.
+
+import (
+	"math/rand"
+	"testing"
+
+	"autopart/internal/geometry"
+	"autopart/internal/region"
+)
+
+const (
+	lemmaRegionSize = 64
+	lemmaColors     = 4
+	lemmaTrials     = 120
+)
+
+// randPartition builds a random (possibly aliased, possibly incomplete)
+// partition: each element lands in 0–2 colors.
+func randPartition(r *rand.Rand, parent *region.Region, name string) *region.Partition {
+	builders := make([]geometry.Builder, lemmaColors)
+	for k := int64(0); k < parent.Size(); k++ {
+		for c := 0; c < lemmaColors; c++ {
+			if r.Intn(3) == 0 {
+				builders[c].Add(k)
+			}
+		}
+	}
+	subs := make([]geometry.IndexSet, lemmaColors)
+	for c := range builders {
+		subs[c] = builders[c].Build()
+	}
+	return region.NewPartition(name, parent, subs)
+}
+
+// randDisjointPartition builds a random disjoint (possibly incomplete)
+// partition: each element lands in at most one color.
+func randDisjointPartition(r *rand.Rand, parent *region.Region, name string) *region.Partition {
+	builders := make([]geometry.Builder, lemmaColors)
+	for k := int64(0); k < parent.Size(); k++ {
+		c := r.Intn(lemmaColors + 1)
+		if c < lemmaColors {
+			builders[c].Add(k)
+		}
+	}
+	subs := make([]geometry.IndexSet, lemmaColors)
+	for c := range builders {
+		subs[c] = builders[c].Build()
+	}
+	return region.NewPartition(name, parent, subs)
+}
+
+// randSuperset builds a partition Q with P ⊆ Q by adding random extra
+// elements to each subregion of P.
+func randSuperset(r *rand.Rand, p *region.Partition, name string) *region.Partition {
+	subs := make([]geometry.IndexSet, p.NumSubs())
+	for i := range subs {
+		var b geometry.Builder
+		b.AddSet(p.Sub(i))
+		for n := r.Intn(10); n > 0; n-- {
+			b.Add(r.Int63n(p.Parent().Size()))
+		}
+		subs[i] = b.Build()
+	}
+	return region.NewPartition(name, p.Parent(), subs)
+}
+
+// randTotalMap is a random total function [0,size) → [0,size).
+func randTotalMap(r *rand.Rand, size int64) geometry.TableMap {
+	tbl := make([]int64, size)
+	for i := range tbl {
+		tbl[i] = r.Int63n(size)
+	}
+	return geometry.TableMap{Name: "f", Table: tbl}
+}
+
+func forTrials(t *testing.T, fn func(r *rand.Rand, trial int)) {
+	t.Helper()
+	r := rand.New(rand.NewSource(20190317))
+	for trial := 0; trial < lemmaTrials; trial++ {
+		fn(r, trial)
+	}
+}
+
+func TestLemmaL1EqualIsPartDisjComp(t *testing.T) {
+	// L1: PART(equal(R), R) ∧ DISJ(equal(R)) ∧ COMP(equal(R), R).
+	for _, size := range []int64{1, 2, 7, 64, 101} {
+		r := region.New("R", size)
+		p := region.Equal("P", r, lemmaColors)
+		if !p.IsDisjoint() {
+			t.Errorf("size %d: equal partition not disjoint", size)
+		}
+		if !p.IsComplete() {
+			t.Errorf("size %d: equal partition not complete", size)
+		}
+		if !p.UnionAll().SubsetOf(r.Space()) {
+			t.Errorf("size %d: equal partition escapes region", size)
+		}
+	}
+}
+
+func TestLemmaL2L3ImagePreimageArePartitions(t *testing.T) {
+	// L2: PART(image(E, f, R), R); L3: PART(preimage(R, f, E), R).
+	// NewPartition panics if a subregion escapes, so reaching the checks
+	// below means PART holds; we assert containment explicitly anyway.
+	forTrials(t, func(r *rand.Rand, _ int) {
+		src := region.New("S", lemmaRegionSize)
+		dst := region.New("R", lemmaRegionSize)
+		p := randPartition(r, src, "P")
+		f := randTotalMap(r, lemmaRegionSize)
+		img := region.Image("img", p, f, dst)
+		if !img.UnionAll().SubsetOf(dst.Space()) {
+			t.Fatal("L2 violated: image escapes target region")
+		}
+		q := randPartition(r, dst, "Q")
+		pre := region.Preimage("pre", src, f, q)
+		if !pre.UnionAll().SubsetOf(src.Space()) {
+			t.Fatal("L3 violated: preimage escapes domain region")
+		}
+	})
+}
+
+func TestLemmaL4SetOpsPreservePart(t *testing.T) {
+	// L4: PART(P1, R) ∧ PART(P2, R) ⟹ PART(P1 ⋄ P2, R).
+	forTrials(t, func(r *rand.Rand, _ int) {
+		reg := region.New("R", lemmaRegionSize)
+		p1 := randPartition(r, reg, "P1")
+		p2 := randPartition(r, reg, "P2")
+		space := reg.Space()
+		for _, combined := range []*region.Partition{
+			region.Union("u", p1, p2),
+			region.Intersect("i", p1, p2),
+			region.Subtract("d", p1, p2),
+		} {
+			if !combined.UnionAll().SubsetOf(space) {
+				t.Fatalf("L4 violated for %s", combined.Name())
+			}
+		}
+	})
+}
+
+func TestLemmaL5SupersetOfCompleteIsComplete(t *testing.T) {
+	// L5: E1 ⊆ E2 ∧ COMP(E1, R) ∧ PART(E2, R) ⟹ COMP(E2, R).
+	forTrials(t, func(r *rand.Rand, _ int) {
+		reg := region.New("R", lemmaRegionSize)
+		e1 := region.Equal("E1", reg, lemmaColors) // complete
+		e2 := randSuperset(r, e1, "E2")
+		if !e2.IsComplete() {
+			t.Fatal("L5 violated: superset of complete partition not complete")
+		}
+	})
+}
+
+func TestLemmaL6UnionWithCompleteIsComplete(t *testing.T) {
+	// L6: COMP(E1, R) ∨ COMP(E2, R) ⟹ COMP(E1 ∪ E2, R).
+	forTrials(t, func(r *rand.Rand, _ int) {
+		reg := region.New("R", lemmaRegionSize)
+		complete := region.Equal("E1", reg, lemmaColors)
+		other := randPartition(r, reg, "E2")
+		if !region.Union("u1", complete, other).IsComplete() {
+			t.Fatal("L6 violated (complete on left)")
+		}
+		if !region.Union("u2", other, complete).IsComplete() {
+			t.Fatal("L6 violated (complete on right)")
+		}
+	})
+}
+
+func TestLemmaL7PreimageOfCompleteIsComplete(t *testing.T) {
+	// L7: COMP(E1, R1) ⟹ COMP(preimage(R2, f, E1), R2) for total f.
+	forTrials(t, func(r *rand.Rand, _ int) {
+		r1 := region.New("R1", lemmaRegionSize)
+		r2 := region.New("R2", lemmaRegionSize)
+		e1 := region.Equal("E1", r1, lemmaColors)
+		f := randTotalMap(r, lemmaRegionSize)
+		pre := region.Preimage("pre", r2, f, e1)
+		if !pre.IsComplete() {
+			t.Fatal("L7 violated: preimage of complete partition under total map not complete")
+		}
+	})
+}
+
+func TestLemmaL8SubsetOfDisjointIsDisjoint(t *testing.T) {
+	// L8: DISJ(E2) ∧ E1 ⊆ E2 ⟹ DISJ(E1).
+	forTrials(t, func(r *rand.Rand, _ int) {
+		reg := region.New("R", lemmaRegionSize)
+		e2 := randDisjointPartition(r, reg, "E2")
+		// Build E1 ⊆ E2 by randomly thinning each subregion.
+		subs := make([]geometry.IndexSet, e2.NumSubs())
+		for i := range subs {
+			var b geometry.Builder
+			e2.Sub(i).Each(func(k int64) bool {
+				if r.Intn(2) == 0 {
+					b.Add(k)
+				}
+				return true
+			})
+			subs[i] = b.Build()
+		}
+		e1 := region.NewPartition("E1", reg, subs)
+		if !e1.SubsetOf(e2) {
+			t.Fatal("test bug: E1 not a subset of E2")
+		}
+		if !e1.IsDisjoint() {
+			t.Fatal("L8 violated: subset of disjoint partition not disjoint")
+		}
+	})
+}
+
+func TestLemmaL9IntersectWithDisjointIsDisjoint(t *testing.T) {
+	// L9: DISJ(E1) ∨ DISJ(E2) ⟹ DISJ(E1 ∩ E2).
+	forTrials(t, func(r *rand.Rand, _ int) {
+		reg := region.New("R", lemmaRegionSize)
+		disjoint := randDisjointPartition(r, reg, "E1")
+		other := randPartition(r, reg, "E2")
+		if !region.Intersect("i1", disjoint, other).IsDisjoint() {
+			t.Fatal("L9 violated (disjoint on left)")
+		}
+		if !region.Intersect("i2", other, disjoint).IsDisjoint() {
+			t.Fatal("L9 violated (disjoint on right)")
+		}
+	})
+}
+
+func TestLemmaL10DifferenceFromDisjointIsDisjoint(t *testing.T) {
+	// L10: DISJ(E1) ⟹ DISJ(E1 − E2).
+	forTrials(t, func(r *rand.Rand, _ int) {
+		reg := region.New("R", lemmaRegionSize)
+		e1 := randDisjointPartition(r, reg, "E1")
+		e2 := randPartition(r, reg, "E2")
+		if !region.Subtract("d", e1, e2).IsDisjoint() {
+			t.Fatal("L10 violated")
+		}
+	})
+}
+
+func TestLemmaL11DisjointUnionImpliesDisjointParts(t *testing.T) {
+	// L11: DISJ(E1 ∪ E2) ⟹ DISJ(E1) ∧ DISJ(E2).
+	forTrials(t, func(r *rand.Rand, _ int) {
+		reg := region.New("R", lemmaRegionSize)
+		e1 := randPartition(r, reg, "E1")
+		e2 := randPartition(r, reg, "E2")
+		if region.Union("u", e1, e2).IsDisjoint() {
+			if !e1.IsDisjoint() || !e2.IsDisjoint() {
+				t.Fatal("L11 violated")
+			}
+		}
+	})
+}
+
+func TestLemmaL12PreimagePreservesDisjointness(t *testing.T) {
+	// L12: DISJ(E1) ⟹ DISJ(preimage(R, f, E1)) — single-valued f only
+	// (the paper notes L12 does not hold for generalized PREIMAGE).
+	forTrials(t, func(r *rand.Rand, _ int) {
+		r1 := region.New("R1", lemmaRegionSize)
+		r2 := region.New("R2", lemmaRegionSize)
+		e1 := randDisjointPartition(r, r1, "E1")
+		f := randTotalMap(r, lemmaRegionSize)
+		if !region.Preimage("pre", r2, f, e1).IsDisjoint() {
+			t.Fatal("L12 violated")
+		}
+	})
+}
+
+func TestLemmaL12FailsForMultiMaps(t *testing.T) {
+	// Counterexample documenting why L12 is disabled for PREIMAGE: two
+	// domain elements' ranges can overlap two different target colors.
+	dom := region.New("Y", 2)
+	tgt := region.New("Mat", 4)
+	f := geometry.RangeTableMap{Name: "F", Ranges: []geometry.Interval{{Lo: 0, Hi: 3}, {Lo: 2, Hi: 4}}}
+	// Disjoint target partition: {0,1} and {2,3}.
+	e := region.NewPartition("E", tgt, []geometry.IndexSet{
+		geometry.Range(0, 2), geometry.Range(2, 4),
+	})
+	pre := region.PreimageMulti("pre", dom, f, e)
+	if pre.IsDisjoint() {
+		t.Fatal("expected PREIMAGE to break disjointness in this example")
+	}
+}
+
+func TestLemmaL13UnionOfSubsetsIsSubset(t *testing.T) {
+	// L13: E1 ⊆ E3 ∧ E2 ⊆ E3 ⟹ E1 ∪ E2 ⊆ E3.
+	forTrials(t, func(r *rand.Rand, _ int) {
+		reg := region.New("R", lemmaRegionSize)
+		e1 := randPartition(r, reg, "E1")
+		e2 := randPartition(r, reg, "E2")
+		e3 := randSuperset(r, region.Union("u0", e1, e2), "E3")
+		if !e1.SubsetOf(e3) || !e2.SubsetOf(e3) {
+			t.Fatal("test bug: not subsets")
+		}
+		if !region.Union("u", e1, e2).SubsetOf(e3) {
+			t.Fatal("L13 violated")
+		}
+	})
+}
+
+func TestLemmaL14PreimageDischargesImageConstraint(t *testing.T) {
+	// L14: E1 ⊆ preimage(R1, f, E2) ∧ PART(E2, R2) ⟹ image(E1, f, R2) ⊆ E2.
+	forTrials(t, func(r *rand.Rand, _ int) {
+		r1 := region.New("R1", lemmaRegionSize)
+		r2 := region.New("R2", lemmaRegionSize)
+		e2 := randPartition(r, r2, "E2")
+		f := randTotalMap(r, lemmaRegionSize)
+		pre := region.Preimage("pre", r1, f, e2)
+		// Thin the preimage to get a strict E1 ⊆ preimage(R1, f, E2).
+		subs := make([]geometry.IndexSet, pre.NumSubs())
+		for i := range subs {
+			var b geometry.Builder
+			pre.Sub(i).Each(func(k int64) bool {
+				if r.Intn(3) > 0 {
+					b.Add(k)
+				}
+				return true
+			})
+			subs[i] = b.Build()
+		}
+		e1 := region.NewPartition("E1", r1, subs)
+		if !region.Image("img", e1, f, r2).SubsetOf(e2) {
+			t.Fatal("L14 violated")
+		}
+	})
+}
+
+func TestTheorem51PrivateSubPartition(t *testing.T) {
+	// Theorem 5.1: for disjoint P of R,
+	//   priv = f_S(P) − f_S(f_R⁻¹(f_S(P)) − P)
+	// is a private (disjoint) sub-partition of f_S(P).
+	forTrials(t, func(r *rand.Rand, _ int) {
+		rr := region.New("R", lemmaRegionSize)
+		ss := region.New("S", lemmaRegionSize)
+		p := randDisjointPartition(r, rr, "P")
+		f := randTotalMap(r, lemmaRegionSize)
+
+		img := region.Image("fS(P)", p, f, ss)
+		expanded := region.Preimage("fR-1(fS(P))", rr, f, img)
+		foreign := region.Subtract("foreign", expanded, p)
+		shared := region.Image("fS(foreign)", foreign, f, ss)
+		priv := region.Subtract("priv", img, shared)
+
+		if !priv.SubsetOf(img) {
+			t.Fatal("Theorem 5.1 violated: private part escapes the image partition")
+		}
+		if !priv.IsDisjoint() {
+			t.Fatal("Theorem 5.1 violated: private sub-partition not disjoint")
+		}
+		// Stronger: an element of priv[i] must not be the image of any
+		// element of P[j], j ≠ i.
+		for i := 0; i < p.NumSubs(); i++ {
+			for j := 0; j < p.NumSubs(); j++ {
+				if i == j {
+					continue
+				}
+				otherImg := geometry.Image(p.Sub(j), f, ss.Space())
+				if !priv.Sub(i).Disjoint(otherImg) {
+					t.Fatalf("Theorem 5.1 violated: priv[%d] receives contributions from P[%d]", i, j)
+				}
+			}
+		}
+	})
+}

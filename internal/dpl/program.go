@@ -1,0 +1,137 @@
+package dpl
+
+import (
+	"fmt"
+	"strings"
+
+	"autopart/internal/region"
+)
+
+// Stmt is a DPL statement P = E.
+type Stmt struct {
+	Name string
+	Expr Expr
+}
+
+func (s Stmt) String() string { return fmt.Sprintf("%s = %s", s.Name, s.Expr) }
+
+// Program is a sequence of DPL statements, evaluated in order; later
+// statements may reference partitions bound by earlier ones.
+type Program struct {
+	Stmts []Stmt
+}
+
+func (p Program) String() string {
+	lines := make([]string, len(p.Stmts))
+	for i, s := range p.Stmts {
+		lines[i] = s.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Append adds a statement.
+func (p *Program) Append(name string, e Expr) {
+	p.Stmts = append(p.Stmts, Stmt{Name: name, Expr: e})
+}
+
+// Lookup returns the defining expression for a partition symbol.
+func (p Program) Lookup(name string) (Expr, bool) {
+	for _, s := range p.Stmts {
+		if s.Name == name {
+			return s.Expr, true
+		}
+	}
+	return nil, false
+}
+
+// Eval runs the program in ctx, binding each statement's result, and
+// returns the bindings for the program's statement names. Pre-existing
+// bindings in ctx (external partitions) are visible to the program.
+func (p Program) Eval(ctx *Context) (map[string]*region.Partition, error) {
+	out := make(map[string]*region.Partition, len(p.Stmts))
+	for _, s := range p.Stmts {
+		part, err := ctx.Eval(s.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("evaluating %s: %w", s, err)
+		}
+		part = part.Rename(s.Name)
+		ctx.Bind(s.Name, part)
+		out[s.Name] = part
+	}
+	return out, nil
+}
+
+// NumPartitionOps counts the partition-constructing operations in the
+// program after aliasing (statements whose RHS is a bare Var are free).
+// This is the quantity the solver's fewest-partitions heuristic minimizes.
+func (p Program) NumPartitionOps() int {
+	n := 0
+	for _, s := range p.Stmts {
+		if _, isVar := s.Expr.(Var); !isVar {
+			n += Size(s.Expr)
+		}
+	}
+	return n
+}
+
+// CSE rewrites the program so that structurally identical right-hand
+// sides are computed once: later duplicates become aliases (P = Q). The
+// paper performs the same cleanup after resolution (Example 2 "after
+// performing common subexpression elimination").
+func (p Program) CSE() Program {
+	byKey := map[string]string{} // canonical expr key -> first defining name
+	alias := map[string]string{} // symbol -> canonical symbol
+	var out Program
+	for _, s := range p.Stmts {
+		// Rewrite uses of aliased symbols first.
+		e := s.Expr
+		for from, to := range alias {
+			e = Subst(e, from, Var{Name: to})
+		}
+		if v, isVar := e.(Var); isVar {
+			// A pure alias statement: record and keep (cheap, documents
+			// the equality), but canonicalize future references.
+			alias[s.Name] = canonical(alias, v.Name)
+			out.Stmts = append(out.Stmts, Stmt{Name: s.Name, Expr: Var{Name: alias[s.Name]}})
+			continue
+		}
+		k := Key(e)
+		if first, ok := byKey[k]; ok {
+			alias[s.Name] = first
+			out.Stmts = append(out.Stmts, Stmt{Name: s.Name, Expr: Var{Name: first}})
+			continue
+		}
+		byKey[k] = s.Name
+		out.Stmts = append(out.Stmts, Stmt{Name: s.Name, Expr: e})
+	}
+	return out
+}
+
+func canonical(alias map[string]string, name string) string {
+	for {
+		next, ok := alias[name]
+		if !ok {
+			return name
+		}
+		name = next
+	}
+}
+
+// TopoCheck verifies that every symbol used by a statement is defined by
+// an earlier statement or is among the provided external symbols. It
+// returns the first violation.
+func (p Program) TopoCheck(external map[string]bool) error {
+	defined := map[string]bool{}
+	for name := range external {
+		defined[name] = true
+	}
+	for _, s := range p.Stmts {
+		for _, v := range FreeVars(s.Expr) {
+			if !defined[v] {
+				return fmt.Errorf("statement %q uses undefined partition %q", s, v)
+			}
+		}
+		defined[s.Name] = true
+	}
+	return nil
+}

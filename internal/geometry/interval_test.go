@@ -1,0 +1,327 @@
+package geometry
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{3, 7}
+	if iv.Empty() {
+		t.Fatal("interval [3,7) should not be empty")
+	}
+	if got := iv.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	for _, k := range []int64{3, 4, 6} {
+		if !iv.Contains(k) {
+			t.Errorf("Contains(%d) = false, want true", k)
+		}
+	}
+	for _, k := range []int64{2, 7, 100} {
+		if iv.Contains(k) {
+			t.Errorf("Contains(%d) = true, want false", k)
+		}
+	}
+	if !(Interval{5, 5}).Empty() {
+		t.Error("interval [5,5) should be empty")
+	}
+	if (Interval{5, 3}).Len() != 0 {
+		t.Error("inverted interval should have length 0")
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	tests := []struct {
+		a, b, want Interval
+	}{
+		{Interval{0, 10}, Interval{5, 15}, Interval{5, 10}},
+		{Interval{0, 5}, Interval{5, 10}, Interval{5, 5}},
+		{Interval{0, 10}, Interval{2, 4}, Interval{2, 4}},
+		{Interval{0, 2}, Interval{8, 10}, Interval{8, 2}},
+	}
+	for _, tc := range tests {
+		got := tc.a.Intersect(tc.b)
+		if got.Empty() != tc.want.Empty() || (!got.Empty() && got != tc.want) {
+			t.Errorf("%v ∩ %v = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if tc.a.Overlaps(tc.b) != !tc.want.Empty() {
+			t.Errorf("Overlaps(%v, %v) inconsistent with intersection", tc.a, tc.b)
+		}
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	s := EmptySet()
+	if !s.Empty() || s.Len() != 0 || s.NumIntervals() != 0 {
+		t.Fatal("EmptySet is not empty")
+	}
+	if s.Contains(0) {
+		t.Error("empty set contains 0")
+	}
+	if _, ok := s.Bounds(); ok {
+		t.Error("empty set has bounds")
+	}
+	if s.String() != "{}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := Range(2, 6)
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if !reflect.DeepEqual(s.Slice(), []int64{2, 3, 4, 5}) {
+		t.Errorf("Slice = %v", s.Slice())
+	}
+	if !Range(5, 5).Empty() || !Range(7, 2).Empty() {
+		t.Error("degenerate ranges should be empty")
+	}
+}
+
+func TestFromSliceCanonicalizes(t *testing.T) {
+	s := FromSlice([]int64{5, 1, 2, 2, 3, 9, 0})
+	if got, want := s.String(), "{0..3 5 9}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if s.NumIntervals() != 3 {
+		t.Errorf("NumIntervals = %d, want 3", s.NumIntervals())
+	}
+	if s.Len() != 6 {
+		t.Errorf("Len = %d, want 6", s.Len())
+	}
+}
+
+func TestFromIntervalsCoalesces(t *testing.T) {
+	s := FromIntervals(Interval{0, 3}, Interval{3, 5}, Interval{10, 12}, Interval{4, 6}, Interval{8, 8})
+	if got, want := s.String(), "{0..5 10..11}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestContainsBinarySearch(t *testing.T) {
+	s := FromIntervals(Interval{0, 10}, Interval{20, 30}, Interval{40, 50})
+	for k := int64(-5); k < 60; k++ {
+		want := (k >= 0 && k < 10) || (k >= 20 && k < 30) || (k >= 40 && k < 50)
+		if got := s.Contains(k); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestSetAlgebraSmall(t *testing.T) {
+	a := FromSlice([]int64{1, 2, 3, 7, 8})
+	b := FromSlice([]int64{3, 4, 8, 9})
+	if got, want := a.Union(b).String(), "{1..4 7..9}"; got != want {
+		t.Errorf("Union = %q, want %q", got, want)
+	}
+	if got, want := a.Intersect(b).String(), "{3 8}"; got != want {
+		t.Errorf("Intersect = %q, want %q", got, want)
+	}
+	if got, want := a.Subtract(b).String(), "{1..2 7}"; got != want {
+		t.Errorf("Subtract = %q, want %q", got, want)
+	}
+	if got, want := b.Subtract(a).String(), "{4 9}"; got != want {
+		t.Errorf("Subtract = %q, want %q", got, want)
+	}
+}
+
+func TestSubsetDisjoint(t *testing.T) {
+	a := FromIntervals(Interval{2, 5}, Interval{9, 11})
+	sup := FromIntervals(Interval{0, 6}, Interval{8, 12})
+	if !a.SubsetOf(sup) {
+		t.Error("a should be a subset of sup")
+	}
+	if sup.SubsetOf(a) {
+		t.Error("sup should not be a subset of a")
+	}
+	if !EmptySet().SubsetOf(a) {
+		t.Error("empty set is a subset of everything")
+	}
+	if !a.SubsetOf(a) {
+		t.Error("subset should be reflexive")
+	}
+	c := FromIntervals(Interval{6, 8}, Interval{20, 22})
+	if !a.Disjoint(c) || !c.Disjoint(a) {
+		t.Error("a and c should be disjoint")
+	}
+	if a.Disjoint(sup) {
+		t.Error("a and sup should not be disjoint")
+	}
+	if !a.Disjoint(EmptySet()) {
+		t.Error("everything is disjoint from the empty set")
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	s := Range(0, 100)
+	var seen []int64
+	s.Each(func(k int64) bool {
+		seen = append(seen, k)
+		return k < 3
+	})
+	if !reflect.DeepEqual(seen, []int64{0, 1, 2, 3, 4}) {
+		// Each stops after fn returns false: the element for which fn
+		// returned false is the last one visited.
+		if !reflect.DeepEqual(seen, []int64{0, 1, 2, 3}) {
+			t.Errorf("seen = %v", seen)
+		}
+	}
+}
+
+func TestBuilderOutOfOrder(t *testing.T) {
+	var b Builder
+	b.AddInterval(Interval{10, 15})
+	b.AddInterval(Interval{0, 5})
+	b.Add(12)
+	b.AddInterval(Interval{4, 11})
+	s := b.Build()
+	if got, want := s.String(), "{0..14}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	// The builder must be reusable after Build.
+	b.Add(1)
+	if got := b.Build().String(); got != "{1}" {
+		t.Errorf("reused builder = %q, want {1}", got)
+	}
+}
+
+func TestBuilderAddSet(t *testing.T) {
+	var b Builder
+	b.AddSet(FromSlice([]int64{1, 2}))
+	b.AddSet(FromSlice([]int64{0, 5}))
+	if got, want := b.Build().String(), "{0..2 5}"; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+// randomSet draws a random index set within [0, bound).
+func randomSet(r *rand.Rand, bound int64) IndexSet {
+	var b Builder
+	n := r.Intn(8)
+	for i := 0; i < n; i++ {
+		lo := r.Int63n(bound)
+		hi := lo + r.Int63n(bound/4+1)
+		if hi > bound {
+			hi = bound
+		}
+		b.AddInterval(Interval{lo, hi})
+	}
+	return b.Build()
+}
+
+// setGen adapts randomSet for testing/quick.
+type quickSet struct{ S IndexSet }
+
+func (quickSet) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickSet{randomSet(r, 200)})
+}
+
+func TestQuickSetAlgebraAgreesWithModel(t *testing.T) {
+	// Model: map[int64]bool semantics for union/intersect/subtract.
+	model := func(a, b IndexSet, op func(IndexSet, IndexSet) IndexSet, keep func(inA, inB bool) bool) bool {
+		got := op(a, b)
+		want := map[int64]bool{}
+		for k := int64(0); k < 200; k++ {
+			if keep(a.Contains(k), b.Contains(k)) {
+				want[k] = true
+			}
+		}
+		if got.Len() != int64(len(want)) {
+			return false
+		}
+		ok := true
+		got.Each(func(k int64) bool {
+			if !want[k] {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	f := func(qa, qb quickSet) bool {
+		a, b := qa.S, qb.S
+		return model(a, b, IndexSet.Union, func(x, y bool) bool { return x || y }) &&
+			model(a, b, IndexSet.Intersect, func(x, y bool) bool { return x && y }) &&
+			model(a, b, IndexSet.Subtract, func(x, y bool) bool { return x && !y })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetLaws(t *testing.T) {
+	f := func(qa, qb, qc quickSet) bool {
+		a, b, c := qa.S, qb.S, qc.S
+		// Commutativity and associativity of union/intersection.
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Intersect(b).Equal(b.Intersect(a)) {
+			return false
+		}
+		if !a.Union(b.Union(c)).Equal(a.Union(b).Union(c)) {
+			return false
+		}
+		// De Morgan-ish: a - (b ∪ c) == (a-b) ∩ (a-c).
+		if !a.Subtract(b.Union(c)).Equal(a.Subtract(b).Intersect(a.Subtract(c))) {
+			return false
+		}
+		// Subset/disjoint coherence.
+		if !a.Intersect(b).SubsetOf(a) || !a.Subtract(b).SubsetOf(a) {
+			return false
+		}
+		if !a.Subtract(b).Disjoint(b) {
+			return false
+		}
+		if !a.SubsetOf(a.Union(b)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubsetMatchesElementwise(t *testing.T) {
+	f := func(qa, qb quickSet) bool {
+		a, b := qa.S, qb.S
+		want := true
+		a.Each(func(k int64) bool {
+			if !b.Contains(k) {
+				want = false
+			}
+			return want
+		})
+		return a.SubsetOf(b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDisjointMatchesIntersect(t *testing.T) {
+	f := func(qa, qb quickSet) bool {
+		a, b := qa.S, qb.S
+		return a.Disjoint(b) == a.Intersect(b).Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsAndIntervals(t *testing.T) {
+	s := FromIntervals(Interval{5, 8}, Interval{1, 2})
+	b, ok := s.Bounds()
+	if !ok || b != (Interval{1, 8}) {
+		t.Errorf("Bounds = %v, %v", b, ok)
+	}
+	ivs := s.Intervals()
+	if len(ivs) != 2 || ivs[0] != (Interval{1, 2}) || ivs[1] != (Interval{5, 8}) {
+		t.Errorf("Intervals = %v", ivs)
+	}
+}

@@ -1,0 +1,196 @@
+package geometry
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityMap(t *testing.T) {
+	var id IdentityMap
+	if id.MapName() != "id" {
+		t.Errorf("MapName = %q", id.MapName())
+	}
+	v, ok := id.Apply(42)
+	if !ok || v != 42 {
+		t.Errorf("Apply(42) = %d, %v", v, ok)
+	}
+}
+
+func TestAffineMap(t *testing.T) {
+	h := AffineMap{Name: "h", Stride: 1, Offset: 1}
+	v, ok := h.Apply(4)
+	if !ok || v != 5 {
+		t.Errorf("h(4) = %d, %v", v, ok)
+	}
+
+	clamped := AffineMap{Name: "h", Stride: 1, Offset: 1, Clamp: &Interval{0, 5}}
+	if _, ok := clamped.Apply(4); ok {
+		t.Error("clamped h(4)=5 should be out of domain")
+	}
+	if v, ok := clamped.Apply(3); !ok || v != 4 {
+		t.Errorf("clamped h(3) = %d, %v", v, ok)
+	}
+
+	wrap := AffineMap{Name: "h", Stride: 1, Offset: 1, Modulo: 5}
+	if v, ok := wrap.Apply(4); !ok || v != 0 {
+		t.Errorf("wrap h(4) = %d, %v, want 0", v, ok)
+	}
+	neg := AffineMap{Name: "g", Stride: 1, Offset: -1, Modulo: 5}
+	if v, ok := neg.Apply(0); !ok || v != 4 {
+		t.Errorf("neg g(0) = %d, %v, want 4", v, ok)
+	}
+}
+
+func TestTableMap(t *testing.T) {
+	m := TableMap{Name: "cell", Table: []int64{2, 2, -1, 0}}
+	if v, ok := m.Apply(0); !ok || v != 2 {
+		t.Errorf("Apply(0) = %d, %v", v, ok)
+	}
+	if _, ok := m.Apply(2); ok {
+		t.Error("negative table entry should be out of domain")
+	}
+	if _, ok := m.Apply(-1); ok {
+		t.Error("negative index should be out of domain")
+	}
+	if _, ok := m.Apply(4); ok {
+		t.Error("out-of-range index should be out of domain")
+	}
+}
+
+func TestRangeTableMapAndLift(t *testing.T) {
+	rt := RangeTableMap{Name: "Ranges", Ranges: []Interval{{0, 3}, {3, 3}, {3, 7}}}
+	if got := rt.ApplyMulti(0).String(); got != "{0..2}" {
+		t.Errorf("ApplyMulti(0) = %s", got)
+	}
+	if !rt.ApplyMulti(1).Empty() {
+		t.Error("empty range should give empty set")
+	}
+	if !rt.ApplyMulti(9).Empty() {
+		t.Error("out-of-range index should give empty set")
+	}
+
+	lifted := Lift(AffineMap{Name: "h", Stride: 1, Offset: 2})
+	if lifted.MapName() != "h" {
+		t.Errorf("lifted name = %q", lifted.MapName())
+	}
+	if got := lifted.ApplyMulti(3).String(); got != "{5}" {
+		t.Errorf("lifted ApplyMulti(3) = %s", got)
+	}
+	clamped := Lift(AffineMap{Name: "h", Stride: 1, Offset: 2, Clamp: &Interval{0, 4}})
+	if !clamped.ApplyMulti(3).Empty() {
+		t.Error("lifted out-of-domain should give empty set")
+	}
+}
+
+func TestImagePreimageSmall(t *testing.T) {
+	// The worked example of Fig. 3: f(i) = (i+1)%5 on a 5-element region.
+	f := AffineMap{Name: "f", Stride: 1, Offset: 1, Modulo: 5}
+	all := Range(0, 5)
+	p0 := FromSlice([]int64{0, 1, 2})
+	p1 := FromSlice([]int64{3, 4})
+
+	// Fig. 3a: image of P under f.
+	if got := Image(p0, f, all).String(); got != "{1..3}" {
+		t.Errorf("image(P[0]) = %s, want {1..3}", got)
+	}
+	if got := Image(p1, f, all).String(); got != "{0 4}" {
+		t.Errorf("image(P[1]) = %s, want {0 4}", got)
+	}
+
+	// Fig. 3b: preimage of P' under f, with P'[0] = {0,1,2}, P'[1] = {3,4}.
+	if got := Preimage(all, f, p0).String(); got != "{0..1 4}" {
+		t.Errorf("preimage(P'[0]) = %s, want {0..1 4}", got)
+	}
+	if got := Preimage(all, f, p1).String(); got != "{2..3}" {
+		t.Errorf("preimage(P'[1]) = %s, want {2..3}", got)
+	}
+}
+
+func TestImageRespectsCodomain(t *testing.T) {
+	f := AffineMap{Name: "f", Stride: 2, Offset: 0}
+	got := Image(Range(0, 10), f, Range(0, 7))
+	if gotS := got.String(); gotS != "{0 2 4 6}" {
+		t.Errorf("Image = %s", gotS)
+	}
+}
+
+func TestImageMultiPreimageMulti(t *testing.T) {
+	rt := RangeTableMap{Name: "Ranges", Ranges: []Interval{{0, 2}, {2, 5}, {5, 6}}}
+	mat := Range(0, 6)
+	if got := ImageMulti(Range(0, 2), rt, mat).String(); got != "{0..4}" {
+		t.Errorf("ImageMulti = %s", got)
+	}
+	// Rows whose ranges intersect {3,4,5}: rows 1 and 2.
+	if got := PreimageMulti(Range(0, 3), rt, FromSlice([]int64{3, 4, 5})).String(); got != "{1..2}" {
+		t.Errorf("PreimageMulti = %s", got)
+	}
+}
+
+// quickTable generates a random total TableMap on [0, 200) for quick tests.
+type quickTable struct{ M TableMap }
+
+func (quickTable) Generate(r *rand.Rand, _ int) reflect.Value {
+	tbl := make([]int64, 200)
+	for i := range tbl {
+		tbl[i] = r.Int63n(200)
+	}
+	return reflect.ValueOf(quickTable{TableMap{Name: "t", Table: tbl}})
+}
+
+func TestQuickImagePreimageGaloisConnection(t *testing.T) {
+	// image(S) ⊆ T  ⇔  S ⊆ preimage(T) for total functions.
+	domain := Range(0, 200)
+	codomain := Range(0, 200)
+	f := func(qs, qt quickSet, qm quickTable) bool {
+		s := qs.S.Intersect(domain)
+		tset := qt.S.Intersect(codomain)
+		left := Image(s, qm.M, codomain).SubsetOf(tset)
+		right := s.SubsetOf(Preimage(domain, qm.M, tset))
+		return left == right
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickImageOfPreimageContained(t *testing.T) {
+	domain := Range(0, 200)
+	codomain := Range(0, 200)
+	f := func(qt quickSet, qm quickTable) bool {
+		tset := qt.S.Intersect(codomain)
+		// image(preimage(T)) ⊆ T
+		return Image(Preimage(domain, qm.M, tset), qm.M, codomain).SubsetOf(tset)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPreimageOfImageContains(t *testing.T) {
+	domain := Range(0, 200)
+	codomain := Range(0, 200)
+	f := func(qs quickSet, qm quickTable) bool {
+		s := qs.S.Intersect(domain)
+		// S ⊆ preimage(image(S)) for total functions.
+		return s.SubsetOf(Preimage(domain, qm.M, Image(s, qm.M, codomain)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLiftAgreesWithImage(t *testing.T) {
+	domain := Range(0, 200)
+	codomain := Range(0, 200)
+	f := func(qs quickSet, qm quickTable) bool {
+		s := qs.S.Intersect(domain)
+		a := Image(s, qm.M, codomain)
+		b := ImageMulti(s, Lift(qm.M), codomain)
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

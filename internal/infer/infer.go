@@ -1,0 +1,399 @@
+// Package infer implements the constraint inference of Algorithm 1: it
+// walks a normalized parallelizable loop, maintains an environment
+// mapping index variables to image-expression lambdas, assigns a fresh
+// partition symbol to every region access, and emits the partitioning
+// constraints under which the loop can be executed on subregions.
+//
+// It also enforces the paper's syntactic parallelizability conditions:
+// all writes centered; a region field with an uncentered reduction has no
+// other read and a single reduction operator; a region field with an
+// uncentered read has no write.
+package infer
+
+import (
+	"fmt"
+	"strconv"
+
+	"autopart/internal/constraint"
+	"autopart/internal/dpl"
+	"autopart/internal/ir"
+	"autopart/internal/lang"
+)
+
+// AccessKind classifies a region access.
+type AccessKind int
+
+// Access kinds.
+const (
+	// ReadAccess is a load.
+	ReadAccess AccessKind = iota
+	// WriteAccess is a plain store.
+	WriteAccess
+	// ReduceAccess is a reduction store.
+	ReduceAccess
+	// RangeAccess is the read of a range field by an inner loop (§4).
+	RangeAccess
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case ReadAccess:
+		return "read"
+	case WriteAccess:
+		return "write"
+	case ReduceAccess:
+		return "reduce"
+	case RangeAccess:
+		return "range"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", int(k))
+	}
+}
+
+// Access records one region access and the partition symbol assigned to
+// it.
+type Access struct {
+	Sym      string
+	Region   string
+	Field    string
+	Kind     AccessKind
+	Op       lang.ReduceOp // for ReduceAccess
+	Centered bool          // index is the loop variable or an alias
+	// Lower is the inferred lower-bound expression for the partition
+	// (the E in E ⊆ P).
+	Lower dpl.Expr
+	// Stmt is the IR statement performing the access.
+	Stmt ir.Stmt
+}
+
+// Result is the inference output for one loop.
+type Result struct {
+	Loop *ir.Loop
+	// Sys is the system of partitioning constraints.
+	Sys *constraint.System
+	// IterSym is the partition symbol of the iteration space (P_R).
+	IterSym string
+	// Accesses lists every region access with its symbol.
+	Accesses []*Access
+	// NeedsDisjointIter reports whether an uncentered reduction forced
+	// DISJ(IterSym).
+	NeedsDisjointIter bool
+}
+
+// SymbolOf finds the access record for an IR statement.
+func (r *Result) SymbolOf(stmt ir.Stmt) (*Access, bool) {
+	for _, a := range r.Accesses {
+		if a.Stmt == stmt {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Symbols used by the generated constraints are drawn from a
+// program-global counter so systems from different loops never collide.
+type symGen struct{ n int }
+
+func (g *symGen) fresh() string {
+	g.n++
+	return "P" + strconv.Itoa(g.n)
+}
+
+// env maps an index variable to a lambda producing the image expression
+// of the variable's values inside an arbitrary region (Algorithm 1's
+// environment).
+type env map[string]func(regionName string) dpl.Expr
+
+// Inferencer runs Algorithm 1 over the loops of one program with a
+// shared symbol generator.
+type Inferencer struct {
+	prog *lang.Program
+	gen  symGen
+}
+
+// New creates an Inferencer for a program.
+func New(prog *lang.Program) *Inferencer { return &Inferencer{prog: prog} }
+
+// InferProgram infers constraints for every loop.
+func (inf *Inferencer) InferProgram(loops []*ir.Loop) ([]*Result, error) {
+	out := make([]*Result, 0, len(loops))
+	for i, l := range loops {
+		res, err := inf.InferLoop(l)
+		if err != nil {
+			return nil, fmt.Errorf("loop %d (for %s in %s): %w", i, l.Var, l.Region, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// fieldAccessKey identifies a region field for the exclusivity checks.
+type fieldAccessKey struct{ region, field string }
+
+type fieldUse struct {
+	reads             int
+	writes            int
+	uncenteredReads   int
+	uncenteredReduces int
+	reduceOps         map[lang.ReduceOp]bool
+}
+
+// InferLoop runs Algorithm 1 on one normalized loop.
+func (inf *Inferencer) InferLoop(l *ir.Loop) (*Result, error) {
+	res := &Result{Loop: l, Sys: &constraint.System{}}
+	iterSym := inf.gen.fresh()
+	res.IterSym = iterSym
+
+	// Line 7-8: the loop variable maps to the identity image of the
+	// iteration-space partition; PART and COMP predicates are emitted.
+	res.Sys.AddPred(constraint.Pred{Kind: constraint.Part, E: dpl.Var{Name: iterSym}, Region: l.Region})
+	res.Sys.AddPred(constraint.Pred{Kind: constraint.Comp, E: dpl.Var{Name: iterSym}, Region: l.Region})
+
+	e := env{}
+	e[l.Var] = func(r string) dpl.Expr {
+		if r == l.Region {
+			// image(P_R, f_ID, R) = P_R.
+			return dpl.Var{Name: iterSym}
+		}
+		return dpl.ImageExpr{Of: dpl.Var{Name: iterSym}, Func: "id", Region: r}
+	}
+
+	centered := map[string]bool{l.Var: true}
+	uses := map[fieldAccessKey]*fieldUse{}
+
+	walker := &loopWalker{inf: inf, res: res, uses: uses, storedIndexFields: map[fieldAccessKey]bool{}}
+	if err := walker.walk(l.Stmts, e, centered); err != nil {
+		return nil, err
+	}
+
+	// Exclusivity checks (parallelizability conditions).
+	for key, u := range uses {
+		if u.uncenteredReduces > 0 {
+			if u.reads > 0 {
+				return nil, fmt.Errorf("region %s.%s has an uncentered reduction and a read access; not parallelizable", key.region, key.field)
+			}
+			if len(u.reduceOps) > 1 {
+				return nil, fmt.Errorf("region %s.%s mixes reduction operators; not parallelizable", key.region, key.field)
+			}
+		}
+		if u.uncenteredReads > 0 && u.writes > 0 {
+			return nil, fmt.Errorf("region %s.%s has an uncentered read and a write access; not parallelizable", key.region, key.field)
+		}
+	}
+	return res, nil
+}
+
+type loopWalker struct {
+	inf  *Inferencer
+	res  *Result
+	uses map[fieldAccessKey]*fieldUse
+	// storedIndexFields tracks index fields written earlier in the loop:
+	// a later load would observe values newer than the ones the DPL
+	// partitions were computed from, so such loops are rejected. Writes
+	// after loads (the Fig. 4 pattern) remain legal.
+	storedIndexFields map[fieldAccessKey]bool
+}
+
+func (w *loopWalker) use(region, field string) *fieldUse {
+	key := fieldAccessKey{region, field}
+	u, ok := w.uses[key]
+	if !ok {
+		u = &fieldUse{reduceOps: map[lang.ReduceOp]bool{}}
+		w.uses[key] = u
+	}
+	return u
+}
+
+// access performs lines 11–13 of Algorithm 1: assign a fresh symbol to a
+// region access and emit PART(P, S) ∧ E ⊆ P.
+func (w *loopWalker) access(e env, idx, regionName, field string, kind AccessKind, op lang.ReduceOp, st ir.Stmt, centered map[string]bool) (*Access, error) {
+	lookup, ok := e[idx]
+	if !ok {
+		return nil, fmt.Errorf("no environment entry for index %q (not derived from the loop variable?)", idx)
+	}
+	lower := lookup(regionName)
+	sym := w.inf.gen.fresh()
+	w.res.Sys.AddPred(constraint.Pred{Kind: constraint.Part, E: dpl.Var{Name: sym}, Region: regionName})
+	w.res.Sys.AddSubset(constraint.Subset{L: lower, R: dpl.Var{Name: sym}})
+	a := &Access{
+		Sym: sym, Region: regionName, Field: field, Kind: kind, Op: op,
+		Centered: centered[idx], Lower: lower, Stmt: st,
+	}
+	w.res.Accesses = append(w.res.Accesses, a)
+
+	// Access tightening: once an uncentered access through x has a
+	// partition symbol P, the values of x per task lie inside P's
+	// subregions, so later derivations anchor at P. This is what makes
+	// the constraint graph of Example 5 have the edge image(P2, h, Cells)
+	// ⊆ P3 (from the access symbol) rather than a re-expanded image
+	// chain. Centered variables keep their iteration-partition anchor.
+	if !a.Centered {
+		anchor := dpl.Var{Name: sym}
+		e[idx] = func(r string) dpl.Expr {
+			if r == regionName {
+				return anchor
+			}
+			return dpl.ImageExpr{Of: anchor, Func: "id", Region: r}
+		}
+	}
+	return a, nil
+}
+
+func (w *loopWalker) walk(stmts []ir.Stmt, e env, centered map[string]bool) error {
+	for _, s := range stmts {
+		if err := w.step(s, e, centered); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *loopWalker) step(s ir.Stmt, e env, centered map[string]bool) error {
+	iterVar := dpl.Var{Name: w.res.IterSym}
+	switch st := s.(type) {
+	case *ir.Load:
+		a, err := w.access(e, st.Idx, st.Region, st.Field, ReadAccess, "", st, centered)
+		if err != nil {
+			return err
+		}
+		u := w.use(st.Region, st.Field)
+		u.reads++
+		if !a.Centered {
+			u.uncenteredReads++
+		}
+		// Lines 14-15: index-field loads extend the environment.
+		decl, _ := w.inf.prog.RegionByName(st.Region)
+		field, _ := decl.FieldByName(st.Field)
+		if field.Kind == lang.IndexKind {
+			if w.storedIndexFields[fieldAccessKey{st.Region, st.Field}] {
+				return fmt.Errorf("index field %s.%s is loaded after being stored in the same loop; partitions computed before the launch would be stale", st.Region, st.Field)
+			}
+			lower := a.Lower
+			fn := fmt.Sprintf("%s[·].%s", st.Region, st.Field)
+			e[st.Var] = func(r string) dpl.Expr {
+				return dpl.ImageExpr{Of: lower, Func: fn, Region: r}
+			}
+			centered[st.Var] = false
+		}
+		return nil
+
+	case *ir.Store:
+		kind := WriteAccess
+		if st.Op != lang.OpSet {
+			kind = ReduceAccess
+		}
+		a, err := w.access(e, st.Idx, st.Region, st.Field, kind, st.Op, st, centered)
+		if err != nil {
+			return err
+		}
+		u := w.use(st.Region, st.Field)
+		u.writes++
+		if decl, ok := w.inf.prog.RegionByName(st.Region); ok {
+			if field, ok := decl.FieldByName(st.Field); ok && field.Kind == lang.IndexKind {
+				w.storedIndexFields[fieldAccessKey{st.Region, st.Field}] = true
+			}
+		}
+		if kind == WriteAccess {
+			if !a.Centered {
+				return fmt.Errorf("uncentered write to %s[%s].%s; not parallelizable", st.Region, st.Idx, st.Field)
+			}
+			return nil
+		}
+		u.reduceOps[st.Op] = true
+		// Lines 16-17: an uncentered reduction (E ≠ P_R) forces a
+		// disjoint iteration-space partition.
+		if !dpl.Equal(a.Lower, iterVar) {
+			u.uncenteredReduces++
+			w.res.Sys.AddPred(constraint.Pred{Kind: constraint.Disj, E: iterVar})
+			w.res.NeedsDisjointIter = true
+		}
+		return nil
+
+	case *ir.Apply:
+		// Lines 18-19: y = f(x).
+		decl, ok := w.inf.prog.FuncByName(st.Func)
+		if !ok {
+			return fmt.Errorf("unknown index function %q", st.Func)
+		}
+		argLookup, ok := e[st.Arg]
+		if !ok {
+			return fmt.Errorf("no environment entry for %q", st.Arg)
+		}
+		src := argLookup(decl.From)
+		fn := st.Func
+		e[st.Var] = func(r string) dpl.Expr {
+			return dpl.ImageExpr{Of: src, Func: fn, Region: r}
+		}
+		centered[st.Var] = false
+		return nil
+
+	case *ir.Alias:
+		// Lines 20-21: y = x.
+		src, ok := e[st.Src]
+		if !ok {
+			return fmt.Errorf("no environment entry for %q", st.Src)
+		}
+		e[st.Var] = src
+		centered[st.Var] = centered[st.Src]
+		return nil
+
+	case *ir.LetScalar:
+		return nil
+
+	case *ir.Inner:
+		// §4: the inner iteration space is the IMAGE of the range field.
+		a, err := w.access(e, st.Idx, st.RangeRegion, st.RangeField, RangeAccess, "", st, centered)
+		if err != nil {
+			return err
+		}
+		w.use(st.RangeRegion, st.RangeField).reads++
+		lower := dpl.Var{Name: a.Sym}
+		fn := fmt.Sprintf("%s[·].%s", st.RangeRegion, st.RangeField)
+		e[st.Var] = func(r string) dpl.Expr {
+			return dpl.ImageMultiExpr{Of: lower, Func: fn, Region: r}
+		}
+		centered[st.Var] = false
+		return w.walk(st.Body, e, centered)
+
+	case *ir.IfIn:
+		// Guards have no partitioning effect of their own; constraints
+		// from both branches are accumulated (conservative).
+		if err := w.walk(st.Then, e, centered); err != nil {
+			return err
+		}
+		return w.walk(st.Else, e, centered)
+
+	case *ir.IfCmp:
+		if err := w.walk(st.Then, e, centered); err != nil {
+			return err
+		}
+		return w.walk(st.Else, e, centered)
+
+	default:
+		return fmt.Errorf("unknown IR statement %T", s)
+	}
+}
+
+// ExternalSystem converts extern partition declarations and assert
+// statements into an assumption system (§3.3): PART for every extern
+// partition plus the asserted predicates and subsets. It returns the
+// extern symbol names alongside.
+func ExternalSystem(prog *lang.Program) (*constraint.System, []string) {
+	sys := &constraint.System{}
+	var syms []string
+	for _, ext := range prog.Externs {
+		sys.AddPred(constraint.Pred{Kind: constraint.Part, E: dpl.Var{Name: ext.Name}, Region: ext.Region})
+		syms = append(syms, ext.Name)
+	}
+	for _, a := range prog.Asserts {
+		switch a.Kind {
+		case lang.AssertSubset:
+			sys.AddSubset(constraint.Subset{L: a.L, R: a.R})
+		case lang.AssertDisjoint:
+			sys.AddPred(constraint.Pred{Kind: constraint.Disj, E: a.L})
+		case lang.AssertComplete:
+			sys.AddPred(constraint.Pred{Kind: constraint.Comp, E: a.L, Region: a.Region})
+		}
+	}
+	return sys, syms
+}

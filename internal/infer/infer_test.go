@@ -1,0 +1,374 @@
+package infer
+
+import (
+	"strings"
+	"testing"
+
+	"autopart/internal/constraint"
+	"autopart/internal/dpl"
+	"autopart/internal/ir"
+	"autopart/internal/lang"
+)
+
+func setup(t *testing.T, src string) (*lang.Program, []*ir.Loop) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, err := ir.NormalizeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, loops
+}
+
+func inferAll(t *testing.T, src string) (*lang.Program, []*Result) {
+	t.Helper()
+	prog, loops := setup(t, src)
+	results, err := New(prog).InferProgram(loops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, results
+}
+
+func TestInferFigure6(t *testing.T) {
+	// The example of Fig. 6: single-argument variant of the first loop.
+	_, results := inferAll(t, `
+region Particles { cell: index(Cells), pos: scalar }
+region Cells { vel: scalar }
+for p in Particles {
+  c = Particles[p].cell
+  Particles[p].pos += f(Cells[c].vel)
+}
+`)
+	res := results[0]
+	got := res.Sys.String()
+	wantFragments := []string{
+		"PART(P1, Particles)",
+		"COMP(P1, Particles)",
+		"PART(P2, Particles)",
+		"P1 ⊆ P2",
+		"PART(P3, Cells)",
+		"image(P1, Particles[·].cell, Cells) ⊆ P3",
+		"PART(P4, Particles)",
+		"P1 ⊆ P4",
+	}
+	for _, f := range wantFragments {
+		if !strings.Contains(got, f) {
+			t.Errorf("system missing %q:\n%s", f, got)
+		}
+	}
+	// No disjointness requirement: the only reduction is centered.
+	if strings.Contains(got, "DISJ") {
+		t.Errorf("unexpected DISJ predicate:\n%s", got)
+	}
+	if res.NeedsDisjointIter {
+		t.Error("NeedsDisjointIter should be false")
+	}
+	if res.IterSym != "P1" {
+		t.Errorf("IterSym = %s", res.IterSym)
+	}
+	if len(res.Accesses) != 3 {
+		t.Fatalf("accesses = %d", len(res.Accesses))
+	}
+	// Access kinds and centering.
+	if res.Accesses[0].Kind != ReadAccess || !res.Accesses[0].Centered {
+		t.Errorf("access 0 = %+v", res.Accesses[0])
+	}
+	if res.Accesses[1].Kind != ReadAccess || res.Accesses[1].Centered {
+		t.Errorf("access 1 = %+v", res.Accesses[1])
+	}
+	if res.Accesses[2].Kind != ReduceAccess || !res.Accesses[2].Centered {
+		t.Errorf("access 2 = %+v", res.Accesses[2])
+	}
+}
+
+func TestInferFigure7Disjointness(t *testing.T) {
+	// Fig. 7: uncentered reduction S[g(i)] += R[i] forces DISJ(P1).
+	_, results := inferAll(t, `
+region R { v: scalar }
+region S { w: scalar }
+function g : R -> S
+for i in R {
+  S[g(i)].w += R[i].v
+}
+`)
+	res := results[0]
+	got := res.Sys.String()
+	// Note: our normalizer numbers the RHS read (P2) before the store
+	// (P3); the paper's Fig. 7 numbers them the other way around.
+	for _, f := range []string{
+		"PART(P1, R)", "COMP(P1, R)", "DISJ(P1)",
+		"PART(P3, S)", "image(P1, g, S) ⊆ P3",
+		"PART(P2, R)", "P1 ⊆ P2",
+	} {
+		if !strings.Contains(got, f) {
+			t.Errorf("system missing %q:\n%s", f, got)
+		}
+	}
+	if !res.NeedsDisjointIter {
+		t.Error("NeedsDisjointIter should be true")
+	}
+}
+
+func TestInferFigure1BothLoops(t *testing.T) {
+	_, results := inferAll(t, `
+region Particles { cell: index(Cells), pos: scalar }
+region Cells { vel: scalar, acc: scalar }
+function h : Cells -> Cells
+for p in Particles {
+  c = Particles[p].cell
+  Particles[p].pos += f(Cells[c].vel, Cells[h(c)].vel)
+}
+for c in Cells {
+  Cells[c].vel += g(Cells[c].acc, Cells[h(c)].acc)
+}
+`)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Loop 1: symbols P1 (iter), P2 (cell read), P3 (Cells[c].vel),
+	// P4 (Cells[h(c)].vel), P5 (centered reduce).
+	got0 := results[0].Sys.String()
+	for _, f := range []string{
+		"image(P1, Particles[·].cell, Cells) ⊆ P3",
+		"image(P3, h, Cells) ⊆ P4", // Example 5: anchored at the access symbol
+	} {
+		if !strings.Contains(got0, f) {
+			t.Errorf("loop 1 system missing %q:\n%s", f, got0)
+		}
+	}
+	// Loop 2 symbols continue globally (P6 iter, ...): uncentered read of
+	// Cells[h(c)].acc yields image(P6, h, Cells).
+	got1 := results[1].Sys.String()
+	if results[1].IterSym != "P6" {
+		t.Errorf("loop 2 IterSym = %s", results[1].IterSym)
+	}
+	if !strings.Contains(got1, "image(P6, h, Cells) ⊆ P8") {
+		t.Errorf("loop 2 system:\n%s", got1)
+	}
+	// Centered reduction on the iteration region: no DISJ.
+	if strings.Contains(got1, "DISJ") {
+		t.Errorf("loop 2 should not require DISJ:\n%s", got1)
+	}
+}
+
+func TestInferSpMV(t *testing.T) {
+	// Fig. 10: the inner loop's iteration space is data dependent.
+	_, results := inferAll(t, `
+region Y { val: scalar }
+region Ranges : Y { span: range(Mat) }
+region Mat { val: scalar, ind: index(X) }
+region X { val: scalar }
+for i in Y {
+  for k in Ranges[i].span {
+    Y[i].val += Mat[k].val * X[Mat[k].ind].val
+  }
+}
+`)
+	res := results[0]
+	got := res.Sys.String()
+	for _, f := range []string{
+		"PART(P1, Y)",
+		"COMP(P1, Y)",
+		"PART(P2, Ranges)",
+		"image(P1, id, Ranges) ⊆ P2",
+		"PART(P3, Mat)",
+		"IMAGE(P2, Ranges[·].span, Mat) ⊆ P3",
+		"PART(P5, X)",
+		"image(P3, Mat[·].ind, X) ⊆ P5", // anchored at the Mat access symbol
+	} {
+		if !strings.Contains(got, f) {
+			t.Errorf("system missing %q:\n%s", f, got)
+		}
+	}
+	// The range access is recorded.
+	var sawRange bool
+	for _, a := range res.Accesses {
+		if a.Kind == RangeAccess && a.Region == "Ranges" {
+			sawRange = true
+		}
+	}
+	if !sawRange {
+		t.Error("no RangeAccess recorded")
+	}
+}
+
+func TestInferMultipleUncenteredReductions(t *testing.T) {
+	// Fig. 11a: two uncentered reductions with different functions.
+	_, results := inferAll(t, `
+region R { v: scalar }
+region S { w: scalar }
+function f : R -> S
+function g : R -> S
+for i in R {
+  S[f(i)].w += R[i].v
+  S[g(i)].w += R[i].v
+}
+`)
+	res := results[0]
+	got := res.Sys.String()
+	if !strings.Contains(got, "DISJ(P1)") {
+		t.Errorf("system missing DISJ(P1):\n%s", got)
+	}
+	if !strings.Contains(got, "image(P1, f, S) ⊆ P3") ||
+		!strings.Contains(got, "image(P1, g, S) ⊆ P5") {
+		t.Errorf("system:\n%s", got)
+	}
+}
+
+func TestInferRejectsNonParallelizable(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			"uncentered write",
+			`region R { p: index(R), v: scalar }
+for i in R {
+  q = R[i].p
+  R[q].v = 1
+}`,
+			"uncentered write",
+		},
+		{
+			"uncentered reduction with read",
+			`region R { p: index(R), v: scalar }
+for i in R {
+  q = R[i].p
+  x = R[q].v
+  R[q].v += x
+}`,
+			"uncentered reduction and a read",
+		},
+		{
+			"mixed reduction operators",
+			`region R { v: scalar }
+region S { w: scalar }
+function f : R -> S
+for i in R {
+  S[f(i)].w += R[i].v
+  S[f(i)].w *= R[i].v
+}`,
+			"mixes reduction operators",
+		},
+		{
+			"uncentered read with write",
+			`region R { p: index(R), v: scalar }
+for i in R {
+  q = R[i].p
+  x = R[q].v
+  R[i].v = x
+}`,
+			"uncentered read and a write",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, loops := setup(t, tc.src)
+			_, err := New(prog).InferProgram(loops)
+			if err == nil {
+				t.Fatal("expected inference to reject the loop")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestInferCenteredReductionOnOtherRegionNeedsDisj(t *testing.T) {
+	// A centered reduction into a different region of the same space has
+	// E = image(P1, id, S) ≠ P1, so Algorithm 1 line 16 adds DISJ(P1).
+	_, results := inferAll(t, `
+region R { v: scalar }
+region S : R { w: scalar }
+for i in R {
+  S[i].w += R[i].v
+}
+`)
+	if !results[0].NeedsDisjointIter {
+		t.Error("reduction with E ≠ P_R must force DISJ per Algorithm 1")
+	}
+}
+
+func TestInferGuardedAccesses(t *testing.T) {
+	// Relaxed-form loops (Fig. 11b) still infer constraints from guarded
+	// bodies.
+	_, results := inferAll(t, `
+region R { v: scalar }
+region S { w: scalar }
+function f : R -> S
+for i in R {
+  if (f(i) in S) {
+    S[f(i)].w += R[i].v
+  }
+}
+`)
+	got := results[0].Sys.String()
+	if !strings.Contains(got, "image(P1, f, S) ⊆ P3") {
+		t.Errorf("guarded reduction constraint missing:\n%s", got)
+	}
+}
+
+func TestSymbolOf(t *testing.T) {
+	_, results := inferAll(t, `
+region R { v: scalar }
+for i in R {
+  R[i].v += 1
+}
+`)
+	res := results[0]
+	store := res.Loop.Stmts[0]
+	a, ok := res.SymbolOf(store)
+	if !ok || a.Sym != "P2" {
+		t.Errorf("SymbolOf = %+v, %v", a, ok)
+	}
+	if _, ok := res.SymbolOf(nil); ok {
+		t.Error("SymbolOf(nil) should fail")
+	}
+}
+
+func TestExternalSystem(t *testing.T) {
+	prog, _ := setup(t, `
+region Particles { cell: index(Cells) }
+region Cells { v: scalar }
+extern partition pParticles of Particles
+extern partition pCells of Cells
+assert image(pParticles, Particles.cell, Cells) <= pCells
+assert disjoint(pCells)
+assert complete(pCells, Cells)
+`)
+	sys, syms := ExternalSystem(prog)
+	if len(syms) != 2 || syms[0] != "pParticles" || syms[1] != "pCells" {
+		t.Errorf("syms = %v", syms)
+	}
+	got := sys.String()
+	for _, f := range []string{
+		"PART(pParticles, Particles)",
+		"PART(pCells, Cells)",
+		"image(pParticles, Particles[·].cell, Cells) ⊆ pCells",
+		"DISJ(pCells)",
+		"COMP(pCells, Cells)",
+	} {
+		if !strings.Contains(got, f) {
+			t.Errorf("external system missing %q:\n%s", f, got)
+		}
+	}
+	// The external system is internally consistent as assumptions.
+	p := constraint.NewProver(sys)
+	if !p.ProveDisj(dpl.Var{Name: "pCells"}) {
+		t.Error("assumption DISJ(pCells) should hold")
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if ReadAccess.String() != "read" || WriteAccess.String() != "write" ||
+		ReduceAccess.String() != "reduce" || RangeAccess.String() != "range" {
+		t.Error("kind strings wrong")
+	}
+	if !strings.Contains(AccessKind(9).String(), "9") {
+		t.Error("unknown kind")
+	}
+}

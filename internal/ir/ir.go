@@ -1,0 +1,198 @@
+// Package ir defines the normalized loop intermediate representation the
+// constraint inference algorithm works on (Algorithm 1's statement forms):
+//
+//	y = S[x].f    (Load)
+//	S[x].f = e    (Store with OpSet)
+//	S[x].f op= e  (Store with a reduction operator)
+//	y = f(x)      (Apply: declared index function)
+//	y = x         (Alias)
+//	for k in S[x].f { ... }   (Inner: data-dependent inner loop, §4)
+//	if (x in S) / if (e ? e)  (IfIn / IfCmp: guards)
+//
+// Index computations are flattened into single-assignment temporaries so
+// that every region access is indexed by a plain variable; scalar
+// computation remains as opaque expression trees. The package also
+// provides a sequential interpreter used as the semantic reference for
+// differential tests against parallel execution.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"autopart/internal/lang"
+)
+
+// Loop is a normalized top-level loop: `for Var in Region { Stmts }`.
+type Loop struct {
+	Var    string
+	Region string
+	Stmts  []Stmt
+}
+
+func (l *Loop) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "for %s in %s {\n", l.Var, l.Region)
+	writeStmts(&sb, l.Stmts, "  ")
+	sb.WriteString("}")
+	return sb.String()
+}
+
+func writeStmts(sb *strings.Builder, stmts []Stmt, indent string) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *Inner:
+			fmt.Fprintf(sb, "%sfor %s in %s[%s].%s {\n", indent, st.Var, st.RangeRegion, st.Idx, st.RangeField)
+			writeStmts(sb, st.Body, indent+"  ")
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case *IfIn:
+			fmt.Fprintf(sb, "%sif (%s in %s) {\n", indent, st.Idx, st.Space)
+			writeStmts(sb, st.Then, indent+"  ")
+			if len(st.Else) > 0 {
+				fmt.Fprintf(sb, "%s} else {\n", indent)
+				writeStmts(sb, st.Else, indent+"  ")
+			}
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case *IfCmp:
+			fmt.Fprintf(sb, "%sif (%s %s %s) {\n", indent, st.L, st.Op, st.R)
+			writeStmts(sb, st.Then, indent+"  ")
+			if len(st.Else) > 0 {
+				fmt.Fprintf(sb, "%s} else {\n", indent)
+				writeStmts(sb, st.Else, indent+"  ")
+			}
+			fmt.Fprintf(sb, "%s}\n", indent)
+		default:
+			fmt.Fprintf(sb, "%s%s\n", indent, s)
+		}
+	}
+}
+
+// Stmt is a normalized statement.
+type Stmt interface {
+	fmt.Stringer
+	stmtNode()
+}
+
+// Load is `Var = Region[Idx].Field`. Kind records the field's declared
+// kind: loads of index fields bind index-valued variables.
+type Load struct {
+	Var    string
+	Region string
+	Field  string
+	Idx    string
+}
+
+// Store is `Region[Idx].Field Op Rhs` — a plain store when Op is OpSet,
+// otherwise a reduction.
+type Store struct {
+	Region string
+	Field  string
+	Idx    string
+	Op     lang.ReduceOp
+	Rhs    ScalarExpr
+}
+
+// Apply is `Var = Func(Arg)` for a declared index function.
+type Apply struct {
+	Var  string
+	Func string
+	Arg  string
+}
+
+// Alias is `Var = Src` between index variables.
+type Alias struct {
+	Var string
+	Src string
+}
+
+// Inner is a data-dependent inner loop `for Var in RangeRegion[Idx].RangeField`.
+type Inner struct {
+	Var         string
+	RangeRegion string
+	RangeField  string
+	Idx         string
+	Body        []Stmt
+}
+
+// IfIn is a membership guard `if (Idx in Space)`; Space names a region or
+// an extern partition.
+type IfIn struct {
+	Idx   string
+	Space string
+	Then  []Stmt
+	Else  []Stmt
+}
+
+// IfCmp is a scalar comparison guard.
+type IfCmp struct {
+	Op   string
+	L, R ScalarExpr
+	Then []Stmt
+	Else []Stmt
+}
+
+func (*Load) stmtNode()  {}
+func (*Store) stmtNode() {}
+func (*Apply) stmtNode() {}
+func (*Alias) stmtNode() {}
+func (*Inner) stmtNode() {}
+func (*IfIn) stmtNode()  {}
+func (*IfCmp) stmtNode() {}
+
+func (s *Load) String() string {
+	return fmt.Sprintf("%s = %s[%s].%s", s.Var, s.Region, s.Idx, s.Field)
+}
+func (s *Store) String() string {
+	return fmt.Sprintf("%s[%s].%s %s %s", s.Region, s.Idx, s.Field, s.Op, s.Rhs)
+}
+func (s *Apply) String() string { return fmt.Sprintf("%s = %s(%s)", s.Var, s.Func, s.Arg) }
+func (s *Alias) String() string { return fmt.Sprintf("%s = %s", s.Var, s.Src) }
+func (s *Inner) String() string {
+	return fmt.Sprintf("for %s in %s[%s].%s {...}", s.Var, s.RangeRegion, s.Idx, s.RangeField)
+}
+func (s *IfIn) String() string  { return fmt.Sprintf("if (%s in %s) {...}", s.Idx, s.Space) }
+func (s *IfCmp) String() string { return fmt.Sprintf("if (%s %s %s) {...}", s.L, s.Op, s.R) }
+
+// ScalarExpr is an opaque scalar computation over already-bound variables.
+type ScalarExpr interface {
+	fmt.Stringer
+	scalarNode()
+}
+
+// Const is a numeric literal.
+type Const struct {
+	V float64
+}
+
+// VarExpr reads a variable (scalar- or index-valued).
+type VarExpr struct {
+	Name string
+}
+
+// CallExpr is an opaque scalar function application.
+type CallExpr struct {
+	Func string
+	Args []ScalarExpr
+}
+
+// BinExpr is scalar arithmetic.
+type BinExpr struct {
+	Op   string
+	L, R ScalarExpr
+}
+
+func (Const) scalarNode()    {}
+func (VarExpr) scalarNode()  {}
+func (CallExpr) scalarNode() {}
+func (BinExpr) scalarNode()  {}
+
+func (e Const) String() string   { return fmt.Sprintf("%g", e.V) }
+func (e VarExpr) String() string { return e.Name }
+func (e CallExpr) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Func, strings.Join(args, ", "))
+}
+func (e BinExpr) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }

@@ -1,0 +1,315 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"autopart/internal/lang"
+)
+
+func mustParse(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func mustNormalize(t *testing.T, src string) []*Loop {
+	t.Helper()
+	prog := mustParse(t, src)
+	loops, err := NormalizeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loops
+}
+
+const figure1Src = `
+region Particles { cell: index(Cells), pos: scalar }
+region Cells { vel: scalar, acc: scalar }
+function h : Cells -> Cells
+
+for p in Particles {
+  c = Particles[p].cell
+  Particles[p].pos += f(Cells[c].vel, Cells[h(c)].vel)
+}
+for c in Cells {
+  Cells[c].vel += g(Cells[c].acc, Cells[h(c)].acc)
+}
+`
+
+func TestNormalizeFigure1(t *testing.T) {
+	loops := mustNormalize(t, figure1Src)
+	if len(loops) != 2 {
+		t.Fatalf("%d loops", len(loops))
+	}
+	got := loops[0].String()
+	want := `for p in Particles {
+  c = Particles[p].cell
+  %t1 = Cells[c].vel
+  %t2 = h(c)
+  %t3 = Cells[%t2].vel
+  Particles[p].pos += f(%t1, %t3)
+}`
+	if got != want {
+		t.Errorf("loop 0:\n%s\nwant:\n%s", got, want)
+	}
+
+	got1 := loops[1].String()
+	want1 := `for c in Cells {
+  %t1 = Cells[c].acc
+  %t2 = h(c)
+  %t3 = Cells[%t2].acc
+  Cells[c].vel += g(%t1, %t3)
+}`
+	if got1 != want1 {
+		t.Errorf("loop 1:\n%s\nwant:\n%s", got1, want1)
+	}
+}
+
+func TestNormalizeSpMV(t *testing.T) {
+	src := `
+region Y { val: scalar }
+region Ranges : Y { span: range(Mat) }
+region Mat { val: scalar, ind: index(X) }
+region X { val: scalar }
+
+for i in Y {
+  for k in Ranges[i].span {
+    Y[i].val += Mat[k].val * X[Mat[k].ind].val
+  }
+}
+`
+	loops := mustNormalize(t, src)
+	got := loops[0].String()
+	want := `for i in Y {
+  for k in Ranges[i].span {
+    %t1 = Mat[k].val
+    %t2 = Mat[k].ind
+    %t3 = X[%t2].val
+    Y[i].val += (%t1 * %t3)
+  }
+}`
+	if got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+	// Ranges shares Y's index space, so the inner loop's range is indexed
+	// by the outer loop variable directly.
+	inner := loops[0].Stmts[0].(*Inner)
+	if inner.Idx != "i" {
+		t.Errorf("inner Idx = %q", inner.Idx)
+	}
+}
+
+func TestNormalizeSharedSpaceAcrossRegions(t *testing.T) {
+	src := `
+region A { v: scalar }
+region B : A { w: scalar }
+for i in A {
+  B[i].w = A[i].v
+}
+`
+	loops := mustNormalize(t, src)
+	st, ok := loops[0].Stmts[1].(*Store)
+	if !ok || st.Region != "B" || st.Idx != "i" {
+		t.Fatalf("stmt = %#v", loops[0].Stmts[1])
+	}
+}
+
+func TestSpaceSharingValidation(t *testing.T) {
+	if _, err := lang.Parse("region A : B { v: scalar }"); err == nil ||
+		!strings.Contains(err.Error(), "unknown region") {
+		t.Errorf("unknown space target: err = %v", err)
+	}
+	if _, err := lang.Parse("region A : B { v: scalar } region B : A { w: scalar }"); err == nil ||
+		!strings.Contains(err.Error(), "cycle") {
+		t.Errorf("space cycle: err = %v", err)
+	}
+	prog := mustParse(t, "region A { v: scalar } region B : A { w: scalar } region C : B { x: scalar }")
+	if prog.SpaceOf("C") != "A" || prog.SpaceOf("B") != "A" || prog.SpaceOf("A") != "A" {
+		t.Error("SpaceOf should resolve transitively")
+	}
+	if !prog.SameSpace("C", "B") || prog.SameSpace("C", "D") {
+		t.Error("SameSpace wrong")
+	}
+}
+
+func TestNormalizeAliasAndApplyChains(t *testing.T) {
+	src := `
+region R { next: index(R), v: scalar }
+function f : R -> R
+
+for i in R {
+  j = i
+  k = f(j)
+  l = R[k].next
+  R[i].v += R[l].v
+}
+`
+	loops := mustNormalize(t, src)
+	got := loops[0].String()
+	want := `for i in R {
+  j = i
+  k = f(j)
+  l = R[k].next
+  %t1 = R[l].v
+  R[i].v += %t1
+}`
+	if got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestNormalizeGuards(t *testing.T) {
+	src := `
+region R { v: scalar }
+region S { v: scalar }
+function f : R -> S
+
+for i in R {
+  if (f(i) in S) {
+    S[f(i)].v += R[i].v
+  }
+  if (R[i].v != 0) {
+    R[i].v = 1
+  } else {
+    R[i].v = 2
+  }
+}
+`
+	loops := mustNormalize(t, src)
+	s := loops[0].String()
+	for _, frag := range []string{
+		"%t1 = f(i)",
+		"if (%t1 in S)",
+		"%t2 = f(i)",
+		"if (%t4 != 0)",
+		"} else {",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("normalized loop missing %q:\n%s", frag, s)
+		}
+	}
+	// The IfCmp condition hoists the load before the guard.
+	var sawCmp bool
+	for _, st := range loops[0].Stmts {
+		if _, ok := st.(*IfCmp); ok {
+			sawCmp = true
+		}
+	}
+	if !sawCmp {
+		t.Error("expected an IfCmp statement")
+	}
+}
+
+func TestNormalizeScalarLet(t *testing.T) {
+	src := `
+region R { v: scalar }
+for i in R {
+  x = R[i].v * 2
+  R[i].v = x + 1
+}
+`
+	loops := mustNormalize(t, src)
+	got := loops[0].String()
+	want := `for i in R {
+  %t1 = R[i].v
+  x = (%t1 * 2)
+  R[i].v = (x + 1)
+}`
+	if got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestNormalizeIndexFieldStore(t *testing.T) {
+	// Fig. 4 line 5: pointer fields can be reassigned.
+	src := `
+region Particles { cell: index(Cells) }
+region Cells { v: scalar }
+function locate : Particles -> Cells
+
+for p in Particles {
+  new_cell = locate(p)
+  Particles[p].cell = new_cell
+}
+`
+	loops := mustNormalize(t, src)
+	st, ok := loops[0].Stmts[1].(*Store)
+	if !ok || st.Field != "cell" || st.Op != lang.OpSet {
+		t.Fatalf("stmt = %#v", loops[0].Stmts[1])
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			"undefined variable",
+			"region R { v: scalar }\nfor i in R { R[j].v = 1 }",
+			"undefined variable",
+		},
+		{
+			"scalar as index",
+			"region R { v: scalar }\nfor i in R { x = R[i].v R[x].v = 1 }",
+			"not an index",
+		},
+		{
+			"wrong function domain",
+			"region R { v: scalar }\nregion S { v: scalar }\nfunction f : S -> S\nfor i in R { S[f(i)].v = 1 }",
+			"expects an index into S",
+		},
+		{
+			"wrong region for index",
+			"region R { v: scalar }\nregion S { v: scalar }\nfor i in R { S[i].v = 1 }",
+			"points into region R, not S",
+		},
+		{
+			"assign to range field",
+			"region R { g: range(R), v: scalar }\nfor i in R { R[i].g = 1 }",
+			"cannot assign to range field",
+		},
+		{
+			"opaque call as index",
+			"region R { v: scalar }\nfor i in R { R[opaque(i)].v = 1 }",
+			"undeclared index function",
+		},
+		{
+			"multi-arg index function",
+			"region R { v: scalar }\nfunction f : R -> R\nfor i in R { R[f(i, i)].v = 1 }",
+			"exactly one argument",
+		},
+		{
+			"number as index",
+			"region R { v: scalar }\nfor i in R { R[3].v = 1 }",
+			"cannot be used as an index",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := lang.Parse(tc.src)
+			if err != nil {
+				// Some cases are rejected by the frontend already.
+				return
+			}
+			_, err = NormalizeProgram(prog)
+			if err == nil {
+				t.Fatalf("NormalizeProgram(%q) should fail", tc.src)
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestNormalizeRangeFieldAsScalarErrors(t *testing.T) {
+	src := "region R { g: range(R), v: scalar }\nfor i in R { x = R[i].g R[i].v = x }"
+	prog := mustParse(t, src)
+	if _, err := NormalizeProgram(prog); err == nil || !strings.Contains(err.Error(), "range field") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,336 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"autopart/internal/dpl"
+)
+
+// Program is a parsed DSL source file: region and function declarations,
+// external partition declarations, top-level parallelizable-candidate
+// loops, and external constraint assertions.
+type Program struct {
+	Regions []*RegionDecl
+	Funcs   []*FuncDecl
+	Externs []*ExternDecl
+	Loops   []*Loop
+	Asserts []*Assert
+}
+
+// RegionByName finds a region declaration.
+func (p *Program) RegionByName(name string) (*RegionDecl, bool) {
+	for _, r := range p.Regions {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// FuncByName finds an index-function declaration.
+func (p *Program) FuncByName(name string) (*FuncDecl, bool) {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// SpaceOf resolves the root index space of a region: the name of the
+// region at the end of its `: shares` chain (or the region itself).
+func (p *Program) SpaceOf(regionName string) string {
+	for {
+		r, ok := p.RegionByName(regionName)
+		if !ok || r.Space == "" {
+			return regionName
+		}
+		regionName = r.Space
+	}
+}
+
+// SameSpace reports whether two regions share an index space.
+func (p *Program) SameSpace(a, b string) bool {
+	return p.SpaceOf(a) == p.SpaceOf(b)
+}
+
+// ExternByName finds an external partition declaration.
+func (p *Program) ExternByName(name string) (*ExternDecl, bool) {
+	for _, e := range p.Externs {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// FieldKind is the declared kind of a region field.
+type FieldKind int
+
+// Field kinds.
+const (
+	ScalarKind FieldKind = iota
+	IndexKind            // pointer into a target region
+	RangeKind            // range of indices of a target region (§4)
+)
+
+// FieldDecl declares one field of a region.
+type FieldDecl struct {
+	Name   string
+	Kind   FieldKind
+	Target string // pointee region for IndexKind/RangeKind
+}
+
+// RegionDecl declares a region and its fields. Space, when non-empty,
+// names another region whose index space this region shares (written
+// `region Ranges : Y { ... }`): the two regions have the same size and an
+// index into one is a valid index into the other, connected by the
+// identity map (as in the SpMV example of §4, where Ranges is indexed by
+// Y's loop variable).
+type RegionDecl struct {
+	Name   string
+	Space  string
+	Fields []FieldDecl
+	Pos    Pos
+}
+
+// FieldByName finds a field declaration.
+func (r *RegionDecl) FieldByName(name string) (FieldDecl, bool) {
+	for _, f := range r.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FieldDecl{}, false
+}
+
+// FuncDecl declares an opaque index function between two regions' index
+// spaces (e.g. the neighbor function h in Fig. 1).
+type FuncDecl struct {
+	Name     string
+	From, To string
+	Pos      Pos
+}
+
+// ExternDecl declares a partition created outside the scope of
+// auto-parallelization (§3.3); its subregions are provided at runtime.
+type ExternDecl struct {
+	Name   string
+	Region string
+	Pos    Pos
+}
+
+// Loop is a top-level `for (i in R)` loop, the unit of parallelization.
+type Loop struct {
+	Var    string
+	Region string
+	Body   []Stmt
+	Pos    Pos
+}
+
+// Stmt is a statement in a loop body.
+type Stmt interface {
+	stmtNode()
+	StmtPos() Pos
+}
+
+// VarAssign is `x = expr`.
+type VarAssign struct {
+	Name string
+	Rhs  Expr
+	Pos  Pos
+}
+
+// ReduceOp identifies an assignment operator on a region field.
+type ReduceOp string
+
+// Assignment operators.
+const (
+	OpSet ReduceOp = "="
+	OpAdd ReduceOp = "+="
+	OpMul ReduceOp = "*="
+	OpMax ReduceOp = "max="
+	OpMin ReduceOp = "min="
+)
+
+// FieldAssign is `R[idx].f <op> expr` — a store (OpSet) or a reduction.
+type FieldAssign struct {
+	Access *FieldAccess
+	Op     ReduceOp
+	Rhs    Expr
+	Pos    Pos
+}
+
+// InnerFor is an inner loop with a data-dependent iteration space:
+// `for (k in Ranges[i].span) { ... }` (§4).
+type InnerFor struct {
+	Var   string
+	Range *FieldAccess
+	Body  []Stmt
+	Pos   Pos
+}
+
+// If is a guarded block; guards appear in relaxed loops (§5.1) and in
+// manually parallelized code (Fig. 4).
+type If struct {
+	Cond Cond
+	Then []Stmt
+	Else []Stmt
+	Pos  Pos
+}
+
+func (*VarAssign) stmtNode()   {}
+func (*FieldAssign) stmtNode() {}
+func (*InnerFor) stmtNode()    {}
+func (*If) stmtNode()          {}
+
+// StmtPos implements Stmt.
+func (s *VarAssign) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s *FieldAssign) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s *InnerFor) StmtPos() Pos { return s.Pos }
+
+// StmtPos implements Stmt.
+func (s *If) StmtPos() Pos { return s.Pos }
+
+// Cond is a guard condition.
+type Cond interface {
+	condNode()
+	String() string
+}
+
+// InTest is `expr in S` where S is a region or partition name.
+type InTest struct {
+	Index Expr
+	Space string
+}
+
+// Compare is `expr == expr` or `expr != expr`; it has no partitioning
+// effect but appears in real kernels.
+type Compare struct {
+	Op   string
+	L, R Expr
+}
+
+func (*InTest) condNode()  {}
+func (*Compare) condNode() {}
+
+func (c *InTest) String() string  { return fmt.Sprintf("%s in %s", c.Index, c.Space) }
+func (c *Compare) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+// Expr is an expression.
+type Expr interface {
+	exprNode()
+	ExprPos() Pos
+	String() string
+}
+
+// NumLit is a numeric literal.
+type NumLit struct {
+	Text string
+	Pos  Pos
+}
+
+// VarRef references a loop variable or a let-bound variable.
+type VarRef struct {
+	Name string
+	Pos  Pos
+}
+
+// FieldAccess is `R[idx].f`.
+type FieldAccess struct {
+	Region string
+	Index  Expr
+	Field  string
+	Pos    Pos
+}
+
+// Call is `f(args...)`: an index-function application when f is a
+// declared function with a single argument, otherwise an opaque scalar
+// computation.
+type Call struct {
+	Func string
+	Args []Expr
+	Pos  Pos
+}
+
+// Binary is an arithmetic expression; opaque to partitioning.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Pos  Pos
+}
+
+func (*NumLit) exprNode()      {}
+func (*VarRef) exprNode()      {}
+func (*FieldAccess) exprNode() {}
+func (*Call) exprNode()        {}
+func (*Binary) exprNode()      {}
+
+// ExprPos implements Expr.
+func (e *NumLit) ExprPos() Pos { return e.Pos }
+
+// ExprPos implements Expr.
+func (e *VarRef) ExprPos() Pos { return e.Pos }
+
+// ExprPos implements Expr.
+func (e *FieldAccess) ExprPos() Pos { return e.Pos }
+
+// ExprPos implements Expr.
+func (e *Call) ExprPos() Pos { return e.Pos }
+
+// ExprPos implements Expr.
+func (e *Binary) ExprPos() Pos { return e.Pos }
+
+func (e *NumLit) String() string { return e.Text }
+func (e *VarRef) String() string { return e.Name }
+func (e *FieldAccess) String() string {
+	return fmt.Sprintf("%s[%s].%s", e.Region, e.Index, e.Field)
+}
+func (e *Call) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Func, strings.Join(args, ", "))
+}
+func (e *Binary) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+
+// AssertKind distinguishes the three external-constraint forms.
+type AssertKind int
+
+// Assertion kinds.
+const (
+	// AssertSubset is `assert E1 <= E2`.
+	AssertSubset AssertKind = iota
+	// AssertDisjoint is `assert disjoint(E)`.
+	AssertDisjoint
+	// AssertComplete is `assert complete(E, R)`.
+	AssertComplete
+)
+
+// Assert is an external partitioning constraint (§3.3). Its expressions
+// are DPL expressions over extern partition symbols.
+type Assert struct {
+	Kind   AssertKind
+	L, R   dpl.Expr // R is nil except for AssertSubset
+	Region string   // for AssertComplete
+	Pos    Pos
+}
+
+func (a *Assert) String() string {
+	switch a.Kind {
+	case AssertSubset:
+		return fmt.Sprintf("assert %s <= %s", a.L, a.R)
+	case AssertDisjoint:
+		return fmt.Sprintf("assert disjoint(%s)", a.L)
+	case AssertComplete:
+		return fmt.Sprintf("assert complete(%s, %s)", a.L, a.Region)
+	default:
+		return "assert ?"
+	}
+}

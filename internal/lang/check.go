@@ -1,0 +1,230 @@
+package lang
+
+import (
+	"autopart/internal/dpl"
+)
+
+// validate performs the semantic checks that do not require inference:
+// name uniqueness, region/field existence, field kinds, and assert symbol
+// resolution.
+func (p *Parser) validate(prog *Program) error {
+	regions := map[string]*RegionDecl{}
+	for _, r := range prog.Regions {
+		if _, dup := regions[r.Name]; dup {
+			return errorf(r.Pos, "duplicate region %q", r.Name)
+		}
+		fields := map[string]bool{}
+		for _, f := range r.Fields {
+			if fields[f.Name] {
+				return errorf(r.Pos, "region %q: duplicate field %q", r.Name, f.Name)
+			}
+			fields[f.Name] = true
+		}
+		regions[r.Name] = r
+	}
+	// Space-sharing chains must reference declared regions and be acyclic.
+	for _, r := range prog.Regions {
+		if r.Space == "" {
+			continue
+		}
+		seen := map[string]bool{r.Name: true}
+		cur := r.Space
+		for cur != "" {
+			if seen[cur] {
+				return errorf(r.Pos, "region %q: index-space sharing cycle through %q", r.Name, cur)
+			}
+			seen[cur] = true
+			next, ok := regions[cur]
+			if !ok {
+				return errorf(r.Pos, "region %q shares index space with unknown region %q", r.Name, cur)
+			}
+			cur = next.Space
+		}
+	}
+	// Field targets must reference declared regions.
+	for _, r := range prog.Regions {
+		for _, f := range r.Fields {
+			if f.Kind != ScalarKind {
+				if _, ok := regions[f.Target]; !ok {
+					return errorf(r.Pos, "region %q: field %q targets unknown region %q", r.Name, f.Name, f.Target)
+				}
+			}
+		}
+	}
+
+	funcs := map[string]*FuncDecl{}
+	for _, f := range prog.Funcs {
+		if _, dup := funcs[f.Name]; dup {
+			return errorf(f.Pos, "duplicate function %q", f.Name)
+		}
+		if _, ok := regions[f.From]; !ok {
+			return errorf(f.Pos, "function %q: unknown domain region %q", f.Name, f.From)
+		}
+		if _, ok := regions[f.To]; !ok {
+			return errorf(f.Pos, "function %q: unknown codomain region %q", f.Name, f.To)
+		}
+		funcs[f.Name] = f
+	}
+
+	externs := map[string]*ExternDecl{}
+	for _, e := range prog.Externs {
+		if _, dup := externs[e.Name]; dup {
+			return errorf(e.Pos, "duplicate extern partition %q", e.Name)
+		}
+		if _, ok := regions[e.Region]; !ok {
+			return errorf(e.Pos, "extern partition %q: unknown region %q", e.Name, e.Region)
+		}
+		externs[e.Name] = e
+	}
+
+	for _, l := range prog.Loops {
+		if _, ok := regions[l.Region]; !ok {
+			return errorf(l.Pos, "loop iterates over unknown region %q", l.Region)
+		}
+		if err := checkStmts(prog, l.Body, regions, externs); err != nil {
+			return err
+		}
+	}
+
+	for _, a := range prog.Asserts {
+		if err := checkAssertExpr(a, a.L, regions, externs, funcs); err != nil {
+			return err
+		}
+		if a.Kind == AssertSubset {
+			if err := checkAssertExpr(a, a.R, regions, externs, funcs); err != nil {
+				return err
+			}
+		}
+		if a.Kind == AssertComplete {
+			if _, ok := regions[a.Region]; !ok {
+				return errorf(a.Pos, "assert references unknown region %q", a.Region)
+			}
+		}
+	}
+	return nil
+}
+
+func checkStmts(prog *Program, stmts []Stmt, regions map[string]*RegionDecl, externs map[string]*ExternDecl) error {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *VarAssign:
+			if err := checkExpr(st.Rhs, regions); err != nil {
+				return err
+			}
+		case *FieldAssign:
+			if err := checkExpr(st.Access, regions); err != nil {
+				return err
+			}
+			if err := checkExpr(st.Rhs, regions); err != nil {
+				return err
+			}
+		case *InnerFor:
+			if err := checkExpr(st.Range, regions); err != nil {
+				return err
+			}
+			r := regions[st.Range.Region]
+			f, ok := r.FieldByName(st.Range.Field)
+			if !ok || f.Kind != RangeKind {
+				return errorf(st.Pos, "inner loop range %s must be a range field", st.Range)
+			}
+			if err := checkStmts(prog, st.Body, regions, externs); err != nil {
+				return err
+			}
+		case *If:
+			if in, ok := st.Cond.(*InTest); ok {
+				if err := checkExpr(in.Index, regions); err != nil {
+					return err
+				}
+				_, isRegion := regions[in.Space]
+				_, isExtern := externs[in.Space]
+				if !isRegion && !isExtern {
+					return errorf(st.Pos, "guard tests membership in unknown region or partition %q", in.Space)
+				}
+			} else if cmp, ok := st.Cond.(*Compare); ok {
+				if err := checkExpr(cmp.L, regions); err != nil {
+					return err
+				}
+				if err := checkExpr(cmp.R, regions); err != nil {
+					return err
+				}
+			}
+			if err := checkStmts(prog, st.Then, regions, externs); err != nil {
+				return err
+			}
+			if err := checkStmts(prog, st.Else, regions, externs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func checkExpr(e Expr, regions map[string]*RegionDecl) error {
+	switch x := e.(type) {
+	case *FieldAccess:
+		r, ok := regions[x.Region]
+		if !ok {
+			return errorf(x.Pos, "access to unknown region %q", x.Region)
+		}
+		if _, ok := r.FieldByName(x.Field); !ok {
+			return errorf(x.Pos, "region %q has no field %q", x.Region, x.Field)
+		}
+		return checkExpr(x.Index, regions)
+	case *Call:
+		for _, a := range x.Args {
+			if err := checkExpr(a, regions); err != nil {
+				return err
+			}
+		}
+	case *Binary:
+		if err := checkExpr(x.L, regions); err != nil {
+			return err
+		}
+		return checkExpr(x.R, regions)
+	}
+	return nil
+}
+
+func checkAssertExpr(a *Assert, e dpl.Expr, regions map[string]*RegionDecl, externs map[string]*ExternDecl, funcs map[string]*FuncDecl) error {
+	checkRegion := func(name string) error {
+		if _, ok := regions[name]; !ok {
+			return errorf(a.Pos, "assert references unknown region %q", name)
+		}
+		return nil
+	}
+	// Function references: declared functions or Region[·].field maps are
+	// resolved later against region field declarations; here we only
+	// check plain names.
+	switch x := e.(type) {
+	case dpl.Var:
+		if _, ok := externs[x.Name]; !ok {
+			return errorf(a.Pos, "assert references unknown partition %q (declare it with 'extern partition')", x.Name)
+		}
+	case dpl.ImageExpr:
+		if err := checkRegion(x.Region); err != nil {
+			return err
+		}
+		return checkAssertExpr(a, x.Of, regions, externs, funcs)
+	case dpl.PreimageExpr:
+		if err := checkRegion(x.Region); err != nil {
+			return err
+		}
+		return checkAssertExpr(a, x.Of, regions, externs, funcs)
+	case dpl.ImageMultiExpr:
+		if err := checkRegion(x.Region); err != nil {
+			return err
+		}
+		return checkAssertExpr(a, x.Of, regions, externs, funcs)
+	case dpl.PreimageMultiExpr:
+		if err := checkRegion(x.Region); err != nil {
+			return err
+		}
+		return checkAssertExpr(a, x.Of, regions, externs, funcs)
+	case dpl.BinExpr:
+		if err := checkAssertExpr(a, x.L, regions, externs, funcs); err != nil {
+			return err
+		}
+		return checkAssertExpr(a, x.R, regions, externs, funcs)
+	}
+	return nil
+}

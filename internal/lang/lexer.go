@@ -1,0 +1,196 @@
+package lang
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lexer splits DSL source text into tokens. Comments run from '#' or '//'
+// to end of line.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#' || (c == '/' && l.peek2() == '/'):
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// Next returns the next token; it returns EOF forever once exhausted.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		// max= / min= reduction operators.
+		if (text == "max" || text == "min") && l.peek() == '=' && l.peek2() != '=' {
+			l.advance()
+			if text == "max" {
+				return Token{Kind: MaxEq, Text: "max=", Pos: pos}, nil
+			}
+			return Token{Kind: MinEq, Text: "min=", Pos: pos}, nil
+		}
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+
+	case unicode.IsDigit(rune(c)):
+		start := l.off
+		for l.off < len(l.src) && (unicode.IsDigit(rune(l.peek())) || l.peek() == '.') {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if strings.Count(text, ".") > 1 {
+			return Token{}, errorf(pos, "malformed number %q", text)
+		}
+		return Token{Kind: NUMBER, Text: text, Pos: pos}, nil
+	}
+
+	two := func(k Kind, text string) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Text: text, Pos: pos}, nil
+	}
+	one := func(k Kind) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Text: string(c), Pos: pos}, nil
+	}
+
+	switch c {
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case '[':
+		return one(LBracket)
+	case ']':
+		return one(RBracket)
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case ',':
+		return one(Comma)
+	case ':':
+		return one(Colon)
+	case '.':
+		return one(Dot)
+	case '+':
+		if l.peek2() == '=' {
+			return two(PlusEq, "+=")
+		}
+		return one(Plus)
+	case '*':
+		if l.peek2() == '=' {
+			return two(StarEq, "*=")
+		}
+		return one(Star)
+	case '/':
+		return one(Slash)
+	case '-':
+		if l.peek2() == '>' {
+			return two(Arrow, "->")
+		}
+		return one(Minus)
+	case '<':
+		if l.peek2() == '=' {
+			return two(SubsetEq, "<=")
+		}
+		return Token{}, errorf(pos, "unexpected character %q (only '<=' is supported)", string(c))
+	case '=':
+		if l.peek2() == '=' {
+			return two(EqEq, "==")
+		}
+		return one(Assign)
+	case '!':
+		if l.peek2() == '=' {
+			return two(NotEq, "!=")
+		}
+		return Token{}, errorf(pos, "unexpected character %q (did you mean '!=')", string(c))
+	default:
+		return Token{}, errorf(pos, "unexpected character %q", string(c))
+	}
+}
+
+// LexAll tokenizes the whole input (excluding the final EOF); useful for
+// tests.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.Kind == EOF {
+			return out, nil
+		}
+		out = append(out, tok)
+	}
+}

@@ -1,0 +1,148 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("for p in Particles { x = 1.5 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwFor, IDENT, KwIn, IDENT, LBrace, IDENT, Assign, NUMBER, RBrace}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := LexAll("+= *= max= min= <= -> + - * / != == = ==")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{PlusEq, StarEq, MaxEq, MinEq, SubsetEq, Arrow, Plus, Minus, Star, Slash, NotEq, EqEq, Assign, EqEq}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexMaxIdentifierNotReduction(t *testing.T) {
+	// "max == x" must lex max as IDENT, not max=.
+	toks, err := LexAll("max == x maximum = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{IDENT, EqEq, IDENT, IDENT, Assign, NUMBER}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v (%v)", i, got[i], want[i], toks)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+# a hash comment
+for i in R { // trailing comment
+  x = 1 # another
+}
+`
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwFor, IDENT, KwIn, IDENT, LBrace, IDENT, Assign, NUMBER, RBrace}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("ab\n  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("first token pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{Line: 2, Col: 3}) {
+		t.Errorf("second token pos = %v", toks[1].Pos)
+	}
+	if toks[1].Pos.String() != "2:3" {
+		t.Errorf("Pos.String = %q", toks[1].Pos.String())
+	}
+}
+
+func TestLexKeywords(t *testing.T) {
+	src := "region function extern partition for in if else assert scalar index range disjoint complete of"
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwRegion, KwFunction, KwExtern, KwPartition, KwFor, KwIn, KwIf, KwElse,
+		KwAssert, KwScalar, KwIndex, KwRange, KwDisjoint, KwComplete, KwOf}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("keyword %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"x = 1.2.3", "a < b", "a ! b", "a @ b"} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("LexAll(%q) should fail", src)
+		} else if !strings.Contains(err.Error(), ":") {
+			t.Errorf("error should carry a position: %v", err)
+		}
+	}
+}
+
+func TestLexEOFIsSticky(t *testing.T) {
+	l := NewLexer("x")
+	if tok, _ := l.Next(); tok.Kind != IDENT {
+		t.Fatal("expected IDENT")
+	}
+	for i := 0; i < 3; i++ {
+		tok, err := l.Next()
+		if err != nil || tok.Kind != EOF {
+			t.Fatalf("Next after end = %v, %v", tok, err)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if got := (Token{Kind: IDENT, Text: "abc"}).String(); !strings.Contains(got, "abc") {
+		t.Errorf("Token.String = %q", got)
+	}
+	if got := (Token{Kind: LBrace}).String(); got != "'{'" {
+		t.Errorf("Token.String = %q", got)
+	}
+	if Kind(999).String() != "Kind(999)" {
+		t.Error("unknown kind string")
+	}
+}

@@ -1,0 +1,682 @@
+package lang
+
+import (
+	"fmt"
+
+	"autopart/internal/dpl"
+)
+
+// Parser is a recursive-descent parser for the loop DSL.
+type Parser struct {
+	lex  *Lexer
+	tok  Token // current token
+	next Token // one token of lookahead
+	err  error
+}
+
+// Parse parses a complete DSL source file.
+func Parse(src string) (*Program, error) {
+	p := &Parser{lex: NewLexer(src)}
+	// Prime current and lookahead.
+	p.advance()
+	p.advance()
+	if p.err != nil {
+		return nil, p.err
+	}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	return prog, p.validate(prog)
+}
+
+func (p *Parser) advance() {
+	if p.err != nil {
+		return
+	}
+	p.tok = p.next
+	tok, err := p.lex.Next()
+	if err != nil {
+		p.err = err
+		return
+	}
+	p.next = tok
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.err != nil {
+		return Token{}, p.err
+	}
+	if p.tok.Kind != k {
+		return Token{}, errorf(p.tok.Pos, "expected %s, found %s", k, p.tok)
+	}
+	t := p.tok
+	p.advance()
+	if p.err != nil {
+		return Token{}, p.err
+	}
+	return t, nil
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.err == nil && p.tok.Kind == k {
+		p.advance()
+		return p.err == nil
+	}
+	return false
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for {
+		if p.err != nil {
+			return nil, p.err
+		}
+		switch p.tok.Kind {
+		case EOF:
+			return prog, nil
+		case KwRegion:
+			d, err := p.parseRegionDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Regions = append(prog.Regions, d)
+		case KwFunction:
+			d, err := p.parseFuncDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, d)
+		case KwExtern:
+			d, err := p.parseExternDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Externs = append(prog.Externs, d)
+		case KwFor:
+			l, err := p.parseLoop()
+			if err != nil {
+				return nil, err
+			}
+			prog.Loops = append(prog.Loops, l)
+		case KwAssert:
+			a, err := p.parseAssert()
+			if err != nil {
+				return nil, err
+			}
+			prog.Asserts = append(prog.Asserts, a)
+		default:
+			return nil, errorf(p.tok.Pos, "expected declaration, loop, or assert; found %s", p.tok)
+		}
+	}
+}
+
+func (p *Parser) parseRegionDecl() (*RegionDecl, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(KwRegion); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	var space string
+	if p.accept(Colon) {
+		spaceTok, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		space = spaceTok.Text
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	d := &RegionDecl{Name: name.Text, Space: space, Pos: pos}
+	for !p.accept(RBrace) {
+		if len(d.Fields) > 0 {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+		f, err := p.parseFieldDecl()
+		if err != nil {
+			return nil, err
+		}
+		d.Fields = append(d.Fields, f)
+	}
+	return d, p.err
+}
+
+func (p *Parser) parseFieldDecl() (FieldDecl, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return FieldDecl{}, err
+	}
+	if _, err := p.expect(Colon); err != nil {
+		return FieldDecl{}, err
+	}
+	switch p.tok.Kind {
+	case KwScalar:
+		p.advance()
+		return FieldDecl{Name: name.Text, Kind: ScalarKind}, p.err
+	case KwIndex, KwRange:
+		kind := IndexKind
+		if p.tok.Kind == KwRange {
+			kind = RangeKind
+		}
+		p.advance()
+		if _, err := p.expect(LParen); err != nil {
+			return FieldDecl{}, err
+		}
+		target, err := p.expect(IDENT)
+		if err != nil {
+			return FieldDecl{}, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return FieldDecl{}, err
+		}
+		return FieldDecl{Name: name.Text, Kind: kind, Target: target.Text}, nil
+	default:
+		return FieldDecl{}, errorf(p.tok.Pos, "expected field kind ('scalar', 'index(R)', or 'range(R)'), found %s", p.tok)
+	}
+}
+
+func (p *Parser) parseFuncDecl() (*FuncDecl, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(KwFunction); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Colon); err != nil {
+		return nil, err
+	}
+	from, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Arrow); err != nil {
+		return nil, err
+	}
+	to, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name.Text, From: from.Text, To: to.Text, Pos: pos}, nil
+}
+
+func (p *Parser) parseExternDecl() (*ExternDecl, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(KwExtern); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwPartition); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwOf); err != nil {
+		return nil, err
+	}
+	reg, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	return &ExternDecl{Name: name.Text, Region: reg.Text, Pos: pos}, nil
+}
+
+func (p *Parser) parseLoop() (*Loop, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(KwFor); err != nil {
+		return nil, err
+	}
+	v, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwIn); err != nil {
+		return nil, err
+	}
+	reg, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Loop{Var: v.Text, Region: reg.Text, Body: body, Pos: pos}, nil
+}
+
+func (p *Parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.accept(RBrace) {
+		if p.err != nil {
+			return nil, p.err
+		}
+		if p.tok.Kind == EOF {
+			return nil, errorf(p.tok.Pos, "unexpected end of input in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, p.err
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case KwFor:
+		p.advance()
+		v, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KwIn); err != nil {
+			return nil, err
+		}
+		// The inner iteration space must be a range-field access.
+		rangeExpr, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		fa, ok := rangeExpr.(*FieldAccess)
+		if !ok {
+			return nil, errorf(rangeExpr.ExprPos(), "inner loop range must be a field access (e.g. Ranges[i].span), found %s", rangeExpr)
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &InnerFor{Var: v.Text, Range: fa, Body: body, Pos: pos}, nil
+
+	case KwIf:
+		p.advance()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept(KwElse) {
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &If{Cond: cond, Then: then, Else: els, Pos: pos}, nil
+
+	case IDENT:
+		if p.next.Kind == LBracket {
+			// Field assignment or reduction.
+			access, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			fa, ok := access.(*FieldAccess)
+			if !ok {
+				return nil, errorf(access.ExprPos(), "expected field access on left-hand side, found %s", access)
+			}
+			var op ReduceOp
+			switch p.tok.Kind {
+			case Assign:
+				op = OpSet
+			case PlusEq:
+				op = OpAdd
+			case StarEq:
+				op = OpMul
+			case MaxEq:
+				op = OpMax
+			case MinEq:
+				op = OpMin
+			default:
+				return nil, errorf(p.tok.Pos, "expected assignment operator, found %s", p.tok)
+			}
+			p.advance()
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &FieldAssign{Access: fa, Op: op, Rhs: rhs, Pos: pos}, nil
+		}
+		// Variable binding.
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Assign); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &VarAssign{Name: name.Text, Rhs: rhs, Pos: pos}, nil
+
+	default:
+		return nil, errorf(pos, "expected statement, found %s", p.tok)
+	}
+}
+
+func (p *Parser) parseCond() (Cond, error) {
+	l, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.tok.Kind {
+	case KwIn:
+		p.advance()
+		space, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		return &InTest{Index: l, Space: space.Text}, nil
+	case NotEq, EqEq:
+		op := p.tok.Text
+		p.advance()
+		r, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Compare{Op: op, L: l, R: r}, nil
+	default:
+		return nil, errorf(p.tok.Pos, "expected 'in', '==', or '!=' in condition, found %s", p.tok)
+	}
+}
+
+// Expression grammar: expr := term (('+'|'-') term)*; term := primary
+// (('*'|'/') primary)*.
+func (p *Parser) parseExpr() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == Plus || p.tok.Kind == Minus {
+		op := p.tok.Text
+		pos := p.tok.Pos
+		p.advance()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r, Pos: pos}
+	}
+	return l, p.err
+}
+
+func (p *Parser) parseTerm() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == Star || p.tok.Kind == Slash {
+		op := p.tok.Text
+		pos := p.tok.Pos
+		p.advance()
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r, Pos: pos}
+	}
+	return l, p.err
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case NUMBER:
+		t := p.tok
+		p.advance()
+		return &NumLit{Text: t.Text, Pos: pos}, p.err
+
+	case Minus:
+		p.advance()
+		inner, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: "-", L: &NumLit{Text: "0", Pos: pos}, R: inner, Pos: pos}, nil
+
+	case LParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case IDENT:
+		name := p.tok
+		p.advance()
+		switch p.tok.Kind {
+		case LBracket:
+			p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Dot); err != nil {
+				return nil, err
+			}
+			field, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			return &FieldAccess{Region: name.Text, Index: idx, Field: field.Text, Pos: pos}, nil
+		case LParen:
+			p.advance()
+			var args []Expr
+			if p.tok.Kind != RParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(Comma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			return &Call{Func: name.Text, Args: args, Pos: pos}, nil
+		default:
+			return &VarRef{Name: name.Text, Pos: pos}, p.err
+		}
+
+	default:
+		return nil, errorf(pos, "expected expression, found %s", p.tok)
+	}
+}
+
+// parseAssert parses external constraints (§3.3):
+//
+//	assert disjoint(E)
+//	assert complete(E, R)
+//	assert E1 <= E2
+func (p *Parser) parseAssert() (*Assert, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(KwAssert); err != nil {
+		return nil, err
+	}
+	switch p.tok.Kind {
+	case KwDisjoint:
+		p.advance()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		e, err := p.parsePartitionExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return &Assert{Kind: AssertDisjoint, L: e, Pos: pos}, nil
+	case KwComplete:
+		p.advance()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		e, err := p.parsePartitionExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Comma); err != nil {
+			return nil, err
+		}
+		reg, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return &Assert{Kind: AssertComplete, L: e, Region: reg.Text, Pos: pos}, nil
+	default:
+		l, err := p.parsePartitionExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SubsetEq); err != nil {
+			return nil, err
+		}
+		r, err := p.parsePartitionExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assert{Kind: AssertSubset, L: l, R: r, Pos: pos}, nil
+	}
+}
+
+// parsePartitionExpr parses the DPL expression sublanguage used in
+// asserts: symbols, image/preimage applications, and '+' for
+// subregion-wise union.
+func (p *Parser) parsePartitionExpr() (dpl.Expr, error) {
+	l, err := p.parsePartitionTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(Plus) {
+		r, err := p.parsePartitionTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = dpl.BinExpr{Op: dpl.OpUnion, L: l, R: r}
+	}
+	return l, p.err
+}
+
+func (p *Parser) parsePartitionTerm() (dpl.Expr, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != LParen {
+		return dpl.Var{Name: name.Text}, nil
+	}
+	switch name.Text {
+	case "image", "IMAGE":
+		p.advance()
+		of, err := p.parsePartitionExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Comma); err != nil {
+			return nil, err
+		}
+		fn, err := p.parseFuncRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Comma); err != nil {
+			return nil, err
+		}
+		reg, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		if name.Text == "IMAGE" {
+			return dpl.ImageMultiExpr{Of: of, Func: fn, Region: reg.Text}, nil
+		}
+		return dpl.ImageExpr{Of: of, Func: fn, Region: reg.Text}, nil
+	case "preimage", "PREIMAGE":
+		p.advance()
+		reg, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Comma); err != nil {
+			return nil, err
+		}
+		fn, err := p.parseFuncRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Comma); err != nil {
+			return nil, err
+		}
+		of, err := p.parsePartitionExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		if name.Text == "PREIMAGE" {
+			return dpl.PreimageMultiExpr{Region: reg.Text, Func: fn, Of: of}, nil
+		}
+		return dpl.PreimageExpr{Region: reg.Text, Func: fn, Of: of}, nil
+	default:
+		return nil, errorf(name.Pos, "unknown partition operator %q (expected image, preimage, IMAGE, or PREIMAGE)", name.Text)
+	}
+}
+
+// parseFuncRef parses a function reference in an assert: either a declared
+// function name (h) or a pointer-field map (Region.field), normalized to
+// the canonical "Region[·].field" spelling.
+func (p *Parser) parseFuncRef() (string, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return "", err
+	}
+	if p.accept(Dot) {
+		field, err := p.expect(IDENT)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s[·].%s", name.Text, field.Text), nil
+	}
+	return name.Text, nil
+}

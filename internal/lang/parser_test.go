@@ -1,0 +1,351 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1Src is the program of Fig. 1a in DSL syntax.
+const figure1Src = `
+region Particles { cell: index(Cells), pos: scalar }
+region Cells { vel: scalar, acc: scalar }
+function h : Cells -> Cells
+
+for p in Particles {
+  c = Particles[p].cell
+  Particles[p].pos += f(Cells[c].vel, Cells[h(c)].vel)
+}
+for c in Cells {
+  Cells[c].vel += g(Cells[c].acc, Cells[h(c)].acc)
+}
+`
+
+func TestParseFigure1(t *testing.T) {
+	prog, err := Parse(figure1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Regions) != 2 || len(prog.Funcs) != 1 || len(prog.Loops) != 2 {
+		t.Fatalf("counts: %d regions, %d funcs, %d loops",
+			len(prog.Regions), len(prog.Funcs), len(prog.Loops))
+	}
+
+	particles, ok := prog.RegionByName("Particles")
+	if !ok {
+		t.Fatal("missing region Particles")
+	}
+	cellField, ok := particles.FieldByName("cell")
+	if !ok || cellField.Kind != IndexKind || cellField.Target != "Cells" {
+		t.Errorf("cell field = %+v", cellField)
+	}
+	posField, _ := particles.FieldByName("pos")
+	if posField.Kind != ScalarKind {
+		t.Errorf("pos field = %+v", posField)
+	}
+
+	h, ok := prog.FuncByName("h")
+	if !ok || h.From != "Cells" || h.To != "Cells" {
+		t.Errorf("h = %+v", h)
+	}
+
+	loop := prog.Loops[0]
+	if loop.Var != "p" || loop.Region != "Particles" {
+		t.Errorf("loop header = for %s in %s", loop.Var, loop.Region)
+	}
+	if len(loop.Body) != 2 {
+		t.Fatalf("loop body has %d statements", len(loop.Body))
+	}
+	va, ok := loop.Body[0].(*VarAssign)
+	if !ok || va.Name != "c" {
+		t.Fatalf("first stmt = %#v", loop.Body[0])
+	}
+	if va.Rhs.String() != "Particles[p].cell" {
+		t.Errorf("rhs = %s", va.Rhs)
+	}
+	fa, ok := loop.Body[1].(*FieldAssign)
+	if !ok || fa.Op != OpAdd {
+		t.Fatalf("second stmt = %#v", loop.Body[1])
+	}
+	if fa.Access.String() != "Particles[p].pos" {
+		t.Errorf("lhs = %s", fa.Access)
+	}
+	if got := fa.Rhs.String(); got != "f(Cells[c].vel, Cells[h(c)].vel)" {
+		t.Errorf("rhs = %s", got)
+	}
+}
+
+func TestParseSpMV(t *testing.T) {
+	// Fig. 10a.
+	src := `
+region Y { val: scalar }
+region Ranges { span: range(Mat) }
+region Mat { val: scalar, ind: index(X) }
+region X { val: scalar }
+
+for i in Y {
+  for k in Ranges[i].span {
+    Y[i].val += Mat[k].val * X[Mat[k].ind].val
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := prog.Loops[0]
+	inner, ok := loop.Body[0].(*InnerFor)
+	if !ok {
+		t.Fatalf("expected inner loop, got %#v", loop.Body[0])
+	}
+	if inner.Var != "k" || inner.Range.String() != "Ranges[i].span" {
+		t.Errorf("inner = for %s in %s", inner.Var, inner.Range)
+	}
+	red, ok := inner.Body[0].(*FieldAssign)
+	if !ok || red.Op != OpAdd {
+		t.Fatalf("inner body = %#v", inner.Body[0])
+	}
+	if got := red.Rhs.String(); got != "(Mat[k].val * X[Mat[k].ind].val)" {
+		t.Errorf("rhs = %s", got)
+	}
+}
+
+func TestParseExternAndAsserts(t *testing.T) {
+	src := `
+region Particles { cell: index(Cells) }
+region Cells { vel: scalar }
+extern partition pParticles of Particles
+extern partition pCells of Cells
+assert image(pParticles, Particles.cell, Cells) <= pCells
+assert disjoint(pParticles + pParticles)
+assert complete(pCells, Cells)
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Externs) != 2 || len(prog.Asserts) != 3 {
+		t.Fatalf("externs=%d asserts=%d", len(prog.Externs), len(prog.Asserts))
+	}
+	if prog.Externs[0].Name != "pParticles" || prog.Externs[0].Region != "Particles" {
+		t.Errorf("extern[0] = %+v", prog.Externs[0])
+	}
+	if _, ok := prog.ExternByName("pCells"); !ok {
+		t.Error("ExternByName(pCells) failed")
+	}
+
+	a0 := prog.Asserts[0]
+	if a0.Kind != AssertSubset {
+		t.Fatalf("assert0 kind = %v", a0.Kind)
+	}
+	if got := a0.String(); got != "assert image(pParticles, Particles[·].cell, Cells) <= pCells" {
+		t.Errorf("assert0 = %q", got)
+	}
+	a1 := prog.Asserts[1]
+	if a1.Kind != AssertDisjoint || !strings.Contains(a1.String(), "∪") {
+		t.Errorf("assert1 = %q", a1.String())
+	}
+	a2 := prog.Asserts[2]
+	if a2.Kind != AssertComplete || a2.Region != "Cells" {
+		t.Errorf("assert2 = %+v", a2)
+	}
+}
+
+func TestParseGuardsAndCompare(t *testing.T) {
+	src := `
+region R { val: scalar }
+region S { val: scalar }
+function f : R -> S
+function g : R -> S
+
+for i in R {
+  if (f(i) in S) {
+    S[f(i)].val += R[i].val
+  } else {
+    S[g(i)].val += R[i].val
+  }
+  if (R[i].val != 0) {
+    R[i].val = 1
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := prog.Loops[0]
+	guard, ok := loop.Body[0].(*If)
+	if !ok {
+		t.Fatalf("expected if, got %#v", loop.Body[0])
+	}
+	in, ok := guard.Cond.(*InTest)
+	if !ok || in.Space != "S" || in.Index.String() != "f(i)" {
+		t.Errorf("cond = %s", guard.Cond)
+	}
+	if len(guard.Then) != 1 || len(guard.Else) != 1 {
+		t.Errorf("then/else = %d/%d", len(guard.Then), len(guard.Else))
+	}
+	cmp, ok := loop.Body[1].(*If).Cond.(*Compare)
+	if !ok || cmp.Op != "!=" {
+		t.Errorf("compare = %s", loop.Body[1].(*If).Cond)
+	}
+}
+
+func TestParseArithmetic(t *testing.T) {
+	src := `
+region R { a: scalar, b: scalar }
+for i in R {
+  R[i].a = R[i].b * 2 + 1 - 3 / 4
+  R[i].b = -R[i].a
+  R[i].a = (R[i].a + 1) * 2
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Loops[0].Body
+	if got := body[0].(*FieldAssign).Rhs.String(); got != "(((R[i].b * 2) + 1) - (3 / 4))" {
+		t.Errorf("precedence: %s", got)
+	}
+	if got := body[1].(*FieldAssign).Rhs.String(); got != "(0 - R[i].a)" {
+		t.Errorf("negation: %s", got)
+	}
+	if got := body[2].(*FieldAssign).Rhs.String(); got != "((R[i].a + 1) * 2)" {
+		t.Errorf("parens: %s", got)
+	}
+}
+
+func TestParseReductionOps(t *testing.T) {
+	src := `
+region R { a: scalar }
+for i in R {
+  R[i].a += 1
+  R[i].a *= 2
+  R[i].a max= 3
+  R[i].a min= 4
+  R[i].a = 5
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []ReduceOp{OpAdd, OpMul, OpMax, OpMin, OpSet}
+	for i, want := range ops {
+		if got := prog.Loops[0].Body[i].(*FieldAssign).Op; got != want {
+			t.Errorf("stmt %d op = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown region in loop", "for i in R { }", "unknown region"},
+		{"duplicate region", "region R { a: scalar } region R { a: scalar }", "duplicate region"},
+		{"duplicate field", "region R { a: scalar, a: scalar }", "duplicate field"},
+		{"bad field target", "region R { p: index(S) }", "unknown region"},
+		{"duplicate function", "region R {a: scalar} function f : R -> R function f : R -> R", "duplicate function"},
+		{"bad function domain", "function f : R -> R", "unknown domain"},
+		{"bad extern region", "extern partition p of R", "unknown region"},
+		{"duplicate extern", "region R {a: scalar} extern partition p of R extern partition p of R", "duplicate extern"},
+		{"unknown field", "region R {a: scalar} for i in R { R[i].b = 1 }", "no field"},
+		{"unknown access region", "region R {a: scalar} for i in R { S[i].a = 1 }", "unknown region"},
+		{"bad inner range", "region R {a: scalar} for i in R { for k in R[i].a { } }", "range field"},
+		{"bad guard space", "region R {a: scalar} for i in R { if (i in Q) { } }", "unknown region or partition"},
+		{"assert unknown partition", "region R {a: scalar} assert p <= p", "unknown partition"},
+		{"assert unknown region", "region R {a: scalar} extern partition p of R assert image(p, f, S) <= p", "unknown region"},
+		{"bad statement", "region R {a: scalar} for i in R { 3 = 4 }", "expected statement"},
+		{"bad toplevel", "region R {a: scalar} 17", "expected declaration"},
+		{"bad field kind", "region R { a: blah }", "field kind"},
+		{"unclosed block", "region R {a: scalar} for i in R { x = 1", "end of input"},
+		{"bad partition op", "region R {a: scalar} extern partition p of R assert foo(p) <= p", "unknown partition operator"},
+		{"bad cond op", "region R {a: scalar} for i in R { if (i + 1) { } }", "in condition"},
+		{"lhs not access", "region R {a: scalar} for i in R { R[i] = 1 }", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) should fail", tc.src)
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseAssertPreimageForms(t *testing.T) {
+	src := `
+region Rs { mapsp1: index(Rp) }
+region Rp { x: scalar }
+extern partition rs_p of Rs
+extern partition rp_p_private of Rp
+assert preimage(Rs, Rs.mapsp1, rp_p_private) <= rs_p
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := prog.Asserts[0].String()
+	want := "assert preimage(Rs, Rs[·].mapsp1, rp_p_private) <= rs_p"
+	if got != want {
+		t.Errorf("assert = %q, want %q", got, want)
+	}
+}
+
+func TestParseAssertMultiOps(t *testing.T) {
+	src := `
+region Y { v: scalar }
+region Ranges { span: range(Mat) }
+region Mat { v: scalar }
+extern partition pr of Ranges
+extern partition pm of Mat
+assert IMAGE(pr, Ranges.span, Mat) <= pm
+assert PREIMAGE(Ranges, Ranges.span, pm) <= pr
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Asserts[0].String(); !strings.Contains(got, "IMAGE(pr, Ranges[·].span, Mat)") {
+		t.Errorf("assert0 = %q", got)
+	}
+	if got := prog.Asserts[1].String(); !strings.Contains(got, "PREIMAGE(Ranges, Ranges[·].span, pm)") {
+		t.Errorf("assert1 = %q", got)
+	}
+}
+
+func TestParseEmptyProgram(t *testing.T) {
+	prog, err := Parse("  # only a comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Regions)+len(prog.Loops) != 0 {
+		t.Error("empty program should have no declarations")
+	}
+	if _, ok := prog.RegionByName("X"); ok {
+		t.Error("RegionByName on empty program")
+	}
+	if _, ok := prog.FuncByName("X"); ok {
+		t.Error("FuncByName on empty program")
+	}
+}
+
+func TestParseCallNoArgs(t *testing.T) {
+	src := `
+region R { a: scalar }
+for i in R {
+  R[i].a = rand()
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Loops[0].Body[0].(*FieldAssign).Rhs.String(); got != "rand()" {
+		t.Errorf("rhs = %s", got)
+	}
+}

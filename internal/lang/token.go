@@ -1,0 +1,164 @@
+// Package lang implements the frontend for the loop DSL in which the
+// benchmark programs are written: a lexer, an AST, and a recursive-descent
+// parser. The language mirrors the paper's pseudocode (Figs. 1a, 4, 7,
+// 10a, 11): region declarations, index-function declarations, sequential
+// `for` loops over regions with field loads/stores/reductions, inner loops
+// with data-dependent iteration spaces, guard conditionals, and `assert`
+// statements carrying external partitioning constraints.
+package lang
+
+import "fmt"
+
+// Kind identifies a token class.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+
+	// Keywords.
+	KwRegion
+	KwFunction
+	KwExtern
+	KwPartition
+	KwFor
+	KwIn
+	KwIf
+	KwElse
+	KwAssert
+	KwScalar
+	KwIndex
+	KwRange
+	KwDisjoint
+	KwComplete
+	KwOf
+
+	// Punctuation and operators.
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	LParen
+	RParen
+	Comma
+	Colon
+	Dot
+	Assign   // =
+	PlusEq   // +=
+	StarEq   // *=
+	MaxEq    // max=
+	MinEq    // min=
+	SubsetEq // <=
+	Arrow    // ->
+	Plus     // +
+	Minus    // -
+	Star     // *
+	Slash    // /
+	NotEq    // !=
+	EqEq     // ==
+)
+
+var kindNames = map[Kind]string{
+	EOF:         "end of input",
+	IDENT:       "identifier",
+	NUMBER:      "number",
+	KwRegion:    "'region'",
+	KwFunction:  "'function'",
+	KwExtern:    "'extern'",
+	KwPartition: "'partition'",
+	KwFor:       "'for'",
+	KwIn:        "'in'",
+	KwIf:        "'if'",
+	KwElse:      "'else'",
+	KwAssert:    "'assert'",
+	KwScalar:    "'scalar'",
+	KwIndex:     "'index'",
+	KwRange:     "'range'",
+	KwDisjoint:  "'disjoint'",
+	KwComplete:  "'complete'",
+	KwOf:        "'of'",
+	LBrace:      "'{'",
+	RBrace:      "'}'",
+	LBracket:    "'['",
+	RBracket:    "']'",
+	LParen:      "'('",
+	RParen:      "')'",
+	Comma:       "','",
+	Colon:       "':'",
+	Dot:         "'.'",
+	Assign:      "'='",
+	PlusEq:      "'+='",
+	StarEq:      "'*='",
+	MaxEq:       "'max='",
+	MinEq:       "'min='",
+	SubsetEq:    "'<='",
+	Arrow:       "'->'",
+	Plus:        "'+'",
+	Minus:       "'-'",
+	Star:        "'*'",
+	Slash:       "'/'",
+	NotEq:       "'!='",
+	EqEq:        "'=='",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"region":    KwRegion,
+	"function":  KwFunction,
+	"extern":    KwExtern,
+	"partition": KwPartition,
+	"for":       KwFor,
+	"in":        KwIn,
+	"if":        KwIf,
+	"else":      KwElse,
+	"assert":    KwAssert,
+	"scalar":    KwScalar,
+	"index":     KwIndex,
+	"range":     KwRange,
+	"disjoint":  KwDisjoint,
+	"complete":  KwComplete,
+	"of":        KwOf,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a positioned frontend error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errorf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

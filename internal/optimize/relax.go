@@ -1,0 +1,294 @@
+// Package optimize implements the reduction-buffer optimizations of §5:
+//
+//   - Disjointness relaxation (§5.1): a loop with uncentered reductions
+//     normally requires a disjoint iteration-space partition. Relaxation
+//     instead requires each reduction's target partition to be disjoint,
+//     rewrites the loop with membership guards, and lets the iteration
+//     space be an aliased union of preimages — eliminating reduction
+//     buffers entirely.
+//
+//   - Private sub-partitions (§5.2, Theorem 5.1): when relaxation is not
+//     applied, the disjoint "private" part of a reduction partition is
+//     computed with DPL operators so a reduction buffer is only needed
+//     for the remaining shared part.
+package optimize
+
+import (
+	"autopart/internal/constraint"
+	"autopart/internal/dpl"
+	"autopart/internal/infer"
+	"autopart/internal/solver"
+)
+
+// LoopPlan pairs a loop's inference result with the (possibly relaxed)
+// constraint system the solver should use.
+type LoopPlan struct {
+	Res *infer.Result
+	// Sys is Res.Sys or its relaxed variant.
+	Sys *constraint.System
+	// Relaxed reports whether §5.1 applies: the rewriter must guard the
+	// loop's uncentered reductions and the iteration partition may be
+	// aliased.
+	Relaxed bool
+	// GuardedSyms are the reduction access symbols that received a DISJ
+	// requirement during relaxation; their partitions bound the guards.
+	GuardedSyms []string
+}
+
+// Relax applies §5.1 to every loop where it is possible and profitable:
+// a loop is relaxable when every uncentered reduction's lower bound is a
+// direct image of the iteration symbol under a single-valued function.
+// Following the paper's heuristic, loops are relaxed only when all loops
+// sharing the same iteration-space region can be relaxed — a loop
+// without uncentered reductions blocks its group, because an aliased
+// iteration partition would impose redundant computation on it (this is
+// why Circuit keeps reduction buffers while MiniAero, whose face loops
+// all reduce, relaxes completely).
+func Relax(results []*infer.Result) []*LoopPlan {
+	plans := make([]*LoopPlan, len(results))
+	relaxable := make([]bool, len(results))
+	// Group loops by iteration region.
+	groupOK := map[string]bool{}
+	for i, r := range results {
+		plans[i] = &LoopPlan{Res: r, Sys: r.Sys}
+		relaxable[i] = canRelax(r)
+		region := r.Loop.Region
+		if _, seen := groupOK[region]; !seen {
+			groupOK[region] = true
+		}
+		if !(r.NeedsDisjointIter && relaxable[i]) {
+			groupOK[region] = false
+		}
+	}
+	for i, r := range results {
+		if !r.NeedsDisjointIter || !relaxable[i] || !groupOK[r.Loop.Region] {
+			continue
+		}
+		sys, guarded := relaxSystem(r)
+		plans[i].Sys = sys
+		plans[i].Relaxed = true
+		plans[i].GuardedSyms = guarded
+	}
+	return plans
+}
+
+// canRelax reports whether every uncentered reduction of the loop has the
+// form S[f(i)] op= e with f a single-valued function of the loop
+// variable (directly, or through one access-symbol anchor that is the
+// iteration symbol).
+func canRelax(r *infer.Result) bool {
+	if !r.NeedsDisjointIter {
+		return false
+	}
+	sawUncentered := false
+	for _, a := range r.Accesses {
+		if a.Kind != infer.ReduceAccess {
+			continue
+		}
+		if dpl.Equal(a.Lower, dpl.Var{Name: r.IterSym}) {
+			continue // centered on the iteration partition
+		}
+		sawUncentered = true
+		imgExpr, ok := a.Lower.(dpl.ImageExpr)
+		if !ok {
+			return false
+		}
+		if of, ok := imgExpr.Of.(dpl.Var); !ok || of.Name != r.IterSym {
+			return false
+		}
+	}
+	return sawUncentered
+}
+
+// relaxSystem builds the relaxed constraint system: DISJ moves from the
+// iteration symbol to the reduction symbols, and each reduction's image
+// constraint image(P1, f, S) ⊆ P becomes preimage(R, f, P) ⊆ P1 (each
+// task executes at least the iterations whose reduction target it owns;
+// the guard makes extra executions harmless).
+func relaxSystem(r *infer.Result) (*constraint.System, []string) {
+	iter := dpl.Var{Name: r.IterSym}
+	var guarded []string
+
+	type rewriteInfo struct {
+		sym    string
+		fn     string
+		region string
+		from   dpl.Expr // the image-lower to remove
+	}
+	var rewrites []rewriteInfo
+	for _, a := range r.Accesses {
+		if a.Kind != infer.ReduceAccess || dpl.Equal(a.Lower, iter) {
+			continue
+		}
+		imgExpr := a.Lower.(dpl.ImageExpr)
+		rewrites = append(rewrites, rewriteInfo{sym: a.Sym, fn: imgExpr.Func, region: a.Region, from: a.Lower})
+		guarded = append(guarded, a.Sym)
+	}
+
+	out := &constraint.System{}
+	for _, p := range r.Sys.Preds {
+		// Drop DISJ on the iteration symbol.
+		if p.Kind == constraint.Disj && dpl.Equal(p.E, iter) {
+			continue
+		}
+		out.AddPred(p)
+	}
+	for _, rw := range rewrites {
+		// Each contribution must be applied exactly once: the guarded
+		// target partition must be disjoint (at most once) AND complete
+		// (at least once).
+		out.AddPred(constraint.Pred{Kind: constraint.Disj, E: dpl.Var{Name: rw.sym}})
+		out.AddPred(constraint.Pred{Kind: constraint.Comp, E: dpl.Var{Name: rw.sym}, Region: rw.region})
+	}
+	region := r.Loop.Region
+	for _, c := range r.Sys.Subsets {
+		replaced := false
+		for _, rw := range rewrites {
+			if to, ok := c.R.(dpl.Var); ok && to.Name == rw.sym && dpl.Equal(c.L, rw.from) {
+				out.AddSubset(constraint.Subset{
+					L: dpl.PreimageExpr{Region: region, Func: rw.fn, Of: dpl.Var{Name: rw.sym}},
+					R: iter,
+				})
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			out.AddSubset(c)
+		}
+	}
+	return out, guarded
+}
+
+// Systems extracts the constraint systems of the plans, for the solver.
+func Systems(plans []*LoopPlan) []*constraint.System {
+	out := make([]*constraint.System, len(plans))
+	for i, p := range plans {
+		out[i] = p.Sys
+	}
+	return out
+}
+
+// PrivateSubPartition builds the DPL expression of Theorem 5.1 for a
+// reduction partition defined as img = image(src, f, targetRegion) where
+// src is disjoint:
+//
+//	priv = img − image(preimage(srcRegion, f, img) − src, f, targetRegion)
+//
+// The caller is responsible for src's disjointness (checked against the
+// solved system with the prover). Returns the private sub-partition
+// expression.
+func PrivateSubPartition(img dpl.ImageExpr, srcRegion string) dpl.Expr {
+	expanded := dpl.PreimageExpr{Region: srcRegion, Func: img.Func, Of: img}
+	foreign := dpl.BinExpr{Op: dpl.OpMinus, L: expanded, R: img.Of}
+	shared := dpl.ImageExpr{Of: foreign, Func: img.Func, Region: img.Region}
+	return dpl.BinExpr{Op: dpl.OpMinus, L: img, R: shared}
+}
+
+// PrivatePlan records the private sub-partitions derived for reduction
+// symbols: extra DPL statements to evaluate and the mapping from each
+// reduction partition symbol to its private sub-partition symbol.
+type PrivatePlan struct {
+	// Extra holds statements computing the private sub-partitions; they
+	// reference symbols of the main program.
+	Extra dpl.Program
+	// PrivateOf maps a reduction partition symbol to the symbol of its
+	// private sub-partition.
+	PrivateOf map[string]string
+}
+
+// FindPrivateSubPartitions applies §5.2 to a solved program: for every
+// uncentered, unrelaxed reduction access whose canonical partition is an
+// image of a provably disjoint source, emit the Theorem 5.1 construction.
+// When a reduction partition is an intersection of image partitions the
+// paper's generalization (intersection of the individual private parts)
+// applies; our solver produces single images, so that case is the only
+// one handled.
+func FindPrivateSubPartitions(plans []*LoopPlan, sol *solver.Solution, external *constraint.System) *PrivatePlan {
+	pp := &PrivatePlan{PrivateOf: map[string]string{}}
+	hyps := sol.System.Clone()
+	if external != nil {
+		hyps.And(external)
+	}
+	prover := constraint.NewProver(hyps)
+
+	defs := map[string]dpl.Expr{}
+	for _, st := range sol.Program.Stmts {
+		defs[st.Name] = st.Expr
+	}
+
+	for _, plan := range plans {
+		if plan.Relaxed {
+			continue // §5.1 already removed the buffers
+		}
+		for _, a := range plan.Res.Accesses {
+			if a.Kind != infer.ReduceAccess || a.Centered {
+				continue
+			}
+			canonSym := sol.Resolve(a.Sym)
+			if _, done := pp.PrivateOf[canonSym]; done {
+				continue
+			}
+			expr := resolveExpr(canonSym, defs)
+			img, ok := expr.(dpl.ImageExpr)
+			if !ok {
+				continue
+			}
+			srcRegion, ok := sourceRegion(img.Of, hyps, defs)
+			if !ok {
+				continue
+			}
+			// Theorem 5.1 requires the image source to be disjoint.
+			if !prover.ProveDisj(substituteDefs(img.Of, defs)) {
+				continue
+			}
+			privSym := canonSym + "_priv"
+			pp.Extra.Append(privSym, PrivateSubPartition(img, srcRegion))
+			pp.PrivateOf[canonSym] = privSym
+		}
+	}
+	return pp
+}
+
+// resolveExpr chases Var aliases to the defining expression.
+func resolveExpr(sym string, defs map[string]dpl.Expr) dpl.Expr {
+	seen := map[string]bool{}
+	for {
+		e, ok := defs[sym]
+		if !ok {
+			return dpl.Var{Name: sym}
+		}
+		if v, isVar := e.(dpl.Var); isVar && !seen[v.Name] {
+			seen[v.Name] = true
+			sym = v.Name
+			continue
+		}
+		return e
+	}
+}
+
+// substituteDefs fully expands program-defined symbols inside an
+// expression so the prover can reason structurally (e.g. equal(R) is
+// disjoint by L1).
+func substituteDefs(e dpl.Expr, defs map[string]dpl.Expr) dpl.Expr {
+	for changed := true; changed; {
+		changed = false
+		for _, v := range dpl.FreeVars(e) {
+			if def, ok := defs[v]; ok {
+				e = dpl.Subst(e, v, def)
+				changed = true
+			}
+		}
+	}
+	return e
+}
+
+// sourceRegion determines which region the image's source expression
+// partitions.
+func sourceRegion(of dpl.Expr, hyps *constraint.System, defs map[string]dpl.Expr) (string, bool) {
+	partOf := hyps.PartOf()
+	if r, ok := dpl.RegionOf(substituteDefs(of, defs), partOf); ok {
+		return r, true
+	}
+	return dpl.RegionOf(of, partOf)
+}

@@ -1,0 +1,244 @@
+package optimize
+
+import (
+	"strings"
+	"testing"
+
+	"autopart/internal/dpl"
+	"autopart/internal/infer"
+	"autopart/internal/ir"
+	"autopart/internal/lang"
+	"autopart/internal/solver"
+)
+
+func inferSrc(t *testing.T, src string) []*infer.Result {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, err := ir.NormalizeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := infer.New(prog).InferProgram(loops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+const multiReduceSrc = `
+region R { v: scalar }
+region S { w: scalar }
+function f : R -> S
+function g : R -> S
+for i in R {
+  S[f(i)].w += R[i].v
+  S[g(i)].w += R[i].v
+}
+`
+
+func TestRelaxMultiReduce(t *testing.T) {
+	results := inferSrc(t, multiReduceSrc)
+	plans := Relax(results)
+	if len(plans) != 1 || !plans[0].Relaxed {
+		t.Fatalf("loop not relaxed: %+v", plans[0])
+	}
+	if len(plans[0].GuardedSyms) != 2 {
+		t.Fatalf("guarded syms = %v", plans[0].GuardedSyms)
+	}
+	sysText := plans[0].Sys.String()
+	// DISJ moved from the iteration symbol to the reduction targets.
+	if strings.Contains(sysText, "DISJ(P1)") {
+		t.Errorf("iteration DISJ not dropped:\n%s", sysText)
+	}
+	for _, sym := range plans[0].GuardedSyms {
+		if !strings.Contains(sysText, "DISJ("+sym+")") {
+			t.Errorf("missing DISJ(%s):\n%s", sym, sysText)
+		}
+		if !strings.Contains(sysText, "COMP("+sym+", S)") {
+			t.Errorf("missing COMP(%s, S):\n%s", sym, sysText)
+		}
+	}
+	// Image constraints replaced by preimage constraints into the
+	// iteration symbol.
+	if !strings.Contains(sysText, "preimage(R, f,") || !strings.Contains(sysText, "preimage(R, g,") {
+		t.Errorf("missing preimage constraints:\n%s", sysText)
+	}
+	if strings.Contains(sysText, "image(P1, f, S) ⊆") {
+		t.Errorf("image constraint not removed:\n%s", sysText)
+	}
+}
+
+func TestRelaxedSystemSolves(t *testing.T) {
+	results := inferSrc(t, multiReduceSrc)
+	plans := Relax(results)
+	sol, err := solver.SolveProgram(resultsWithSys(plans), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := sol.Program.String()
+	if !strings.Contains(text, "∪") {
+		t.Errorf("iteration partition should be a union of preimages:\n%s", text)
+	}
+}
+
+func resultsWithSys(plans []*LoopPlan) []*infer.Result {
+	out := make([]*infer.Result, len(plans))
+	for i, p := range plans {
+		clone := *p.Res
+		clone.Sys = p.Sys
+		out[i] = &clone
+	}
+	return out
+}
+
+func TestRelaxSkipsCenteredOnlyLoops(t *testing.T) {
+	results := inferSrc(t, `
+region R { v: scalar }
+for i in R {
+  R[i].v += 1
+}
+`)
+	plans := Relax(results)
+	if plans[0].Relaxed {
+		t.Error("centered-only loop must not be relaxed")
+	}
+}
+
+func TestRelaxGroupHeuristic(t *testing.T) {
+	// Two loops over R: the first is relaxable, the second has an
+	// unrelaxable uncentered reduction (through a pointer chain that is
+	// not a direct image of the iteration symbol). Neither may be
+	// relaxed ("only when all loops using the same region as the
+	// iteration space can be relaxed").
+	src := `
+region R { p: index(S), v: scalar }
+region S { w: scalar, q: index(T) }
+region T { u: scalar }
+function f : R -> S
+for i in R {
+  S[f(i)].w += R[i].v
+}
+for i in R {
+  T[S[R[i].p].q].u += R[i].v
+}
+`
+	results := inferSrc(t, src)
+	plans := Relax(results)
+	if plans[0].Relaxed || plans[1].Relaxed {
+		t.Errorf("group heuristic violated: %v %v", plans[0].Relaxed, plans[1].Relaxed)
+	}
+}
+
+func TestRelaxIndependentGroups(t *testing.T) {
+	// Loops over different regions relax independently.
+	src := `
+region R { v: scalar }
+region R2 { v2: scalar, p: index(S) }
+region S { w: scalar, q: index(T) }
+region T { u: scalar }
+function f : R -> S
+for i in R {
+  S[f(i)].w += R[i].v
+}
+for j in R2 {
+  T[S[R2[j].p].q].u += R2[j].v2
+}
+`
+	results := inferSrc(t, src)
+	plans := Relax(results)
+	if !plans[0].Relaxed {
+		t.Error("first loop should be relaxed")
+	}
+	if plans[1].Relaxed {
+		t.Error("second loop cannot be relaxed (pointer chain)")
+	}
+}
+
+func TestPrivateSubPartitionExpression(t *testing.T) {
+	img := dpl.ImageExpr{Of: dpl.Var{Name: "P"}, Func: "f", Region: "S"}
+	priv := PrivateSubPartition(img, "R")
+	want := "(image(P, f, S) − image((preimage(R, f, image(P, f, S)) − P), f, S))"
+	if priv.String() != want {
+		t.Errorf("priv = %s, want %s", priv, want)
+	}
+}
+
+func TestFindPrivateSubPartitions(t *testing.T) {
+	// MiniAero-like loop with relaxation disabled: the reduction
+	// partition is image(equal(Faces), c1, Cells) — its source is
+	// disjoint, so Theorem 5.1 applies.
+	src := `
+region Faces { c1: index(Cells), flux: scalar }
+region Cells { res: scalar }
+for f in Faces {
+  Cells[Faces[f].c1].res += Faces[f].flux
+}
+`
+	results := inferSrc(t, src)
+	// No relaxation.
+	plans := make([]*LoopPlan, len(results))
+	for i, r := range results {
+		plans[i] = &LoopPlan{Res: r, Sys: r.Sys}
+	}
+	sol, err := solver.SolveProgram(resultsWithSys(plans), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := FindPrivateSubPartitions(plans, sol, nil)
+	if len(pp.PrivateOf) != 1 {
+		t.Fatalf("PrivateOf = %v\nprogram:\n%s", pp.PrivateOf, sol.Program)
+	}
+	if len(pp.Extra.Stmts) != 1 {
+		t.Fatalf("Extra = %s", pp.Extra)
+	}
+	text := pp.Extra.String()
+	if !strings.Contains(text, "−") || !strings.Contains(text, "preimage(Faces,") {
+		t.Errorf("private sub-partition expression:\n%s", text)
+	}
+}
+
+func TestFindPrivateSkipsRelaxedLoops(t *testing.T) {
+	results := inferSrc(t, multiReduceSrc)
+	plans := Relax(results)
+	sol, err := solver.SolveProgram(resultsWithSys(plans), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := FindPrivateSubPartitions(plans, sol, nil)
+	if len(pp.PrivateOf) != 0 {
+		t.Errorf("relaxed loops need no private sub-partitions: %v", pp.PrivateOf)
+	}
+}
+
+func TestSystemsHelper(t *testing.T) {
+	results := inferSrc(t, multiReduceSrc)
+	plans := Relax(results)
+	systems := Systems(plans)
+	if len(systems) != 1 || systems[0] != plans[0].Sys {
+		t.Error("Systems should extract plan systems")
+	}
+}
+
+func TestRelaxKeepsOtherConstraints(t *testing.T) {
+	// An uncentered read in the same loop must survive relaxation.
+	src := `
+region R { v: scalar }
+region S { w: scalar, x: scalar }
+function f : R -> S
+function g : R -> S
+for i in R {
+  S[f(i)].w += R[i].v + S[g(i)].x
+}
+`
+	results := inferSrc(t, src)
+	plans := Relax(results)
+	if !plans[0].Relaxed {
+		t.Fatal("loop should relax")
+	}
+	if !strings.Contains(plans[0].Sys.String(), "image(P1, g, S)") {
+		t.Errorf("read constraint dropped:\n%s", plans[0].Sys)
+	}
+}

@@ -1,0 +1,236 @@
+package region
+
+import (
+	"fmt"
+	"strings"
+
+	"autopart/internal/geometry"
+)
+
+// Partition is a first-class, indexed family of subregions of a parent
+// region: Partition[i] is the index set of the ith subregion. All
+// partitions appearing together in one parallel launch share the same
+// color space [0, NumSubs).
+type Partition struct {
+	name   string
+	parent *Region
+	subs   []geometry.IndexSet
+}
+
+// NewPartition wraps explicit subregion index sets into a partition of
+// parent. It panics if any subregion escapes the parent's index space —
+// PART(P, R) is an invariant of the type, not a runtime property.
+func NewPartition(name string, parent *Region, subs []geometry.IndexSet) *Partition {
+	space := parent.Space()
+	for i, s := range subs {
+		if !s.SubsetOf(space) {
+			panic(fmt.Sprintf("partition %s: subregion %d escapes region %s", name, i, parent.Name()))
+		}
+	}
+	return &Partition{name: name, parent: parent, subs: subs}
+}
+
+// Name returns the partition's name.
+func (p *Partition) Name() string { return p.name }
+
+// Parent returns the partitioned region.
+func (p *Partition) Parent() *Region { return p.parent }
+
+// NumSubs returns the number of subregions (the size of the color space).
+func (p *Partition) NumSubs() int { return len(p.subs) }
+
+// Sub returns the index set of the ith subregion.
+func (p *Partition) Sub(i int) geometry.IndexSet { return p.subs[i] }
+
+// Subs returns all subregion index sets. The caller must not modify the
+// returned slice.
+func (p *Partition) Subs() []geometry.IndexSet { return p.subs }
+
+// IsDisjoint reports whether the subregions are pairwise disjoint
+// (the DISJ predicate).
+func (p *Partition) IsDisjoint() bool {
+	// Merge-based sweep: total work O(total intervals · log) instead of
+	// all-pairs.
+	var covered geometry.IndexSet
+	for _, s := range p.subs {
+		if !covered.Disjoint(s) {
+			return false
+		}
+		covered = covered.Union(s)
+	}
+	return true
+}
+
+// IsComplete reports whether the union of subregions covers the parent
+// region (the COMP predicate).
+func (p *Partition) IsComplete() bool {
+	var union geometry.IndexSet
+	for _, s := range p.subs {
+		union = union.Union(s)
+	}
+	return p.parent.Space().SubsetOf(union)
+}
+
+// UnionAll returns the union of all subregions.
+func (p *Partition) UnionAll() geometry.IndexSet {
+	var union geometry.IndexSet
+	for _, s := range p.subs {
+		union = union.Union(s)
+	}
+	return union
+}
+
+// SubsetOf reports whether p[i] ⊆ other[i] for every color i — the subset
+// constraint E1 ⊆ E2 of the constraint language. It requires other to
+// have at least as many colors as p.
+func (p *Partition) SubsetOf(other *Partition) bool {
+	if p.parent != other.parent || len(other.subs) < len(p.subs) {
+		return false
+	}
+	for i, s := range p.subs {
+		if !s.SubsetOf(other.subs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SamePartition reports whether the two partitions have identical
+// subregions (same parent, same color space, same index sets).
+func (p *Partition) SamePartition(other *Partition) bool {
+	if p.parent != other.parent || len(p.subs) != len(other.subs) {
+		return false
+	}
+	for i, s := range p.subs {
+		if !s.Equal(other.subs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rename returns a view of the partition under a different name, sharing
+// subregion storage.
+func (p *Partition) Rename(name string) *Partition {
+	return &Partition{name: name, parent: p.parent, subs: p.subs}
+}
+
+func (p *Partition) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s = partition of %s:", p.name, p.parent.Name())
+	for i, s := range p.subs {
+		fmt.Fprintf(&sb, "\n  [%d] %s", i, s.String())
+	}
+	return sb.String()
+}
+
+func combine(name string, a, b *Partition, op func(x, y geometry.IndexSet) geometry.IndexSet) *Partition {
+	if a.parent != b.parent {
+		panic(fmt.Sprintf("partition %s: operands partition different regions (%s, %s)",
+			name, a.parent.Name(), b.parent.Name()))
+	}
+	n := len(a.subs)
+	if len(b.subs) != n {
+		panic(fmt.Sprintf("partition %s: color space mismatch (%d vs %d)", name, n, len(b.subs)))
+	}
+	subs := make([]geometry.IndexSet, n)
+	for i := 0; i < n; i++ {
+		subs[i] = op(a.subs[i], b.subs[i])
+	}
+	return &Partition{name: name, parent: a.parent, subs: subs}
+}
+
+// Union returns the subregion-wise union (E1 ∪ E2)[i] = E1[i] ∪ E2[i].
+func Union(name string, a, b *Partition) *Partition {
+	return combine(name, a, b, geometry.IndexSet.Union)
+}
+
+// Intersect returns the subregion-wise intersection.
+func Intersect(name string, a, b *Partition) *Partition {
+	return combine(name, a, b, geometry.IndexSet.Intersect)
+}
+
+// Subtract returns the subregion-wise difference.
+func Subtract(name string, a, b *Partition) *Partition {
+	return combine(name, a, b, geometry.IndexSet.Subtract)
+}
+
+// Disjointify returns a disjoint partition with the same per-color
+// coverage intent: each element goes to the first color containing it.
+// Used to derive an owner (valid-instance) distribution from a possibly
+// aliased partition.
+func Disjointify(name string, p *Partition) *Partition {
+	var covered geometry.IndexSet
+	subs := make([]geometry.IndexSet, p.NumSubs())
+	for i := range subs {
+		subs[i] = p.Sub(i).Subtract(covered)
+		covered = covered.Union(p.Sub(i))
+	}
+	return &Partition{name: name, parent: p.parent, subs: subs}
+}
+
+// Equal creates a complete, disjoint partition of r into n subregions of
+// (approximately) equal size — the equal DPL operator.
+func Equal(name string, r *Region, n int) *Partition {
+	if n <= 0 {
+		panic(fmt.Sprintf("partition %s: non-positive color count %d", name, n))
+	}
+	size := r.Size()
+	subs := make([]geometry.IndexSet, n)
+	chunk := size / int64(n)
+	rem := size % int64(n)
+	var lo int64
+	for i := 0; i < n; i++ {
+		hi := lo + chunk
+		if int64(i) < rem {
+			hi++
+		}
+		subs[i] = geometry.Range(lo, hi)
+		lo = hi
+	}
+	return &Partition{name: name, parent: r, subs: subs}
+}
+
+// Image creates the partition image(src, f, target)[i] = f(src[i]) ∩
+// target — the image DPL operator.
+func Image(name string, src *Partition, f geometry.IndexMap, target *Region) *Partition {
+	space := target.Space()
+	subs := make([]geometry.IndexSet, len(src.subs))
+	for i, s := range src.subs {
+		subs[i] = geometry.Image(s, f, space)
+	}
+	return &Partition{name: name, parent: target, subs: subs}
+}
+
+// Preimage creates preimage(domain, f, src)[i] = f⁻¹(src[i]) ∩ domain —
+// the preimage DPL operator.
+func Preimage(name string, domain *Region, f geometry.IndexMap, src *Partition) *Partition {
+	space := domain.Space()
+	subs := make([]geometry.IndexSet, len(src.subs))
+	for i, s := range src.subs {
+		subs[i] = geometry.Preimage(space, f, s)
+	}
+	return &Partition{name: name, parent: domain, subs: subs}
+}
+
+// ImageMulti creates IMAGE(src, F, target) for a multi-valued map — the
+// generalized image operator of §4.
+func ImageMulti(name string, src *Partition, f geometry.MultiMap, target *Region) *Partition {
+	space := target.Space()
+	subs := make([]geometry.IndexSet, len(src.subs))
+	for i, s := range src.subs {
+		subs[i] = geometry.ImageMulti(s, f, space)
+	}
+	return &Partition{name: name, parent: target, subs: subs}
+}
+
+// PreimageMulti creates PREIMAGE(domain, F, src) for a multi-valued map —
+// the generalized preimage operator of §4.
+func PreimageMulti(name string, domain *Region, f geometry.MultiMap, src *Partition) *Partition {
+	space := domain.Space()
+	subs := make([]geometry.IndexSet, len(src.subs))
+	for i, s := range src.subs {
+		subs[i] = geometry.PreimageMulti(space, f, s)
+	}
+	return &Partition{name: name, parent: domain, subs: subs}
+}

@@ -1,0 +1,464 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"autopart/internal/ir"
+	"autopart/internal/region"
+)
+
+// Executor runs parallel loops against concrete regions and partitions
+// with parallel semantics: each task (color) reads the launch-entry
+// snapshot plus its own writes, writes flush at task end, and uncentered
+// reduction contributions collect in buffers merged after all tasks.
+// Every access is containment-checked against the task's subregion; a
+// violation means the partitioning was unsound and aborts the launch.
+type Executor struct {
+	M *ir.Machine
+	// Parts binds canonical partition symbols to evaluated partitions.
+	Parts map[string]*region.Partition
+}
+
+// NewExecutor creates an executor over a machine.
+func NewExecutor(m *ir.Machine) *Executor {
+	return &Executor{M: m, Parts: map[string]*region.Partition{}}
+}
+
+// Bind registers an evaluated partition.
+func (ex *Executor) Bind(sym string, p *region.Partition) *Executor {
+	ex.Parts[sym] = p
+	return ex
+}
+
+// fieldKey identifies a region field.
+type fieldKey struct{ region, field string }
+
+// overlay is a task's private view: reads hit the task's writes first,
+// then the launch snapshot; writes stay private until flush.
+type overlay struct {
+	scalars map[fieldKey]map[int64]float64
+	indexes map[fieldKey]map[int64]int64
+}
+
+func newOverlay() *overlay {
+	return &overlay{
+		scalars: map[fieldKey]map[int64]float64{},
+		indexes: map[fieldKey]map[int64]int64{},
+	}
+}
+
+func (o *overlay) writeScalar(k fieldKey, idx int64, v float64) {
+	m := o.scalars[k]
+	if m == nil {
+		m = map[int64]float64{}
+		o.scalars[k] = m
+	}
+	m[idx] = v
+}
+
+func (o *overlay) writeIndex(k fieldKey, idx int64, v int64) {
+	m := o.indexes[k]
+	if m == nil {
+		m = map[int64]int64{}
+		o.indexes[k] = m
+	}
+	m[idx] = v
+}
+
+// buffer accumulates uncentered reduction contributions for one field.
+type buffer struct {
+	op     string
+	values map[int64]float64
+}
+
+// RunLaunch executes one parallel loop over all colors of its iteration
+// partition.
+func (ex *Executor) RunLaunch(pl *ParallelLoop) error {
+	iter, ok := ex.Parts[pl.IterSym]
+	if !ok {
+		return fmt.Errorf("launch %s: unbound iteration partition %q", pl, pl.IterSym)
+	}
+
+	// Launch-entry snapshot of every region (tasks read this, not each
+	// other's writes).
+	snapshot := map[string]*region.Region{}
+	for name, r := range ex.M.Regions {
+		snapshot[name] = r.CloneData()
+	}
+
+	buffers := map[fieldKey]*buffer{}
+
+	for color := 0; color < iter.NumSubs(); color++ {
+		task := &taskExec{
+			ex:       ex,
+			pl:       pl,
+			color:    color,
+			snapshot: snapshot,
+			overlay:  newOverlay(),
+			buffers:  buffers,
+		}
+		var taskErr error
+		iter.Sub(color).Each(func(k int64) bool {
+			env := ir.Env{pl.Loop.Var: ir.IndexValue(k)}
+			if err := task.runBody(pl.Loop.Stmts, env); err != nil {
+				taskErr = fmt.Errorf("task %d, iteration %d: %w", color, k, err)
+				return false
+			}
+			return true
+		})
+		if taskErr != nil {
+			return taskErr
+		}
+		task.flush()
+	}
+
+	// Merge reduction buffers (deterministic order).
+	keys := make([]fieldKey, 0, len(buffers))
+	for k := range buffers {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].region != keys[j].region {
+			return keys[i].region < keys[j].region
+		}
+		return keys[i].field < keys[j].field
+	})
+	for _, k := range keys {
+		buf := buffers[k]
+		r := ex.M.Regions[k.region]
+		data := r.Scalar(k.field)
+		idxs := make([]int64, 0, len(buf.values))
+		for idx := range buf.values {
+			idxs = append(idxs, idx)
+		}
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		for _, idx := range idxs {
+			data[idx] = ir.ApplyReduce(buf.op, data[idx], buf.values[idx])
+		}
+	}
+	return nil
+}
+
+// taskExec is the per-task interpreter.
+type taskExec struct {
+	ex       *Executor
+	pl       *ParallelLoop
+	color    int
+	snapshot map[string]*region.Region
+	overlay  *overlay
+	buffers  map[fieldKey]*buffer
+}
+
+// flush applies the task's private writes to the live regions.
+func (t *taskExec) flush() {
+	for k, m := range t.overlay.scalars {
+		data := t.ex.M.Regions[k.region].Scalar(k.field)
+		for idx, v := range m {
+			data[idx] = v
+		}
+	}
+	for k, m := range t.overlay.indexes {
+		data := t.ex.M.Regions[k.region].Index(k.field)
+		for idx, v := range m {
+			data[idx] = v
+		}
+	}
+}
+
+// contains checks the containment of an access index in the task's
+// subregion of the access partition.
+func (t *taskExec) contains(info *AccessInfo, idx int64) error {
+	p, ok := t.ex.Parts[info.Sym]
+	if !ok {
+		return fmt.Errorf("unbound partition %q", info.Sym)
+	}
+	if !p.Sub(t.color).Contains(idx) {
+		return fmt.Errorf("access %s[%d].%s escapes subregion %s[%d] — unsound partitioning",
+			info.Region, idx, info.Field, info.Sym, t.color)
+	}
+	return nil
+}
+
+func (t *taskExec) runBody(stmts []ir.Stmt, env ir.Env) error {
+	for _, s := range stmts {
+		if err := t.step(s, env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *taskExec) readScalar(k fieldKey, idx int64) float64 {
+	if m, ok := t.overlay.scalars[k]; ok {
+		if v, ok := m[idx]; ok {
+			return v
+		}
+	}
+	return t.snapshot[k.region].Scalar(k.field)[idx]
+}
+
+func (t *taskExec) readIndex(k fieldKey, idx int64) int64 {
+	if m, ok := t.overlay.indexes[k]; ok {
+		if v, ok := m[idx]; ok {
+			return v
+		}
+	}
+	return t.snapshot[k.region].Index(k.field)[idx]
+}
+
+func (t *taskExec) step(s ir.Stmt, env ir.Env) error {
+	switch st := s.(type) {
+	case *ir.Load:
+		info := t.pl.Access[s]
+		if info == nil {
+			return fmt.Errorf("%s: no access plan", st)
+		}
+		idxVal, err := indexOf(env, st.Idx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", st, err)
+		}
+		if err := t.contains(info, idxVal); err != nil {
+			return err
+		}
+		k := fieldKey{st.Region, st.Field}
+		r := t.snapshot[st.Region]
+		kind, _ := r.FieldKindOf(st.Field)
+		switch kind {
+		case region.ScalarField:
+			env[st.Var] = ir.ScalarValue(t.readScalar(k, idxVal))
+		case region.IndexField:
+			v := t.readIndex(k, idxVal)
+			if v < 0 {
+				env[st.Var] = ir.InvalidIndex()
+			} else {
+				env[st.Var] = ir.IndexValue(v)
+			}
+		default:
+			return fmt.Errorf("%s: cannot load range field", st)
+		}
+		return nil
+
+	case *ir.Store:
+		info := t.pl.Access[s]
+		if info == nil {
+			return fmt.Errorf("%s: no access plan", st)
+		}
+		idxVal, err := indexOf(env, st.Idx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", st, err)
+		}
+		rhs, err := t.scalar(st.Rhs, env)
+		if err != nil {
+			return fmt.Errorf("%s: %w", st, err)
+		}
+		k := fieldKey{st.Region, st.Field}
+
+		if info.Guarded {
+			// §5.1: apply only when this task owns the target; the
+			// disjoint complete target partition guarantees exactly-once
+			// across the launch.
+			p, ok := t.ex.Parts[info.Sym]
+			if !ok {
+				return fmt.Errorf("%s: unbound partition %q", st, info.Sym)
+			}
+			if !p.Sub(t.color).Contains(idxVal) {
+				return nil
+			}
+			old := t.readScalar(k, idxVal)
+			t.overlay.writeScalar(k, idxVal, ir.ApplyReduce(string(st.Op), old, rhs))
+			return nil
+		}
+
+		if err := t.contains(info, idxVal); err != nil {
+			return err
+		}
+
+		if info.Buffered {
+			buf := t.buffers[k]
+			if buf == nil {
+				buf = &buffer{op: string(st.Op), values: map[int64]float64{}}
+				t.buffers[k] = buf
+			}
+			old, seen := buf.values[idxVal]
+			if !seen {
+				old = ir.ReduceIdentity(string(st.Op))
+			}
+			buf.values[idxVal] = ir.ApplyReduce(string(st.Op), old, rhs)
+			return nil
+		}
+
+		// Plain store or centered reduction: task-private read-modify-
+		// write. Pointer fields take the raw value.
+		r := t.snapshot[st.Region]
+		if kind, _ := r.FieldKindOf(st.Field); kind == region.IndexField {
+			t.overlay.writeIndex(k, idxVal, int64(rhs))
+			return nil
+		}
+		old := t.readScalar(k, idxVal)
+		t.overlay.writeScalar(k, idxVal, ir.ApplyReduce(string(st.Op), old, rhs))
+		return nil
+
+	case *ir.LetScalar:
+		v, err := t.scalar(st.Rhs, env)
+		if err != nil {
+			return fmt.Errorf("%s: %w", st, err)
+		}
+		env[st.Var] = ir.ScalarValue(v)
+		return nil
+
+	case *ir.Apply:
+		f, ok := t.ex.M.Funcs[st.Func]
+		if !ok {
+			return fmt.Errorf("%s: unknown index function", st)
+		}
+		arg, err := indexOf(env, st.Arg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", st, err)
+		}
+		if v, ok := f.Apply(arg); ok {
+			env[st.Var] = ir.IndexValue(v)
+		} else {
+			env[st.Var] = ir.InvalidIndex()
+		}
+		return nil
+
+	case *ir.Alias:
+		v, ok := env[st.Src]
+		if !ok {
+			return fmt.Errorf("%s: unbound source", st)
+		}
+		env[st.Var] = v
+		return nil
+
+	case *ir.Inner:
+		info := t.pl.Access[s]
+		if info == nil {
+			return fmt.Errorf("%s: no access plan", st)
+		}
+		idxVal, err := indexOf(env, st.Idx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", st, err)
+		}
+		if err := t.contains(info, idxVal); err != nil {
+			return err
+		}
+		iv := t.snapshot[st.RangeRegion].Ranges(st.RangeField)[idxVal]
+		for j := iv.Lo; j < iv.Hi; j++ {
+			env[st.Var] = ir.IndexValue(j)
+			if err := t.runBody(st.Body, env); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *ir.IfIn:
+		v, ok := env[st.Idx]
+		if !ok {
+			return fmt.Errorf("%s: unbound index", st)
+		}
+		in := false
+		if v.Valid {
+			if r, isRegion := t.ex.M.Regions[st.Space]; isRegion {
+				in = v.I >= 0 && v.I < r.Size()
+			} else if p, isPart := t.ex.M.Partitions[st.Space]; isPart {
+				in = p.UnionAll().Contains(v.I)
+			} else {
+				return fmt.Errorf("%s: unknown space", st)
+			}
+		}
+		if in {
+			return t.runBody(st.Then, env)
+		}
+		return t.runBody(st.Else, env)
+
+	case *ir.IfCmp:
+		l, err := t.scalar(st.L, env)
+		if err != nil {
+			return err
+		}
+		r, err := t.scalar(st.R, env)
+		if err != nil {
+			return err
+		}
+		var cond bool
+		switch st.Op {
+		case "==":
+			cond = l == r
+		case "!=":
+			cond = l != r
+		default:
+			return fmt.Errorf("%s: unknown comparison", st)
+		}
+		if cond {
+			return t.runBody(st.Then, env)
+		}
+		return t.runBody(st.Else, env)
+
+	default:
+		return fmt.Errorf("unknown statement %T", s)
+	}
+}
+
+func (t *taskExec) scalar(e ir.ScalarExpr, env ir.Env) (float64, error) {
+	switch x := e.(type) {
+	case ir.Const:
+		return x.V, nil
+	case ir.VarExpr:
+		v, ok := env[x.Name]
+		if !ok {
+			return 0, fmt.Errorf("unbound variable %q", x.Name)
+		}
+		return v.AsScalar(), nil
+	case ir.CallExpr:
+		args := make([]float64, len(x.Args))
+		for i, a := range x.Args {
+			v, err := t.scalar(a, env)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		return ir.OpaqueFn(x.Func, args), nil
+	case ir.BinExpr:
+		l, err := t.scalar(x.L, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := t.scalar(x.R, env)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, nil
+			}
+			return l / r, nil
+		default:
+			return 0, fmt.Errorf("unknown operator %q", x.Op)
+		}
+	default:
+		return 0, fmt.Errorf("unknown scalar expression %T", e)
+	}
+}
+
+func indexOf(env ir.Env, name string) (int64, error) {
+	v, ok := env[name]
+	if !ok {
+		return 0, fmt.Errorf("unbound variable %q", name)
+	}
+	if !v.IsIndex {
+		return 0, fmt.Errorf("variable %q is not an index", name)
+	}
+	if !v.Valid {
+		return 0, fmt.Errorf("variable %q holds an invalid index", name)
+	}
+	return v.I, nil
+}

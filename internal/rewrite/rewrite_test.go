@@ -1,0 +1,221 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"autopart/internal/geometry"
+	"autopart/internal/infer"
+	"autopart/internal/ir"
+	"autopart/internal/lang"
+	"autopart/internal/optimize"
+	"autopart/internal/region"
+	"autopart/internal/solver"
+)
+
+func compile(t *testing.T, src string, relax bool) ([]*optimize.LoopPlan, *solver.Solution, *optimize.PrivatePlan) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, err := ir.NormalizeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := infer.New(prog).InferProgram(loops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plans []*optimize.LoopPlan
+	if relax {
+		plans = optimize.Relax(results)
+	} else {
+		plans = make([]*optimize.LoopPlan, len(results))
+		for i, r := range results {
+			plans[i] = &optimize.LoopPlan{Res: r, Sys: r.Sys}
+		}
+	}
+	clones := make([]*infer.Result, len(plans))
+	for i, p := range plans {
+		c := *p.Res
+		c.Sys = p.Sys
+		clones[i] = &c
+	}
+	sol, err := solver.SolveProgram(clones, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv := optimize.FindPrivateSubPartitions(plans, sol, nil)
+	return plans, sol, priv
+}
+
+const reduceSrc = `
+region Faces { c1: index(Cells), flux: scalar }
+region Cells { res: scalar }
+for f in Faces {
+  Cells[Faces[f].c1].res += Faces[f].flux
+}
+`
+
+func TestBuildUnrelaxedReduction(t *testing.T) {
+	plans, sol, priv := compile(t, reduceSrc, false)
+	pls := Build(plans, sol, priv)
+	if len(pls) != 1 {
+		t.Fatalf("launches = %d", len(pls))
+	}
+	pl := pls[0]
+	if pl.Relaxed {
+		t.Error("loop should not be relaxed")
+	}
+	var sawBuffered bool
+	for _, info := range pl.Access {
+		if info.Kind == infer.ReduceAccess {
+			if !info.Buffered || info.Guarded {
+				t.Errorf("reduce access plan = %+v", info)
+			}
+			if info.PrivateSym == "" {
+				t.Error("private sub-partition should be attached")
+			}
+			sawBuffered = true
+		}
+	}
+	if !sawBuffered {
+		t.Fatal("no reduce access found")
+	}
+	if !strings.Contains(pl.String(), "parallel for") {
+		t.Errorf("String = %q", pl.String())
+	}
+	syms := pl.Symbols()
+	if len(syms) < 2 || syms[0] != pl.IterSym {
+		t.Errorf("Symbols = %v", syms)
+	}
+}
+
+func TestBuildRelaxedGuards(t *testing.T) {
+	src := `
+region R { v: scalar }
+region S { w: scalar }
+function f : R -> S
+function g : R -> S
+for i in R {
+  S[f(i)].w += R[i].v
+  S[g(i)].w += R[i].v
+}
+`
+	plans, sol, priv := compile(t, src, true)
+	pls := Build(plans, sol, priv)
+	pl := pls[0]
+	if !pl.Relaxed {
+		t.Fatal("loop should be relaxed")
+	}
+	guarded := 0
+	for _, info := range pl.Access {
+		if info.Guarded {
+			guarded++
+			if info.Buffered {
+				t.Error("guarded access must not be buffered")
+			}
+		}
+	}
+	if guarded != 2 {
+		t.Errorf("guarded accesses = %d, want 2", guarded)
+	}
+}
+
+// TestExecutorContainmentViolation binds a partition that is too small
+// and checks the containment error fires.
+func TestExecutorContainmentViolation(t *testing.T) {
+	plans, sol, priv := compile(t, reduceSrc, false)
+	pls := Build(plans, sol, priv)
+	pl := pls[0]
+
+	faces := region.New("Faces", 8)
+	faces.AddIndexField("c1")
+	faces.AddScalarField("flux")
+	cells := region.New("Cells", 8)
+	cells.AddScalarField("res")
+	for i := range faces.Index("c1") {
+		faces.Index("c1")[i] = int64(i)
+	}
+	m := ir.NewMachine().AddRegion(faces).AddRegion(cells)
+
+	ex := NewExecutor(m)
+	// Iteration partition: everything in color 0.
+	ex.Bind(pl.IterSym, region.NewPartition("iter", faces, []geometry.IndexSet{
+		geometry.Range(0, 8), {},
+	}))
+	// Bind every other symbol to an empty-ish partition to provoke the
+	// containment check.
+	for _, sym := range pl.Symbols()[1:] {
+		var parent *region.Region
+		for _, info := range pl.Access {
+			if info.Sym == sym {
+				parent = m.Regions[info.Region]
+			}
+		}
+		if parent == nil {
+			parent = faces
+		}
+		ex.Bind(sym, region.NewPartition(sym, parent, []geometry.IndexSet{
+			geometry.Range(0, 1), {},
+		}))
+	}
+	err := ex.RunLaunch(pl)
+	if err == nil || !strings.Contains(err.Error(), "escapes subregion") {
+		t.Fatalf("expected containment violation, got %v", err)
+	}
+}
+
+func TestExecutorUnboundPartitions(t *testing.T) {
+	plans, sol, priv := compile(t, reduceSrc, false)
+	pl := Build(plans, sol, priv)[0]
+	m := ir.NewMachine()
+	ex := NewExecutor(m)
+	if err := ex.RunLaunch(pl); err == nil || !strings.Contains(err.Error(), "unbound iteration partition") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExecutorReductionBufferMerge(t *testing.T) {
+	// Two tasks reduce into the same cell; the buffer must merge both
+	// contributions exactly once.
+	plans, sol, priv := compile(t, reduceSrc, false)
+	pl := Build(plans, sol, priv)[0]
+
+	faces := region.New("Faces", 4)
+	faces.AddIndexField("c1")
+	faces.AddScalarField("flux")
+	cells := region.New("Cells", 2)
+	cells.AddScalarField("res")
+	copy(faces.Index("c1"), []int64{0, 0, 0, 1})
+	copy(faces.Scalar("flux"), []float64{1, 2, 4, 8})
+	m := ir.NewMachine().AddRegion(faces).AddRegion(cells)
+
+	ex := NewExecutor(m)
+	// Tasks split faces 0..1 / 2..3; both touch cell 0.
+	ex.Bind(pl.IterSym, region.NewPartition("iter", faces, []geometry.IndexSet{
+		geometry.Range(0, 2), geometry.Range(2, 4),
+	}))
+	full := []geometry.IndexSet{geometry.Range(0, 2), geometry.Range(0, 2)}
+	fullFaces := []geometry.IndexSet{geometry.Range(0, 4), geometry.Range(0, 4)}
+	for _, sym := range pl.Symbols()[1:] {
+		var parent *region.Region
+		for _, info := range pl.Access {
+			if info.Sym == sym {
+				parent = m.Regions[info.Region]
+			}
+		}
+		if parent == cells {
+			ex.Bind(sym, region.NewPartition(sym, cells, full))
+		} else {
+			ex.Bind(sym, region.NewPartition(sym, faces, fullFaces))
+		}
+	}
+	if err := ex.RunLaunch(pl); err != nil {
+		t.Fatal(err)
+	}
+	if got := cells.Scalar("res"); got[0] != 7 || got[1] != 8 {
+		t.Errorf("res = %v, want [7 8]", got)
+	}
+}

@@ -1,0 +1,279 @@
+// Package runtime models the task-based distributed runtime the paper's
+// system executes on (a Legion substitute): index-space task launches
+// with region requirements and privileges, Legion-style non-interference
+// rules between launches, and reduction instances.
+//
+// The runtime does not move real data — package rewrite executes loops
+// functionally — it provides the structural information (who accesses
+// which subregions with which privilege) that the cost model in package
+// sim turns into communication volume and time.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autopart/internal/infer"
+	"autopart/internal/rewrite"
+)
+
+// Privilege is a Legion-style access privilege.
+type Privilege int
+
+// Privileges.
+const (
+	// ReadOnly: the task only reads the subregion.
+	ReadOnly Privilege = iota
+	// ReadWrite: the task reads and writes (exclusive).
+	ReadWrite
+	// WriteDiscard: the task overwrites without reading; no fetch of the
+	// previous contents is needed.
+	WriteDiscard
+	// Reduce: the task contributes reductions with a single operator.
+	Reduce
+)
+
+func (p Privilege) String() string {
+	switch p {
+	case ReadOnly:
+		return "RO"
+	case ReadWrite:
+		return "RW"
+	case WriteDiscard:
+		return "WD"
+	case Reduce:
+		return "RED"
+	default:
+		return fmt.Sprintf("Privilege(%d)", int(p))
+	}
+}
+
+// Requirement is one region requirement of an index launch: task j
+// accesses subregion Sym[j] of Region with the given privilege on the
+// listed fields.
+type Requirement struct {
+	Region string
+	Fields []string
+	Priv   Privilege
+	Sym    string
+	// ReduceOp is set for Reduce requirements.
+	ReduceOp string
+	// Guarded marks a §5.1 relaxed reduction: the target partition is
+	// disjoint and complete, so no reduction instance is needed.
+	Guarded bool
+	// PrivateSym optionally names the §5.2 private sub-partition that
+	// shrinks the reduction instance to the shared remainder.
+	PrivateSym string
+	// TouchedSym optionally names the partition of elements actually
+	// written by the reduction; merge traffic moves only these, while
+	// the instance (buffer) is sized by Sym. Hand-optimized codes that
+	// over-allocate reduction instances (the paper's Circuit) set Sym to
+	// the big allocation and TouchedSym to the tight image.
+	TouchedSym string
+}
+
+func (r Requirement) String() string {
+	extra := ""
+	if r.Guarded {
+		extra = " guarded"
+	}
+	if r.PrivateSym != "" {
+		extra += " private=" + r.PrivateSym
+	}
+	return fmt.Sprintf("%s(%s.{%s} via %s%s)", r.Priv, r.Region, strings.Join(r.Fields, ","), r.Sym, extra)
+}
+
+// Launch is one index-space task launch (a parallel for over the colors
+// of the iteration partition).
+type Launch struct {
+	Name    string
+	IterSym string
+	Reqs    []Requirement
+	// WorkPerElement is the relative compute cost of one loop iteration
+	// (used by the cost model); roughly the number of statements.
+	WorkPerElement float64
+	// WorkSym optionally names the partition whose subregion sizes weight
+	// each task's compute (defaults to the iteration partition). SpMV
+	// uses the matrix partition so rows are weighted by their nonzeros.
+	WorkSym string
+}
+
+func (l *Launch) String() string {
+	parts := make([]string, len(l.Reqs))
+	for i, r := range l.Reqs {
+		parts[i] = r.String()
+	}
+	return fmt.Sprintf("launch %s over %s: %s", l.Name, l.IterSym, strings.Join(parts, "; "))
+}
+
+// FromParallelLoop converts a rewritten loop into a launch. Per
+// (partition, region, field) the access mix decides the privilege: reads
+// only → RO; plain stores only → WriteDiscard; read+write mixes and
+// centered reductions → RW; uncentered reductions → Reduce (guarded or
+// buffered). Fields with the same privilege under the same partition
+// aggregate into one requirement.
+func FromParallelLoop(name string, pl *rewrite.ParallelLoop) *Launch {
+	type fkey struct {
+		sym, region, field string
+		guarded            bool
+	}
+	type use struct {
+		reads, writes, centeredRed int
+		uncenteredRed              int
+		op                         string
+		privateSym                 string
+	}
+	uses := map[fkey]*use{}
+	var forder []fkey
+	work := 0.0
+
+	for _, info := range pl.Access {
+		work++
+		k := fkey{info.Sym, info.Region, info.Field, info.Guarded}
+		u, ok := uses[k]
+		if !ok {
+			u = &use{}
+			uses[k] = u
+			forder = append(forder, k)
+		}
+		switch info.Kind {
+		case infer.ReadAccess, infer.RangeAccess:
+			u.reads++
+		case infer.WriteAccess:
+			u.writes++
+		case infer.ReduceAccess:
+			if info.Centered {
+				u.centeredRed++
+			} else {
+				u.uncenteredRed++
+				u.op = string(info.Op)
+				u.privateSym = info.PrivateSym
+			}
+		}
+	}
+
+	privOf := func(u *use) Privilege {
+		switch {
+		case u.uncenteredRed > 0:
+			return Reduce
+		case u.centeredRed > 0 || (u.reads > 0 && u.writes > 0):
+			return ReadWrite
+		case u.writes > 0:
+			return WriteDiscard
+		default:
+			return ReadOnly
+		}
+	}
+
+	type rkey struct {
+		sym, region string
+		priv        Privilege
+		guarded     bool
+	}
+	agg := map[rkey]*Requirement{}
+	var order []rkey
+	for _, k := range forder {
+		u := uses[k]
+		priv := privOf(u)
+		rk := rkey{k.sym, k.region, priv, k.guarded}
+		req, ok := agg[rk]
+		if !ok {
+			req = &Requirement{
+				Region:  k.region,
+				Priv:    priv,
+				Sym:     k.sym,
+				Guarded: k.guarded,
+			}
+			if priv == Reduce {
+				req.ReduceOp = u.op
+				req.PrivateSym = u.privateSym
+			}
+			agg[rk] = req
+			order = append(order, rk)
+		}
+		found := false
+		for _, f := range req.Fields {
+			if f == k.field {
+				found = true
+				break
+			}
+		}
+		if !found {
+			req.Fields = append(req.Fields, k.field)
+		}
+	}
+
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].sym != order[j].sym {
+			return order[i].sym < order[j].sym
+		}
+		if order[i].region != order[j].region {
+			return order[i].region < order[j].region
+		}
+		return order[i].priv < order[j].priv
+	})
+	l := &Launch{Name: name, IterSym: pl.IterSym, WorkPerElement: work}
+	for _, k := range order {
+		req := agg[k]
+		sort.Strings(req.Fields)
+		l.Reqs = append(l.Reqs, *req)
+	}
+	return l
+}
+
+// Dependence records that launch To must wait for launch From.
+type Dependence struct {
+	From, To int
+	Region   string
+	Field    string
+	Reason   string
+}
+
+// Dependences computes the inter-launch dependences under Legion's
+// non-interference rules: two launches are independent on a field unless
+// one of them writes it, or they reduce with different operators, or a
+// reduction is followed by a read. Requirements on provably disjoint
+// field sets never interfere.
+func Dependences(launches []*Launch) []Dependence {
+	var deps []Dependence
+	type lastUse struct {
+		launch int
+		priv   Privilege
+		op     string
+	}
+	last := map[string][]lastUse{} // region.field -> uses since last writer
+
+	for i, l := range launches {
+		for _, req := range l.Reqs {
+			for _, f := range req.Fields {
+				key := req.Region + "." + f
+				for _, prev := range last[key] {
+					if interferes(prev.priv, prev.op, req.Priv, req.ReduceOp) {
+						deps = append(deps, Dependence{
+							From: prev.launch, To: i,
+							Region: req.Region, Field: f,
+							Reason: fmt.Sprintf("%s after %s", req.Priv, prev.priv),
+						})
+					}
+				}
+				last[key] = append(last[key], lastUse{i, req.Priv, req.ReduceOp})
+			}
+		}
+	}
+	return deps
+}
+
+func interferes(aPriv Privilege, aOp string, bPriv Privilege, bOp string) bool {
+	switch {
+	case aPriv == ReadOnly && bPriv == ReadOnly:
+		return false
+	case aPriv == Reduce && bPriv == Reduce:
+		return aOp != bOp
+	default:
+		return true
+	}
+}
+
+// privilege ordering note: WriteDiscard interferes like a write with
+// everything (it clobbers data), which the default case covers.

@@ -1,0 +1,207 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"autopart/internal/infer"
+	"autopart/internal/ir"
+	"autopart/internal/lang"
+	"autopart/internal/optimize"
+	"autopart/internal/rewrite"
+	"autopart/internal/solver"
+)
+
+func buildLaunches(t *testing.T, src string, relax bool) []*Launch {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, err := ir.NormalizeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := infer.New(prog).InferProgram(loops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plans []*optimize.LoopPlan
+	if relax {
+		plans = optimize.Relax(results)
+	} else {
+		plans = make([]*optimize.LoopPlan, len(results))
+		for i, r := range results {
+			plans[i] = &optimize.LoopPlan{Res: r, Sys: r.Sys}
+		}
+	}
+	clones := make([]*infer.Result, len(plans))
+	for i, p := range plans {
+		c := *p.Res
+		c.Sys = p.Sys
+		clones[i] = &c
+	}
+	sol, err := solver.SolveProgram(clones, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv := optimize.FindPrivateSubPartitions(plans, sol, nil)
+	pls := rewrite.Build(plans, sol, priv)
+	out := make([]*Launch, len(pls))
+	for i, pl := range pls {
+		out[i] = FromParallelLoop(lang.Pos{}.String(), pl)
+	}
+	return out
+}
+
+const twoLoopSrc = `
+region Particles { cell: index(Cells), pos: scalar }
+region Cells { vel: scalar, acc: scalar }
+function h : Cells -> Cells
+for p in Particles {
+  c = Particles[p].cell
+  Particles[p].pos += f(Cells[c].vel, Cells[h(c)].vel)
+}
+for c in Cells {
+  Cells[c].vel += g(Cells[c].acc, Cells[h(c)].acc)
+}
+`
+
+func TestFromParallelLoopAggregation(t *testing.T) {
+	launches := buildLaunches(t, twoLoopSrc, false)
+	if len(launches) != 2 {
+		t.Fatalf("launches = %d", len(launches))
+	}
+	l0 := launches[0]
+	if l0.WorkPerElement <= 0 {
+		t.Error("WorkPerElement should be positive")
+	}
+	// Loop 1 accesses: Particles.cell (RO), Cells.vel via two partitions
+	// (RO), Particles.pos (RW, centered reduce).
+	var ro, rw, red int
+	for _, req := range l0.Reqs {
+		switch req.Priv {
+		case ReadOnly:
+			ro++
+		case ReadWrite:
+			rw++
+		case Reduce:
+			red++
+		}
+	}
+	if ro < 2 || rw != 1 || red != 0 {
+		t.Errorf("privileges: ro=%d rw=%d red=%d\n%s", ro, rw, red, l0)
+	}
+	if !strings.Contains(l0.String(), "RW(Particles.{pos}") {
+		t.Errorf("launch = %s", l0)
+	}
+}
+
+func TestFromParallelLoopReduction(t *testing.T) {
+	src := `
+region Faces { c1: index(Cells), flux: scalar }
+region Cells { res: scalar }
+for f in Faces {
+  Cells[Faces[f].c1].res += Faces[f].flux
+}
+`
+	launches := buildLaunches(t, src, false)
+	var red *Requirement
+	for i := range launches[0].Reqs {
+		if launches[0].Reqs[i].Priv == Reduce {
+			red = &launches[0].Reqs[i]
+		}
+	}
+	if red == nil {
+		t.Fatalf("no reduce requirement: %s", launches[0])
+	}
+	if red.ReduceOp != "+=" {
+		t.Errorf("op = %q", red.ReduceOp)
+	}
+	if red.PrivateSym == "" {
+		t.Error("private sub-partition should be attached")
+	}
+	if red.Guarded {
+		t.Error("unrelaxed reduction must not be guarded")
+	}
+}
+
+func TestFromParallelLoopGuardedReduction(t *testing.T) {
+	src := `
+region R { v: scalar }
+region S { w: scalar }
+function f : R -> S
+function g : R -> S
+for i in R {
+  S[f(i)].w += R[i].v
+  S[g(i)].w += R[i].v
+}
+`
+	launches := buildLaunches(t, src, true)
+	guarded := 0
+	for _, req := range launches[0].Reqs {
+		if req.Priv == Reduce && req.Guarded {
+			guarded++
+			if req.PrivateSym != "" {
+				t.Error("guarded reduction needs no private sub-partition")
+			}
+		}
+	}
+	if guarded == 0 {
+		t.Fatalf("no guarded reduction: %s", launches[0])
+	}
+}
+
+func TestDependences(t *testing.T) {
+	launches := buildLaunches(t, twoLoopSrc, false)
+	deps := Dependences(launches)
+	// Loop 1 reads Cells.vel; loop 2 writes it (centered reduce = RW):
+	// there must be a dependence 0 → 1 on Cells.vel.
+	found := false
+	for _, d := range deps {
+		if d.From == 0 && d.To == 1 && d.Region == "Cells" && d.Field == "vel" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing dependence on Cells.vel: %v", deps)
+	}
+}
+
+func TestDependencesNonInterference(t *testing.T) {
+	a := &Launch{Name: "a", Reqs: []Requirement{{Region: "R", Fields: []string{"x"}, Priv: ReadOnly}}}
+	b := &Launch{Name: "b", Reqs: []Requirement{{Region: "R", Fields: []string{"x"}, Priv: ReadOnly}}}
+	if deps := Dependences([]*Launch{a, b}); len(deps) != 0 {
+		t.Errorf("RO-RO should not interfere: %v", deps)
+	}
+
+	c := &Launch{Name: "c", Reqs: []Requirement{{Region: "R", Fields: []string{"x"}, Priv: Reduce, ReduceOp: "+="}}}
+	d := &Launch{Name: "d", Reqs: []Requirement{{Region: "R", Fields: []string{"x"}, Priv: Reduce, ReduceOp: "+="}}}
+	if deps := Dependences([]*Launch{c, d}); len(deps) != 0 {
+		t.Errorf("same-op reductions should not interfere: %v", deps)
+	}
+
+	e := &Launch{Name: "e", Reqs: []Requirement{{Region: "R", Fields: []string{"x"}, Priv: Reduce, ReduceOp: "*="}}}
+	if deps := Dependences([]*Launch{c, e}); len(deps) != 1 {
+		t.Errorf("different-op reductions must interfere: %v", deps)
+	}
+
+	w := &Launch{Name: "w", Reqs: []Requirement{{Region: "R", Fields: []string{"x"}, Priv: ReadWrite}}}
+	if deps := Dependences([]*Launch{a, w}); len(deps) != 1 {
+		t.Errorf("read-then-write must interfere: %v", deps)
+	}
+	// Different fields never interfere.
+	y := &Launch{Name: "y", Reqs: []Requirement{{Region: "R", Fields: []string{"y"}, Priv: ReadWrite}}}
+	if deps := Dependences([]*Launch{w, y}); len(deps) != 0 {
+		t.Errorf("different fields should not interfere: %v", deps)
+	}
+}
+
+func TestPrivilegeString(t *testing.T) {
+	if ReadOnly.String() != "RO" || ReadWrite.String() != "RW" || Reduce.String() != "RED" {
+		t.Error("privilege strings wrong")
+	}
+	if !strings.Contains(Privilege(9).String(), "9") {
+		t.Error("unknown privilege")
+	}
+}

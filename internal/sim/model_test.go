@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"autopart/internal/geometry"
+	"autopart/internal/region"
+	"autopart/internal/runtime"
+)
+
+// twoNodeSetup: region R of 8 elements, owners split 0..3 / 4..7.
+func twoNodeSetup() (*region.Region, *region.Partition, *State) {
+	r := region.New("R", 8)
+	owner := region.Equal("owner", r, 2)
+	st := NewState().Own("R", "x", owner)
+	return r, owner, st
+}
+
+func TestLocalReadIsFree(t *testing.T) {
+	m := Default()
+	r, owner, st := twoNodeSetup()
+	launch := &runtime.Launch{
+		Name: "l", IterSym: "iter", WorkPerElement: 1,
+		Reqs: []runtime.Requirement{{Region: "R", Fields: []string{"x"}, Priv: runtime.ReadOnly, Sym: "read"}},
+	}
+	parts := map[string]*region.Partition{
+		"iter": owner,
+		"read": owner, // aligned reads: no communication
+	}
+	_ = r
+	stats, err := m.RunIteration([]*runtime.Launch{launch}, parts, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalBytes != 0 {
+		t.Errorf("aligned read moved %v bytes", stats.TotalBytes)
+	}
+	if stats.Time <= 0 {
+		t.Error("compute time should be positive")
+	}
+}
+
+func TestRemoteReadCharged(t *testing.T) {
+	m := Default()
+	r, owner, st := twoNodeSetup()
+	// Each node also reads one halo element from the other side.
+	halo := region.NewPartition("halo", r, []geometry.IndexSet{
+		geometry.FromIntervals(geometry.Interval{Lo: 0, Hi: 5}),
+		geometry.FromIntervals(geometry.Interval{Lo: 3, Hi: 8}),
+	})
+	launch := &runtime.Launch{
+		Name: "l", IterSym: "iter", WorkPerElement: 1,
+		Reqs: []runtime.Requirement{{Region: "R", Fields: []string{"x"}, Priv: runtime.ReadOnly, Sym: "halo"}},
+	}
+	parts := map[string]*region.Partition{"iter": owner, "halo": halo}
+	stats, err := m.RunIteration([]*runtime.Launch{launch}, parts, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 pulls element 4, node 1 pulls element 3: 2 elements total.
+	if want := 2 * m.BytesPerElem; stats.TotalBytes != want {
+		t.Errorf("TotalBytes = %v, want %v", stats.TotalBytes, want)
+	}
+	ns := stats.Launches[0].Nodes
+	if ns[0].BytesIn != m.BytesPerElem || ns[0].BytesOut != m.BytesPerElem {
+		t.Errorf("node 0 stats = %+v", ns[0])
+	}
+	if ns[0].MsgsIn != 1 || ns[0].MsgsOut != 1 {
+		t.Errorf("node 0 messages = %+v", ns[0])
+	}
+}
+
+func TestWriteMovesOwnership(t *testing.T) {
+	m := Default()
+	r, owner, st := twoNodeSetup()
+	// A write through a shifted partition becomes the new owner.
+	shifted := region.NewPartition("shifted", r, []geometry.IndexSet{
+		geometry.Range(0, 2), geometry.Range(2, 8),
+	})
+	launch := &runtime.Launch{
+		Name: "w", IterSym: "iter", WorkPerElement: 1,
+		Reqs: []runtime.Requirement{{Region: "R", Fields: []string{"x"}, Priv: runtime.ReadWrite, Sym: "shifted"}},
+	}
+	parts := map[string]*region.Partition{"iter": owner, "shifted": shifted}
+	if _, err := m.RunIteration([]*runtime.Launch{launch}, parts, st); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Owners[FieldKey{"R", "x"}]; got != shifted {
+		t.Errorf("owner after write = %v", got)
+	}
+}
+
+func TestReductionBufferAndMergeTraffic(t *testing.T) {
+	m := Default()
+	r, owner, st := twoNodeSetup()
+	// Both nodes reduce into the full region (all-shared, no private).
+	full := region.NewPartition("full", r, []geometry.IndexSet{
+		geometry.Range(0, 8), geometry.Range(0, 8),
+	})
+	launch := &runtime.Launch{
+		Name: "red", IterSym: "iter", WorkPerElement: 1,
+		Reqs: []runtime.Requirement{{
+			Region: "R", Fields: []string{"x"}, Priv: runtime.Reduce,
+			Sym: "full", ReduceOp: "+=",
+		}},
+	}
+	parts := map[string]*region.Partition{"iter": owner, "full": full}
+	stats, err := m.RunIteration([]*runtime.Launch{launch}, parts, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := stats.Launches[0].Nodes
+	// Each node buffers all 8 elements and ships the 4 it does not own.
+	if ns[0].BufferElems != 8 || ns[1].BufferElems != 8 {
+		t.Errorf("buffers = %v %v", ns[0].BufferElems, ns[1].BufferElems)
+	}
+	if ns[0].BytesOut != 4*m.BytesPerElem || ns[1].BytesOut != 4*m.BytesPerElem {
+		t.Errorf("merge traffic = %v %v", ns[0].BytesOut, ns[1].BytesOut)
+	}
+}
+
+func TestReductionPrivateSubPartitionShrinksBuffer(t *testing.T) {
+	m := Default()
+	r, owner, st := twoNodeSetup()
+	// Reduce partitions overlap on elements 3..4; the private parts are
+	// the rest.
+	red := region.NewPartition("red", r, []geometry.IndexSet{
+		geometry.Range(0, 5), geometry.Range(3, 8),
+	})
+	priv := region.NewPartition("priv", r, []geometry.IndexSet{
+		geometry.Range(0, 3), geometry.Range(5, 8),
+	})
+	launch := &runtime.Launch{
+		Name: "red", IterSym: "iter", WorkPerElement: 1,
+		Reqs: []runtime.Requirement{{
+			Region: "R", Fields: []string{"x"}, Priv: runtime.Reduce,
+			Sym: "red", ReduceOp: "+=", PrivateSym: "priv",
+		}},
+	}
+	parts := map[string]*region.Partition{"iter": owner, "red": red, "priv": priv}
+	stats, err := m.RunIteration([]*runtime.Launch{launch}, parts, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := stats.Launches[0].Nodes
+	// Buffer shrinks to the shared remainder (2 elements each).
+	if ns[0].BufferElems != 2 || ns[1].BufferElems != 2 {
+		t.Errorf("buffers = %v %v", ns[0].BufferElems, ns[1].BufferElems)
+	}
+}
+
+func TestGuardedReductionNoBuffer(t *testing.T) {
+	m := Default()
+	_, owner, st := twoNodeSetup()
+	launch := &runtime.Launch{
+		Name: "g", IterSym: "iter", WorkPerElement: 1,
+		Reqs: []runtime.Requirement{{
+			Region: "R", Fields: []string{"x"}, Priv: runtime.Reduce,
+			Sym: "own", ReduceOp: "+=", Guarded: true,
+		}},
+	}
+	parts := map[string]*region.Partition{"iter": owner, "own": owner}
+	stats, err := m.RunIteration([]*runtime.Launch{launch}, parts, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := stats.Launches[0].Nodes
+	if ns[0].BufferElems != 0 || ns[1].BufferElems != 0 {
+		t.Error("guarded reduction must not allocate buffers")
+	}
+	if stats.TotalBytes != 0 {
+		t.Errorf("aligned guarded reduction moved %v bytes", stats.TotalBytes)
+	}
+}
+
+func TestErrorsOnMissingBindings(t *testing.T) {
+	m := Default()
+	r := region.New("R", 4)
+	owner := region.Equal("o", r, 2)
+	st := NewState().Own("R", "x", owner)
+
+	// Missing iteration partition.
+	l := &runtime.Launch{Name: "l", IterSym: "nope"}
+	if _, err := m.RunIteration([]*runtime.Launch{l}, map[string]*region.Partition{}, st); err == nil {
+		t.Error("missing iteration partition should fail")
+	}
+	// Missing requirement partition.
+	l2 := &runtime.Launch{
+		Name: "l2", IterSym: "iter",
+		Reqs: []runtime.Requirement{{Region: "R", Fields: []string{"x"}, Priv: runtime.ReadOnly, Sym: "gone"}},
+	}
+	parts := map[string]*region.Partition{"iter": owner}
+	if _, err := m.RunIteration([]*runtime.Launch{l2}, parts, st); err == nil {
+		t.Error("missing requirement partition should fail")
+	}
+	// Missing owner.
+	l3 := &runtime.Launch{
+		Name: "l3", IterSym: "iter",
+		Reqs: []runtime.Requirement{{Region: "R", Fields: []string{"y"}, Priv: runtime.ReadOnly, Sym: "iter"}},
+	}
+	if _, err := m.RunIteration([]*runtime.Launch{l3}, parts, st); err == nil {
+		t.Error("missing owner should fail")
+	}
+	// Color mismatch.
+	l4 := &runtime.Launch{
+		Name: "l4", IterSym: "iter",
+		Reqs: []runtime.Requirement{{Region: "R", Fields: []string{"x"}, Priv: runtime.ReadOnly, Sym: "three"}},
+	}
+	parts["three"] = region.Equal("three", r, 3)
+	if _, err := m.RunIteration([]*runtime.Launch{l4}, parts, st); err == nil {
+		t.Error("color mismatch should fail")
+	}
+	// Missing work partition.
+	l5 := &runtime.Launch{Name: "l5", IterSym: "iter", WorkSym: "gone"}
+	if _, err := m.RunIteration([]*runtime.Launch{l5}, parts, st); err == nil {
+		t.Error("missing work partition should fail")
+	}
+}
+
+func TestFragmentationPenalties(t *testing.T) {
+	m := Default()
+	r := region.New("R", 100)
+	contiguous := region.NewPartition("c", r, []geometry.IndexSet{geometry.Range(0, 100)})
+	var b geometry.Builder
+	for i := int64(0); i < 100; i += 2 {
+		b.Add(i)
+	}
+	evens := b.Build()
+	fragmented := region.NewPartition("f", r, []geometry.IndexSet{evens.Union(geometry.Range(1, 100).Subtract(evens))})
+	_ = fragmented
+
+	stC := NewState().Own("R", "x", contiguous)
+	lc := &runtime.Launch{Name: "c", IterSym: "p", WorkPerElement: 1}
+	partsC := map[string]*region.Partition{"p": contiguous}
+	statC, err := m.RunIteration([]*runtime.Launch{lc}, partsC, stC)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fragmented iteration set: 50 intervals.
+	fragIter := region.NewPartition("fi", r, []geometry.IndexSet{evens})
+	stF := NewState().Own("R", "x", contiguous)
+	partsF := map[string]*region.Partition{"p": fragIter}
+	statF, err := m.RunIteration([]*runtime.Launch{lc}, partsF, stF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 elements over 50 intervals should cost more per element than
+	// 100 contiguous ones in total compute? Compare per-element costs.
+	perElemC := statC.Time / 100
+	perElemF := statF.Time / 50
+	if perElemF <= perElemC {
+		t.Errorf("fragmentation penalty missing: %v vs %v", perElemF, perElemC)
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	s := Series{Label: "Auto", Points: []Point{
+		{Nodes: 1, Throughput: 100},
+		{Nodes: 4, Throughput: 90},
+	}}
+	if eff := s.Efficiency(); eff != 0.9 {
+		t.Errorf("Efficiency = %v", eff)
+	}
+	if p, ok := s.At(4); !ok || p.Throughput != 90 {
+		t.Errorf("At(4) = %v, %v", p, ok)
+	}
+	if _, ok := s.At(8); ok {
+		t.Error("At(8) should miss")
+	}
+	if (Series{}).Efficiency() != 0 {
+		t.Error("empty series efficiency")
+	}
+	if (Series{Points: []Point{{Nodes: 1, Throughput: 0}}}).Efficiency() != 0 {
+		t.Error("zero-throughput efficiency")
+	}
+
+	f := Figure{ID: "14x", Title: "Test", WorkUnit: "elems/s", Series: []Series{s}}
+	text := f.Render()
+	for _, frag := range []string{"Figure 14x", "nodes", "Auto", "90.0%"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("Render missing %q:\n%s", frag, text)
+		}
+	}
+	if _, ok := f.SeriesByLabel("Auto"); !ok {
+		t.Error("SeriesByLabel failed")
+	}
+	if _, ok := f.SeriesByLabel("Nope"); ok {
+		t.Error("SeriesByLabel false positive")
+	}
+}

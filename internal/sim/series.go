@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one weak-scaling measurement: throughput per node at a node
+// count, in work units (nonzeros, points, cells, wires, zones) per
+// second per node.
+type Point struct {
+	Nodes      int
+	Throughput float64
+	// Time is the simulated seconds per main-loop iteration.
+	Time float64
+}
+
+// Series is one line of a weak-scaling plot.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// At returns the point for a node count.
+func (s Series) At(nodes int) (Point, bool) {
+	for _, p := range s.Points {
+		if p.Nodes == nodes {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Efficiency returns the parallel efficiency at the largest node count:
+// throughput-per-node there divided by throughput-per-node on one node
+// (or the smallest measured count).
+func (s Series) Efficiency() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	first := s.Points[0].Throughput
+	last := s.Points[len(s.Points)-1].Throughput
+	if first == 0 {
+		return 0
+	}
+	return last / first
+}
+
+// Figure is a complete weak-scaling plot: several series over the same
+// node counts (one of the subplots of Fig. 14).
+type Figure struct {
+	ID       string // e.g. "14d"
+	Title    string
+	WorkUnit string // "non-zeros/s", "wires/s", ...
+	Series   []Series
+}
+
+// SeriesByLabel finds a series.
+func (f Figure) SeriesByLabel(label string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// Render prints the figure as an aligned text table, one row per node
+// count, one column per series — the same rows the paper plots.
+func (f Figure) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure %s: %s (throughput per node, %s)\n", f.ID, f.Title, f.WorkUnit)
+	if len(f.Series) == 0 {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%8s", "nodes")
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, " %14s", s.Label)
+	}
+	sb.WriteByte('\n')
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(&sb, "%8d", f.Series[0].Points[i].Nodes)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&sb, " %14.4g", s.Points[i].Throughput)
+			} else {
+				fmt.Fprintf(&sb, " %14s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%8s", "eff.")
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, " %13.1f%%", 100*s.Efficiency())
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// StandardNodeCounts is the node-count sweep of the paper's plots.
+var StandardNodeCounts = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}

@@ -1,0 +1,480 @@
+// Package solver implements the constraint solver of §3: Algorithm 2's
+// resolution procedure (synthesizing a DPL expression for every partition
+// symbol, guided by the preimage, closed-union, and depth-ordered equal
+// rules, with backtracking and a final lemma-based consistency check) and
+// Algorithm 3's unification of isomorphic constraint subgraphs across
+// loops, including unification against externally provided partitions
+// (§3.3).
+package solver
+
+import (
+	"fmt"
+
+	"autopart/internal/constraint"
+	"autopart/internal/dpl"
+)
+
+// Solution is the output of the solver: one DPL statement per partition
+// symbol (aliases included), plus the bookkeeping the rewriter needs.
+type Solution struct {
+	// Program is the synthesized DPL program after CSE, in dependency
+	// order; external symbols are free (provided at evaluation time).
+	Program dpl.Program
+	// Canon maps every original partition symbol to its canonical symbol
+	// after unification (identity for non-unified symbols). Canonical
+	// symbols are either defined by Program or external.
+	Canon map[string]string
+	// System is the final combined obligation system (after unification
+	// and substitution of the solution).
+	System *constraint.System
+	// ExternalSyms are the fixed symbols (§3.3) the program may
+	// reference but does not define.
+	ExternalSyms []string
+}
+
+// Resolve returns the canonical symbol for an original symbol.
+func (s *Solution) Resolve(sym string) string {
+	for {
+		next, ok := s.Canon[sym]
+		if !ok || next == sym {
+			return sym
+		}
+		sym = next
+	}
+}
+
+// extCandidate is a closed expression appearing in the external
+// assumptions that can stand in for a fresh partition: e.g. the Circuit
+// hint DISJ(pn_private ∪ pn_shared) ∧ COMP(pn_private ∪ pn_shared, rn)
+// makes pn_private ∪ pn_shared a candidate for any symbol that must be a
+// disjoint and/or complete partition of rn.
+type extCandidate struct {
+	expr   dpl.Expr
+	region string
+	disj   bool
+	comp   bool
+}
+
+// Solver holds the fixed context of one solving run.
+type Solver struct {
+	external     *constraint.System
+	externalSyms map[string]bool
+	extCands     []extCandidate
+	// budget caps backtracking work; solving is reported as failed if
+	// exceeded (never hit by realistic systems).
+	budget int
+}
+
+// New creates a solver with external assumptions (may be nil).
+func New(external *constraint.System, externalSyms []string) *Solver {
+	s := &Solver{
+		external:     external,
+		externalSyms: map[string]bool{},
+		budget:       200000,
+	}
+	if external == nil {
+		s.external = &constraint.System{}
+	}
+	for _, sym := range externalSyms {
+		s.externalSyms[sym] = true
+	}
+	s.collectExternalCandidates()
+	return s
+}
+
+// collectExternalCandidates gathers the compound expressions of external
+// DISJ/COMP assertions as assignment candidates (reusing user partitions
+// is the paper's fewest-partitions heuristic applied to §3.3 hints).
+func (s *Solver) collectExternalCandidates() {
+	prover := constraint.NewProver(s.external)
+	partOf := s.external.PartOf()
+	seen := map[string]*extCandidate{}
+	var order []string
+	for _, p := range s.external.Preds {
+		if p.Kind == constraint.Part {
+			continue
+		}
+		if _, isVar := p.E.(dpl.Var); isVar {
+			continue // bare symbols are reachable through unification
+		}
+		region, ok := dpl.RegionOf(p.E, partOf)
+		if !ok {
+			continue
+		}
+		key := dpl.Key(p.E)
+		c, dup := seen[key]
+		if !dup {
+			c = &extCandidate{
+				expr:   p.E,
+				region: region,
+				disj:   prover.ProveDisj(p.E),
+				comp:   prover.ProveComp(p.E, region),
+			}
+			seen[key] = c
+			order = append(order, key)
+		}
+	}
+	for _, key := range order {
+		s.extCands = append(s.extCands, *seen[key])
+	}
+	// External symbols themselves are candidates too (PENNANT's Hint2
+	// provides rs_p/rz_p to be reused directly as iteration partitions).
+	// Compound expressions stay ahead so e.g. the complete Circuit union
+	// wins over its incomplete halves.
+	for _, p := range s.external.Preds {
+		if p.Kind != constraint.Part {
+			continue
+		}
+		if _, ok := p.E.(dpl.Var); !ok {
+			continue
+		}
+		key := dpl.Key(p.E)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		c := &extCandidate{
+			expr:   p.E,
+			region: p.Region,
+			disj:   prover.ProveDisj(p.E),
+			comp:   prover.ProveComp(p.E, p.Region),
+		}
+		if !c.disj && !c.comp {
+			continue // nothing an assignment could gain from it
+		}
+		seen[key] = c
+		s.extCands = append(s.extCands, *c)
+	}
+}
+
+// closed reports whether an expression contains only external symbols
+// (the solver's notion of "closed": everything in it is already
+// computable).
+func (s *Solver) closed(e dpl.Expr) bool {
+	for _, v := range dpl.FreeVars(e) {
+		if !s.externalSyms[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// equation is one P = E assignment of the partial solution.
+type equation struct {
+	name string
+	expr dpl.Expr
+}
+
+// Solve resolves a single constraint system: it synthesizes a DPL
+// expression for every non-external partition symbol such that the
+// strengthened system passes the consistency check. The returned program
+// is in resolution order, before CSE.
+func (s *Solver) Solve(sys *constraint.System) (dpl.Program, error) {
+	work := sys.Clone()
+	// The external assumptions participate as hypotheses but their
+	// symbols are never assigned.
+	eqs, ok := s.solve(work, nil, s.unresolved(work))
+	if !ok {
+		return dpl.Program{}, fmt.Errorf("solver: no solution for constraint system:\n%s", sys)
+	}
+	var prog dpl.Program
+	for _, eq := range eqs {
+		prog.Append(eq.name, eq.expr)
+	}
+	return prog, nil
+}
+
+// unresolved lists the symbols of c that still need expressions.
+func (s *Solver) unresolved(c *constraint.System) []string {
+	var out []string
+	for _, sym := range c.Symbols() {
+		if !s.externalSyms[sym] {
+			out = append(out, sym)
+		}
+	}
+	return out
+}
+
+// depths computes depth(P) per Algorithm 2: the length of the longest
+// chain of subset constraints E1 ⊆ ... ⊆ Ek ⊆ P, where closed
+// expressions have depth 0. Cycles (possible after unification) are
+// cut by bounding iteration.
+func (s *Solver) depths(c *constraint.System, syms []string) map[string]int {
+	depth := make(map[string]int, len(syms))
+	for _, sym := range syms {
+		depth[sym] = 0
+	}
+	exprDepth := func(e dpl.Expr) int {
+		d := 0
+		for _, v := range dpl.FreeVars(e) {
+			if dv, ok := depth[v]; ok && dv > d {
+				d = dv
+			}
+		}
+		return d
+	}
+	for iter := 0; iter <= len(syms); iter++ {
+		changed := false
+		for _, sub := range c.Subsets {
+			to, ok := sub.R.(dpl.Var)
+			if !ok || s.externalSyms[to.Name] {
+				continue
+			}
+			if d := exprDepth(sub.L) + 1; d > depth[to.Name] {
+				depth[to.Name] = d
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return depth
+}
+
+// solve is Algorithm 2: pick a remaining symbol, attempt an equation,
+// recurse; backtrack on failure. syms is the current unresolved symbol
+// list (every assignment is a closed expression, so the list simply
+// loses the assigned name at each step).
+func (s *Solver) solve(c *constraint.System, sol []equation, syms []string) ([]equation, bool) {
+	if s.budget <= 0 {
+		return nil, false
+	}
+	s.budget--
+
+	// Early pruning: a fully-closed conjunct can only be discharged by
+	// the lemmas and the current hypotheses; if it is already
+	// unprovable, no further assignment will save this branch. Verified
+	// conjuncts are consumed so each is proven once per path — this is
+	// what keeps backtracking tractable on many-loop programs.
+	if !s.consumeClosedConjuncts(c) {
+		return nil, false
+	}
+
+	partOf := s.combinedPartOf(c)
+
+	try := func(name string, expr dpl.Expr) ([]equation, bool) {
+		next := c.Clone()
+		next.Subst(name, expr)
+		rest := make([]string, 0, len(syms)-1)
+		for _, v := range syms {
+			if v != name {
+				rest = append(rest, v)
+			}
+		}
+		return s.solve(next, append(sol, equation{name, expr}), rest)
+	}
+
+	// Rule 1 (lines 11–15): image(P, f, R) ⊆ E with closed E resolves P
+	// to a preimage (L14). Generalized IMAGE is excluded (L14 invalid).
+	for _, sub := range c.Subsets {
+		imgExpr, ok := sub.L.(dpl.ImageExpr)
+		if !ok || !s.closed(sub.R) {
+			continue
+		}
+		p, ok := imgExpr.Of.(dpl.Var)
+		if !ok || s.externalSyms[p.Name] {
+			continue
+		}
+		srcRegion, ok := partOf[p.Name]
+		if !ok {
+			continue
+		}
+		cand := dpl.PreimageExpr{Region: srcRegion, Func: imgExpr.Func, Of: sub.R}
+		if next, ok := try(p.Name, cand); ok {
+			return next, true
+		}
+	}
+
+	// Rule 2 (lines 16–18): a symbol whose incoming subset constraints
+	// all have closed left-hand sides resolves to their union (L13).
+	for _, sym := range syms {
+		into := c.SubsetsInto(sym)
+		if len(into) == 0 {
+			continue
+		}
+		allClosed := true
+		lowers := make([]dpl.Expr, 0, len(into))
+		seen := map[string]bool{}
+		for _, sub := range into {
+			if !s.closed(sub.L) {
+				allClosed = false
+				break
+			}
+			if key := dpl.Key(sub.L); !seen[key] {
+				seen[key] = true
+				lowers = append(lowers, sub.L)
+			}
+		}
+		if !allClosed {
+			continue
+		}
+		if next, ok := try(sym, dpl.UnionAll(lowers)); ok {
+			return next, true
+		}
+	}
+
+	// Rule 3 (lines 20–26): assign equal partitions, deepest symbols
+	// first. All DISJ symbols (at every depth) come before merely-COMP
+	// ones: disjointness flows right-to-left through subset constraints
+	// (insight 3), so disjoint reduction targets must resolve before the
+	// iteration partitions whose preimage unions depend on them.
+	depth := s.depths(c, syms)
+	maxDepth := 0
+	for _, d := range depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	for d := maxDepth; d >= 0; d-- {
+		for _, sym := range syms {
+			if depth[sym] != d || !c.HasPred(constraint.Disj, sym) {
+				continue
+			}
+			region, ok := partOf[sym]
+			if !ok {
+				continue
+			}
+			// External compound expressions with the required properties
+			// come first: reusing user partitions beats creating fresh
+			// ones.
+			for _, cand := range s.extCands {
+				if cand.region != region || !cand.disj {
+					continue
+				}
+				if c.HasPred(constraint.Comp, sym) && !cand.comp {
+					continue
+				}
+				if next, ok := try(sym, cand.expr); ok {
+					return next, true
+				}
+			}
+			if next, ok := try(sym, dpl.EqualExpr{Region: region}); ok {
+				return next, true
+			}
+		}
+	}
+	for d := maxDepth; d >= 0; d-- {
+		for _, sym := range syms {
+			if depth[sym] != d || !c.HasPred(constraint.Comp, sym) || c.HasPred(constraint.Disj, sym) {
+				continue
+			}
+			region, ok := partOf[sym]
+			if !ok {
+				continue
+			}
+			for _, cand := range s.extCands {
+				if cand.region != region || !cand.comp {
+					continue
+				}
+				if next, ok := try(sym, cand.expr); ok {
+					return next, true
+				}
+			}
+			if next, ok := try(sym, dpl.EqualExpr{Region: region}); ok {
+				return next, true
+			}
+		}
+	}
+
+	// No rule applies: the system is resolved iff no symbols remain and
+	// every conjunct is entailed (lines 27–29).
+	if len(syms) > 0 {
+		return nil, false
+	}
+	if ok, _ := constraint.CheckResolved(c, s.external); !ok {
+		return nil, false
+	}
+	return sol, true
+}
+
+// consumeClosedConjuncts verifies every conjunct without free
+// non-external symbols against the current hypotheses, removing the
+// verified ones from c (they never change again, so proving each once
+// per path suffices). It reports false when any closed conjunct is
+// unprovable.
+func (s *Solver) consumeClosedConjuncts(c *constraint.System) bool {
+	var closedSubIdx, closedPredIdx []int
+	for i, sub := range c.Subsets {
+		if s.closed(sub.L) && s.closed(sub.R) {
+			closedSubIdx = append(closedSubIdx, i)
+		}
+	}
+	for i, p := range c.Preds {
+		if _, isVar := p.E.(dpl.Var); isVar {
+			// Predicates on bare external symbols are assumptions;
+			// PART-on-Var stays as region-typing info.
+			continue
+		}
+		if s.closed(p.E) && p.Kind != constraint.Part {
+			closedPredIdx = append(closedPredIdx, i)
+		}
+	}
+	if len(closedSubIdx) == 0 && len(closedPredIdx) == 0 {
+		return true
+	}
+	combined := c.Clone()
+	combined.And(s.external)
+	// Goal predicates must not serve as their own hypotheses: build the
+	// predicate prover over the system without the candidates.
+	rest := &constraint.System{Subsets: combined.Subsets}
+	candidate := map[int]bool{}
+	for _, i := range closedPredIdx {
+		candidate[i] = true
+	}
+	for i, p := range combined.Preds {
+		if i < len(c.Preds) && candidate[i] {
+			continue
+		}
+		rest.Preds = append(rest.Preds, p)
+	}
+	predProver := constraint.NewProver(rest)
+	for _, i := range closedPredIdx {
+		if !predProver.ProvePred(c.Preds[i]) {
+			return false
+		}
+	}
+	base := constraint.NewProver(combined)
+	for _, i := range closedSubIdx {
+		if !base.WithoutSubset(c.Subsets[i]).ProveSubset(c.Subsets[i]) {
+			return false
+		}
+	}
+	// All verified: consume them.
+	if len(closedPredIdx) > 0 {
+		keep := c.Preds[:0]
+		next := 0
+		for i, p := range c.Preds {
+			if next < len(closedPredIdx) && closedPredIdx[next] == i {
+				next++
+				continue
+			}
+			keep = append(keep, p)
+		}
+		c.Preds = keep
+	}
+	if len(closedSubIdx) > 0 {
+		keep := c.Subsets[:0]
+		next := 0
+		for i, sub := range c.Subsets {
+			if next < len(closedSubIdx) && closedSubIdx[next] == i {
+				next++
+				continue
+			}
+			keep = append(keep, sub)
+		}
+		c.Subsets = keep
+	}
+	return true
+}
+
+// combinedPartOf merges PART information from the working system and the
+// external assumptions.
+func (s *Solver) combinedPartOf(c *constraint.System) map[string]string {
+	partOf := c.PartOf()
+	for sym, region := range s.external.PartOf() {
+		if _, exists := partOf[sym]; !exists {
+			partOf[sym] = region
+		}
+	}
+	return partOf
+}

@@ -1,0 +1,336 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+
+	"autopart/internal/constraint"
+	"autopart/internal/dpl"
+	"autopart/internal/infer"
+)
+
+// solvable runs a full solve on a candidate system (Algorithm 3 line 13).
+func (s *Solver) solvable(sys *constraint.System) bool {
+	saved := s.budget
+	s.budget = 20000
+	work := sys.Clone()
+	_, ok := s.solve(work, nil, s.unresolved(work))
+	s.budget = saved
+	return ok
+}
+
+// sysSize measures a system for Algorithm 3's descending-size sort.
+func sysSize(sys *constraint.System) int {
+	return len(sys.Preds) + len(sys.Subsets)
+}
+
+// UnifyAndSolve implements Algorithm 3: greedily unify isomorphic
+// constraint subgraphs across the per-loop systems (and against external
+// partitions), checking solvability after each unification, then solve
+// the combined system.
+func (s *Solver) UnifyAndSolve(systems []*constraint.System) (*constraint.System, map[string]string, error) {
+	canon := map[string]string{}
+
+	ordered := append([]*constraint.System(nil), systems...)
+	sort.SliceStable(ordered, func(i, j int) bool { return sysSize(ordered[i]) > sysSize(ordered[j]) })
+
+	// The accumulated system starts from the external assumptions'
+	// *graph-relevant* content so inferred symbols can unify directly
+	// with user partitions (Example 6); the assumptions themselves stay
+	// in s.external and are not obligations.
+	combined := &constraint.System{}
+	accGraphSys := s.external.Clone()
+
+	for _, cur := range ordered {
+		remaining := cur.Clone()
+		// Bound the unification rounds per system: each round runs full
+		// solvability checks, and in practice the first round or two find
+		// everything worth merging.
+		for round := 0; round < 4; round++ {
+			accGraph := constraint.BuildGraph(accGraphSys)
+			curGraph := constraint.BuildGraph(remaining)
+			mappings := constraint.CommonSubgraphs(accGraph, curGraph)
+
+			applied := false
+			// Greedily try only the first few largest candidates (as the
+			// paper notes, the largest subgraphs usually contain the
+			// smaller ones, and each check runs a full solve).
+			const maxTries = 6
+			tries := 0
+			for _, m := range mappings {
+				if tries >= maxTries {
+					break
+				}
+				// Keep only fresh→existing renamings.
+				renames := map[string]string{}
+				for from, to := range m {
+					if from == to || s.externalSyms[from] {
+						continue
+					}
+					renames[from] = to
+				}
+				if len(renames) == 0 {
+					continue
+				}
+				candidate := applyRenames(remaining, renames)
+				// §3.2: only unifications that reduce the number of
+				// subset constraints are worthwhile. Compare what the
+				// system would newly contribute with and without the
+				// renaming (the external assumptions count as already
+				// present).
+				baseline := mergeSystems(s.external, combined)
+				deltaAfter := subtractSystem(candidate, baseline)
+				deltaBefore := subtractSystem(remaining, baseline)
+				if len(deltaAfter.Subsets) >= len(deltaBefore.Subsets) {
+					continue
+				}
+				// When the renamed conjuncts are all already present, the
+				// merge changes nothing and no solvability check is
+				// needed — the common case for programs whose loops share
+				// structure (MiniAero's RK stages, PENNANT's phases).
+				if sysSize(deltaAfter) > 0 {
+					tries++
+					merged := mergeSystems(combined, candidate)
+					if !s.solvable(merged) {
+						continue
+					}
+				}
+				// Commit this unification.
+				remaining = candidate
+				for from, to := range renames {
+					canon[from] = to
+				}
+				applied = true
+				break
+			}
+			if !applied {
+				break
+			}
+			// Filter conjuncts already accumulated and keep looking for
+			// further common subgraphs (line 16 of Algorithm 3).
+			remaining = subtractSystem(remaining, combined)
+			accGraphSys = mergeSystems(s.external, combined, remaining)
+		}
+		combined = mergeSystems(combined, remaining)
+		accGraphSys = mergeSystems(s.external, combined)
+	}
+
+	// Resolve canonical chains (a symbol may have been renamed to a
+	// symbol that was itself renamed later... chains are short).
+	for from := range canon {
+		to := canon[from]
+		for {
+			next, ok := canon[to]
+			if !ok {
+				break
+			}
+			to = next
+		}
+		canon[from] = to
+	}
+	return combined, canon, nil
+}
+
+// applyRenames substitutes symbols by symbols.
+func applyRenames(sys *constraint.System, renames map[string]string) *constraint.System {
+	out := sys.Clone()
+	for from, to := range renames {
+		out.Subst(from, dpl.Var{Name: to})
+	}
+	return out
+}
+
+// mergeSystems conjoins systems with deduplication.
+func mergeSystems(systems ...*constraint.System) *constraint.System {
+	out := &constraint.System{}
+	for _, sys := range systems {
+		if sys == nil {
+			continue
+		}
+		for _, p := range sys.Preds {
+			out.AddPred(p)
+		}
+		for _, c := range sys.Subsets {
+			out.AddSubset(c)
+		}
+	}
+	return out
+}
+
+// subtractSystem removes conjuncts of b from a.
+func subtractSystem(a, b *constraint.System) *constraint.System {
+	out := &constraint.System{}
+	for _, p := range a.Preds {
+		dup := false
+		for _, q := range b.Preds {
+			if p.Kind == q.Kind && p.Region == q.Region && dpl.Equal(p.E, q.E) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out.AddPred(p)
+		}
+	}
+	for _, c := range a.Subsets {
+		dup := false
+		for _, q := range b.Subsets {
+			if dpl.Equal(c.L, q.L) && dpl.Equal(c.R, q.R) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out.AddSubset(c)
+		}
+	}
+	return out
+}
+
+// SolveProgram is the full §3 pipeline over the inference results of all
+// loops: unify, solve, and post-process the DPL program (nested-
+// subexpression reuse plus CSE).
+func SolveProgram(results []*infer.Result, external *constraint.System, externalSyms []string) (*Solution, error) {
+	s := New(external, externalSyms)
+	systems := make([]*constraint.System, len(results))
+	for i, r := range results {
+		systems[i] = r.Sys
+	}
+	combined, canon, err := s.UnifyAndSolve(systems)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := s.Solve(combined)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fill identity entries so Resolve works for every original symbol.
+	for _, r := range results {
+		for _, a := range r.Accesses {
+			if _, ok := canon[a.Sym]; !ok {
+				canon[a.Sym] = a.Sym
+			}
+		}
+		if _, ok := canon[r.IterSym]; !ok {
+			canon[r.IterSym] = r.IterSym
+		}
+	}
+
+	prog = reuseSubexpressions(prog)
+	prog = prog.CSE()
+	ext := map[string]bool{}
+	for _, sym := range externalSyms {
+		ext[sym] = true
+	}
+	prog = orderProgram(prog, ext)
+	if err := prog.TopoCheck(ext); err != nil {
+		return nil, fmt.Errorf("solver: internal error: %w", err)
+	}
+
+	finalSys := combined.Clone()
+	for _, st := range prog.Stmts {
+		finalSys.Subst(st.Name, st.Expr)
+	}
+	return &Solution{
+		Program:      prog,
+		Canon:        canon,
+		System:       finalSys,
+		ExternalSyms: externalSyms,
+	}, nil
+}
+
+// reuseSubexpressions rewrites each statement's RHS so that nested
+// subexpressions structurally equal to an earlier statement's RHS become
+// references to that statement's symbol. This recovers the dependent
+// structure of Fig. 10b (P4 = image(P3, ...) instead of a fully expanded
+// nest) because solved equations are otherwise fully substituted.
+func reuseSubexpressions(prog dpl.Program) dpl.Program {
+	type def struct {
+		name string
+		expr dpl.Expr
+		size int
+	}
+	var defs []def
+	var out dpl.Program
+	for _, st := range prog.Stmts {
+		e := st.Expr
+		// Replace biggest earlier definitions first so maximal sharing
+		// wins.
+		sort.SliceStable(defs, func(i, j int) bool { return defs[i].size > defs[j].size })
+		for _, d := range defs {
+			e = replaceSubexpr(e, d.expr, dpl.Var{Name: d.name})
+		}
+		out.Append(st.Name, e)
+		defs = append(defs, def{name: st.Name, expr: st.Expr, size: dpl.Size(st.Expr)})
+	}
+	return out
+}
+
+// replaceSubexpr substitutes every occurrence of target (a non-Var
+// expression) in e with repl; it does not replace e itself when e equals
+// target at the top level (that would turn a definition into a self-
+// alias) — callers replace only strictly nested occurrences.
+func replaceSubexpr(e, target, repl dpl.Expr) dpl.Expr {
+	rec := func(sub dpl.Expr) dpl.Expr {
+		if dpl.Equal(sub, target) {
+			return repl
+		}
+		return replaceSubexpr(sub, target, repl)
+	}
+	switch x := e.(type) {
+	case dpl.ImageExpr:
+		return dpl.ImageExpr{Of: rec(x.Of), Func: x.Func, Region: x.Region}
+	case dpl.PreimageExpr:
+		return dpl.PreimageExpr{Region: x.Region, Func: x.Func, Of: rec(x.Of)}
+	case dpl.ImageMultiExpr:
+		return dpl.ImageMultiExpr{Of: rec(x.Of), Func: x.Func, Region: x.Region}
+	case dpl.PreimageMultiExpr:
+		return dpl.PreimageMultiExpr{Region: x.Region, Func: x.Func, Of: rec(x.Of)}
+	case dpl.BinExpr:
+		return dpl.BinExpr{Op: x.Op, L: rec(x.L), R: rec(x.R)}
+	default:
+		return e
+	}
+}
+
+// orderProgram topologically orders statements so uses follow
+// definitions (reuseSubexpressions can introduce forward references when
+// a later, larger definition is folded into an earlier one — ordering by
+// dependencies restores a valid program).
+func orderProgram(prog dpl.Program, external map[string]bool) dpl.Program {
+	defined := map[string]bool{}
+	for name := range external {
+		defined[name] = true
+	}
+	pending := append([]dpl.Stmt(nil), prog.Stmts...)
+	var out dpl.Program
+	for len(pending) > 0 {
+		progress := false
+		rest := pending[:0]
+		for _, st := range pending {
+			ready := true
+			for _, v := range dpl.FreeVars(st.Expr) {
+				if !defined[v] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				out.Stmts = append(out.Stmts, st)
+				defined[st.Name] = true
+				progress = true
+			} else {
+				rest = append(rest, st)
+			}
+		}
+		pending = append([]dpl.Stmt(nil), rest...)
+		if !progress {
+			// A dependency cycle should be impossible; emit the rest
+			// as-is and let TopoCheck report it.
+			out.Stmts = append(out.Stmts, pending...)
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+// Package autopart is the public API of the constraint-based automatic
+// data partitioning system (Lee et al., SC '19): compile a sequential
+// loop program into partitioning constraints, solve them into a DPL
+// program, evaluate the partitions against concrete data, and execute
+// the parallelized loops.
+//
+// The pipeline is:
+//
+//	Compile       source → AST → IR → constraints → (relax) → unify+solve
+//	              → private sub-partitions → parallel loops
+//	NewContext    wire concrete regions and index maps for DPL evaluation
+//	Evaluate      run the DPL program, producing concrete partitions
+//	NewExecutor   run the parallel loops with parallel semantics
+package autopart
+
+import (
+	"fmt"
+	"time"
+
+	"autopart/internal/constraint"
+	"autopart/internal/dpl"
+	"autopart/internal/infer"
+	"autopart/internal/ir"
+	"autopart/internal/lang"
+	"autopart/internal/optimize"
+	"autopart/internal/region"
+	"autopart/internal/rewrite"
+	"autopart/internal/solver"
+)
+
+// Options configure compilation.
+type Options struct {
+	// DisableRelaxation turns off the §5.1 disjointness relaxation.
+	DisableRelaxation bool
+	// DisablePrivateSubPartitions turns off the §5.2 optimization.
+	DisablePrivateSubPartitions bool
+}
+
+// Timing is the per-phase compile-time breakdown (Table 1's rows).
+type Timing struct {
+	Parse     time.Duration
+	Inference time.Duration
+	Solver    time.Duration
+	Rewrite   time.Duration
+}
+
+// Total sums the phases.
+func (t Timing) Total() time.Duration {
+	return t.Parse + t.Inference + t.Solver + t.Rewrite
+}
+
+// Compiled is the result of compiling a source program.
+type Compiled struct {
+	Source       *lang.Program
+	Loops        []*ir.Loop
+	Inference    []*infer.Result
+	Plans        []*optimize.LoopPlan
+	Solution     *solver.Solution
+	Private      *optimize.PrivatePlan
+	Parallel     []*rewrite.ParallelLoop
+	External     *constraint.System
+	ExternalSyms []string
+	Timing       Timing
+}
+
+// Compile runs the full pipeline on DSL source text.
+func Compile(src string, opts Options) (*Compiled, error) {
+	c := &Compiled{}
+
+	start := time.Now()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	c.Source = prog
+	c.Timing.Parse = time.Since(start)
+
+	start = time.Now()
+	loops, err := ir.NormalizeProgram(prog)
+	if err != nil {
+		return nil, fmt.Errorf("normalize: %w", err)
+	}
+	c.Loops = loops
+	results, err := infer.New(prog).InferProgram(loops)
+	if err != nil {
+		return nil, fmt.Errorf("infer: %w", err)
+	}
+	c.Inference = results
+	c.External, c.ExternalSyms = infer.ExternalSystem(prog)
+	c.Timing.Inference = time.Since(start)
+
+	start = time.Now()
+	if opts.DisableRelaxation {
+		c.Plans = make([]*optimize.LoopPlan, len(results))
+		for i, r := range results {
+			c.Plans[i] = &optimize.LoopPlan{Res: r, Sys: r.Sys}
+		}
+	} else {
+		c.Plans = optimize.Relax(results)
+	}
+
+	sol, err := solver.SolveProgram(resultsOf(c.Plans), c.External, c.ExternalSyms)
+	if err == nil {
+		c.Solution = sol
+	} else if !opts.DisableRelaxation && anyRelaxed(c.Plans) {
+		// Fall back to the unrelaxed systems if relaxation made the
+		// system unsolvable.
+		for _, p := range c.Plans {
+			p.Sys = p.Res.Sys
+			p.Relaxed = false
+			p.GuardedSyms = nil
+		}
+		sol, err = solver.SolveProgram(resultsOf(c.Plans), c.External, c.ExternalSyms)
+		if err == nil {
+			c.Solution = sol
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("solve: %w", err)
+	}
+
+	if !opts.DisablePrivateSubPartitions {
+		c.Private = optimize.FindPrivateSubPartitions(c.Plans, c.Solution, c.External)
+	}
+	c.Timing.Solver = time.Since(start)
+
+	start = time.Now()
+	c.Parallel = rewrite.Build(c.Plans, c.Solution, c.Private)
+	c.Timing.Rewrite = time.Since(start)
+	return c, nil
+}
+
+// resultsOf substitutes the (possibly relaxed) systems into the
+// inference results the solver consumes. The solver only reads Sys,
+// IterSym, and Accesses; we pass shallow copies with Sys swapped.
+func resultsOf(plans []*optimize.LoopPlan) []*infer.Result {
+	out := make([]*infer.Result, len(plans))
+	for i, p := range plans {
+		clone := *p.Res
+		clone.Sys = p.Sys
+		out[i] = &clone
+	}
+	return out
+}
+
+func anyRelaxed(plans []*optimize.LoopPlan) bool {
+	for _, p := range plans {
+		if p.Relaxed {
+			return true
+		}
+	}
+	return false
+}
+
+// DPLProgram returns the synthesized DPL program including private
+// sub-partition statements.
+func (c *Compiled) DPLProgram() dpl.Program {
+	prog := dpl.Program{Stmts: append([]dpl.Stmt(nil), c.Solution.Program.Stmts...)}
+	if c.Private != nil {
+		prog.Stmts = append(prog.Stmts, c.Private.Extra.Stmts...)
+	}
+	return prog
+}
+
+// NewContext builds a DPL evaluation context from a machine: all regions
+// are registered, every declared index function is taken from the
+// machine, and pointer/range field maps are derived from region data
+// under their canonical "R[·].f" names.
+func (c *Compiled) NewContext(colors int, m *ir.Machine) (*dpl.Context, error) {
+	ctx := dpl.NewContext(colors)
+	for _, decl := range c.Source.Regions {
+		r, ok := m.Regions[decl.Name]
+		if !ok {
+			return nil, fmt.Errorf("autopart: machine lacks region %q", decl.Name)
+		}
+		ctx.AddRegion(r)
+		for _, f := range decl.Fields {
+			name := fmt.Sprintf("%s[·].%s", decl.Name, f.Name)
+			switch f.Kind {
+			case lang.IndexKind:
+				ctx.AddMap(name, r.PointerMap(f.Name))
+			case lang.RangeKind:
+				ctx.AddMultiMap(name, r.RangeMap(f.Name))
+			}
+		}
+	}
+	for _, f := range c.Source.Funcs {
+		fn, ok := m.Funcs[f.Name]
+		if !ok {
+			return nil, fmt.Errorf("autopart: machine lacks index function %q", f.Name)
+		}
+		ctx.AddMap(f.Name, fn)
+	}
+	return ctx, nil
+}
+
+// Evaluate runs the DPL program in the context. External partitions must
+// already be bound in the context (ctx.Bind). It returns the partitions
+// for every program symbol plus the externals.
+func (c *Compiled) Evaluate(ctx *dpl.Context) (map[string]*region.Partition, error) {
+	parts, err := c.DPLProgram().Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, sym := range c.ExternalSyms {
+		p, ok := ctx.Binding(sym)
+		if !ok {
+			return nil, fmt.Errorf("autopart: external partition %q not bound", sym)
+		}
+		parts[sym] = p
+	}
+	return parts, nil
+}
+
+// NewExecutor wires an executor with all evaluated partitions bound.
+func (c *Compiled) NewExecutor(m *ir.Machine, parts map[string]*region.Partition) *rewrite.Executor {
+	ex := rewrite.NewExecutor(m)
+	for sym, p := range parts {
+		ex.Bind(sym, p)
+	}
+	return ex
+}
+
+// RunParallel executes every parallel loop once (one outer "main loop"
+// iteration), in program order. Partitions are re-evaluated before each
+// launch, mirroring dependent partitioning semantics: a launch that
+// rewrites pointer fields (Fig. 4) changes the partitions later launches
+// derive from them.
+func (c *Compiled) RunParallel(m *ir.Machine, colors int, external map[string]*region.Partition) error {
+	for _, pl := range c.Parallel {
+		ctx, err := c.NewContext(colors, m)
+		if err != nil {
+			return err
+		}
+		for sym, p := range external {
+			ctx.Bind(sym, p)
+		}
+		parts, err := c.Evaluate(ctx)
+		if err != nil {
+			return err
+		}
+		ex := c.NewExecutor(m, parts)
+		if err := ex.RunLaunch(pl); err != nil {
+			return fmt.Errorf("%s: %w", pl, err)
+		}
+	}
+	return nil
+}
+
+// RunSequential executes every loop once with the reference sequential
+// semantics.
+func (c *Compiled) RunSequential(m *ir.Machine) error {
+	for _, l := range c.Loops {
+		if err := m.RunSequential(l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,514 @@
+package autopart
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"autopart/internal/geometry"
+	"autopart/internal/ir"
+	"autopart/internal/region"
+)
+
+// differential runs the same program sequentially and in parallel on two
+// copies of the same machine state and requires bit-identical results.
+func differential(t *testing.T, src string, colors int, build func() *ir.Machine) {
+	t.Helper()
+	c, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqM := build()
+	parM := build()
+
+	if err := c.RunSequential(seqM); err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	if err := c.RunParallel(parM, colors, nil); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	for name, r := range seqM.Regions {
+		if same, diff := r.SameData(parM.Regions[name]); !same {
+			t.Fatalf("region %s differs after parallel execution: %s\nDPL:\n%s",
+				name, diff, c.DPLProgram())
+		}
+	}
+}
+
+const figure1Src = `
+region Particles { cell: index(Cells), pos: scalar }
+region Cells { vel: scalar, acc: scalar }
+function h : Cells -> Cells
+for p in Particles {
+  c = Particles[p].cell
+  Particles[p].pos += f(Cells[c].vel, Cells[h(c)].vel)
+}
+for c in Cells {
+  Cells[c].vel += g(Cells[c].acc, Cells[h(c)].acc)
+}
+`
+
+func figure1Machine(nParticles, nCells int64, seed int64) func() *ir.Machine {
+	return func() *ir.Machine {
+		rng := rand.New(rand.NewSource(seed))
+		particles := region.New("Particles", nParticles)
+		particles.AddIndexField("cell")
+		particles.AddScalarField("pos")
+		cells := region.New("Cells", nCells)
+		cells.AddScalarField("vel")
+		cells.AddScalarField("acc")
+		cellOf := particles.Index("cell")
+		for i := range cellOf {
+			cellOf[i] = rng.Int63n(nCells)
+		}
+		vel := cells.Scalar("vel")
+		acc := cells.Scalar("acc")
+		for i := range vel {
+			vel[i] = float64(rng.Intn(100))
+			acc[i] = float64(rng.Intn(100))
+		}
+		m := ir.NewMachine().AddRegion(particles).AddRegion(cells)
+		m.AddFunc("h", geometry.AffineMap{Name: "h", Stride: 1, Offset: 1, Modulo: nCells})
+		return m
+	}
+}
+
+func TestDifferentialFigure1(t *testing.T) {
+	for _, colors := range []int{1, 2, 4, 7} {
+		differential(t, figure1Src, colors, figure1Machine(120, 30, 42))
+	}
+}
+
+func TestCompileFigure1Structure(t *testing.T) {
+	c, err := Compile(figure1Src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Parallel) != 2 || len(c.Loops) != 2 {
+		t.Fatalf("parallel loops = %d", len(c.Parallel))
+	}
+	text := c.Solution.Program.String()
+	if !strings.Contains(text, "equal(Cells)") || !strings.Contains(text, "preimage(Particles") {
+		t.Errorf("unexpected strategy:\n%s", text)
+	}
+	if c.Timing.Total() <= 0 {
+		t.Error("timings should be positive")
+	}
+}
+
+const spmvSrc = `
+region Y { val: scalar }
+region Ranges : Y { span: range(Mat) }
+region Mat { val: scalar, ind: index(X) }
+region X { val: scalar }
+for i in Y {
+  for k in Ranges[i].span {
+    Y[i].val += Mat[k].val * X[Mat[k].ind].val
+  }
+}
+`
+
+// spmvMachine builds a CSR matrix with a random band structure.
+func spmvMachine(rows int64, seed int64) func() *ir.Machine {
+	return func() *ir.Machine {
+		rng := rand.New(rand.NewSource(seed))
+		// Random nonzeros per row: 0..4.
+		counts := make([]int64, rows)
+		var nnz int64
+		for i := range counts {
+			counts[i] = rng.Int63n(5)
+			nnz += counts[i]
+		}
+		y := region.New("Y", rows)
+		y.AddScalarField("val")
+		ranges := region.New("Ranges", rows)
+		ranges.AddRangeField("span")
+		mat := region.New("Mat", nnz)
+		mat.AddScalarField("val")
+		mat.AddIndexField("ind")
+		x := region.New("X", rows)
+		x.AddScalarField("val")
+
+		spans := ranges.Ranges("span")
+		var off int64
+		for i := int64(0); i < rows; i++ {
+			spans[i] = geometry.Interval{Lo: off, Hi: off + counts[i]}
+			off += counts[i]
+		}
+		vals := mat.Scalar("val")
+		inds := mat.Index("ind")
+		for j := range vals {
+			vals[j] = float64(rng.Intn(10))
+			inds[j] = rng.Int63n(rows)
+		}
+		xv := x.Scalar("val")
+		for i := range xv {
+			xv[i] = float64(rng.Intn(10))
+		}
+		return ir.NewMachine().AddRegion(y).AddRegion(ranges).AddRegion(mat).AddRegion(x)
+	}
+}
+
+func TestDifferentialSpMV(t *testing.T) {
+	for _, colors := range []int{1, 3, 8} {
+		differential(t, spmvSrc, colors, spmvMachine(64, 7))
+	}
+}
+
+const multiReduceSrc = `
+region R { v: scalar }
+region S { w: scalar }
+function f : R -> S
+function g : R -> S
+for i in R {
+  S[f(i)].w += R[i].v
+  S[g(i)].w += R[i].v
+}
+`
+
+func multiReduceMachine(n int64, seed int64) func() *ir.Machine {
+	return func() *ir.Machine {
+		rng := rand.New(rand.NewSource(seed))
+		r := region.New("R", n)
+		r.AddScalarField("v")
+		s := region.New("S", n)
+		s.AddScalarField("w")
+		rv := r.Scalar("v")
+		for i := range rv {
+			rv[i] = float64(rng.Intn(50))
+		}
+		m := ir.NewMachine().AddRegion(r).AddRegion(s)
+		m.AddFunc("f", geometry.AffineMap{Name: "f", Stride: 1, Offset: 3, Modulo: n})
+		m.AddFunc("g", geometry.AffineMap{Name: "g", Stride: 1, Offset: -5, Modulo: n})
+		return m
+	}
+}
+
+func TestDifferentialMultiReduceRelaxed(t *testing.T) {
+	// Fig. 11: the §5.1 relaxation must produce a guarded, aliased
+	// iteration partition and still match sequential execution exactly.
+	c, err := Compile(multiReduceSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Plans[0].Relaxed {
+		t.Fatalf("loop should be relaxed; system:\n%s", c.Plans[0].Sys)
+	}
+	// The iteration partition must be a union of preimages.
+	text := c.Solution.Program.String()
+	if !strings.Contains(text, "preimage(R, f,") || !strings.Contains(text, "preimage(R, g,") ||
+		!strings.Contains(text, "∪") {
+		t.Errorf("expected union-of-preimages iteration partition:\n%s", text)
+	}
+	for _, colors := range []int{1, 2, 5} {
+		differential(t, multiReduceSrc, colors, multiReduceMachine(60, 11))
+	}
+}
+
+func TestDifferentialMultiReduceUnrelaxed(t *testing.T) {
+	// With relaxation disabled the loop needs a disjoint iteration
+	// partition and reduction buffers; results must still match.
+	c, err := Compile(multiReduceSrc, Options{DisableRelaxation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Plans[0].Relaxed {
+		t.Fatal("relaxation should be disabled")
+	}
+	build := multiReduceMachine(60, 13)
+	seqM, parM := build(), build()
+	if err := c.RunSequential(seqM); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunParallel(parM, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range seqM.Regions {
+		if same, diff := r.SameData(parM.Regions[name]); !same {
+			t.Fatalf("region %s differs: %s", name, diff)
+		}
+	}
+}
+
+const stencilSrc = `
+region Grid { vin: scalar, vout: scalar }
+function left : Grid -> Grid
+function right : Grid -> Grid
+for i in Grid {
+  if (left(i) in Grid) {
+    Grid[i].vout += Grid[left(i)].vin
+  }
+  if (right(i) in Grid) {
+    Grid[i].vout += Grid[right(i)].vin
+  }
+  Grid[i].vout += Grid[i].vin
+}
+`
+
+func stencilMachine(n int64, seed int64) func() *ir.Machine {
+	return func() *ir.Machine {
+		rng := rand.New(rand.NewSource(seed))
+		g := region.New("Grid", n)
+		g.AddScalarField("vin")
+		g.AddScalarField("vout")
+		in := g.Scalar("vin")
+		for i := range in {
+			in[i] = float64(rng.Intn(100))
+		}
+		clamp := geometry.Interval{Lo: 0, Hi: n}
+		m := ir.NewMachine().AddRegion(g)
+		m.AddFunc("left", geometry.AffineMap{Name: "left", Stride: 1, Offset: -1, Clamp: &clamp})
+		m.AddFunc("right", geometry.AffineMap{Name: "right", Stride: 1, Offset: 1, Clamp: &clamp})
+		return m
+	}
+}
+
+func TestDifferentialStencil(t *testing.T) {
+	for _, colors := range []int{1, 2, 4} {
+		differential(t, stencilSrc, colors, stencilMachine(64, 3))
+	}
+}
+
+func TestPointerReadAfterWriteRejected(t *testing.T) {
+	// Loading an index field after storing it in the same loop would
+	// make the launch-time partitions stale; inference must reject it.
+	src := `
+region P { cell: index(C), pos: scalar }
+region C { v: scalar }
+function locate : P -> C
+for i in P {
+  new_cell = locate(i)
+  P[i].cell = new_cell
+  P[i].pos += C[P[i].cell].v
+}
+`
+	_, err := Compile(src, Options{})
+	if err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("expected staleness rejection, got %v", err)
+	}
+}
+
+func pointerMachine(n int64, seed int64) func() *ir.Machine {
+	return func() *ir.Machine {
+		rng := rand.New(rand.NewSource(seed))
+		p := region.New("P", n)
+		p.AddIndexField("cell")
+		p.AddScalarField("pos")
+		c := region.New("C", n)
+		c.AddScalarField("v")
+		cell := p.Index("cell")
+		for i := range cell {
+			cell[i] = rng.Int63n(n)
+		}
+		cv := c.Scalar("v")
+		for i := range cv {
+			cv[i] = float64(rng.Intn(100))
+		}
+		m := ir.NewMachine().AddRegion(p).AddRegion(c)
+		// locate(i) = (i+1) mod n: every particle moves each step.
+		m.AddFunc("locate", geometry.AffineMap{Name: "locate", Stride: 1, Offset: 1, Modulo: n})
+		return m
+	}
+}
+
+func TestDifferentialPointerUpdateFig4Pattern(t *testing.T) {
+	// Fig. 4's legal pattern: load the pointer, compare, store — the
+	// store happens after all loads of the field in the loop.
+	src := `
+region P { cell: index(C), pos: scalar }
+region C { v: scalar }
+function locate : P -> C
+for i in P {
+  new_cell = locate(i)
+  c = P[i].cell
+  P[i].pos += C[c].v
+  if (c != new_cell) {
+    P[i].cell = new_cell
+  }
+}
+`
+	differential(t, src, 4, pointerMachine(40, 5))
+}
+
+func TestDifferentialCrossLaunchPointerUpdate(t *testing.T) {
+	// A first loop rewrites the pointers; a second loop gathers through
+	// them. Partitions must be re-evaluated between launches.
+	src := `
+region P { cell: index(C), pos: scalar }
+region C { v: scalar }
+function locate : P -> C
+for i in P {
+  P[i].cell = locate(i)
+}
+for j in P {
+  P[j].pos += C[P[j].cell].v
+}
+`
+	differential(t, src, 4, pointerMachine(40, 9))
+}
+
+func TestExternalPartitionFlow(t *testing.T) {
+	// Example 6 end-to-end: user-provided partitions drive the solution
+	// and parallel execution matches sequential execution.
+	src := `
+region Particles { cell: index(Cells), pos: scalar }
+region Cells { vel: scalar, acc: scalar }
+function h : Cells -> Cells
+extern partition pParticles of Particles
+extern partition pCells of Cells
+assert image(pParticles, Particles.cell, Cells) <= pCells
+assert disjoint(pParticles)
+assert complete(pParticles, Particles)
+assert disjoint(pCells)
+assert complete(pCells, Cells)
+for p in Particles {
+  c = Particles[p].cell
+  Particles[p].pos += f(Cells[c].vel, Cells[h(c)].vel)
+}
+for c in Cells {
+  Cells[c].vel += g(Cells[c].acc, Cells[h(c)].acc)
+}
+`
+	c, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const colors = 4
+	build := figure1Machine(120, 32, 17)
+
+	// Build external partitions satisfying the invariant: cells split
+	// equally, particles by preimage.
+	mkExternal := func(m *ir.Machine) map[string]*region.Partition {
+		cells := m.Regions["Cells"]
+		particles := m.Regions["Particles"]
+		pCells := region.Equal("pCells", cells, colors)
+		pParticles := region.Preimage("pParticles", particles, particles.PointerMap("cell"), pCells)
+		return map[string]*region.Partition{"pCells": pCells, "pParticles": pParticles}
+	}
+
+	seqM, parM := build(), build()
+	if err := c.RunSequential(seqM); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunParallel(parM, colors, mkExternal(parM)); err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range seqM.Regions {
+		if same, diff := r.SameData(parM.Regions[name]); !same {
+			t.Fatalf("region %s differs: %s", name, diff)
+		}
+	}
+}
+
+func TestUnsoundExternalPartitionDetected(t *testing.T) {
+	// If the user's external partitions violate the asserted invariant,
+	// the executor's containment check must catch the escape.
+	src := `
+region P { cell: index(C), pos: scalar }
+region C { v: scalar }
+extern partition pP of P
+extern partition pC of C
+assert image(pP, P.cell, C) <= pC
+assert disjoint(pP)
+assert complete(pP, P)
+assert disjoint(pC)
+assert complete(pC, C)
+for i in P {
+  P[i].pos += C[P[i].cell].v
+}
+`
+	c, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := region.New("P", 16)
+	p.AddIndexField("cell")
+	p.AddScalarField("pos")
+	cr := region.New("C", 16)
+	cr.AddScalarField("v")
+	cell := p.Index("cell")
+	for i := range cell {
+		cell[i] = int64(15 - i) // reversed pointers
+	}
+	m := ir.NewMachine().AddRegion(p).AddRegion(cr)
+
+	// Deliberately violating externals: both equal partitions, so the
+	// asserted image(pP, cell, C) ⊆ pC is false for the reversed
+	// pointers.
+	ext := map[string]*region.Partition{
+		"pP": region.Equal("pP", p, 4),
+		"pC": region.Equal("pC", cr, 4),
+	}
+	err = c.RunParallel(m, 4, ext)
+	if err == nil || !strings.Contains(err.Error(), "escapes subregion") {
+		t.Fatalf("expected containment violation, got %v", err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		"region R {", // parse error
+		"region R { v: scalar } for i in R { R[j].v = 1 }", // normalize error
+		`region R { p: index(R), v: scalar }
+for i in R {
+  q = R[i].p
+  R[q].v = 1
+}`, // not parallelizable
+	}
+	for _, src := range cases {
+		if _, err := Compile(src, Options{}); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestQuickDifferentialRandomPrograms(t *testing.T) {
+	// Randomized differential testing over a family of gather/scatter
+	// programs: random pointer targets, random affine offsets, random
+	// mixes of centered and uncentered accesses.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := int64(20 + rng.Intn(60))
+		offset := int64(rng.Intn(7)) - 3
+		var sb strings.Builder
+		sb.WriteString("region A { ptr: index(B), x: scalar }\n")
+		sb.WriteString("region B { y: scalar, z: scalar }\n")
+		sb.WriteString("function nb : B -> B\n")
+		sb.WriteString("for i in A {\n")
+		sb.WriteString("  p = A[i].ptr\n")
+		switch trial % 3 {
+		case 0: // gather
+			sb.WriteString("  A[i].x += f(B[p].y, B[nb(p)].y)\n")
+		case 1: // scatter-reduce
+			sb.WriteString("  B[p].z += A[i].x\n")
+		case 2: // both fields
+			sb.WriteString("  A[i].x += B[p].y\n")
+			sb.WriteString("  B[p].z += A[i].x\n")
+		}
+		sb.WriteString("}\n")
+		src := sb.String()
+
+		build := func() *ir.Machine {
+			r := rand.New(rand.NewSource(int64(trial)*1000 + 5))
+			a := region.New("A", n)
+			a.AddIndexField("ptr")
+			a.AddScalarField("x")
+			b := region.New("B", n)
+			b.AddScalarField("y")
+			b.AddScalarField("z")
+			ptr := a.Index("ptr")
+			for i := range ptr {
+				ptr[i] = r.Int63n(n)
+			}
+			for i := range a.Scalar("x") {
+				a.Scalar("x")[i] = float64(r.Intn(20))
+				b.Scalar("y")[i] = float64(r.Intn(20))
+			}
+			m := ir.NewMachine().AddRegion(a).AddRegion(b)
+			m.AddFunc("nb", geometry.AffineMap{Name: "nb", Stride: 1, Offset: offset, Modulo: n})
+			return m
+		}
+		colors := 1 + rng.Intn(6)
+		differential(t, src, colors, build)
+	}
+}
