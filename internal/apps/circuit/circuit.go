@@ -326,22 +326,29 @@ func Figure14d(cfg Config, model sim.Model, nodeCounts []int) (sim.Figure, error
 	manual := sim.Series{Label: "Manual"}
 	autoHint := sim.Series{Label: "Auto+Hint"}
 	auto := sim.Series{Label: "Auto"}
-	for _, n := range nodeCounts {
+	type triple struct{ manual, hint, auto sim.Point }
+	points, err := sim.Sweep(nodeCounts, func(n int) (triple, error) {
 		mp, err := ManualPoint(cfg, model, plain, n)
 		if err != nil {
-			return sim.Figure{}, fmt.Errorf("circuit manual nodes=%d: %w", n, err)
+			return triple{}, fmt.Errorf("circuit manual nodes=%d: %w", n, err)
 		}
-		manual.Points = append(manual.Points, mp)
 		hp, err := AutoPoint(cfg, model, hinted, n, true)
 		if err != nil {
-			return sim.Figure{}, fmt.Errorf("circuit auto+hint nodes=%d: %w", n, err)
+			return triple{}, fmt.Errorf("circuit auto+hint nodes=%d: %w", n, err)
 		}
-		autoHint.Points = append(autoHint.Points, hp)
 		ap, err := AutoPoint(cfg, model, plain, n, false)
 		if err != nil {
-			return sim.Figure{}, fmt.Errorf("circuit auto nodes=%d: %w", n, err)
+			return triple{}, fmt.Errorf("circuit auto nodes=%d: %w", n, err)
 		}
-		auto.Points = append(auto.Points, ap)
+		return triple{manual: mp, hint: hp, auto: ap}, nil
+	})
+	if err != nil {
+		return sim.Figure{}, err
+	}
+	for _, p := range points {
+		manual.Points = append(manual.Points, p.manual)
+		autoHint.Points = append(autoHint.Points, p.hint)
+		auto.Points = append(auto.Points, p.auto)
 	}
 	return sim.Figure{
 		ID:       "14d",

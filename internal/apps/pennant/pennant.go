@@ -546,19 +546,29 @@ func Figure14e(cfg Config, model sim.Model, nodeCounts []int) (sim.Figure, error
 		{Label: "Auto+Hint1"},
 		{Label: "Auto"},
 	}
-	for _, n := range nodeCounts {
+	points, err := sim.Sweep(nodeCounts, func(n int) ([4]sim.Point, error) {
+		var out [4]sim.Point
 		mesh := Build(cfg, n)
 		mp, err := ManualPoint(cfg, model, compiled[0], mesh, n)
 		if err != nil {
-			return sim.Figure{}, fmt.Errorf("pennant manual nodes=%d: %w", n, err)
+			return out, fmt.Errorf("pennant manual nodes=%d: %w", n, err)
 		}
-		series[0].Points = append(series[0].Points, mp)
+		out[0] = mp
 		for level := 2; level >= 0; level-- {
 			p, err := AutoPoint(cfg, model, compiled[level], mesh, n, level)
 			if err != nil {
-				return sim.Figure{}, fmt.Errorf("pennant hint%d nodes=%d: %w", level, n, err)
+				return out, fmt.Errorf("pennant hint%d nodes=%d: %w", level, n, err)
 			}
-			series[3-level].Points = append(series[3-level].Points, p)
+			out[3-level] = p
+		}
+		return out, nil
+	})
+	if err != nil {
+		return sim.Figure{}, err
+	}
+	for _, p := range points {
+		for i := range series {
+			series[i].Points = append(series[i].Points, p[i])
 		}
 	}
 	return sim.Figure{

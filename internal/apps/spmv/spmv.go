@@ -156,15 +156,17 @@ func Figure14a(cfg Config, model sim.Model, nodeCounts []int) (sim.Figure, error
 	if err != nil {
 		return sim.Figure{}, err
 	}
-	var auto sim.Series
-	auto.Label = "Auto"
-	for _, n := range nodeCounts {
+	points, err := sim.Sweep(nodeCounts, func(n int) (sim.Point, error) {
 		p, err := AutoPoint(cfg, model, c, n)
 		if err != nil {
-			return sim.Figure{}, fmt.Errorf("spmv nodes=%d: %w", n, err)
+			return sim.Point{}, fmt.Errorf("spmv nodes=%d: %w", n, err)
 		}
-		auto.Points = append(auto.Points, p)
+		return p, nil
+	})
+	if err != nil {
+		return sim.Figure{}, err
 	}
+	auto := sim.Series{Label: "Auto", Points: points}
 	return sim.Figure{
 		ID:       "14a",
 		Title:    fmt.Sprintf("SpMV (%d non-zeros/node)", cfg.RowsPerNode*cfg.NnzPerRow),

@@ -173,22 +173,28 @@ func Figure14b(cfg Config, model sim.Model, nodeCounts []int) (sim.Figure, error
 	}
 	manual := sim.Series{Label: "Manual"}
 	auto := sim.Series{Label: "Auto"}
-	for _, n := range nodeCounts {
+	type pair struct{ auto, manual sim.Point }
+	points, err := sim.Sweep(nodeCounts, func(n int) (pair, error) {
 		ap, err := AutoPoint(cfg, model, c, n)
 		if err != nil {
-			return sim.Figure{}, fmt.Errorf("stencil auto nodes=%d: %w", n, err)
+			return pair{}, fmt.Errorf("stencil auto nodes=%d: %w", n, err)
 		}
-		auto.Points = append(auto.Points, ap)
-
 		// The manual kernel does the same arithmetic: reuse the auto
 		// launches' work estimates for a fair comparison.
 		workCompute := workOfLoop(c, 0)
 		workCopy := workOfLoop(c, 1)
 		mp, err := ManualPoint(cfg, model, workCompute, workCopy, n)
 		if err != nil {
-			return sim.Figure{}, fmt.Errorf("stencil manual nodes=%d: %w", n, err)
+			return pair{}, fmt.Errorf("stencil manual nodes=%d: %w", n, err)
 		}
-		manual.Points = append(manual.Points, mp)
+		return pair{auto: ap, manual: mp}, nil
+	})
+	if err != nil {
+		return sim.Figure{}, err
+	}
+	for _, p := range points {
+		auto.Points = append(auto.Points, p.auto)
+		manual.Points = append(manual.Points, p.manual)
 	}
 	return sim.Figure{
 		ID:       "14b",

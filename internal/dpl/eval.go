@@ -21,6 +21,15 @@ type Context struct {
 	maps      map[string]geometry.IndexMap
 	multiMaps map[string]geometry.MultiMap
 	bindings  map[string]*region.Partition
+	// memo caches evaluated partitions keyed by the expression's
+	// canonical string, so shared subexpressions inside BinExpr trees
+	// (and across program statements) evaluate once per context. The
+	// cache is invalidated whenever an existing name is re-registered
+	// (Bind of a bound symbol, AddMap/AddMultiMap/AddRegion of any
+	// name): a cached result may have depended on the old meaning.
+	// First-time Binds keep the cache — no successfully cached
+	// expression can have referenced a previously unbound symbol.
+	memo map[string]*region.Partition
 }
 
 // NewContext creates an evaluation context with the given color count.
@@ -31,11 +40,19 @@ func NewContext(colors int) *Context {
 		maps:      map[string]geometry.IndexMap{},
 		multiMaps: map[string]geometry.MultiMap{},
 		bindings:  map[string]*region.Partition{},
+		memo:      map[string]*region.Partition{},
+	}
+}
+
+func (c *Context) invalidate() {
+	if len(c.memo) > 0 {
+		c.memo = map[string]*region.Partition{}
 	}
 }
 
 // AddRegion registers a region under its own name.
 func (c *Context) AddRegion(r *region.Region) *Context {
+	c.invalidate()
 	c.regions[r.Name()] = r
 	return c
 }
@@ -49,19 +66,26 @@ func (c *Context) Region(name string) (*region.Region, bool) {
 // AddMap registers a single-valued index map under the name DPL
 // expressions use to reference it.
 func (c *Context) AddMap(name string, m geometry.IndexMap) *Context {
+	c.invalidate()
 	c.maps[name] = m
 	return c
 }
 
 // AddMultiMap registers a multi-valued map (for IMAGE/PREIMAGE).
 func (c *Context) AddMultiMap(name string, m geometry.MultiMap) *Context {
+	c.invalidate()
 	c.multiMaps[name] = m
 	return c
 }
 
 // Bind associates a partition symbol with a concrete partition; used both
-// for program evaluation and for external partitions.
+// for program evaluation and for external partitions. Re-binding an
+// already-bound symbol clears the memo cache (cached expressions may
+// reference the old binding); a first-time Bind cannot.
 func (c *Context) Bind(name string, p *region.Partition) *Context {
+	if _, rebind := c.bindings[name]; rebind {
+		c.invalidate()
+	}
 	c.bindings[name] = p
 	return c
 }
@@ -103,8 +127,29 @@ func (c *Context) lookupRegion(name string) (*region.Region, error) {
 }
 
 // Eval computes the concrete partition denoted by e. The resulting
-// partition is named by the expression's syntax.
+// partition is named by the expression's syntax. Results of non-Var
+// expressions are memoized per context (see the memo field), so a
+// BinExpr tree with repeated subtrees — e.g. the Theorem 5.1 private
+// sub-partition construction, where the image partition appears on both
+// sides of the difference — pays for each distinct subexpression once.
 func (c *Context) Eval(e Expr) (*region.Partition, error) {
+	if _, isVar := e.(Var); !isVar && c.memo != nil {
+		if p, ok := c.memo[Key(e)]; ok {
+			return p, nil
+		}
+	}
+	p, err := c.evalUncached(e)
+	if err == nil && c.memo != nil {
+		if _, isVar := e.(Var); !isVar {
+			c.memo[Key(e)] = p
+		}
+	}
+	return p, err
+}
+
+// evalUncached evaluates one node; subexpressions still go through the
+// memoizing Eval.
+func (c *Context) evalUncached(e Expr) (*region.Partition, error) {
 	switch x := e.(type) {
 	case Var:
 		p, ok := c.bindings[x.Name]

@@ -1,0 +1,100 @@
+package dpl
+
+import (
+	"testing"
+
+	"autopart/internal/geometry"
+	"autopart/internal/region"
+)
+
+func memoCtx() *Context {
+	ctx := NewContext(4)
+	ctx.AddRegion(region.New("R", 256))
+	ctx.AddRegion(region.New("S", 256))
+	ctx.AddMap("f", geometry.AffineMap{Name: "f", Stride: 1, Offset: 1, Modulo: 256})
+	return ctx
+}
+
+// TestEvalMemoizesSharedSubexpressions asserts the memo returns the very
+// same partition for a repeated subexpression, and that the memoized
+// result matches an uncached evaluation.
+func TestEvalMemoizesSharedSubexpressions(t *testing.T) {
+	ctx := memoCtx()
+	img := ImageExpr{Of: EqualExpr{Region: "R"}, Func: "f", Region: "S"}
+	first, err := ctx.Eval(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ctx.Eval(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("repeated Eval should return the cached partition pointer")
+	}
+	uncached, err := ctx.evalUncached(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.SamePartition(uncached) {
+		t.Error("memoized result differs from uncached evaluation")
+	}
+}
+
+// TestEvalMemoSkipsVars: Var lookups must track the live binding, never a
+// cached copy.
+func TestEvalMemoSkipsVars(t *testing.T) {
+	ctx := memoCtx()
+	r, _ := ctx.Region("R")
+	p1 := region.Equal("p1", r, 4)
+	p2 := region.Equal("p2", r, 4)
+	ctx.Bind("P", p1)
+	if got, _ := ctx.Eval(Var{Name: "P"}); got != p1 {
+		t.Fatal("Var eval should return the binding")
+	}
+	ctx.Bind("P", p2)
+	if got, _ := ctx.Eval(Var{Name: "P"}); got != p2 {
+		t.Fatal("Var eval should see the new binding")
+	}
+}
+
+// TestEvalMemoInvalidation covers the invalidation rule: re-binding a
+// bound symbol and re-registering a map clear the cache; a first-time
+// Bind keeps it.
+func TestEvalMemoInvalidation(t *testing.T) {
+	ctx := memoCtx()
+	r, _ := ctx.Region("R")
+	e := ImageExpr{Of: Var{Name: "P"}, Func: "f", Region: "S"}
+
+	ctx.Bind("P", region.Equal("p", r, 4))
+	first, err := ctx.Eval(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First-time Bind of an unrelated symbol: cache survives.
+	ctx.Bind("Q", region.Equal("q", r, 4))
+	if got, _ := ctx.Eval(e); got != first {
+		t.Error("first-time Bind must not clear the memo")
+	}
+
+	// Re-binding P: the cached image depended on the old binding.
+	ctx.Bind("P", region.Equal("p2", r, 4))
+	if got, _ := ctx.Eval(e); got == first {
+		t.Error("re-bind must clear the memo")
+	}
+
+	// Re-registering the map f invalidates again.
+	before, _ := ctx.Eval(e)
+	ctx.AddMap("f", geometry.AffineMap{Name: "f", Stride: 1, Offset: 2, Modulo: 256})
+	after, err := ctx.Eval(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == before {
+		t.Error("AddMap must clear the memo")
+	}
+	if before.SamePartition(after) {
+		t.Error("new map should change the image")
+	}
+}

@@ -1,0 +1,310 @@
+package geometry
+
+import "slices"
+
+// This file holds the interval-native fast paths of the evaluation
+// engine. The public Image/Preimage/ImageMulti/PreimageMulti entry
+// points in map.go dispatch here when the map's concrete type admits
+// whole-interval arithmetic; the per-element implementations remain as
+// the generic fallback and as the reference the differential tests
+// compare against.
+
+// imageIdentity computes the image under the identity map: s ∩ codomain.
+func imageIdentity(s, codomain IndexSet) IndexSet { return s.Intersect(codomain) }
+
+// affineIntervalImage returns the image of one non-empty interval under
+// f(k) = Stride*k + Offset before modulo wrapping, for Stride ∈ {-1, 0, 1}.
+func affineIntervalImage(m AffineMap, iv Interval) Interval {
+	switch m.Stride {
+	case 1:
+		return Interval{iv.Lo + m.Offset, iv.Hi + m.Offset}
+	case -1:
+		// Values -Hi+1+Offset .. -Lo+Offset.
+		return Interval{m.Offset - iv.Hi + 1, m.Offset - iv.Lo + 1}
+	default: // Stride == 0: every index maps to Offset.
+		return Interval{m.Offset, m.Offset + 1}
+	}
+}
+
+// wrapInterval appends iv wrapped into [0, mod) to out. An interval
+// covering a full period collapses to [0, mod).
+func wrapInterval(out []Interval, iv Interval, mod int64) []Interval {
+	if iv.Len() >= mod {
+		return append(out, Interval{0, mod})
+	}
+	lo := iv.Lo % mod
+	if lo < 0 {
+		lo += mod
+	}
+	hi := lo + iv.Len()
+	if hi <= mod {
+		return append(out, Interval{lo, hi})
+	}
+	return append(out, Interval{lo, mod}, Interval{0, hi - mod})
+}
+
+// affineFastPath reports whether the affine map admits interval-native
+// image/preimage computation.
+func affineFastPath(m AffineMap) bool {
+	return m.Stride == 1 || m.Stride == -1 || m.Stride == 0
+}
+
+// imageAffine computes Image(s, m, codomain) one interval at a time.
+func imageAffine(s IndexSet, m AffineMap, codomain IndexSet) IndexSet {
+	ivs := make([]Interval, 0, len(s.ivs)+1)
+	for _, iv := range s.ivs {
+		out := affineIntervalImage(m, iv)
+		if m.Modulo > 0 {
+			ivs = wrapInterval(ivs, out, m.Modulo)
+		} else {
+			ivs = append(ivs, out)
+		}
+	}
+	img := FromIntervals(ivs...)
+	if m.Clamp != nil {
+		img = img.Intersect(FromIntervals(*m.Clamp))
+	}
+	return img.Intersect(codomain)
+}
+
+// preimageAffine computes Preimage(domain, m, target) by pulling every
+// target interval back through f.
+func preimageAffine(domain IndexSet, m AffineMap, target IndexSet) IndexSet {
+	// Only values inside the clamp are ever produced.
+	if m.Clamp != nil {
+		target = target.Intersect(FromIntervals(*m.Clamp))
+	}
+	if target.Empty() || domain.Empty() {
+		return IndexSet{}
+	}
+	if m.Stride == 0 {
+		// f(k) = Offset (mod Modulo) for every k.
+		v := m.Offset
+		if m.Modulo > 0 {
+			v %= m.Modulo
+			if v < 0 {
+				v += m.Modulo
+			}
+		}
+		if target.Contains(v) {
+			return domain
+		}
+		return IndexSet{}
+	}
+	if m.Modulo <= 0 {
+		ivs := make([]Interval, 0, len(target.ivs))
+		for _, t := range target.ivs {
+			ivs = append(ivs, pullbackAffine(m, t))
+		}
+		return FromIntervals(ivs...).Intersect(domain)
+	}
+	// Periodic case: f(k) = (Stride*k + Offset) mod Modulo. The preimage
+	// of each target interval is a period-Modulo family of intervals;
+	// enumerate only the periods overlapping the domain's bounds.
+	mod := m.Modulo
+	target = target.Intersect(Range(0, mod))
+	bounds, _ := domain.Bounds()
+	var ivs []Interval
+	for _, t := range target.ivs {
+		base := pullbackAffine(m, t)
+		// base + j*Modulo must intersect [bounds.Lo, bounds.Hi).
+		jLo := floorDiv(bounds.Lo-base.Hi+1, mod)
+		jHi := floorDiv(bounds.Hi-base.Lo-1, mod)
+		for j := jLo; j <= jHi; j++ {
+			ivs = append(ivs, Interval{base.Lo + j*mod, base.Hi + j*mod})
+		}
+	}
+	return FromIntervals(ivs...).Intersect(domain)
+}
+
+// pullbackAffine returns { k | Stride*k + Offset ∈ t } for Stride ∈ {1, -1}.
+func pullbackAffine(m AffineMap, t Interval) Interval {
+	if m.Stride == 1 {
+		return Interval{t.Lo - m.Offset, t.Hi - m.Offset}
+	}
+	// Stride == -1: -k + Offset ∈ [Lo, Hi) ⇔ k ∈ (Offset-Hi, Offset-Lo].
+	return Interval{m.Offset - t.Hi + 1, m.Offset - t.Lo + 1}
+}
+
+// floorDiv returns ⌊a/b⌋ for b > 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// imageTable computes Image(s, m, codomain) for a TableMap by walking
+// the backing slice directly per interval, avoiding the per-element
+// interface dispatch of the generic path. Hits go straight into a
+// Builder: ascending runs (the common case for locality-preserving
+// tables) coalesce in place, so the Build-time sort is over intervals,
+// not elements.
+func imageTable(s IndexSet, m TableMap, codomain IndexSet) IndexSet {
+	n := int64(len(m.Table))
+	var b Builder
+	for _, iv := range s.ivs {
+		lo, hi := iv.Lo, iv.Hi
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		for k := lo; k < hi; k++ {
+			if v := m.Table[k]; v >= 0 {
+				b.Add(v)
+			}
+		}
+	}
+	return b.Build().Intersect(codomain)
+}
+
+// preimageTable computes Preimage(domain, m, target) for a TableMap by
+// walking the backing slice directly; hits arrive in ascending order so
+// each insert is O(1).
+func preimageTable(domain IndexSet, m TableMap, target IndexSet) IndexSet {
+	n := int64(len(m.Table))
+	var b Builder
+	for _, iv := range domain.ivs {
+		lo, hi := iv.Lo, iv.Hi
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		for k := lo; k < hi; k++ {
+			if v := m.Table[k]; v >= 0 && target.Contains(v) {
+				b.Add(k)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// imageRangeTable computes ImageMulti(s, m, codomain) for a
+// RangeTableMap: gather every per-index range, then sort-and-merge once.
+func imageRangeTable(s IndexSet, m RangeTableMap, codomain IndexSet) IndexSet {
+	n := int64(len(m.Ranges))
+	var ivs []Interval
+	for _, iv := range s.ivs {
+		lo, hi := iv.Lo, iv.Hi
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		for k := lo; k < hi; k++ {
+			if r := m.Ranges[k]; !r.Empty() {
+				ivs = append(ivs, r)
+			}
+		}
+	}
+	return FromIntervals(ivs...).Intersect(codomain)
+}
+
+// preimageRangeTable computes PreimageMulti(domain, m, target) for a
+// RangeTableMap using a per-index overlap test instead of materializing
+// F(k) as a set.
+func preimageRangeTable(domain IndexSet, m RangeTableMap, target IndexSet) IndexSet {
+	n := int64(len(m.Ranges))
+	var b Builder
+	for _, iv := range domain.ivs {
+		lo, hi := iv.Lo, iv.Hi
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		for k := lo; k < hi; k++ {
+			if target.OverlapsInterval(m.Ranges[k]) {
+				b.Add(k)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// UnionAll returns the union of every set in one k-way merge: all
+// intervals are collected, sorted, and coalesced once, instead of the
+// O(k²) interval copying of a pairwise-union fold.
+func UnionAll(sets []IndexSet) IndexSet {
+	total := 0
+	last := -1
+	for i, s := range sets {
+		if !s.Empty() {
+			total += len(s.ivs)
+			last = i
+		}
+	}
+	if total == 0 {
+		return IndexSet{}
+	}
+	if len(sets[last].ivs) == total {
+		return sets[last] // only one non-empty input
+	}
+	ivs := make([]Interval, 0, total)
+	for _, s := range sets {
+		ivs = append(ivs, s.ivs...)
+	}
+	slices.SortFunc(ivs, func(a, b Interval) int {
+		switch {
+		case a.Lo < b.Lo:
+			return -1
+		case a.Lo > b.Lo:
+			return 1
+		default:
+			return 0
+		}
+	})
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		if prev := &out[len(out)-1]; iv.Lo <= prev.Hi {
+			if iv.Hi > prev.Hi {
+				prev.Hi = iv.Hi
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return IndexSet{ivs: out}
+}
+
+// DisjointAll reports whether the sets are pairwise disjoint, in one
+// sorted sweep over all intervals instead of an O(k²) comparison (or a
+// fold of quadratic-copy unions).
+func DisjointAll(sets []IndexSet) bool {
+	total := 0
+	for _, s := range sets {
+		total += len(s.ivs)
+	}
+	if total <= 1 {
+		return true
+	}
+	ivs := make([]Interval, 0, total)
+	for _, s := range sets {
+		ivs = append(ivs, s.ivs...)
+	}
+	slices.SortFunc(ivs, func(a, b Interval) int {
+		switch {
+		case a.Lo < b.Lo:
+			return -1
+		case a.Lo > b.Lo:
+			return 1
+		default:
+			return 0
+		}
+	})
+	for i := 1; i < len(ivs); i++ {
+		// Within one set intervals never touch, so any overlap between
+		// sorted neighbors is a cross-set overlap.
+		if ivs[i].Lo < ivs[i-1].Hi {
+			return false
+		}
+	}
+	return true
+}

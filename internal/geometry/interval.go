@@ -9,6 +9,7 @@ package geometry
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -129,6 +130,16 @@ func (s IndexSet) Contains(k int64) bool {
 	// Binary search for the first interval with Hi > k.
 	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi > k })
 	return i < len(s.ivs) && s.ivs[i].Contains(k)
+}
+
+// OverlapsInterval reports whether the set shares at least one index
+// with iv, by binary search.
+func (s IndexSet) OverlapsInterval(iv Interval) bool {
+	if iv.Empty() {
+		return false
+	}
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi > iv.Lo })
+	return i < len(s.ivs) && s.ivs[i].Lo < iv.Hi
 }
 
 // Equal reports whether the two sets contain exactly the same indices.
@@ -346,7 +357,16 @@ func (b *Builder) Build() IndexSet {
 		return IndexSet{}
 	}
 	if dirty {
-		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Lo < ivs[j].Lo })
+		slices.SortFunc(ivs, func(a, b Interval) int {
+			switch {
+			case a.Lo < b.Lo:
+				return -1
+			case a.Lo > b.Lo:
+				return 1
+			default:
+				return 0
+			}
+		})
 	}
 	// Coalesce adjacent/overlapping intervals.
 	out := ivs[:1]

@@ -115,8 +115,24 @@ func (l liftedMap) ApplyMulti(k int64) IndexSet {
 }
 
 // Image computes { f(k) | k ∈ s, f(k) defined } ∩ codomain. A nil codomain
-// check is expressed by passing the full region set.
+// check is expressed by passing the full region set. Identity, affine
+// (stride 0/±1), and table maps take interval-native fast paths; other
+// maps fall back to the per-element evaluation.
 func Image(s IndexSet, f IndexMap, codomain IndexSet) IndexSet {
+	switch m := f.(type) {
+	case IdentityMap:
+		return imageIdentity(s, codomain)
+	case AffineMap:
+		if affineFastPath(m) {
+			return imageAffine(s, m, codomain)
+		}
+	case TableMap:
+		return imageTable(s, m, codomain)
+	}
+	return imageGeneric(s, f, codomain)
+}
+
+func imageGeneric(s IndexSet, f IndexMap, codomain IndexSet) IndexSet {
 	var b Builder
 	s.Each(func(k int64) bool {
 		if v, ok := f.Apply(k); ok && codomain.Contains(v) {
@@ -127,8 +143,23 @@ func Image(s IndexSet, f IndexMap, codomain IndexSet) IndexSet {
 	return b.Build()
 }
 
-// Preimage computes { k ∈ domain | f(k) ∈ target }.
+// Preimage computes { k ∈ domain | f(k) ∈ target }, with the same
+// fast-path dispatch as Image.
 func Preimage(domain IndexSet, f IndexMap, target IndexSet) IndexSet {
+	switch m := f.(type) {
+	case IdentityMap:
+		return domain.Intersect(target)
+	case AffineMap:
+		if affineFastPath(m) {
+			return preimageAffine(domain, m, target)
+		}
+	case TableMap:
+		return preimageTable(domain, m, target)
+	}
+	return preimageGeneric(domain, f, target)
+}
+
+func preimageGeneric(domain IndexSet, f IndexMap, target IndexSet) IndexSet {
 	var b Builder
 	domain.Each(func(k int64) bool {
 		if v, ok := f.Apply(k); ok && target.Contains(v) {
@@ -140,8 +171,19 @@ func Preimage(domain IndexSet, f IndexMap, target IndexSet) IndexSet {
 }
 
 // ImageMulti computes ⋃{ F(k) | k ∈ s } ∩ codomain — the generalized IMAGE
-// of §4.
+// of §4. Range-table maps take a batched sort-and-merge path; lifted
+// single-valued maps route through Image's fast paths.
 func ImageMulti(s IndexSet, f MultiMap, codomain IndexSet) IndexSet {
+	switch m := f.(type) {
+	case RangeTableMap:
+		return imageRangeTable(s, m, codomain)
+	case liftedMap:
+		return Image(s, m.f, codomain)
+	}
+	return imageMultiGeneric(s, f, codomain)
+}
+
+func imageMultiGeneric(s IndexSet, f MultiMap, codomain IndexSet) IndexSet {
 	var b Builder
 	s.Each(func(k int64) bool {
 		b.AddSet(f.ApplyMulti(k).Intersect(codomain))
@@ -152,8 +194,19 @@ func ImageMulti(s IndexSet, f MultiMap, codomain IndexSet) IndexSet {
 
 // PreimageMulti computes { l ∈ domain | F(l) ∩ target ≠ ∅ } — the
 // generalized PREIMAGE of §4: the domain indices whose image under F meets
-// the target set.
+// the target set. Range-table maps use a per-index binary-search overlap
+// test; lifted single-valued maps route through Preimage's fast paths.
 func PreimageMulti(domain IndexSet, f MultiMap, target IndexSet) IndexSet {
+	switch m := f.(type) {
+	case RangeTableMap:
+		return preimageRangeTable(domain, m, target)
+	case liftedMap:
+		return Preimage(domain, m.f, target)
+	}
+	return preimageMultiGeneric(domain, f, target)
+}
+
+func preimageMultiGeneric(domain IndexSet, f MultiMap, target IndexSet) IndexSet {
 	var b Builder
 	domain.Each(func(l int64) bool {
 		if !f.ApplyMulti(l).Disjoint(target) {

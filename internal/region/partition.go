@@ -3,8 +3,10 @@ package region
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"autopart/internal/geometry"
+	"autopart/internal/par"
 )
 
 // Partition is a first-class, indexed family of subregions of a parent
@@ -15,6 +17,18 @@ type Partition struct {
 	name   string
 	parent *Region
 	subs   []geometry.IndexSet
+	// union lazily caches UnionAll; shared by Rename views (the
+	// subregions are immutable, so the union is too).
+	union *unionCache
+}
+
+type unionCache struct {
+	once sync.Once
+	set  geometry.IndexSet
+}
+
+func newPartition(name string, parent *Region, subs []geometry.IndexSet) *Partition {
+	return &Partition{name: name, parent: parent, subs: subs, union: &unionCache{}}
 }
 
 // NewPartition wraps explicit subregion index sets into a partition of
@@ -27,7 +41,7 @@ func NewPartition(name string, parent *Region, subs []geometry.IndexSet) *Partit
 			panic(fmt.Sprintf("partition %s: subregion %d escapes region %s", name, i, parent.Name()))
 		}
 	}
-	return &Partition{name: name, parent: parent, subs: subs}
+	return newPartition(name, parent, subs)
 }
 
 // Name returns the partition's name.
@@ -47,37 +61,27 @@ func (p *Partition) Sub(i int) geometry.IndexSet { return p.subs[i] }
 func (p *Partition) Subs() []geometry.IndexSet { return p.subs }
 
 // IsDisjoint reports whether the subregions are pairwise disjoint
-// (the DISJ predicate).
+// (the DISJ predicate), in one sorted sweep over all intervals.
 func (p *Partition) IsDisjoint() bool {
-	// Merge-based sweep: total work O(total intervals · log) instead of
-	// all-pairs.
-	var covered geometry.IndexSet
-	for _, s := range p.subs {
-		if !covered.Disjoint(s) {
-			return false
-		}
-		covered = covered.Union(s)
-	}
-	return true
+	return geometry.DisjointAll(p.subs)
 }
 
 // IsComplete reports whether the union of subregions covers the parent
 // region (the COMP predicate).
 func (p *Partition) IsComplete() bool {
-	var union geometry.IndexSet
-	for _, s := range p.subs {
-		union = union.Union(s)
-	}
-	return p.parent.Space().SubsetOf(union)
+	return p.parent.Space().SubsetOf(p.UnionAll())
 }
 
-// UnionAll returns the union of all subregions.
+// UnionAll returns the union of all subregions, computed with a single
+// k-way merge and cached: the interpreter's membership tests (IfIn over
+// a partition space) call this once per element.
 func (p *Partition) UnionAll() geometry.IndexSet {
-	var union geometry.IndexSet
-	for _, s := range p.subs {
-		union = union.Union(s)
+	if p.union == nil {
+		// Zero-value or legacy construction: compute without caching.
+		return geometry.UnionAll(p.subs)
 	}
-	return union
+	p.union.once.Do(func() { p.union.set = geometry.UnionAll(p.subs) })
+	return p.union.set
 }
 
 // SubsetOf reports whether p[i] ⊆ other[i] for every color i — the subset
@@ -110,9 +114,9 @@ func (p *Partition) SamePartition(other *Partition) bool {
 }
 
 // Rename returns a view of the partition under a different name, sharing
-// subregion storage.
+// subregion storage (and the cached union).
 func (p *Partition) Rename(name string) *Partition {
-	return &Partition{name: name, parent: p.parent, subs: p.subs}
+	return &Partition{name: name, parent: p.parent, subs: p.subs, union: p.union}
 }
 
 func (p *Partition) String() string {
@@ -134,10 +138,10 @@ func combine(name string, a, b *Partition, op func(x, y geometry.IndexSet) geome
 		panic(fmt.Sprintf("partition %s: color space mismatch (%d vs %d)", name, n, len(b.subs)))
 	}
 	subs := make([]geometry.IndexSet, n)
-	for i := 0; i < n; i++ {
+	par.Do(n, func(i int) {
 		subs[i] = op(a.subs[i], b.subs[i])
-	}
-	return &Partition{name: name, parent: a.parent, subs: subs}
+	})
+	return newPartition(name, a.parent, subs)
 }
 
 // Union returns the subregion-wise union (E1 ∪ E2)[i] = E1[i] ∪ E2[i].
@@ -166,7 +170,7 @@ func Disjointify(name string, p *Partition) *Partition {
 		subs[i] = p.Sub(i).Subtract(covered)
 		covered = covered.Union(p.Sub(i))
 	}
-	return &Partition{name: name, parent: p.parent, subs: subs}
+	return newPartition(name, p.parent, subs)
 }
 
 // Equal creates a complete, disjoint partition of r into n subregions of
@@ -188,7 +192,7 @@ func Equal(name string, r *Region, n int) *Partition {
 		subs[i] = geometry.Range(lo, hi)
 		lo = hi
 	}
-	return &Partition{name: name, parent: r, subs: subs}
+	return newPartition(name, r, subs)
 }
 
 // Image creates the partition image(src, f, target)[i] = f(src[i]) ∩
@@ -196,10 +200,10 @@ func Equal(name string, r *Region, n int) *Partition {
 func Image(name string, src *Partition, f geometry.IndexMap, target *Region) *Partition {
 	space := target.Space()
 	subs := make([]geometry.IndexSet, len(src.subs))
-	for i, s := range src.subs {
-		subs[i] = geometry.Image(s, f, space)
-	}
-	return &Partition{name: name, parent: target, subs: subs}
+	par.Do(len(src.subs), func(i int) {
+		subs[i] = geometry.Image(src.subs[i], f, space)
+	})
+	return newPartition(name, target, subs)
 }
 
 // Preimage creates preimage(domain, f, src)[i] = f⁻¹(src[i]) ∩ domain —
@@ -207,10 +211,10 @@ func Image(name string, src *Partition, f geometry.IndexMap, target *Region) *Pa
 func Preimage(name string, domain *Region, f geometry.IndexMap, src *Partition) *Partition {
 	space := domain.Space()
 	subs := make([]geometry.IndexSet, len(src.subs))
-	for i, s := range src.subs {
-		subs[i] = geometry.Preimage(space, f, s)
-	}
-	return &Partition{name: name, parent: domain, subs: subs}
+	par.Do(len(src.subs), func(i int) {
+		subs[i] = geometry.Preimage(space, f, src.subs[i])
+	})
+	return newPartition(name, domain, subs)
 }
 
 // ImageMulti creates IMAGE(src, F, target) for a multi-valued map — the
@@ -218,10 +222,10 @@ func Preimage(name string, domain *Region, f geometry.IndexMap, src *Partition) 
 func ImageMulti(name string, src *Partition, f geometry.MultiMap, target *Region) *Partition {
 	space := target.Space()
 	subs := make([]geometry.IndexSet, len(src.subs))
-	for i, s := range src.subs {
-		subs[i] = geometry.ImageMulti(s, f, space)
-	}
-	return &Partition{name: name, parent: target, subs: subs}
+	par.Do(len(src.subs), func(i int) {
+		subs[i] = geometry.ImageMulti(src.subs[i], f, space)
+	})
+	return newPartition(name, target, subs)
 }
 
 // PreimageMulti creates PREIMAGE(domain, F, src) for a multi-valued map —
@@ -229,8 +233,8 @@ func ImageMulti(name string, src *Partition, f geometry.MultiMap, target *Region
 func PreimageMulti(name string, domain *Region, f geometry.MultiMap, src *Partition) *Partition {
 	space := domain.Space()
 	subs := make([]geometry.IndexSet, len(src.subs))
-	for i, s := range src.subs {
-		subs[i] = geometry.PreimageMulti(space, f, s)
-	}
-	return &Partition{name: name, parent: domain, subs: subs}
+	par.Do(len(src.subs), func(i int) {
+		subs[i] = geometry.PreimageMulti(space, f, src.subs[i])
+	})
+	return newPartition(name, domain, subs)
 }

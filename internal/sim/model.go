@@ -24,6 +24,8 @@ package sim
 import (
 	"fmt"
 
+	"autopart/internal/geometry"
+	"autopart/internal/par"
 	"autopart/internal/region"
 	"autopart/internal/runtime"
 )
@@ -201,13 +203,13 @@ func (m Model) runLaunch(l *runtime.Launch, parts map[string]*region.Partition, 
 		}
 		workPart = wp
 	}
-	for j := 0; j < n; j++ {
+	par.Do(n, func(j int) {
 		sub := workPart.Sub(j)
 		nodes[j].ComputeUnits += l.WorkPerElement * float64(sub.Len())
 		if frags := sub.NumIntervals(); frags > 1 {
 			nodes[j].ComputeUnits += m.ComputeFragPenalty * float64(frags-1)
 		}
-	}
+	})
 
 	for _, req := range l.Reqs {
 		p, ok := parts[req.Sym]
@@ -268,21 +270,44 @@ func (m Model) runLaunch(l *runtime.Launch, parts map[string]*region.Partition, 
 	return ls, nil
 }
 
-// chargeFetch prices pulling the remote part of each subregion from its
-// owners.
-func (m Model) chargeFetch(nodes []NodeStats, p, owner *region.Partition) {
-	n := len(nodes)
-	for j := 0; j < n; j++ {
-		need := p.Sub(j)
-		if need.Empty() {
-			continue
+// piece is one color's share of a remote set: s = remote ∩ owner.Sub(k).
+type piece struct {
+	k     int
+	bytes float64
+	frags int
+}
+
+// remotePlan is the per-color result of the parallel set-arithmetic
+// phase of a charge: the j-local remote volume plus the pieces owned by
+// every other color. The sequential accumulate phase applies plans in
+// color order, so float additions happen in exactly the order the
+// sequential evaluator uses and the two modes stay bit-identical.
+type remotePlan struct {
+	bytes  float64
+	frags  int
+	pieces []piece
+}
+
+// planRemote computes, concurrently over colors, the remote part of
+// get(j) relative to owner and its split over the other colors' owned
+// sets. The heavy Subtract/Intersect interval arithmetic runs in the
+// worker pool; only cheap additions remain for the caller's ordered
+// accumulate phase.
+func (m Model) planRemote(n int, get func(j int) geometry.IndexSet, owner *region.Partition) []remotePlan {
+	plans := make([]remotePlan, n)
+	par.Do(n, func(j int) {
+		have := get(j)
+		if have.Empty() {
+			return
 		}
-		remote := need.Subtract(owner.Sub(j))
+		remote := have.Subtract(owner.Sub(j))
 		if remote.Empty() {
-			continue
+			return
 		}
-		nodes[j].BytesIn += float64(remote.Len()) * m.BytesPerElem
-		nodes[j].FragsIn += remote.NumIntervals()
+		pl := remotePlan{
+			bytes: float64(remote.Len()) * m.BytesPerElem,
+			frags: remote.NumIntervals(),
+		}
 		for k := 0; k < n; k++ {
 			if k == j {
 				continue
@@ -291,9 +316,31 @@ func (m Model) chargeFetch(nodes []NodeStats, p, owner *region.Partition) {
 			if s.Empty() {
 				continue
 			}
-			nodes[k].BytesOut += float64(s.Len()) * m.BytesPerElem
-			nodes[k].FragsOut += s.NumIntervals()
-			nodes[k].MsgsOut++
+			pl.pieces = append(pl.pieces, piece{
+				k:     k,
+				bytes: float64(s.Len()) * m.BytesPerElem,
+				frags: s.NumIntervals(),
+			})
+		}
+		plans[j] = pl
+	})
+	return plans
+}
+
+// chargeFetch prices pulling the remote part of each subregion from its
+// owners.
+func (m Model) chargeFetch(nodes []NodeStats, p, owner *region.Partition) {
+	plans := m.planRemote(len(nodes), p.Sub, owner)
+	for j, pl := range plans {
+		if pl.frags == 0 {
+			continue
+		}
+		nodes[j].BytesIn += pl.bytes
+		nodes[j].FragsIn += pl.frags
+		for _, pc := range pl.pieces {
+			nodes[pc.k].BytesOut += pc.bytes
+			nodes[pc.k].FragsOut += pc.frags
+			nodes[pc.k].MsgsOut++
 			nodes[j].MsgsIn++
 		}
 	}
@@ -302,29 +349,17 @@ func (m Model) chargeFetch(nodes []NodeStats, p, owner *region.Partition) {
 // chargeShip prices pushing each subregion's remote-owned part back to
 // its owners (write-back of guarded reductions).
 func (m Model) chargeShip(nodes []NodeStats, p, owner *region.Partition) {
-	n := len(nodes)
-	for j := 0; j < n; j++ {
-		have := p.Sub(j)
-		if have.Empty() {
+	plans := m.planRemote(len(nodes), p.Sub, owner)
+	for j, pl := range plans {
+		if pl.frags == 0 {
 			continue
 		}
-		remote := have.Subtract(owner.Sub(j))
-		if remote.Empty() {
-			continue
-		}
-		nodes[j].BytesOut += float64(remote.Len()) * m.BytesPerElem
-		nodes[j].FragsOut += remote.NumIntervals()
-		for k := 0; k < n; k++ {
-			if k == j {
-				continue
-			}
-			s := remote.Intersect(owner.Sub(k))
-			if s.Empty() {
-				continue
-			}
-			nodes[k].BytesIn += float64(s.Len()) * m.BytesPerElem
-			nodes[k].FragsIn += s.NumIntervals()
-			nodes[k].MsgsIn++
+		nodes[j].BytesOut += pl.bytes
+		nodes[j].FragsOut += pl.frags
+		for _, pc := range pl.pieces {
+			nodes[pc.k].BytesIn += pc.bytes
+			nodes[pc.k].FragsIn += pc.frags
+			nodes[pc.k].MsgsIn++
 			nodes[j].MsgsOut++
 		}
 	}
@@ -336,36 +371,39 @@ func (m Model) chargeShip(nodes []NodeStats, p, owner *region.Partition) {
 // elsewhere.
 func (m Model) chargeReduction(nodes []NodeStats, p, privPart, touched, owner *region.Partition) {
 	n := len(nodes)
-	for j := 0; j < n; j++ {
+	buffers := make([]float64, n)
+	par.Do(n, func(j int) {
 		sub := p.Sub(j)
 		if sub.Empty() {
-			continue
+			return
 		}
 		buffer := sub
 		if privPart != nil {
 			buffer = sub.Subtract(privPart.Sub(j))
 		}
-		nodes[j].BufferElems += float64(buffer.Len())
-
-		// Contributions actually written and owned elsewhere are shipped
-		// and merged remotely.
-		shipped := touched.Sub(j).Subtract(owner.Sub(j))
-		if shipped.Empty() {
+		buffers[j] = float64(buffer.Len())
+	})
+	// Merge traffic moves the touched elements owned elsewhere; colors
+	// whose instance is empty contribute nothing, matching the
+	// sequential evaluator's early continue.
+	plans := m.planRemote(n, func(j int) geometry.IndexSet {
+		if p.Sub(j).Empty() {
+			return geometry.IndexSet{}
+		}
+		return touched.Sub(j)
+	}, owner)
+	for j := 0; j < n; j++ {
+		nodes[j].BufferElems += buffers[j]
+		pl := plans[j]
+		if pl.frags == 0 {
 			continue
 		}
-		nodes[j].BytesOut += float64(shipped.Len()) * m.BytesPerElem
-		nodes[j].FragsOut += shipped.NumIntervals()
-		for k := 0; k < n; k++ {
-			if k == j {
-				continue
-			}
-			s := shipped.Intersect(owner.Sub(k))
-			if s.Empty() {
-				continue
-			}
-			nodes[k].BytesIn += float64(s.Len()) * m.BytesPerElem
-			nodes[k].FragsIn += s.NumIntervals()
-			nodes[k].MsgsIn++
+		nodes[j].BytesOut += pl.bytes
+		nodes[j].FragsOut += pl.frags
+		for _, pc := range pl.pieces {
+			nodes[pc.k].BytesIn += pc.bytes
+			nodes[pc.k].FragsIn += pc.frags
+			nodes[pc.k].MsgsIn++
 			nodes[j].MsgsOut++
 		}
 	}

@@ -1,0 +1,24 @@
+package sim
+
+import "autopart/internal/par"
+
+// Sweep evaluates fn for every node count of a weak-scaling figure
+// concurrently over the shared worker pool and returns the results in
+// input order. Node counts of a figure are independent — each builds
+// its own machine and valid-instance state — so the sweep is the
+// outermost parallelism of the scaling driver. Results are placed by
+// index, and on error the first failing node count (in input order) is
+// reported, so output is identical to a sequential sweep.
+func Sweep[T any](nodeCounts []int, fn func(nodes int) (T, error)) ([]T, error) {
+	out := make([]T, len(nodeCounts))
+	errs := make([]error, len(nodeCounts))
+	par.Do(len(nodeCounts), func(i int) {
+		out[i], errs[i] = fn(nodeCounts[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -23,6 +23,7 @@ import (
 	"autopart/internal/ir"
 	"autopart/internal/lang"
 	"autopart/internal/optimize"
+	"autopart/internal/par"
 	"autopart/internal/region"
 	"autopart/internal/rewrite"
 	"autopart/internal/solver"
@@ -34,7 +35,22 @@ type Options struct {
 	DisableRelaxation bool
 	// DisablePrivateSubPartitions turns off the §5.2 optimization.
 	DisablePrivateSubPartitions bool
+	// ForceSequential switches the evaluation engine (partition
+	// operators, the scaling simulator) to sequential mode for
+	// debugging. The switch is process-wide, exactly like calling
+	// SequentialEvaluation(true) or setting AUTOPART_SEQUENTIAL=1 in the
+	// environment; parallel and sequential modes produce bit-identical
+	// partitions and figures.
+	ForceSequential bool
 }
+
+// SequentialEvaluation forces (or, with false, re-enables parallelism
+// for) the evaluation engine's worker pool, process-wide. Sequential
+// and parallel evaluation are differential-tested to produce identical
+// results; the knob exists to simplify debugging and profiling. The
+// AUTOPART_SEQUENTIAL environment variable provides the same switch
+// without code changes.
+func SequentialEvaluation(v bool) { par.SetSequential(v) }
 
 // Timing is the per-phase compile-time breakdown (Table 1's rows).
 type Timing struct {
@@ -65,6 +81,9 @@ type Compiled struct {
 
 // Compile runs the full pipeline on DSL source text.
 func Compile(src string, opts Options) (*Compiled, error) {
+	if opts.ForceSequential {
+		par.SetSequential(true)
+	}
 	c := &Compiled{}
 
 	start := time.Now()
