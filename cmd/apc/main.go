@@ -1,13 +1,24 @@
 // Command apc is the auto-partitioning compiler driver: it reads a loop
-// DSL program, runs constraint inference (§2) and the solver (§3) with
-// the §5 optimizations, and prints the inferred constraints, the
-// synthesized DPL program, and the parallel launch structure.
+// DSL program, runs the staged pass pipeline — constraint inference
+// (§2), the solver (§3), the §5 optimizations — and prints the inferred
+// constraints, the synthesized DPL program, and the parallel launch
+// structure.
 //
 // Usage:
 //
-//	apc [-constraints] [-launches] file.dsl
+//	apc [-constraints] [-launches] [-trace] file.dsl
 //	apc -builtin spmv|stencil|circuit|miniaero|pennant
+//	apc -explain P001
 //	cat file.dsl | apc
+//
+// Compile errors are reported as structured diagnostics with a source
+// position and a stable code, e.g.
+//
+//	apc: prog.dsl:3:7: error[C014]: unknown region "Cels"
+//
+// and -explain documents any code. With -trace (or AUTOPART_TRACE=1 in
+// the environment) the compiler emits one JSON line per pass to stderr
+// with wall time and artifact metrics.
 package main
 
 import (
@@ -21,31 +32,58 @@ import (
 	"autopart/internal/apps/pennant"
 	"autopart/internal/apps/spmv"
 	"autopart/internal/apps/stencil"
+	"autopart/internal/diag"
 	"autopart/internal/runtime"
 	"autopart/pkg/autopart"
 )
 
 func main() {
-	showConstraints := flag.Bool("constraints", false, "print the inferred partitioning constraints per loop")
-	showLaunches := flag.Bool("launches", false, "print the parallel launch structure (region requirements)")
-	builtin := flag.String("builtin", "", "compile a builtin benchmark program (spmv, stencil, circuit, miniaero, pennant)")
-	noRelax := flag.Bool("no-relax", false, "disable the §5.1 disjointness relaxation")
-	noPrivate := flag.Bool("no-private", false, "disable §5.2 private sub-partitions")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	src, err := loadSource(*builtin, flag.Args())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "apc:", err)
-		os.Exit(1)
+// run is the driver body, factored out of main so tests can exercise
+// the full command in-process with captured streams.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("apc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	showConstraints := fs.Bool("constraints", false, "print the inferred partitioning constraints per loop")
+	showLaunches := fs.Bool("launches", false, "print the parallel launch structure (region requirements)")
+	builtin := fs.String("builtin", "", "compile a builtin benchmark program (spmv, stencil, circuit, miniaero, pennant)")
+	noRelax := fs.Bool("no-relax", false, "disable the §5.1 disjointness relaxation")
+	noPrivate := fs.Bool("no-private", false, "disable §5.2 private sub-partitions")
+	trace := fs.Bool("trace", false, "emit one JSON line per compiler pass to stderr (wall time, artifact metrics)")
+	explain := fs.String("explain", "", "explain a diagnostic code (e.g. P001) and exit; 'all' lists every code")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	c, err := autopart.Compile(src, autopart.Options{
+	if *explain != "" {
+		return runExplain(*explain, stdout, stderr)
+	}
+
+	src, file, err := loadSource(*builtin, fs.Args(), stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "apc:", err)
+		return 1
+	}
+
+	opts := autopart.Options{
 		DisableRelaxation:           *noRelax,
 		DisablePrivateSubPartitions: *noPrivate,
-	})
+	}
+	if *trace {
+		opts.Trace = stderr
+	}
+	c, session, err := autopart.CompileSession(src, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "apc:", err)
-		os.Exit(1)
+		if session != nil && len(session.Diags) > 0 {
+			for _, d := range session.Diags {
+				fmt.Fprintf(stderr, "apc: %s\n", d.Format(file))
+			}
+		} else {
+			fmt.Fprintln(stderr, "apc:", err)
+		}
+		return 1
 	}
 
 	if *showConstraints {
@@ -54,61 +92,82 @@ func main() {
 			if plan.Relaxed {
 				relaxed = " (relaxed per §5.1)"
 			}
-			fmt.Printf("loop %d: for %s in %s%s\n", i, c.Loops[i].Var, c.Loops[i].Region, relaxed)
-			fmt.Printf("  %s\n", plan.Sys)
+			fmt.Fprintf(stdout, "loop %d: for %s in %s%s\n", i, c.Loops[i].Var, c.Loops[i].Region, relaxed)
+			fmt.Fprintf(stdout, "  %s\n", plan.Sys)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
-	fmt.Println("synthesized DPL program:")
-	fmt.Println(indent(c.Solution.Program.String()))
+	fmt.Fprintln(stdout, "synthesized DPL program:")
+	fmt.Fprintln(stdout, indent(c.Solution.Program.String()))
 	if c.Private != nil && len(c.Private.Extra.Stmts) > 0 {
-		fmt.Println("private sub-partitions (§5.2, Theorem 5.1):")
-		fmt.Println(indent(c.Private.Extra.String()))
+		fmt.Fprintln(stdout, "private sub-partitions (§5.2, Theorem 5.1):")
+		fmt.Fprintln(stdout, indent(c.Private.Extra.String()))
 	}
 
 	if *showLaunches {
-		fmt.Println("parallel launches:")
+		fmt.Fprintln(stdout, "parallel launches:")
 		for i, pl := range c.Parallel {
 			l := runtime.FromParallelLoop(fmt.Sprintf("loop%d", i), pl)
-			fmt.Printf("  %s\n", l)
+			fmt.Fprintf(stdout, "  %s\n", l)
 		}
 	}
 
-	fmt.Printf("\ncompile time: parse %v, inference %v, solver %v, rewrite %v (total %v)\n",
+	fmt.Fprintf(stdout, "\ncompile time: parse %v, inference %v, solver %v, rewrite %v (total %v)\n",
 		c.Timing.Parse, c.Timing.Inference, c.Timing.Solver, c.Timing.Rewrite, c.Timing.Total())
+	return 0
 }
 
-func loadSource(builtin string, args []string) (string, error) {
+// runExplain implements -explain: document one diagnostic code, or all
+// of them.
+func runExplain(code string, stdout, stderr io.Writer) int {
+	if code == "all" {
+		for _, info := range diag.Codes() {
+			fmt.Fprintf(stdout, "%s: %s\n", info.Code, info.Summary)
+		}
+		return 0
+	}
+	info, ok := diag.Explain(code)
+	if !ok {
+		fmt.Fprintf(stderr, "apc: unknown diagnostic code %q (use -explain all to list)\n", code)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: %s\n\n%s\n", info.Code, info.Summary, info.Detail)
+	return 0
+}
+
+// loadSource resolves the program text plus the display name used in
+// diagnostics ("builtin:spmv", the file path, or "<stdin>").
+func loadSource(builtin string, args []string, stdin io.Reader) (src, file string, err error) {
 	switch builtin {
 	case "spmv":
-		return spmv.Source, nil
+		return spmv.Source, "builtin:spmv", nil
 	case "stencil":
-		return stencil.Source(), nil
+		return stencil.Source(), "builtin:stencil", nil
 	case "circuit":
-		return circuit.Source, nil
+		return circuit.Source, "builtin:circuit", nil
 	case "circuit-hint":
-		return circuit.HintSource, nil
+		return circuit.HintSource, "builtin:circuit-hint", nil
 	case "miniaero":
-		return miniaero.Source(), nil
+		return miniaero.Source(), "builtin:miniaero", nil
 	case "pennant":
-		return pennant.Source(), nil
+		return pennant.Source(), "builtin:pennant", nil
 	case "":
 	default:
-		return "", fmt.Errorf("unknown builtin %q", builtin)
+		return "", "", fmt.Errorf("unknown builtin %q", builtin)
 	}
 	if len(args) > 0 {
 		data, err := os.ReadFile(args[0])
 		if err != nil {
-			return "", err
+			return "", "", err
 		}
-		return string(data), nil
+		return string(data), args[0], nil
 	}
-	data, err := io.ReadAll(os.Stdin)
+	data, err := io.ReadAll(stdin)
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
-	return string(data), nil
+	return string(data), "<stdin>", nil
 }
 
 func indent(s string) string {

@@ -1,0 +1,111 @@
+package diag
+
+import "sort"
+
+// CodeInfo documents one stable diagnostic code for `apc -explain`.
+type CodeInfo struct {
+	Code    string
+	Summary string
+	Detail  string
+}
+
+// The code namespaces follow the pass that raises them: Lxxx lexer,
+// Pxxx parser, Cxxx semantic check, Nxxx normalization, Ixxx constraint
+// inference, Sxxx constraint solver. The x000 code of each namespace is
+// the generic fallback used when a pass fails with an uncoded error.
+var codeTable = []CodeInfo{
+	{"L000", "lexical error", "The lexer failed without a more specific code."},
+	{"L001", "malformed number", "A numeric literal contains more than one decimal point."},
+	{"L002", "unexpected '<'", "Standalone '<' is not an operator in the DSL; only the subset operator '<=' is supported."},
+	{"L003", "unexpected '!'", "Standalone '!' is not an operator in the DSL; the only use of '!' is the comparison '!='."},
+	{"L004", "unexpected character", "The character cannot start any DSL token."},
+
+	{"P000", "parse error", "The parser failed without a more specific code."},
+	{"P001", "unexpected token", "The parser expected a specific token kind and found another. The message names both."},
+	{"P002", "expected top-level item", "Only region/function/extern declarations, for loops, and assert statements may appear at the top level."},
+	{"P003", "bad field kind", "A region field must be declared as 'scalar', 'index(R)', or 'range(R)'."},
+	{"P004", "unexpected end of input", "The input ended inside a braced block; a closing '}' is missing."},
+	{"P005", "bad inner loop range", "The iteration space of an inner loop must be a range-field access such as Ranges[i].span (§4)."},
+	{"P006", "bad assignment target", "The left-hand side of a field assignment must be a field access R[idx].f."},
+	{"P007", "expected assignment operator", "A field access in statement position must be followed by '=', '+=', '*=', 'max=', or 'min='."},
+	{"P008", "expected statement", "Loop bodies contain variable bindings, field assignments, inner loops, and guards."},
+	{"P009", "bad guard condition", "Guard conditions are 'x in S' membership tests or '=='/'!=' comparisons."},
+	{"P010", "expected expression", "An expression was required here."},
+	{"P011", "unknown partition operator", "Assert expressions use image, preimage, IMAGE, or PREIMAGE applications and '+' unions."},
+
+	{"C000", "semantic check error", "Semantic validation failed without a more specific code."},
+	{"C001", "duplicate region", "Two region declarations share a name."},
+	{"C002", "duplicate field", "A region declares the same field twice."},
+	{"C003", "index-space cycle", "Region index-space sharing (region R : S) must form a forest; a cycle was found."},
+	{"C004", "unknown shared space", "A region shares its index space with an undeclared region."},
+	{"C005", "unknown field target", "An index/range field points into an undeclared region."},
+	{"C006", "duplicate function", "Two index-function declarations share a name."},
+	{"C007", "unknown function domain", "An index function's domain region is undeclared."},
+	{"C008", "unknown function codomain", "An index function's codomain region is undeclared."},
+	{"C009", "duplicate extern partition", "Two extern partition declarations share a name."},
+	{"C010", "unknown extern region", "An extern partition is declared over an undeclared region."},
+	{"C011", "unknown loop region", "A top-level loop iterates over an undeclared region."},
+	{"C012", "inner range not a range field", "The inner-loop iteration space must be a declared range field."},
+	{"C013", "unknown guard space", "A membership guard tests against a name that is neither a region nor an extern partition."},
+	{"C014", "unknown region", "A field access names an undeclared region."},
+	{"C015", "unknown field", "A field access names a field the region does not declare."},
+	{"C016", "assert: unknown region", "An assert references an undeclared region."},
+	{"C017", "assert: unknown partition", "An assert references a partition symbol with no 'extern partition' declaration."},
+
+	{"N000", "normalization error", "IR normalization failed without a more specific code."},
+	{"N001", "assignment to range field", "Range fields describe iteration spaces and cannot be stored to."},
+	{"N002", "inner range not a range field", "The inner-loop iteration space must normalize to a range field."},
+	{"N003", "unsupported condition", "Only membership tests and scalar comparisons are supported as guards."},
+	{"N004", "unsupported statement", "The statement form is not part of the normalized IR."},
+	{"N005", "undefined variable", "The variable is used before any binding."},
+	{"N006", "not an index", "A region subscript must be an index-valued variable (Algorithm 1's normal form)."},
+	{"N007", "undeclared index function", "Calls in index position must name a declared index function."},
+	{"N008", "wrong index-function arity", "Declared index functions take exactly one argument."},
+	{"N009", "index-function domain mismatch", "The argument indexes a region outside the function's declared domain space."},
+	{"N010", "unknown region", "An access names an undeclared region."},
+	{"N011", "unknown field", "An access names a field the region does not declare."},
+	{"N012", "not an index field", "Only index fields can be dereferenced in index position."},
+	{"N013", "expression not an index", "The expression cannot be normalized to an index computation."},
+	{"N014", "malformed number", "The numeric literal does not parse as a float."},
+	{"N015", "range field read as scalar", "Range fields cannot be loaded as scalar values."},
+	{"N016", "unsupported expression", "The expression form is not part of the normalized IR."},
+	{"N017", "index region mismatch", "The subscript variable indexes a different region (index spaces must match)."},
+
+	{"I000", "inference error", "Constraint inference failed without a more specific code."},
+	{"I001", "uncentered reduction with read", "A region field with an uncentered reduction must have no other read access; the loop is not parallelizable (§2)."},
+	{"I002", "mixed reduction operators", "A region field reduced through more than one operator is not parallelizable."},
+	{"I003", "uncentered read with write", "A region field with an uncentered read must have no write access; the loop is not parallelizable (§2)."},
+	{"I004", "no environment entry", "An index variable is not derived from the loop variable, so no image expression exists for it (Algorithm 1)."},
+	{"I005", "stale pointer-field load", "An index field is loaded after being stored in the same loop; partitions computed before the launch would be stale. Split the loop (Fig. 4 keeps stores after all loads)."},
+	{"I006", "uncentered write", "Plain writes must be centered (indexed by the loop variable); the loop is not parallelizable."},
+	{"I007", "unknown index function", "The IR references an undeclared index function."},
+	{"I008", "unknown IR statement", "Internal error: the inference walker saw an unknown IR statement form."},
+
+	{"S000", "solver error", "Constraint solving failed without a more specific code."},
+	{"S001", "no solution", "Algorithm 2 exhausted its rules and backtracking without a consistent assignment of DPL expressions to partition symbols. The message shows the unsolved system."},
+	{"S002", "solver internal error", "The synthesized DPL program failed its topological sanity check; this is a bug in the solver."},
+
+	{"O000", "optimization error", "The relaxation/private-sub-partition pass failed."},
+	{"R000", "rewrite error", "Parallel-loop rewriting failed."},
+}
+
+var codeIndex = func() map[string]CodeInfo {
+	m := make(map[string]CodeInfo, len(codeTable))
+	for _, c := range codeTable {
+		m[c.Code] = c
+	}
+	return m
+}()
+
+// Explain looks up a diagnostic code.
+func Explain(code string) (CodeInfo, bool) {
+	c, ok := codeIndex[code]
+	return c, ok
+}
+
+// Codes lists every registered code, sorted.
+func Codes() []CodeInfo {
+	out := append([]CodeInfo(nil), codeTable...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}

@@ -1,0 +1,141 @@
+// Package diag defines the compiler's structured diagnostics: every
+// user-facing error carries a severity, a source span, a stable code
+// (see codes.go for the registry), and optional notes. Errors produced
+// by the frontend and middle passes (*lang.Error and anything wrapping
+// one) convert losslessly via From; rendering helpers produce the
+// canonical "file:line:col: error[CODE]: message" form used by cmd/apc.
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"autopart/internal/lang"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severities.
+const (
+	SevError Severity = iota
+	SevWarning
+	SevInfo
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	case SevInfo:
+		return "info"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Diagnostic is one structured compiler diagnostic.
+type Diagnostic struct {
+	Severity Severity
+	// Pos is the source span; the zero span means the diagnostic is not
+	// anchored to a source location (e.g. whole-program solver failures).
+	Pos lang.Span
+	// Code is the stable diagnostic code ("P001", "S001", ...); see
+	// Explain for the registry.
+	Code string
+	// Message is the human-readable message, without position prefix.
+	Message string
+	// Notes carry secondary information (contexts, hints).
+	Notes []string
+}
+
+// Error implements the error interface: "3:5: error[P001]: message".
+func (d Diagnostic) Error() string { return d.Format("") }
+
+// HasPos reports whether the diagnostic is anchored to a source span.
+func (d Diagnostic) HasPos() bool { return d.Pos.Valid() }
+
+// Format renders the diagnostic with an optional file name prefix:
+// "file:3:5: error[P001]: message". Notes follow on indented lines.
+func (d Diagnostic) Format(file string) string {
+	var sb strings.Builder
+	if d.HasPos() {
+		if file != "" {
+			sb.WriteString(file)
+			sb.WriteByte(':')
+		}
+		sb.WriteString(d.Pos.Start.String())
+		sb.WriteString(": ")
+	} else if file != "" {
+		sb.WriteString(file)
+		sb.WriteString(": ")
+	}
+	sb.WriteString(d.Severity.String())
+	if d.Code != "" {
+		fmt.Fprintf(&sb, "[%s]", d.Code)
+	}
+	sb.WriteString(": ")
+	sb.WriteString(d.Message)
+	for _, n := range d.Notes {
+		sb.WriteString("\n\tnote: ")
+		sb.WriteString(n)
+	}
+	return sb.String()
+}
+
+// New builds an error-severity diagnostic.
+func New(code string, span lang.Span, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Severity: SevError,
+		Pos:      span,
+		Code:     code,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// The interfaces positioned errors implement (satisfied by *lang.Error).
+type spanned interface{ DiagSpan() lang.Span }
+type coded interface{ DiagCode() string }
+type bareMessage interface{ DiagMessage() string }
+type notes interface{ DiagNotes() []string }
+
+// From converts an arbitrary error into a Diagnostic, walking the
+// Unwrap chain for span, code, and note information. Wrapping context
+// added around a positioned error ("infer: loop 0 (...): ...") is kept
+// in the message, but the inner error's own position prefix is elided so
+// the position renders exactly once. fallbackCode is used when no coded
+// error is found in the chain.
+func From(err error, fallbackCode string) Diagnostic {
+	var d Diagnostic
+	if errors.As(err, &d) {
+		return d
+	}
+	d = Diagnostic{Severity: SevError, Code: fallbackCode, Message: err.Error()}
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if s, ok := e.(spanned); ok && !d.HasPos() {
+			d.Pos = s.DiagSpan()
+		}
+		if c, ok := e.(coded); ok && c.DiagCode() != "" {
+			d.Code = c.DiagCode()
+			// Rebuild the message with the inner position prefix elided:
+			// the chain's Error() includes "line:col: msg" for the inner
+			// error; substitute the bare message under the same context.
+			if b, okMsg := e.(bareMessage); okMsg {
+				if inner, okErr := e.(error); okErr {
+					full := err.Error()
+					if idx := strings.LastIndex(full, inner.Error()); idx >= 0 {
+						d.Message = full[:idx] + b.DiagMessage()
+					}
+				}
+			}
+			if n, okNotes := e.(notes); okNotes {
+				d.Notes = append(d.Notes, n.DiagNotes()...)
+			}
+			break
+		}
+	}
+	return d
+}

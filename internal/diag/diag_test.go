@@ -1,0 +1,90 @@
+package diag
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"autopart/internal/lang"
+)
+
+func TestFormat(t *testing.T) {
+	d := Diagnostic{
+		Severity: SevError,
+		Pos:      lang.SpanAt(lang.Pos{Line: 3, Col: 5}),
+		Code:     "P001",
+		Message:  "expected ')', found '}'",
+		Notes:    []string{"while parsing an assert expression"},
+	}
+	got := d.Format("prog.dsl")
+	want := "prog.dsl:3:5: error[P001]: expected ')', found '}'\n\tnote: while parsing an assert expression"
+	if got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+	if d.Error() != d.Format("") {
+		t.Errorf("Error() = %q, want Format(\"\")", d.Error())
+	}
+
+	// Without a position the file still prefixes the message.
+	bare := Diagnostic{Severity: SevError, Code: "S001", Message: "no solution"}
+	if got := bare.Format("prog.dsl"); got != "prog.dsl: error[S001]: no solution" {
+		t.Errorf("Format = %q", got)
+	}
+	if bare.HasPos() {
+		t.Error("position-less diagnostic reports HasPos")
+	}
+}
+
+func TestFromLangError(t *testing.T) {
+	le := lang.Errorf("C014", lang.SpanAt(lang.Pos{Line: 2, Col: 9}), "unknown region %q", "Q")
+	d := From(le, "C000")
+	if d.Code != "C014" || d.Pos.Start != (lang.Pos{Line: 2, Col: 9}) {
+		t.Errorf("From = code %q pos %v", d.Code, d.Pos)
+	}
+	// The message carries no position prefix — rendering adds it once.
+	if strings.Contains(d.Message, "2:9") {
+		t.Errorf("message %q duplicates the position", d.Message)
+	}
+}
+
+func TestFromWrappedError(t *testing.T) {
+	le := lang.Errorf("I005", lang.SpanAt(lang.Pos{Line: 7, Col: 3}), "stale pointer-field load")
+	wrapped := fmt.Errorf("loop 0 (for i in R): %w", le)
+	d := From(wrapped, "I000")
+	if d.Code != "I005" {
+		t.Errorf("code = %q, want I005", d.Code)
+	}
+	if !d.HasPos() || d.Pos.Start.Line != 7 {
+		t.Errorf("pos = %v, want line 7", d.Pos)
+	}
+	// Wrap context survives; the inner position prefix is elided.
+	if d.Message != "loop 0 (for i in R): stale pointer-field load" {
+		t.Errorf("message = %q", d.Message)
+	}
+}
+
+func TestFromPlainError(t *testing.T) {
+	d := From(fmt.Errorf("something odd"), "O000")
+	if d.Code != "O000" || d.HasPos() || d.Message != "something odd" {
+		t.Errorf("From = %+v", d)
+	}
+}
+
+func TestExplainRegistry(t *testing.T) {
+	info, ok := Explain("S001")
+	if !ok || info.Summary == "" || info.Detail == "" {
+		t.Errorf("Explain(S001) = %+v, %v", info, ok)
+	}
+	if _, ok := Explain("Z999"); ok {
+		t.Error("Explain accepted an unknown code")
+	}
+	codes := Codes()
+	if len(codes) < 50 {
+		t.Errorf("only %d codes registered", len(codes))
+	}
+	for i := 1; i < len(codes); i++ {
+		if codes[i-1].Code >= codes[i].Code {
+			t.Errorf("codes not sorted/unique at %s >= %s", codes[i-1].Code, codes[i].Code)
+		}
+	}
+}

@@ -136,6 +136,9 @@ type fieldUse struct {
 	uncenteredReads   int
 	uncenteredReduces int
 	reduceOps         map[lang.ReduceOp]bool
+	// pos is the source position of the first access to the field,
+	// anchoring the exclusivity-check diagnostics.
+	pos lang.Pos
 }
 
 // InferLoop runs Algorithm 1 on one normalized loop.
@@ -170,14 +173,14 @@ func (inf *Inferencer) InferLoop(l *ir.Loop) (*Result, error) {
 	for key, u := range uses {
 		if u.uncenteredReduces > 0 {
 			if u.reads > 0 {
-				return nil, fmt.Errorf("region %s.%s has an uncentered reduction and a read access; not parallelizable", key.region, key.field)
+				return nil, errorAt("I001", u.pos, "region %s.%s has an uncentered reduction and a read access; not parallelizable", key.region, key.field)
 			}
 			if len(u.reduceOps) > 1 {
-				return nil, fmt.Errorf("region %s.%s mixes reduction operators; not parallelizable", key.region, key.field)
+				return nil, errorAt("I002", u.pos, "region %s.%s mixes reduction operators; not parallelizable", key.region, key.field)
 			}
 		}
 		if u.uncenteredReads > 0 && u.writes > 0 {
-			return nil, fmt.Errorf("region %s.%s has an uncentered read and a write access; not parallelizable", key.region, key.field)
+			return nil, errorAt("I003", u.pos, "region %s.%s has an uncentered read and a write access; not parallelizable", key.region, key.field)
 		}
 	}
 	return res, nil
@@ -194,11 +197,11 @@ type loopWalker struct {
 	storedIndexFields map[fieldAccessKey]bool
 }
 
-func (w *loopWalker) use(region, field string) *fieldUse {
+func (w *loopWalker) use(region, field string, pos lang.Pos) *fieldUse {
 	key := fieldAccessKey{region, field}
 	u, ok := w.uses[key]
 	if !ok {
-		u = &fieldUse{reduceOps: map[lang.ReduceOp]bool{}}
+		u = &fieldUse{reduceOps: map[lang.ReduceOp]bool{}, pos: pos}
 		w.uses[key] = u
 	}
 	return u
@@ -209,7 +212,7 @@ func (w *loopWalker) use(region, field string) *fieldUse {
 func (w *loopWalker) access(e env, idx, regionName, field string, kind AccessKind, op lang.ReduceOp, st ir.Stmt, centered map[string]bool) (*Access, error) {
 	lookup, ok := e[idx]
 	if !ok {
-		return nil, fmt.Errorf("no environment entry for index %q (not derived from the loop variable?)", idx)
+		return nil, errorAt("I004", st.Position(), "no environment entry for index %q (not derived from the loop variable?)", idx)
 	}
 	lower := lookup(regionName)
 	sym := w.inf.gen.fresh()
@@ -256,7 +259,7 @@ func (w *loopWalker) step(s ir.Stmt, e env, centered map[string]bool) error {
 		if err != nil {
 			return err
 		}
-		u := w.use(st.Region, st.Field)
+		u := w.use(st.Region, st.Field, st.Pos)
 		u.reads++
 		if !a.Centered {
 			u.uncenteredReads++
@@ -266,7 +269,7 @@ func (w *loopWalker) step(s ir.Stmt, e env, centered map[string]bool) error {
 		field, _ := decl.FieldByName(st.Field)
 		if field.Kind == lang.IndexKind {
 			if w.storedIndexFields[fieldAccessKey{st.Region, st.Field}] {
-				return fmt.Errorf("index field %s.%s is loaded after being stored in the same loop; partitions computed before the launch would be stale", st.Region, st.Field)
+				return errorAt("I005", st.Pos, "index field %s.%s is loaded after being stored in the same loop; partitions computed before the launch would be stale", st.Region, st.Field)
 			}
 			lower := a.Lower
 			fn := fmt.Sprintf("%s[·].%s", st.Region, st.Field)
@@ -286,7 +289,7 @@ func (w *loopWalker) step(s ir.Stmt, e env, centered map[string]bool) error {
 		if err != nil {
 			return err
 		}
-		u := w.use(st.Region, st.Field)
+		u := w.use(st.Region, st.Field, st.Pos)
 		u.writes++
 		if decl, ok := w.inf.prog.RegionByName(st.Region); ok {
 			if field, ok := decl.FieldByName(st.Field); ok && field.Kind == lang.IndexKind {
@@ -295,7 +298,7 @@ func (w *loopWalker) step(s ir.Stmt, e env, centered map[string]bool) error {
 		}
 		if kind == WriteAccess {
 			if !a.Centered {
-				return fmt.Errorf("uncentered write to %s[%s].%s; not parallelizable", st.Region, st.Idx, st.Field)
+				return errorAt("I006", st.Pos, "uncentered write to %s[%s].%s; not parallelizable", st.Region, st.Idx, st.Field)
 			}
 			return nil
 		}
@@ -313,11 +316,11 @@ func (w *loopWalker) step(s ir.Stmt, e env, centered map[string]bool) error {
 		// Lines 18-19: y = f(x).
 		decl, ok := w.inf.prog.FuncByName(st.Func)
 		if !ok {
-			return fmt.Errorf("unknown index function %q", st.Func)
+			return errorAt("I007", st.Pos, "unknown index function %q", st.Func)
 		}
 		argLookup, ok := e[st.Arg]
 		if !ok {
-			return fmt.Errorf("no environment entry for %q", st.Arg)
+			return errorAt("I004", st.Pos, "no environment entry for %q", st.Arg)
 		}
 		src := argLookup(decl.From)
 		fn := st.Func
@@ -331,7 +334,7 @@ func (w *loopWalker) step(s ir.Stmt, e env, centered map[string]bool) error {
 		// Lines 20-21: y = x.
 		src, ok := e[st.Src]
 		if !ok {
-			return fmt.Errorf("no environment entry for %q", st.Src)
+			return errorAt("I004", st.Pos, "no environment entry for %q", st.Src)
 		}
 		e[st.Var] = src
 		centered[st.Var] = centered[st.Src]
@@ -346,7 +349,7 @@ func (w *loopWalker) step(s ir.Stmt, e env, centered map[string]bool) error {
 		if err != nil {
 			return err
 		}
-		w.use(st.RangeRegion, st.RangeField).reads++
+		w.use(st.RangeRegion, st.RangeField, st.Pos).reads++
 		lower := dpl.Var{Name: a.Sym}
 		fn := fmt.Sprintf("%s[·].%s", st.RangeRegion, st.RangeField)
 		e[st.Var] = func(r string) dpl.Expr {
@@ -370,8 +373,12 @@ func (w *loopWalker) step(s ir.Stmt, e env, centered map[string]bool) error {
 		return w.walk(st.Else, e, centered)
 
 	default:
-		return fmt.Errorf("unknown IR statement %T", s)
+		return errorAt("I008", s.Position(), "unknown IR statement %T", s)
 	}
+}
+
+func errorAt(code string, pos lang.Pos, format string, args ...any) error {
+	return lang.Errorf(code, lang.SpanAt(pos), format, args...)
 }
 
 // ExternalSystem converts extern partition declarations and assert

@@ -67,10 +67,13 @@ func writeStmts(sb *strings.Builder, stmts []Stmt, indent string) {
 	}
 }
 
-// Stmt is a normalized statement.
+// Stmt is a normalized statement. Position returns the source position
+// of the originating DSL statement or expression (the zero Pos when the
+// statement was synthesized without one).
 type Stmt interface {
 	fmt.Stringer
 	stmtNode()
+	Position() lang.Pos
 }
 
 // Load is `Var = Region[Idx].Field`. Kind records the field's declared
@@ -80,6 +83,7 @@ type Load struct {
 	Region string
 	Field  string
 	Idx    string
+	Pos    lang.Pos
 }
 
 // Store is `Region[Idx].Field Op Rhs` — a plain store when Op is OpSet,
@@ -90,6 +94,7 @@ type Store struct {
 	Idx    string
 	Op     lang.ReduceOp
 	Rhs    ScalarExpr
+	Pos    lang.Pos
 }
 
 // Apply is `Var = Func(Arg)` for a declared index function.
@@ -97,12 +102,14 @@ type Apply struct {
 	Var  string
 	Func string
 	Arg  string
+	Pos  lang.Pos
 }
 
 // Alias is `Var = Src` between index variables.
 type Alias struct {
 	Var string
 	Src string
+	Pos lang.Pos
 }
 
 // Inner is a data-dependent inner loop `for Var in RangeRegion[Idx].RangeField`.
@@ -112,6 +119,7 @@ type Inner struct {
 	RangeField  string
 	Idx         string
 	Body        []Stmt
+	Pos         lang.Pos
 }
 
 // IfIn is a membership guard `if (Idx in Space)`; Space names a region or
@@ -121,6 +129,7 @@ type IfIn struct {
 	Space string
 	Then  []Stmt
 	Else  []Stmt
+	Pos   lang.Pos
 }
 
 // IfCmp is a scalar comparison guard.
@@ -129,15 +138,37 @@ type IfCmp struct {
 	L, R ScalarExpr
 	Then []Stmt
 	Else []Stmt
+	Pos  lang.Pos
 }
 
-func (*Load) stmtNode()  {}
-func (*Store) stmtNode() {}
-func (*Apply) stmtNode() {}
-func (*Alias) stmtNode() {}
-func (*Inner) stmtNode() {}
-func (*IfIn) stmtNode()  {}
-func (*IfCmp) stmtNode() {}
+func (*Load) stmtNode() {}
+
+// Position implements Stmt.
+func (s *Load) Position() lang.Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *Store) Position() lang.Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *Apply) Position() lang.Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *Alias) Position() lang.Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *Inner) Position() lang.Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *IfIn) Position() lang.Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *IfCmp) Position() lang.Pos { return s.Pos }
+func (*Store) stmtNode()            {}
+func (*Apply) stmtNode()            {}
+func (*Alias) stmtNode()            {}
+func (*Inner) stmtNode()            {}
+func (*IfIn) stmtNode()             {}
+func (*IfCmp) stmtNode()            {}
 
 func (s *Load) String() string {
 	return fmt.Sprintf("%s = %s[%s].%s", s.Var, s.Region, s.Idx, s.Field)

@@ -30,9 +30,13 @@ type VarInfo struct {
 type LetScalar struct {
 	Var string
 	Rhs ScalarExpr
+	Pos lang.Pos
 }
 
 func (*LetScalar) stmtNode() {}
+
+// Position implements Stmt.
+func (s *LetScalar) Position() lang.Pos { return s.Pos }
 
 func (s *LetScalar) String() string { return fmt.Sprintf("%s = %s", s.Var, s.Rhs) }
 
@@ -104,7 +108,7 @@ func (n *Normalizer) stmt(s lang.Stmt, out *[]Stmt) error {
 		decl, _ := n.prog.RegionByName(st.Access.Region)
 		field, _ := decl.FieldByName(st.Access.Field)
 		if field.Kind == lang.RangeKind {
-			return errorAt(st.Pos, "cannot assign to range field %s", st.Access)
+			return errorAt("N001", st.Pos, "cannot assign to range field %s", st.Access)
 		}
 		rhs, err := n.scalarExpr(st.Rhs, out)
 		if err != nil {
@@ -112,7 +116,7 @@ func (n *Normalizer) stmt(s lang.Stmt, out *[]Stmt) error {
 		}
 		*out = append(*out, &Store{
 			Region: st.Access.Region, Field: st.Access.Field,
-			Idx: idx, Op: st.Op, Rhs: rhs,
+			Idx: idx, Op: st.Op, Rhs: rhs, Pos: st.Pos,
 		})
 		return nil
 
@@ -127,12 +131,12 @@ func (n *Normalizer) stmt(s lang.Stmt, out *[]Stmt) error {
 		decl, _ := n.prog.RegionByName(st.Range.Region)
 		field, ok := decl.FieldByName(st.Range.Field)
 		if !ok || field.Kind != lang.RangeKind {
-			return errorAt(st.Pos, "inner loop range %s is not a range field", st.Range)
+			return errorAt("N002", st.Pos, "inner loop range %s is not a range field", st.Range)
 		}
 		n.vars[st.Var] = VarInfo{Kind: IndexVar, Region: field.Target}
 		inner := &Inner{
 			Var: st.Var, RangeRegion: st.Range.Region,
-			RangeField: st.Range.Field, Idx: idx,
+			RangeField: st.Range.Field, Idx: idx, Pos: st.Pos,
 		}
 		if err := n.block(st.Body, &inner.Body); err != nil {
 			return err
@@ -147,7 +151,7 @@ func (n *Normalizer) stmt(s lang.Stmt, out *[]Stmt) error {
 			if err != nil {
 				return err
 			}
-			guard := &IfIn{Idx: idx, Space: cond.Space}
+			guard := &IfIn{Idx: idx, Space: cond.Space, Pos: st.Pos}
 			if err := n.block(st.Then, &guard.Then); err != nil {
 				return err
 			}
@@ -165,7 +169,7 @@ func (n *Normalizer) stmt(s lang.Stmt, out *[]Stmt) error {
 			if err != nil {
 				return err
 			}
-			guard := &IfCmp{Op: cond.Op, L: l, R: r}
+			guard := &IfCmp{Op: cond.Op, L: l, R: r, Pos: st.Pos}
 			if err := n.block(st.Then, &guard.Then); err != nil {
 				return err
 			}
@@ -175,11 +179,11 @@ func (n *Normalizer) stmt(s lang.Stmt, out *[]Stmt) error {
 			*out = append(*out, guard)
 			return nil
 		default:
-			return errorAt(st.Pos, "unsupported condition")
+			return errorAt("N003", st.Pos, "unsupported condition")
 		}
 
 	default:
-		return fmt.Errorf("unsupported statement %T", s)
+		return errorAt("N004", s.StmtPos(), "unsupported statement %T", s)
 	}
 }
 
@@ -196,7 +200,7 @@ func (n *Normalizer) varAssign(st *lang.VarAssign, out *[]Stmt) error {
 		return err
 	}
 	n.vars[st.Name] = VarInfo{Kind: ScalarVar}
-	*out = append(*out, &LetScalar{Var: st.Name, Rhs: rhs})
+	*out = append(*out, &LetScalar{Var: st.Name, Rhs: rhs, Pos: st.Pos})
 	return nil
 }
 
@@ -208,7 +212,7 @@ func (n *Normalizer) tryIndexRhs(st *lang.VarAssign, out *[]Stmt) (VarInfo, bool
 	switch rhs := st.Rhs.(type) {
 	case *lang.VarRef:
 		if info, ok := n.vars[rhs.Name]; ok && info.Kind == IndexVar {
-			*out = append(*out, &Alias{Var: st.Name, Src: rhs.Name})
+			*out = append(*out, &Alias{Var: st.Name, Src: rhs.Name, Pos: st.Pos})
 			return info, true
 		}
 	case *lang.Call:
@@ -220,7 +224,7 @@ func (n *Normalizer) tryIndexRhs(st *lang.VarAssign, out *[]Stmt) (VarInfo, bool
 			if !n.prog.SameSpace(n.vars[arg].Region, decl.From) {
 				return VarInfo{}, false
 			}
-			*out = append(*out, &Apply{Var: st.Name, Func: rhs.Func, Arg: arg})
+			*out = append(*out, &Apply{Var: st.Name, Func: rhs.Func, Arg: arg, Pos: st.Pos})
 			return VarInfo{Kind: IndexVar, Region: decl.To}, true
 		}
 	case *lang.FieldAccess:
@@ -239,7 +243,7 @@ func (n *Normalizer) tryIndexRhs(st *lang.VarAssign, out *[]Stmt) (VarInfo, bool
 		if err := n.checkIndexInto(idx, rhs.Region, rhs.Pos); err != nil {
 			return VarInfo{}, false
 		}
-		*out = append(*out, &Load{Var: st.Name, Region: rhs.Region, Field: rhs.Field, Idx: idx})
+		*out = append(*out, &Load{Var: st.Name, Region: rhs.Region, Field: rhs.Field, Idx: idx, Pos: st.Pos})
 		return VarInfo{Kind: IndexVar, Region: field.Target}, true
 	}
 	return VarInfo{}, false
@@ -252,44 +256,44 @@ func (n *Normalizer) indexExpr(e lang.Expr, out *[]Stmt) (string, error) {
 	case *lang.VarRef:
 		info, ok := n.vars[x.Name]
 		if !ok {
-			return "", errorAt(x.Pos, "use of undefined variable %q", x.Name)
+			return "", errorAt("N005", x.Pos, "use of undefined variable %q", x.Name)
 		}
 		if info.Kind != IndexVar {
-			return "", errorAt(x.Pos, "variable %q is not an index", x.Name)
+			return "", errorAt("N006", x.Pos, "variable %q is not an index", x.Name)
 		}
 		return x.Name, nil
 
 	case *lang.Call:
 		decl, ok := n.prog.FuncByName(x.Func)
 		if !ok {
-			return "", errorAt(x.Pos, "call to undeclared index function %q in index position", x.Func)
+			return "", errorAt("N007", x.Pos, "call to undeclared index function %q in index position", x.Func)
 		}
 		if len(x.Args) != 1 {
-			return "", errorAt(x.Pos, "index function %q takes exactly one argument", x.Func)
+			return "", errorAt("N008", x.Pos, "index function %q takes exactly one argument", x.Func)
 		}
 		arg, err := n.indexExpr(x.Args[0], out)
 		if err != nil {
 			return "", err
 		}
 		if got := n.vars[arg].Region; !n.prog.SameSpace(got, decl.From) {
-			return "", errorAt(x.Pos, "index function %q expects an index into %s, got %s", x.Func, decl.From, got)
+			return "", errorAt("N009", x.Pos, "index function %q expects an index into %s, got %s", x.Func, decl.From, got)
 		}
 		t := n.fresh()
 		n.vars[t] = VarInfo{Kind: IndexVar, Region: decl.To}
-		*out = append(*out, &Apply{Var: t, Func: x.Func, Arg: arg})
+		*out = append(*out, &Apply{Var: t, Func: x.Func, Arg: arg, Pos: x.Pos})
 		return t, nil
 
 	case *lang.FieldAccess:
 		decl, ok := n.prog.RegionByName(x.Region)
 		if !ok {
-			return "", errorAt(x.Pos, "unknown region %q", x.Region)
+			return "", errorAt("N010", x.Pos, "unknown region %q", x.Region)
 		}
 		field, ok := decl.FieldByName(x.Field)
 		if !ok {
-			return "", errorAt(x.Pos, "region %q has no field %q", x.Region, x.Field)
+			return "", errorAt("N011", x.Pos, "region %q has no field %q", x.Region, x.Field)
 		}
 		if field.Kind != lang.IndexKind {
-			return "", errorAt(x.Pos, "field %s.%s is not an index field", x.Region, x.Field)
+			return "", errorAt("N012", x.Pos, "field %s.%s is not an index field", x.Region, x.Field)
 		}
 		idx, err := n.indexExpr(x.Index, out)
 		if err != nil {
@@ -300,11 +304,11 @@ func (n *Normalizer) indexExpr(e lang.Expr, out *[]Stmt) (string, error) {
 		}
 		t := n.fresh()
 		n.vars[t] = VarInfo{Kind: IndexVar, Region: field.Target}
-		*out = append(*out, &Load{Var: t, Region: x.Region, Field: x.Field, Idx: idx})
+		*out = append(*out, &Load{Var: t, Region: x.Region, Field: x.Field, Idx: idx, Pos: x.Pos})
 		return t, nil
 
 	default:
-		return "", errorAt(e.ExprPos(), "expression %s cannot be used as an index", e)
+		return "", errorAt("N013", e.ExprPos(), "expression %s cannot be used as an index", e)
 	}
 }
 
@@ -315,27 +319,27 @@ func (n *Normalizer) scalarExpr(e lang.Expr, out *[]Stmt) (ScalarExpr, error) {
 	case *lang.NumLit:
 		v, err := strconv.ParseFloat(x.Text, 64)
 		if err != nil {
-			return nil, errorAt(x.Pos, "malformed number %q", x.Text)
+			return nil, errorAt("N014", x.Pos, "malformed number %q", x.Text)
 		}
 		return Const{V: v}, nil
 
 	case *lang.VarRef:
 		if _, ok := n.vars[x.Name]; !ok {
-			return nil, errorAt(x.Pos, "use of undefined variable %q", x.Name)
+			return nil, errorAt("N005", x.Pos, "use of undefined variable %q", x.Name)
 		}
 		return VarExpr{Name: x.Name}, nil
 
 	case *lang.FieldAccess:
 		decl, ok := n.prog.RegionByName(x.Region)
 		if !ok {
-			return nil, errorAt(x.Pos, "unknown region %q", x.Region)
+			return nil, errorAt("N010", x.Pos, "unknown region %q", x.Region)
 		}
 		field, ok := decl.FieldByName(x.Field)
 		if !ok {
-			return nil, errorAt(x.Pos, "region %q has no field %q", x.Region, x.Field)
+			return nil, errorAt("N011", x.Pos, "region %q has no field %q", x.Region, x.Field)
 		}
 		if field.Kind == lang.RangeKind {
-			return nil, errorAt(x.Pos, "range field %s cannot be read as a scalar", x)
+			return nil, errorAt("N015", x.Pos, "range field %s cannot be read as a scalar", x)
 		}
 		idx, err := n.indexExpr(x.Index, out)
 		if err != nil {
@@ -350,7 +354,7 @@ func (n *Normalizer) scalarExpr(e lang.Expr, out *[]Stmt) (ScalarExpr, error) {
 			kind = IndexVar
 		}
 		n.vars[t] = VarInfo{Kind: kind, Region: field.Target}
-		*out = append(*out, &Load{Var: t, Region: x.Region, Field: x.Field, Idx: idx})
+		*out = append(*out, &Load{Var: t, Region: x.Region, Field: x.Field, Idx: idx, Pos: x.Pos})
 		return VarExpr{Name: t}, nil
 
 	case *lang.Call:
@@ -358,18 +362,18 @@ func (n *Normalizer) scalarExpr(e lang.Expr, out *[]Stmt) (ScalarExpr, error) {
 			// Index function in a scalar position: hoist and read the
 			// resulting index as a value.
 			if len(x.Args) != 1 {
-				return nil, errorAt(x.Pos, "index function %q takes exactly one argument", x.Func)
+				return nil, errorAt("N008", x.Pos, "index function %q takes exactly one argument", x.Func)
 			}
 			arg, err := n.indexExpr(x.Args[0], out)
 			if err != nil {
 				return nil, err
 			}
 			if got := n.vars[arg].Region; !n.prog.SameSpace(got, decl.From) {
-				return nil, errorAt(x.Pos, "index function %q expects an index into %s, got %s", x.Func, decl.From, got)
+				return nil, errorAt("N009", x.Pos, "index function %q expects an index into %s, got %s", x.Func, decl.From, got)
 			}
 			t := n.fresh()
 			n.vars[t] = VarInfo{Kind: IndexVar, Region: decl.To}
-			*out = append(*out, &Apply{Var: t, Func: x.Func, Arg: arg})
+			*out = append(*out, &Apply{Var: t, Func: x.Func, Arg: arg, Pos: x.Pos})
 			return VarExpr{Name: t}, nil
 		}
 		args := make([]ScalarExpr, len(x.Args))
@@ -394,7 +398,7 @@ func (n *Normalizer) scalarExpr(e lang.Expr, out *[]Stmt) (ScalarExpr, error) {
 		return BinExpr{Op: x.Op, L: l, R: r}, nil
 
 	default:
-		return nil, errorAt(e.ExprPos(), "unsupported expression %T", e)
+		return nil, errorAt("N016", e.ExprPos(), "unsupported expression %T", e)
 	}
 }
 
@@ -402,11 +406,11 @@ func (n *Normalizer) scalarExpr(e lang.Expr, out *[]Stmt) (ScalarExpr, error) {
 func (n *Normalizer) checkIndexInto(idx, reg string, pos lang.Pos) error {
 	info := n.vars[idx]
 	if !n.prog.SameSpace(info.Region, reg) {
-		return errorAt(pos, "index %q points into region %s, not %s", idx, info.Region, reg)
+		return errorAt("N017", pos, "index %q points into region %s, not %s", idx, info.Region, reg)
 	}
 	return nil
 }
 
-func errorAt(pos lang.Pos, format string, args ...any) error {
-	return fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+func errorAt(code string, pos lang.Pos, format string, args ...any) error {
+	return lang.Errorf(code, lang.SpanAt(pos), format, args...)
 }

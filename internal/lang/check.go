@@ -4,19 +4,19 @@ import (
 	"autopart/internal/dpl"
 )
 
-// validate performs the semantic checks that do not require inference:
+// Check performs the semantic checks that do not require inference:
 // name uniqueness, region/field existence, field kinds, and assert symbol
-// resolution.
-func (p *Parser) validate(prog *Program) error {
+// resolution (the pipeline's check pass).
+func Check(prog *Program) error {
 	regions := map[string]*RegionDecl{}
 	for _, r := range prog.Regions {
 		if _, dup := regions[r.Name]; dup {
-			return errorf(r.Pos, "duplicate region %q", r.Name)
+			return errorf("C001", r.Pos, "duplicate region %q", r.Name)
 		}
 		fields := map[string]bool{}
 		for _, f := range r.Fields {
 			if fields[f.Name] {
-				return errorf(r.Pos, "region %q: duplicate field %q", r.Name, f.Name)
+				return errorf("C002", r.Pos, "region %q: duplicate field %q", r.Name, f.Name)
 			}
 			fields[f.Name] = true
 		}
@@ -31,12 +31,12 @@ func (p *Parser) validate(prog *Program) error {
 		cur := r.Space
 		for cur != "" {
 			if seen[cur] {
-				return errorf(r.Pos, "region %q: index-space sharing cycle through %q", r.Name, cur)
+				return errorf("C003", r.Pos, "region %q: index-space sharing cycle through %q", r.Name, cur)
 			}
 			seen[cur] = true
 			next, ok := regions[cur]
 			if !ok {
-				return errorf(r.Pos, "region %q shares index space with unknown region %q", r.Name, cur)
+				return errorf("C004", r.Pos, "region %q shares index space with unknown region %q", r.Name, cur)
 			}
 			cur = next.Space
 		}
@@ -46,7 +46,7 @@ func (p *Parser) validate(prog *Program) error {
 		for _, f := range r.Fields {
 			if f.Kind != ScalarKind {
 				if _, ok := regions[f.Target]; !ok {
-					return errorf(r.Pos, "region %q: field %q targets unknown region %q", r.Name, f.Name, f.Target)
+					return errorf("C005", r.Pos, "region %q: field %q targets unknown region %q", r.Name, f.Name, f.Target)
 				}
 			}
 		}
@@ -55,13 +55,13 @@ func (p *Parser) validate(prog *Program) error {
 	funcs := map[string]*FuncDecl{}
 	for _, f := range prog.Funcs {
 		if _, dup := funcs[f.Name]; dup {
-			return errorf(f.Pos, "duplicate function %q", f.Name)
+			return errorf("C006", f.Pos, "duplicate function %q", f.Name)
 		}
 		if _, ok := regions[f.From]; !ok {
-			return errorf(f.Pos, "function %q: unknown domain region %q", f.Name, f.From)
+			return errorf("C007", f.Pos, "function %q: unknown domain region %q", f.Name, f.From)
 		}
 		if _, ok := regions[f.To]; !ok {
-			return errorf(f.Pos, "function %q: unknown codomain region %q", f.Name, f.To)
+			return errorf("C008", f.Pos, "function %q: unknown codomain region %q", f.Name, f.To)
 		}
 		funcs[f.Name] = f
 	}
@@ -69,17 +69,17 @@ func (p *Parser) validate(prog *Program) error {
 	externs := map[string]*ExternDecl{}
 	for _, e := range prog.Externs {
 		if _, dup := externs[e.Name]; dup {
-			return errorf(e.Pos, "duplicate extern partition %q", e.Name)
+			return errorf("C009", e.Pos, "duplicate extern partition %q", e.Name)
 		}
 		if _, ok := regions[e.Region]; !ok {
-			return errorf(e.Pos, "extern partition %q: unknown region %q", e.Name, e.Region)
+			return errorf("C010", e.Pos, "extern partition %q: unknown region %q", e.Name, e.Region)
 		}
 		externs[e.Name] = e
 	}
 
 	for _, l := range prog.Loops {
 		if _, ok := regions[l.Region]; !ok {
-			return errorf(l.Pos, "loop iterates over unknown region %q", l.Region)
+			return errorf("C011", l.Pos, "loop iterates over unknown region %q", l.Region)
 		}
 		if err := checkStmts(prog, l.Body, regions, externs); err != nil {
 			return err
@@ -97,7 +97,7 @@ func (p *Parser) validate(prog *Program) error {
 		}
 		if a.Kind == AssertComplete {
 			if _, ok := regions[a.Region]; !ok {
-				return errorf(a.Pos, "assert references unknown region %q", a.Region)
+				return errorf("C016", a.Pos, "assert references unknown region %q", a.Region)
 			}
 		}
 	}
@@ -125,7 +125,7 @@ func checkStmts(prog *Program, stmts []Stmt, regions map[string]*RegionDecl, ext
 			r := regions[st.Range.Region]
 			f, ok := r.FieldByName(st.Range.Field)
 			if !ok || f.Kind != RangeKind {
-				return errorf(st.Pos, "inner loop range %s must be a range field", st.Range)
+				return errorf("C012", st.Pos, "inner loop range %s must be a range field", st.Range)
 			}
 			if err := checkStmts(prog, st.Body, regions, externs); err != nil {
 				return err
@@ -138,7 +138,7 @@ func checkStmts(prog *Program, stmts []Stmt, regions map[string]*RegionDecl, ext
 				_, isRegion := regions[in.Space]
 				_, isExtern := externs[in.Space]
 				if !isRegion && !isExtern {
-					return errorf(st.Pos, "guard tests membership in unknown region or partition %q", in.Space)
+					return errorf("C013", st.Pos, "guard tests membership in unknown region or partition %q", in.Space)
 				}
 			} else if cmp, ok := st.Cond.(*Compare); ok {
 				if err := checkExpr(cmp.L, regions); err != nil {
@@ -164,10 +164,10 @@ func checkExpr(e Expr, regions map[string]*RegionDecl) error {
 	case *FieldAccess:
 		r, ok := regions[x.Region]
 		if !ok {
-			return errorf(x.Pos, "access to unknown region %q", x.Region)
+			return errorf("C014", x.Pos, "access to unknown region %q", x.Region)
 		}
 		if _, ok := r.FieldByName(x.Field); !ok {
-			return errorf(x.Pos, "region %q has no field %q", x.Region, x.Field)
+			return errorf("C015", x.Pos, "region %q has no field %q", x.Region, x.Field)
 		}
 		return checkExpr(x.Index, regions)
 	case *Call:
@@ -188,7 +188,7 @@ func checkExpr(e Expr, regions map[string]*RegionDecl) error {
 func checkAssertExpr(a *Assert, e dpl.Expr, regions map[string]*RegionDecl, externs map[string]*ExternDecl, funcs map[string]*FuncDecl) error {
 	checkRegion := func(name string) error {
 		if _, ok := regions[name]; !ok {
-			return errorf(a.Pos, "assert references unknown region %q", name)
+			return errorf("C016", a.Pos, "assert references unknown region %q", name)
 		}
 		return nil
 	}
@@ -198,7 +198,7 @@ func checkAssertExpr(a *Assert, e dpl.Expr, regions map[string]*RegionDecl, exte
 	switch x := e.(type) {
 	case dpl.Var:
 		if _, ok := externs[x.Name]; !ok {
-			return errorf(a.Pos, "assert references unknown partition %q (declare it with 'extern partition')", x.Name)
+			return errorf("C017", a.Pos, "assert references unknown partition %q (declare it with 'extern partition')", x.Name)
 		}
 	case dpl.ImageExpr:
 		if err := checkRegion(x.Region); err != nil {

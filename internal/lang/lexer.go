@@ -107,7 +107,7 @@ func (l *Lexer) Next() (Token, error) {
 		}
 		text := l.src[start:l.off]
 		if strings.Count(text, ".") > 1 {
-			return Token{}, errorf(pos, "malformed number %q", text)
+			return Token{}, errorf("L001", pos, "malformed number %q", text)
 		}
 		return Token{Kind: NUMBER, Text: text, Pos: pos}, nil
 	}
@@ -162,7 +162,7 @@ func (l *Lexer) Next() (Token, error) {
 		if l.peek2() == '=' {
 			return two(SubsetEq, "<=")
 		}
-		return Token{}, errorf(pos, "unexpected character %q (only '<=' is supported)", string(c))
+		return Token{}, errorf("L002", pos, "unexpected character %q (only '<=' is supported)", string(c))
 	case '=':
 		if l.peek2() == '=' {
 			return two(EqEq, "==")
@@ -172,9 +172,9 @@ func (l *Lexer) Next() (Token, error) {
 		if l.peek2() == '=' {
 			return two(NotEq, "!=")
 		}
-		return Token{}, errorf(pos, "unexpected character %q (did you mean '!=')", string(c))
+		return Token{}, errorf("L003", pos, "unexpected character %q (did you mean '!=')", string(c))
 	default:
-		return Token{}, errorf(pos, "unexpected character %q", string(c))
+		return Token{}, errorf("L004", pos, "unexpected character %q", string(c))
 	}
 }
 

@@ -14,8 +14,20 @@ type Parser struct {
 	err  error
 }
 
-// Parse parses a complete DSL source file.
+// Parse parses and semantically validates a complete DSL source file.
+// It is ParseSource followed by Check; the pass pipeline runs the two
+// stages separately.
 func Parse(src string) (*Program, error) {
+	prog, err := ParseSource(src)
+	if err != nil {
+		return nil, err
+	}
+	return prog, Check(prog)
+}
+
+// ParseSource parses a complete DSL source file without the semantic
+// checks of Check (the pipeline's parse pass).
+func ParseSource(src string) (*Program, error) {
 	p := &Parser{lex: NewLexer(src)}
 	// Prime current and lookahead.
 	p.advance()
@@ -23,11 +35,7 @@ func Parse(src string) (*Program, error) {
 	if p.err != nil {
 		return nil, p.err
 	}
-	prog, err := p.parseProgram()
-	if err != nil {
-		return nil, err
-	}
-	return prog, p.validate(prog)
+	return p.parseProgram()
 }
 
 func (p *Parser) advance() {
@@ -48,7 +56,7 @@ func (p *Parser) expect(k Kind) (Token, error) {
 		return Token{}, p.err
 	}
 	if p.tok.Kind != k {
-		return Token{}, errorf(p.tok.Pos, "expected %s, found %s", k, p.tok)
+		return Token{}, errorf("P001", p.tok.Pos, "expected %s, found %s", k, p.tok)
 	}
 	t := p.tok
 	p.advance()
@@ -106,7 +114,7 @@ func (p *Parser) parseProgram() (*Program, error) {
 			}
 			prog.Asserts = append(prog.Asserts, a)
 		default:
-			return nil, errorf(p.tok.Pos, "expected declaration, loop, or assert; found %s", p.tok)
+			return nil, errorf("P002", p.tok.Pos, "expected declaration, loop, or assert; found %s", p.tok)
 		}
 	}
 }
@@ -177,7 +185,7 @@ func (p *Parser) parseFieldDecl() (FieldDecl, error) {
 		}
 		return FieldDecl{Name: name.Text, Kind: kind, Target: target.Text}, nil
 	default:
-		return FieldDecl{}, errorf(p.tok.Pos, "expected field kind ('scalar', 'index(R)', or 'range(R)'), found %s", p.tok)
+		return FieldDecl{}, errorf("P003", p.tok.Pos, "expected field kind ('scalar', 'index(R)', or 'range(R)'), found %s", p.tok)
 	}
 }
 
@@ -262,7 +270,7 @@ func (p *Parser) parseBlock() ([]Stmt, error) {
 			return nil, p.err
 		}
 		if p.tok.Kind == EOF {
-			return nil, errorf(p.tok.Pos, "unexpected end of input in block")
+			return nil, errorf("P004", p.tok.Pos, "unexpected end of input in block")
 		}
 		s, err := p.parseStmt()
 		if err != nil {
@@ -292,7 +300,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		}
 		fa, ok := rangeExpr.(*FieldAccess)
 		if !ok {
-			return nil, errorf(rangeExpr.ExprPos(), "inner loop range must be a field access (e.g. Ranges[i].span), found %s", rangeExpr)
+			return nil, errorf("P005", rangeExpr.ExprPos(), "inner loop range must be a field access (e.g. Ranges[i].span), found %s", rangeExpr)
 		}
 		body, err := p.parseBlock()
 		if err != nil {
@@ -334,7 +342,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 			}
 			fa, ok := access.(*FieldAccess)
 			if !ok {
-				return nil, errorf(access.ExprPos(), "expected field access on left-hand side, found %s", access)
+				return nil, errorf("P006", access.ExprPos(), "expected field access on left-hand side, found %s", access)
 			}
 			var op ReduceOp
 			switch p.tok.Kind {
@@ -349,7 +357,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 			case MinEq:
 				op = OpMin
 			default:
-				return nil, errorf(p.tok.Pos, "expected assignment operator, found %s", p.tok)
+				return nil, errorf("P007", p.tok.Pos, "expected assignment operator, found %s", p.tok)
 			}
 			p.advance()
 			rhs, err := p.parseExpr()
@@ -373,7 +381,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		return &VarAssign{Name: name.Text, Rhs: rhs, Pos: pos}, nil
 
 	default:
-		return nil, errorf(pos, "expected statement, found %s", p.tok)
+		return nil, errorf("P008", pos, "expected statement, found %s", p.tok)
 	}
 }
 
@@ -399,7 +407,7 @@ func (p *Parser) parseCond() (Cond, error) {
 		}
 		return &Compare{Op: op, L: l, R: r}, nil
 	default:
-		return nil, errorf(p.tok.Pos, "expected 'in', '==', or '!=' in condition, found %s", p.tok)
+		return nil, errorf("P009", p.tok.Pos, "expected 'in', '==', or '!=' in condition, found %s", p.tok)
 	}
 }
 
@@ -513,7 +521,7 @@ func (p *Parser) parsePrimary() (Expr, error) {
 		}
 
 	default:
-		return nil, errorf(pos, "expected expression, found %s", p.tok)
+		return nil, errorf("P010", pos, "expected expression, found %s", p.tok)
 	}
 }
 
@@ -659,7 +667,7 @@ func (p *Parser) parsePartitionTerm() (dpl.Expr, error) {
 		}
 		return dpl.PreimageExpr{Region: reg.Text, Func: fn, Of: of}, nil
 	default:
-		return nil, errorf(name.Pos, "unknown partition operator %q (expected image, preimage, IMAGE, or PREIMAGE)", name.Text)
+		return nil, errorf("P011", name.Pos, "unknown partition operator %q (expected image, preimage, IMAGE, or PREIMAGE)", name.Text)
 	}
 }
 

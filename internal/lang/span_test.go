@@ -1,0 +1,72 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestErrorsCarrySpanAndCode asserts the frontend's structured-error
+// contract: every lex, parse, and semantic-check failure is a *Error
+// with a valid source span and a stable diagnostic code, and renders
+// with a line:col prefix.
+func TestErrorsCarrySpanAndCode(t *testing.T) {
+	cases := []struct {
+		name, src  string
+		codePrefix string
+	}{
+		{"lex bad char", "region R { a: scalar }\nfor i in R { R[i].a = $ }", "L"},
+		{"lex bad number", "region R { a: scalar }\nfor i in R { R[i].a = 1.2.3 }", "L"},
+		{"lex lone bang", "region R { a: scalar }\nfor i in R { if (i ! 2) { } }", "L"},
+		{"parse bad toplevel", "region R { a: scalar }\n17", "P"},
+		{"parse bad field kind", "region R {\n  a: blah }", "P"},
+		{"parse unclosed block", "region R { a: scalar }\nfor i in R { x = 1", "P"},
+		{"parse bad statement", "region R { a: scalar }\nfor i in R { 3 = 4 }", "P"},
+		{"check unknown loop region", "region R { a: scalar }\nfor i in Q { }", "C"},
+		{"check duplicate region", "region R { a: scalar }\nregion R { a: scalar }", "C"},
+		{"check unknown field", "region R { a: scalar }\nfor i in R { R[i].b = 1 }", "C"},
+		{"check assert unknown partition", "region R { a: scalar }\nassert p <= p", "C"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) should fail", tc.src)
+			}
+			var le *Error
+			if !errors.As(err, &le) {
+				t.Fatalf("error is %T, want *lang.Error: %v", err, err)
+			}
+			if !le.Span.Valid() {
+				t.Errorf("error has no source span: %v", err)
+			}
+			if !strings.HasPrefix(le.Code, tc.codePrefix) {
+				t.Errorf("error code %q, want prefix %q: %v", le.Code, tc.codePrefix, err)
+			}
+			prefix := fmt.Sprintf("%d:%d: ", le.Span.Start.Line, le.Span.Start.Col)
+			if !strings.HasPrefix(le.Error(), prefix) {
+				t.Errorf("error %q does not start with position %q", le.Error(), prefix)
+			}
+		})
+	}
+}
+
+// TestSpanHelpers covers the Span utility surface.
+func TestSpanHelpers(t *testing.T) {
+	if (Span{}).Valid() {
+		t.Error("zero span should be invalid")
+	}
+	s := SpanAt(Pos{Line: 3, Col: 7})
+	if !s.Valid() || s.String() != "3:7" {
+		t.Errorf("SpanAt = %v", s)
+	}
+	tok := Token{Kind: IDENT, Text: "abcd", Pos: Pos{Line: 2, Col: 5}}
+	ts := tok.Span()
+	if ts.Start != (Pos{Line: 2, Col: 5}) || ts.End != (Pos{Line: 2, Col: 9}) {
+		t.Errorf("Token.Span = %v", ts)
+	}
+	if e := Errorf("X001", Span{}, "no position"); e.Error() != "no position" {
+		t.Errorf("unpositioned error renders %q", e.Error())
+	}
+}

@@ -135,11 +135,37 @@ type Pos struct {
 
 func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
 
+// Valid reports whether the position was actually set (the zero Pos means
+// "no position").
+func (p Pos) Valid() bool { return p.Line > 0 }
+
+// Span is a half-open source range [Start, End). A zero-width span marks
+// a single point; the zero Span means "no position".
+type Span struct {
+	Start, End Pos
+}
+
+// SpanAt returns a zero-width span at pos.
+func SpanAt(pos Pos) Span { return Span{Start: pos, End: pos} }
+
+// Valid reports whether the span carries a real position.
+func (s Span) Valid() bool { return s.Start.Valid() }
+
+func (s Span) String() string { return s.Start.String() }
+
 // Token is a lexed token.
 type Token struct {
 	Kind Kind
 	Text string
 	Pos  Pos
+}
+
+// Span is the source range covered by the token's text (tokens never
+// span lines).
+func (t Token) Span() Span {
+	end := t.Pos
+	end.Col += len(t.Text)
+	return Span{Start: t.Pos, End: end}
 }
 
 func (t Token) String() string {
@@ -151,14 +177,41 @@ func (t Token) String() string {
 	}
 }
 
-// Error is a positioned frontend error.
+// Error is a positioned frontend error carrying a stable diagnostic code
+// (see internal/diag for the code registry and rendering).
 type Error struct {
-	Pos Pos
-	Msg string
+	Span  Span
+	Code  string
+	Msg   string
+	Notes []string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+func (e *Error) Error() string {
+	if !e.Span.Valid() {
+		return e.Msg
+	}
+	return fmt.Sprintf("%s: %s", e.Span.Start, e.Msg)
+}
 
-func errorf(pos Pos, format string, args ...any) *Error {
-	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+// DiagSpan exposes the source span for diagnostic conversion.
+func (e *Error) DiagSpan() Span { return e.Span }
+
+// DiagCode exposes the stable diagnostic code.
+func (e *Error) DiagCode() string { return e.Code }
+
+// DiagMessage exposes the bare message (no position prefix).
+func (e *Error) DiagMessage() string { return e.Msg }
+
+// DiagNotes exposes attached notes.
+func (e *Error) DiagNotes() []string { return e.Notes }
+
+// Errorf builds a positioned, coded error; packages layered on lang
+// positions (ir, infer, solver) use it so every compile error renders
+// with file:line:col and a stable code.
+func Errorf(code string, span Span, format string, args ...any) *Error {
+	return &Error{Span: span, Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+func errorf(code string, pos Pos, format string, args ...any) *Error {
+	return &Error{Span: SpanAt(pos), Code: code, Msg: fmt.Sprintf(format, args...)}
 }

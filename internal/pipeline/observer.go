@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// PassEvent is the observation delivered at the end of every pass.
+type PassEvent struct {
+	// Pass is the pass name; Index its position in the sequence.
+	Pass  string
+	Index int
+	// Wall is the pass's wall-clock time.
+	Wall time.Duration
+	// Metrics snapshots Session.Metrics() after the pass ran: artifact
+	// sizes (loops, constraints, accesses, partitions, launches, ...).
+	Metrics map[string]int
+	// Err is non-nil when the pass failed.
+	Err error
+}
+
+// Observer receives pass lifecycle notifications from a Runner.
+// Implementations must not mutate the session; they see each pass's
+// wall time and the artifact metrics snapshot taken after it ran.
+type Observer interface {
+	OnPassStart(pass string, index int)
+	OnPassEnd(ev PassEvent)
+}
+
+// TimingObserver accumulates per-pass wall times. The autopart façade
+// derives its API-level Timing breakdown (Table 1's rows) from one of
+// these.
+type TimingObserver struct {
+	durations map[string]time.Duration
+}
+
+// NewTimingObserver returns an empty timing accumulator.
+func NewTimingObserver() *TimingObserver {
+	return &TimingObserver{durations: map[string]time.Duration{}}
+}
+
+// OnPassStart implements Observer.
+func (t *TimingObserver) OnPassStart(string, int) {}
+
+// OnPassEnd implements Observer.
+func (t *TimingObserver) OnPassEnd(ev PassEvent) {
+	t.durations[ev.Pass] += ev.Wall
+}
+
+// Duration returns the accumulated wall time of one pass.
+func (t *TimingObserver) Duration(pass string) time.Duration {
+	return t.durations[pass]
+}
+
+// TraceObserver writes one JSON line per completed pass: pass name,
+// index, wall time in microseconds, the metrics snapshot, and the error
+// (if any). Lines are deterministic apart from the timing field —
+// encoding/json marshals the metrics map with sorted keys.
+type TraceObserver struct {
+	W io.Writer
+}
+
+// traceRecord is the JSON-lines schema of one pass-end event.
+type traceRecord struct {
+	Pass    string         `json:"pass"`
+	Index   int            `json:"index"`
+	WallUS  int64          `json:"wall_us"`
+	Metrics map[string]int `json:"metrics"`
+	Error   string         `json:"error,omitempty"`
+}
+
+// OnPassStart implements Observer.
+func (t TraceObserver) OnPassStart(string, int) {}
+
+// OnPassEnd implements Observer.
+func (t TraceObserver) OnPassEnd(ev PassEvent) {
+	rec := traceRecord{
+		Pass:    ev.Pass,
+		Index:   ev.Index,
+		WallUS:  ev.Wall.Microseconds(),
+		Metrics: ev.Metrics,
+	}
+	if ev.Err != nil {
+		rec.Error = ev.Err.Error()
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		fmt.Fprintf(t.W, `{"pass":%q,"error":"trace: %s"}`+"\n", ev.Pass, err)
+		return
+	}
+	t.W.Write(append(line, '\n'))
+}

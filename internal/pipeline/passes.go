@@ -1,0 +1,124 @@
+package pipeline
+
+import (
+	"autopart/internal/infer"
+	"autopart/internal/ir"
+	"autopart/internal/lang"
+	"autopart/internal/optimize"
+	"autopart/internal/rewrite"
+	"autopart/internal/solver"
+)
+
+// The standard passes, registered in DefaultOrder. Each is a thin
+// adapter from the Session to the phase implementation packages; the
+// only pipeline-level logic is the solve pass's fallback from relaxed
+// to unrelaxed systems (§5.1: relaxation is an optimization, never a
+// reason to fail a compile that would otherwise succeed).
+func init() {
+	Register(NewPass("parse", runParse))
+	Register(NewPass("check", runCheck))
+	Register(NewPass("normalize", runNormalize))
+	Register(NewPass("infer", runInfer))
+	Register(NewPass("relax", runRelax))
+	Register(NewPass("solve", runSolve))
+	Register(NewPass("private", runPrivate))
+	Register(NewPass("rewrite", runRewrite))
+}
+
+func runParse(s *Session) error {
+	prog, err := lang.ParseSource(s.Source)
+	if err != nil {
+		return err
+	}
+	s.Program = prog
+	return nil
+}
+
+func runCheck(s *Session) error {
+	return lang.Check(s.Program)
+}
+
+func runNormalize(s *Session) error {
+	loops, err := ir.NormalizeProgram(s.Program)
+	if err != nil {
+		return err
+	}
+	s.Loops = loops
+	return nil
+}
+
+func runInfer(s *Session) error {
+	results, err := infer.New(s.Program).InferProgram(s.Loops)
+	if err != nil {
+		return err
+	}
+	s.Inference = results
+	s.External, s.ExternalSyms = infer.ExternalSystem(s.Program)
+	return nil
+}
+
+func runRelax(s *Session) error {
+	if s.Config.DisableRelaxation {
+		s.Plans = make([]*optimize.LoopPlan, len(s.Inference))
+		for i, r := range s.Inference {
+			s.Plans[i] = &optimize.LoopPlan{Res: r, Sys: r.Sys}
+		}
+		return nil
+	}
+	s.Plans = optimize.Relax(s.Inference)
+	return nil
+}
+
+func runSolve(s *Session) error {
+	sol, err := solver.SolveProgram(resultsOf(s.Plans), s.External, s.ExternalSyms)
+	if err != nil && !s.Config.DisableRelaxation && anyRelaxed(s.Plans) {
+		// Fall back to the unrelaxed systems if relaxation made the
+		// system unsolvable.
+		for _, p := range s.Plans {
+			p.Sys = p.Res.Sys
+			p.Relaxed = false
+			p.GuardedSyms = nil
+		}
+		sol, err = solver.SolveProgram(resultsOf(s.Plans), s.External, s.ExternalSyms)
+	}
+	if err != nil {
+		return err
+	}
+	s.Solution = sol
+	return nil
+}
+
+func runPrivate(s *Session) error {
+	if s.Config.DisablePrivateSubPartitions {
+		return nil
+	}
+	s.Private = optimize.FindPrivateSubPartitions(s.Plans, s.Solution, s.External)
+	return nil
+}
+
+func runRewrite(s *Session) error {
+	s.Parallel = rewrite.Build(s.Plans, s.Solution, s.Private)
+	return nil
+}
+
+// resultsOf substitutes the (possibly relaxed) systems into the
+// inference results the solver consumes. The solver only reads Sys,
+// IterSym, and Accesses; we pass shallow copies with Sys swapped.
+func resultsOf(plans []*optimize.LoopPlan) []*infer.Result {
+	out := make([]*infer.Result, len(plans))
+	for i, p := range plans {
+		clone := *p.Res
+		clone.Sys = p.Sys
+		out[i] = &clone
+	}
+	return out
+}
+
+func anyRelaxed(plans []*optimize.LoopPlan) bool {
+	for _, p := range plans {
+		if p.Relaxed {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const okSrc = `
+region Y { val: scalar }
+for i in Y {
+  Y[i].val = 1
+}
+`
+
+type recordingObserver struct {
+	starts []string
+	ends   []PassEvent
+}
+
+func (r *recordingObserver) OnPassStart(pass string, _ int) { r.starts = append(r.starts, pass) }
+func (r *recordingObserver) OnPassEnd(ev PassEvent)         { r.ends = append(r.ends, ev) }
+
+func TestRunnerExecutesDefaultOrder(t *testing.T) {
+	rec := &recordingObserver{}
+	s := NewSession(okSrc, Config{})
+	if err := NewRunner(rec).Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(rec.starts, ","), strings.Join(DefaultOrder, ","); got != want {
+		t.Errorf("pass order %s, want %s", got, want)
+	}
+	if len(rec.ends) != len(DefaultOrder) {
+		t.Fatalf("%d end events, want %d", len(rec.ends), len(DefaultOrder))
+	}
+	for i, ev := range rec.ends {
+		if ev.Pass != DefaultOrder[i] || ev.Index != i || ev.Err != nil {
+			t.Errorf("event %d = %q/%d/%v, want %q/%d/nil", i, ev.Pass, ev.Index, ev.Err, DefaultOrder[i], i)
+		}
+		if ev.Metrics == nil {
+			t.Errorf("event %d has no metrics", i)
+		}
+	}
+	// Artifacts accumulate monotonically: the final event sees the full
+	// compilation.
+	final := rec.ends[len(rec.ends)-1].Metrics
+	for _, key := range []string{"loops", "constraints", "partitions", "launches"} {
+		if final[key] == 0 {
+			t.Errorf("final metrics missing %s: %v", key, final)
+		}
+	}
+	if s.Solution == nil || len(s.Parallel) == 0 {
+		t.Error("session artifacts incomplete after successful run")
+	}
+}
+
+func TestRunnerRecordsDiagnosticOnFailure(t *testing.T) {
+	rec := &recordingObserver{}
+	s := NewSession("region R { a: scalar }\nfor i in Q { }\n", Config{})
+	err := NewRunner(rec).Run(s)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	// The failing pass name prefixes the error (historical shape).
+	if !strings.HasPrefix(err.Error(), "check: ") {
+		t.Errorf("error %q does not carry pass prefix", err)
+	}
+	if len(s.Diags) != 1 {
+		t.Fatalf("%d diagnostics, want 1", len(s.Diags))
+	}
+	d := s.Diags[0]
+	if d.Code != "C011" || !d.HasPos() {
+		t.Errorf("diagnostic = code %q pos %v, want C011 with position", d.Code, d.Pos)
+	}
+	// Observers saw the failing pass end with Err set, and nothing after.
+	last := rec.ends[len(rec.ends)-1]
+	if last.Pass != "check" || last.Err == nil {
+		t.Errorf("last event = %q err=%v, want failing check", last.Pass, last.Err)
+	}
+}
+
+func TestConfigDisablesOptimizations(t *testing.T) {
+	s := NewSession(okSrc, Config{DisableRelaxation: true, DisablePrivateSubPartitions: true})
+	if err := NewRunner().Run(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Plans {
+		if p.Relaxed {
+			t.Error("relaxation ran despite DisableRelaxation")
+		}
+	}
+	if s.Private != nil {
+		t.Error("private sub-partitions ran despite DisablePrivateSubPartitions")
+	}
+}
+
+func TestTraceObserverEmitsJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSession(okSrc, Config{})
+	if err := NewRunner(TraceObserver{W: &buf}).Run(s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(DefaultOrder) {
+		t.Fatalf("%d trace lines, want %d", len(lines), len(DefaultOrder))
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if rec["pass"] != DefaultOrder[i] {
+			t.Errorf("line %d pass = %v, want %s", i, rec["pass"], DefaultOrder[i])
+		}
+	}
+}
+
+func TestPassesRejectsUnknownName(t *testing.T) {
+	if _, err := Passes("parse", "no-such-pass"); err == nil {
+		t.Error("expected error for unknown pass name")
+	}
+	if _, ok := Lookup("solve"); !ok {
+		t.Error("solve pass not registered")
+	}
+}

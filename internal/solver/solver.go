@@ -8,10 +8,9 @@
 package solver
 
 import (
-	"fmt"
-
 	"autopart/internal/constraint"
 	"autopart/internal/dpl"
+	"autopart/internal/lang"
 )
 
 // Solution is the output of the solver: one DPL statement per partition
@@ -174,7 +173,7 @@ func (s *Solver) Solve(sys *constraint.System) (dpl.Program, error) {
 	// symbols are never assigned.
 	eqs, ok := s.solve(work, nil, s.unresolved(work))
 	if !ok {
-		return dpl.Program{}, fmt.Errorf("solver: no solution for constraint system:\n%s", sys)
+		return dpl.Program{}, lang.Errorf("S001", lang.Span{}, "solver: no solution for constraint system:\n%s", sys)
 	}
 	var prog dpl.Program
 	for _, eq := range eqs {

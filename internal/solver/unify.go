@@ -1,12 +1,12 @@
 package solver
 
 import (
-	"fmt"
 	"sort"
 
 	"autopart/internal/constraint"
 	"autopart/internal/dpl"
 	"autopart/internal/infer"
+	"autopart/internal/lang"
 )
 
 // solvable runs a full solve on a candidate system (Algorithm 3 line 13).
@@ -225,7 +225,7 @@ func SolveProgram(results []*infer.Result, external *constraint.System, external
 	}
 	prog = orderProgram(prog, ext)
 	if err := prog.TopoCheck(ext); err != nil {
-		return nil, fmt.Errorf("solver: internal error: %w", err)
+		return nil, lang.Errorf("S002", lang.Span{}, "solver: internal error: %v", err)
 	}
 
 	finalSys := combined.Clone()

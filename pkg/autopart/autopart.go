@@ -15,15 +15,19 @@ package autopart
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"autopart/internal/constraint"
+	"autopart/internal/diag"
 	"autopart/internal/dpl"
 	"autopart/internal/infer"
 	"autopart/internal/ir"
 	"autopart/internal/lang"
 	"autopart/internal/optimize"
 	"autopart/internal/par"
+	"autopart/internal/pipeline"
 	"autopart/internal/region"
 	"autopart/internal/rewrite"
 	"autopart/internal/solver"
@@ -42,6 +46,14 @@ type Options struct {
 	// environment; parallel and sequential modes produce bit-identical
 	// partitions and figures.
 	ForceSequential bool
+	// Trace, when non-nil, receives one JSON line per compiler pass
+	// (name, index, wall time, artifact metrics). Setting AUTOPART_TRACE
+	// to a non-empty value other than "0" traces to stderr without code
+	// changes.
+	Trace io.Writer
+	// Observers receive pass lifecycle events in addition to any Trace
+	// writer; see pipeline.Observer.
+	Observers []pipeline.Observer
 }
 
 // SequentialEvaluation forces (or, with false, re-enables parallelism
@@ -77,98 +89,75 @@ type Compiled struct {
 	External     *constraint.System
 	ExternalSyms []string
 	Timing       Timing
+	// Diagnostics holds the structured diagnostics accumulated during
+	// compilation (empty on success today; a failed Compile records the
+	// failure here with its source span and code).
+	Diagnostics []diag.Diagnostic
 }
 
-// Compile runs the full pipeline on DSL source text.
+// Compile runs the staged pass pipeline (internal/pipeline) on DSL
+// source text. It is a thin façade: passes are resolved from the
+// pipeline registry, timing is derived from a per-pass observer, and
+// tracing/observability hooks attach via Options.
 func Compile(src string, opts Options) (*Compiled, error) {
+	c, _, err := compile(src, opts)
+	return c, err
+}
+
+// CompileSession runs the pipeline and additionally returns the
+// pipeline session, exposing per-pass artifacts and accumulated
+// diagnostics even when compilation fails (the Compiled result is nil
+// on error).
+func CompileSession(src string, opts Options) (*Compiled, *pipeline.Session, error) {
+	return compile(src, opts)
+}
+
+func compile(src string, opts Options) (*Compiled, *pipeline.Session, error) {
 	if opts.ForceSequential {
 		par.SetSequential(true)
 	}
-	c := &Compiled{}
 
-	start := time.Now()
-	prog, err := lang.Parse(src)
-	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
-	}
-	c.Source = prog
-	c.Timing.Parse = time.Since(start)
-
-	start = time.Now()
-	loops, err := ir.NormalizeProgram(prog)
-	if err != nil {
-		return nil, fmt.Errorf("normalize: %w", err)
-	}
-	c.Loops = loops
-	results, err := infer.New(prog).InferProgram(loops)
-	if err != nil {
-		return nil, fmt.Errorf("infer: %w", err)
-	}
-	c.Inference = results
-	c.External, c.ExternalSyms = infer.ExternalSystem(prog)
-	c.Timing.Inference = time.Since(start)
-
-	start = time.Now()
-	if opts.DisableRelaxation {
-		c.Plans = make([]*optimize.LoopPlan, len(results))
-		for i, r := range results {
-			c.Plans[i] = &optimize.LoopPlan{Res: r, Sys: r.Sys}
-		}
-	} else {
-		c.Plans = optimize.Relax(results)
-	}
-
-	sol, err := solver.SolveProgram(resultsOf(c.Plans), c.External, c.ExternalSyms)
-	if err == nil {
-		c.Solution = sol
-	} else if !opts.DisableRelaxation && anyRelaxed(c.Plans) {
-		// Fall back to the unrelaxed systems if relaxation made the
-		// system unsolvable.
-		for _, p := range c.Plans {
-			p.Sys = p.Res.Sys
-			p.Relaxed = false
-			p.GuardedSyms = nil
-		}
-		sol, err = solver.SolveProgram(resultsOf(c.Plans), c.External, c.ExternalSyms)
-		if err == nil {
-			c.Solution = sol
+	timing := pipeline.NewTimingObserver()
+	obs := []pipeline.Observer{timing}
+	if opts.Trace == nil {
+		if v := os.Getenv("AUTOPART_TRACE"); v != "" && v != "0" {
+			opts.Trace = os.Stderr
 		}
 	}
-	if err != nil {
-		return nil, fmt.Errorf("solve: %w", err)
+	if opts.Trace != nil {
+		obs = append(obs, pipeline.TraceObserver{W: opts.Trace})
+	}
+	obs = append(obs, opts.Observers...)
+
+	s := pipeline.NewSession(src, pipeline.Config{
+		DisableRelaxation:           opts.DisableRelaxation,
+		DisablePrivateSubPartitions: opts.DisablePrivateSubPartitions,
+	})
+	if err := pipeline.NewRunner(obs...).Run(s); err != nil {
+		return nil, s, err
 	}
 
-	if !opts.DisablePrivateSubPartitions {
-		c.Private = optimize.FindPrivateSubPartitions(c.Plans, c.Solution, c.External)
+	c := &Compiled{
+		Source:       s.Program,
+		Loops:        s.Loops,
+		Inference:    s.Inference,
+		Plans:        s.Plans,
+		Solution:     s.Solution,
+		Private:      s.Private,
+		Parallel:     s.Parallel,
+		External:     s.External,
+		ExternalSyms: s.ExternalSyms,
+		Diagnostics:  append([]diag.Diagnostic(nil), s.Diags...),
+		// Timing keeps its historical four-phase shape (Table 1's rows),
+		// derived from the finer-grained pass timings.
+		Timing: Timing{
+			Parse:     timing.Duration("parse") + timing.Duration("check"),
+			Inference: timing.Duration("normalize") + timing.Duration("infer"),
+			Solver:    timing.Duration("relax") + timing.Duration("solve") + timing.Duration("private"),
+			Rewrite:   timing.Duration("rewrite"),
+		},
 	}
-	c.Timing.Solver = time.Since(start)
-
-	start = time.Now()
-	c.Parallel = rewrite.Build(c.Plans, c.Solution, c.Private)
-	c.Timing.Rewrite = time.Since(start)
-	return c, nil
-}
-
-// resultsOf substitutes the (possibly relaxed) systems into the
-// inference results the solver consumes. The solver only reads Sys,
-// IterSym, and Accesses; we pass shallow copies with Sys swapped.
-func resultsOf(plans []*optimize.LoopPlan) []*infer.Result {
-	out := make([]*infer.Result, len(plans))
-	for i, p := range plans {
-		clone := *p.Res
-		clone.Sys = p.Sys
-		out[i] = &clone
-	}
-	return out
-}
-
-func anyRelaxed(plans []*optimize.LoopPlan) bool {
-	for _, p := range plans {
-		if p.Relaxed {
-			return true
-		}
-	}
-	return false
+	return c, s, nil
 }
 
 // DPLProgram returns the synthesized DPL program including private
