@@ -1,0 +1,187 @@
+// Command compilebench measures compile-time performance of the builtin
+// benchmark programs: it compiles each one N times, records the median
+// (p50) wall time of every pipeline pass and of the Table-1 phase
+// grouping, and snapshots the solver's cache and search counters from
+// the final run. Results are written as JSON (BENCH_compile.json by
+// default) so CI can archive them and successive commits can be
+// compared.
+//
+// Usage:
+//
+//	compilebench [-runs N] [-o BENCH_compile.json] [-sequential]
+//
+// The benchmark is observational, not gating: no thresholds are
+// enforced here.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"autopart/internal/apps/circuit"
+	"autopart/internal/apps/miniaero"
+	"autopart/internal/apps/pennant"
+	"autopart/internal/apps/spmv"
+	"autopart/internal/apps/stencil"
+	"autopart/internal/pipeline"
+	"autopart/pkg/autopart"
+)
+
+// passObserver records one wall-time sample per pass per run.
+type passObserver struct {
+	samples map[string][]time.Duration
+}
+
+func (p *passObserver) OnPassStart(string, int) {}
+func (p *passObserver) OnPassEnd(ev pipeline.PassEvent) {
+	p.samples[ev.Pass] = append(p.samples[ev.Pass], ev.Wall)
+}
+
+// p50 returns the median of a sample set (lower middle for even sizes,
+// so a single outlier run cannot shift the reported value).
+func p50(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[(len(sorted)-1)/2]
+}
+
+// solverStats is the JSON shape of the solver's cache/search counters.
+type solverStats struct {
+	MemoHits     int `json:"memo_hits"`
+	MemoMisses   int `json:"memo_misses"`
+	ClosedHits   int `json:"closed_hits"`
+	ClosedMisses int `json:"closed_misses"`
+	NodeHits     int `json:"node_hits"`
+	Nodes        int `json:"nodes"`
+}
+
+// appResult is one benchmark program's measurements.
+type appResult struct {
+	Name      string           `json:"name"`
+	Loops     int              `json:"loops"`
+	PassP50US map[string]int64 `json:"pass_p50_us"`
+	// PhaseP50US groups passes into Table 1's rows (inference =
+	// normalize+infer, solver = relax+solve+private, etc.), each the p50
+	// of the per-run phase sums.
+	PhaseP50US map[string]int64 `json:"phase_p50_us"`
+	Solver     solverStats      `json:"solver"`
+}
+
+// report is the top-level JSON document.
+type report struct {
+	Runs       int         `json:"runs"`
+	Sequential bool        `json:"sequential"`
+	GoOS       string      `json:"goos"`
+	GoArch     string      `json:"goarch"`
+	Apps       []appResult `json:"apps"`
+}
+
+func main() {
+	runs := flag.Int("runs", 10, "compile runs per program (one extra warm-up run is not counted)")
+	out := flag.String("o", "BENCH_compile.json", "output JSON path (- for stdout)")
+	sequential := flag.Bool("sequential", false, "force sequential unification/evaluation")
+	flag.Parse()
+	if *runs < 1 {
+		fmt.Fprintln(os.Stderr, "compilebench: -runs must be >= 1")
+		os.Exit(2)
+	}
+	if *sequential {
+		autopart.SequentialEvaluation(true)
+	}
+
+	apps := []struct {
+		name string
+		src  string
+	}{
+		{"SpMV", spmv.Source},
+		{"Stencil", stencil.Source()},
+		{"Circuit", circuit.Source},
+		{"MiniAero", miniaero.Source()},
+		{"PENNANT", pennant.Source()},
+	}
+
+	phases := map[string][]string{
+		"parse":     {"parse", "check"},
+		"inference": {"normalize", "infer"},
+		"solver":    {"relax", "solve", "private"},
+		"rewrite":   {"rewrite"},
+	}
+
+	rep := report{Runs: *runs, Sequential: *sequential, GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	for _, app := range apps {
+		obs := &passObserver{samples: map[string][]time.Duration{}}
+		var last *autopart.Compiled
+		// One uncounted warm-up run fills caches (interning, page cache)
+		// so the measured runs reflect steady-state compiles.
+		for i := 0; i <= *runs; i++ {
+			o := autopart.Options{}
+			if i > 0 {
+				o.Observers = []pipeline.Observer{obs}
+			}
+			c, err := autopart.Compile(app.src, o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "compilebench: %s: %v\n", app.name, err)
+				os.Exit(1)
+			}
+			last = c
+		}
+
+		r := appResult{
+			Name:       app.name,
+			Loops:      len(last.Parallel),
+			PassP50US:  map[string]int64{},
+			PhaseP50US: map[string]int64{},
+			Solver: solverStats{
+				MemoHits:     last.Solution.Stats.MemoHits,
+				MemoMisses:   last.Solution.Stats.MemoMisses,
+				ClosedHits:   last.Solution.Stats.ClosedHits,
+				ClosedMisses: last.Solution.Stats.ClosedMisses,
+				NodeHits:     last.Solution.Stats.NodeHits,
+				Nodes:        last.Solution.Stats.Nodes,
+			},
+		}
+		for pass, ds := range obs.samples {
+			r.PassP50US[pass] = p50(ds).Microseconds()
+		}
+		for phase, passes := range phases {
+			sums := make([]time.Duration, *runs)
+			for _, pass := range passes {
+				for i, d := range obs.samples[pass] {
+					sums[i] += d
+				}
+			}
+			r.PhaseP50US[phase] = p50(sums).Microseconds()
+		}
+		rep.Apps = append(rep.Apps, r)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compilebench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "compilebench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("compilebench: wrote %s (%d apps, %d runs each)\n", *out, len(rep.Apps), *runs)
+	for _, a := range rep.Apps {
+		fmt.Printf("  %-9s solver p50 %6.1fms  (memo %d/%d, closed %d/%d, nodes %d)\n",
+			a.Name, float64(a.PhaseP50US["solver"])/1000,
+			a.Solver.MemoHits, a.Solver.MemoMisses,
+			a.Solver.ClosedHits, a.Solver.ClosedMisses, a.Solver.Nodes)
+	}
+}

@@ -45,11 +45,14 @@ type Graph struct {
 	// partition.
 	Sig   map[string]string
 	Edges []Edge
+	// out indexes Edges by From node, in Edges order.
+	out map[string][]Edge
 }
 
 // BuildGraph constructs the constraint graph of a system.
 func BuildGraph(sys *System) *Graph {
-	g := &Graph{Region: sys.PartOf(), Sig: map[string]string{}}
+	// Region shares the system index's map (graphs only read it).
+	g := &Graph{Region: sys.partOfShared(), Sig: make(map[string]string, len(sys.Preds))}
 	for _, p := range sys.Preds {
 		v, ok := p.E.(dpl.Var)
 		if !ok {
@@ -62,16 +65,8 @@ func BuildGraph(sys *System) *Graph {
 			g.Sig[v.Name] += "C"
 		}
 	}
-	seen := map[string]bool{}
-	addNode := func(name string) {
-		if !seen[name] {
-			seen[name] = true
-			g.Nodes = append(g.Nodes, name)
-		}
-	}
-	for _, v := range sys.Symbols() {
-		addNode(v)
-	}
+	// Symbols() is already sorted and deduplicated.
+	g.Nodes = sys.Symbols()
 	for _, c := range sys.Subsets {
 		to, ok := c.R.(dpl.Var)
 		if !ok {
@@ -90,12 +85,18 @@ func BuildGraph(sys *System) *Graph {
 			}
 		}
 	}
-	sort.Strings(g.Nodes)
+	g.out = make(map[string][]Edge, len(g.Edges))
+	for _, e := range g.Edges {
+		g.out[e.From] = append(g.out[e.From], e)
+	}
 	return g
 }
 
-// OutEdges returns edges leaving a node.
+// OutEdges returns edges leaving a node, in Edges order (indexed).
 func (g *Graph) OutEdges(node string) []Edge {
+	if g.out != nil {
+		return g.out[node]
+	}
 	var out []Edge
 	for _, e := range g.Edges {
 		if e.From == node {
@@ -128,14 +129,19 @@ type Mapping map[string]string
 // matches rather than solving maximum-common-subgraph exactly.
 func CommonSubgraphs(a, b *Graph) []Mapping {
 	// Candidate node pairs: same region; exact-signature pairs first.
+	// Bucketing a's nodes by region (in a.Nodes order) turns the pair
+	// scan from |a|×|b| map lookups into per-region lists.
+	aByRegion := map[string][]string{}
+	for _, an := range a.Nodes {
+		if r := a.Region[an]; r != "" {
+			aByRegion[r] = append(aByRegion[r], an)
+		}
+	}
 	type pair struct{ an, bn string }
 	var pairs []pair
 	for exact := 0; exact < 2; exact++ {
 		for _, bn := range b.Nodes {
-			for _, an := range a.Nodes {
-				if a.Region[an] == "" || a.Region[an] != b.Region[bn] {
-					continue
-				}
+			for _, an := range aByRegion[b.Region[bn]] {
 				match := a.Sig[an] == b.Sig[bn]
 				if (exact == 0) == match {
 					pairs = append(pairs, pair{an, bn})
@@ -145,18 +151,29 @@ func CommonSubgraphs(a, b *Graph) []Mapping {
 	}
 
 	// Grow a mapping greedily from each seed pair, following matching
-	// edges in both directions.
+	// edges in both directions. Most seeds regrow a mapping already seen,
+	// so the scratch maps are cleared and reused until a seed produces a
+	// novel result (which keeps its maps and forces fresh ones).
 	var results []Mapping
 	var mismatches []int
-	seen := map[string]bool{}
+	seen := map[[2]uint64]bool{}
+	var m Mapping
+	var used map[string]bool
 	for _, seed := range pairs {
-		m := Mapping{seed.bn: seed.an}
-		used := map[string]bool{seed.an: true}
+		if m == nil {
+			m = Mapping{}
+			used = map[string]bool{}
+		} else {
+			clear(m)
+			clear(used)
+		}
+		m[seed.bn] = seed.an
+		used[seed.an] = true
 		grow(a, b, m, used)
 		if len(m) == 0 {
 			continue
 		}
-		key := mappingKey(m)
+		key := mappingHash(m)
 		if !seen[key] {
 			seen[key] = true
 			results = append(results, m)
@@ -167,6 +184,7 @@ func CommonSubgraphs(a, b *Graph) []Mapping {
 				}
 			}
 			mismatches = append(mismatches, mm)
+			m, used = nil, nil
 		}
 	}
 	order := make([]int, len(results))
@@ -228,11 +246,16 @@ func grow(a, b *Graph, m Mapping, used map[string]bool) {
 	}
 }
 
-func mappingKey(m Mapping) string {
-	keys := make([]string, 0, len(m))
+// mappingHash fingerprints a mapping for duplicate elimination: a
+// commutative sum of whitened per-pair hashes, so no sorted key string
+// is built. Same 128-bit collision policy as the solver memo.
+func mappingHash(m Mapping) [2]uint64 {
+	var h [2]uint64
 	for k, v := range m {
-		keys = append(keys, k+"="+v)
+		hk := dpl.HashString128(k)
+		hv := dpl.HashString128(v)
+		h[0] += mix64(hk[0] + 3*hv[0] + 0x9e3779b97f4a7c15)
+		h[1] += mix64(hk[1] + 3*hv[1] + 0x6a09e667f3bcc909)
 	}
-	sort.Strings(keys)
-	return strings.Join(keys, ",")
+	return h
 }

@@ -14,15 +14,22 @@ type Prover struct {
 	// (from PART predicates).
 	partOf map[string]string
 	// hypSubsets are subset hypotheses (other conjuncts, external
-	// constraints).
+	// constraints). skipSubset is the index of one occurrence every scan
+	// ignores (-1 for none): WithoutSubset marks instead of copying.
 	hypSubsets []Subset
-	// disjVars/compVars/partVars are predicate hypotheses on symbols.
-	disjVars map[string]bool
-	compVars map[string]map[string]bool // symbol -> regions
+	skipSubset int
+	// disjVars/compVars hold predicate hypotheses on symbols as
+	// occurrence counts, so a goal can be excluded and restored in O(1)
+	// while structurally identical copies (e.g. external assumptions)
+	// stay usable.
+	disjVars map[string]int
+	compVars map[string]map[string]int // symbol -> region -> count
 	// hypDisjExprs holds DISJ hypotheses on non-variable expressions
-	// (e.g. the Circuit hint DISJ(pn_private ∪ pn_shared)).
-	hypDisjExprs []dpl.Expr
-	hypCompExprs []Pred
+	// (e.g. the Circuit hint DISJ(pn_private ∪ pn_shared)); value
+	// structs are structurally unique under ==, so counting by the
+	// expression (or the whole predicate) is exact.
+	hypDisjExprs map[dpl.Expr]int
+	hypCompExprs map[Pred]int
 
 	maxDepth int
 }
@@ -30,50 +37,126 @@ type Prover struct {
 // NewProver builds a prover whose hypotheses are all conjuncts of sys
 // except the one being proven (the caller excludes it), plus any external
 // assumptions already inside sys.
-func NewProver(sys *System) *Prover {
+func NewProver(sys *System) *Prover { return NewProverOver(sys, nil) }
+
+// NewProverOver builds a prover over the conjuncts of sys followed by
+// those of extra (may be nil), without materializing the conjunction —
+// the solver proves against "working system plus external assumptions"
+// on every closed-conjunct check, and cloning the combination dominated
+// those checks.
+func NewProverOver(sys, extra *System) *Prover {
 	p := &Prover{
-		partOf:   sys.PartOf(),
-		disjVars: map[string]bool{},
-		compVars: map[string]map[string]bool{},
-		maxDepth: 10,
+		skipSubset: -1,
+		disjVars:   map[string]int{},
+		compVars:   map[string]map[string]int{},
+		maxDepth:   10,
 	}
-	for _, pred := range sys.Preds {
-		switch pred.Kind {
-		case Disj:
-			if v, ok := pred.E.(dpl.Var); ok {
-				p.disjVars[v.Name] = true
-			} else {
-				p.hypDisjExprs = append(p.hypDisjExprs, pred.E)
-			}
-		case Comp:
-			if v, ok := pred.E.(dpl.Var); ok {
-				if p.compVars[v.Name] == nil {
-					p.compVars[v.Name] = map[string]bool{}
+	// The region map is shared with the systems' indexes (the prover
+	// only reads it). With two systems the maps are merged, extra's
+	// entries last — the override order conjunction would produce.
+	if extra == nil || len(extra.partOfShared()) == 0 {
+		p.partOf = sys.partOfShared()
+	} else {
+		sp, ep := sys.partOfShared(), extra.partOfShared()
+		merged := make(map[string]string, len(sp)+len(ep))
+		for k, v := range sp {
+			merged[k] = v
+		}
+		for k, v := range ep {
+			merged[k] = v
+		}
+		p.partOf = merged
+	}
+	ingest := func(preds []Pred) {
+		for _, pred := range preds {
+			switch pred.Kind {
+			case Disj:
+				if v, ok := pred.E.(dpl.Var); ok {
+					p.disjVars[v.Name]++
+				} else {
+					if p.hypDisjExprs == nil {
+						p.hypDisjExprs = map[dpl.Expr]int{}
+					}
+					p.hypDisjExprs[pred.E]++
 				}
-				p.compVars[v.Name][pred.Region] = true
-			} else {
-				p.hypCompExprs = append(p.hypCompExprs, pred)
+			case Comp:
+				if v, ok := pred.E.(dpl.Var); ok {
+					if p.compVars[v.Name] == nil {
+						p.compVars[v.Name] = map[string]int{}
+					}
+					p.compVars[v.Name][pred.Region]++
+				} else {
+					if p.hypCompExprs == nil {
+						p.hypCompExprs = map[Pred]int{}
+					}
+					p.hypCompExprs[Pred{Kind: Comp, E: pred.E, Region: pred.Region}]++
+				}
 			}
 		}
 	}
-	p.hypSubsets = append(p.hypSubsets, sys.Subsets...)
+	ingest(sys.Preds)
+	n := len(sys.Subsets)
+	if extra != nil {
+		ingest(extra.Preds)
+		n += len(extra.Subsets)
+	}
+	p.hypSubsets = append(make([]Subset, 0, n), sys.Subsets...)
+	if extra != nil {
+		p.hypSubsets = append(p.hypSubsets, extra.Subsets...)
+	}
 	return p
 }
+
+// adjustPred changes the multiplicity of a non-PART predicate hypothesis
+// by delta. PART predicates are region-typing facts the callers never
+// exclude; they are ignored here.
+func (p *Prover) adjustPred(pred Pred, delta int) {
+	switch pred.Kind {
+	case Disj:
+		if v, ok := pred.E.(dpl.Var); ok {
+			p.disjVars[v.Name] += delta
+		} else {
+			if p.hypDisjExprs == nil {
+				p.hypDisjExprs = map[dpl.Expr]int{}
+			}
+			p.hypDisjExprs[pred.E] += delta
+		}
+	case Comp:
+		if v, ok := pred.E.(dpl.Var); ok {
+			if p.compVars[v.Name] == nil {
+				p.compVars[v.Name] = map[string]int{}
+			}
+			p.compVars[v.Name][pred.Region] += delta
+		} else {
+			if p.hypCompExprs == nil {
+				p.hypCompExprs = map[Pred]int{}
+			}
+			p.hypCompExprs[Pred{Kind: Comp, E: pred.E, Region: pred.Region}] += delta
+		}
+	}
+}
+
+// ExcludePredOnce removes one occurrence of a predicate hypothesis, so a
+// goal is not used to prove itself. PART predicates are ignored (callers
+// keep them: they are region-typing facts).
+func (p *Prover) ExcludePredOnce(pred Pred) { p.adjustPred(pred, -1) }
+
+// RestorePredOnce re-adds an occurrence removed by ExcludePredOnce.
+func (p *Prover) RestorePredOnce(pred Pred) { p.adjustPred(pred, 1) }
 
 // WithoutSubset returns a copy of the prover lacking one occurrence of a
 // subset hypothesis (so a conjunct is not used to prove itself; a second
 // structurally identical copy — e.g. an external assumption — remains
-// usable).
+// usable). The copy shares all hypothesis storage and just marks the
+// first matching occurrence as skipped.
 func (p *Prover) WithoutSubset(c Subset) *Prover {
 	q := *p
-	q.hypSubsets = nil
-	removed := false
-	for _, h := range p.hypSubsets {
-		if !removed && dpl.Equal(h.L, c.L) && dpl.Equal(h.R, c.R) {
-			removed = true
-			continue
+	q.skipSubset = -1
+	for i, h := range p.hypSubsets {
+		if dpl.Equal(h.L, c.L) && dpl.Equal(h.R, c.R) {
+			q.skipSubset = i
+			break
 		}
-		q.hypSubsets = append(q.hypSubsets, h)
 	}
 	return &q
 }
@@ -127,14 +210,12 @@ func (p *Prover) proveDisj(e dpl.Expr, depth int) bool {
 		return false
 	}
 	// Hypothesis on the exact expression.
-	for _, h := range p.hypDisjExprs {
-		if dpl.Equal(h, e) {
-			return true
-		}
+	if p.hypDisjExprs[e] > 0 {
+		return true
 	}
 	switch x := e.(type) {
 	case dpl.Var:
-		if p.disjVars[x.Name] {
+		if p.disjVars[x.Name] > 0 {
 			return true
 		}
 	case dpl.EqualExpr:
@@ -158,8 +239,8 @@ func (p *Prover) proveDisj(e dpl.Expr, depth int) bool {
 		}
 	}
 	// L8: E ⊆ E2 with DISJ(E2).
-	for _, h := range p.hypSubsets {
-		if dpl.Equal(h.L, e) && p.proveDisj(h.R, depth-1) {
+	for i, h := range p.hypSubsets {
+		if i != p.skipSubset && dpl.Equal(h.L, e) && p.proveDisj(h.R, depth-1) {
 			return true
 		}
 	}
@@ -175,14 +256,12 @@ func (p *Prover) proveComp(e dpl.Expr, region string, depth int) bool {
 	if depth <= 0 {
 		return false
 	}
-	for _, h := range p.hypCompExprs {
-		if h.Region == region && dpl.Equal(h.E, e) {
-			return true
-		}
+	if p.hypCompExprs[Pred{Kind: Comp, E: e, Region: region}] > 0 {
+		return true
 	}
 	switch x := e.(type) {
 	case dpl.Var:
-		if p.compVars[x.Name][region] {
+		if p.compVars[x.Name][region] > 0 {
 			return true
 		}
 	case dpl.EqualExpr:
@@ -207,8 +286,8 @@ func (p *Prover) proveComp(e dpl.Expr, region string, depth int) bool {
 	}
 	// L5: E1 ⊆ E with COMP(E1, R) and PART(E, R).
 	if p.provePart(e, region) {
-		for _, h := range p.hypSubsets {
-			if dpl.Equal(h.R, e) && p.proveComp(h.L, region, depth-1) {
+		for i, h := range p.hypSubsets {
+			if i != p.skipSubset && dpl.Equal(h.R, e) && p.proveComp(h.L, region, depth-1) {
 				return true
 			}
 		}
@@ -322,8 +401,8 @@ func (p *Prover) proveSubset(a, b dpl.Expr, depth int, visited map[string]proofS
 
 	// Hypotheses with transitivity: a ⊆ h.R whenever a == h.L and
 	// h.R ⊆ b; also a ⊆ b via a ⊆ h.L chains is covered by recursion.
-	for _, h := range p.hypSubsets {
-		if dpl.Equal(h.L, a) && p.proveSubset(h.R, b, depth-1, visited) {
+	for i, h := range p.hypSubsets {
+		if i != p.skipSubset && dpl.Equal(h.L, a) && p.proveSubset(h.R, b, depth-1, visited) {
 			return true
 		}
 	}
@@ -336,31 +415,26 @@ func (p *Prover) proveSubset(a, b dpl.Expr, depth int, visited map[string]proofS
 // and the DPL lemmas. It returns the first unprovable conjunct on
 // failure.
 func CheckResolved(obligations, assumptions *System) (bool, string) {
-	for i, pred := range obligations.Preds {
-		// A goal must not be used as its own hypothesis: rebuild the
-		// system without it. PART predicates are exempt (they are
-		// region-typing facts, and provePart on a Var needs the PART
+	prover := NewProverOver(obligations, assumptions)
+	for _, pred := range obligations.Preds {
+		// A goal must not be used as its own hypothesis: drop one
+		// occurrence while proving it. PART predicates are exempt (they
+		// are region-typing facts, and provePart on a Var needs the PART
 		// hypothesis to know the symbol's region).
-		rest := &System{Subsets: obligations.Subsets}
-		for j, q := range obligations.Preds {
-			if j != i || q.Kind == Part {
-				rest.Preds = append(rest.Preds, q)
-			}
+		exclude := pred.Kind != Part
+		if exclude {
+			prover.ExcludePredOnce(pred)
 		}
-		if assumptions != nil {
-			rest.And(assumptions)
+		ok := prover.ProvePred(pred)
+		if exclude {
+			prover.RestorePredOnce(pred)
 		}
-		if !NewProver(rest).ProvePred(pred) {
+		if !ok {
 			return false, pred.String()
 		}
 	}
-	combined := obligations.Clone()
-	if assumptions != nil {
-		combined.And(assumptions)
-	}
-	base := NewProver(combined)
 	for _, c := range obligations.Subsets {
-		if !base.WithoutSubset(c).ProveSubset(c) {
+		if !prover.WithoutSubset(c).ProveSubset(c) {
 			return false, c.String()
 		}
 	}

@@ -64,22 +64,202 @@ type Subset struct {
 
 func (s Subset) String() string { return fmt.Sprintf("%s ⊆ %s", s.L, s.R) }
 
+// Key returns a canonical string identifying the predicate up to
+// structural equality. Expression keys are interned (package dpl), so a
+// predicate key is two or three string concatenations.
+func (p Pred) Key() string {
+	switch p.Kind {
+	case Part:
+		return "P\x00" + dpl.Key(p.E) + "\x00" + p.Region
+	case Disj:
+		return "D\x00" + dpl.Key(p.E)
+	default:
+		return "C\x00" + dpl.Key(p.E) + "\x00" + p.Region
+	}
+}
+
+// Key returns a canonical string identifying the constraint up to
+// structural equality.
+func (c Subset) Key() string { return dpl.Key(c.L) + "\x00⊆\x00" + dpl.Key(c.R) }
+
 // System is a conjunction of predicates and subset constraints.
+//
+// The exported slices may be filled directly when building a system, but
+// once an accessor (PartOf, HasPred, SubsetsInto) has been called the
+// system must only be mutated through methods: accessors are backed by a
+// lazily built index that methods invalidate and direct writes would not.
 type System struct {
 	Preds   []Pred
 	Subsets []Subset
+
+	// idx is the lazily built symbol-keyed view of the system. It is
+	// immutable once built (accessors copy anything callers may mutate),
+	// so clones share it; any mutation drops it. The solver's trail
+	// restores the pointer on undo, making backtracking-node index reuse
+	// free.
+	idx *sysIndex
+
+	// fp is the lazily computed 128-bit conjunct-multiset fingerprint
+	// (see Fingerprint128); fpOK marks it valid. Trail mutations update
+	// it incrementally (a wrapping sum over conjunct hashes is a
+	// commutative group, so additions and removals are O(1)), making the
+	// per-search-node fingerprint the solver memoizes on effectively
+	// free. Wholesale mutations just clear fpOK.
+	fp   [2]uint64
+	fpOK bool
+
+	// predMask/subMask are lazily built per-conjunct free-variable Bloom
+	// masks (dpl.FvMask): predMask[i] covers Preds[i].E, subMask[i][0]
+	// and [1] cover Subsets[i].L and .R. They let the solver's hottest
+	// scans (substitution and closed-conjunct detection) skip conjuncts
+	// without hashing whole expression trees. predFvs/subFvs carry the
+	// corresponding interned free-variable lists (shared, read-only), so
+	// closed-conjunct and depth scans never re-hash expressions into the
+	// intern table. maskOK marks all of them valid; the trail mutators
+	// maintain them per touched conjunct, wholesale mutations clear
+	// maskOK.
+	predMask []uint64
+	subMask  [][2]uint64
+	predFvs  [][]string
+	subFvs   [][2][]string
+	maskOK   bool
 }
 
-// Clone returns a deep-enough copy (expressions are immutable).
+// sysIndex is the symbol-keyed view backing PartOf, HasPred, and
+// SubsetsInto. All maps are built in one pass and never mutated after.
+type sysIndex struct {
+	partOf      map[string]string
+	hasPred     map[predSig]bool
+	subsetsInto map[string][]int // ascending indices into Subsets
+}
+
+// predSig keys the HasPred index.
+type predSig struct {
+	kind PredKind
+	sym  string
+}
+
+// ensureIdx builds the index if the system has been mutated (or never
+// indexed). Not safe for concurrent first use on a shared system; the
+// solver pre-warms shared read-only systems before going parallel.
+// PART predicates live only in partOf (HasPred consults it), halving the
+// predicate map assignments — index builds run on every backtracking
+// node whose parent substituted, so constants matter.
+func (s *System) ensureIdx() *sysIndex {
+	if s.idx != nil {
+		return s.idx
+	}
+	// Size hints avoid incremental map growth: index builds run on every
+	// backtracking node whose parent substituted, and rehash-on-grow was
+	// a visible fraction of their cost.
+	idx := &sysIndex{
+		partOf:      make(map[string]string, len(s.Preds)),
+		hasPred:     make(map[predSig]bool, len(s.Preds)),
+		subsetsInto: make(map[string][]int, len(s.Subsets)),
+	}
+	for _, p := range s.Preds {
+		v, ok := p.E.(dpl.Var)
+		if !ok {
+			continue
+		}
+		if p.Kind == Part {
+			idx.partOf[v.Name] = p.Region
+		} else {
+			idx.hasPred[predSig{p.Kind, v.Name}] = true
+		}
+	}
+	for i, c := range s.Subsets {
+		if v, ok := c.R.(dpl.Var); ok {
+			idx.subsetsInto[v.Name] = append(idx.subsetsInto[v.Name], i)
+		}
+	}
+	s.idx = idx
+	return idx
+}
+
+// invalidate drops the index after a mutation.
+func (s *System) invalidate() { s.idx = nil }
+
+// ensureMasks builds the per-conjunct free-variable masks if missing.
+func (s *System) ensureMasks() {
+	if s.maskOK {
+		return
+	}
+	s.predMask = make([]uint64, len(s.Preds))
+	s.predFvs = make([][]string, len(s.Preds))
+	for i, p := range s.Preds {
+		s.predMask[i], s.predFvs[i] = dpl.FvData(p.E)
+	}
+	s.subMask = make([][2]uint64, len(s.Subsets))
+	s.subFvs = make([][2][]string, len(s.Subsets))
+	for i, c := range s.Subsets {
+		lm, lf := dpl.FvData(c.L)
+		rm, rf := dpl.FvData(c.R)
+		s.subMask[i] = [2]uint64{lm, rm}
+		s.subFvs[i] = [2][]string{lf, rf}
+	}
+	s.maskOK = true
+}
+
+// PredMasks returns the per-predicate free-variable Bloom masks, aligned
+// with Preds. The slice is shared with the system: callers must treat it
+// as read-only and must not hold it across mutations.
+func (s *System) PredMasks() []uint64 {
+	s.ensureMasks()
+	return s.predMask
+}
+
+// SubsetMasks returns the per-subset free-variable Bloom masks ([0]=L,
+// [1]=R), aligned with Subsets, under the same sharing contract as
+// PredMasks.
+func (s *System) SubsetMasks() [][2]uint64 {
+	s.ensureMasks()
+	return s.subMask
+}
+
+// PredFvs returns the per-predicate interned free-variable lists,
+// aligned with Preds, under the same sharing contract as PredMasks.
+// The inner slices are interned and must never be mutated.
+func (s *System) PredFvs() [][]string {
+	s.ensureMasks()
+	return s.predFvs
+}
+
+// SubsetFvs returns the per-subset interned free-variable lists
+// ([0]=L, [1]=R), aligned with Subsets, under the same sharing contract
+// as PredMasks. The inner slices are interned and must never be mutated.
+func (s *System) SubsetFvs() [][2][]string {
+	s.ensureMasks()
+	return s.subFvs
+}
+
+// Clone returns a deep-enough copy (expressions are immutable). The
+// index, if built, is shared: it is immutable and both systems currently
+// have identical content; whichever mutates first drops its own pointer.
+// Masks are copied (the trail mutates them in place).
 func (s *System) Clone() *System {
-	return &System{
+	out := &System{
 		Preds:   append([]Pred(nil), s.Preds...),
 		Subsets: append([]Subset(nil), s.Subsets...),
+		idx:     s.idx,
+		fp:      s.fp,
+		fpOK:    s.fpOK,
+		maskOK:  s.maskOK,
 	}
+	if s.maskOK {
+		out.predMask = append([]uint64(nil), s.predMask...)
+		out.subMask = append([][2]uint64(nil), s.subMask...)
+		out.predFvs = append([][]string(nil), s.predFvs...)
+		out.subFvs = append([][2][]string(nil), s.subFvs...)
+	}
+	return out
 }
 
 // And appends the conjuncts of other.
 func (s *System) And(other *System) {
+	s.invalidate()
+	s.fpOK = false
+	s.maskOK = false
 	s.Preds = append(s.Preds, other.Preds...)
 	s.Subsets = append(s.Subsets, other.Subsets...)
 }
@@ -90,6 +270,15 @@ func (s *System) AddPred(p Pred) {
 		if q.Kind == p.Kind && q.Region == p.Region && dpl.Equal(q.E, p.E) {
 			return
 		}
+	}
+	s.invalidate()
+	if s.fpOK {
+		s.fpAdd(p.hash128())
+	}
+	if s.maskOK {
+		m, f := dpl.FvData(p.E)
+		s.predMask = append(s.predMask, m)
+		s.predFvs = append(s.predFvs, f)
 	}
 	s.Preds = append(s.Preds, p)
 }
@@ -105,7 +294,98 @@ func (s *System) AddSubset(c Subset) {
 			return
 		}
 	}
+	s.invalidate()
+	if s.fpOK {
+		s.fpAdd(c.hash128())
+	}
+	if s.maskOK {
+		lm, lf := dpl.FvData(c.L)
+		rm, rf := dpl.FvData(c.R)
+		s.subMask = append(s.subMask, [2]uint64{lm, rm})
+		s.subFvs = append(s.subFvs, [2][]string{lf, rf})
+	}
 	s.Subsets = append(s.Subsets, c)
+}
+
+// Fingerprint returns a canonical, order-independent identifier of the
+// system's conjunct set: two systems with the same conjuncts (in any
+// order) share a fingerprint. Conjunct keys are built from interned
+// expression keys, so the cost is one sort plus concatenation. This is
+// the exact (collision-free) form; the solver's memo tables use the
+// cheaper Fingerprint128.
+func (s *System) Fingerprint() string {
+	parts := make([]string, 0, len(s.Preds)+len(s.Subsets))
+	for _, p := range s.Preds {
+		parts = append(parts, p.Key())
+	}
+	for _, c := range s.Subsets {
+		parts = append(parts, c.Key())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\n")
+}
+
+// mix64 is the splitmix64 finalizer, used to whiten conjunct hashes so
+// the fingerprint's wrapping sum sees near-random contributions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hash128 combines the interned expression hashes with the predicate
+// kind and region into one whitened conjunct contribution.
+func (p Pred) hash128() [2]uint64 {
+	eh := dpl.Hash128(p.E)
+	rh := dpl.HashString128(p.Region)
+	k := uint64(p.Kind) + 1
+	return [2]uint64{
+		mix64(eh[0] ^ rh[0]*0x9e3779b97f4a7c15 ^ k*0xa24baed4963ee407),
+		mix64(eh[1] ^ rh[1]*0xc2b2ae3d27d4eb4f ^ k*0x165667b19e3779f9),
+	}
+}
+
+// hash128 combines the side hashes asymmetrically (L ⊆ R and R ⊆ L must
+// differ) into one whitened conjunct contribution.
+func (c Subset) hash128() [2]uint64 {
+	lh, rh := dpl.Hash128(c.L), dpl.Hash128(c.R)
+	return [2]uint64{
+		mix64(lh[0]*0x9e3779b97f4a7c15 ^ rh[0] ^ 0xd6e8feb86659fd93),
+		mix64(lh[1]*0xc2b2ae3d27d4eb4f ^ rh[1] ^ 0xff51afd7ed558ccd),
+	}
+}
+
+// fpAdd and fpSub update the incremental fingerprint; the per-limb
+// wrapping sum makes conjunct addition and removal commutative inverses.
+func (s *System) fpAdd(h [2]uint64) { s.fp[0] += h[0]; s.fp[1] += h[1] }
+func (s *System) fpSub(h [2]uint64) { s.fp[0] -= h[0]; s.fp[1] -= h[1] }
+
+// Fingerprint128 returns a 128-bit order-independent fingerprint of the
+// system's conjunct multiset: the wrapping sum of whitened per-conjunct
+// hashes. Computed lazily in one pass, then maintained incrementally by
+// the trail mutators, so the solver's per-node memo lookups are O(1).
+// Two systems with the same conjuncts (in any order) share the value;
+// distinct conjunct multisets collide with probability ~2^-128, which
+// the solver's memo tables accept.
+func (s *System) Fingerprint128() [2]uint64 {
+	if !s.fpOK {
+		var f [2]uint64
+		for _, p := range s.Preds {
+			h := p.hash128()
+			f[0] += h[0]
+			f[1] += h[1]
+		}
+		for _, c := range s.Subsets {
+			h := c.hash128()
+			f[0] += h[0]
+			f[1] += h[1]
+		}
+		s.fp, s.fpOK = f, true
+	}
+	return s.fp
 }
 
 // Subst replaces a partition symbol with an expression throughout the
@@ -116,14 +396,10 @@ func (s *System) AddSubset(c Subset) {
 // symbol can newly collide, so only those are checked (against the
 // whole list).
 func (s *System) Subst(name string, e dpl.Expr) {
-	mentions := func(x dpl.Expr) bool {
-		for _, v := range dpl.FreeVars(x) {
-			if v == name {
-				return true
-			}
-		}
-		return false
-	}
+	s.invalidate()
+	s.fpOK = false
+	s.maskOK = false
+	mentions := func(x dpl.Expr) bool { return dpl.Mentions(x, name) }
 
 	predChanged := make([]bool, len(s.Preds))
 	for i := range s.Preds {
@@ -182,64 +458,149 @@ func (s *System) Subst(name string, e dpl.Expr) {
 	s.Subsets = out
 }
 
-// Symbols returns all partition symbols appearing in the system, sorted.
-func (s *System) Symbols() []string {
-	seen := map[string]bool{}
-	add := func(e dpl.Expr) {
-		for _, v := range dpl.FreeVars(e) {
-			seen[v] = true
+// RenamedSyms returns a copy of the system with a simultaneous
+// symbol-to-symbol renaming applied, dropping resulting tautologies and
+// duplicates exactly as repeated Subst calls would (simultaneous and
+// sequential application agree whenever no renamed-to symbol is itself
+// renamed — callers must ensure that). One pass over the system replaces
+// one full Subst pass per renamed symbol.
+func (s *System) RenamedSyms(renames map[string]string) *System {
+	out := &System{
+		Preds:   make([]Pred, 0, len(s.Preds)),
+		Subsets: make([]Subset, 0, len(s.Subsets)),
+	}
+	predChanged := make([]bool, 0, len(s.Preds))
+	kept := 0
+	for _, p := range s.Preds {
+		e := dpl.RenameVars(p.E, renames)
+		changed := !dpl.Equal(e, p.E)
+		p.E = e
+		dup := false
+		for j := 0; j < kept; j++ {
+			q := out.Preds[j]
+			if (changed || predChanged[j]) && q.Kind == p.Kind && q.Region == p.Region && dpl.Equal(q.E, p.E) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out.Preds = append(out.Preds, p)
+			predChanged = append(predChanged, changed)
+			kept++
 		}
 	}
+	subChanged := make([]bool, 0, len(s.Subsets))
+	kept = 0
+	for _, c := range s.Subsets {
+		l := dpl.RenameVars(c.L, renames)
+		r := dpl.RenameVars(c.R, renames)
+		changed := !dpl.Equal(l, c.L) || !dpl.Equal(r, c.R)
+		c.L, c.R = l, r
+		if dpl.Equal(c.L, c.R) {
+			continue
+		}
+		dup := false
+		for j := 0; j < kept; j++ {
+			q := out.Subsets[j]
+			if (changed || subChanged[j]) && dpl.Equal(q.L, c.L) && dpl.Equal(q.R, c.R) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out.Subsets = append(out.Subsets, c)
+			subChanged = append(subChanged, changed)
+			kept++
+		}
+	}
+	return out
+}
+
+// Symbols returns all partition symbols appearing in the system, sorted.
+// It concatenates the interned per-expression free-variable lists and
+// sorts once — cheaper than map-based dedup for the call frequency this
+// sees (every graph build and solvability check walks the symbols).
+func (s *System) Symbols() []string {
+	n := 0
 	for _, p := range s.Preds {
-		add(p.E)
+		n += len(dpl.FreeVars(p.E))
 	}
 	for _, c := range s.Subsets {
-		add(c.L)
-		add(c.R)
+		n += len(dpl.FreeVars(c.L)) + len(dpl.FreeVars(c.R))
 	}
-	out := make([]string, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
+	all := make([]string, 0, n)
+	for _, p := range s.Preds {
+		all = append(all, dpl.FreeVars(p.E)...)
 	}
-	sort.Strings(out)
+	for _, c := range s.Subsets {
+		all = append(all, dpl.FreeVars(c.L)...)
+		all = append(all, dpl.FreeVars(c.R)...)
+	}
+	sort.Strings(all)
+	out := all[:0]
+	for _, v := range all {
+		if len(out) == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
 	return out
 }
 
 // PartOf returns the region of each symbol P that has a PART(P, R)
-// predicate; the map feeds dpl.RegionOf.
+// predicate; the map feeds dpl.RegionOf. The returned map is a copy the
+// caller may extend.
 func (s *System) PartOf() map[string]string {
-	out := map[string]string{}
-	for _, p := range s.Preds {
-		if p.Kind == Part {
-			if v, ok := p.E.(dpl.Var); ok {
-				out[v.Name] = p.Region
-			}
-		}
+	idx := s.ensureIdx()
+	out := make(map[string]string, len(idx.partOf))
+	for k, v := range idx.partOf {
+		out[k] = v
 	}
 	return out
 }
 
+// partOfShared returns the index's symbol→region map itself, avoiding
+// PartOf's defensive copy. Callers (same package only) must treat it as
+// read-only: the map is shared with the index and with clones.
+func (s *System) partOfShared() map[string]string {
+	return s.ensureIdx().partOf
+}
+
+// RegionOfSym returns the region of a symbol with a PART predicate
+// (index lookup, no map copy).
+func (s *System) RegionOfSym(symbol string) (string, bool) {
+	r, ok := s.ensureIdx().partOf[symbol]
+	return r, ok
+}
+
 // HasPred reports whether the system contains a predicate of the given
-// kind on a symbol.
+// kind on a symbol (index lookup).
 func (s *System) HasPred(kind PredKind, symbol string) bool {
-	for _, p := range s.Preds {
-		if p.Kind == kind {
-			if v, ok := p.E.(dpl.Var); ok && v.Name == symbol {
-				return true
-			}
-		}
+	idx := s.ensureIdx()
+	if kind == Part {
+		_, ok := idx.partOf[symbol]
+		return ok
 	}
-	return false
+	return idx.hasPred[predSig{kind, symbol}]
 }
 
 // SubsetsInto returns the subset constraints whose right-hand side is
-// exactly the symbol.
+// exactly the symbol, in system order (index lookup).
+// SubsetsIntoIdx returns the ascending indices into Subsets whose
+// right-hand side is exactly the symbol. The slice is shared with the
+// index: callers must treat it as read-only and must not hold it across
+// mutations.
+func (s *System) SubsetsIntoIdx(symbol string) []int {
+	return s.ensureIdx().subsetsInto[symbol]
+}
+
 func (s *System) SubsetsInto(symbol string) []Subset {
-	var out []Subset
-	for _, c := range s.Subsets {
-		if v, ok := c.R.(dpl.Var); ok && v.Name == symbol {
-			out = append(out, c)
-		}
+	ids := s.ensureIdx().subsetsInto[symbol]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]Subset, len(ids))
+	for i, j := range ids {
+		out[i] = s.Subsets[j]
 	}
 	return out
 }

@@ -12,7 +12,6 @@ package dpl
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -103,90 +102,43 @@ func (ImageMultiExpr) isExpr()    {}
 func (PreimageMultiExpr) isExpr() {}
 func (BinExpr) isExpr()           {}
 
-func (e Var) String() string       { return e.Name }
-func (e EqualExpr) String() string { return fmt.Sprintf("equal(%s)", e.Region) }
-func (e ImageExpr) String() string {
-	return fmt.Sprintf("image(%s, %s, %s)", e.Of, e.Func, e.Region)
-}
-func (e PreimageExpr) String() string {
-	return fmt.Sprintf("preimage(%s, %s, %s)", e.Region, e.Func, e.Of)
-}
-func (e ImageMultiExpr) String() string {
-	return fmt.Sprintf("IMAGE(%s, %s, %s)", e.Of, e.Func, e.Region)
-}
-func (e PreimageMultiExpr) String() string {
-	return fmt.Sprintf("PREIMAGE(%s, %s, %s)", e.Region, e.Func, e.Of)
-}
-func (e BinExpr) String() string {
-	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
-}
+// The String methods return the interned canonical rendering: computed
+// once per distinct expression, O(1) afterwards (see intern.go).
+func (e Var) String() string               { return e.Name }
+func (e EqualExpr) String() string         { return info(e).key }
+func (e ImageExpr) String() string         { return info(e).key }
+func (e PreimageExpr) String() string      { return info(e).key }
+func (e ImageMultiExpr) String() string    { return info(e).key }
+func (e PreimageMultiExpr) String() string { return info(e).key }
+func (e BinExpr) String() string           { return info(e).key }
 
-// Equal reports structural equality of two expressions.
+// Equal reports structural equality of two expressions. Every Expr
+// implementation is a comparable value struct, so structural equality is
+// exactly Go's interface equality — one recursive comparison with early
+// mismatch exit, no allocation.
 func Equal(a, b Expr) bool {
-	switch x := a.(type) {
-	case Var:
-		y, ok := b.(Var)
-		return ok && x == y
-	case EqualExpr:
-		y, ok := b.(EqualExpr)
-		return ok && x == y
-	case ImageExpr:
-		y, ok := b.(ImageExpr)
-		return ok && x.Func == y.Func && x.Region == y.Region && Equal(x.Of, y.Of)
-	case PreimageExpr:
-		y, ok := b.(PreimageExpr)
-		return ok && x.Func == y.Func && x.Region == y.Region && Equal(x.Of, y.Of)
-	case ImageMultiExpr:
-		y, ok := b.(ImageMultiExpr)
-		return ok && x.Func == y.Func && x.Region == y.Region && Equal(x.Of, y.Of)
-	case PreimageMultiExpr:
-		y, ok := b.(PreimageMultiExpr)
-		return ok && x.Func == y.Func && x.Region == y.Region && Equal(x.Of, y.Of)
-	case BinExpr:
-		y, ok := b.(BinExpr)
-		return ok && x.Op == y.Op && Equal(x.L, y.L) && Equal(x.R, y.R)
-	default:
+	if a == nil || b == nil {
 		return false
 	}
+	return a == b
 }
 
 // FreeVars returns the partition symbols occurring in e, sorted and
-// deduplicated.
-func FreeVars(e Expr) []string {
-	seen := map[string]bool{}
-	var walk func(Expr)
-	walk = func(e Expr) {
-		switch x := e.(type) {
-		case Var:
-			seen[x.Name] = true
-		case ImageExpr:
-			walk(x.Of)
-		case PreimageExpr:
-			walk(x.Of)
-		case ImageMultiExpr:
-			walk(x.Of)
-		case PreimageMultiExpr:
-			walk(x.Of)
-		case BinExpr:
-			walk(x.L)
-			walk(x.R)
-		}
-	}
-	walk(e)
-	vars := make([]string, 0, len(seen))
-	for v := range seen {
-		vars = append(vars, v)
-	}
-	sort.Strings(vars)
-	return vars
-}
+// deduplicated. The slice is interned and shared: callers must not
+// mutate it.
+func FreeVars(e Expr) []string { return info(e).fvs }
 
 // Closed reports whether e contains no partition symbols (the solver's
 // notion of a closed expression, Algorithm 2).
-func Closed(e Expr) bool { return len(FreeVars(e)) == 0 }
+func Closed(e Expr) bool { return len(info(e).fvs) == 0 }
 
 // Subst replaces every occurrence of the symbol name in e with repl.
+// Subtrees that do not mention the symbol (an interned-metadata check)
+// are returned unchanged without traversal.
 func Subst(e Expr, name string, repl Expr) Expr {
+	if !Mentions(e, name) {
+		return e
+	}
 	switch x := e.(type) {
 	case Var:
 		if x.Name == name {
@@ -208,24 +160,45 @@ func Subst(e Expr, name string, repl Expr) Expr {
 	}
 }
 
-// Size returns the number of AST nodes in e; used by solver heuristics to
-// prefer smaller solutions.
-func Size(e Expr) int {
+// RenameVars applies a simultaneous symbol-to-symbol renaming. It
+// returns e unchanged (no rebuild, no allocation) when e mentions none
+// of the renamed symbols. Equivalent to applying Subst once per entry
+// when no renamed-to symbol is itself renamed.
+func RenameVars(e Expr, renames map[string]string) Expr {
+	hit := false
+	for _, v := range FreeVars(e) {
+		if _, ok := renames[v]; ok {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return e
+	}
 	switch x := e.(type) {
+	case Var:
+		if to, ok := renames[x.Name]; ok {
+			return Var{Name: to}
+		}
+		return x
 	case ImageExpr:
-		return 1 + Size(x.Of)
+		return ImageExpr{Of: RenameVars(x.Of, renames), Func: x.Func, Region: x.Region}
 	case PreimageExpr:
-		return 1 + Size(x.Of)
+		return PreimageExpr{Region: x.Region, Func: x.Func, Of: RenameVars(x.Of, renames)}
 	case ImageMultiExpr:
-		return 1 + Size(x.Of)
+		return ImageMultiExpr{Of: RenameVars(x.Of, renames), Func: x.Func, Region: x.Region}
 	case PreimageMultiExpr:
-		return 1 + Size(x.Of)
+		return PreimageMultiExpr{Region: x.Region, Func: x.Func, Of: RenameVars(x.Of, renames)}
 	case BinExpr:
-		return 1 + Size(x.L) + Size(x.R)
+		return BinExpr{Op: x.Op, L: RenameVars(x.L, renames), R: RenameVars(x.R, renames)}
 	default:
-		return 1
+		return e
 	}
 }
+
+// Size returns the number of AST nodes in e; used by solver heuristics to
+// prefer smaller solutions. O(1) via the interned metadata.
+func Size(e Expr) int { return info(e).size }
 
 // RegionOf returns the region an expression partitions, given the regions
 // of free partition symbols (from PART predicates). ok is false when the
@@ -315,9 +288,11 @@ func UnionAll(es []Expr) Expr {
 }
 
 // Key returns a canonical string usable as a map key for structural
-// equality (String is injective for this AST since region, function and
-// symbol names cannot contain the syntax characters).
-func Key(e Expr) string { return e.String() }
+// equality (the rendering is injective for this AST since region,
+// function and symbol names cannot contain the syntax characters). The
+// string is interned: one O(size) construction per distinct expression,
+// O(1) afterwards.
+func Key(e Expr) string { return info(e).key }
 
 // JoinExprs renders a list of expressions for diagnostics.
 func JoinExprs(es []Expr, sep string) string {

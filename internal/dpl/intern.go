@@ -1,0 +1,271 @@
+package dpl
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Expression interning (hash-consing).
+//
+// Every Expr implementation is an immutable comparable value struct, so
+// Go's == on Expr interface values *is* structural equality. The interner
+// exploits that: a process-wide table maps each distinct expression value
+// to an exprInfo carrying everything the solver repeatedly recomputes —
+// the canonical string (Key/String), the sorted free-variable list, the
+// node count, and a stable numeric id used to fingerprint constraint
+// systems. Each is computed once per distinct expression instead of once
+// per query, which turns Key, FreeVars, Size, and Closed into O(1)
+// lookups on the solver's hot paths (Algorithm 2 backtracking, the
+// Algorithm 3 solvability checks).
+//
+// The table is an atomically published immutable snapshot (copied on
+// insert) and safe for concurrent use; the
+// parallel unification checks intern from multiple goroutines. Entries
+// are never evicted: the set of distinct expressions a compile builds is
+// small (hundreds), and a long-lived process compiling many programs
+// grows the table only with genuinely new expressions.
+
+// exprInfo is the interned metadata of one distinct expression value.
+type exprInfo struct {
+	// id is a process-unique identifier; equal expressions share it.
+	// Assignment order depends on evaluation order, so ids are stable
+	// within a process but not across runs — they feed in-memory
+	// fingerprints only, never persisted or printed output.
+	id uint64
+	// key is the canonical rendering (identical to the paper syntax the
+	// String methods produce).
+	key string
+	// fvs lists the free partition symbols, sorted and deduplicated.
+	// Callers must not mutate it.
+	fvs []string
+	// size is the AST node count.
+	size int
+	// h is a 128-bit content hash of the canonical key, computed from
+	// two independent FNV-1a passes. It feeds the constraint-system
+	// fingerprints: unlike id, it is stable across runs and independent
+	// of interning order.
+	h [2]uint64
+	// fvMask is a 64-bit Bloom filter over fvs (one SymBit per symbol).
+	// A clear bit certainly excludes a symbol; a set bit means "maybe".
+	fvMask uint64
+}
+
+// SymBit returns the Bloom-filter bit of a symbol name (FNV-1a of the
+// name reduced to one of 64 bit positions). Mask tests using it are
+// one-sided: mask&SymBit(name) == 0 proves name absent, a set bit only
+// suggests presence and callers must confirm with Mentions.
+func SymBit(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	return 1 << (h & 63)
+}
+
+// FvMask returns the interned free-variable Bloom mask of e. Mask zero
+// means e is ground (no free symbols) — that direction is exact.
+func FvMask(e Expr) uint64 { return info(e).fvMask }
+
+// FvData returns the mask and the free-variable list with a single
+// intern-table lookup, for callers caching both per conjunct. The slice
+// is interned and shared: callers must not mutate it.
+func FvData(e Expr) (uint64, []string) {
+	in := info(e)
+	return in.fvMask, in.fvs
+}
+
+// hash128 derives the two content hashes from the canonical key: FNV-1a
+// with the standard parameters, and a second pass with a different
+// offset basis and multiplier so collisions in one hash are independent
+// of collisions in the other.
+func hash128(key string) [2]uint64 {
+	const (
+		offset1 = 14695981039346656037
+		prime1  = 1099511628211
+		offset2 = 0x9e3779b97f4a7c15
+		prime2  = 0x00000100000001b5
+	)
+	h1, h2 := uint64(offset1), uint64(offset2)
+	for i := 0; i < len(key); i++ {
+		b := uint64(key[i])
+		h1 = (h1 ^ b) * prime1
+		h2 = (h2 ^ b) * prime2
+	}
+	return [2]uint64{h1, h2}
+}
+
+// Hash128 returns the interned 128-bit content hash of e, stable across
+// processes (it depends only on the canonical rendering).
+func Hash128(e Expr) [2]uint64 { return info(e).h }
+
+// HashString128 hashes an arbitrary string with the same pair of hash
+// functions, for callers combining expression hashes with other fields
+// (e.g. predicate regions).
+func HashString128(s string) [2]uint64 { return hash128(s) }
+
+// The interning table is read on every Key/FreeVars/Mentions/FvMask
+// call — millions of times per compile — and written only when a
+// genuinely new expression appears (hundreds of times). It is therefore
+// published as an immutable map snapshot through an atomic pointer:
+// readers pay one atomic load and a map lookup, no lock. Writers copy
+// the whole table under a mutex (copy-on-write); after the first few
+// compile iterations the table is warm and writes stop entirely.
+var (
+	internMu  sync.Mutex // serializes writers only
+	internTab atomic.Pointer[map[Expr]*exprInfo]
+	internSeq uint64
+)
+
+func init() {
+	empty := map[Expr]*exprInfo{}
+	internTab.Store(&empty)
+}
+
+// info returns the interned metadata for e, computing and caching it on
+// first sight. e must be non-nil.
+func info(e Expr) *exprInfo {
+	if in, ok := (*internTab.Load())[e]; ok {
+		return in
+	}
+	in := computeInfo(e)
+	internMu.Lock()
+	old := *internTab.Load()
+	if prior, ok := old[e]; ok {
+		// Another goroutine interned the same expression first; keep its
+		// entry so the id stays unique per distinct expression.
+		internMu.Unlock()
+		return prior
+	}
+	internSeq++
+	in.id = internSeq
+	next := make(map[Expr]*exprInfo, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[e] = in
+	internTab.Store(&next)
+	internMu.Unlock()
+	return in
+}
+
+// computeInfo builds the metadata for e from its (recursively interned)
+// children. It runs outside the intern lock; duplicate concurrent
+// computation is harmless because insertion is first-writer-wins.
+func computeInfo(e Expr) *exprInfo {
+	in := computeInfoNoHash(e)
+	in.h = hash128(in.key)
+	for _, v := range in.fvs {
+		in.fvMask |= SymBit(v)
+	}
+	return in
+}
+
+func computeInfoNoHash(e Expr) *exprInfo {
+	var sb strings.Builder
+	switch x := e.(type) {
+	case Var:
+		return &exprInfo{key: x.Name, fvs: []string{x.Name}, size: 1}
+	case EqualExpr:
+		sb.WriteString("equal(")
+		sb.WriteString(x.Region)
+		sb.WriteString(")")
+		return &exprInfo{key: sb.String(), size: 1}
+	case ImageExpr:
+		of := info(x.Of)
+		sb.WriteString("image(")
+		sb.WriteString(of.key)
+		sb.WriteString(", ")
+		sb.WriteString(x.Func)
+		sb.WriteString(", ")
+		sb.WriteString(x.Region)
+		sb.WriteString(")")
+		return &exprInfo{key: sb.String(), fvs: of.fvs, size: 1 + of.size}
+	case PreimageExpr:
+		of := info(x.Of)
+		sb.WriteString("preimage(")
+		sb.WriteString(x.Region)
+		sb.WriteString(", ")
+		sb.WriteString(x.Func)
+		sb.WriteString(", ")
+		sb.WriteString(of.key)
+		sb.WriteString(")")
+		return &exprInfo{key: sb.String(), fvs: of.fvs, size: 1 + of.size}
+	case ImageMultiExpr:
+		of := info(x.Of)
+		sb.WriteString("IMAGE(")
+		sb.WriteString(of.key)
+		sb.WriteString(", ")
+		sb.WriteString(x.Func)
+		sb.WriteString(", ")
+		sb.WriteString(x.Region)
+		sb.WriteString(")")
+		return &exprInfo{key: sb.String(), fvs: of.fvs, size: 1 + of.size}
+	case PreimageMultiExpr:
+		of := info(x.Of)
+		sb.WriteString("PREIMAGE(")
+		sb.WriteString(x.Region)
+		sb.WriteString(", ")
+		sb.WriteString(x.Func)
+		sb.WriteString(", ")
+		sb.WriteString(of.key)
+		sb.WriteString(")")
+		return &exprInfo{key: sb.String(), fvs: of.fvs, size: 1 + of.size}
+	case BinExpr:
+		l, r := info(x.L), info(x.R)
+		sb.WriteString("(")
+		sb.WriteString(l.key)
+		sb.WriteString(" ")
+		sb.WriteString(x.Op.String())
+		sb.WriteString(" ")
+		sb.WriteString(r.key)
+		sb.WriteString(")")
+		return &exprInfo{key: sb.String(), fvs: mergeVars(l.fvs, r.fvs), size: 1 + l.size + r.size}
+	default:
+		// Unreachable: isExpr restricts implementations to this package.
+		return &exprInfo{key: "?", size: 1}
+	}
+}
+
+// mergeVars merges two sorted deduplicated symbol lists.
+func mergeVars(a, b []string) []string {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// ID returns the interned identifier of e: equal expressions share an id,
+// distinct expressions never do. Ids are stable within a process (they
+// feed constraint-system fingerprints) but not across runs.
+func ID(e Expr) uint64 { return info(e).id }
+
+// Mentions reports whether the symbol name occurs free in e, using the
+// interned (sorted) free-variable list.
+func Mentions(e Expr, name string) bool {
+	fvs := info(e).fvs
+	i := sort.SearchStrings(fvs, name)
+	return i < len(fvs) && fvs[i] == name
+}

@@ -5,9 +5,19 @@
 // Algorithm 3's unification of isomorphic constraint subgraphs across
 // loops, including unification against externally provided partitions
 // (§3.3).
+//
+// The solver's data-plane is built for speed without changing output:
+// expressions are hash-consed (package dpl), the working system is
+// mutated in place under an undo trail so a backtracking node costs
+// O(delta) instead of a full copy, solvability verdicts are memoized by
+// canonical system fingerprint, and Algorithm 3's per-round candidate
+// checks run in parallel on the shared worker pool with a deterministic
+// winner.
 package solver
 
 import (
+	"sync"
+
 	"autopart/internal/constraint"
 	"autopart/internal/dpl"
 	"autopart/internal/lang"
@@ -29,17 +39,37 @@ type Solution struct {
 	// ExternalSyms are the fixed symbols (§3.3) the program may
 	// reference but does not define.
 	ExternalSyms []string
+	// Stats reports the solver's cache and search activity.
+	Stats SolveStats
 }
 
-// Resolve returns the canonical symbol for an original symbol.
+// Resolve returns the canonical symbol for an original symbol. Canon
+// chains are followed with a hop bound so a malformed cyclic map
+// (a→b→a) terminates deterministically instead of looping forever.
 func (s *Solution) Resolve(sym string) string {
-	for {
+	for hops := 0; hops <= len(s.Canon); hops++ {
 		next, ok := s.Canon[sym]
 		if !ok || next == sym {
 			return sym
 		}
 		sym = next
 	}
+	return sym
+}
+
+// SolveStats counts cache and search activity across one Solver's
+// lifetime (every solvable check and solve run).
+type SolveStats struct {
+	// MemoHits/MemoMisses count solvability-verdict lookups by system
+	// fingerprint (Algorithm 3's candidate checks).
+	MemoHits, MemoMisses int
+	// ClosedHits/ClosedMisses count closed-conjunct verdict lookups
+	// (Algorithm 2's per-node early pruning).
+	ClosedHits, ClosedMisses int
+	// NodeHits counts search nodes cut by the refuted-subtree memo.
+	NodeHits int
+	// Nodes counts backtracking search nodes visited.
+	Nodes int
 }
 
 // extCandidate is a closed expression appearing in the external
@@ -54,14 +84,41 @@ type extCandidate struct {
 	comp   bool
 }
 
-// Solver holds the fixed context of one solving run.
+// Solver holds the fixed context of one solving run. The caches are
+// guarded by mu: parallel unification checks share them.
 type Solver struct {
 	external     *constraint.System
 	externalSyms map[string]bool
-	extCands     []extCandidate
-	// budget caps backtracking work; solving is reported as failed if
-	// exceeded (never hit by realistic systems).
+	// extMask is the union of the external symbols' Bloom bits
+	// (dpl.SymBit). An expression whose free-variable mask has bits
+	// outside extMask certainly contains a non-external symbol, so the
+	// hot closedness scans skip it without touching the intern table.
+	extMask  uint64
+	extCands []extCandidate
+	// budget caps backtracking work per Solve call; solving is reported
+	// as failed if exceeded (never hit by realistic systems). Each
+	// search carries its own countdown, so concurrent and nested
+	// searches never corrupt the configured cap.
 	budget int
+
+	mu sync.Mutex
+	// memo caches solvability verdicts by canonical 128-bit system
+	// fingerprint: Algorithm 3 re-checks near-identical merged systems
+	// many times per loop, and identical conjunct sets always produce
+	// the same verdict.
+	memo map[[2]uint64]bool
+	// closedMemo caches closed-conjunct check verdicts by system
+	// fingerprint, fail-fasting branches whose closed obligations were
+	// already refuted.
+	closedMemo map[[2]uint64]bool
+	// nodeMemo records working systems (post closed-conjunct consumption)
+	// whose entire search subtree was refuted without running out of
+	// budget. Refutation means every rule candidate failed — a property
+	// of the conjunct set, not the visit order — so later searches
+	// reaching the same system (Algorithm 3 re-solves many near-identical
+	// merges) fail on one fingerprint lookup instead of re-exploring.
+	nodeMemo map[[2]uint64]bool
+	stats    SolveStats
 }
 
 // New creates a solver with external assumptions (may be nil).
@@ -70,15 +127,37 @@ func New(external *constraint.System, externalSyms []string) *Solver {
 		external:     external,
 		externalSyms: map[string]bool{},
 		budget:       200000,
+		memo:         map[[2]uint64]bool{},
+		closedMemo:   map[[2]uint64]bool{},
+		nodeMemo:     map[[2]uint64]bool{},
 	}
 	if external == nil {
 		s.external = &constraint.System{}
 	}
 	for _, sym := range externalSyms {
 		s.externalSyms[sym] = true
+		s.extMask |= dpl.SymBit(sym)
 	}
 	s.collectExternalCandidates()
+	// Pre-warm the external system's index: parallel solvability checks
+	// read it concurrently, and the lazy build is not itself
+	// synchronized.
+	s.external.RegionOfSym("")
 	return s
+}
+
+// SetBudget overrides the per-Solve backtracking node cap. Each Solve
+// call hands its search a private countdown initialized from the
+// configured cap, so an exhausted run never dents the budget of later
+// runs; the setter exists for tests and for callers tuning the cap to
+// adversarial inputs.
+func (s *Solver) SetBudget(n int) { s.budget = n }
+
+// Stats returns a snapshot of the solver's cache and search counters.
+func (s *Solver) Stats() SolveStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
 }
 
 // collectExternalCandidates gathers the compound expressions of external
@@ -157,10 +236,70 @@ func (s *Solver) closed(e dpl.Expr) bool {
 	return true
 }
 
+// closedM is closed with a Bloom-mask fast path: mask bits outside
+// extMask prove a non-external free symbol, skipping the exact check.
+// mask must be e's free-variable mask (dpl.FvMask).
+func (s *Solver) closedM(mask uint64, e dpl.Expr) bool {
+	if mask&^s.extMask != 0 {
+		return false
+	}
+	return s.closed(e)
+}
+
+// closedMF is closedM over a system's cached per-conjunct free-variable
+// list (System.PredFvs/SubsetFvs): same verdict, but the exact check
+// walks the cached list instead of re-hashing the expression into the
+// intern table.
+func (s *Solver) closedMF(mask uint64, fvs []string) bool {
+	if mask&^s.extMask != 0 {
+		return false
+	}
+	for _, v := range fvs {
+		if !s.externalSyms[v] {
+			return false
+		}
+	}
+	return true
+}
+
 // equation is one P = E assignment of the partial solution.
 type equation struct {
 	name string
 	expr dpl.Expr
+}
+
+// search is one backtracking run of Algorithm 2 over one working system.
+// It owns its budget countdown and undo trail, so concurrent searches
+// (the parallel Algorithm 3 checks) are fully isolated; only the memo
+// lookups go through the shared, locked Solver caches.
+type search struct {
+	s     *Solver
+	c     *constraint.System
+	trail *constraint.Trail
+	// budget is the remaining node allowance for this search.
+	budget int
+	// exhausted is set once the budget hits zero: failures after that
+	// point may be budget-caused, so they are never recorded as
+	// refutations in the node memo.
+	exhausted bool
+	// local stat counters, folded into Solver.stats when the search ends.
+	nodes, closedHits, closedMisses, nodeHits int
+}
+
+// newSearch prepares a search over a private clone of sys.
+func (s *Solver) newSearch(sys *constraint.System, budget int) *search {
+	work := sys.Clone()
+	return &search{s: s, c: work, trail: constraint.NewTrail(work), budget: budget}
+}
+
+// finish folds the search's local counters into the solver stats.
+func (sr *search) finish() {
+	sr.s.mu.Lock()
+	sr.s.stats.Nodes += sr.nodes
+	sr.s.stats.ClosedHits += sr.closedHits
+	sr.s.stats.ClosedMisses += sr.closedMisses
+	sr.s.stats.NodeHits += sr.nodeHits
+	sr.s.mu.Unlock()
 }
 
 // Solve resolves a single constraint system: it synthesizes a DPL
@@ -168,10 +307,11 @@ type equation struct {
 // strengthened system passes the consistency check. The returned program
 // is in resolution order, before CSE.
 func (s *Solver) Solve(sys *constraint.System) (dpl.Program, error) {
-	work := sys.Clone()
 	// The external assumptions participate as hypotheses but their
 	// symbols are never assigned.
-	eqs, ok := s.solve(work, nil, s.unresolved(work))
+	sr := s.newSearch(sys, s.budget)
+	eqs, ok := sr.solve(nil, s.unresolved(sr.c))
+	sr.finish()
 	if !ok {
 		return dpl.Program{}, lang.Errorf("S001", lang.Span{}, "solver: no solution for constraint system:\n%s", sys)
 	}
@@ -197,28 +337,41 @@ func (s *Solver) unresolved(c *constraint.System) []string {
 // chain of subset constraints E1 ⊆ ... ⊆ Ek ⊆ P, where closed
 // expressions have depth 0. Cycles (possible after unification) are
 // cut by bounding iteration.
-func (s *Solver) depths(c *constraint.System, syms []string) map[string]int {
+func (sr *search) depths(syms []string) map[string]int {
+	c := sr.c
 	depth := make(map[string]int, len(syms))
 	for _, sym := range syms {
 		depth[sym] = 0
 	}
-	exprDepth := func(e dpl.Expr) int {
+	fvsDepth := func(fvs []string) int {
 		d := 0
-		for _, v := range dpl.FreeVars(e) {
+		for _, v := range fvs {
 			if dv, ok := depth[v]; ok && dv > d {
 				d = dv
 			}
 		}
 		return d
 	}
+	// A left-hand side whose mask shares no bits with the unresolved
+	// symbols certainly has depth 0 — skip its free-variable walk.
+	var symsMask uint64
+	for _, sym := range syms {
+		symsMask |= dpl.SymBit(sym)
+	}
+	subMasks := c.SubsetMasks()
+	subFvs := c.SubsetFvs()
 	for iter := 0; iter <= len(syms); iter++ {
 		changed := false
-		for _, sub := range c.Subsets {
+		for i, sub := range c.Subsets {
 			to, ok := sub.R.(dpl.Var)
-			if !ok || s.externalSyms[to.Name] {
+			if !ok || sr.s.externalSyms[to.Name] {
 				continue
 			}
-			if d := exprDepth(sub.L) + 1; d > depth[to.Name] {
+			d := 1
+			if subMasks[i][0]&symsMask != 0 {
+				d = fvsDepth(subFvs[i][0]) + 1
+			}
+			if d > depth[to.Name] {
 				depth[to.Name] = d
 				changed = true
 			}
@@ -230,51 +383,83 @@ func (s *Solver) depths(c *constraint.System, syms []string) map[string]int {
 	return depth
 }
 
+// regionOf resolves a symbol's region from the working system's PART
+// predicates, falling back to the external assumptions.
+func (sr *search) regionOf(sym string) (string, bool) {
+	if r, ok := sr.c.RegionOfSym(sym); ok {
+		return r, true
+	}
+	return sr.s.external.RegionOfSym(sym)
+}
+
 // solve is Algorithm 2: pick a remaining symbol, attempt an equation,
 // recurse; backtrack on failure. syms is the current unresolved symbol
 // list (every assignment is a closed expression, so the list simply
-// loses the assigned name at each step).
-func (s *Solver) solve(c *constraint.System, sol []equation, syms []string) ([]equation, bool) {
-	if s.budget <= 0 {
+// loses the assigned name at each step). The working system is mutated
+// in place; every failed attempt is rewound through the trail, so on
+// failure the system is exactly as the caller left it.
+func (sr *search) solve(sol []equation, syms []string) ([]equation, bool) {
+	if sr.budget <= 0 {
+		sr.exhausted = true
 		return nil, false
 	}
-	s.budget--
+	sr.budget--
+	sr.nodes++
+	c, s := sr.c, sr.s
 
 	// Early pruning: a fully-closed conjunct can only be discharged by
 	// the lemmas and the current hypotheses; if it is already
 	// unprovable, no further assignment will save this branch. Verified
 	// conjuncts are consumed so each is proven once per path — this is
 	// what keeps backtracking tractable on many-loop programs.
-	if !s.consumeClosedConjuncts(c) {
+	entry := sr.trail.Mark()
+	if !sr.consumeClosedConjuncts() {
+		sr.trail.UndoTo(entry)
 		return nil, false
 	}
 
-	partOf := s.combinedPartOf(c)
+	// Refuted-subtree memo: if an earlier (completed) exploration of this
+	// exact conjunct set failed, every rule candidate below fails again.
+	fp := c.Fingerprint128()
+	s.mu.Lock()
+	refuted := s.nodeMemo[fp]
+	s.mu.Unlock()
+	if refuted {
+		sr.nodeHits++
+		sr.trail.UndoTo(entry)
+		return nil, false
+	}
 
 	try := func(name string, expr dpl.Expr) ([]equation, bool) {
-		next := c.Clone()
-		next.Subst(name, expr)
+		m := sr.trail.Mark()
+		c.SubstT(sr.trail, name, expr)
 		rest := make([]string, 0, len(syms)-1)
 		for _, v := range syms {
 			if v != name {
 				rest = append(rest, v)
 			}
 		}
-		return s.solve(next, append(sol, equation{name, expr}), rest)
+		next, ok := sr.solve(append(sol, equation{name, expr}), rest)
+		if !ok {
+			sr.trail.UndoTo(m)
+		}
+		return next, ok
 	}
 
 	// Rule 1 (lines 11–15): image(P, f, R) ⊆ E with closed E resolves P
 	// to a preimage (L14). Generalized IMAGE is excluded (L14 invalid).
-	for _, sub := range c.Subsets {
+	subMasks := c.SubsetMasks()
+	subFvs := c.SubsetFvs()
+	for i, sub := range c.Subsets {
 		imgExpr, ok := sub.L.(dpl.ImageExpr)
-		if !ok || !s.closed(sub.R) {
+		if !ok || !s.closedMF(subMasks[i][1], subFvs[i][1]) {
 			continue
 		}
 		p, ok := imgExpr.Of.(dpl.Var)
 		if !ok || s.externalSyms[p.Name] {
 			continue
 		}
-		srcRegion, ok := partOf[p.Name]
+		srcRegion, ok := c.RegionOfSym(p.Name)
 		if !ok {
 			continue
 		}
@@ -287,21 +472,22 @@ func (s *Solver) solve(c *constraint.System, sol []equation, syms []string) ([]e
 	// Rule 2 (lines 16–18): a symbol whose incoming subset constraints
 	// all have closed left-hand sides resolves to their union (L13).
 	for _, sym := range syms {
-		into := c.SubsetsInto(sym)
+		into := c.SubsetsIntoIdx(sym)
 		if len(into) == 0 {
 			continue
 		}
 		allClosed := true
 		lowers := make([]dpl.Expr, 0, len(into))
 		seen := map[string]bool{}
-		for _, sub := range into {
-			if !s.closed(sub.L) {
+		for _, j := range into {
+			l := c.Subsets[j].L
+			if !s.closedMF(subMasks[j][0], subFvs[j][0]) {
 				allClosed = false
 				break
 			}
-			if key := dpl.Key(sub.L); !seen[key] {
+			if key := dpl.Key(l); !seen[key] {
 				seen[key] = true
-				lowers = append(lowers, sub.L)
+				lowers = append(lowers, l)
 			}
 		}
 		if !allClosed {
@@ -317,7 +503,9 @@ func (s *Solver) solve(c *constraint.System, sol []equation, syms []string) ([]e
 	// ones: disjointness flows right-to-left through subset constraints
 	// (insight 3), so disjoint reduction targets must resolve before the
 	// iteration partitions whose preimage unions depend on them.
-	depth := s.depths(c, syms)
+	// (Depths are computed only here: nodes resolved by rule 1 or 2
+	// never pay for them.)
+	depth := sr.depths(syms)
 	maxDepth := 0
 	for _, d := range depth {
 		if d > maxDepth {
@@ -329,7 +517,7 @@ func (s *Solver) solve(c *constraint.System, sol []equation, syms []string) ([]e
 			if depth[sym] != d || !c.HasPred(constraint.Disj, sym) {
 				continue
 			}
-			region, ok := partOf[sym]
+			region, ok := sr.regionOf(sym)
 			if !ok {
 				continue
 			}
@@ -357,7 +545,7 @@ func (s *Solver) solve(c *constraint.System, sol []equation, syms []string) ([]e
 			if depth[sym] != d || !c.HasPred(constraint.Comp, sym) || c.HasPred(constraint.Disj, sym) {
 				continue
 			}
-			region, ok := partOf[sym]
+			region, ok := sr.regionOf(sym)
 			if !ok {
 				continue
 			}
@@ -378,102 +566,114 @@ func (s *Solver) solve(c *constraint.System, sol []equation, syms []string) ([]e
 	// No rule applies: the system is resolved iff no symbols remain and
 	// every conjunct is entailed (lines 27–29).
 	if len(syms) > 0 {
+		sr.noteRefuted(fp)
+		sr.trail.UndoTo(entry)
 		return nil, false
 	}
 	if ok, _ := constraint.CheckResolved(c, s.external); !ok {
+		sr.noteRefuted(fp)
+		sr.trail.UndoTo(entry)
 		return nil, false
 	}
 	return sol, true
 }
 
+// noteRefuted records a completed refutation of the current node's
+// conjunct set. Skipped once the search has run out of budget: from then
+// on failures may be budget-caused rather than genuine, and caching them
+// could wrongly refute the same system under a fresh budget.
+func (sr *search) noteRefuted(fp [2]uint64) {
+	if sr.exhausted {
+		return
+	}
+	sr.s.mu.Lock()
+	sr.s.nodeMemo[fp] = true
+	sr.s.mu.Unlock()
+}
+
 // consumeClosedConjuncts verifies every conjunct without free
 // non-external symbols against the current hypotheses, removing the
-// verified ones from c (they never change again, so proving each once
-// per path suffices). It reports false when any closed conjunct is
-// unprovable.
-func (s *Solver) consumeClosedConjuncts(c *constraint.System) bool {
+// verified ones from the working system (they never change again, so
+// proving each once per path suffices). It reports false when any closed
+// conjunct is unprovable. Verdicts are memoized by system fingerprint:
+// the proof obligations are a deterministic function of the system and
+// the fixed external assumptions, and Algorithm 3's candidate checks
+// revisit the same systems many times — a refuted closed-conjunct set
+// fails on fingerprint lookup alone.
+func (sr *search) consumeClosedConjuncts() bool {
+	c, s := sr.c, sr.s
 	var closedSubIdx, closedPredIdx []int
-	for i, sub := range c.Subsets {
-		if s.closed(sub.L) && s.closed(sub.R) {
+	subMasks := c.SubsetMasks()
+	subFvs := c.SubsetFvs()
+	for i := range c.Subsets {
+		if s.closedMF(subMasks[i][0], subFvs[i][0]) && s.closedMF(subMasks[i][1], subFvs[i][1]) {
 			closedSubIdx = append(closedSubIdx, i)
 		}
 	}
+	predMasks := c.PredMasks()
+	predFvs := c.PredFvs()
 	for i, p := range c.Preds {
 		if _, isVar := p.E.(dpl.Var); isVar {
 			// Predicates on bare external symbols are assumptions;
 			// PART-on-Var stays as region-typing info.
 			continue
 		}
-		if s.closed(p.E) && p.Kind != constraint.Part {
+		if p.Kind != constraint.Part && s.closedMF(predMasks[i], predFvs[i]) {
 			closedPredIdx = append(closedPredIdx, i)
 		}
 	}
 	if len(closedSubIdx) == 0 && len(closedPredIdx) == 0 {
 		return true
 	}
-	combined := c.Clone()
-	combined.And(s.external)
-	// Goal predicates must not serve as their own hypotheses: build the
-	// predicate prover over the system without the candidates.
-	rest := &constraint.System{Subsets: combined.Subsets}
-	candidate := map[int]bool{}
-	for _, i := range closedPredIdx {
-		candidate[i] = true
+
+	fp := c.Fingerprint128()
+	s.mu.Lock()
+	verdict, cached := s.closedMemo[fp]
+	if cached {
+		sr.closedHits++
+	} else {
+		sr.closedMisses++
 	}
-	for i, p := range combined.Preds {
-		if i < len(c.Preds) && candidate[i] {
-			continue
-		}
-		rest.Preds = append(rest.Preds, p)
+	s.mu.Unlock()
+	if !cached {
+		verdict = sr.proveClosedConjuncts(closedPredIdx, closedSubIdx)
+		s.mu.Lock()
+		s.closedMemo[fp] = verdict
+		s.mu.Unlock()
 	}
-	predProver := constraint.NewProver(rest)
-	for _, i := range closedPredIdx {
-		if !predProver.ProvePred(c.Preds[i]) {
-			return false
-		}
+	if !verdict {
+		return false
 	}
-	base := constraint.NewProver(combined)
-	for _, i := range closedSubIdx {
-		if !base.WithoutSubset(c.Subsets[i]).ProveSubset(c.Subsets[i]) {
-			return false
-		}
-	}
-	// All verified: consume them.
-	if len(closedPredIdx) > 0 {
-		keep := c.Preds[:0]
-		next := 0
-		for i, p := range c.Preds {
-			if next < len(closedPredIdx) && closedPredIdx[next] == i {
-				next++
-				continue
-			}
-			keep = append(keep, p)
-		}
-		c.Preds = keep
-	}
-	if len(closedSubIdx) > 0 {
-		keep := c.Subsets[:0]
-		next := 0
-		for i, sub := range c.Subsets {
-			if next < len(closedSubIdx) && closedSubIdx[next] == i {
-				next++
-				continue
-			}
-			keep = append(keep, sub)
-		}
-		c.Subsets = keep
-	}
+	// All verified: consume them (trail-recorded, rewound on backtrack).
+	c.RemovePredsT(sr.trail, closedPredIdx)
+	c.RemoveSubsetsT(sr.trail, closedSubIdx)
 	return true
 }
 
-// combinedPartOf merges PART information from the working system and the
-// external assumptions.
-func (s *Solver) combinedPartOf(c *constraint.System) map[string]string {
-	partOf := c.PartOf()
-	for sym, region := range s.external.PartOf() {
-		if _, exists := partOf[sym]; !exists {
-			partOf[sym] = region
+// proveClosedConjuncts runs the actual lemma proofs behind
+// consumeClosedConjuncts' memo.
+func (sr *search) proveClosedConjuncts(closedPredIdx, closedSubIdx []int) bool {
+	c, s := sr.c, sr.s
+	// One prover over "working system plus external assumptions", built
+	// without materializing the conjunction. Goal predicates must not
+	// serve as their own hypotheses: drop their occurrences up front,
+	// restore them before the subset proofs (which may use them).
+	prover := constraint.NewProverOver(c, s.external)
+	for _, i := range closedPredIdx {
+		prover.ExcludePredOnce(c.Preds[i])
+	}
+	for _, i := range closedPredIdx {
+		if !prover.ProvePred(c.Preds[i]) {
+			return false
 		}
 	}
-	return partOf
+	for _, i := range closedPredIdx {
+		prover.RestorePredOnce(c.Preds[i])
+	}
+	for _, i := range closedSubIdx {
+		if !prover.WithoutSubset(c.Subsets[i]).ProveSubset(c.Subsets[i]) {
+			return false
+		}
+	}
+	return true
 }

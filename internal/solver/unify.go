@@ -7,15 +7,37 @@ import (
 	"autopart/internal/dpl"
 	"autopart/internal/infer"
 	"autopart/internal/lang"
+	"autopart/internal/par"
 )
 
+// solvableBudget caps each Algorithm 3 candidate check: checks only need
+// a yes/no, so they get a much smaller node allowance than a full Solve.
+const solvableBudget = 20000
+
 // solvable runs a full solve on a candidate system (Algorithm 3 line 13).
+// Verdicts are memoized by canonical system fingerprint: the per-round
+// candidates differ only in a few renamed conjuncts, and later rounds
+// (and later systems) re-produce merged systems checked before. The
+// verdict is a deterministic function of the conjunct set and the
+// solver's fixed external assumptions, so the cache is sound. Each miss
+// runs an isolated search (own budget, own working clone), making
+// concurrent calls safe.
 func (s *Solver) solvable(sys *constraint.System) bool {
-	saved := s.budget
-	s.budget = 20000
-	work := sys.Clone()
-	_, ok := s.solve(work, nil, s.unresolved(work))
-	s.budget = saved
+	fp := sys.Fingerprint128()
+	s.mu.Lock()
+	if v, hit := s.memo[fp]; hit {
+		s.stats.MemoHits++
+		s.mu.Unlock()
+		return v
+	}
+	s.stats.MemoMisses++
+	s.mu.Unlock()
+	sr := s.newSearch(sys, solvableBudget)
+	_, ok := sr.solve(nil, s.unresolved(sr.c))
+	sr.finish()
+	s.mu.Lock()
+	s.memo[fp] = ok
+	s.mu.Unlock()
 	return ok
 }
 
@@ -41,26 +63,175 @@ func (s *Solver) UnifyAndSolve(systems []*constraint.System) (*constraint.System
 	combined := &constraint.System{}
 	accGraphSys := s.external.Clone()
 
+	// The accumulated graph is rebuilt only when accGraphSys actually
+	// changes. The systems flowing through accGraphSys are never mutated
+	// after construction (growCombined and mergeWithBase hand out fresh
+	// headers whenever content grows), so pointer identity is a sound
+	// cache key. Most loops contribute nothing novel, making the big
+	// accumulated graph fully reusable across them.
+	var cachedAccGraph *constraint.Graph
+	var cachedAccFor *constraint.System
+	accGraphOf := func(sys *constraint.System) *constraint.Graph {
+		if cachedAccFor != sys {
+			cachedAccGraph = constraint.BuildGraph(sys)
+			cachedAccFor = sys
+		}
+		return cachedAccGraph
+	}
+
+	// §3.2 needs membership sets over the accumulated conjuncts: the
+	// baseline "already present" set (external ∪ combined) and combined's
+	// own set. Both grow monotonically — combined only ever appends — so
+	// they are maintained incrementally across the whole run instead of
+	// being rebuilt per system (which made unification quadratic in the
+	// accumulated size across many-loop programs). extCombined mirrors
+	// mergeSystems(external, combined): the deduplicated external
+	// conjuncts followed by combined's novel ones, in append order.
+	basePred := make(map[constraint.Pred]bool, len(s.external.Preds))
+	baseSub := make(map[constraint.Subset]bool, len(s.external.Subsets))
+	combinedPred := map[constraint.Pred]bool{}
+	combinedSub := map[constraint.Subset]bool{}
+	extCombined := &constraint.System{}
+	for _, q := range s.external.Preds {
+		if !basePred[q] {
+			basePred[q] = true
+			extCombined.Preds = append(extCombined.Preds, q)
+		}
+	}
+	for _, q := range s.external.Subsets {
+		if !dpl.Equal(q.L, q.R) && !baseSub[q] {
+			baseSub[q] = true
+			extCombined.Subsets = append(extCombined.Subsets, q)
+		}
+	}
+	// growCombined appends sys's novel, non-tautological conjuncts to
+	// combined and extCombined (replicating mergeSystems order), updating
+	// the membership sets. Grown systems get fresh System headers so
+	// lazily built caches (index, masks, fingerprint) never go stale;
+	// untouched ones keep their pointer, which the accumulated-graph
+	// cache below relies on.
+	growCombined := func(sys *constraint.System) {
+		nc, ne := len(combined.Preds)+len(combined.Subsets), len(extCombined.Preds)+len(extCombined.Subsets)
+		for _, q := range sys.Preds {
+			if !combinedPred[q] {
+				combinedPred[q] = true
+				combined.Preds = append(combined.Preds, q)
+				if !basePred[q] {
+					basePred[q] = true
+					extCombined.Preds = append(extCombined.Preds, q)
+				}
+			}
+		}
+		for _, q := range sys.Subsets {
+			if dpl.Equal(q.L, q.R) {
+				continue
+			}
+			if !combinedSub[q] {
+				combinedSub[q] = true
+				combined.Subsets = append(combined.Subsets, q)
+				if !baseSub[q] {
+					baseSub[q] = true
+					extCombined.Subsets = append(extCombined.Subsets, q)
+				}
+			}
+		}
+		if len(combined.Preds)+len(combined.Subsets) != nc {
+			combined = &constraint.System{Preds: combined.Preds, Subsets: combined.Subsets}
+		}
+		if len(extCombined.Preds)+len(extCombined.Subsets) != ne {
+			extCombined = &constraint.System{Preds: extCombined.Preds, Subsets: extCombined.Subsets}
+		}
+	}
+
+	// deltaCounts reports how many conjuncts of sys are not in the
+	// baseline (deduplicated exactly as subtractSystem would). §3.2: only
+	// unifications that reduce the number of subset constraints are
+	// worthwhile; the external assumptions count as already present.
+	deltaCounts := func(sys *constraint.System) (subs, total int) {
+		predSeen := map[constraint.Pred]bool{}
+		for _, p := range sys.Preds {
+			if !basePred[p] && !predSeen[p] {
+				predSeen[p] = true
+				total++
+			}
+		}
+		subSeen := map[constraint.Subset]bool{}
+		for _, c := range sys.Subsets {
+			if dpl.Equal(c.L, c.R) {
+				continue
+			}
+			if !baseSub[c] && !subSeen[c] {
+				subSeen[c] = true
+				subs++
+				total++
+			}
+		}
+		return subs, total
+	}
+	// Candidate checks merge the fixed accumulated system with one small
+	// candidate each; the live membership sets mean every merge only pays
+	// for the candidate's side. combined is deduplicated and
+	// tautology-free by construction, so it copies over as a prefix
+	// verbatim.
+	mergeWithCombined := func(cand *constraint.System) *constraint.System {
+		out := &constraint.System{
+			Preds:   append(make([]constraint.Pred, 0, len(combined.Preds)+len(cand.Preds)), combined.Preds...),
+			Subsets: append(make([]constraint.Subset, 0, len(combined.Subsets)+len(cand.Subsets)), combined.Subsets...),
+		}
+		predSeen := map[constraint.Pred]bool{}
+		for _, p := range cand.Preds {
+			if !combinedPred[p] && !predSeen[p] {
+				predSeen[p] = true
+				out.Preds = append(out.Preds, p)
+			}
+		}
+		subSeen := map[constraint.Subset]bool{}
+		for _, c := range cand.Subsets {
+			if dpl.Equal(c.L, c.R) {
+				continue
+			}
+			if !combinedSub[c] && !subSeen[c] {
+				subSeen[c] = true
+				out.Subsets = append(out.Subsets, c)
+			}
+		}
+		return out
+	}
+
 	for _, cur := range ordered {
 		remaining := cur.Clone()
 		// Bound the unification rounds per system: each round runs full
 		// solvability checks, and in practice the first round or two find
 		// everything worth merging.
 		for round := 0; round < 4; round++ {
-			accGraph := constraint.BuildGraph(accGraphSys)
+			// Nothing left to unify: an empty remaining system yields an
+			// empty graph, no candidate mappings, and no winner — skip
+			// rebuilding the (large) accumulated graph just to find that.
+			if sysSize(remaining) == 0 {
+				break
+			}
+			accGraph := accGraphOf(accGraphSys)
 			curGraph := constraint.BuildGraph(remaining)
 			mappings := constraint.CommonSubgraphs(accGraph, curGraph)
 
-			applied := false
-			// Greedily try only the first few largest candidates (as the
-			// paper notes, the largest subgraphs usually contain the
-			// smaller ones, and each check runs a full solve).
+			// Greedily consider only the first few largest candidates (as
+			// the paper notes, the largest subgraphs usually contain the
+			// smaller ones, and each check runs a full solve). Candidate
+			// filtering runs sequentially in mapping order; the expensive
+			// solvability checks then run in parallel, and the winner is
+			// the first candidate in mapping order that passes — exactly
+			// the candidate the sequential greedy loop would commit.
 			const maxTries = 6
-			tries := 0
-			for _, m := range mappings {
-				if tries >= maxTries {
-					break
-				}
+			deltaBeforeSubs, _ := deltaCounts(remaining)
+			type unifyCand struct {
+				renames   map[string]string
+				candidate *constraint.System
+				auto      bool // all renamed conjuncts already present
+			}
+			// filterCand applies the rename filter and the §3.2 delta
+			// tests to one mapping; nil means the mapping is skipped
+			// without consuming a try.
+			filterCand := func(m constraint.Mapping) *unifyCand {
 				// Keep only fresh→existing renamings.
 				renames := map[string]string{}
 				for from, to := range m {
@@ -70,58 +241,108 @@ func (s *Solver) UnifyAndSolve(systems []*constraint.System) (*constraint.System
 					renames[from] = to
 				}
 				if len(renames) == 0 {
-					continue
+					return nil
 				}
 				candidate := applyRenames(remaining, renames)
-				// §3.2: only unifications that reduce the number of
-				// subset constraints are worthwhile. Compare what the
-				// system would newly contribute with and without the
-				// renaming (the external assumptions count as already
-				// present).
-				baseline := mergeSystems(s.external, combined)
-				deltaAfter := subtractSystem(candidate, baseline)
-				deltaBefore := subtractSystem(remaining, baseline)
-				if len(deltaAfter.Subsets) >= len(deltaBefore.Subsets) {
-					continue
+				deltaSubs, deltaTotal := deltaCounts(candidate)
+				if deltaSubs >= deltaBeforeSubs {
+					return nil
 				}
-				// When the renamed conjuncts are all already present, the
-				// merge changes nothing and no solvability check is
-				// needed — the common case for programs whose loops share
-				// structure (MiniAero's RK stages, PENNANT's phases).
-				if sysSize(deltaAfter) > 0 {
-					tries++
-					merged := mergeSystems(combined, candidate)
-					if !s.solvable(merged) {
+				// deltaTotal == 0: the renamed conjuncts are all already
+				// present, the merge changes nothing, and no solvability
+				// check is needed — the common case for programs whose
+				// loops share structure (MiniAero's RK stages, PENNANT's
+				// phases). The greedy loop always commits there, so no
+				// later mapping can be reached.
+				return &unifyCand{renames: renames, candidate: candidate, auto: deltaTotal == 0}
+			}
+			var winner *unifyCand
+			if par.Sequential() || par.Workers() == 1 {
+				// One worker: the original interleaved greedy loop, whose
+				// early exit on the first passing check skips building
+				// every later candidate.
+				tries := 0
+				for _, m := range mappings {
+					if tries >= maxTries {
+						break
+					}
+					cand := filterCand(m)
+					if cand == nil {
 						continue
 					}
+					if cand.auto {
+						winner = cand
+						break
+					}
+					tries++
+					if s.solvable(mergeWithCombined(cand.candidate)) {
+						winner = cand
+						break
+					}
 				}
-				// Commit this unification.
-				remaining = candidate
-				for from, to := range renames {
-					canon[from] = to
+			} else {
+				// Multiple workers: build the candidate list up front
+				// (cheap filters, sequential, in mapping order), check
+				// solvability concurrently, and pick the first passing
+				// candidate in mapping order — exactly the candidate the
+				// interleaved loop above would commit.
+				var checks []*unifyCand
+				var auto *unifyCand
+				for _, m := range mappings {
+					if len(checks) >= maxTries {
+						break
+					}
+					cand := filterCand(m)
+					if cand == nil {
+						continue
+					}
+					if cand.auto {
+						auto = cand
+						break
+					}
+					checks = append(checks, cand)
 				}
-				applied = true
+				oks := make([]bool, len(checks))
+				par.Do(len(checks), func(i int) {
+					oks[i] = s.solvable(mergeWithCombined(checks[i].candidate))
+				})
+				for i := range checks {
+					if oks[i] {
+						winner = checks[i]
+						break
+					}
+				}
+				if winner == nil {
+					winner = auto
+				}
+			}
+			if winner == nil {
 				break
 			}
-			if !applied {
-				break
+			// Commit this unification.
+			remaining = winner.candidate
+			for from, to := range winner.renames {
+				canon[from] = to
 			}
 			// Filter conjuncts already accumulated and keep looking for
-			// further common subgraphs (line 16 of Algorithm 3).
-			remaining = subtractSystem(remaining, combined)
-			accGraphSys = mergeSystems(s.external, combined, remaining)
+			// further common subgraphs (line 16 of Algorithm 3). The live
+			// membership sets stand in for a subtractSystem/mergeSystems
+			// pass over the accumulated conjuncts.
+			remaining = subtractSets(remaining, combinedPred, combinedSub)
+			accGraphSys = mergeWithBase(extCombined, remaining, basePred, baseSub)
 		}
-		combined = mergeSystems(combined, remaining)
-		accGraphSys = mergeSystems(s.external, combined)
+		growCombined(remaining)
+		accGraphSys = extCombined
 	}
 
 	// Resolve canonical chains (a symbol may have been renamed to a
-	// symbol that was itself renamed later... chains are short).
+	// symbol that was itself renamed later... chains are short). The hop
+	// bound guards against a cyclic map, which would otherwise hang.
 	for from := range canon {
 		to := canon[from]
-		for {
+		for hops := 0; hops <= len(canon); hops++ {
 			next, ok := canon[to]
-			if !ok {
+			if !ok || next == to {
 				break
 			}
 			to = next
@@ -131,57 +352,148 @@ func (s *Solver) UnifyAndSolve(systems []*constraint.System) (*constraint.System
 	return combined, canon, nil
 }
 
-// applyRenames substitutes symbols by symbols.
+// applyRenames substitutes symbols by symbols — simultaneously in the
+// common case (one pass over the system). When a renamed-to symbol is
+// itself renamed, simultaneous and chained application differ, so that
+// (never observed) case falls back to one Subst per entry, in sorted
+// order for determinism.
 func applyRenames(sys *constraint.System, renames map[string]string) *constraint.System {
-	out := sys.Clone()
-	for from, to := range renames {
-		out.Subst(from, dpl.Var{Name: to})
+	for _, to := range renames {
+		if _, chained := renames[to]; chained {
+			froms := make([]string, 0, len(renames))
+			for from := range renames {
+				froms = append(froms, from)
+			}
+			sort.Strings(froms)
+			out := sys.Clone()
+			for _, from := range froms {
+				out.Subst(from, dpl.Var{Name: renames[from]})
+			}
+			return out
+		}
 	}
-	return out
+	return sys.RenamedSyms(renames)
 }
 
-// mergeSystems conjoins systems with deduplication.
+// mergeSystems conjoins systems with deduplication. Pred and Subset are
+// comparable value structs whose expressions are structurally unique
+// under ==, so they serve as map keys directly — the merge is linear,
+// with no string building (constructing conjunct Keys here would cost
+// more than it saves).
 func mergeSystems(systems ...*constraint.System) *constraint.System {
 	out := &constraint.System{}
+	predSeen := map[constraint.Pred]bool{}
+	subSeen := map[constraint.Subset]bool{}
 	for _, sys := range systems {
 		if sys == nil {
 			continue
 		}
 		for _, p := range sys.Preds {
-			out.AddPred(p)
+			if !predSeen[p] {
+				predSeen[p] = true
+				out.Preds = append(out.Preds, p)
+			}
 		}
 		for _, c := range sys.Subsets {
-			out.AddSubset(c)
+			if dpl.Equal(c.L, c.R) {
+				continue
+			}
+			if !subSeen[c] {
+				subSeen[c] = true
+				out.Subsets = append(out.Subsets, c)
+			}
 		}
 	}
 	return out
 }
 
-// subtractSystem removes conjuncts of b from a.
-func subtractSystem(a, b *constraint.System) *constraint.System {
+// subtractSets is subtractSystem against precomputed membership sets
+// (the solver maintains combined's sets incrementally, so the per-commit
+// pass over the accumulated system disappears).
+func subtractSets(a *constraint.System, predB map[constraint.Pred]bool, subB map[constraint.Subset]bool) *constraint.System {
 	out := &constraint.System{}
+	predSeen := map[constraint.Pred]bool{}
 	for _, p := range a.Preds {
-		dup := false
-		for _, q := range b.Preds {
-			if p.Kind == q.Kind && p.Region == q.Region && dpl.Equal(p.E, q.E) {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out.AddPred(p)
+		if !predB[p] && !predSeen[p] {
+			predSeen[p] = true
+			out.Preds = append(out.Preds, p)
 		}
 	}
+	subSeen := map[constraint.Subset]bool{}
 	for _, c := range a.Subsets {
-		dup := false
-		for _, q := range b.Subsets {
-			if dpl.Equal(c.L, q.L) && dpl.Equal(c.R, q.R) {
-				dup = true
-				break
-			}
+		if dpl.Equal(c.L, c.R) {
+			continue
 		}
-		if !dup {
-			out.AddSubset(c)
+		if !subB[c] && !subSeen[c] {
+			subSeen[c] = true
+			out.Subsets = append(out.Subsets, c)
+		}
+	}
+	return out
+}
+
+// mergeWithBase conjoins prefix (already deduplicated) with add's
+// conjuncts not in the base membership sets — mergeSystems specialized
+// to the "accumulated system plus fresh remainder" shape so only the
+// small side pays dedup hashing.
+func mergeWithBase(prefix, add *constraint.System, basePred map[constraint.Pred]bool, baseSub map[constraint.Subset]bool) *constraint.System {
+	out := &constraint.System{
+		Preds:   append(make([]constraint.Pred, 0, len(prefix.Preds)+len(add.Preds)), prefix.Preds...),
+		Subsets: append(make([]constraint.Subset, 0, len(prefix.Subsets)+len(add.Subsets)), prefix.Subsets...),
+	}
+	predSeen := map[constraint.Pred]bool{}
+	for _, p := range add.Preds {
+		if !basePred[p] && !predSeen[p] {
+			predSeen[p] = true
+			out.Preds = append(out.Preds, p)
+		}
+	}
+	subSeen := map[constraint.Subset]bool{}
+	for _, c := range add.Subsets {
+		if dpl.Equal(c.L, c.R) {
+			continue
+		}
+		if !baseSub[c] && !subSeen[c] {
+			subSeen[c] = true
+			out.Subsets = append(out.Subsets, c)
+		}
+	}
+	if len(out.Preds) == len(prefix.Preds) && len(out.Subsets) == len(prefix.Subsets) {
+		// Nothing novel: hand back the prefix itself so pointer-keyed
+		// caches (the accumulated-graph cache) keep working.
+		return prefix
+	}
+	return out
+}
+
+// subtractSystem removes conjuncts of b from a (and deduplicates the
+// result, as the Add* methods it replaced did). Set membership over the
+// comparable conjunct structs makes it linear in the two systems.
+func subtractSystem(a, b *constraint.System) *constraint.System {
+	out := &constraint.System{}
+	predB := make(map[constraint.Pred]bool, len(b.Preds))
+	for _, q := range b.Preds {
+		predB[q] = true
+	}
+	subB := make(map[constraint.Subset]bool, len(b.Subsets))
+	for _, q := range b.Subsets {
+		subB[q] = true
+	}
+	predSeen := map[constraint.Pred]bool{}
+	for _, p := range a.Preds {
+		if !predB[p] && !predSeen[p] {
+			predSeen[p] = true
+			out.Preds = append(out.Preds, p)
+		}
+	}
+	subSeen := map[constraint.Subset]bool{}
+	for _, c := range a.Subsets {
+		if dpl.Equal(c.L, c.R) {
+			continue
+		}
+		if !subB[c] && !subSeen[c] {
+			subSeen[c] = true
+			out.Subsets = append(out.Subsets, c)
 		}
 	}
 	return out
@@ -237,6 +549,7 @@ func SolveProgram(results []*infer.Result, external *constraint.System, external
 		Canon:        canon,
 		System:       finalSys,
 		ExternalSyms: externalSyms,
+		Stats:        s.Stats(),
 	}, nil
 }
 
