@@ -1,0 +1,214 @@
+// Command run executes one of the builtin benchmark programs on the
+// distributed SPMD executor (internal/exec): it compiles the program,
+// solves its partitions for the requested node count, runs the task
+// plan on that many goroutine-backed nodes with message-passing ghost
+// exchange, verifies the result against the sequential executor, and
+// prints the measured per-node communication statistics as JSON.
+//
+// Usage:
+//
+//	run -app circuit [-nodes 4] [-steps 2] [-min-bytes 1] [-no-check]
+//
+// Apps: stencil, circuit, circuit-hint, spmv, miniaero, pennant-h2.
+//
+// -min-bytes N exits nonzero unless at least N bytes of ghost/reduction
+// traffic moved (CI smoke tests assert nonzero traffic this way).
+// -no-check skips the bit-identity comparison against the sequential
+// reference.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"autopart/internal/apps/circuit"
+	"autopart/internal/apps/miniaero"
+	"autopart/internal/apps/pennant"
+	"autopart/internal/apps/spmv"
+	"autopart/internal/apps/stencil"
+	"autopart/internal/exec"
+	"autopart/internal/sim"
+	"autopart/pkg/autopart"
+)
+
+// builders maps app names to program constructors. Each compiles the
+// app's source and instantiates it at the requested node count.
+var builders = map[string]func(nodes int) (*exec.Program, error){
+	"stencil": func(n int) (*exec.Program, error) {
+		c, err := autopart.Compile(stencil.Source(), autopart.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return stencil.Executable(stencil.DefaultConfig(), c, n)
+	},
+	"circuit": func(n int) (*exec.Program, error) {
+		c, err := autopart.Compile(circuit.Source, autopart.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return circuit.Executable(circuit.DefaultConfig(), c, n, false)
+	},
+	"circuit-hint": func(n int) (*exec.Program, error) {
+		c, err := autopart.Compile(circuit.HintSource, autopart.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return circuit.Executable(circuit.DefaultConfig(), c, n, true)
+	},
+	"spmv": func(n int) (*exec.Program, error) {
+		c, err := autopart.Compile(spmv.Source, autopart.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return spmv.Executable(spmv.DefaultConfig(), c, n)
+	},
+	"miniaero": func(n int) (*exec.Program, error) {
+		c, err := autopart.Compile(miniaero.Source(), autopart.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return miniaero.Executable(miniaero.DefaultConfig(), c, n)
+	},
+	"pennant-h2": func(n int) (*exec.Program, error) {
+		c, err := autopart.Compile(pennant.HintSource(2), autopart.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return pennant.Executable(pennant.DefaultConfig(), c, n, 2)
+	},
+}
+
+// nodeStatsJSON is sim.NodeStats with JSON names (ComputeUnits is
+// omitted: the executor measures communication, not compute).
+type nodeStatsJSON struct {
+	Node        int     `json:"node"`
+	BufferElems float64 `json:"buffer_elems,omitempty"`
+	BytesIn     float64 `json:"bytes_in"`
+	BytesOut    float64 `json:"bytes_out"`
+	MsgsIn      int     `json:"msgs_in"`
+	MsgsOut     int     `json:"msgs_out"`
+	FragsIn     int     `json:"frags_in"`
+	FragsOut    int     `json:"frags_out"`
+}
+
+type launchJSON struct {
+	Name       string          `json:"name"`
+	TotalBytes float64         `json:"total_bytes"`
+	TotalMsgs  int             `json:"total_msgs"`
+	Nodes      []nodeStatsJSON `json:"nodes"`
+}
+
+type stepJSON struct {
+	Step       int          `json:"step"`
+	TotalBytes float64      `json:"total_bytes"`
+	TotalMsgs  int          `json:"total_msgs"`
+	Launches   []launchJSON `json:"launches"`
+}
+
+type reportJSON struct {
+	App        string     `json:"app"`
+	Nodes      int        `json:"nodes"`
+	Steps      int        `json:"steps"`
+	TotalBytes float64    `json:"total_bytes"`
+	TotalMsgs  int        `json:"total_msgs"`
+	Checked    bool       `json:"checked_vs_sequential"`
+	PerStep    []stepJSON `json:"per_step"`
+}
+
+func nodeRows(nodes []sim.NodeStats) []nodeStatsJSON {
+	rows := make([]nodeStatsJSON, len(nodes))
+	for j, ns := range nodes {
+		rows[j] = nodeStatsJSON{
+			Node:        j,
+			BufferElems: ns.BufferElems,
+			BytesIn:     ns.BytesIn,
+			BytesOut:    ns.BytesOut,
+			MsgsIn:      ns.MsgsIn,
+			MsgsOut:     ns.MsgsOut,
+			FragsIn:     ns.FragsIn,
+			FragsOut:    ns.FragsOut,
+		}
+	}
+	return rows
+}
+
+func main() {
+	app := flag.String("app", "", "builtin program to run (required)")
+	nodes := flag.Int("nodes", 4, "number of executor nodes")
+	steps := flag.Int("steps", 1, "main-loop iterations")
+	minBytes := flag.Float64("min-bytes", 0, "fail unless at least this many bytes moved")
+	noCheck := flag.Bool("no-check", false, "skip bit-identity check against the sequential executor")
+	flag.Parse()
+
+	build, ok := builders[*app]
+	if !ok {
+		names := make([]string, 0, len(builders))
+		for name := range builders {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "run: unknown -app %q (have %v)\n", *app, names)
+		os.Exit(2)
+	}
+
+	prog, err := build(*nodes)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := exec.Run(prog, exec.Config{Nodes: *nodes, Steps: *steps})
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*noCheck {
+		want, err := exec.RunSequentialReference(prog, *steps)
+		if err != nil {
+			fatal(fmt.Errorf("sequential reference: %w", err))
+		}
+		for name, wr := range want.Regions {
+			if same, diff := wr.SameData(res.Machine.Regions[name]); !same {
+				fatal(fmt.Errorf("region %s diverges from sequential executor: %s", name, diff))
+			}
+		}
+	}
+
+	rep := reportJSON{
+		App:        *app,
+		Nodes:      *nodes,
+		Steps:      *steps,
+		TotalBytes: res.TotalBytes(),
+		TotalMsgs:  res.TotalMsgs(),
+		Checked:    !*noCheck,
+	}
+	for si, sc := range res.Steps {
+		sj := stepJSON{Step: si, TotalBytes: sc.TotalBytes, TotalMsgs: sc.TotalMsgs}
+		for _, lc := range sc.Launches {
+			sj.Launches = append(sj.Launches, launchJSON{
+				Name:       lc.Name,
+				TotalBytes: lc.TotalBytes,
+				TotalMsgs:  lc.TotalMsgs,
+				Nodes:      nodeRows(lc.Nodes),
+			})
+		}
+		rep.PerStep = append(rep.PerStep, sj)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+
+	if rep.TotalBytes < *minBytes {
+		fmt.Fprintf(os.Stderr, "run: moved %.0f bytes, below -min-bytes %.0f\n", rep.TotalBytes, *minBytes)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "run: %v\n", err)
+	os.Exit(1)
+}

@@ -5,8 +5,6 @@
 package apputil
 
 import (
-	"fmt"
-
 	"autopart/internal/infer"
 	"autopart/internal/ir"
 	"autopart/internal/region"
@@ -22,6 +20,9 @@ type Auto struct {
 	Compiled *autopart.Compiled
 	Parts    map[string]*region.Partition
 	Launches []*runtime.Launch
+	// Plan pairs each launch with its rewritten loop for the distributed
+	// executor; Launches aliases its launch list.
+	Plan *runtime.Plan
 }
 
 // BuildAuto compiles src, evaluates its partitions over machine m with
@@ -48,10 +49,8 @@ func InstantiateAuto(c *autopart.Compiled, m *ir.Machine, nodes int, external ma
 	if err != nil {
 		return nil, err
 	}
-	a := &Auto{Compiled: c, Parts: parts}
-	for i, pl := range c.Parallel {
-		a.Launches = append(a.Launches, runtime.FromParallelLoop(fmt.Sprintf("loop%d", i), pl))
-	}
+	a := &Auto{Compiled: c, Parts: parts, Plan: runtime.NewPlan(c.Parallel)}
+	a.Launches = a.Plan.Launches()
 	return a, nil
 }
 

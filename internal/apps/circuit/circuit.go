@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"autopart/internal/apps/apputil"
+	"autopart/internal/exec"
 	"autopart/internal/geometry"
 	"autopart/internal/ir"
 	"autopart/internal/region"
@@ -195,25 +196,47 @@ var (
 	nodeFields = []string{"voltage", "charge", "capacitance"}
 )
 
+// externs returns the generator partitions a hinted compile binds.
+func (g *Graph) externs(hinted bool) map[string]*region.Partition {
+	if !hinted {
+		return nil
+	}
+	return map[string]*region.Partition{
+		"pn_private": g.PnPrivate,
+		"pn_shared":  g.PnShared,
+	}
+}
+
+// ownerState is the initial valid-instance distribution the generator
+// produces: cluster blocks for both regions.
+func (g *Graph) ownerState() *sim.State {
+	return sim.NewState().
+		OwnAll("Nodes", nodeFields, g.NodeOwner).
+		OwnAll("Wires", wireFields, g.WireOwner)
+}
+
+// Executable instantiates the compiled program for the distributed
+// executor at a node count. Pass hinted=true when c was compiled from
+// HintSource (the §5.2 generator-partition hints must then be bound).
+func Executable(cfg Config, c *autopart.Compiled, nodes int, hinted bool) (*exec.Program, error) {
+	g := Build(cfg, nodes)
+	auto, err := apputil.InstantiateAuto(c, g.Machine, nodes, g.externs(hinted))
+	if err != nil {
+		return nil, err
+	}
+	return &exec.Program{Machine: g.Machine, Plan: auto.Plan, Parts: auto.Parts, Owners: g.ownerState()}, nil
+}
+
 // AutoPoint prices the hint-less auto version: node data is distributed
 // by the generator (owner = cluster blocks), but the synthesized
 // partitions use equal partitions of both regions.
 func AutoPoint(cfg Config, model sim.Model, c *autopart.Compiled, nodes int, hinted bool) (sim.Point, error) {
 	g := Build(cfg, nodes)
-	var ext map[string]*region.Partition
-	if hinted {
-		ext = map[string]*region.Partition{
-			"pn_private": g.PnPrivate,
-			"pn_shared":  g.PnShared,
-		}
-	}
-	auto, err := apputil.InstantiateAuto(c, g.Machine, nodes, ext)
+	auto, err := apputil.InstantiateAuto(c, g.Machine, nodes, g.externs(hinted))
 	if err != nil {
 		return sim.Point{}, err
 	}
-	st := sim.NewState().
-		OwnAll("Nodes", nodeFields, g.NodeOwner).
-		OwnAll("Wires", wireFields, g.WireOwner)
+	st := g.ownerState()
 
 	stats, err := apputil.MeasureIterations(model, auto.Launches, auto.Parts, st, 1)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"autopart/internal/apps/apputil"
+	"autopart/internal/exec"
 	"autopart/internal/geometry"
 	"autopart/internal/ir"
 	"autopart/internal/region"
@@ -187,16 +188,11 @@ func BuildMachineSequential(cfg Config, nodes int) *ir.Machine {
 	return ir.NewMachine().AddRegion(faces).AddRegion(cells)
 }
 
-// AutoPoint prices the auto-parallelized version at one node count.
-func AutoPoint(cfg Config, model sim.Model, c *autopart.Compiled, nodes int) (sim.Point, error) {
-	m := BuildMachineSequential(cfg, nodes)
-	auto, err := apputil.InstantiateAuto(c, m, nodes, nil)
-	if err != nil {
-		return sim.Point{}, err
-	}
-	// Owners: cells by the cell-loop iteration partition (equal blocks);
-	// face data lives where the face loops use it, so its owner is the
-	// (disjointified) face iteration partition.
+// ownerState is the initial valid-instance distribution: cells by the
+// cell-loop iteration partition (equal blocks); face data lives where
+// the face loops use it, so its owner is the (disjointified) face
+// iteration partition.
+func ownerState(c *autopart.Compiled, auto *apputil.Auto) *sim.State {
 	cellIter := auto.Parts[auto.IterSym(0)]
 	faceIterSym := ""
 	for i, pl := range c.Parallel {
@@ -206,9 +202,30 @@ func AutoPoint(cfg Config, model sim.Model, c *autopart.Compiled, nodes int) (si
 		}
 	}
 	faceOwner := region.Disjointify("faceOwner", auto.Parts[faceIterSym])
-	st := sim.NewState().
+	return sim.NewState().
 		OwnAll("Cells", cellFields, cellIter).
 		OwnAll("Faces", []string{"c1", "c2", "area", "flux_rho", "flux_mom", "flux_ene"}, faceOwner)
+}
+
+// Executable instantiates the compiled program for the distributed
+// executor at a node count.
+func Executable(cfg Config, c *autopart.Compiled, nodes int) (*exec.Program, error) {
+	m := BuildMachineSequential(cfg, nodes)
+	auto, err := apputil.InstantiateAuto(c, m, nodes, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &exec.Program{Machine: m, Plan: auto.Plan, Parts: auto.Parts, Owners: ownerState(c, auto)}, nil
+}
+
+// AutoPoint prices the auto-parallelized version at one node count.
+func AutoPoint(cfg Config, model sim.Model, c *autopart.Compiled, nodes int) (sim.Point, error) {
+	m := BuildMachineSequential(cfg, nodes)
+	auto, err := apputil.InstantiateAuto(c, m, nodes, nil)
+	if err != nil {
+		return sim.Point{}, err
+	}
+	st := ownerState(c, auto)
 
 	stats, err := apputil.MeasureIterations(model, auto.Launches, auto.Parts, st, 1)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"autopart/internal/apps/apputil"
+	"autopart/internal/exec"
 	"autopart/internal/geometry"
 	"autopart/internal/ir"
 	"autopart/internal/region"
@@ -418,6 +419,18 @@ func (mesh *Mesh) externs(level int) map[string]*region.Partition {
 	default:
 		return nil
 	}
+}
+
+// Executable instantiates the compiled program for the distributed
+// executor at a piece count. The level must match the hint level c was
+// compiled with (it selects the generator partitions to bind).
+func Executable(cfg Config, c *autopart.Compiled, pieces, level int) (*exec.Program, error) {
+	mesh := Build(cfg, pieces)
+	auto, err := apputil.InstantiateAuto(c, mesh.Machine, pieces, mesh.externs(level))
+	if err != nil {
+		return nil, err
+	}
+	return &exec.Program{Machine: mesh.Machine, Plan: auto.Plan, Parts: auto.Parts, Owners: ownerState(mesh)}, nil
 }
 
 // AutoPoint prices the auto-parallelized version at a hint level.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"autopart/internal/apps/apputil"
+	"autopart/internal/exec"
 	"autopart/internal/geometry"
 	"autopart/internal/ir"
 	"autopart/internal/region"
@@ -101,19 +102,21 @@ func BuildMachine(cfg Config, nodes int) *ir.Machine {
 	return ir.NewMachine().AddRegion(y).AddRegion(ranges).AddRegion(mat).AddRegion(x)
 }
 
-// AutoPoint prices one node count with the auto-parallelized code.
-func AutoPoint(cfg Config, model sim.Model, c *autopart.Compiled, nodes int) (sim.Point, error) {
-	m := BuildMachine(cfg, nodes)
+// instantiate evaluates the compiled program at a node count, applies
+// SpMV's nonzero-weighted compute model, and builds the initial owner
+// distribution (the row partition and its same-spaced views, plus the
+// matrix partition).
+func instantiate(c *autopart.Compiled, m *ir.Machine, nodes int) (*apputil.Auto, *sim.State, error) {
 	auto, err := apputil.InstantiateAuto(c, m, nodes, nil)
 	if err != nil {
-		return sim.Point{}, err
+		return nil, nil, err
 	}
 
 	// Weight each task's compute by its share of the matrix, not its row
 	// count.
 	matSym, ok := auto.AccessSym(0, "Mat", -1)
 	if !ok {
-		return sim.Point{}, fmt.Errorf("spmv: no Mat access")
+		return nil, nil, fmt.Errorf("spmv: no Mat access")
 	}
 	auto.Launches[0].WorkSym = matSym
 	// One inner-loop iteration ≈ 1 work unit per nonzero.
@@ -126,6 +129,27 @@ func AutoPoint(cfg Config, model sim.Model, c *autopart.Compiled, nodes int) (si
 		Own("Ranges", "span", rename(iter, m.Regions["Ranges"])).
 		OwnAll("Mat", []string{"val", "ind"}, matPart).
 		Own("X", "val", rename(iter, m.Regions["X"]))
+	return auto, st, nil
+}
+
+// Executable instantiates the compiled program for the distributed
+// executor at a node count.
+func Executable(cfg Config, c *autopart.Compiled, nodes int) (*exec.Program, error) {
+	m := BuildMachine(cfg, nodes)
+	auto, st, err := instantiate(c, m, nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &exec.Program{Machine: m, Plan: auto.Plan, Parts: auto.Parts, Owners: st}, nil
+}
+
+// AutoPoint prices one node count with the auto-parallelized code.
+func AutoPoint(cfg Config, model sim.Model, c *autopart.Compiled, nodes int) (sim.Point, error) {
+	m := BuildMachine(cfg, nodes)
+	auto, st, err := instantiate(c, m, nodes)
+	if err != nil {
+		return sim.Point{}, err
+	}
 
 	stats, err := apputil.MeasureIterations(model, auto.Launches, auto.Parts, st, 1)
 	if err != nil {

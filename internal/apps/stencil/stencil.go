@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"autopart/internal/apps/apputil"
+	"autopart/internal/exec"
 	"autopart/internal/geometry"
 	"autopart/internal/ir"
 	"autopart/internal/region"
@@ -88,6 +89,24 @@ func BuildMachine(cfg Config, nodes int) *ir.Machine {
 	return m
 }
 
+// ownerState is the initial valid-instance distribution: all grid
+// fields live where the compute loop iterates.
+func ownerState(auto *apputil.Auto) *sim.State {
+	iter := auto.Parts[auto.IterSym(0)]
+	return sim.NewState().OwnAll("Grid", []string{"vin", "vout"}, iter)
+}
+
+// Executable instantiates the compiled program for the distributed
+// executor at a node count.
+func Executable(cfg Config, c *autopart.Compiled, nodes int) (*exec.Program, error) {
+	m := BuildMachine(cfg, nodes)
+	auto, err := apputil.InstantiateAuto(c, m, nodes, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &exec.Program{Machine: m, Plan: auto.Plan, Parts: auto.Parts, Owners: ownerState(auto)}, nil
+}
+
 // AutoPoint prices the auto-parallelized version at one node count.
 func AutoPoint(cfg Config, model sim.Model, c *autopart.Compiled, nodes int) (sim.Point, error) {
 	m := BuildMachine(cfg, nodes)
@@ -95,8 +114,7 @@ func AutoPoint(cfg Config, model sim.Model, c *autopart.Compiled, nodes int) (si
 	if err != nil {
 		return sim.Point{}, err
 	}
-	iter := auto.Parts[auto.IterSym(0)]
-	st := sim.NewState().OwnAll("Grid", []string{"vin", "vout"}, iter)
+	st := ownerState(auto)
 	stats, err := apputil.MeasureIterations(model, auto.Launches, auto.Parts, st, 1)
 	if err != nil {
 		return sim.Point{}, err

@@ -92,12 +92,13 @@ type System struct {
 	Preds   []Pred
 	Subsets []Subset
 
-	// idx is the lazily built symbol-keyed view of the system. It is
-	// immutable once built (accessors copy anything callers may mutate),
-	// so clones share it; any mutation drops it. The solver's trail
-	// restores the pointer on undo, making backtracking-node index reuse
-	// free.
-	idx *sysIndex
+	// idx is the lazily built id-keyed view of the system and strIdx the
+	// string-keyed symbol→region view. Both are immutable once built
+	// (accessors copy anything callers may mutate), so clones share
+	// them; any mutation drops both. The solver's trail restores the
+	// pointers on undo, making backtracking-node index reuse free.
+	idx    *sysIndex
+	strIdx map[string]string
 
 	// fp is the lazily computed 128-bit conjunct-multiset fingerprint
 	// (see Fingerprint128); fpOK marks it valid. Trail mutations update
@@ -113,72 +114,101 @@ type System struct {
 	// and [1] cover Subsets[i].L and .R. They let the solver's hottest
 	// scans (substitution and closed-conjunct detection) skip conjuncts
 	// without hashing whole expression trees. predFvs/subFvs carry the
-	// corresponding interned free-variable lists (shared, read-only), so
+	// corresponding interned free-variable lists and predFvIDs/subFvIDs
+	// the aligned dense symbol ids (all shared, read-only), so
 	// closed-conjunct and depth scans never re-hash expressions into the
-	// intern table. maskOK marks all of them valid; the trail mutators
+	// intern table — and the solver's id-keyed paths never hash strings
+	// at all. maskOK marks all of them valid; the trail mutators
 	// maintain them per touched conjunct, wholesale mutations clear
 	// maskOK.
-	predMask []uint64
-	subMask  [][2]uint64
-	predFvs  [][]string
-	subFvs   [][2][]string
-	maskOK   bool
+	predMask  []uint64
+	subMask   [][2]uint64
+	predFvs   [][]string
+	subFvs    [][2][]string
+	predFvIDs [][]int32
+	subFvIDs  [][2][]int32
+	maskOK    bool
 }
 
-// sysIndex is the symbol-keyed view backing PartOf, HasPred, and
-// SubsetsInto. All maps are built in one pass and never mutated after.
+// sysIndex is the symbol-keyed view backing RegionOfSymID, HasPredID,
+// and SubsetsIntoIdxID, built in one pass and never mutated after. The
+// solver's search rebuilds this index on every backtracking node whose
+// parent substituted and probes it in every rule loop, so everything in
+// it is keyed by dense interned symbol id (dpl.SymID) — the build and
+// the probes hash no strings at all. Disjointness/completeness
+// predicates live in bitsets rather than maps: two word-slice
+// allocations replace a map of every DISJ/COMP symbol. The string-keyed
+// partOf view feeding the prover and graph builder (dpl.RegionOf works
+// on names) is cached separately (strIdx): those consumers run once per
+// closed-conjunct proof, not once per search node, and the hot rebuild
+// must not pay their name hashing.
 type sysIndex struct {
-	partOf      map[string]string
-	hasPred     map[predSig]bool
-	subsetsInto map[string][]int // ascending indices into Subsets
+	partOfID    map[int32]string
+	disj, comp  dpl.SymSet
+	subsetsInto map[int32][]int // ascending indices into Subsets
 }
 
-// predSig keys the HasPred index.
-type predSig struct {
-	kind PredKind
-	sym  string
-}
-
-// ensureIdx builds the index if the system has been mutated (or never
+// ensureIdx builds the id index if the system has been mutated (or never
 // indexed). Not safe for concurrent first use on a shared system; the
 // solver pre-warms shared read-only systems before going parallel.
-// PART predicates live only in partOf (HasPred consults it), halving the
-// predicate map assignments — index builds run on every backtracking
-// node whose parent substituted, so constants matter.
 func (s *System) ensureIdx() *sysIndex {
 	if s.idx != nil {
 		return s.idx
 	}
-	// Size hints avoid incremental map growth: index builds run on every
-	// backtracking node whose parent substituted, and rehash-on-grow was
-	// a visible fraction of their cost.
+	// Size hints avoid incremental map growth: rehash-on-grow was a
+	// visible fraction of the rebuild cost. Symbol ids come from the
+	// cached per-conjunct free-variable lists (a Var's list is exactly
+	// its own id).
+	s.ensureMasks()
 	idx := &sysIndex{
-		partOf:      make(map[string]string, len(s.Preds)),
-		hasPred:     make(map[predSig]bool, len(s.Preds)),
-		subsetsInto: make(map[string][]int, len(s.Subsets)),
+		partOfID:    make(map[int32]string, len(s.Preds)),
+		subsetsInto: make(map[int32][]int, len(s.Subsets)),
 	}
-	for _, p := range s.Preds {
-		v, ok := p.E.(dpl.Var)
-		if !ok {
+	for i, p := range s.Preds {
+		if _, ok := p.E.(dpl.Var); !ok {
 			continue
 		}
-		if p.Kind == Part {
-			idx.partOf[v.Name] = p.Region
-		} else {
-			idx.hasPred[predSig{p.Kind, v.Name}] = true
+		id := s.predFvIDs[i][0]
+		switch p.Kind {
+		case Part:
+			idx.partOfID[id] = p.Region
+		case Disj:
+			idx.disj.Add(id)
+		case Comp:
+			idx.comp.Add(id)
 		}
 	}
 	for i, c := range s.Subsets {
-		if v, ok := c.R.(dpl.Var); ok {
-			idx.subsetsInto[v.Name] = append(idx.subsetsInto[v.Name], i)
+		if _, ok := c.R.(dpl.Var); ok {
+			id := s.subFvIDs[i][1][0]
+			idx.subsetsInto[id] = append(idx.subsetsInto[id], i)
 		}
 	}
 	s.idx = idx
 	return idx
 }
 
-// invalidate drops the index after a mutation.
-func (s *System) invalidate() { s.idx = nil }
+// ensureStrIdx builds the string-keyed symbol→region view on demand.
+// Same first-use caveat as ensureIdx.
+func (s *System) ensureStrIdx() map[string]string {
+	if s.strIdx != nil {
+		return s.strIdx
+	}
+	partOf := make(map[string]string, len(s.Preds))
+	for _, p := range s.Preds {
+		if v, ok := p.E.(dpl.Var); ok && p.Kind == Part {
+			partOf[v.Name] = p.Region
+		}
+	}
+	s.strIdx = partOf
+	return partOf
+}
+
+// invalidate drops the indexes after a mutation.
+func (s *System) invalidate() {
+	s.idx = nil
+	s.strIdx = nil
+}
 
 // ensureMasks builds the per-conjunct free-variable masks if missing.
 func (s *System) ensureMasks() {
@@ -187,16 +217,19 @@ func (s *System) ensureMasks() {
 	}
 	s.predMask = make([]uint64, len(s.Preds))
 	s.predFvs = make([][]string, len(s.Preds))
+	s.predFvIDs = make([][]int32, len(s.Preds))
 	for i, p := range s.Preds {
-		s.predMask[i], s.predFvs[i] = dpl.FvData(p.E)
+		s.predMask[i], s.predFvs[i], s.predFvIDs[i] = dpl.FvInfo(p.E)
 	}
 	s.subMask = make([][2]uint64, len(s.Subsets))
 	s.subFvs = make([][2][]string, len(s.Subsets))
+	s.subFvIDs = make([][2][]int32, len(s.Subsets))
 	for i, c := range s.Subsets {
-		lm, lf := dpl.FvData(c.L)
-		rm, rf := dpl.FvData(c.R)
+		lm, lf, li := dpl.FvInfo(c.L)
+		rm, rf, ri := dpl.FvInfo(c.R)
 		s.subMask[i] = [2]uint64{lm, rm}
 		s.subFvs[i] = [2][]string{lf, rf}
+		s.subFvIDs[i] = [2][]int32{li, ri}
 	}
 	s.maskOK = true
 }
@@ -233,6 +266,22 @@ func (s *System) SubsetFvs() [][2][]string {
 	return s.subFvs
 }
 
+// PredFvIDs returns the per-predicate interned free-variable symbol-id
+// lists (dpl.SymID), aligned with Preds and with PredFvs entry by
+// entry, under the same sharing contract as PredMasks.
+func (s *System) PredFvIDs() [][]int32 {
+	s.ensureMasks()
+	return s.predFvIDs
+}
+
+// SubsetFvIDs returns the per-subset interned free-variable symbol-id
+// lists ([0]=L, [1]=R), aligned with Subsets and with SubsetFvs entry
+// by entry, under the same sharing contract as PredMasks.
+func (s *System) SubsetFvIDs() [][2][]int32 {
+	s.ensureMasks()
+	return s.subFvIDs
+}
+
 // Clone returns a deep-enough copy (expressions are immutable). The
 // index, if built, is shared: it is immutable and both systems currently
 // have identical content; whichever mutates first drops its own pointer.
@@ -242,6 +291,7 @@ func (s *System) Clone() *System {
 		Preds:   append([]Pred(nil), s.Preds...),
 		Subsets: append([]Subset(nil), s.Subsets...),
 		idx:     s.idx,
+		strIdx:  s.strIdx,
 		fp:      s.fp,
 		fpOK:    s.fpOK,
 		maskOK:  s.maskOK,
@@ -251,6 +301,8 @@ func (s *System) Clone() *System {
 		out.subMask = append([][2]uint64(nil), s.subMask...)
 		out.predFvs = append([][]string(nil), s.predFvs...)
 		out.subFvs = append([][2][]string(nil), s.subFvs...)
+		out.predFvIDs = append([][]int32(nil), s.predFvIDs...)
+		out.subFvIDs = append([][2][]int32(nil), s.subFvIDs...)
 	}
 	return out
 }
@@ -276,9 +328,10 @@ func (s *System) AddPred(p Pred) {
 		s.fpAdd(p.hash128())
 	}
 	if s.maskOK {
-		m, f := dpl.FvData(p.E)
+		m, f, ids := dpl.FvInfo(p.E)
 		s.predMask = append(s.predMask, m)
 		s.predFvs = append(s.predFvs, f)
+		s.predFvIDs = append(s.predFvIDs, ids)
 	}
 	s.Preds = append(s.Preds, p)
 }
@@ -299,10 +352,11 @@ func (s *System) AddSubset(c Subset) {
 		s.fpAdd(c.hash128())
 	}
 	if s.maskOK {
-		lm, lf := dpl.FvData(c.L)
-		rm, rf := dpl.FvData(c.R)
+		lm, lf, li := dpl.FvInfo(c.L)
+		rm, rf, ri := dpl.FvInfo(c.R)
 		s.subMask = append(s.subMask, [2]uint64{lm, rm})
 		s.subFvs = append(s.subFvs, [2][]string{lf, rf})
+		s.subFvIDs = append(s.subFvIDs, [2][]int32{li, ri})
 	}
 	s.Subsets = append(s.Subsets, c)
 }
@@ -550,37 +604,53 @@ func (s *System) Symbols() []string {
 // predicate; the map feeds dpl.RegionOf. The returned map is a copy the
 // caller may extend.
 func (s *System) PartOf() map[string]string {
-	idx := s.ensureIdx()
-	out := make(map[string]string, len(idx.partOf))
-	for k, v := range idx.partOf {
+	shared := s.ensureStrIdx()
+	out := make(map[string]string, len(shared))
+	for k, v := range shared {
 		out[k] = v
 	}
 	return out
 }
 
-// partOfShared returns the index's symbol→region map itself, avoiding
+// partOfShared returns the cached symbol→region map itself, avoiding
 // PartOf's defensive copy. Callers (same package only) must treat it as
-// read-only: the map is shared with the index and with clones.
+// read-only: the map is shared with the cache and with clones.
 func (s *System) partOfShared() map[string]string {
-	return s.ensureIdx().partOf
+	return s.ensureStrIdx()
 }
 
 // RegionOfSym returns the region of a symbol with a PART predicate
 // (index lookup, no map copy).
 func (s *System) RegionOfSym(symbol string) (string, bool) {
-	r, ok := s.ensureIdx().partOf[symbol]
+	r, ok := s.ensureStrIdx()[symbol]
+	return r, ok
+}
+
+// RegionOfSymID is RegionOfSym keyed by dense interned symbol id — the
+// solver's search resolves regions without hashing names.
+func (s *System) RegionOfSymID(id int32) (string, bool) {
+	r, ok := s.ensureIdx().partOfID[id]
 	return r, ok
 }
 
 // HasPred reports whether the system contains a predicate of the given
 // kind on a symbol (index lookup).
 func (s *System) HasPred(kind PredKind, symbol string) bool {
+	return s.HasPredID(kind, dpl.SymID(symbol))
+}
+
+// HasPredID is HasPred keyed by dense interned symbol id.
+func (s *System) HasPredID(kind PredKind, id int32) bool {
 	idx := s.ensureIdx()
-	if kind == Part {
-		_, ok := idx.partOf[symbol]
+	switch kind {
+	case Disj:
+		return idx.disj.Has(id)
+	case Comp:
+		return idx.comp.Has(id)
+	default:
+		_, ok := idx.partOfID[id]
 		return ok
 	}
-	return idx.hasPred[predSig{kind, symbol}]
 }
 
 // SubsetsInto returns the subset constraints whose right-hand side is
@@ -590,11 +660,17 @@ func (s *System) HasPred(kind PredKind, symbol string) bool {
 // index: callers must treat it as read-only and must not hold it across
 // mutations.
 func (s *System) SubsetsIntoIdx(symbol string) []int {
-	return s.ensureIdx().subsetsInto[symbol]
+	return s.SubsetsIntoIdxID(dpl.SymID(symbol))
+}
+
+// SubsetsIntoIdxID is SubsetsIntoIdx keyed by dense interned symbol id,
+// under the same sharing contract.
+func (s *System) SubsetsIntoIdxID(id int32) []int {
+	return s.ensureIdx().subsetsInto[id]
 }
 
 func (s *System) SubsetsInto(symbol string) []Subset {
-	ids := s.ensureIdx().subsetsInto[symbol]
+	ids := s.SubsetsIntoIdx(symbol)
 	if len(ids) == 0 {
 		return nil
 	}

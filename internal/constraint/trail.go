@@ -48,18 +48,19 @@ const (
 func NewTrail(sys *System) *Trail { return &Trail{sys: sys} }
 
 // Mark captures the current state: the op count, the system's index
-// pointer (the index is immutable once built, so restoring the pointer
+// pointers (both are immutable once built, so restoring the pointers
 // restores index validity for free), and the fingerprint cache.
 type Mark struct {
-	n    int
-	idx  *sysIndex
-	fp   [2]uint64
-	fpOK bool
+	n      int
+	idx    *sysIndex
+	strIdx map[string]string
+	fp     [2]uint64
+	fpOK   bool
 }
 
 // Mark returns a rewind point for UndoTo.
 func (t *Trail) Mark() Mark {
-	return Mark{n: len(t.ops), idx: t.sys.idx, fp: t.sys.fp, fpOK: t.sys.fpOK}
+	return Mark{n: len(t.ops), idx: t.sys.idx, strIdx: t.sys.strIdx, fp: t.sys.fp, fpOK: t.sys.fpOK}
 }
 
 // UndoTo rewinds every mutation recorded after the mark, restoring the
@@ -73,7 +74,7 @@ func (t *Trail) UndoTo(m Mark) {
 		case opPredSet:
 			s.Preds[op.i] = op.pred
 			if s.maskOK {
-				s.predMask[op.i], s.predFvs[op.i] = dpl.FvData(op.pred.E)
+				s.predMask[op.i], s.predFvs[op.i], s.predFvIDs[op.i] = dpl.FvInfo(op.pred.E)
 			}
 		case opPredRemove:
 			s.Preds = append(s.Preds, Pred{})
@@ -84,15 +85,18 @@ func (t *Trail) UndoTo(m Mark) {
 				copy(s.predMask[op.i+1:], s.predMask[op.i:])
 				s.predFvs = append(s.predFvs, nil)
 				copy(s.predFvs[op.i+1:], s.predFvs[op.i:])
-				s.predMask[op.i], s.predFvs[op.i] = dpl.FvData(op.pred.E)
+				s.predFvIDs = append(s.predFvIDs, nil)
+				copy(s.predFvIDs[op.i+1:], s.predFvIDs[op.i:])
+				s.predMask[op.i], s.predFvs[op.i], s.predFvIDs[op.i] = dpl.FvInfo(op.pred.E)
 			}
 		case opSubsetSet:
 			s.Subsets[op.i] = op.sub
 			if s.maskOK {
-				lm, lf := dpl.FvData(op.sub.L)
-				rm, rf := dpl.FvData(op.sub.R)
+				lm, lf, li := dpl.FvInfo(op.sub.L)
+				rm, rf, ri := dpl.FvInfo(op.sub.R)
 				s.subMask[op.i] = [2]uint64{lm, rm}
 				s.subFvs[op.i] = [2][]string{lf, rf}
+				s.subFvIDs[op.i] = [2][]int32{li, ri}
 			}
 		case opSubsetRemove:
 			s.Subsets = append(s.Subsets, Subset{})
@@ -103,15 +107,19 @@ func (t *Trail) UndoTo(m Mark) {
 				copy(s.subMask[op.i+1:], s.subMask[op.i:])
 				s.subFvs = append(s.subFvs, [2][]string{})
 				copy(s.subFvs[op.i+1:], s.subFvs[op.i:])
-				lm, lf := dpl.FvData(op.sub.L)
-				rm, rf := dpl.FvData(op.sub.R)
+				s.subFvIDs = append(s.subFvIDs, [2][]int32{})
+				copy(s.subFvIDs[op.i+1:], s.subFvIDs[op.i:])
+				lm, lf, li := dpl.FvInfo(op.sub.L)
+				rm, rf, ri := dpl.FvInfo(op.sub.R)
 				s.subMask[op.i] = [2]uint64{lm, rm}
 				s.subFvs[op.i] = [2][]string{lf, rf}
+				s.subFvIDs[op.i] = [2][]int32{li, ri}
 			}
 		}
 	}
 	t.ops = t.ops[:m.n]
 	s.idx = m.idx
+	s.strIdx = m.strIdx
 	s.fp, s.fpOK = m.fp, m.fpOK
 }
 
@@ -124,7 +132,7 @@ func (t *Trail) setPred(i int, p Pred) {
 		s.fpAdd(p.hash128())
 	}
 	if s.maskOK {
-		s.predMask[i], s.predFvs[i] = dpl.FvData(p.E)
+		s.predMask[i], s.predFvs[i], s.predFvIDs[i] = dpl.FvInfo(p.E)
 	}
 	s.Preds[i] = p
 }
@@ -141,6 +149,8 @@ func (t *Trail) removePredAt(i int) {
 		s.predMask = s.predMask[:len(s.predMask)-1]
 		copy(s.predFvs[i:], s.predFvs[i+1:])
 		s.predFvs = s.predFvs[:len(s.predFvs)-1]
+		copy(s.predFvIDs[i:], s.predFvIDs[i+1:])
+		s.predFvIDs = s.predFvIDs[:len(s.predFvIDs)-1]
 	}
 	copy(s.Preds[i:], s.Preds[i+1:])
 	s.Preds = s.Preds[:len(s.Preds)-1]
@@ -155,10 +165,11 @@ func (t *Trail) setSubset(i int, c Subset) {
 		s.fpAdd(c.hash128())
 	}
 	if s.maskOK {
-		lm, lf := dpl.FvData(c.L)
-		rm, rf := dpl.FvData(c.R)
+		lm, lf, li := dpl.FvInfo(c.L)
+		rm, rf, ri := dpl.FvInfo(c.R)
 		s.subMask[i] = [2]uint64{lm, rm}
 		s.subFvs[i] = [2][]string{lf, rf}
+		s.subFvIDs[i] = [2][]int32{li, ri}
 	}
 	s.Subsets[i] = c
 }
@@ -175,6 +186,8 @@ func (t *Trail) removeSubsetAt(i int) {
 		s.subMask = s.subMask[:len(s.subMask)-1]
 		copy(s.subFvs[i:], s.subFvs[i+1:])
 		s.subFvs = s.subFvs[:len(s.subFvs)-1]
+		copy(s.subFvIDs[i:], s.subFvIDs[i+1:])
+		s.subFvIDs = s.subFvIDs[:len(s.subFvIDs)-1]
 	}
 	copy(s.Subsets[i:], s.Subsets[i+1:])
 	s.Subsets = s.Subsets[:len(s.Subsets)-1]

@@ -27,6 +27,65 @@ import (
 // small (hundreds), and a long-lived process compiling many programs
 // grows the table only with genuinely new expressions.
 
+// Symbol interning: every partition symbol name maps to a dense int32
+// id (0, 1, 2, ... in first-sight order). The solver's backtracking
+// search keys its per-node maps and sets by these ids instead of by
+// name — int32 hashing beats string hashing on the hot paths, and the
+// density admits bitsets (SymSet). Like expression ids, symbol ids are
+// stable within a process but not across runs; they never appear in
+// output.
+var (
+	symMu    sync.Mutex // serializes writers only
+	symIDs   atomic.Pointer[map[string]int32]
+	symNames atomic.Pointer[[]string]
+)
+
+// SymID returns the dense interned id of a symbol name, assigning the
+// next id on first sight. Safe for concurrent use (copy-on-write, like
+// the expression table).
+func SymID(name string) int32 {
+	if id, ok := (*symIDs.Load())[name]; ok {
+		return id
+	}
+	symMu.Lock()
+	defer symMu.Unlock()
+	old := *symIDs.Load()
+	if id, ok := old[name]; ok {
+		return id
+	}
+	id := int32(len(old))
+	next := make(map[string]int32, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = id
+	names := append(append([]string(nil), (*symNames.Load())...), name)
+	symNames.Store(&names)
+	symIDs.Store(&next)
+	return id
+}
+
+// SymName returns the name behind an interned symbol id.
+func SymName(id int32) string { return (*symNames.Load())[id] }
+
+// SymSet is a bitset over dense symbol ids. The zero value is empty.
+type SymSet []uint64
+
+// Add inserts an id, growing the set as needed.
+func (s *SymSet) Add(id int32) {
+	w := int(id >> 6)
+	for len(*s) <= w {
+		*s = append(*s, 0)
+	}
+	(*s)[w] |= 1 << (uint(id) & 63)
+}
+
+// Has reports membership; ids beyond the set's capacity are absent.
+func (s SymSet) Has(id int32) bool {
+	w := int(id >> 6)
+	return w < len(s) && s[w]&(1<<(uint(id)&63)) != 0
+}
+
 // exprInfo is the interned metadata of one distinct expression value.
 type exprInfo struct {
 	// id is a process-unique identifier; equal expressions share it.
@@ -40,6 +99,9 @@ type exprInfo struct {
 	// fvs lists the free partition symbols, sorted and deduplicated.
 	// Callers must not mutate it.
 	fvs []string
+	// fvIDs holds the interned ids of fvs, aligned entry by entry.
+	// Callers must not mutate it.
+	fvIDs []int32
 	// size is the AST node count.
 	size int
 	// h is a 128-bit content hash of the canonical key, computed from
@@ -75,6 +137,18 @@ func FvData(e Expr) (uint64, []string) {
 	in := info(e)
 	return in.fvMask, in.fvs
 }
+
+// FvInfo returns the mask, the free-variable list, and the aligned
+// interned symbol ids with a single intern-table lookup. Both slices
+// are interned and shared: callers must not mutate them.
+func FvInfo(e Expr) (uint64, []string, []int32) {
+	in := info(e)
+	return in.fvMask, in.fvs, in.fvIDs
+}
+
+// FvIDs returns the interned symbol ids of e's free variables, aligned
+// with FreeVars. The slice is interned: callers must not mutate it.
+func FvIDs(e Expr) []int32 { return info(e).fvIDs }
 
 // hash128 derives the two content hashes from the canonical key: FNV-1a
 // with the standard parameters, and a second pass with a different
@@ -121,6 +195,10 @@ var (
 func init() {
 	empty := map[Expr]*exprInfo{}
 	internTab.Store(&empty)
+	emptySyms := map[string]int32{}
+	symIDs.Store(&emptySyms)
+	noNames := []string{}
+	symNames.Store(&noNames)
 }
 
 // info returns the interned metadata for e, computing and caching it on
@@ -156,8 +234,12 @@ func info(e Expr) *exprInfo {
 func computeInfo(e Expr) *exprInfo {
 	in := computeInfoNoHash(e)
 	in.h = hash128(in.key)
-	for _, v := range in.fvs {
+	if len(in.fvs) > 0 {
+		in.fvIDs = make([]int32, len(in.fvs))
+	}
+	for i, v := range in.fvs {
 		in.fvMask |= SymBit(v)
+		in.fvIDs[i] = SymID(v)
 	}
 	return in
 }

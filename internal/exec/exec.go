@@ -1,0 +1,345 @@
+// Package exec is the distributed SPMD executor: it actually runs a
+// compiled program's task plan on N goroutine-backed nodes, where the
+// rest of the repo only models that execution (package sim prices it,
+// package rewrite checks it sequentially).
+//
+// Each node owns the subregions the solved partitions assign to its
+// color and holds a full-size local copy of every region, of which only
+// the owned elements (plus freshly fetched ghosts) are valid.
+// Valid-instance tracking mirrors package sim exactly: a field's owner
+// partition says which node holds each element's up-to-date value,
+// writes move ownership to the writing partition, and ghosts are
+// refetched every launch. Before a launch, every ReadOnly/ReadWrite
+// requirement pulls its subregion's remote-owned part from the owners;
+// after it, §5.1 guarded reductions ship remote-owned results back and
+// unguarded reductions merge per-node buffers to the owners in a fixed
+// color order (see rewrite.MergeShardReductions) — which is why results
+// are bit-identical to the sequential executor on any node count.
+//
+// All data moves as messages over per-pair FIFO pipes; nodes never
+// share mutable memory. Each node computes the full send/receive
+// schedule from replicated read-only metadata (partitions and its own
+// copy of the owner map, updated identically everywhere), so no
+// barriers are needed: bulk synchrony emerges from FIFO matching. The
+// executor measures the traffic it generates in the same units sim
+// predicts (sim.NodeStats), making prediction error directly testable.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"autopart/internal/ir"
+	"autopart/internal/region"
+	"autopart/internal/rewrite"
+	"autopart/internal/runtime"
+	"autopart/internal/sim"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Nodes is the number of executor nodes (colors). Every partition in
+	// the program must have exactly this many subregions.
+	Nodes int
+	// Steps is the number of main-loop iterations (default 1).
+	Steps int
+	// BytesPerElem is the accounting size of one element of one field,
+	// matching sim.Model.BytesPerElem (default 8).
+	BytesPerElem float64
+}
+
+// Program is an executable instance: a machine holding the initial
+// data, the task plan, the evaluated partitions, and the initial
+// valid-instance distribution.
+type Program struct {
+	Machine *ir.Machine
+	Plan    *runtime.Plan
+	Parts   map[string]*region.Partition
+	// Owners is the initial owner partition per field (the same state a
+	// sim run starts from). Run does not mutate it.
+	Owners *sim.State
+}
+
+// LaunchComm is the measured communication of one launch, in the units
+// sim.LaunchStats predicts. ComputeUnits stays zero: compute cost is
+// analytic-only in the model and has no measured counterpart.
+type LaunchComm struct {
+	Name       string
+	Nodes      []sim.NodeStats
+	TotalBytes float64
+	TotalMsgs  int
+}
+
+// StepComm is the measured communication of one main-loop iteration.
+type StepComm struct {
+	Launches   []LaunchComm
+	TotalBytes float64
+	TotalMsgs  int
+}
+
+// Result is the outcome of a run: the gathered final data and the
+// measured per-step communication.
+type Result struct {
+	Machine *ir.Machine
+	Steps   []StepComm
+}
+
+// TotalBytes sums shipped bytes over all steps.
+func (r *Result) TotalBytes() float64 {
+	var total float64
+	for _, s := range r.Steps {
+		total += s.TotalBytes
+	}
+	return total
+}
+
+// TotalMsgs sums messages over all steps.
+func (r *Result) TotalMsgs() int {
+	total := 0
+	for _, s := range r.Steps {
+		total += s.TotalMsgs
+	}
+	return total
+}
+
+// cloneMachine deep-clones region data, sharing the immutable funcs and
+// extern partitions.
+func cloneMachine(m *ir.Machine) *ir.Machine {
+	out := &ir.Machine{
+		Regions:    map[string]*region.Region{},
+		Funcs:      m.Funcs,
+		Partitions: m.Partitions,
+	}
+	for name, r := range m.Regions {
+		out.Regions[name] = r.CloneData()
+	}
+	return out
+}
+
+// cloneOwners copies the owner map so each node can evolve its replica
+// independently (they stay identical by determinism).
+func cloneOwners(st *sim.State) map[sim.FieldKey]*region.Partition {
+	out := make(map[sim.FieldKey]*region.Partition, len(st.Owners))
+	for k, p := range st.Owners {
+		out[k] = p
+	}
+	return out
+}
+
+// validate checks the program against the config before spawning nodes.
+func validate(prog *Program, cfg Config) error {
+	if cfg.Nodes < 1 {
+		return fmt.Errorf("exec: need at least 1 node, got %d", cfg.Nodes)
+	}
+	for sym, p := range prog.Parts {
+		if p.NumSubs() != cfg.Nodes {
+			return fmt.Errorf("exec: partition %q has %d colors, want %d", sym, p.NumSubs(), cfg.Nodes)
+		}
+	}
+	if prog.Owners == nil {
+		return fmt.Errorf("exec: program has no initial owner state")
+	}
+	for fk, p := range prog.Owners.Owners {
+		if p.NumSubs() != cfg.Nodes {
+			return fmt.Errorf("exec: owner of %s.%s has %d colors, want %d", fk.Region, fk.Field, p.NumSubs(), cfg.Nodes)
+		}
+		r := prog.Machine.Regions[fk.Region]
+		if r == nil || !r.HasField(fk.Field) {
+			return fmt.Errorf("exec: owner declared for unknown field %s.%s", fk.Region, fk.Field)
+		}
+	}
+	for _, t := range prog.Plan.Tasks {
+		if _, ok := prog.Parts[t.Launch.IterSym]; !ok {
+			return fmt.Errorf("exec: launch %s: unbound iteration partition %q", t.Launch.Name, t.Launch.IterSym)
+		}
+		for _, req := range t.Launch.Reqs {
+			if _, ok := prog.Parts[req.Sym]; !ok {
+				return fmt.Errorf("exec: launch %s: unbound partition %q", t.Launch.Name, req.Sym)
+			}
+			if req.PrivateSym != "" {
+				if _, ok := prog.Parts[req.PrivateSym]; !ok {
+					return fmt.Errorf("exec: launch %s: unbound private partition %q", t.Launch.Name, req.PrivateSym)
+				}
+			}
+			if req.TouchedSym != "" {
+				if _, ok := prog.Parts[req.TouchedSym]; !ok {
+					return fmt.Errorf("exec: launch %s: unbound touched partition %q", t.Launch.Name, req.TouchedSym)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the program's plan cfg.Steps times on cfg.Nodes nodes
+// and gathers the distributed final state back into one machine.
+func Run(prog *Program, cfg Config) (*Result, error) {
+	if cfg.Steps <= 0 {
+		cfg.Steps = 1
+	}
+	if cfg.BytesPerElem == 0 {
+		cfg.BytesPerElem = sim.Default().BytesPerElem
+	}
+	if err := validate(prog, cfg); err != nil {
+		return nil, err
+	}
+	n := cfg.Nodes
+
+	// Per-pair FIFO pipes with unbounded elasticity (see pipe).
+	ins := make([][]chan message, n)
+	outs := make([][]chan message, n)
+	for from := 0; from < n; from++ {
+		ins[from] = make([]chan message, n)
+		outs[from] = make([]chan message, n)
+		for to := 0; to < n; to++ {
+			if to == from {
+				continue
+			}
+			ins[from][to] = make(chan message)
+			outs[from][to] = make(chan message)
+			go pipe(ins[from][to], outs[from][to])
+		}
+	}
+
+	nodes := make([]*node, n)
+	for j := 0; j < n; j++ {
+		nodes[j] = &node{
+			id:     j,
+			cfg:    cfg,
+			prog:   prog,
+			m:      cloneMachine(prog.Machine),
+			owners: cloneOwners(prog.Owners),
+			sendTo: ins[j],
+			recvAt: make([]chan message, n),
+			stats:  make([][]sim.NodeStats, cfg.Steps),
+		}
+		for from := 0; from < n; from++ {
+			if from == j {
+				continue
+			}
+			nodes[j].recvAt[from] = outs[from][j]
+		}
+	}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		go func(nd *node) {
+			defer wg.Done()
+			// Closing the node's send pipes on exit (normal or error)
+			// unblocks peers: pipes drain, then receivers see EOF and
+			// fail loudly instead of deadlocking.
+			defer func() {
+				for _, ch := range nd.sendTo {
+					if ch != nil {
+						close(ch)
+					}
+				}
+			}()
+			errs[nd.id] = nd.run()
+		}(nodes[j])
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exec: node %d: %w", j, err)
+		}
+	}
+
+	final, err := gather(prog, nodes)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Machine: final}
+	for step := 0; step < cfg.Steps; step++ {
+		sc := StepComm{}
+		for li, t := range prog.Plan.Tasks {
+			lc := LaunchComm{Name: t.Launch.Name, Nodes: make([]sim.NodeStats, n)}
+			for j := 0; j < n; j++ {
+				ns := nodes[j].stats[step][li]
+				lc.Nodes[j] = ns
+				lc.TotalBytes += ns.BytesOut
+				lc.TotalMsgs += ns.MsgsOut
+			}
+			sc.TotalBytes += lc.TotalBytes
+			sc.TotalMsgs += lc.TotalMsgs
+			sc.Launches = append(sc.Launches, lc)
+		}
+		res.Steps = append(res.Steps, sc)
+	}
+	return res, nil
+}
+
+// gather assembles the final global state: for every field, each
+// element's value comes from its final owner's local copy, in ascending
+// color order. Elements outside the final owner's union keep their
+// initial values — under the coherence protocol they have no valid copy
+// anywhere, and reading them in a later launch would have failed loudly.
+func gather(prog *Program, nodes []*node) (*ir.Machine, error) {
+	out := cloneMachine(prog.Machine)
+	// Replay the deterministic ownership evolution to its final state.
+	owners := cloneOwners(prog.Owners)
+	for step := 0; step < len(nodes[0].stats); step++ {
+		for _, t := range prog.Plan.Tasks {
+			for _, req := range t.Launch.Reqs {
+				if req.Priv != runtime.ReadWrite && req.Priv != runtime.WriteDiscard {
+					continue
+				}
+				for _, f := range req.Fields {
+					owners[sim.FieldKey{Region: req.Region, Field: f}] = prog.Parts[req.Sym]
+				}
+			}
+		}
+	}
+	fks := make([]sim.FieldKey, 0, len(owners))
+	for fk := range owners {
+		fks = append(fks, fk)
+	}
+	sort.Slice(fks, func(i, j int) bool {
+		if fks[i].Region != fks[j].Region {
+			return fks[i].Region < fks[j].Region
+		}
+		return fks[i].Field < fks[j].Field
+	})
+	for _, fk := range fks {
+		owner := owners[fk]
+		for c := 0; c < len(nodes); c++ {
+			r := nodes[c].m.Regions[fk.Region]
+			if r == nil {
+				return nil, fmt.Errorf("exec: gather: owner declared for unknown region %q", fk.Region)
+			}
+			msg, err := packField(r, fk.Field, owner.Sub(c))
+			if err != nil {
+				return nil, err
+			}
+			if err := installField(out.Regions[fk.Region], fk.Field, &msg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// RunSequentialReference executes the same plan with the sequential
+// parallel-semantics executor (rewrite.Executor) for steps iterations:
+// the bit-exact reference the distributed run must reproduce.
+func RunSequentialReference(prog *Program, steps int) (*ir.Machine, error) {
+	if steps <= 0 {
+		steps = 1
+	}
+	m := cloneMachine(prog.Machine)
+	ex := rewrite.NewExecutor(m)
+	for sym, p := range prog.Parts {
+		ex.Bind(sym, p)
+	}
+	for s := 0; s < steps; s++ {
+		for _, t := range prog.Plan.Tasks {
+			if err := ex.RunLaunch(t.Loop); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,175 @@
+package exec
+
+import (
+	"fmt"
+
+	"autopart/internal/geometry"
+	"autopart/internal/region"
+)
+
+// msgKind distinguishes the three transfers of the coherence protocol.
+type msgKind int
+
+const (
+	// ghostMsg carries valid data from an owner into a reader's ghost
+	// cells before a launch.
+	ghostMsg msgKind = iota
+	// shipMsg writes a §5.1 guarded reduction's remote-owned results back
+	// to their owners after a launch.
+	shipMsg
+	// mergeMsg moves a reduction buffer's remote-owned contributions to
+	// their owners for the ordered fold.
+	mergeMsg
+)
+
+func (k msgKind) String() string {
+	switch k {
+	case ghostMsg:
+		return "ghost"
+	case shipMsg:
+		return "ship"
+	case mergeMsg:
+		return "merge"
+	default:
+		return fmt.Sprintf("msgKind(%d)", int(k))
+	}
+}
+
+// message is one piece of one field moving between a node pair. The
+// element set is carried redundantly (the receiver derives the same set
+// from replicated metadata) so protocol mismatches surface as loud
+// errors instead of silent data corruption.
+type message struct {
+	kind          msgKind
+	step, launch  int
+	req           int
+	region, field string
+	set           geometry.IndexSet
+	// Payload, one slot per element of set in ascending index order;
+	// exactly one slice is non-nil, matching the field's kind.
+	scalars []float64
+	indexes []int64
+	ranges  []geometry.Interval
+	// present marks which slots of a mergeMsg carry a real contribution
+	// (reduction buffers are sparse; the wire format is the dense
+	// instance copy the cost model prices).
+	present []bool
+}
+
+// checkTag verifies a received message is the one the deterministic
+// protocol schedule expects.
+func (m *message) checkTag(kind msgKind, step, launch, req int, regionName, field string, set geometry.IndexSet) error {
+	if m.kind != kind || m.step != step || m.launch != launch || m.req != req ||
+		m.region != regionName || m.field != field || !m.set.Equal(set) {
+		return fmt.Errorf("exec: protocol mismatch: got %s step=%d launch=%d req=%d %s.%s %s, want %s step=%d launch=%d req=%d %s.%s %s",
+			m.kind, m.step, m.launch, m.req, m.region, m.field, m.set,
+			kind, step, launch, req, regionName, field, set)
+	}
+	return nil
+}
+
+// packField copies r's values over set into a fresh payload.
+func packField(r *region.Region, field string, set geometry.IndexSet) (msg message, err error) {
+	kind, ok := r.FieldKindOf(field)
+	if !ok {
+		return msg, fmt.Errorf("exec: pack: unknown field %s.%s", r.Name(), field)
+	}
+	n := int(set.Len())
+	switch kind {
+	case region.ScalarField:
+		data := r.Scalar(field)
+		out := make([]float64, 0, n)
+		set.EachInterval(func(iv geometry.Interval) bool {
+			out = append(out, data[iv.Lo:iv.Hi]...)
+			return true
+		})
+		msg.scalars = out
+	case region.IndexField:
+		data := r.Index(field)
+		out := make([]int64, 0, n)
+		set.EachInterval(func(iv geometry.Interval) bool {
+			out = append(out, data[iv.Lo:iv.Hi]...)
+			return true
+		})
+		msg.indexes = out
+	case region.RangeField:
+		data := r.Ranges(field)
+		out := make([]geometry.Interval, 0, n)
+		set.EachInterval(func(iv geometry.Interval) bool {
+			out = append(out, data[iv.Lo:iv.Hi]...)
+			return true
+		})
+		msg.ranges = out
+	}
+	msg.set = set
+	return msg, nil
+}
+
+// installField writes a received payload into r's values over msg.set.
+func installField(r *region.Region, field string, msg *message) error {
+	kind, ok := r.FieldKindOf(field)
+	if !ok {
+		return fmt.Errorf("exec: install: unknown field %s.%s", r.Name(), field)
+	}
+	pos := 0
+	switch kind {
+	case region.ScalarField:
+		if msg.scalars == nil {
+			return fmt.Errorf("exec: install %s.%s: payload kind mismatch", r.Name(), field)
+		}
+		data := r.Scalar(field)
+		msg.set.EachInterval(func(iv geometry.Interval) bool {
+			pos += copy(data[iv.Lo:iv.Hi], msg.scalars[pos:])
+			return true
+		})
+	case region.IndexField:
+		if msg.indexes == nil {
+			return fmt.Errorf("exec: install %s.%s: payload kind mismatch", r.Name(), field)
+		}
+		data := r.Index(field)
+		msg.set.EachInterval(func(iv geometry.Interval) bool {
+			pos += copy(data[iv.Lo:iv.Hi], msg.indexes[pos:])
+			return true
+		})
+	case region.RangeField:
+		if msg.ranges == nil {
+			return fmt.Errorf("exec: install %s.%s: payload kind mismatch", r.Name(), field)
+		}
+		data := r.Ranges(field)
+		msg.set.EachInterval(func(iv geometry.Interval) bool {
+			pos += copy(data[iv.Lo:iv.Hi], msg.ranges[pos:])
+			return true
+		})
+	}
+	return nil
+}
+
+// packBuffer copies a sparse reduction buffer's values over set into the
+// dense wire format: one slot per element, present marking real
+// contributions.
+func packBuffer(values map[int64]float64, set geometry.IndexSet) (scalars []float64, present []bool) {
+	n := int(set.Len())
+	scalars = make([]float64, 0, n)
+	present = make([]bool, 0, n)
+	set.Each(func(k int64) bool {
+		v, ok := values[k]
+		scalars = append(scalars, v)
+		present = append(present, ok)
+		return true
+	})
+	return scalars, present
+}
+
+// unpackBuffer rebuilds the sparse contribution map from a mergeMsg.
+func unpackBuffer(msg *message) map[int64]float64 {
+	out := map[int64]float64{}
+	pos := 0
+	msg.set.Each(func(k int64) bool {
+		if msg.present[pos] {
+			out[k] = msg.scalars[pos]
+		}
+		pos++
+		return true
+	})
+	return out
+}

@@ -1,0 +1,449 @@
+package exec
+
+import (
+	"fmt"
+
+	"autopart/internal/geometry"
+	"autopart/internal/ir"
+	"autopart/internal/region"
+	"autopart/internal/rewrite"
+	"autopart/internal/runtime"
+	"autopart/internal/sim"
+)
+
+// node is one SPMD executor node. It holds a full-size local copy of
+// every region (valid only on owned elements and fresh ghosts), its own
+// replica of the owner map (all replicas evolve identically), and its
+// rows of the per-launch statistics. Nodes communicate exclusively
+// through the pipes; no mutable state is shared.
+type node struct {
+	id     int
+	cfg    Config
+	prog   *Program
+	m      *ir.Machine
+	owners map[sim.FieldKey]*region.Partition
+	sendTo []chan message // sendTo[k]: pipe input toward node k (nil for self)
+	recvAt []chan message // recvAt[k]: pipe output from node k (nil for self)
+	stats  [][]sim.NodeStats
+}
+
+// run executes all steps of the plan.
+func (n *node) run() error {
+	for step := 0; step < n.cfg.Steps; step++ {
+		n.stats[step] = make([]sim.NodeStats, len(n.prog.Plan.Tasks))
+		for li, t := range n.prog.Plan.Tasks {
+			if err := n.runLaunch(step, li, t); err != nil {
+				return fmt.Errorf("step %d, launch %s: %w", step, t.Launch.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (n *node) send(to int, msg message) {
+	n.sendTo[to] <- msg
+}
+
+// recv takes the next message from node `from`, failing if the peer
+// exited (its pipe closed) before sending it.
+func (n *node) recv(from int) (message, error) {
+	msg, ok := <-n.recvAt[from]
+	if !ok {
+		return message{}, fmt.Errorf("peer %d exited before sending", from)
+	}
+	return msg, nil
+}
+
+// needsFetch reports whether a requirement pulls ghost data before the
+// launch: reads do, and §5.1 guarded reductions read-modify-write their
+// targets in place. WriteDiscard and buffered reductions never fetch.
+func needsFetch(req runtime.Requirement) bool {
+	switch req.Priv {
+	case runtime.ReadOnly, runtime.ReadWrite:
+		return true
+	case runtime.Reduce:
+		return req.Guarded
+	}
+	return false
+}
+
+// runLaunch is one bulk-synchronous launch on this node:
+//
+//  1. ghost exchange — serve peers' remote needs from owned data, then
+//     install the pieces peers serve us (valid-instance tracking decides
+//     both sides, exactly as sim charges them);
+//  2. shard execution — run the rewritten loop over this color only,
+//     then flush its private writes into the local arrays;
+//  3. write-back — ship guarded-reduction results on remote-owned
+//     targets to their owners, and merge reduction buffers to owners in
+//     ascending color order;
+//  4. ownership update — writes move each written field's owner to the
+//     writing partition, replicated identically on every node.
+//
+// Sends within a phase never block (pipes buffer unboundedly), so
+// enqueueing all sends before blocking on receives makes the exchange
+// deadlock-free with no barriers.
+func (n *node) runLaunch(step, li int, t runtime.Task) error {
+	l := t.Launch
+	st := &n.stats[step][li]
+	parts := n.prog.Parts
+	j := n.id
+	bpe := n.cfg.BytesPerElem
+
+	// --- Phase 1a: enqueue outgoing ghosts. ---
+	for ri, req := range l.Reqs {
+		if !needsFetch(req) {
+			continue
+		}
+		p := parts[req.Sym]
+		for _, f := range req.Fields {
+			owner, err := n.ownerOf(req.Region, f)
+			if err != nil {
+				return err
+			}
+			for k := range n.sendTo {
+				if k == j {
+					continue
+				}
+				need := p.Sub(k).Subtract(owner.Sub(k))
+				piece := need.Intersect(owner.Sub(j))
+				if piece.Empty() {
+					continue
+				}
+				msg, err := packField(n.m.Regions[req.Region], f, piece)
+				if err != nil {
+					return err
+				}
+				msg.kind, msg.step, msg.launch, msg.req = ghostMsg, step, li, ri
+				msg.region, msg.field = req.Region, f
+				n.send(k, msg)
+				st.BytesOut += float64(piece.Len()) * bpe
+				st.FragsOut += piece.NumIntervals()
+				st.MsgsOut++
+			}
+		}
+	}
+
+	// --- Phase 1b: receive and install incoming ghosts. ---
+	for ri, req := range l.Reqs {
+		if !needsFetch(req) {
+			continue
+		}
+		p := parts[req.Sym]
+		for _, f := range req.Fields {
+			owner, err := n.ownerOf(req.Region, f)
+			if err != nil {
+				return err
+			}
+			remote := p.Sub(j).Subtract(owner.Sub(j))
+			if remote.Empty() {
+				continue
+			}
+			st.BytesIn += float64(remote.Len()) * bpe
+			st.FragsIn += remote.NumIntervals()
+			covered := geometry.IndexSet{}
+			for _, pc := range region.SplitByOwner(remote, owner) {
+				msg, err := n.recv(pc.Color)
+				if err != nil {
+					return err
+				}
+				if err := msg.checkTag(ghostMsg, step, li, ri, req.Region, f, pc.Set); err != nil {
+					return err
+				}
+				if err := installField(n.m.Regions[req.Region], f, &msg); err != nil {
+					return err
+				}
+				st.MsgsIn++
+				covered = covered.Union(pc.Set)
+			}
+			if !covered.Equal(remote) {
+				return fmt.Errorf("no valid copy of %s.%s for ghost set %s (owner covers only %s)",
+					req.Region, f, remote, covered)
+			}
+		}
+	}
+
+	// --- Phase 2: run this color's shard and flush private writes. ---
+	res, err := rewrite.RunShard(n.m, parts, t.Loop, j)
+	if err != nil {
+		return err
+	}
+	for k, vals := range res.Scalars {
+		data := n.m.Regions[k.Region].Scalar(k.Field)
+		for idx, v := range vals {
+			data[idx] = v
+		}
+	}
+	for k, vals := range res.Indexes {
+		data := n.m.Regions[k.Region].Index(k.Field)
+		for idx, v := range vals {
+			data[idx] = v
+		}
+	}
+
+	// Reduction-instance accounting: the buffer covers the instance
+	// subregion minus the §5.2 private sub-partition (private elements
+	// reduce directly into the local instance).
+	for _, req := range l.Reqs {
+		if req.Priv != runtime.Reduce || req.Guarded {
+			continue
+		}
+		sub := parts[req.Sym].Sub(j)
+		if sub.Empty() {
+			continue
+		}
+		alloc := sub
+		if req.PrivateSym != "" {
+			alloc = sub.Subtract(parts[req.PrivateSym].Sub(j))
+		}
+		st.BufferElems += float64(alloc.Len()) * float64(len(req.Fields))
+	}
+
+	// --- Phase 3a: enqueue write-backs (guarded ships, buffer merges). ---
+	// A launch may carry several unguarded reduction requirements on the
+	// same field through different instance partitions (circuit reduces
+	// into Nodes.charge via both wire endpoints). Sends and statistics
+	// stay per-requirement — that is how sim charges them — but the shard
+	// buffer is shared per field, so reachability is checked against the
+	// union of the requirements' reach sets, and the owner-side fold
+	// dedupes by sender before folding each contribution exactly once.
+	mergeReach := map[rewrite.FieldKey]geometry.IndexSet{}
+	var mergeOrder []rewrite.FieldKey
+	for ri, req := range l.Reqs {
+		if req.Priv != runtime.Reduce {
+			continue
+		}
+		p := parts[req.Sym]
+		if req.Guarded {
+			for _, f := range req.Fields {
+				owner, err := n.ownerOf(req.Region, f)
+				if err != nil {
+					return err
+				}
+				remote := p.Sub(j).Subtract(owner.Sub(j))
+				if remote.Empty() {
+					continue
+				}
+				st.BytesOut += float64(remote.Len()) * bpe
+				st.FragsOut += remote.NumIntervals()
+				covered := geometry.IndexSet{}
+				for _, pc := range region.SplitByOwner(remote, owner) {
+					msg, err := packField(n.m.Regions[req.Region], f, pc.Set)
+					if err != nil {
+						return err
+					}
+					msg.kind, msg.step, msg.launch, msg.req = shipMsg, step, li, ri
+					msg.region, msg.field = req.Region, f
+					n.send(pc.Color, msg)
+					st.MsgsOut++
+					covered = covered.Union(pc.Set)
+				}
+				if !covered.Equal(remote) {
+					return fmt.Errorf("guarded write-back of %s.%s would lose updates on unowned set %s",
+						req.Region, f, remote.Subtract(covered))
+				}
+			}
+			continue
+		}
+		touched := p
+		if req.TouchedSym != "" {
+			touched = parts[req.TouchedSym]
+		}
+		if p.Sub(j).Empty() {
+			continue
+		}
+		for _, f := range req.Fields {
+			owner, err := n.ownerOf(req.Region, f)
+			if err != nil {
+				return err
+			}
+			fk := rewrite.FieldKey{Region: req.Region, Field: f}
+			buf := res.Reductions[fk]
+			if _, ok := mergeReach[fk]; !ok {
+				mergeOrder = append(mergeOrder, fk)
+			}
+			reach := mergeReach[fk].Union(owner.Sub(j))
+			remote := touched.Sub(j).Subtract(owner.Sub(j))
+			if !remote.Empty() {
+				st.BytesOut += float64(remote.Len()) * bpe
+				st.FragsOut += remote.NumIntervals()
+				for _, pc := range region.SplitByOwner(remote, owner) {
+					var msg message
+					if buf != nil {
+						msg.scalars, msg.present = packBuffer(buf.Values, pc.Set)
+					} else {
+						msg.scalars, msg.present = packBuffer(nil, pc.Set)
+					}
+					msg.set = pc.Set
+					msg.kind, msg.step, msg.launch, msg.req = mergeMsg, step, li, ri
+					msg.region, msg.field = req.Region, f
+					n.send(pc.Color, msg)
+					st.MsgsOut++
+				}
+				reach = reach.Union(remote.Intersect(owner.UnionAll()))
+			}
+			mergeReach[fk] = reach
+		}
+	}
+	// Contributions neither local nor shipped under any requirement would
+	// silently vanish; the coherence protocol treats that as unsound.
+	for _, fk := range mergeOrder {
+		buf := res.Reductions[fk]
+		if buf == nil {
+			continue
+		}
+		reach := mergeReach[fk]
+		for idx := range buf.Values {
+			if !reach.Contains(idx) {
+				return fmt.Errorf("reduction contribution to %s.%s[%d] has no owner to merge into",
+					fk.Region, fk.Field, idx)
+			}
+		}
+	}
+
+	// --- Phase 3b: receive write-backs; fold merges in color order. ---
+	// folds accumulates, per reduced field, one contribution map per
+	// sender color. Duplicate elements arriving from the same sender
+	// under different requirements carry identical values (both pack the
+	// sender's one shard buffer), so overwriting dedupes them and each
+	// (sender, element) contribution folds exactly once.
+	type foldState struct {
+		op       string
+		perColor []map[int64]float64
+	}
+	folds := map[rewrite.FieldKey]*foldState{}
+	var foldOrder []rewrite.FieldKey
+	for ri, req := range l.Reqs {
+		if req.Priv != runtime.Reduce {
+			continue
+		}
+		p := parts[req.Sym]
+		if req.Guarded {
+			for _, f := range req.Fields {
+				owner, err := n.ownerOf(req.Region, f)
+				if err != nil {
+					return err
+				}
+				for k := range n.recvAt {
+					if k == j {
+						continue
+					}
+					piece := p.Sub(k).Subtract(owner.Sub(k)).Intersect(owner.Sub(j))
+					if piece.Empty() {
+						continue
+					}
+					msg, err := n.recv(k)
+					if err != nil {
+						return err
+					}
+					if err := msg.checkTag(shipMsg, step, li, ri, req.Region, f, piece); err != nil {
+						return err
+					}
+					if err := installField(n.m.Regions[req.Region], f, &msg); err != nil {
+						return err
+					}
+					st.BytesIn += float64(piece.Len()) * bpe
+					st.FragsIn += piece.NumIntervals()
+					st.MsgsIn++
+				}
+			}
+			continue
+		}
+		touched := p
+		if req.TouchedSym != "" {
+			touched = parts[req.TouchedSym]
+		}
+		for _, f := range req.Fields {
+			owner, err := n.ownerOf(req.Region, f)
+			if err != nil {
+				return err
+			}
+			fk := rewrite.FieldKey{Region: req.Region, Field: f}
+			fs := folds[fk]
+			if fs == nil {
+				fs = &foldState{
+					op:       req.ReduceOp,
+					perColor: make([]map[int64]float64, len(n.recvAt)),
+				}
+				folds[fk] = fs
+				foldOrder = append(foldOrder, fk)
+				// Our own shard's contributions on elements we own fold
+				// locally; they join the field's per-color maps once, no
+				// matter how many requirements cover the field.
+				if buf := res.Reductions[fk]; buf != nil {
+					own := owner.Sub(j)
+					for idx, v := range buf.Values {
+						if own.Contains(idx) {
+							if fs.perColor[j] == nil {
+								fs.perColor[j] = map[int64]float64{}
+							}
+							fs.perColor[j][idx] = v
+						}
+					}
+				}
+			}
+			for k := range n.recvAt {
+				if k == j {
+					continue
+				}
+				if p.Sub(k).Empty() {
+					continue
+				}
+				piece := touched.Sub(k).Subtract(owner.Sub(k)).Intersect(owner.Sub(j))
+				if piece.Empty() {
+					continue
+				}
+				msg, err := n.recv(k)
+				if err != nil {
+					return err
+				}
+				if err := msg.checkTag(mergeMsg, step, li, ri, req.Region, f, piece); err != nil {
+					return err
+				}
+				for idx, v := range unpackBuffer(&msg) {
+					if fs.perColor[k] == nil {
+						fs.perColor[k] = map[int64]float64{}
+					}
+					fs.perColor[k][idx] = v
+				}
+				st.BytesIn += float64(piece.Len()) * bpe
+				st.FragsIn += piece.NumIntervals()
+				st.MsgsIn++
+			}
+		}
+	}
+	// Fold each reduced field's deduped contributions exactly once. The
+	// fold is rewrite.MergeShardReductions restricted to owner.Sub(j), so
+	// the distributed merge reproduces the sequential one piecewise.
+	for _, fk := range foldOrder {
+		fs := folds[fk]
+		perColor := make([]map[rewrite.FieldKey]*rewrite.ReduceBuffer, len(n.recvAt))
+		for k, vals := range fs.perColor {
+			if len(vals) > 0 {
+				perColor[k] = map[rewrite.FieldKey]*rewrite.ReduceBuffer{
+					fk: {Op: fs.op, Values: vals},
+				}
+			}
+		}
+		rewrite.MergeShardReductions(n.m, perColor)
+	}
+
+	// --- Phase 4: writes move ownership to the writing partition. ---
+	for _, req := range l.Reqs {
+		if req.Priv != runtime.ReadWrite && req.Priv != runtime.WriteDiscard {
+			continue
+		}
+		for _, f := range req.Fields {
+			n.owners[sim.FieldKey{Region: req.Region, Field: f}] = parts[req.Sym]
+		}
+	}
+	return nil
+}
+
+func (n *node) ownerOf(regionName, field string) (*region.Partition, error) {
+	owner := n.owners[sim.FieldKey{Region: regionName, Field: field}]
+	if owner == nil {
+		return nil, fmt.Errorf("no owner for %s.%s", regionName, field)
+	}
+	return owner, nil
+}

@@ -1,0 +1,33 @@
+package exec
+
+// pipe forwards messages from in to out in FIFO order with an unbounded
+// elastic buffer between them. One pipe backs each ordered node pair, so
+// a sender never blocks on a slow receiver: enqueueing all of a phase's
+// outgoing messages before blocking on the phase's receives is what
+// makes the exchange deadlock-free without barriers (a cycle of waiting
+// nodes would require some send to block, and none can).
+//
+// The forwarder exits and closes out when in is closed and the buffer
+// has drained.
+func pipe(in <-chan message, out chan<- message) {
+	var q []message
+	for in != nil || len(q) > 0 {
+		var outc chan<- message
+		var head message
+		if len(q) > 0 {
+			outc = out
+			head = q[0]
+		}
+		select {
+		case m, ok := <-in:
+			if !ok {
+				in = nil
+				continue
+			}
+			q = append(q, m)
+		case outc <- head:
+			q = q[1:]
+		}
+	}
+	close(out)
+}

@@ -267,6 +267,17 @@ func (s IndexSet) Each(fn func(k int64) bool) {
 	}
 }
 
+// EachInterval calls fn for every maximal interval of the set in
+// ascending order; it stops early if fn returns false. Bulk consumers
+// (payload packing, array copies) should prefer this over Each.
+func (s IndexSet) EachInterval(fn func(iv Interval) bool) {
+	for _, iv := range s.ivs {
+		if !fn(iv) {
+			return
+		}
+	}
+}
+
 // Slice returns all indices of the set in ascending order. Intended for
 // tests and small sets.
 func (s IndexSet) Slice() []int64 {

@@ -113,6 +113,34 @@ func (p *Partition) SamePartition(other *Partition) bool {
 	return true
 }
 
+// OwnedPiece is one owner color's share of an index set: the slice of a
+// ghost/halo region that a single node holds the valid copy of.
+type OwnedPiece struct {
+	Color int
+	Set   geometry.IndexSet
+}
+
+// SplitByOwner splits s along the colors of the owner partition,
+// returning the non-empty pieces in ascending color order. Both the cost
+// model (predicting transfer volumes) and the distributed executor
+// (planning the actual messages) derive their per-pair traffic from this
+// split, which is what keeps measured and predicted bytes comparable.
+// Elements of s outside the owner's union appear in no piece.
+func SplitByOwner(s geometry.IndexSet, owner *Partition) []OwnedPiece {
+	if s.Empty() {
+		return nil
+	}
+	var out []OwnedPiece
+	for k := 0; k < owner.NumSubs(); k++ {
+		piece := s.Intersect(owner.Sub(k))
+		if piece.Empty() {
+			continue
+		}
+		out = append(out, OwnedPiece{Color: k, Set: piece})
+	}
+	return out
+}
+
 // Rename returns a view of the partition under a different name, sharing
 // subregion storage (and the cached union).
 func (p *Partition) Rename(name string) *Partition {

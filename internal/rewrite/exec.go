@@ -11,9 +11,10 @@ import (
 // Executor runs parallel loops against concrete regions and partitions
 // with parallel semantics: each task (color) reads the launch-entry
 // snapshot plus its own writes, writes flush at task end, and uncentered
-// reduction contributions collect in buffers merged after all tasks.
-// Every access is containment-checked against the task's subregion; a
-// violation means the partitioning was unsound and aborts the launch.
+// reduction contributions collect in per-task buffers merged after all
+// tasks. Every access is containment-checked against the task's
+// subregion; a violation means the partitioning was unsound and aborts
+// the launch.
 type Executor struct {
 	M *ir.Machine
 	// Parts binds canonical partition symbols to evaluated partitions.
@@ -31,24 +32,24 @@ func (ex *Executor) Bind(sym string, p *region.Partition) *Executor {
 	return ex
 }
 
-// fieldKey identifies a region field.
-type fieldKey struct{ region, field string }
+// FieldKey identifies a region field.
+type FieldKey struct{ Region, Field string }
 
 // overlay is a task's private view: reads hit the task's writes first,
 // then the launch snapshot; writes stay private until flush.
 type overlay struct {
-	scalars map[fieldKey]map[int64]float64
-	indexes map[fieldKey]map[int64]int64
+	scalars map[FieldKey]map[int64]float64
+	indexes map[FieldKey]map[int64]int64
 }
 
 func newOverlay() *overlay {
 	return &overlay{
-		scalars: map[fieldKey]map[int64]float64{},
-		indexes: map[fieldKey]map[int64]int64{},
+		scalars: map[FieldKey]map[int64]float64{},
+		indexes: map[FieldKey]map[int64]int64{},
 	}
 }
 
-func (o *overlay) writeScalar(k fieldKey, idx int64, v float64) {
+func (o *overlay) writeScalar(k FieldKey, idx int64, v float64) {
 	m := o.scalars[k]
 	if m == nil {
 		m = map[int64]float64{}
@@ -57,7 +58,7 @@ func (o *overlay) writeScalar(k fieldKey, idx int64, v float64) {
 	m[idx] = v
 }
 
-func (o *overlay) writeIndex(k fieldKey, idx int64, v int64) {
+func (o *overlay) writeIndex(k FieldKey, idx int64, v int64) {
 	m := o.indexes[k]
 	if m == nil {
 		m = map[int64]int64{}
@@ -66,10 +67,60 @@ func (o *overlay) writeIndex(k fieldKey, idx int64, v int64) {
 	m[idx] = v
 }
 
-// buffer accumulates uncentered reduction contributions for one field.
-type buffer struct {
-	op     string
-	values map[int64]float64
+// ReduceBuffer accumulates one task's uncentered reduction contributions
+// for one field, folded from the op's identity in iteration order.
+type ReduceBuffer struct {
+	Op     string
+	Values map[int64]float64
+}
+
+// ShardResult is the outcome of running one color's shard of a parallel
+// loop against a stable snapshot: the task's private writes (plain
+// stores, centered reductions, and §5.1 guarded in-place reductions) and
+// its uncentered reduction contributions. Nothing is applied to any
+// machine — the caller decides how: the sequential Executor flushes
+// shards in ascending color order and merges buffers after the launch;
+// the distributed executor ships remote-owned pieces to their owners.
+type ShardResult struct {
+	Scalars    map[FieldKey]map[int64]float64
+	Indexes    map[FieldKey]map[int64]int64
+	Reductions map[FieldKey]*ReduceBuffer
+}
+
+// RunShard executes one color's task of pl. Reads see m's current region
+// data plus the task's own earlier writes; m is not mutated, so several
+// shards may run against the same machine (a launch-entry snapshot, or a
+// distributed node's local arrays made current by a ghost exchange).
+func RunShard(m *ir.Machine, parts map[string]*region.Partition, pl *ParallelLoop, color int) (*ShardResult, error) {
+	iter, ok := parts[pl.IterSym]
+	if !ok {
+		return nil, fmt.Errorf("launch %s: unbound iteration partition %q", pl, pl.IterSym)
+	}
+	task := &taskExec{
+		m:       m,
+		parts:   parts,
+		pl:      pl,
+		color:   color,
+		overlay: newOverlay(),
+		buffers: map[FieldKey]*ReduceBuffer{},
+	}
+	var taskErr error
+	iter.Sub(color).Each(func(k int64) bool {
+		env := ir.Env{pl.Loop.Var: ir.IndexValue(k)}
+		if err := task.runBody(pl.Loop.Stmts, env); err != nil {
+			taskErr = fmt.Errorf("task %d, iteration %d: %w", color, k, err)
+			return false
+		}
+		return true
+	})
+	if taskErr != nil {
+		return nil, taskErr
+	}
+	return &ShardResult{
+		Scalars:    task.overlay.scalars,
+		Indexes:    task.overlay.indexes,
+		Reductions: task.buffers,
+	}, nil
 }
 
 // RunLaunch executes one parallel loop over all colors of its iteration
@@ -86,90 +137,116 @@ func (ex *Executor) RunLaunch(pl *ParallelLoop) error {
 	for name, r := range ex.M.Regions {
 		snapshot[name] = r.CloneData()
 	}
+	snapM := &ir.Machine{Regions: snapshot, Funcs: ex.M.Funcs, Partitions: ex.M.Partitions}
 
-	buffers := map[fieldKey]*buffer{}
-
+	perColor := make([]map[FieldKey]*ReduceBuffer, iter.NumSubs())
 	for color := 0; color < iter.NumSubs(); color++ {
-		task := &taskExec{
-			ex:       ex,
-			pl:       pl,
-			color:    color,
-			snapshot: snapshot,
-			overlay:  newOverlay(),
-			buffers:  buffers,
+		res, err := RunShard(snapM, ex.Parts, pl, color)
+		if err != nil {
+			return err
 		}
-		var taskErr error
-		iter.Sub(color).Each(func(k int64) bool {
-			env := ir.Env{pl.Loop.Var: ir.IndexValue(k)}
-			if err := task.runBody(pl.Loop.Stmts, env); err != nil {
-				taskErr = fmt.Errorf("task %d, iteration %d: %w", color, k, err)
-				return false
+		// Flush the task's private writes to the live regions in task
+		// order (overlapping aliased writes resolve last-color-wins).
+		for k, vals := range res.Scalars {
+			data := ex.M.Regions[k.Region].Scalar(k.Field)
+			for idx, v := range vals {
+				data[idx] = v
 			}
-			return true
-		})
-		if taskErr != nil {
-			return taskErr
 		}
-		task.flush()
+		for k, vals := range res.Indexes {
+			data := ex.M.Regions[k.Region].Index(k.Field)
+			for idx, v := range vals {
+				data[idx] = v
+			}
+		}
+		perColor[color] = res.Reductions
 	}
 
-	// Merge reduction buffers (deterministic order).
-	keys := make([]fieldKey, 0, len(buffers))
-	for k := range buffers {
+	MergeShardReductions(ex.M, perColor)
+	return nil
+}
+
+// MergeShardReductions folds per-color reduction buffers into the live
+// regions. The order is fixed: fields sorted by (region, field),
+// elements ascending, and each element's per-color contributions in
+// ascending color order seeded by the first contributing color. A
+// distributed executor reproduces exactly this fold piecewise at each
+// element's owner, which is why merged results are deterministic and
+// node-count independent.
+func MergeShardReductions(m *ir.Machine, perColor []map[FieldKey]*ReduceBuffer) {
+	type elem struct {
+		op   string
+		idxs map[int64]bool
+	}
+	fields := map[FieldKey]*elem{}
+	for _, bufs := range perColor {
+		for k, buf := range bufs {
+			e := fields[k]
+			if e == nil {
+				e = &elem{op: buf.Op, idxs: map[int64]bool{}}
+				fields[k] = e
+			}
+			for idx := range buf.Values {
+				e.idxs[idx] = true
+			}
+		}
+	}
+	keys := make([]FieldKey, 0, len(fields))
+	for k := range fields {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].region != keys[j].region {
-			return keys[i].region < keys[j].region
+		if keys[i].Region != keys[j].Region {
+			return keys[i].Region < keys[j].Region
 		}
-		return keys[i].field < keys[j].field
+		return keys[i].Field < keys[j].Field
 	})
 	for _, k := range keys {
-		buf := buffers[k]
-		r := ex.M.Regions[k.region]
-		data := r.Scalar(k.field)
-		idxs := make([]int64, 0, len(buf.values))
-		for idx := range buf.values {
+		e := fields[k]
+		data := m.Regions[k.Region].Scalar(k.Field)
+		idxs := make([]int64, 0, len(e.idxs))
+		for idx := range e.idxs {
 			idxs = append(idxs, idx)
 		}
 		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
 		for _, idx := range idxs {
-			data[idx] = ir.ApplyReduce(buf.op, data[idx], buf.values[idx])
+			var v float64
+			first := true
+			for _, bufs := range perColor {
+				buf := bufs[k]
+				if buf == nil {
+					continue
+				}
+				c, ok := buf.Values[idx]
+				if !ok {
+					continue
+				}
+				if first {
+					v = c
+					first = false
+				} else {
+					v = ir.ApplyReduce(e.op, v, c)
+				}
+			}
+			data[idx] = ir.ApplyReduce(e.op, data[idx], v)
 		}
 	}
-	return nil
 }
 
 // taskExec is the per-task interpreter.
 type taskExec struct {
-	ex       *Executor
-	pl       *ParallelLoop
-	color    int
-	snapshot map[string]*region.Region
-	overlay  *overlay
-	buffers  map[fieldKey]*buffer
-}
-
-// flush applies the task's private writes to the live regions.
-func (t *taskExec) flush() {
-	for k, m := range t.overlay.scalars {
-		data := t.ex.M.Regions[k.region].Scalar(k.field)
-		for idx, v := range m {
-			data[idx] = v
-		}
-	}
-	for k, m := range t.overlay.indexes {
-		data := t.ex.M.Regions[k.region].Index(k.field)
-		for idx, v := range m {
-			data[idx] = v
-		}
-	}
+	m       *ir.Machine
+	parts   map[string]*region.Partition
+	pl      *ParallelLoop
+	color   int
+	overlay *overlay
+	buffers map[FieldKey]*ReduceBuffer
 }
 
 // contains checks the containment of an access index in the task's
 // subregion of the access partition.
 func (t *taskExec) contains(info *AccessInfo, idx int64) error {
-	p, ok := t.ex.Parts[info.Sym]
+	p, ok := t.parts[info.Sym]
 	if !ok {
 		return fmt.Errorf("unbound partition %q", info.Sym)
 	}
@@ -189,22 +266,22 @@ func (t *taskExec) runBody(stmts []ir.Stmt, env ir.Env) error {
 	return nil
 }
 
-func (t *taskExec) readScalar(k fieldKey, idx int64) float64 {
+func (t *taskExec) readScalar(k FieldKey, idx int64) float64 {
 	if m, ok := t.overlay.scalars[k]; ok {
 		if v, ok := m[idx]; ok {
 			return v
 		}
 	}
-	return t.snapshot[k.region].Scalar(k.field)[idx]
+	return t.m.Regions[k.Region].Scalar(k.Field)[idx]
 }
 
-func (t *taskExec) readIndex(k fieldKey, idx int64) int64 {
+func (t *taskExec) readIndex(k FieldKey, idx int64) int64 {
 	if m, ok := t.overlay.indexes[k]; ok {
 		if v, ok := m[idx]; ok {
 			return v
 		}
 	}
-	return t.snapshot[k.region].Index(k.field)[idx]
+	return t.m.Regions[k.Region].Index(k.Field)[idx]
 }
 
 func (t *taskExec) step(s ir.Stmt, env ir.Env) error {
@@ -221,8 +298,8 @@ func (t *taskExec) step(s ir.Stmt, env ir.Env) error {
 		if err := t.contains(info, idxVal); err != nil {
 			return err
 		}
-		k := fieldKey{st.Region, st.Field}
-		r := t.snapshot[st.Region]
+		k := FieldKey{st.Region, st.Field}
+		r := t.m.Regions[st.Region]
 		kind, _ := r.FieldKindOf(st.Field)
 		switch kind {
 		case region.ScalarField:
@@ -252,13 +329,13 @@ func (t *taskExec) step(s ir.Stmt, env ir.Env) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", st, err)
 		}
-		k := fieldKey{st.Region, st.Field}
+		k := FieldKey{st.Region, st.Field}
 
 		if info.Guarded {
 			// §5.1: apply only when this task owns the target; the
 			// disjoint complete target partition guarantees exactly-once
 			// across the launch.
-			p, ok := t.ex.Parts[info.Sym]
+			p, ok := t.parts[info.Sym]
 			if !ok {
 				return fmt.Errorf("%s: unbound partition %q", st, info.Sym)
 			}
@@ -277,20 +354,20 @@ func (t *taskExec) step(s ir.Stmt, env ir.Env) error {
 		if info.Buffered {
 			buf := t.buffers[k]
 			if buf == nil {
-				buf = &buffer{op: string(st.Op), values: map[int64]float64{}}
+				buf = &ReduceBuffer{Op: string(st.Op), Values: map[int64]float64{}}
 				t.buffers[k] = buf
 			}
-			old, seen := buf.values[idxVal]
+			old, seen := buf.Values[idxVal]
 			if !seen {
 				old = ir.ReduceIdentity(string(st.Op))
 			}
-			buf.values[idxVal] = ir.ApplyReduce(string(st.Op), old, rhs)
+			buf.Values[idxVal] = ir.ApplyReduce(string(st.Op), old, rhs)
 			return nil
 		}
 
 		// Plain store or centered reduction: task-private read-modify-
 		// write. Pointer fields take the raw value.
-		r := t.snapshot[st.Region]
+		r := t.m.Regions[st.Region]
 		if kind, _ := r.FieldKindOf(st.Field); kind == region.IndexField {
 			t.overlay.writeIndex(k, idxVal, int64(rhs))
 			return nil
@@ -308,7 +385,7 @@ func (t *taskExec) step(s ir.Stmt, env ir.Env) error {
 		return nil
 
 	case *ir.Apply:
-		f, ok := t.ex.M.Funcs[st.Func]
+		f, ok := t.m.Funcs[st.Func]
 		if !ok {
 			return fmt.Errorf("%s: unknown index function", st)
 		}
@@ -343,7 +420,7 @@ func (t *taskExec) step(s ir.Stmt, env ir.Env) error {
 		if err := t.contains(info, idxVal); err != nil {
 			return err
 		}
-		iv := t.snapshot[st.RangeRegion].Ranges(st.RangeField)[idxVal]
+		iv := t.m.Regions[st.RangeRegion].Ranges(st.RangeField)[idxVal]
 		for j := iv.Lo; j < iv.Hi; j++ {
 			env[st.Var] = ir.IndexValue(j)
 			if err := t.runBody(st.Body, env); err != nil {
@@ -359,9 +436,9 @@ func (t *taskExec) step(s ir.Stmt, env ir.Env) error {
 		}
 		in := false
 		if v.Valid {
-			if r, isRegion := t.ex.M.Regions[st.Space]; isRegion {
+			if r, isRegion := t.m.Regions[st.Space]; isRegion {
 				in = v.I >= 0 && v.I < r.Size()
-			} else if p, isPart := t.ex.M.Partitions[st.Space]; isPart {
+			} else if p, isPart := t.m.Partitions[st.Space]; isPart {
 				in = p.UnionAll().Contains(v.I)
 			} else {
 				return fmt.Errorf("%s: unknown space", st)

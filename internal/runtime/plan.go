@@ -1,0 +1,46 @@
+package runtime
+
+import (
+	"fmt"
+
+	"autopart/internal/rewrite"
+)
+
+// Task pairs one launch's structural requirements with the rewritten
+// loop that realizes it. The cost model consumes the Launch; the
+// distributed executor consumes both — requirements drive the ghost
+// exchange, the loop drives per-shard computation.
+type Task struct {
+	Launch *Launch
+	Loop   *rewrite.ParallelLoop
+}
+
+// Plan is an executable task plan: the ordered launches of one main-loop
+// iteration. Launches execute in order (all five benchmarks form a
+// dependence chain; see Dependences).
+type Plan struct {
+	Tasks []Task
+}
+
+// NewPlan converts rewritten parallel loops into an executable plan,
+// naming launches loop0..loopN-1.
+func NewPlan(loops []*rewrite.ParallelLoop) *Plan {
+	p := &Plan{}
+	for i, pl := range loops {
+		p.Tasks = append(p.Tasks, Task{
+			Launch: FromParallelLoop(fmt.Sprintf("loop%d", i), pl),
+			Loop:   pl,
+		})
+	}
+	return p
+}
+
+// Launches returns the plan's launches in order (the cost model's input
+// shape).
+func (p *Plan) Launches() []*Launch {
+	out := make([]*Launch, len(p.Tasks))
+	for i, t := range p.Tasks {
+		out[i] = t.Launch
+	}
+	return out
+}

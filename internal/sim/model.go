@@ -308,18 +308,13 @@ func (m Model) planRemote(n int, get func(j int) geometry.IndexSet, owner *regio
 			bytes: float64(remote.Len()) * m.BytesPerElem,
 			frags: remote.NumIntervals(),
 		}
-		for k := 0; k < n; k++ {
-			if k == j {
-				continue
-			}
-			s := remote.Intersect(owner.Sub(k))
-			if s.Empty() {
-				continue
-			}
+		// The executor plans its actual messages from the same split, so
+		// predicted pieces and shipped pieces agree pair by pair.
+		for _, pc := range region.SplitByOwner(remote, owner) {
 			pl.pieces = append(pl.pieces, piece{
-				k:     k,
-				bytes: float64(s.Len()) * m.BytesPerElem,
-				frags: s.NumIntervals(),
+				k:     pc.Color,
+				bytes: float64(pc.Set.Len()) * m.BytesPerElem,
+				frags: pc.Set.NumIntervals(),
 			})
 		}
 		plans[j] = pl

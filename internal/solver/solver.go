@@ -93,8 +93,12 @@ type Solver struct {
 	// (dpl.SymBit). An expression whose free-variable mask has bits
 	// outside extMask certainly contains a non-external symbol, so the
 	// hot closedness scans skip it without touching the intern table.
-	extMask  uint64
-	extCands []extCandidate
+	extMask uint64
+	// externalIDs is the same membership as externalSyms over dense
+	// interned symbol ids (dpl.SymID): the search's closedness and
+	// externality tests hit this bitset instead of hashing strings.
+	externalIDs dpl.SymSet
+	extCands    []extCandidate
 	// budget caps backtracking work per Solve call; solving is reported
 	// as failed if exceeded (never hit by realistic systems). Each
 	// search carries its own countdown, so concurrent and nested
@@ -137,12 +141,15 @@ func New(external *constraint.System, externalSyms []string) *Solver {
 	for _, sym := range externalSyms {
 		s.externalSyms[sym] = true
 		s.extMask |= dpl.SymBit(sym)
+		s.externalIDs.Add(dpl.SymID(sym))
 	}
 	s.collectExternalCandidates()
-	// Pre-warm the external system's index: parallel solvability checks
-	// read it concurrently, and the lazy build is not itself
-	// synchronized.
+	// Pre-warm the external system's indexes (both the string view the
+	// provers read and the id view the search reads): parallel
+	// solvability checks hit them concurrently, and the lazy builds are
+	// not themselves synchronized.
 	s.external.RegionOfSym("")
+	s.external.RegionOfSymID(-1)
 	return s
 }
 
@@ -224,38 +231,18 @@ func (s *Solver) collectExternalCandidates() {
 	}
 }
 
-// closed reports whether an expression contains only external symbols
-// (the solver's notion of "closed": everything in it is already
-// computable).
-func (s *Solver) closed(e dpl.Expr) bool {
-	for _, v := range dpl.FreeVars(e) {
-		if !s.externalSyms[v] {
-			return false
-		}
-	}
-	return true
-}
-
-// closedM is closed with a Bloom-mask fast path: mask bits outside
-// extMask prove a non-external free symbol, skipping the exact check.
-// mask must be e's free-variable mask (dpl.FvMask).
-func (s *Solver) closedM(mask uint64, e dpl.Expr) bool {
+// closedIDs reports whether an expression contains only external
+// symbols (the solver's notion of "closed": everything in it is already
+// computable), given its free-variable Bloom mask and interned id list
+// (System.PredFvIDs/SubsetFvIDs). Mask bits outside extMask prove a
+// non-external free symbol without any per-symbol work; the exact check
+// is bitset probes on dense ids instead of string-map lookups.
+func (s *Solver) closedIDs(mask uint64, ids []int32) bool {
 	if mask&^s.extMask != 0 {
 		return false
 	}
-	return s.closed(e)
-}
-
-// closedMF is closedM over a system's cached per-conjunct free-variable
-// list (System.PredFvs/SubsetFvs): same verdict, but the exact check
-// walks the cached list instead of re-hashing the expression into the
-// intern table.
-func (s *Solver) closedMF(mask uint64, fvs []string) bool {
-	if mask&^s.extMask != 0 {
-		return false
-	}
-	for _, v := range fvs {
-		if !s.externalSyms[v] {
+	for _, id := range ids {
+		if !s.externalIDs.Has(id) {
 			return false
 		}
 	}
@@ -266,6 +253,14 @@ func (s *Solver) closedMF(mask uint64, fvs []string) bool {
 type equation struct {
 	name string
 	expr dpl.Expr
+}
+
+// symRef is an unresolved symbol carried through the search as both its
+// name (for equations and candidate expressions) and its interned id
+// (for every membership and index lookup on the hot path).
+type symRef struct {
+	name string
+	id   int32
 }
 
 // search is one backtracking run of Algorithm 2 over one working system.
@@ -322,12 +317,13 @@ func (s *Solver) Solve(sys *constraint.System) (dpl.Program, error) {
 	return prog, nil
 }
 
-// unresolved lists the symbols of c that still need expressions.
-func (s *Solver) unresolved(c *constraint.System) []string {
-	var out []string
+// unresolved lists the symbols of c that still need expressions, in
+// Symbols' sorted order (which fixes the search's candidate order).
+func (s *Solver) unresolved(c *constraint.System) []symRef {
+	var out []symRef
 	for _, sym := range c.Symbols() {
 		if !s.externalSyms[sym] {
-			out = append(out, sym)
+			out = append(out, symRef{name: sym, id: dpl.SymID(sym)})
 		}
 	}
 	return out
@@ -337,15 +333,15 @@ func (s *Solver) unresolved(c *constraint.System) []string {
 // chain of subset constraints E1 ⊆ ... ⊆ Ek ⊆ P, where closed
 // expressions have depth 0. Cycles (possible after unification) are
 // cut by bounding iteration.
-func (sr *search) depths(syms []string) map[string]int {
+func (sr *search) depths(syms []symRef) map[int32]int {
 	c := sr.c
-	depth := make(map[string]int, len(syms))
+	depth := make(map[int32]int, len(syms))
 	for _, sym := range syms {
-		depth[sym] = 0
+		depth[sym.id] = 0
 	}
-	fvsDepth := func(fvs []string) int {
+	idsDepth := func(ids []int32) int {
 		d := 0
-		for _, v := range fvs {
+		for _, v := range ids {
 			if dv, ok := depth[v]; ok && dv > d {
 				d = dv
 			}
@@ -356,23 +352,27 @@ func (sr *search) depths(syms []string) map[string]int {
 	// symbols certainly has depth 0 — skip its free-variable walk.
 	var symsMask uint64
 	for _, sym := range syms {
-		symsMask |= dpl.SymBit(sym)
+		symsMask |= dpl.SymBit(sym.name)
 	}
 	subMasks := c.SubsetMasks()
-	subFvs := c.SubsetFvs()
+	subFvIDs := c.SubsetFvIDs()
 	for iter := 0; iter <= len(syms); iter++ {
 		changed := false
 		for i, sub := range c.Subsets {
-			to, ok := sub.R.(dpl.Var)
-			if !ok || sr.s.externalSyms[to.Name] {
+			if _, ok := sub.R.(dpl.Var); !ok {
+				continue
+			}
+			// A Var's interned fv list is exactly its own id.
+			to := subFvIDs[i][1][0]
+			if sr.s.externalIDs.Has(to) {
 				continue
 			}
 			d := 1
 			if subMasks[i][0]&symsMask != 0 {
-				d = fvsDepth(subFvs[i][0]) + 1
+				d = idsDepth(subFvIDs[i][0]) + 1
 			}
-			if d > depth[to.Name] {
-				depth[to.Name] = d
+			if d > depth[to] {
+				depth[to] = d
 				changed = true
 			}
 		}
@@ -385,11 +385,11 @@ func (sr *search) depths(syms []string) map[string]int {
 
 // regionOf resolves a symbol's region from the working system's PART
 // predicates, falling back to the external assumptions.
-func (sr *search) regionOf(sym string) (string, bool) {
-	if r, ok := sr.c.RegionOfSym(sym); ok {
+func (sr *search) regionOf(sym symRef) (string, bool) {
+	if r, ok := sr.c.RegionOfSymID(sym.id); ok {
 		return r, true
 	}
-	return sr.s.external.RegionOfSym(sym)
+	return sr.s.external.RegionOfSymID(sym.id)
 }
 
 // solve is Algorithm 2: pick a remaining symbol, attempt an equation,
@@ -398,7 +398,7 @@ func (sr *search) regionOf(sym string) (string, bool) {
 // loses the assigned name at each step). The working system is mutated
 // in place; every failed attempt is rewound through the trail, so on
 // failure the system is exactly as the caller left it.
-func (sr *search) solve(sol []equation, syms []string) ([]equation, bool) {
+func (sr *search) solve(sol []equation, syms []symRef) ([]equation, bool) {
 	if sr.budget <= 0 {
 		sr.exhausted = true
 		return nil, false
@@ -430,16 +430,16 @@ func (sr *search) solve(sol []equation, syms []string) ([]equation, bool) {
 		return nil, false
 	}
 
-	try := func(name string, expr dpl.Expr) ([]equation, bool) {
+	try := func(sym symRef, expr dpl.Expr) ([]equation, bool) {
 		m := sr.trail.Mark()
-		c.SubstT(sr.trail, name, expr)
-		rest := make([]string, 0, len(syms)-1)
+		c.SubstT(sr.trail, sym.name, expr)
+		rest := make([]symRef, 0, len(syms)-1)
 		for _, v := range syms {
-			if v != name {
+			if v.id != sym.id {
 				rest = append(rest, v)
 			}
 		}
-		next, ok := sr.solve(append(sol, equation{name, expr}), rest)
+		next, ok := sr.solve(append(sol, equation{sym.name, expr}), rest)
 		if !ok {
 			sr.trail.UndoTo(m)
 		}
@@ -449,22 +449,27 @@ func (sr *search) solve(sol []equation, syms []string) ([]equation, bool) {
 	// Rule 1 (lines 11–15): image(P, f, R) ⊆ E with closed E resolves P
 	// to a preimage (L14). Generalized IMAGE is excluded (L14 invalid).
 	subMasks := c.SubsetMasks()
-	subFvs := c.SubsetFvs()
+	subFvIDs := c.SubsetFvIDs()
 	for i, sub := range c.Subsets {
 		imgExpr, ok := sub.L.(dpl.ImageExpr)
-		if !ok || !s.closedMF(subMasks[i][1], subFvs[i][1]) {
+		if !ok || !s.closedIDs(subMasks[i][1], subFvIDs[i][1]) {
 			continue
 		}
 		p, ok := imgExpr.Of.(dpl.Var)
-		if !ok || s.externalSyms[p.Name] {
+		if !ok {
 			continue
 		}
-		srcRegion, ok := c.RegionOfSym(p.Name)
+		// image(P, f, R)'s interned fv list is exactly [id(P)].
+		pid := subFvIDs[i][0][0]
+		if s.externalIDs.Has(pid) {
+			continue
+		}
+		srcRegion, ok := c.RegionOfSymID(pid)
 		if !ok {
 			continue
 		}
 		cand := dpl.PreimageExpr{Region: srcRegion, Func: imgExpr.Func, Of: sub.R}
-		if next, ok := try(p.Name, cand); ok {
+		if next, ok := try(symRef{name: p.Name, id: pid}, cand); ok {
 			return next, true
 		}
 	}
@@ -472,21 +477,24 @@ func (sr *search) solve(sol []equation, syms []string) ([]equation, bool) {
 	// Rule 2 (lines 16–18): a symbol whose incoming subset constraints
 	// all have closed left-hand sides resolves to their union (L13).
 	for _, sym := range syms {
-		into := c.SubsetsIntoIdx(sym)
+		into := c.SubsetsIntoIdxID(sym.id)
 		if len(into) == 0 {
 			continue
 		}
 		allClosed := true
 		lowers := make([]dpl.Expr, 0, len(into))
-		seen := map[string]bool{}
+		// Dedup by interned expression id: equal expressions share an id
+		// and distinct ones never do, so this matches the old
+		// canonical-key dedup exactly.
+		seen := map[uint64]bool{}
 		for _, j := range into {
 			l := c.Subsets[j].L
-			if !s.closedMF(subMasks[j][0], subFvs[j][0]) {
+			if !s.closedIDs(subMasks[j][0], subFvIDs[j][0]) {
 				allClosed = false
 				break
 			}
-			if key := dpl.Key(l); !seen[key] {
-				seen[key] = true
+			if id := dpl.ID(l); !seen[id] {
+				seen[id] = true
 				lowers = append(lowers, l)
 			}
 		}
@@ -514,7 +522,7 @@ func (sr *search) solve(sol []equation, syms []string) ([]equation, bool) {
 	}
 	for d := maxDepth; d >= 0; d-- {
 		for _, sym := range syms {
-			if depth[sym] != d || !c.HasPred(constraint.Disj, sym) {
+			if depth[sym.id] != d || !c.HasPredID(constraint.Disj, sym.id) {
 				continue
 			}
 			region, ok := sr.regionOf(sym)
@@ -528,7 +536,7 @@ func (sr *search) solve(sol []equation, syms []string) ([]equation, bool) {
 				if cand.region != region || !cand.disj {
 					continue
 				}
-				if c.HasPred(constraint.Comp, sym) && !cand.comp {
+				if c.HasPredID(constraint.Comp, sym.id) && !cand.comp {
 					continue
 				}
 				if next, ok := try(sym, cand.expr); ok {
@@ -542,7 +550,7 @@ func (sr *search) solve(sol []equation, syms []string) ([]equation, bool) {
 	}
 	for d := maxDepth; d >= 0; d-- {
 		for _, sym := range syms {
-			if depth[sym] != d || !c.HasPred(constraint.Comp, sym) || c.HasPred(constraint.Disj, sym) {
+			if depth[sym.id] != d || !c.HasPredID(constraint.Comp, sym.id) || c.HasPredID(constraint.Disj, sym.id) {
 				continue
 			}
 			region, ok := sr.regionOf(sym)
@@ -604,21 +612,21 @@ func (sr *search) consumeClosedConjuncts() bool {
 	c, s := sr.c, sr.s
 	var closedSubIdx, closedPredIdx []int
 	subMasks := c.SubsetMasks()
-	subFvs := c.SubsetFvs()
+	subFvIDs := c.SubsetFvIDs()
 	for i := range c.Subsets {
-		if s.closedMF(subMasks[i][0], subFvs[i][0]) && s.closedMF(subMasks[i][1], subFvs[i][1]) {
+		if s.closedIDs(subMasks[i][0], subFvIDs[i][0]) && s.closedIDs(subMasks[i][1], subFvIDs[i][1]) {
 			closedSubIdx = append(closedSubIdx, i)
 		}
 	}
 	predMasks := c.PredMasks()
-	predFvs := c.PredFvs()
+	predFvIDs := c.PredFvIDs()
 	for i, p := range c.Preds {
 		if _, isVar := p.E.(dpl.Var); isVar {
 			// Predicates on bare external symbols are assumptions;
 			// PART-on-Var stays as region-typing info.
 			continue
 		}
-		if p.Kind != constraint.Part && s.closedMF(predMasks[i], predFvs[i]) {
+		if p.Kind != constraint.Part && s.closedIDs(predMasks[i], predFvIDs[i]) {
 			closedPredIdx = append(closedPredIdx, i)
 		}
 	}
