@@ -28,6 +28,7 @@ import (
 	"autopart/internal/apps/pennant"
 	"autopart/internal/apps/spmv"
 	"autopart/internal/apps/stencil"
+	"autopart/internal/dpl"
 	"autopart/internal/pipeline"
 	"autopart/pkg/autopart"
 )
@@ -61,6 +62,21 @@ type solverStats struct {
 	ClosedMisses int `json:"closed_misses"`
 	NodeHits     int `json:"node_hits"`
 	Nodes        int `json:"nodes"`
+	// GraphBuilds/GraphExtends count full Algorithm 3 graph rebuilds vs
+	// incremental extensions of the cached accumulated graph; a healthy
+	// run extends far more than it builds.
+	GraphBuilds  int `json:"graph_builds"`
+	GraphExtends int `json:"graph_extends"`
+}
+
+// internShardJSON is one intern-table shard's size and hit profile over
+// a single stats-enabled compile.
+type internShardJSON struct {
+	Shard   string  `json:"shard"`
+	Entries int     `json:"entries"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
 }
 
 // appResult is one benchmark program's measurements.
@@ -72,7 +88,16 @@ type appResult struct {
 	// normalize+infer, solver = relax+solve+private, etc.), each the p50
 	// of the per-run phase sums.
 	PhaseP50US map[string]int64 `json:"phase_p50_us"`
-	Solver     solverStats      `json:"solver"`
+	// UnifyP50US is the p50 wall time spent inside UnifyAndSolve
+	// (Algorithm 3 matching + solvability checks), a subset of the solve
+	// pass.
+	UnifyP50US int64       `json:"unify_p50_us"`
+	Solver     solverStats `json:"solver"`
+	// Intern profiles the expression intern table during one extra
+	// stats-enabled compile after the timed runs (so counter upkeep
+	// cannot perturb the p50s). Entries are process-global; hits and
+	// misses are per-compile.
+	Intern []internShardJSON `json:"intern"`
 }
 
 // report is the top-level JSON document.
@@ -119,6 +144,7 @@ func main() {
 	for _, app := range apps {
 		obs := &passObserver{samples: map[string][]time.Duration{}}
 		var last *autopart.Compiled
+		var unifySamples []time.Duration
 		// One uncounted warm-up run fills caches (interning, page cache)
 		// so the measured runs reflect steady-state compiles.
 		for i := 0; i <= *runs; i++ {
@@ -131,14 +157,28 @@ func main() {
 				fmt.Fprintf(os.Stderr, "compilebench: %s: %v\n", app.name, err)
 				os.Exit(1)
 			}
+			if i > 0 {
+				unifySamples = append(unifySamples, time.Duration(c.Solution.Stats.UnifyNS))
+			}
 			last = c
 		}
+
+		// One extra compile with intern-table stats enabled, after the
+		// timed runs so the counter upkeep cannot perturb the p50s.
+		dpl.EnableInternStats(true)
+		if _, err := autopart.Compile(app.src, autopart.Options{}); err != nil {
+			fmt.Fprintf(os.Stderr, "compilebench: %s: %v\n", app.name, err)
+			os.Exit(1)
+		}
+		internStats := dpl.InternStats()
+		dpl.EnableInternStats(false)
 
 		r := appResult{
 			Name:       app.name,
 			Loops:      len(last.Parallel),
 			PassP50US:  map[string]int64{},
 			PhaseP50US: map[string]int64{},
+			UnifyP50US: p50(unifySamples).Microseconds(),
 			Solver: solverStats{
 				MemoHits:     last.Solution.Stats.MemoHits,
 				MemoMisses:   last.Solution.Stats.MemoMisses,
@@ -146,7 +186,22 @@ func main() {
 				ClosedMisses: last.Solution.Stats.ClosedMisses,
 				NodeHits:     last.Solution.Stats.NodeHits,
 				Nodes:        last.Solution.Stats.Nodes,
+				GraphBuilds:  last.Solution.Stats.GraphBuilds,
+				GraphExtends: last.Solution.Stats.GraphExtends,
 			},
+		}
+		for _, st := range internStats {
+			rate := 0.0
+			if st.Hits+st.Misses > 0 {
+				rate = float64(st.Hits) / float64(st.Hits+st.Misses)
+			}
+			r.Intern = append(r.Intern, internShardJSON{
+				Shard:   st.Shard,
+				Entries: st.Entries,
+				Hits:    st.Hits,
+				Misses:  st.Misses,
+				HitRate: rate,
+			})
 		}
 		for pass, ds := range obs.samples {
 			r.PassP50US[pass] = p50(ds).Microseconds()
@@ -179,8 +234,9 @@ func main() {
 	}
 	fmt.Printf("compilebench: wrote %s (%d apps, %d runs each)\n", *out, len(rep.Apps), *runs)
 	for _, a := range rep.Apps {
-		fmt.Printf("  %-9s solver p50 %6.1fms  (memo %d/%d, closed %d/%d, nodes %d)\n",
-			a.Name, float64(a.PhaseP50US["solver"])/1000,
+		fmt.Printf("  %-9s solver p50 %6.1fms  unify p50 %6.1fms  graphs %d+%dext  (memo %d/%d, closed %d/%d, nodes %d)\n",
+			a.Name, float64(a.PhaseP50US["solver"])/1000, float64(a.UnifyP50US)/1000,
+			a.Solver.GraphBuilds, a.Solver.GraphExtends,
 			a.Solver.MemoHits, a.Solver.MemoMisses,
 			a.Solver.ClosedHits, a.Solver.ClosedMisses, a.Solver.Nodes)
 	}

@@ -1,6 +1,8 @@
 package constraint
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -25,14 +27,14 @@ func figure9System() *System {
 
 func TestBuildGraph(t *testing.T) {
 	g := BuildGraph(figure9System())
-	if len(g.Nodes) != 5 {
-		t.Fatalf("nodes = %v", g.Nodes)
+	if g.NumNodes() != 5 {
+		t.Fatalf("nodes = %v", g.NodeNames())
 	}
-	if len(g.Edges) != 3 {
-		t.Fatalf("edges = %v", g.Edges)
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %v", g.Edges())
 	}
-	if g.Region["P1"] != "Particles" || g.Region["P2"] != "Cells" {
-		t.Errorf("regions = %v", g.Region)
+	if g.RegionName("P1") != "Particles" || g.RegionName("P2") != "Cells" {
+		t.Errorf("regions: P1=%q P2=%q", g.RegionName("P1"), g.RegionName("P2"))
 	}
 	out := g.OutEdges("P2")
 	if len(out) != 1 || out[0].To != "P3" || out[0].Func != "h" {
@@ -56,16 +58,17 @@ func TestBuildGraphPlainAndMultiEdges(t *testing.T) {
 	sys.AddSubset(Subset{L: v("A"), R: eq("R")})
 
 	g := BuildGraph(sys)
-	if len(g.Edges) != 2 {
-		t.Fatalf("edges = %v", g.Edges)
+	edges := g.Edges()
+	if len(edges) != 2 {
+		t.Fatalf("edges = %v", edges)
 	}
-	if !g.Edges[1].Multi {
+	if !edges[1].Multi {
 		t.Error("IMAGE edge should be marked Multi")
 	}
-	if got := g.Edges[0].String(); got != "A → B" {
+	if got := edges[0].String(); got != "A → B" {
 		t.Errorf("plain edge = %q", got)
 	}
-	if got := g.Edges[1].String(); got != "A →[IMAGE F] M" {
+	if got := edges[1].String(); got != "A →[IMAGE F] M" {
 		t.Errorf("multi edge = %q", got)
 	}
 }
@@ -131,15 +134,267 @@ func TestCommonSubgraphsEdgeLabelsMatter(t *testing.T) {
 }
 
 func TestCommonSubgraphsLargestFirst(t *testing.T) {
-	maps := CommonSubgraphs(BuildGraph(figure9System()), BuildGraph(figure9System()))
+	// A disjoint renamed copy of the Fig. 9a system: the whole Q-graph is
+	// isomorphic to the P-graph, so the full 5-node mapping must be
+	// offered before any smaller one.
+	renamed := &System{}
+	renamed.AddPred(Pred{Kind: Part, E: v("Q1"), Region: "Particles"})
+	for _, p := range []string{"Q2", "Q3", "Q4", "Q5"} {
+		renamed.AddPred(Pred{Kind: Part, E: v(p), Region: "Cells"})
+	}
+	renamed.AddSubset(Subset{L: img(v("Q1"), "cell", "Cells"), R: v("Q2")})
+	renamed.AddSubset(Subset{L: img(v("Q2"), "h", "Cells"), R: v("Q3")})
+	renamed.AddSubset(Subset{L: img(v("Q4"), "h", "Cells"), R: v("Q5")})
+
+	maps := CommonSubgraphs(BuildGraph(figure9System()), BuildGraph(renamed))
 	for i := 1; i < len(maps); i++ {
 		if len(maps[i]) > len(maps[i-1]) {
 			t.Fatal("mappings not sorted by size descending")
 		}
 	}
-	// Self-unification must offer the identity-ish full mapping first:
-	// P1→P2→P3 chain has 3 nodes.
-	if len(maps[0]) < 3 {
-		t.Errorf("largest self-mapping = %v", maps[0])
+	if len(maps) == 0 {
+		t.Fatal("no mappings")
 	}
+	best := maps[0]
+	if len(best) < 3 || best["Q1"] != "P1" || best["Q2"] != "P2" || best["Q3"] != "P3" {
+		t.Errorf("largest mapping = %v", best)
+	}
+}
+
+// TestCommonSubgraphsSkipsIdentitySeeds pins the seed-generation rule:
+// a pair equating a symbol with itself is never used as a seed (the
+// solver discards identity renames anyway), so every proposed mapping
+// contains at least one non-identity pair.
+func TestCommonSubgraphsSkipsIdentitySeeds(t *testing.T) {
+	g := BuildGraph(figure9System())
+	maps := CommonSubgraphs(g, g)
+	for _, m := range maps {
+		nonIdentity := 0
+		for from, to := range m {
+			if from != to {
+				nonIdentity++
+			}
+		}
+		if nonIdentity == 0 {
+			t.Errorf("pure identity mapping proposed: %v", m)
+		}
+	}
+}
+
+// competitionSystems builds a pair of graphs where two b-nodes compete
+// for the same a-node: both B1 and B2 (mapped to A1 and A2) have an
+// h-edge whose only compatible target in a is A3. The winner is decided
+// purely by growth order — exactly the situation where the former
+// map-ranging grow produced run-dependent results.
+func competitionSystems() (*System, *System) {
+	a := &System{}
+	for _, p := range []string{"A0", "A1", "A2", "A3"} {
+		a.AddPred(Pred{Kind: Part, E: v(p), Region: "R"})
+	}
+	a.AddSubset(Subset{L: img(v("A0"), "f", "R"), R: v("A1")})
+	a.AddSubset(Subset{L: img(v("A0"), "g", "R"), R: v("A2")})
+	a.AddSubset(Subset{L: img(v("A1"), "h", "R"), R: v("A3")})
+	a.AddSubset(Subset{L: img(v("A2"), "h", "R"), R: v("A3")})
+
+	b := &System{}
+	for _, p := range []string{"B0", "B1", "B2", "B3", "B4"} {
+		b.AddPred(Pred{Kind: Part, E: v(p), Region: "R"})
+	}
+	b.AddSubset(Subset{L: img(v("B0"), "f", "R"), R: v("B1")})
+	b.AddSubset(Subset{L: img(v("B0"), "g", "R"), R: v("B2")})
+	b.AddSubset(Subset{L: img(v("B1"), "h", "R"), R: v("B3")})
+	b.AddSubset(Subset{L: img(v("B2"), "h", "R"), R: v("B4")})
+	return a, b
+}
+
+// TestCommonSubgraphsDeterministic is the regression test for the
+// map-iteration nondeterminism in grow: with two same-region,
+// same-signature b-nodes competing for one a-node, repeated runs must
+// return identical mappings (the former implementation ranged over the
+// mapping map while inserting, so the winner flipped between runs).
+func TestCommonSubgraphsDeterministic(t *testing.T) {
+	sysA, sysB := competitionSystems()
+	ga, gb := BuildGraph(sysA), BuildGraph(sysB)
+	first := CommonSubgraphs(ga, gb)
+	if len(first) == 0 {
+		t.Fatal("no mappings")
+	}
+	for run := 1; run < 50; run++ {
+		got := CommonSubgraphs(ga, gb)
+		if !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d differs:\n got %v\nwant %v", run, got, first)
+		}
+	}
+	// The growth order is defined: breadth-first from the seed, edges in
+	// system order. From seed (A0,B0), B1 is discovered before B2, so
+	// B1's h-edge claims A3 and B2's h-edge finds no target.
+	best := first[0]
+	if best["B3"] != "A3" {
+		t.Errorf("defined growth order must map B3 to A3, got %v", best)
+	}
+	if _, mapped := best["B4"]; mapped {
+		t.Errorf("B4 must stay unmapped (A3 already claimed), got %v", best)
+	}
+}
+
+// TestCommonSubgraphsSignaturePreference verifies that an exact
+// predicate-signature pairing wins over a structurally compatible
+// mismatch when both exist, even when the mismatching target comes
+// first in edge order.
+func TestCommonSubgraphsSignaturePreference(t *testing.T) {
+	a := &System{}
+	a.AddPred(Pred{Kind: Part, E: v("A0"), Region: "S"})
+	a.AddPred(Pred{Kind: Part, E: v("T1"), Region: "R"})
+	a.AddPred(Pred{Kind: Part, E: v("T2"), Region: "R"})
+	a.AddPred(Pred{Kind: Disj, E: v("T2")})
+	// The plain target T1 comes first; the DISJ twin T2 second.
+	a.AddSubset(Subset{L: img(v("A0"), "f", "R"), R: v("T1")})
+	a.AddSubset(Subset{L: img(v("A0"), "f", "R"), R: v("T2")})
+
+	b := &System{}
+	b.AddPred(Pred{Kind: Part, E: v("B0"), Region: "S"})
+	b.AddPred(Pred{Kind: Part, E: v("B1"), Region: "R"})
+	b.AddPred(Pred{Kind: Disj, E: v("B1")})
+	b.AddSubset(Subset{L: img(v("B0"), "f", "R"), R: v("B1")})
+
+	maps := CommonSubgraphs(BuildGraph(a), BuildGraph(b))
+	if len(maps) == 0 {
+		t.Fatal("no mappings")
+	}
+	best := maps[0]
+	if best["B0"] != "A0" || best["B1"] != "T2" {
+		t.Errorf("exact-signature target must win: %v", best)
+	}
+
+	// And the fallback still fires when no exact twin exists: remove the
+	// DISJ twin and B1 must pair with the structurally compatible T1.
+	a2 := &System{}
+	a2.AddPred(Pred{Kind: Part, E: v("A0"), Region: "S"})
+	a2.AddPred(Pred{Kind: Part, E: v("T1"), Region: "R"})
+	a2.AddSubset(Subset{L: img(v("A0"), "f", "R"), R: v("T1")})
+	maps = CommonSubgraphs(BuildGraph(a2), BuildGraph(b))
+	if len(maps) == 0 {
+		t.Fatal("no fallback mappings")
+	}
+	if best := maps[0]; best["B1"] != "T1" {
+		t.Errorf("fallback pairing expected B1→T1: %v", best)
+	}
+}
+
+// TestGraphExtended verifies the incremental build: extending a graph
+// with appended conjuncts must produce exactly the graph a fresh
+// BuildGraph of the full system produces (fingerprint, rendering, and
+// matching behavior).
+func TestGraphExtended(t *testing.T) {
+	full := figure9System()
+	prefix := &System{
+		Preds:   full.Preds[:3],
+		Subsets: full.Subsets[:1],
+	}
+	base := BuildGraph(prefix)
+	ext := base.Extended(full)
+	fresh := BuildGraph(full)
+	if ext.Fingerprint() != fresh.Fingerprint() {
+		t.Fatalf("extended fingerprint differs:\next:   %s\nfresh: %s", ext, fresh)
+	}
+	if ext.String() != fresh.String() {
+		t.Errorf("extended rendering differs:\n%s\nvs\n%s", ext, fresh)
+	}
+	other := BuildGraph(figure9System())
+	if !reflect.DeepEqual(CommonSubgraphs(ext, other), CommonSubgraphs(fresh, other)) {
+		t.Error("extended graph matches differently from fresh build")
+	}
+	// Covering extension is the identity; an impossible extension falls
+	// back to a fresh build.
+	if got := ext.Extended(full); got != ext {
+		t.Error("covering Extended must return the receiver")
+	}
+	if got := fresh.Extended(prefix); got.Fingerprint() != base.Fingerprint() {
+		t.Error("non-extension must fall back to BuildGraph")
+	}
+}
+
+// TestGraphSignatureBitsOrderInsensitive pins the bitmask semantics:
+// DISJ-then-COMP and COMP-then-DISJ predicates yield the same signature
+// (the former string concatenation distinguished "DC" from "CD").
+func TestGraphSignatureBitsOrderInsensitive(t *testing.T) {
+	mk := func(first, second PredKind) *System {
+		sys := &System{}
+		sys.AddPred(Pred{Kind: Part, E: v("X"), Region: "R"})
+		sys.AddPred(Pred{Kind: first, E: v("X"), Region: "R"})
+		sys.AddPred(Pred{Kind: second, E: v("X"), Region: "R"})
+		sys.AddPred(Pred{Kind: Part, E: v("Y"), Region: "R"})
+		sys.AddSubset(Subset{L: img(v("Y"), "f", "R"), R: v("X")})
+		return sys
+	}
+	dc := BuildGraph(mk(Disj, Comp))
+	cd := BuildGraph(mk(Comp, Disj))
+	if dc.Fingerprint() != cd.Fingerprint() {
+		t.Error("signature must not depend on predicate order")
+	}
+}
+
+// syntheticSystem builds a MiniAero-shaped system: loops chains of
+// image constraints over a handful of regions and functions, with an
+// iteration symbol per loop carrying DISJ/COMP predicates.
+func syntheticSystem(loops, chain int) *System {
+	regions := []string{"Cells", "Faces", "Nodes", "Edges"}
+	funcs := []string{"f0", "f1", "f2", "f3", "f4", "f5"}
+	sys := &System{}
+	for l := 0; l < loops; l++ {
+		iter := fmt.Sprintf("I%02d", l)
+		sys.AddPred(Pred{Kind: Part, E: v(iter), Region: regions[l%len(regions)]})
+		sys.AddPred(Pred{Kind: Disj, E: v(iter)})
+		sys.AddPred(Pred{Kind: Comp, E: v(iter), Region: regions[l%len(regions)]})
+		prev := iter
+		for k := 0; k < chain; k++ {
+			cur := fmt.Sprintf("P%02d_%d", l, k)
+			sys.AddPred(Pred{Kind: Part, E: v(cur), Region: regions[(l+k)%len(regions)]})
+			sys.AddSubset(Subset{L: img(v(prev), funcs[(l+k)%len(funcs)], regions[(l+k)%len(regions)]), R: v(cur)})
+			prev = cur
+		}
+	}
+	return sys
+}
+
+func BenchmarkBuildGraph(b *testing.B) {
+	sys := syntheticSystem(25, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildGraph(sys)
+	}
+}
+
+func BenchmarkGraphExtended(b *testing.B) {
+	full := syntheticSystem(25, 5)
+	prefix := &System{
+		Preds:   full.Preds[:len(full.Preds)-8],
+		Subsets: full.Subsets[:len(full.Subsets)-5],
+	}
+	base := BuildGraph(prefix)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		base.Extended(full)
+	}
+}
+
+func BenchmarkCommonSubgraphs(b *testing.B) {
+	b.Run("Figure9", func(b *testing.B) {
+		ga := BuildGraph(figure9System())
+		gb := BuildGraph(figure9System())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			CommonSubgraphs(ga, gb)
+		}
+	})
+	b.Run("MiniAeroSized", func(b *testing.B) {
+		// Accumulated graph of ~25 unified loops vs one incoming loop —
+		// the shape of an Algorithm 3 round late in a MiniAero compile.
+		acc := BuildGraph(syntheticSystem(25, 5))
+		loop := BuildGraph(syntheticSystem(1, 5))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			CommonSubgraphs(acc, loop)
+		}
+	})
 }

@@ -9,23 +9,33 @@ import (
 
 // Expression interning (hash-consing).
 //
-// Every Expr implementation is an immutable comparable value struct, so
-// Go's == on Expr interface values *is* structural equality. The interner
-// exploits that: a process-wide table maps each distinct expression value
-// to an exprInfo carrying everything the solver repeatedly recomputes —
-// the canonical string (Key/String), the sorted free-variable list, the
-// node count, and a stable numeric id used to fingerprint constraint
-// systems. Each is computed once per distinct expression instead of once
-// per query, which turns Key, FreeVars, Size, and Closed into O(1)
-// lookups on the solver's hot paths (Algorithm 2 backtracking, the
-// Algorithm 3 solvability checks).
+// Every Expr implementation is an immutable value struct, and the interner
+// maps each distinct expression to an exprInfo carrying everything the
+// solver repeatedly recomputes — the canonical string (Key/String), the
+// sorted free-variable list, the node count, and a stable numeric id used
+// to fingerprint constraint systems. Each is computed once per distinct
+// expression instead of once per query, which turns Key, FreeVars, Size,
+// and Closed into O(1) lookups on the solver's hot paths (Algorithm 2
+// backtracking, the Algorithm 3 solvability checks).
 //
-// The table is an atomically published immutable snapshot (copied on
-// insert) and safe for concurrent use; the
-// parallel unification checks intern from multiple goroutines. Entries
-// are never evicted: the set of distinct expressions a compile builds is
-// small (hundreds), and a long-lived process compiling many programs
-// grows the table only with genuinely new expressions.
+// The table is sharded per constructor: instead of one map keyed by the
+// Expr interface value (whose lookups must hash the full nested struct
+// through reflection-driven interface hashing), each constructor has its
+// own map keyed by the fields that determine structural identity, with
+// child expressions represented by their interned ids. A Var interns on
+// its name, an ImageExpr on (Of.id, Func, Region), a BinExpr on
+// (Op, L.id, R.id), and so on. Because equal children share an id by
+// induction, these flat keys are equivalent to structural equality on the
+// full tree — but a lookup hashes a couple of words and a short string
+// instead of walking the whole expression.
+//
+// The shard set is an atomically published immutable snapshot (the struct
+// and the one modified shard map are copied on insert) and safe for
+// concurrent use; the parallel unification checks intern from multiple
+// goroutines. Entries are never evicted: the set of distinct expressions
+// a compile builds is small (hundreds), and a long-lived process
+// compiling many programs grows the table only with genuinely new
+// expressions.
 
 // Symbol interning: every partition symbol name maps to a dense int32
 // id (0, 1, 2, ... in first-sight order). The solver's backtracking
@@ -179,52 +189,259 @@ func Hash128(e Expr) [2]uint64 { return info(e).h }
 // (e.g. predicate regions).
 func HashString128(s string) [2]uint64 { return hash128(s) }
 
+// opKey identifies an image/preimage expression by its interned child
+// and the two string fields. All four unary-op shards share this shape.
+type opKey struct {
+	of  uint64 // interned id of the operand expression
+	fn  string
+	reg string
+}
+
+// binKey identifies a BinExpr by operator and interned operand ids.
+type binKey struct {
+	op   BinOp
+	l, r uint64
+}
+
+// internShards is one immutable snapshot of the whole intern table,
+// split per constructor. Readers load the snapshot with one atomic
+// pointer load and index the shard matching the expression's type;
+// writers copy the struct plus the single shard they modify.
+type internShards struct {
+	vars           map[string]*exprInfo
+	equals         map[string]*exprInfo
+	images         map[opKey]*exprInfo
+	preimages      map[opKey]*exprInfo
+	imagesMulti    map[opKey]*exprInfo
+	preimagesMulti map[opKey]*exprInfo
+	bins           map[binKey]*exprInfo
+}
+
+// Shard indices for the stats counters, ordered as in internShards.
+const (
+	shardVar = iota
+	shardEqual
+	shardImage
+	shardPreimage
+	shardImageMulti
+	shardPreimageMulti
+	shardBin
+	numShards
+)
+
+var shardNames = [numShards]string{
+	"var", "equal", "image", "preimage", "imageMulti", "preimageMulti", "bin",
+}
+
 // The interning table is read on every Key/FreeVars/Mentions/FvMask
 // call — millions of times per compile — and written only when a
 // genuinely new expression appears (hundreds of times). It is therefore
-// published as an immutable map snapshot through an atomic pointer:
-// readers pay one atomic load and a map lookup, no lock. Writers copy
-// the whole table under a mutex (copy-on-write); after the first few
-// compile iterations the table is warm and writes stop entirely.
+// published as an immutable snapshot through an atomic pointer: readers
+// pay one atomic load and one flat-keyed map lookup, no lock. Writers
+// copy the target shard under a mutex (copy-on-write); after the first
+// few compile iterations the table is warm and writes stop entirely.
 var (
 	internMu  sync.Mutex // serializes writers only
-	internTab atomic.Pointer[map[Expr]*exprInfo]
+	internTab atomic.Pointer[internShards]
 	internSeq uint64
+
+	// internStatsOn gates the per-shard hit/miss counters below. Off by
+	// default so the hot path pays only one atomic bool load.
+	internStatsOn atomic.Bool
+	internHits    [numShards]atomic.Uint64
+	internMisses  [numShards]atomic.Uint64
 )
 
 func init() {
-	empty := map[Expr]*exprInfo{}
-	internTab.Store(&empty)
+	internTab.Store(&internShards{
+		vars:           map[string]*exprInfo{},
+		equals:         map[string]*exprInfo{},
+		images:         map[opKey]*exprInfo{},
+		preimages:      map[opKey]*exprInfo{},
+		imagesMulti:    map[opKey]*exprInfo{},
+		preimagesMulti: map[opKey]*exprInfo{},
+		bins:           map[binKey]*exprInfo{},
+	})
 	emptySyms := map[string]int32{}
 	symIDs.Store(&emptySyms)
 	noNames := []string{}
 	symNames.Store(&noNames)
 }
 
+// EnableInternStats toggles per-shard hit/miss counting on the intern
+// fast path. Enabling resets the counters, so a caller can bracket one
+// workload and read a clean profile with InternStats.
+func EnableInternStats(on bool) {
+	if on {
+		for i := range internHits {
+			internHits[i].Store(0)
+			internMisses[i].Store(0)
+		}
+	}
+	internStatsOn.Store(on)
+}
+
+// InternShardStat reports one shard's size and (if stats were enabled)
+// fast-path hit/miss counts.
+type InternShardStat struct {
+	Shard   string `json:"shard"`
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+// InternStats returns a per-shard snapshot of the intern table, ordered
+// by shard name. Entry counts are always live; hit/miss counts reflect
+// lookups since the last EnableInternStats(true).
+func InternStats() []InternShardStat {
+	t := internTab.Load()
+	sizes := [numShards]int{
+		len(t.vars), len(t.equals), len(t.images), len(t.preimages),
+		len(t.imagesMulti), len(t.preimagesMulti), len(t.bins),
+	}
+	out := make([]InternShardStat, numShards)
+	for i := range out {
+		out[i] = InternShardStat{
+			Shard:   shardNames[i],
+			Entries: sizes[i],
+			Hits:    internHits[i].Load(),
+			Misses:  internMisses[i].Load(),
+		}
+	}
+	return out
+}
+
+// shardLookup reads one shard, ticking the stats counters when enabled.
+func shardLookup[K comparable](m map[K]*exprInfo, k K, shard int, statsOn bool) (*exprInfo, bool) {
+	in, ok := m[k]
+	if statsOn {
+		if ok {
+			internHits[shard].Add(1)
+		} else {
+			internMisses[shard].Add(1)
+		}
+	}
+	return in, ok
+}
+
 // info returns the interned metadata for e, computing and caching it on
 // first sight. e must be non-nil.
+//
+// The fast path interns composite expressions bottom-up: looking up an
+// ImageExpr first interns its operand (usually a hit) to obtain the id
+// the shard key needs. That keeps every map lookup flat — no interface
+// hashing of nested trees — at the cost of one recursion level per AST
+// node on the first sight of each subtree.
 func info(e Expr) *exprInfo {
-	if in, ok := (*internTab.Load())[e]; ok {
-		return in
+	statsOn := internStatsOn.Load()
+	switch x := e.(type) {
+	case Var:
+		if in, ok := shardLookup(internTab.Load().vars, x.Name, shardVar, statsOn); ok {
+			return in
+		}
+	case EqualExpr:
+		if in, ok := shardLookup(internTab.Load().equals, x.Region, shardEqual, statsOn); ok {
+			return in
+		}
+	case ImageExpr:
+		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
+		if in, ok := shardLookup(internTab.Load().images, k, shardImage, statsOn); ok {
+			return in
+		}
+	case PreimageExpr:
+		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
+		if in, ok := shardLookup(internTab.Load().preimages, k, shardPreimage, statsOn); ok {
+			return in
+		}
+	case ImageMultiExpr:
+		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
+		if in, ok := shardLookup(internTab.Load().imagesMulti, k, shardImageMulti, statsOn); ok {
+			return in
+		}
+	case PreimageMultiExpr:
+		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
+		if in, ok := shardLookup(internTab.Load().preimagesMulti, k, shardPreimageMulti, statsOn); ok {
+			return in
+		}
+	case BinExpr:
+		k := binKey{op: x.Op, l: info(x.L).id, r: info(x.R).id}
+		if in, ok := shardLookup(internTab.Load().bins, k, shardBin, statsOn); ok {
+			return in
+		}
 	}
+	return internSlow(e)
+}
+
+// copyInsert clones a shard map with one extra entry.
+func copyInsert[K comparable](m map[K]*exprInfo, k K, in *exprInfo) map[K]*exprInfo {
+	next := make(map[K]*exprInfo, len(m)+1)
+	for kk, vv := range m {
+		next[kk] = vv
+	}
+	next[k] = in
+	return next
+}
+
+// internSlow inserts a newly seen expression. The metadata is computed
+// before the lock is taken — computeInfo recursively interns every
+// child, so the shard keys below are guaranteed hits and cannot
+// re-enter the lock.
+func internSlow(e Expr) *exprInfo {
 	in := computeInfo(e)
 	internMu.Lock()
-	old := *internTab.Load()
-	if prior, ok := old[e]; ok {
-		// Another goroutine interned the same expression first; keep its
-		// entry so the id stays unique per distinct expression.
-		internMu.Unlock()
-		return prior
+	defer internMu.Unlock()
+	t := *internTab.Load() // shallow struct copy; shard maps still shared
+	switch x := e.(type) {
+	case Var:
+		if prior, ok := t.vars[x.Name]; ok {
+			return prior
+		}
+		t.vars = copyInsert(t.vars, x.Name, in)
+	case EqualExpr:
+		if prior, ok := t.equals[x.Region]; ok {
+			return prior
+		}
+		t.equals = copyInsert(t.equals, x.Region, in)
+	case ImageExpr:
+		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
+		if prior, ok := t.images[k]; ok {
+			return prior
+		}
+		t.images = copyInsert(t.images, k, in)
+	case PreimageExpr:
+		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
+		if prior, ok := t.preimages[k]; ok {
+			return prior
+		}
+		t.preimages = copyInsert(t.preimages, k, in)
+	case ImageMultiExpr:
+		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
+		if prior, ok := t.imagesMulti[k]; ok {
+			return prior
+		}
+		t.imagesMulti = copyInsert(t.imagesMulti, k, in)
+	case PreimageMultiExpr:
+		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
+		if prior, ok := t.preimagesMulti[k]; ok {
+			return prior
+		}
+		t.preimagesMulti = copyInsert(t.preimagesMulti, k, in)
+	case BinExpr:
+		k := binKey{op: x.Op, l: info(x.L).id, r: info(x.R).id}
+		if prior, ok := t.bins[k]; ok {
+			return prior
+		}
+		t.bins = copyInsert(t.bins, k, in)
+	default:
+		// Unreachable (isExpr restricts implementations to this package);
+		// hand back the computed metadata without caching it.
+		internSeq++
+		in.id = internSeq
+		return in
 	}
 	internSeq++
 	in.id = internSeq
-	next := make(map[Expr]*exprInfo, len(old)+1)
-	for k, v := range old {
-		next[k] = v
-	}
-	next[e] = in
-	internTab.Store(&next)
-	internMu.Unlock()
+	internTab.Store(&t)
 	return in
 }
 

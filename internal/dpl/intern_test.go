@@ -1,0 +1,131 @@
+package dpl
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestInternStructuralIdentity pins the sharded interner's contract:
+// structurally equal expressions share one id no matter how they were
+// constructed, and structurally distinct expressions never do.
+func TestInternStructuralIdentity(t *testing.T) {
+	mk := func() Expr {
+		return ImageExpr{Of: Var{Name: "P1"}, Func: "cell", Region: "Cells"}
+	}
+	a, b := mk(), mk()
+	if ID(a) != ID(b) {
+		t.Error("equal ImageExprs got distinct ids")
+	}
+
+	nested1 := BinExpr{Op: OpUnion, L: mk(), R: Var{Name: "P2"}}
+	nested2 := BinExpr{Op: OpUnion, L: mk(), R: Var{Name: "P2"}}
+	if ID(nested1) != ID(nested2) {
+		t.Error("equal BinExprs got distinct ids")
+	}
+	if ID(nested1) == ID(a) {
+		t.Error("distinct expressions share an id")
+	}
+
+	// Same fields, different constructor: image vs IMAGE must not collide
+	// even though their shard keys are identical word-for-word.
+	multi := ImageMultiExpr{Of: Var{Name: "P1"}, Func: "cell", Region: "Cells"}
+	if ID(multi) == ID(a) {
+		t.Error("ImageExpr and ImageMultiExpr with equal fields share an id")
+	}
+
+	// preimage argument order: same strings, different roles.
+	pre1 := PreimageExpr{Region: "Cells", Func: "cell", Of: Var{Name: "P1"}}
+	if ID(pre1) == ID(a) {
+		t.Error("preimage collides with image")
+	}
+
+	if Hash128(a) != Hash128(b) {
+		t.Error("equal expressions got distinct content hashes")
+	}
+}
+
+// TestInternConcurrent hammers the COW shards from many goroutines to
+// catch lost inserts or duplicate ids under the race detector.
+func TestInternConcurrent(t *testing.T) {
+	const goroutines = 8
+	const exprs = 64
+	ids := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids[g] = make([]uint64, exprs)
+			for i := 0; i < exprs; i++ {
+				e := ImageExpr{
+					Of:     Var{Name: fmt.Sprintf("C%02d", i)},
+					Func:   "f",
+					Region: "R",
+				}
+				ids[g][i] = ID(e)
+			}
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < exprs; i++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d saw id %d for expr %d, goroutine 0 saw %d",
+					g, ids[g][i], i, ids[0][i])
+			}
+		}
+	}
+}
+
+func TestInternStats(t *testing.T) {
+	EnableInternStats(true)
+	defer EnableInternStats(false)
+
+	e := ImageExpr{Of: Var{Name: "StatsP"}, Func: "sf", Region: "SR"}
+	ID(e) // miss or hit depending on prior tests — just prime it
+	EnableInternStats(true)
+	for i := 0; i < 10; i++ {
+		ID(e)
+	}
+	stats := InternStats()
+	var img, vars *InternShardStat
+	for i := range stats {
+		switch stats[i].Shard {
+		case "image":
+			img = &stats[i]
+		case "var":
+			vars = &stats[i]
+		}
+	}
+	if img == nil || vars == nil {
+		t.Fatalf("missing shards in %v", stats)
+	}
+	if img.Hits < 10 {
+		t.Errorf("image shard hits = %d, want >= 10", img.Hits)
+	}
+	// Each ImageExpr lookup interns its operand first.
+	if vars.Hits < 10 {
+		t.Errorf("var shard hits = %d, want >= 10", vars.Hits)
+	}
+	if img.Entries == 0 || vars.Entries == 0 {
+		t.Errorf("empty shard entry counts: %+v %+v", img, vars)
+	}
+	if img.Misses != 0 {
+		t.Errorf("warm lookups recorded %d misses", img.Misses)
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	e := BinExpr{
+		Op: OpIntersect,
+		L:  ImageExpr{Of: Var{Name: "BP1"}, Func: "bf", Region: "BR"},
+		R:  PreimageExpr{Region: "BR", Func: "bg", Of: Var{Name: "BP2"}},
+	}
+	ID(e)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ID(e)
+	}
+}

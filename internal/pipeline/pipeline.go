@@ -120,6 +120,9 @@ func (s *Session) Metrics() map[string]int {
 		m["solver_closed_misses"] = s.Solution.Stats.ClosedMisses
 		m["solver_node_hits"] = s.Solution.Stats.NodeHits
 		m["solver_nodes"] = s.Solution.Stats.Nodes
+		m["solver_unify_us"] = int(s.Solution.Stats.UnifyNS / 1000)
+		m["solver_graph_builds"] = s.Solution.Stats.GraphBuilds
+		m["solver_graph_extends"] = s.Solution.Stats.GraphExtends
 	}
 	if s.Private != nil {
 		m["private_subpartitions"] = len(s.Private.Extra.Stmts)

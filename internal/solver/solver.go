@@ -70,6 +70,13 @@ type SolveStats struct {
 	NodeHits int
 	// Nodes counts backtracking search nodes visited.
 	Nodes int
+	// UnifyNS is wall time in nanoseconds spent inside UnifyAndSolve
+	// (Algorithm 3: graph builds, matching, and candidate checks).
+	UnifyNS int64
+	// GraphBuilds and GraphExtends count accumulated-graph cache
+	// activity: full BuildGraph constructions versus incremental
+	// Extended growths. A healthy run extends far more than it builds.
+	GraphBuilds, GraphExtends int
 }
 
 // extCandidate is a closed expression appearing in the external

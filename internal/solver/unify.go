@@ -1,7 +1,9 @@
 package solver
 
 import (
+	"os"
 	"sort"
+	"time"
 
 	"autopart/internal/constraint"
 	"autopart/internal/dpl"
@@ -51,33 +53,17 @@ func sysSize(sys *constraint.System) int {
 // partitions), checking solvability after each unification, then solve
 // the combined system.
 func (s *Solver) UnifyAndSolve(systems []*constraint.System) (*constraint.System, map[string]string, error) {
+	defer func(t0 time.Time) {
+		s.mu.Lock()
+		s.stats.UnifyNS += time.Since(t0).Nanoseconds()
+		s.mu.Unlock()
+	}(time.Now())
 	canon := map[string]string{}
 
 	ordered := append([]*constraint.System(nil), systems...)
 	sort.SliceStable(ordered, func(i, j int) bool { return sysSize(ordered[i]) > sysSize(ordered[j]) })
 
-	// The accumulated system starts from the external assumptions'
-	// *graph-relevant* content so inferred symbols can unify directly
-	// with user partitions (Example 6); the assumptions themselves stay
-	// in s.external and are not obligations.
 	combined := &constraint.System{}
-	accGraphSys := s.external.Clone()
-
-	// The accumulated graph is rebuilt only when accGraphSys actually
-	// changes. The systems flowing through accGraphSys are never mutated
-	// after construction (growCombined and mergeWithBase hand out fresh
-	// headers whenever content grows), so pointer identity is a sound
-	// cache key. Most loops contribute nothing novel, making the big
-	// accumulated graph fully reusable across them.
-	var cachedAccGraph *constraint.Graph
-	var cachedAccFor *constraint.System
-	accGraphOf := func(sys *constraint.System) *constraint.Graph {
-		if cachedAccFor != sys {
-			cachedAccGraph = constraint.BuildGraph(sys)
-			cachedAccFor = sys
-		}
-		return cachedAccGraph
-	}
 
 	// §3.2 needs membership sets over the accumulated conjuncts: the
 	// baseline "already present" set (external ∪ combined) and combined's
@@ -104,6 +90,69 @@ func (s *Solver) UnifyAndSolve(systems []*constraint.System) (*constraint.System
 			extCombined.Subsets = append(extCombined.Subsets, q)
 		}
 	}
+
+	// The accumulated system starts from the external assumptions'
+	// *graph-relevant* content so inferred symbols can unify directly
+	// with user partitions (Example 6); the assumptions themselves stay
+	// in s.external and are not obligations. extCombined carries exactly
+	// that content (deduplicated, tautology-free — neither affects the
+	// graph), so it doubles as the initial accumulated system.
+	accGraphSys := extCombined
+
+	// The accumulated graph is maintained incrementally. Every system
+	// flowing through accGraphSys is extCombined, or extCombined's
+	// conjuncts plus an appended remainder (mergeWithBase), and
+	// extCombined itself only ever grows by appending (growCombined) —
+	// so extGraph, the graph of extCombined's conjuncts, is extended
+	// with each delta instead of rebuilt, and per-round merged graphs
+	// extend it further. The prefix invariant is by construction; under
+	// AUTOPART_DEBUG_GRAPHCACHE=1 every served graph is checked against
+	// a fresh BuildGraph so an in-place System mutation (or a broken
+	// invariant) can never silently serve a stale graph. Systems are
+	// never mutated after construction (growCombined and mergeWithBase
+	// hand out fresh headers whenever content grows), so pointer
+	// identity remains a sound round-to-round cache key.
+	debugGraphCache := os.Getenv("AUTOPART_DEBUG_GRAPHCACHE") == "1"
+	var cachedAccGraph, extGraph *constraint.Graph
+	var cachedAccFor *constraint.System
+	noteGraph := func(extended bool) {
+		s.mu.Lock()
+		if extended {
+			s.stats.GraphExtends++
+		} else {
+			s.stats.GraphBuilds++
+		}
+		s.mu.Unlock()
+	}
+	accGraphOf := func(sys *constraint.System) *constraint.Graph {
+		if cachedAccFor != sys {
+			// Sync the base graph to extCombined's current content
+			// first; both only ever append, so the delta is cheap.
+			switch {
+			case extGraph == nil:
+				extGraph = constraint.BuildGraph(extCombined)
+				noteGraph(false)
+			case !extGraph.Covers(extCombined):
+				extGraph = extGraph.Extended(extCombined)
+				noteGraph(true)
+			}
+			if sys == extCombined {
+				cachedAccGraph = extGraph
+			} else {
+				cachedAccGraph = extGraph.Extended(sys)
+				noteGraph(true)
+			}
+			cachedAccFor = sys
+			if debugGraphCache {
+				fresh := constraint.BuildGraph(sys)
+				if fresh.Fingerprint() != cachedAccGraph.Fingerprint() {
+					panic("solver: accumulated-graph cache served a stale graph (AUTOPART_DEBUG_GRAPHCACHE)")
+				}
+			}
+		}
+		return cachedAccGraph
+	}
+
 	// growCombined appends sys's novel, non-tautological conjuncts to
 	// combined and extCombined (replicating mergeSystems order), updating
 	// the membership sets. Grown systems get fresh System headers so
@@ -212,7 +261,6 @@ func (s *Solver) UnifyAndSolve(systems []*constraint.System) (*constraint.System
 			}
 			accGraph := accGraphOf(accGraphSys)
 			curGraph := constraint.BuildGraph(remaining)
-			mappings := constraint.CommonSubgraphs(accGraph, curGraph)
 
 			// Greedily consider only the first few largest candidates (as
 			// the paper notes, the largest subgraphs usually contain the
@@ -260,26 +308,27 @@ func (s *Solver) UnifyAndSolve(systems []*constraint.System) (*constraint.System
 			if par.Sequential() || par.Workers() == 1 {
 				// One worker: the original interleaved greedy loop, whose
 				// early exit on the first passing check skips building
-				// every later candidate.
+				// (and materializing) every later candidate.
 				tries := 0
-				for _, m := range mappings {
+				constraint.EachCommonSubgraph(accGraph, curGraph, func(m constraint.Mapping) bool {
 					if tries >= maxTries {
-						break
+						return false
 					}
 					cand := filterCand(m)
 					if cand == nil {
-						continue
+						return true
 					}
 					if cand.auto {
 						winner = cand
-						break
+						return false
 					}
 					tries++
 					if s.solvable(mergeWithCombined(cand.candidate)) {
 						winner = cand
-						break
+						return false
 					}
-				}
+					return true
+				})
 			} else {
 				// Multiple workers: build the candidate list up front
 				// (cheap filters, sequential, in mapping order), check
@@ -288,20 +337,21 @@ func (s *Solver) UnifyAndSolve(systems []*constraint.System) (*constraint.System
 				// interleaved loop above would commit.
 				var checks []*unifyCand
 				var auto *unifyCand
-				for _, m := range mappings {
+				constraint.EachCommonSubgraph(accGraph, curGraph, func(m constraint.Mapping) bool {
 					if len(checks) >= maxTries {
-						break
+						return false
 					}
 					cand := filterCand(m)
 					if cand == nil {
-						continue
+						return true
 					}
 					if cand.auto {
 						auto = cand
-						break
+						return false
 					}
 					checks = append(checks, cand)
-				}
+					return true
+				})
 				oks := make([]bool, len(checks))
 				par.Do(len(checks), func(i int) {
 					oks[i] = s.solvable(mergeWithCombined(checks[i].candidate))

@@ -111,6 +111,37 @@ func TestUnifyRejectsDifferentRegions(t *testing.T) {
 	}
 }
 
+// TestUnifyGraphCacheDebugKnob runs Algorithm 3 with
+// AUTOPART_DEBUG_GRAPHCACHE=1, under which every graph served by the
+// accumulated-graph cache is fingerprint-checked against a fresh
+// BuildGraph and a mismatch panics. A clean multi-loop run proves the
+// incremental extension path produces exactly the graphs a full rebuild
+// would.
+func TestUnifyGraphCacheDebugKnob(t *testing.T) {
+	t.Setenv("AUTOPART_DEBUG_GRAPHCACHE", "1")
+	sysA := sysWith("A1", "A2", "g")
+	sysB := sysWith("B1", "B2", "g")
+	sysC := sysWith("C1", "C2", "h") // does not unify; exercises more rounds
+	s := New(nil, nil)
+	_, canon, err := s.UnifyAndSolve([]*constraint.System{sysA, sysB, sysC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon["B1"] != "A1" {
+		t.Errorf("canon = %v, want B1→A1", canon)
+	}
+	stats := s.Stats()
+	if stats.GraphBuilds == 0 {
+		t.Error("no graph builds recorded")
+	}
+	if stats.GraphExtends == 0 {
+		t.Error("no incremental graph extensions recorded — cache not exercised")
+	}
+	if stats.UnifyNS <= 0 {
+		t.Errorf("UnifyNS = %d, want > 0", stats.UnifyNS)
+	}
+}
+
 // TestUnifyAcrossLoopsEndToEnd drives Algorithm 3 from DSL source: two
 // loops with identical access structure must share partition symbols in
 // the solved program.
