@@ -7,10 +7,17 @@
 //
 // Usage:
 //
-//	run -app circuit [-nodes 4] [-steps 2] [-min-bytes 1] [-no-check]
+//	run -app circuit [-nodes 4] [-steps 2] [-transport inproc] [-size default] [-min-bytes 1] [-no-check]
 //
 // Apps: stencil, circuit, circuit-hint, spmv, miniaero, pennant-h2.
+// Transports: inproc (default), tcp (loopback sockets with the compact
+// wire encoding), flaky (inproc plus seeded random per-message latency,
+// for chaos-testing delivery-order independence).
 //
+// -size small selects the reduced per-node configurations the wide
+// test matrix and cmd/execbench use, making high node counts (and the
+// race detector) affordable; the partition geometry and protocol paths
+// are the same as at default size.
 // -min-bytes N exits nonzero unless at least N bytes of ghost/reduction
 // traffic moved (CI smoke tests assert nonzero traffic this way).
 // -no-check skips the bit-identity comparison against the sequential
@@ -35,50 +42,75 @@ import (
 )
 
 // builders maps app names to program constructors. Each compiles the
-// app's source and instantiates it at the requested node count.
-var builders = map[string]func(nodes int) (*exec.Program, error){
-	"stencil": func(n int) (*exec.Program, error) {
+// app's source and instantiates it at the requested node count, at
+// either the paper-scale default configuration or the reduced "small"
+// one (same geometry and protocol paths, far fewer elements).
+var builders = map[string]func(nodes int, small bool) (*exec.Program, error){
+	"stencil": func(n int, small bool) (*exec.Program, error) {
 		c, err := autopart.Compile(stencil.Source(), autopart.Options{})
 		if err != nil {
 			return nil, err
 		}
-		return stencil.Executable(stencil.DefaultConfig(), c, n)
+		cfg := stencil.DefaultConfig()
+		if small {
+			cfg = stencil.Config{Width: 128, RowsPerNode: 4}
+		}
+		return stencil.Executable(cfg, c, n)
 	},
-	"circuit": func(n int) (*exec.Program, error) {
+	"circuit": func(n int, small bool) (*exec.Program, error) {
 		c, err := autopart.Compile(circuit.Source, autopart.Options{})
 		if err != nil {
 			return nil, err
 		}
-		return circuit.Executable(circuit.DefaultConfig(), c, n, false)
+		return circuit.Executable(circuitConfig(small), c, n, false)
 	},
-	"circuit-hint": func(n int) (*exec.Program, error) {
+	"circuit-hint": func(n int, small bool) (*exec.Program, error) {
 		c, err := autopart.Compile(circuit.HintSource, autopart.Options{})
 		if err != nil {
 			return nil, err
 		}
-		return circuit.Executable(circuit.DefaultConfig(), c, n, true)
+		return circuit.Executable(circuitConfig(small), c, n, true)
 	},
-	"spmv": func(n int) (*exec.Program, error) {
+	"spmv": func(n int, small bool) (*exec.Program, error) {
 		c, err := autopart.Compile(spmv.Source, autopart.Options{})
 		if err != nil {
 			return nil, err
 		}
-		return spmv.Executable(spmv.DefaultConfig(), c, n)
+		cfg := spmv.DefaultConfig()
+		if small {
+			cfg = spmv.Config{RowsPerNode: 128, NnzPerRow: 8}
+		}
+		return spmv.Executable(cfg, c, n)
 	},
-	"miniaero": func(n int) (*exec.Program, error) {
+	"miniaero": func(n int, small bool) (*exec.Program, error) {
 		c, err := autopart.Compile(miniaero.Source(), autopart.Options{})
 		if err != nil {
 			return nil, err
 		}
-		return miniaero.Executable(miniaero.DefaultConfig(), c, n)
+		cfg := miniaero.DefaultConfig()
+		if small {
+			cfg = miniaero.Config{DX: 4, DY: 4, DZ: 4}
+		}
+		return miniaero.Executable(cfg, c, n)
 	},
-	"pennant-h2": func(n int) (*exec.Program, error) {
+	"pennant-h2": func(n int, small bool) (*exec.Program, error) {
 		c, err := autopart.Compile(pennant.HintSource(2), autopart.Options{})
 		if err != nil {
 			return nil, err
 		}
-		return pennant.Executable(pennant.DefaultConfig(), c, n, 2)
+		cfg := pennant.DefaultConfig()
+		if small {
+			cfg = pennant.Config{W: 16, ZonesPerPiece: 128, Jitter: 16}
+		}
+		return pennant.Executable(cfg, c, n, 2)
 	},
+}
+
+func circuitConfig(small bool) circuit.Config {
+	if small {
+		return circuit.Config{WiresPerCluster: 200, NodesPerCluster: 100, SharedFraction: 0.02, CrossFraction: 0.20}
+	}
+	return circuit.DefaultConfig()
 }
 
 // nodeStatsJSON is sim.NodeStats with JSON names (ComputeUnits is
@@ -92,13 +124,20 @@ type nodeStatsJSON struct {
 	MsgsOut     int     `json:"msgs_out"`
 	FragsIn     int     `json:"frags_in"`
 	FragsOut    int     `json:"frags_out"`
+	WallNS      int64   `json:"wall_ns"`
+	ComputeNS   int64   `json:"compute_ns"`
+	OverlapNS   int64   `json:"overlap_ns"`
 }
 
 type launchJSON struct {
-	Name       string          `json:"name"`
-	TotalBytes float64         `json:"total_bytes"`
-	TotalMsgs  int             `json:"total_msgs"`
-	Nodes      []nodeStatsJSON `json:"nodes"`
+	Name       string  `json:"name"`
+	TotalBytes float64 `json:"total_bytes"`
+	TotalMsgs  int     `json:"total_msgs"`
+	// OverlapRatio is compute time spent while at least one expected
+	// receive was still outstanding, over total compute time, across
+	// the launch's nodes.
+	OverlapRatio float64         `json:"overlap_ratio"`
+	Nodes        []nodeStatsJSON `json:"nodes"`
 }
 
 type stepJSON struct {
@@ -109,16 +148,18 @@ type stepJSON struct {
 }
 
 type reportJSON struct {
-	App        string     `json:"app"`
-	Nodes      int        `json:"nodes"`
-	Steps      int        `json:"steps"`
-	TotalBytes float64    `json:"total_bytes"`
-	TotalMsgs  int        `json:"total_msgs"`
-	Checked    bool       `json:"checked_vs_sequential"`
-	PerStep    []stepJSON `json:"per_step"`
+	App          string     `json:"app"`
+	Nodes        int        `json:"nodes"`
+	Steps        int        `json:"steps"`
+	Transport    string     `json:"transport"`
+	TotalBytes   float64    `json:"total_bytes"`
+	TotalMsgs    int        `json:"total_msgs"`
+	OverlapRatio float64    `json:"overlap_ratio"`
+	Checked      bool       `json:"checked_vs_sequential"`
+	PerStep      []stepJSON `json:"per_step"`
 }
 
-func nodeRows(nodes []sim.NodeStats) []nodeStatsJSON {
+func nodeRows(nodes []sim.NodeStats, times []exec.NodeTiming) []nodeStatsJSON {
 	rows := make([]nodeStatsJSON, len(nodes))
 	for j, ns := range nodes {
 		rows[j] = nodeStatsJSON{
@@ -130,15 +171,29 @@ func nodeRows(nodes []sim.NodeStats) []nodeStatsJSON {
 			MsgsOut:     ns.MsgsOut,
 			FragsIn:     ns.FragsIn,
 			FragsOut:    ns.FragsOut,
+			WallNS:      times[j].WallNS,
+			ComputeNS:   times[j].ComputeNS,
+			OverlapNS:   times[j].OverlapNS,
 		}
 	}
 	return rows
+}
+
+// overlapRatio is overlapped compute over total compute (0 when no
+// compute was measured).
+func overlapRatio(overlapNS, computeNS int64) float64 {
+	if computeNS <= 0 {
+		return 0
+	}
+	return float64(overlapNS) / float64(computeNS)
 }
 
 func main() {
 	app := flag.String("app", "", "builtin program to run (required)")
 	nodes := flag.Int("nodes", 4, "number of executor nodes")
 	steps := flag.Int("steps", 1, "main-loop iterations")
+	transport := flag.String("transport", "inproc", "message transport: inproc, tcp, or flaky")
+	size := flag.String("size", "default", "app configuration: default (paper scale) or small (test scale)")
 	minBytes := flag.Float64("min-bytes", 0, "fail unless at least this many bytes moved")
 	noCheck := flag.Bool("no-check", false, "skip bit-identity check against the sequential executor")
 	flag.Parse()
@@ -154,11 +209,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	prog, err := build(*nodes)
+	tf, err := exec.TransportByName(*transport)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := exec.Run(prog, exec.Config{Nodes: *nodes, Steps: *steps})
+	if *size != "default" && *size != "small" {
+		fmt.Fprintf(os.Stderr, "run: unknown -size %q (have default, small)\n", *size)
+		os.Exit(2)
+	}
+	prog, err := build(*nodes, *size == "small")
+	if err != nil {
+		fatal(err)
+	}
+	res, err := exec.Run(prog, exec.Config{Nodes: *nodes, Steps: *steps, Transport: tf})
 	if err != nil {
 		fatal(err)
 	}
@@ -179,22 +242,33 @@ func main() {
 		App:        *app,
 		Nodes:      *nodes,
 		Steps:      *steps,
+		Transport:  *transport,
 		TotalBytes: res.TotalBytes(),
 		TotalMsgs:  res.TotalMsgs(),
 		Checked:    !*noCheck,
 	}
+	var totOverlap, totCompute int64
 	for si, sc := range res.Steps {
 		sj := stepJSON{Step: si, TotalBytes: sc.TotalBytes, TotalMsgs: sc.TotalMsgs}
 		for _, lc := range sc.Launches {
+			var ov, cp int64
+			for _, nt := range lc.Times {
+				ov += nt.OverlapNS
+				cp += nt.ComputeNS
+			}
+			totOverlap += ov
+			totCompute += cp
 			sj.Launches = append(sj.Launches, launchJSON{
-				Name:       lc.Name,
-				TotalBytes: lc.TotalBytes,
-				TotalMsgs:  lc.TotalMsgs,
-				Nodes:      nodeRows(lc.Nodes),
+				Name:         lc.Name,
+				TotalBytes:   lc.TotalBytes,
+				TotalMsgs:    lc.TotalMsgs,
+				OverlapRatio: overlapRatio(ov, cp),
+				Nodes:        nodeRows(lc.Nodes, lc.Times),
 			})
 		}
 		rep.PerStep = append(rep.PerStep, sj)
 	}
+	rep.OverlapRatio = overlapRatio(totOverlap, totCompute)
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

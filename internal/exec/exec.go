@@ -16,17 +16,34 @@
 // color order (see rewrite.MergeShardReductions) — which is why results
 // are bit-identical to the sequential executor on any node count.
 //
-// All data moves as messages over per-pair FIFO pipes; nodes never
-// share mutable memory. Each node computes the full send/receive
-// schedule from replicated read-only metadata (partitions and its own
-// copy of the owner map, updated identically everywhere), so no
-// barriers are needed: bulk synchrony emerges from FIFO matching. The
-// executor measures the traffic it generates in the same units sim
-// predicts (sim.NodeStats), making prediction error directly testable.
+// Execution is dependency-driven, not bulk-synchronous. Each node
+// derives, from replicated read-only metadata (partitions and its own
+// replica of the owner map, updated identically everywhere), the exact
+// set of messages every (step, launch) pair will receive (see
+// buildSched), issues all of a launch's sends before blocking on any
+// receive, and starts the shard the moment its last ghost dependency
+// lands. Write-back receives and reduction folds are deferred until a
+// later launch touches the fields they write (or the run ends), so a
+// launch whose fields are disjoint from in-flight write-backs computes
+// while that communication is still in the air. Deadlock freedom:
+// sends never block (transports buffer unboundedly), so the only waits
+// are receives, and every expected message is sent by a peer running
+// the identical replicated schedule. Determinism survives because
+// deliveries are matched by tag rather than arrival order, and every
+// same-field write sequence (ghost installs, ship installs, ordered
+// folds) happens in the launch order the sequential executor uses.
+//
+// All data moves as messages through a Transport (in-process queues by
+// default, loopback TCP, or a latency-injecting chaos transport); nodes
+// never share mutable memory. The executor measures the traffic it
+// generates in the same units sim predicts (sim.NodeStats), making
+// prediction error directly testable, and times each launch's compute
+// and communication overlap (NodeTiming).
 package exec
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -47,6 +64,8 @@ type Config struct {
 	// BytesPerElem is the accounting size of one element of one field,
 	// matching sim.Model.BytesPerElem (default 8).
 	BytesPerElem float64
+	// Transport builds the message fabric (default InprocTransport()).
+	Transport TransportFactory
 }
 
 // Program is an executable instance: a machine holding the initial
@@ -61,12 +80,28 @@ type Program struct {
 	Owners *sim.State
 }
 
+// NodeTiming is one node's measured wall-clock for one launch.
+type NodeTiming struct {
+	// WallNS is time spent driving this launch: scheduling, sends,
+	// receives, compute, plus any deferred finish work later settled on
+	// its behalf.
+	WallNS int64
+	// ComputeNS is the shard execution window.
+	ComputeNS int64
+	// OverlapNS is the part of the compute window during which at least
+	// one expected write-back message (this launch's or an earlier
+	// deferred one's) had not yet arrived — compute genuinely hiding
+	// communication latency.
+	OverlapNS int64
+}
+
 // LaunchComm is the measured communication of one launch, in the units
 // sim.LaunchStats predicts. ComputeUnits stays zero: compute cost is
 // analytic-only in the model and has no measured counterpart.
 type LaunchComm struct {
 	Name       string
 	Nodes      []sim.NodeStats
+	Times      []NodeTiming
 	TotalBytes float64
 	TotalMsgs  int
 }
@@ -181,25 +216,17 @@ func Run(prog *Program, cfg Config) (*Result, error) {
 	if cfg.BytesPerElem == 0 {
 		cfg.BytesPerElem = sim.Default().BytesPerElem
 	}
+	if cfg.Transport == nil {
+		cfg.Transport = InprocTransport()
+	}
 	if err := validate(prog, cfg); err != nil {
 		return nil, err
 	}
 	n := cfg.Nodes
 
-	// Per-pair FIFO pipes with unbounded elasticity (see pipe).
-	ins := make([][]chan message, n)
-	outs := make([][]chan message, n)
-	for from := 0; from < n; from++ {
-		ins[from] = make([]chan message, n)
-		outs[from] = make([]chan message, n)
-		for to := 0; to < n; to++ {
-			if to == from {
-				continue
-			}
-			ins[from][to] = make(chan message)
-			outs[from][to] = make(chan message)
-			go pipe(ins[from][to], outs[from][to])
-		}
+	tr, err := cfg.Transport(n)
+	if err != nil {
+		return nil, fmt.Errorf("exec: transport: %w", err)
 	}
 
 	nodes := make([]*node, n)
@@ -210,16 +237,30 @@ func Run(prog *Program, cfg Config) (*Result, error) {
 			prog:   prog,
 			m:      cloneMachine(prog.Machine),
 			owners: cloneOwners(prog.Owners),
-			sendTo: ins[j],
-			recvAt: make([]chan message, n),
+			tr:     tr,
+			mb:     newMailbox(),
 			stats:  make([][]sim.NodeStats, cfg.Steps),
+			times:  make([][]NodeTiming, cfg.Steps),
 		}
-		for from := 0; from < n; from++ {
-			if from == j {
-				continue
+	}
+
+	// One receiver per node drains its merged inbox into the mailbox,
+	// timestamping arrivals; eof sentinels become peer-death marks so a
+	// blocked take fails instead of hanging.
+	var rwg sync.WaitGroup
+	for j := 0; j < n; j++ {
+		rwg.Add(1)
+		go func(nd *node) {
+			defer rwg.Done()
+			for m := range tr.Inbox(nd.id) {
+				if m.kind == eofMsg {
+					nd.mb.peerDead(m.from)
+					continue
+				}
+				nd.mb.put(m)
 			}
-			nodes[j].recvAt[from] = outs[from][j]
-		}
+			nd.mb.close()
+		}(nodes[j])
 	}
 
 	errs := make([]error, n)
@@ -228,23 +269,33 @@ func Run(prog *Program, cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(nd *node) {
 			defer wg.Done()
-			// Closing the node's send pipes on exit (normal or error)
-			// unblocks peers: pipes drain, then receivers see EOF and
-			// fail loudly instead of deadlocking.
-			defer func() {
-				for _, ch := range nd.sendTo {
-					if ch != nil {
-						close(ch)
-					}
-				}
-			}()
+			// Closing the node's send side on exit (normal or error)
+			// unblocks peers: queued messages drain, then receivers see the
+			// death and fail loudly instead of deadlocking.
+			defer tr.CloseSend(nd.id)
 			errs[nd.id] = nd.run()
 		}(nodes[j])
 	}
 	wg.Wait()
+	rwg.Wait()
 	for j, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("exec: node %d: %w", j, err)
+		}
+	}
+	if rep, ok := tr.(errReporter); ok {
+		if err := rep.Err(); err != nil {
+			return nil, err
+		}
+	}
+	for j, nd := range nodes {
+		if err := nd.mb.leftoverErr(); err != nil {
+			return nil, fmt.Errorf("exec: node %d: %w", j, err)
+		}
+	}
+	if c, ok := tr.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			return nil, fmt.Errorf("exec: transport close: %w", err)
 		}
 	}
 
@@ -256,10 +307,15 @@ func Run(prog *Program, cfg Config) (*Result, error) {
 	for step := 0; step < cfg.Steps; step++ {
 		sc := StepComm{}
 		for li, t := range prog.Plan.Tasks {
-			lc := LaunchComm{Name: t.Launch.Name, Nodes: make([]sim.NodeStats, n)}
+			lc := LaunchComm{
+				Name:  t.Launch.Name,
+				Nodes: make([]sim.NodeStats, n),
+				Times: make([]NodeTiming, n),
+			}
 			for j := 0; j < n; j++ {
 				ns := nodes[j].stats[step][li]
 				lc.Nodes[j] = ns
+				lc.Times[j] = nodes[j].times[step][li]
 				lc.TotalBytes += ns.BytesOut
 				lc.TotalMsgs += ns.MsgsOut
 			}

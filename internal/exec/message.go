@@ -20,6 +20,14 @@ const (
 	// mergeMsg moves a reduction buffer's remote-owned contributions to
 	// their owners for the ordered fold.
 	mergeMsg
+	// helloMsg is the TCP transport's stream preamble: the first frame
+	// on each connection, identifying the sender. Never delivered to a
+	// node.
+	helloMsg
+	// eofMsg is a transport-internal sentinel marking one sender's end
+	// of stream, so receivers can fail takes from a dead peer instead
+	// of deadlocking. Never crosses the wire.
+	eofMsg
 )
 
 func (k msgKind) String() string {
@@ -30,6 +38,10 @@ func (k msgKind) String() string {
 		return "ship"
 	case mergeMsg:
 		return "merge"
+	case helloMsg:
+		return "hello"
+	case eofMsg:
+		return "eof"
 	default:
 		return fmt.Sprintf("msgKind(%d)", int(k))
 	}
@@ -41,6 +53,7 @@ func (k msgKind) String() string {
 // errors instead of silent data corruption.
 type message struct {
 	kind          msgKind
+	from          int // sender color, stamped by the transport layer
 	step, launch  int
 	req           int
 	region, field string

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"autopart/internal/geometry"
 	"autopart/internal/ir"
@@ -15,43 +16,72 @@ import (
 // every region (valid only on owned elements and fresh ghosts), its own
 // replica of the owner map (all replicas evolve identically), and its
 // rows of the per-launch statistics. Nodes communicate exclusively
-// through the pipes; no mutable state is shared.
+// through the transport; no mutable state is shared.
+//
+// Execution is dependency-driven, not bulk-synchronous: each launch's
+// incoming messages are known in advance (buildSched), all outgoing
+// messages are issued before any receive blocks, the shard runs the
+// moment its last ghost dependency lands, and the launch's write-back
+// receives and reduction folds are deferred — queued as a pendingFinish
+// and settled only when a later launch (or the final gather) touches
+// one of the fields they write. A launch over fields disjoint from
+// every pending finish therefore computes while those receives are
+// still in flight; that compute-communication overlap is what the
+// timing columns measure.
 type node struct {
-	id     int
-	cfg    Config
-	prog   *Program
-	m      *ir.Machine
-	owners map[sim.FieldKey]*region.Partition
-	sendTo []chan message // sendTo[k]: pipe input toward node k (nil for self)
-	recvAt []chan message // recvAt[k]: pipe output from node k (nil for self)
-	stats  [][]sim.NodeStats
+	id      int
+	cfg     Config
+	prog    *Program
+	m       *ir.Machine
+	owners  map[sim.FieldKey]*region.Partition
+	tr      Transport
+	mb      *mailbox
+	stats   [][]sim.NodeStats
+	times   [][]NodeTiming
+	pending []*pendingFinish
 }
 
-// run executes all steps of the plan.
+// pendingFinish is a launch whose shard has run and whose sends are out,
+// but whose write-back receives and folds have not been applied yet.
+type pendingFinish struct {
+	sched *launchSched
+	res   *rewrite.ShardResult
+}
+
+func (n *node) nodes() int { return n.cfg.Nodes }
+
+// run executes all steps of the plan, then settles every deferred
+// finish so gather reads fully merged data.
 func (n *node) run() error {
 	for step := 0; step < n.cfg.Steps; step++ {
 		n.stats[step] = make([]sim.NodeStats, len(n.prog.Plan.Tasks))
+		n.times[step] = make([]NodeTiming, len(n.prog.Plan.Tasks))
 		for li, t := range n.prog.Plan.Tasks {
 			if err := n.runLaunch(step, li, t); err != nil {
 				return fmt.Errorf("step %d, launch %s: %w", step, t.Launch.Name, err)
 			}
 		}
 	}
-	return nil
+	return n.settle(len(n.pending))
 }
 
 func (n *node) send(to int, msg message) {
-	n.sendTo[to] <- msg
+	n.tr.Send(n.id, to, msg)
 }
 
-// recv takes the next message from node `from`, failing if the peer
-// exited (its pipe closed) before sending it.
-func (n *node) recv(from int) (message, error) {
-	msg, ok := <-n.recvAt[from]
-	if !ok {
-		return message{}, fmt.Errorf("peer %d exited before sending", from)
+// take blocks until the dependency's message lands, then verifies the
+// full tag (including the metadata-derived element set) before
+// returning it.
+func (n *node) take(d depSpec) (message, time.Time, error) {
+	msg, at, err := n.mb.take(d.key)
+	if err != nil {
+		return msg, at, err
 	}
-	return msg, nil
+	k := d.key
+	if err := msg.checkTag(k.kind, k.step, k.launch, k.req, k.region, k.field, d.set); err != nil {
+		return msg, at, err
+	}
+	return msg, at, nil
 }
 
 // needsFetch reports whether a requirement pulls ghost data before the
@@ -67,30 +97,76 @@ func needsFetch(req runtime.Requirement) bool {
 	return false
 }
 
-// runLaunch is one bulk-synchronous launch on this node:
+// settle applies the first count pending finishes, oldest first: take
+// the deferred write-back messages, install guarded ships, fold merge
+// buffers in canonical order. Settling in queue order keeps every
+// same-field write sequence identical to the bulk-synchronous executor.
+func (n *node) settle(count int) error {
+	for i := 0; i < count; i++ {
+		pf := n.pending[i]
+		start := time.Now()
+		if err := n.finish(pf); err != nil {
+			return fmt.Errorf("finishing step %d, launch %s: %w",
+				pf.sched.step, pf.sched.task.Launch.Name, err)
+		}
+		n.times[pf.sched.step][pf.sched.li].WallNS += time.Since(start).Nanoseconds()
+	}
+	n.pending = append([]*pendingFinish{}, n.pending[count:]...)
+	return nil
+}
+
+// settleTouching settles every pending finish up to (and including) the
+// last one whose writes intersect fields — later launches must observe
+// those folds, and pending finishes on the same field must stay
+// ordered, so the settle is a queue prefix, never a subset.
+func (n *node) settleTouching(fields map[rewrite.FieldKey]bool) error {
+	last := -1
+	for i, pf := range n.pending {
+		for fk := range pf.sched.touches {
+			if fields[fk] {
+				last = i
+				break
+			}
+		}
+	}
+	return n.settle(last + 1)
+}
+
+// runLaunch drives one launch on this node:
 //
-//  1. ghost exchange — serve peers' remote needs from owned data, then
-//     install the pieces peers serve us (valid-instance tracking decides
-//     both sides, exactly as sim charges them);
-//  2. shard execution — run the rewritten loop over this color only,
-//     then flush its private writes into the local arrays;
-//  3. write-back — ship guarded-reduction results on remote-owned
-//     targets to their owners, and merge reduction buffers to owners in
-//     ascending color order;
-//  4. ownership update — writes move each written field's owner to the
-//     writing partition, replicated identically on every node.
+//  1. settle pending finishes that conflict with this launch's fields;
+//  2. build the dependency schedule from replicated metadata;
+//  3. issue every outgoing ghost piece (sends never block);
+//  4. take ghost dependencies as they land and install them — the
+//     shard starts the moment the last one arrives;
+//  5. run the shard (rewrite.RunShard) and flush its private writes;
+//  6. issue every write-back send (guarded ships, buffer merges);
+//  7. defer the write-back receives and folds as a pendingFinish;
+//  8. move ownership of written fields (metadata, applied immediately
+//     so later schedules see it).
 //
-// Sends within a phase never block (pipes buffer unboundedly), so
-// enqueueing all sends before blocking on receives makes the exchange
-// deadlock-free with no barriers.
+// Bit-identity survives the reordering because writes stay canonically
+// ordered where it matters: folds run per field in requirement order
+// via rewrite.MergeShardReductions, settles run in launch order, and
+// everything else lands on disjoint element sets.
 func (n *node) runLaunch(step, li int, t runtime.Task) error {
 	l := t.Launch
+	if err := n.settleTouching(launchFields(l)); err != nil {
+		return err
+	}
+	lt := &n.times[step][li]
+	start := time.Now()
+
+	sched, err := n.buildSched(step, li, t)
+	if err != nil {
+		return err
+	}
 	st := &n.stats[step][li]
 	parts := n.prog.Parts
 	j := n.id
 	bpe := n.cfg.BytesPerElem
 
-	// --- Phase 1a: enqueue outgoing ghosts. ---
+	// Outgoing ghosts: serve peers' remote needs from owned data.
 	for ri, req := range l.Reqs {
 		if !needsFetch(req) {
 			continue
@@ -101,7 +177,7 @@ func (n *node) runLaunch(step, li int, t runtime.Task) error {
 			if err != nil {
 				return err
 			}
-			for k := range n.sendTo {
+			for k := 0; k < n.nodes(); k++ {
 				if k == j {
 					continue
 				}
@@ -124,62 +200,26 @@ func (n *node) runLaunch(step, li int, t runtime.Task) error {
 		}
 	}
 
-	// --- Phase 1b: receive and install incoming ghosts. ---
-	for ri, req := range l.Reqs {
-		if !needsFetch(req) {
-			continue
+	// Incoming ghosts: the shard's compute dependencies. Install each
+	// as it is taken; after the last take the shard is ready.
+	for _, d := range sched.ghosts {
+		msg, _, err := n.take(d)
+		if err != nil {
+			return err
 		}
-		p := parts[req.Sym]
-		for _, f := range req.Fields {
-			owner, err := n.ownerOf(req.Region, f)
-			if err != nil {
-				return err
-			}
-			remote := p.Sub(j).Subtract(owner.Sub(j))
-			if remote.Empty() {
-				continue
-			}
-			st.BytesIn += float64(remote.Len()) * bpe
-			st.FragsIn += remote.NumIntervals()
-			covered := geometry.IndexSet{}
-			for _, pc := range region.SplitByOwner(remote, owner) {
-				msg, err := n.recv(pc.Color)
-				if err != nil {
-					return err
-				}
-				if err := msg.checkTag(ghostMsg, step, li, ri, req.Region, f, pc.Set); err != nil {
-					return err
-				}
-				if err := installField(n.m.Regions[req.Region], f, &msg); err != nil {
-					return err
-				}
-				st.MsgsIn++
-				covered = covered.Union(pc.Set)
-			}
-			if !covered.Equal(remote) {
-				return fmt.Errorf("no valid copy of %s.%s for ghost set %s (owner covers only %s)",
-					req.Region, f, remote, covered)
-			}
+		if err := installField(n.m.Regions[d.key.region], d.key.field, &msg); err != nil {
+			return err
 		}
 	}
 
-	// --- Phase 2: run this color's shard and flush private writes. ---
+	// Shard execution over this color only.
+	t0 := time.Now()
 	res, err := rewrite.RunShard(n.m, parts, t.Loop, j)
 	if err != nil {
 		return err
 	}
-	for k, vals := range res.Scalars {
-		data := n.m.Regions[k.Region].Scalar(k.Field)
-		for idx, v := range vals {
-			data[idx] = v
-		}
-	}
-	for k, vals := range res.Indexes {
-		data := n.m.Regions[k.Region].Index(k.Field)
-		for idx, v := range vals {
-			data[idx] = v
-		}
-	}
+	rewrite.FlushShard(n.m, res)
+	t1 := time.Now()
 
 	// Reduction-instance accounting: the buffer covers the instance
 	// subregion minus the §5.2 private sub-partition (private elements
@@ -199,11 +239,11 @@ func (n *node) runLaunch(step, li int, t runtime.Task) error {
 		st.BufferElems += float64(alloc.Len()) * float64(len(req.Fields))
 	}
 
-	// --- Phase 3a: enqueue write-backs (guarded ships, buffer merges). ---
-	// A launch may carry several unguarded reduction requirements on the
-	// same field through different instance partitions (circuit reduces
-	// into Nodes.charge via both wire endpoints). Sends and statistics
-	// stay per-requirement — that is how sim charges them — but the shard
+	// Outgoing write-backs (guarded ships, buffer merges). A launch may
+	// carry several unguarded reduction requirements on the same field
+	// through different instance partitions (circuit reduces into
+	// Nodes.charge via both wire endpoints). Sends and statistics stay
+	// per-requirement — that is how sim charges them — but the shard
 	// buffer is shared per field, so reachability is checked against the
 	// union of the requirements' reach sets, and the owner-side fold
 	// dedupes by sender before folding each contribution exactly once.
@@ -301,134 +341,12 @@ func (n *node) runLaunch(step, li int, t runtime.Task) error {
 		}
 	}
 
-	// --- Phase 3b: receive write-backs; fold merges in color order. ---
-	// folds accumulates, per reduced field, one contribution map per
-	// sender color. Duplicate elements arriving from the same sender
-	// under different requirements carry identical values (both pack the
-	// sender's one shard buffer), so overwriting dedupes them and each
-	// (sender, element) contribution folds exactly once.
-	type foldState struct {
-		op       string
-		perColor []map[int64]float64
-	}
-	folds := map[rewrite.FieldKey]*foldState{}
-	var foldOrder []rewrite.FieldKey
-	for ri, req := range l.Reqs {
-		if req.Priv != runtime.Reduce {
-			continue
-		}
-		p := parts[req.Sym]
-		if req.Guarded {
-			for _, f := range req.Fields {
-				owner, err := n.ownerOf(req.Region, f)
-				if err != nil {
-					return err
-				}
-				for k := range n.recvAt {
-					if k == j {
-						continue
-					}
-					piece := p.Sub(k).Subtract(owner.Sub(k)).Intersect(owner.Sub(j))
-					if piece.Empty() {
-						continue
-					}
-					msg, err := n.recv(k)
-					if err != nil {
-						return err
-					}
-					if err := msg.checkTag(shipMsg, step, li, ri, req.Region, f, piece); err != nil {
-						return err
-					}
-					if err := installField(n.m.Regions[req.Region], f, &msg); err != nil {
-						return err
-					}
-					st.BytesIn += float64(piece.Len()) * bpe
-					st.FragsIn += piece.NumIntervals()
-					st.MsgsIn++
-				}
-			}
-			continue
-		}
-		touched := p
-		if req.TouchedSym != "" {
-			touched = parts[req.TouchedSym]
-		}
-		for _, f := range req.Fields {
-			owner, err := n.ownerOf(req.Region, f)
-			if err != nil {
-				return err
-			}
-			fk := rewrite.FieldKey{Region: req.Region, Field: f}
-			fs := folds[fk]
-			if fs == nil {
-				fs = &foldState{
-					op:       req.ReduceOp,
-					perColor: make([]map[int64]float64, len(n.recvAt)),
-				}
-				folds[fk] = fs
-				foldOrder = append(foldOrder, fk)
-				// Our own shard's contributions on elements we own fold
-				// locally; they join the field's per-color maps once, no
-				// matter how many requirements cover the field.
-				if buf := res.Reductions[fk]; buf != nil {
-					own := owner.Sub(j)
-					for idx, v := range buf.Values {
-						if own.Contains(idx) {
-							if fs.perColor[j] == nil {
-								fs.perColor[j] = map[int64]float64{}
-							}
-							fs.perColor[j][idx] = v
-						}
-					}
-				}
-			}
-			for k := range n.recvAt {
-				if k == j {
-					continue
-				}
-				if p.Sub(k).Empty() {
-					continue
-				}
-				piece := touched.Sub(k).Subtract(owner.Sub(k)).Intersect(owner.Sub(j))
-				if piece.Empty() {
-					continue
-				}
-				msg, err := n.recv(k)
-				if err != nil {
-					return err
-				}
-				if err := msg.checkTag(mergeMsg, step, li, ri, req.Region, f, piece); err != nil {
-					return err
-				}
-				for idx, v := range unpackBuffer(&msg) {
-					if fs.perColor[k] == nil {
-						fs.perColor[k] = map[int64]float64{}
-					}
-					fs.perColor[k][idx] = v
-				}
-				st.BytesIn += float64(piece.Len()) * bpe
-				st.FragsIn += piece.NumIntervals()
-				st.MsgsIn++
-			}
-		}
-	}
-	// Fold each reduced field's deduped contributions exactly once. The
-	// fold is rewrite.MergeShardReductions restricted to owner.Sub(j), so
-	// the distributed merge reproduces the sequential one piecewise.
-	for _, fk := range foldOrder {
-		fs := folds[fk]
-		perColor := make([]map[rewrite.FieldKey]*rewrite.ReduceBuffer, len(n.recvAt))
-		for k, vals := range fs.perColor {
-			if len(vals) > 0 {
-				perColor[k] = map[rewrite.FieldKey]*rewrite.ReduceBuffer{
-					fk: {Op: fs.op, Values: vals},
-				}
-			}
-		}
-		rewrite.MergeShardReductions(n.m, perColor)
-	}
+	// Defer the write-back receives and folds; a later launch touching
+	// the same fields (or the end of the run) settles them.
+	n.pending = append(n.pending, &pendingFinish{sched: sched, res: res})
 
-	// --- Phase 4: writes move ownership to the writing partition. ---
+	// Writes move ownership to the writing partition (metadata; every
+	// replica applies the same move at the same launch).
 	for _, req := range l.Reqs {
 		if req.Priv != runtime.ReadWrite && req.Priv != runtime.WriteDiscard {
 			continue
@@ -436,6 +354,112 @@ func (n *node) runLaunch(step, li int, t runtime.Task) error {
 		for _, f := range req.Fields {
 			n.owners[sim.FieldKey{Region: req.Region, Field: f}] = parts[req.Sym]
 		}
+	}
+
+	// Timing: the launch overlapped communication with compute for the
+	// part of the shard's window during which at least one expected
+	// write-back (this launch's or an earlier pending one's) had not
+	// yet arrived.
+	var outstanding []tagKey
+	for _, pf := range n.pending {
+		for _, d := range pf.sched.backs {
+			outstanding = append(outstanding, d.key)
+		}
+	}
+	lt.ComputeNS = t1.Sub(t0).Nanoseconds()
+	lt.OverlapNS = n.overlapWindow(t0, t1, outstanding).Nanoseconds()
+	lt.WallNS += time.Since(start).Nanoseconds()
+	return nil
+}
+
+// overlapWindow measures how much of the window [t0, t1] passed while
+// at least one of deps had not yet arrived. Arrivals only accumulate,
+// so the outstanding count is non-increasing over the window: the
+// answer is the time to the last arrival, clamped to the window.
+func (n *node) overlapWindow(t0, t1 time.Time, deps []tagKey) time.Duration {
+	if len(deps) == 0 {
+		return 0
+	}
+	last := t0
+	for _, k := range deps {
+		at, ok := n.mb.arrivedAt(k)
+		if !ok || at.After(t1) {
+			// Still outstanding (or landed after the window): the whole
+			// window overlapped.
+			return t1.Sub(t0)
+		}
+		if at.After(last) {
+			last = at
+		}
+	}
+	if last.After(t1) {
+		return t1.Sub(t0)
+	}
+	return last.Sub(t0)
+}
+
+// finish applies one deferred launch completion: take every write-back
+// dependency, install guarded ships, collect merge contributions per
+// sender, then fold each reduced field in canonical order. folds
+// accumulate, per reduced field, one contribution map per sender color;
+// duplicate elements arriving from the same sender under different
+// requirements carry identical values (both pack the sender's one shard
+// buffer), so overwriting dedupes them and each (sender, element)
+// contribution folds exactly once.
+func (n *node) finish(pf *pendingFinish) error {
+	sc := pf.sched
+	perField := map[rewrite.FieldKey][]map[int64]float64{}
+	for _, fs := range sc.folds {
+		perField[fs.fk] = make([]map[int64]float64, n.nodes())
+	}
+	for _, d := range sc.backs {
+		msg, _, err := n.take(d)
+		if err != nil {
+			return err
+		}
+		if d.key.kind == shipMsg {
+			if err := installField(n.m.Regions[d.key.region], d.key.field, &msg); err != nil {
+				return err
+			}
+			continue
+		}
+		perColor := perField[d.fk]
+		if perColor == nil {
+			return fmt.Errorf("merge message %s has no fold", d.key)
+		}
+		for idx, v := range unpackBuffer(&msg) {
+			if perColor[d.key.from] == nil {
+				perColor[d.key.from] = map[int64]float64{}
+			}
+			perColor[d.key.from][idx] = v
+		}
+	}
+	// Our own shard's contributions on elements we own fold locally;
+	// they join the field's per-color maps once, no matter how many
+	// requirements cover the field. The fold is
+	// rewrite.MergeShardReductions restricted to owner.Sub(j), so the
+	// distributed merge reproduces the sequential one piecewise.
+	for _, fs := range sc.folds {
+		perColor := perField[fs.fk]
+		if buf := pf.res.Reductions[fs.fk]; buf != nil {
+			for idx, v := range buf.Values {
+				if fs.own.Contains(idx) {
+					if perColor[n.id] == nil {
+						perColor[n.id] = map[int64]float64{}
+					}
+					perColor[n.id][idx] = v
+				}
+			}
+		}
+		merged := make([]map[rewrite.FieldKey]*rewrite.ReduceBuffer, len(perColor))
+		for k, vals := range perColor {
+			if len(vals) > 0 {
+				merged[k] = map[rewrite.FieldKey]*rewrite.ReduceBuffer{
+					fs.fk: {Op: fs.op, Values: vals},
+				}
+			}
+		}
+		rewrite.MergeShardReductions(n.m, merged)
 	}
 	return nil
 }

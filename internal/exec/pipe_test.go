@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestPipeFIFOUnderContention drives a pipe with a fast producer and a
+// deliberately slow consumer, so the elastic buffer grows and shrinks
+// while deliveries continue: every message must come out exactly once,
+// in send order, and the producer must never be blocked by the
+// consumer's pace (the never-blocks contract the executor's deadlock
+// freedom rests on).
+func TestPipeFIFOUnderContention(t *testing.T) {
+	const n = 5000
+	in := make(chan message)
+	out := make(chan message)
+	go pipe(in, out)
+
+	sent := make(chan struct{})
+	go func() {
+		defer close(sent)
+		for i := 0; i < n; i++ {
+			in <- message{step: i}
+		}
+		close(in)
+	}()
+
+	for i := 0; i < n; i++ {
+		if i%500 == 0 {
+			time.Sleep(time.Millisecond) // let the buffer accumulate
+		}
+		m, ok := <-out
+		if !ok {
+			t.Fatalf("pipe closed after %d of %d messages", i, n)
+		}
+		if m.step != i {
+			t.Fatalf("message %d arrived out of order (step=%d)", i, m.step)
+		}
+	}
+	if _, ok := <-out; ok {
+		t.Fatal("pipe delivered an extra message")
+	}
+	<-sent
+}
+
+// TestPipeDrainsBufferOnClose closes the input while the buffer still
+// holds undelivered messages: the pipe must deliver every one before
+// closing its output.
+func TestPipeDrainsBufferOnClose(t *testing.T) {
+	const n = 1000
+	in := make(chan message)
+	out := make(chan message)
+	go pipe(in, out)
+	for i := 0; i < n; i++ {
+		in <- message{step: i}
+	}
+	close(in)
+	for i := 0; i < n; i++ {
+		m, ok := <-out
+		if !ok {
+			t.Fatalf("pipe closed with %d messages still buffered", n-i)
+		}
+		if m.step != i {
+			t.Fatalf("drain reordered message %d (step=%d)", i, m.step)
+		}
+	}
+	if _, ok := <-out; ok {
+		t.Fatal("pipe delivered a message that was never sent")
+	}
+}
+
+// TestPipeNoGoroutineLeak spins up many pipes, runs traffic through
+// them, closes them, and checks the goroutine count returns to (about)
+// its baseline — a forwarder that fails to exit would accumulate across
+// the executor's many short runs.
+func TestPipeNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const pipes = 200
+	outs := make([]chan message, pipes)
+	for i := range outs {
+		in := make(chan message)
+		outs[i] = make(chan message)
+		go pipe(in, outs[i])
+		go func(in chan message) {
+			for j := 0; j < 10; j++ {
+				in <- message{step: j}
+			}
+			close(in)
+		}(in)
+	}
+	for _, out := range outs {
+		for range out {
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after drain", before, runtime.NumGoroutine())
+}

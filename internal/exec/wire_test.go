@@ -1,0 +1,178 @@
+package exec
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"autopart/internal/geometry"
+)
+
+func wireMessages() []message {
+	set := geometry.FromIntervals(geometry.Interval{Lo: 3, Hi: 8}, geometry.Interval{Lo: 12, Hi: 15})
+	return []message{
+		{kind: helloMsg, from: 7},
+		{
+			kind: ghostMsg, from: 1, step: 2, launch: 3, req: 4,
+			region: "cells", field: "rho", set: set,
+			scalars: []float64{1.5, -2, 0, math.Inf(1), math.NaN(), 6, 7, 8},
+		},
+		{
+			kind: ghostMsg, from: 0, step: 0, launch: 1, req: 0,
+			region: "wires", field: "in", set: geometry.FromIntervals(geometry.Interval{Lo: 0, Hi: 3}),
+			indexes: []int64{-1, 42, 1 << 40},
+		},
+		{
+			kind: shipMsg, from: 2, step: 1, launch: 0, req: 2,
+			region: "zones", field: "span",
+			set:    geometry.FromIntervals(geometry.Interval{Lo: 5, Hi: 7}),
+			ranges: []geometry.Interval{{Lo: 0, Hi: 4}, {Lo: 4, Hi: 9}},
+		},
+		{
+			kind: mergeMsg, from: 3, step: 4, launch: 5, req: 6,
+			region: "nodes", field: "charge",
+			set:     geometry.FromIntervals(geometry.Interval{Lo: 0, Hi: 9}),
+			scalars: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9},
+			present: []bool{true, false, true, true, false, false, true, false, true},
+		},
+		{kind: mergeMsg, set: geometry.IndexSet{}, scalars: []float64{}, present: []bool{}},
+	}
+}
+
+// scalarsEqual compares payloads bit for bit: the wire format moves
+// float bits verbatim, so NaNs (which == and reflect.DeepEqual both
+// reject against themselves) must survive exactly.
+func scalarsEqual(a, b []float64) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func messagesEqual(a, b *message) bool {
+	return a.kind == b.kind && a.from == b.from && a.step == b.step &&
+		a.launch == b.launch && a.req == b.req &&
+		a.region == b.region && a.field == b.field &&
+		a.set.Equal(b.set) &&
+		scalarsEqual(a.scalars, b.scalars) &&
+		reflect.DeepEqual(a.indexes, b.indexes) &&
+		reflect.DeepEqual(a.ranges, b.ranges) &&
+		reflect.DeepEqual(a.present, b.present)
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for i, m := range wireMessages() {
+		buf, err := appendMessage(nil, &m)
+		if err != nil {
+			t.Fatalf("message %d: encode: %v", i, err)
+		}
+		got, err := decodeMessage(buf)
+		if err != nil {
+			t.Fatalf("message %d: decode: %v", i, err)
+		}
+		if !messagesEqual(&m, &got) {
+			t.Errorf("message %d: round trip diverged:\n sent %+v\n got  %+v", i, m, got)
+		}
+	}
+}
+
+// TestWireFrameRoundTrip streams every test message through the framed
+// reader/writer pair and expects a clean io.EOF at the end — the signal
+// the TCP read loop uses for an orderly close.
+func TestWireFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	msgs := wireMessages()
+	for i := range msgs {
+		if err := writeFrame(w, &msgs[i]); err != nil {
+			t.Fatalf("frame %d: write: %v", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	for i := range msgs {
+		got, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: read: %v", i, err)
+		}
+		if !messagesEqual(&msgs[i], &got) {
+			t.Errorf("frame %d diverged:\n sent %+v\n got  %+v", i, msgs[i], got)
+		}
+	}
+	if _, err := readFrame(r); err != io.EOF {
+		t.Errorf("want io.EOF after last frame, got %v", err)
+	}
+}
+
+// TestWireDecodeRejectsCorruptInput feeds decode hostile frames: every
+// one must return an error — never panic, never allocate beyond the
+// frame's own size.
+func TestWireDecodeRejectsCorruptInput(t *testing.T) {
+	m := wireMessages()[1]
+	valid, err := appendMessage(nil, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"kind only":      valid[:1],
+		"truncated body": valid[:len(valid)-3],
+		"trailing bytes": append(append([]byte{}, valid...), 0xff),
+		// u32 interval count of ~4e9 directly after the header: the alloc
+		// guard must reject it against the empty remainder.
+		"huge count": append(append([]byte{}, valid[:22]...), 0xff, 0xff, 0xff, 0xff),
+	}
+	for name, data := range cases {
+		if _, err := decodeMessage(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff}))); err == nil {
+		t.Error("readFrame accepted an oversized frame prefix")
+	}
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader([]byte{8, 0, 0, 0, 1, 2}))); err == nil {
+		t.Error("readFrame accepted a truncated frame")
+	}
+}
+
+// FuzzDecodeMessage hammers the decoder with mutated frames. For any
+// input, decode must not panic; when it succeeds, the decoded message
+// must re-encode and decode to a fixed point (the canonical form).
+func FuzzDecodeMessage(f *testing.F) {
+	for _, m := range wireMessages() {
+		buf, err := appendMessage(nil, &m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeMessage(data)
+		if err != nil {
+			return
+		}
+		buf, err := appendMessage(nil, &m)
+		if err != nil {
+			t.Fatalf("decoded message failed to encode: %v", err)
+		}
+		again, err := decodeMessage(buf)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if !messagesEqual(&m, &again) {
+			t.Errorf("canonical round trip diverged:\n first  %+v\n second %+v", m, again)
+		}
+	})
+}

@@ -145,25 +145,33 @@ func (ex *Executor) RunLaunch(pl *ParallelLoop) error {
 		if err != nil {
 			return err
 		}
-		// Flush the task's private writes to the live regions in task
-		// order (overlapping aliased writes resolve last-color-wins).
-		for k, vals := range res.Scalars {
-			data := ex.M.Regions[k.Region].Scalar(k.Field)
-			for idx, v := range vals {
-				data[idx] = v
-			}
-		}
-		for k, vals := range res.Indexes {
-			data := ex.M.Regions[k.Region].Index(k.Field)
-			for idx, v := range vals {
-				data[idx] = v
-			}
-		}
+		// Flush in task order (overlapping aliased writes resolve
+		// last-color-wins).
+		FlushShard(ex.M, res)
 		perColor[color] = res.Reductions
 	}
 
 	MergeShardReductions(ex.M, perColor)
 	return nil
+}
+
+// FlushShard applies a shard's private writes (plain stores, centered
+// reductions, and §5.1 guarded in-place reductions) to m's live
+// regions. Reduction buffers are not touched — merge those with
+// MergeShardReductions once every contributing shard has flushed.
+func FlushShard(m *ir.Machine, res *ShardResult) {
+	for k, vals := range res.Scalars {
+		data := m.Regions[k.Region].Scalar(k.Field)
+		for idx, v := range vals {
+			data[idx] = v
+		}
+	}
+	for k, vals := range res.Indexes {
+		data := m.Regions[k.Region].Index(k.Field)
+		for idx, v := range vals {
+			data[idx] = v
+		}
+	}
 }
 
 // MergeShardReductions folds per-color reduction buffers into the live

@@ -153,6 +153,31 @@ func (n NodeStats) Time(m Model) float64 {
 	return t
 }
 
+// TimeOverlapped converts the node's costs to seconds under a runtime
+// that overlaps communication with compute: instead of summing the
+// compute and network terms, the node pays the larger of the two plus
+// the non-hideable fixed costs (buffer management stays on the compute
+// side; per-message latency and fragment metadata are runtime work the
+// overlap cannot hide). It is a lower bound on Time, reached when
+// dependency-driven execution hides the slower of the two phases
+// entirely — exec's measured OverlapNS says how much of the gap a real
+// run closed.
+func (n NodeStats) TimeOverlapped(m Model) float64 {
+	compute := n.ComputeUnits/m.ComputeRate + n.BufferElems*m.BufferCostPerElem
+	net := n.BytesIn
+	if n.BytesOut > net {
+		net = n.BytesOut
+	}
+	net /= m.Bandwidth
+	t := compute
+	if net > t {
+		t = net
+	}
+	t += float64(n.MsgsIn+n.MsgsOut) * m.Latency
+	t += float64(n.FragsIn+n.FragsOut) * m.FragOverhead
+	return t
+}
+
 // LaunchStats is the cost of one launch.
 type LaunchStats struct {
 	Name       string

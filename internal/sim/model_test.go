@@ -290,3 +290,45 @@ func TestSeriesHelpers(t *testing.T) {
 		t.Error("SeriesByLabel false positive")
 	}
 }
+
+// TestTimeOverlapped pins the overlapped pricing: the compute and
+// bandwidth terms collapse to their max instead of their sum, fixed
+// per-message and per-interval costs stay additive, and the result
+// never exceeds (and, with both terms nonzero, strictly undercuts) the
+// bulk-synchronous Time.
+func TestTimeOverlapped(t *testing.T) {
+	m := Default()
+	n := NodeStats{
+		ComputeUnits: 2 * m.ComputeRate,       // 2s of compute
+		BytesIn:      0.5 * m.Bandwidth,       // 0.5s of network
+		BytesOut:     0.25 * m.Bandwidth,      // dominated by BytesIn
+		BufferElems:  1 / m.BufferCostPerElem, // +1s on the compute side
+		MsgsIn:       3, MsgsOut: 2,
+		FragsIn: 4, FragsOut: 1,
+	}
+	fixed := 5*m.Latency + 5*m.FragOverhead
+	approx := func(got, want float64) bool {
+		d := got - want
+		return d < 1e-12 && d > -1e-12
+	}
+	if got := n.Time(m); !approx(got, 3.5+fixed) {
+		t.Errorf("Time = %v, want %v", got, 3.5+fixed)
+	}
+	// Overlapped: max(compute 3s, net 0.5s) + fixed.
+	if got := n.TimeOverlapped(m); !approx(got, 3+fixed) {
+		t.Errorf("TimeOverlapped = %v, want %v", got, 3+fixed)
+	}
+	if n.TimeOverlapped(m) >= n.Time(m) {
+		t.Error("overlapped pricing did not undercut the bulk-synchronous sum")
+	}
+	// Network-bound node: the max flips sides.
+	nb := NodeStats{ComputeUnits: m.ComputeRate, BytesOut: 4 * m.Bandwidth}
+	if got := nb.TimeOverlapped(m); !approx(got, 4) {
+		t.Errorf("network-bound TimeOverlapped = %v, want 4", got)
+	}
+	// Degenerate cases coincide: no network, or no compute.
+	cOnly := NodeStats{ComputeUnits: m.ComputeRate}
+	if cOnly.Time(m) != cOnly.TimeOverlapped(m) {
+		t.Error("compute-only node should price identically in both modes")
+	}
+}
