@@ -2,9 +2,13 @@
 // benchmark programs: it compiles each one N times, records the median
 // (p50) wall time of every pipeline pass and of the Table-1 phase
 // grouping, and snapshots the solver's cache and search counters from
-// the final run. Results are written as JSON (BENCH_compile.json by
-// default) so CI can archive them and successive commits can be
-// compared.
+// the final run. It then measures compile-service throughput — N
+// concurrent clients compiling the benchmark set through one shared
+// Service — cold (empty memo cache, freshly reset intern table) and
+// warm (cache pre-seeded by one uncounted pass), reporting compiles/sec
+// and the warm verdict hit rate. Results are written as JSON
+// (BENCH_compile.json by default) so CI can archive them and successive
+// commits can be compared.
 //
 // Usage:
 //
@@ -21,6 +25,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"autopart/internal/apps/circuit"
@@ -100,13 +105,88 @@ type appResult struct {
 	Intern []internShardJSON `json:"intern"`
 }
 
+// throughputRow is one compile-service throughput measurement: clients
+// concurrent goroutines each compiling the full benchmark set once
+// through a shared Service.
+type throughputRow struct {
+	Clients int `json:"clients"`
+	// Mode is "cold" (empty memo cache, freshly reset intern table) or
+	// "warm" (one uncounted pre-seeding pass over the benchmark set).
+	Mode     string `json:"mode"`
+	Compiles int    `json:"compiles"`
+	WallUS   int64  `json:"wall_us"`
+	// CompilesPerSec is the headline service throughput.
+	CompilesPerSec float64 `json:"compiles_per_sec"`
+	// MemoHitRate is the shared cache's verdict hit rate over the timed
+	// batch (solvable + closed-conjunct lookups; refuted-subtree
+	// blocklist lookups are excluded by design).
+	MemoHitRate float64 `json:"memo_hit_rate"`
+}
+
 // report is the top-level JSON document.
 type report struct {
-	Runs       int         `json:"runs"`
-	Sequential bool        `json:"sequential"`
-	GoOS       string      `json:"goos"`
-	GoArch     string      `json:"goarch"`
-	Apps       []appResult `json:"apps"`
+	Runs       int             `json:"runs"`
+	Sequential bool            `json:"sequential"`
+	GoOS       string          `json:"goos"`
+	GoArch     string          `json:"goarch"`
+	Apps       []appResult     `json:"apps"`
+	Throughput []throughputRow `json:"throughput"`
+}
+
+// measureThroughput runs one timed batch: clients goroutines, each
+// compiling every source once (rotated start offsets so programs
+// interleave), against a fresh Service. The intern table is reset
+// first so every row starts from the same table state; warm rows then
+// pre-seed the memo cache with one uncounted pass.
+func measureThroughput(srcs []string, clients int, warm bool) throughputRow {
+	dpl.Default().Reset()
+	sv := autopart.NewService(autopart.ServiceOptions{MaxConcurrent: clients})
+	if warm {
+		for _, src := range srcs {
+			if _, err := sv.Compile(src); err != nil {
+				fmt.Fprintf(os.Stderr, "compilebench: warm seed: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	before := sv.Stats().Memo
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range srcs {
+				if _, err := sv.Compile(srcs[(i+c)%len(srcs)]); err != nil {
+					fmt.Fprintf(os.Stderr, "compilebench: throughput: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	after := sv.Stats().Memo
+
+	mode := "cold"
+	if warm {
+		mode = "warm"
+	}
+	compiles := clients * len(srcs)
+	dh, dm := after.Hits-before.Hits, after.Misses-before.Misses
+	rate := 0.0
+	if dh+dm > 0 {
+		rate = float64(dh) / float64(dh+dm)
+	}
+	return throughputRow{
+		Clients:        clients,
+		Mode:           mode,
+		Compiles:       compiles,
+		WallUS:         wall.Microseconds(),
+		CompilesPerSec: float64(compiles) / wall.Seconds(),
+		MemoHitRate:    rate,
+	}
 }
 
 func main() {
@@ -218,6 +298,19 @@ func main() {
 		rep.Apps = append(rep.Apps, r)
 	}
 
+	// Service throughput: cold vs warm at increasing client counts. The
+	// sources are compiled through a shared Service exactly as cmd/apcd
+	// serves them.
+	srcs := make([]string, len(apps))
+	for i, app := range apps {
+		srcs[i] = app.src
+	}
+	for _, clients := range []int{1, 4, 16} {
+		for _, warm := range []bool{false, true} {
+			rep.Throughput = append(rep.Throughput, measureThroughput(srcs, clients, warm))
+		}
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "compilebench:", err)
@@ -239,5 +332,9 @@ func main() {
 			a.Solver.GraphBuilds, a.Solver.GraphExtends,
 			a.Solver.MemoHits, a.Solver.MemoMisses,
 			a.Solver.ClosedHits, a.Solver.ClosedMisses, a.Solver.Nodes)
+	}
+	for _, row := range rep.Throughput {
+		fmt.Printf("  service %2d clients %-4s %7.1f compiles/sec  (memo hit rate %.3f)\n",
+			row.Clients, row.Mode, row.CompilesPerSec, row.MemoHitRate)
 	}
 }

@@ -1,0 +1,45 @@
+// Package builtins names the benchmark programs baked into the tree so
+// drivers (cmd/apc, cmd/apcd, benchmarks, tests) resolve them uniformly
+// without each re-importing the five application packages.
+package builtins
+
+import (
+	"sort"
+
+	"autopart/internal/apps/circuit"
+	"autopart/internal/apps/miniaero"
+	"autopart/internal/apps/pennant"
+	"autopart/internal/apps/spmv"
+	"autopart/internal/apps/stencil"
+)
+
+// sources maps builtin names to DSL source text. The thunks exist
+// because some applications generate their source.
+var sources = map[string]func() string{
+	"spmv":         func() string { return spmv.Source },
+	"stencil":      stencil.Source,
+	"circuit":      func() string { return circuit.Source },
+	"circuit-hint": func() string { return circuit.HintSource },
+	"miniaero":     miniaero.Source,
+	"pennant":      pennant.Source,
+}
+
+// Source resolves a builtin name to its DSL source and display file
+// name ("builtin:spmv").
+func Source(name string) (src, file string, ok bool) {
+	f, ok := sources[name]
+	if !ok {
+		return "", "", false
+	}
+	return f(), "builtin:" + name, true
+}
+
+// Names lists the builtin names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(sources))
+	for name := range sources {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -29,37 +29,234 @@ import (
 // full tree — but a lookup hashes a couple of words and a short string
 // instead of walking the whole expression.
 //
-// The shard set is an atomically published immutable snapshot (the struct
-// and the one modified shard map are copied on insert) and safe for
-// concurrent use; the parallel unification checks intern from multiple
-// goroutines. Entries are never evicted: the set of distinct expressions
-// a compile builds is small (hundreds), and a long-lived process
-// compiling many programs grows the table only with genuinely new
-// expressions.
+// Table instances and lifetime: the interner is an instance type (Table)
+// rather than package-global state, so a long-lived compile service can
+// bound it. One process-wide Default table backs the package-level
+// functions; all compiles in a process share it, which is the point —
+// the thousandth compile of a near-identical program finds its
+// expressions already interned. Each table's shard set is an atomically
+// published immutable snapshot (the struct and the one modified shard map
+// are copied on insert) and safe for concurrent use; the parallel
+// unification checks intern from multiple goroutines.
+//
+// Epoch-based reclamation bounds a table. Interned ids (expression ids
+// and dense symbol ids) are only meaningful relative to one table
+// generation: after a reclamation the table restarts empty and reassigns
+// ids, so two expressions from different generations may share an id. A
+// compile therefore pins the generation for its whole duration by holding
+// an Epoch (Enter/Leave); reclamation requested by SetMaxEntries overflow
+// is deferred until the last active epoch leaves, at which point the
+// shard maps and the symbol table are swapped for empty ones and the
+// generation counter advances. Content hashes (Hash128) depend only on
+// the canonical rendering, so caches keyed by them — the solver's
+// cross-compile memo cache in particular — survive reclamation unharmed.
+// Code that interns outside any epoch is only safe against an unbounded
+// table (the default); bounded tables are a compile-service concern, and
+// the service wraps every compile in an epoch.
+
+// Table is one expression + symbol intern table instance: the sharded
+// expression maps, the dense symbol-id table, per-instance stats
+// counters, and the epoch/reclamation machinery. The zero value is not
+// usable; call NewTable.
+type Table struct {
+	symMu    sync.Mutex // serializes symbol writers only
+	symIDs   atomic.Pointer[map[string]int32]
+	symNames atomic.Pointer[[]string]
+
+	internMu sync.Mutex // serializes expression writers only
+	shards   atomic.Pointer[internShards]
+	seq      uint64
+	entries  int // total expression entries, maintained under internMu
+
+	// statsOn gates the per-shard hit/miss counters. Off by default so
+	// the hot path pays only one atomic bool load. statsGen advances on
+	// every EnableStats(true) so Stats can detect a concurrent reset and
+	// return a snapshot-consistent view.
+	statsOn  atomic.Bool
+	statsGen atomic.Uint64
+	hits     [numShards]atomic.Uint64
+	misses   [numShards]atomic.Uint64
+
+	// Epoch state, all under epochMu. maxEntries and reclaims are
+	// atomics so the insert path and stats readers need no lock.
+	epochMu    sync.Mutex
+	active     int64 // epochs currently held
+	needsReset bool  // reclamation requested, waiting for active == 0
+	generation uint64
+	maxEntries atomic.Int64
+	reclaims   atomic.Uint64
+}
+
+// NewTable returns an empty, unbounded intern table.
+func NewTable() *Table {
+	t := &Table{}
+	t.shards.Store(freshShards())
+	emptySyms := map[string]int32{}
+	t.symIDs.Store(&emptySyms)
+	noNames := []string{}
+	t.symNames.Store(&noNames)
+	return t
+}
+
+func freshShards() *internShards {
+	return &internShards{
+		vars:           map[string]*exprInfo{},
+		equals:         map[string]*exprInfo{},
+		images:         map[opKey]*exprInfo{},
+		preimages:      map[opKey]*exprInfo{},
+		imagesMulti:    map[opKey]*exprInfo{},
+		preimagesMulti: map[opKey]*exprInfo{},
+		bins:           map[binKey]*exprInfo{},
+	}
+}
+
+// defaultTable backs the package-level functions. Every compile in the
+// process shares it unless a caller threads its own Table explicitly.
+var defaultTable = NewTable()
+
+// Default returns the shared process-wide intern table.
+func Default() *Table { return defaultTable }
+
+// Epoch pins one table generation: while any epoch is held, the table
+// will not reclaim, so every id observed inside the epoch stays unique
+// and coherent. Compiles hold exactly one epoch for their duration.
+type Epoch struct {
+	t    *Table
+	gen  uint64
+	done atomic.Bool
+}
+
+// Enter opens an epoch on the table. The caller must Leave it.
+func (t *Table) Enter() *Epoch {
+	t.epochMu.Lock()
+	t.active++
+	gen := t.generation
+	t.epochMu.Unlock()
+	return &Epoch{t: t, gen: gen}
+}
+
+// Leave closes the epoch. When the last active epoch leaves and a
+// reclamation is pending, the table resets there and then. Leave is
+// idempotent.
+func (e *Epoch) Leave() {
+	if !e.done.CompareAndSwap(false, true) {
+		return
+	}
+	t := e.t
+	t.epochMu.Lock()
+	t.active--
+	if t.active == 0 && t.needsReset {
+		t.resetLocked()
+	}
+	t.epochMu.Unlock()
+}
+
+// Generation reports the table generation the epoch pinned.
+func (e *Epoch) Generation() uint64 { return e.gen }
+
+// Generation returns the table's current generation (it advances by one
+// per reclamation).
+func (t *Table) Generation() uint64 {
+	t.epochMu.Lock()
+	defer t.epochMu.Unlock()
+	return t.generation
+}
+
+// Reclaims reports how many times the table has been reclaimed.
+func (t *Table) Reclaims() uint64 { return t.reclaims.Load() }
+
+// Entries reports the current number of interned expressions.
+func (t *Table) Entries() int {
+	t.internMu.Lock()
+	defer t.internMu.Unlock()
+	return t.entries
+}
+
+// SetMaxEntries bounds the table: once the expression entry count
+// exceeds n, a reclamation is scheduled and performed as soon as no
+// epoch is active. A table already over the new bound is scheduled
+// immediately. n <= 0 means unbounded (the default).
+func (t *Table) SetMaxEntries(n int) {
+	t.maxEntries.Store(int64(n))
+	if n <= 0 {
+		return
+	}
+	t.internMu.Lock()
+	total := t.entries
+	t.internMu.Unlock()
+	t.noteGrowth(total)
+}
+
+// Reset discards every entry immediately, bumping the generation. It
+// refuses (returning false) while any epoch is active, because live
+// compiles hold ids of the current generation. Intended for benchmarks
+// ("cold cache" batches) and tests.
+func (t *Table) Reset() bool {
+	t.epochMu.Lock()
+	defer t.epochMu.Unlock()
+	if t.active > 0 {
+		return false
+	}
+	t.resetLocked()
+	return true
+}
+
+// resetLocked swaps in empty tables. Caller holds epochMu with
+// active == 0, so no epoch-holding reader can observe the swap midway;
+// readers outside any epoch must tolerate id reassignment (only safe on
+// unbounded tables, where this path never runs spontaneously).
+func (t *Table) resetLocked() {
+	t.internMu.Lock()
+	t.shards.Store(freshShards())
+	t.seq = 0
+	t.entries = 0
+	t.internMu.Unlock()
+	t.symMu.Lock()
+	emptySyms := map[string]int32{}
+	t.symIDs.Store(&emptySyms)
+	noNames := []string{}
+	t.symNames.Store(&noNames)
+	t.symMu.Unlock()
+	t.generation++
+	t.reclaims.Add(1)
+	t.needsReset = false
+}
+
+// noteGrowth checks the bound after an insert raised the entry count to
+// total, scheduling (or, with no active epochs, performing) a
+// reclamation on overflow. Called without internMu held — resetLocked
+// takes it, and lock order is epochMu before internMu everywhere.
+func (t *Table) noteGrowth(total int) {
+	max := t.maxEntries.Load()
+	if max <= 0 || int64(total) <= max {
+		return
+	}
+	t.epochMu.Lock()
+	t.needsReset = true
+	if t.active == 0 {
+		t.resetLocked()
+	}
+	t.epochMu.Unlock()
+}
 
 // Symbol interning: every partition symbol name maps to a dense int32
 // id (0, 1, 2, ... in first-sight order). The solver's backtracking
 // search keys its per-node maps and sets by these ids instead of by
 // name — int32 hashing beats string hashing on the hot paths, and the
 // density admits bitsets (SymSet). Like expression ids, symbol ids are
-// stable within a process but not across runs; they never appear in
-// output.
-var (
-	symMu    sync.Mutex // serializes writers only
-	symIDs   atomic.Pointer[map[string]int32]
-	symNames atomic.Pointer[[]string]
-)
+// stable within a table generation but not across runs or reclamations;
+// they never appear in output.
 
 // SymID returns the dense interned id of a symbol name, assigning the
 // next id on first sight. Safe for concurrent use (copy-on-write, like
 // the expression table).
-func SymID(name string) int32 {
-	if id, ok := (*symIDs.Load())[name]; ok {
+func (t *Table) SymID(name string) int32 {
+	if id, ok := (*t.symIDs.Load())[name]; ok {
 		return id
 	}
-	symMu.Lock()
-	defer symMu.Unlock()
-	old := *symIDs.Load()
+	t.symMu.Lock()
+	defer t.symMu.Unlock()
+	old := *t.symIDs.Load()
 	if id, ok := old[name]; ok {
 		return id
 	}
@@ -69,14 +266,20 @@ func SymID(name string) int32 {
 		next[k] = v
 	}
 	next[name] = id
-	names := append(append([]string(nil), (*symNames.Load())...), name)
-	symNames.Store(&names)
-	symIDs.Store(&next)
+	names := append(append([]string(nil), (*t.symNames.Load())...), name)
+	t.symNames.Store(&names)
+	t.symIDs.Store(&next)
 	return id
 }
 
 // SymName returns the name behind an interned symbol id.
-func SymName(id int32) string { return (*symNames.Load())[id] }
+func (t *Table) SymName(id int32) string { return (*t.symNames.Load())[id] }
+
+// SymID interns a symbol name in the default table.
+func SymID(name string) int32 { return defaultTable.SymID(name) }
+
+// SymName resolves a symbol id against the default table.
+func SymName(id int32) string { return defaultTable.SymName(id) }
 
 // SymSet is a bitset over dense symbol ids. The zero value is empty.
 type SymSet []uint64
@@ -98,10 +301,11 @@ func (s SymSet) Has(id int32) bool {
 
 // exprInfo is the interned metadata of one distinct expression value.
 type exprInfo struct {
-	// id is a process-unique identifier; equal expressions share it.
-	// Assignment order depends on evaluation order, so ids are stable
-	// within a process but not across runs — they feed in-memory
-	// fingerprints only, never persisted or printed output.
+	// id is an identifier unique within one table generation; equal
+	// expressions share it. Assignment order depends on evaluation
+	// order, so ids are stable within a generation but not across runs —
+	// they feed in-memory fingerprints only, never persisted or printed
+	// output.
 	id uint64
 	// key is the canonical rendering (identical to the paper syntax the
 	// String methods produce).
@@ -181,7 +385,8 @@ func hash128(key string) [2]uint64 {
 }
 
 // Hash128 returns the interned 128-bit content hash of e, stable across
-// processes (it depends only on the canonical rendering).
+// processes and table generations (it depends only on the canonical
+// rendering).
 func Hash128(e Expr) [2]uint64 { return info(e).h }
 
 // HashString128 hashes an arbitrary string with the same pair of hash
@@ -233,53 +438,25 @@ var shardNames = [numShards]string{
 	"var", "equal", "image", "preimage", "imageMulti", "preimageMulti", "bin",
 }
 
-// The interning table is read on every Key/FreeVars/Mentions/FvMask
-// call — millions of times per compile — and written only when a
-// genuinely new expression appears (hundreds of times). It is therefore
-// published as an immutable snapshot through an atomic pointer: readers
-// pay one atomic load and one flat-keyed map lookup, no lock. Writers
-// copy the target shard under a mutex (copy-on-write); after the first
-// few compile iterations the table is warm and writes stop entirely.
-var (
-	internMu  sync.Mutex // serializes writers only
-	internTab atomic.Pointer[internShards]
-	internSeq uint64
-
-	// internStatsOn gates the per-shard hit/miss counters below. Off by
-	// default so the hot path pays only one atomic bool load.
-	internStatsOn atomic.Bool
-	internHits    [numShards]atomic.Uint64
-	internMisses  [numShards]atomic.Uint64
-)
-
-func init() {
-	internTab.Store(&internShards{
-		vars:           map[string]*exprInfo{},
-		equals:         map[string]*exprInfo{},
-		images:         map[opKey]*exprInfo{},
-		preimages:      map[opKey]*exprInfo{},
-		imagesMulti:    map[opKey]*exprInfo{},
-		preimagesMulti: map[opKey]*exprInfo{},
-		bins:           map[binKey]*exprInfo{},
-	})
-	emptySyms := map[string]int32{}
-	symIDs.Store(&emptySyms)
-	noNames := []string{}
-	symNames.Store(&noNames)
-}
-
-// EnableInternStats toggles per-shard hit/miss counting on the intern
-// fast path. Enabling resets the counters, so a caller can bracket one
-// workload and read a clean profile with InternStats.
-func EnableInternStats(on bool) {
+// EnableStats toggles per-shard hit/miss counting on the intern fast
+// path of this table. Enabling resets the counters, so a caller can
+// bracket one workload and read a clean profile with Stats. The
+// counters are per-table-instance: toggling one table never perturbs
+// another (the old package-global toggle raced against concurrent
+// compiles on unrelated tables).
+func (t *Table) EnableStats(on bool) {
 	if on {
-		for i := range internHits {
-			internHits[i].Store(0)
-			internMisses[i].Store(0)
+		t.statsGen.Add(1)
+		for i := range t.hits {
+			t.hits[i].Store(0)
+			t.misses[i].Store(0)
 		}
 	}
-	internStatsOn.Store(on)
+	t.statsOn.Store(on)
 }
+
+// EnableInternStats toggles stats on the default table.
+func EnableInternStats(on bool) { defaultTable.EnableStats(on) }
 
 // InternShardStat reports one shard's size and (if stats were enabled)
 // fast-path hit/miss counts.
@@ -290,39 +467,46 @@ type InternShardStat struct {
 	Misses  uint64 `json:"misses"`
 }
 
-// InternStats returns a per-shard snapshot of the intern table, ordered
-// by shard name. Entry counts are always live; hit/miss counts reflect
-// lookups since the last EnableInternStats(true).
-func InternStats() []InternShardStat {
-	t := internTab.Load()
-	sizes := [numShards]int{
-		len(t.vars), len(t.equals), len(t.images), len(t.preimages),
-		len(t.imagesMulti), len(t.preimagesMulti), len(t.bins),
-	}
-	out := make([]InternShardStat, numShards)
-	for i := range out {
-		out[i] = InternShardStat{
-			Shard:   shardNames[i],
-			Entries: sizes[i],
-			Hits:    internHits[i].Load(),
-			Misses:  internMisses[i].Load(),
+// Stats returns a per-shard snapshot of the table, ordered by shard
+// name. Entry counts are always live; hit/miss counts reflect lookups
+// since the last EnableStats(true). The read is snapshot-consistent
+// against concurrent EnableStats resets: if a reset lands mid-read the
+// whole read retries, so a snapshot never mixes counters from two
+// enable windows.
+func (t *Table) Stats() []InternShardStat {
+	for {
+		gen := t.statsGen.Load()
+		tab := t.shards.Load()
+		sizes := [numShards]int{
+			len(tab.vars), len(tab.equals), len(tab.images), len(tab.preimages),
+			len(tab.imagesMulti), len(tab.preimagesMulti), len(tab.bins),
+		}
+		out := make([]InternShardStat, numShards)
+		for i := range out {
+			out[i] = InternShardStat{
+				Shard:   shardNames[i],
+				Entries: sizes[i],
+				Hits:    t.hits[i].Load(),
+				Misses:  t.misses[i].Load(),
+			}
+		}
+		if t.statsGen.Load() == gen {
+			return out
 		}
 	}
-	return out
 }
 
-// shardLookup reads one shard, ticking the stats counters when enabled.
-func shardLookup[K comparable](m map[K]*exprInfo, k K, shard int, statsOn bool) (*exprInfo, bool) {
-	in, ok := m[k]
-	if statsOn {
-		if ok {
-			internHits[shard].Add(1)
-		} else {
-			internMisses[shard].Add(1)
-		}
-	}
-	return in, ok
-}
+// InternStats returns the default table's per-shard snapshot.
+func InternStats() []InternShardStat { return defaultTable.Stats() }
+
+// info returns the interned metadata for e against the default table.
+func info(e Expr) *exprInfo { return defaultTable.info(e) }
+
+// ID returns e's interned identifier in this table.
+func (t *Table) ID(e Expr) uint64 { return t.info(e).id }
+
+// Key returns e's canonical rendering via this table.
+func (t *Table) Key(e Expr) string { return t.info(e).key }
 
 // info returns the interned metadata for e, computing and caching it on
 // first sight. e must be non-nil.
@@ -332,44 +516,58 @@ func shardLookup[K comparable](m map[K]*exprInfo, k K, shard int, statsOn bool) 
 // the shard key needs. That keeps every map lookup flat — no interface
 // hashing of nested trees — at the cost of one recursion level per AST
 // node on the first sight of each subtree.
-func info(e Expr) *exprInfo {
-	statsOn := internStatsOn.Load()
+func (t *Table) info(e Expr) *exprInfo {
+	statsOn := t.statsOn.Load()
 	switch x := e.(type) {
 	case Var:
-		if in, ok := shardLookup(internTab.Load().vars, x.Name, shardVar, statsOn); ok {
+		if in, ok := shardLookup(t, t.shards.Load().vars, x.Name, shardVar, statsOn); ok {
 			return in
 		}
 	case EqualExpr:
-		if in, ok := shardLookup(internTab.Load().equals, x.Region, shardEqual, statsOn); ok {
+		if in, ok := shardLookup(t, t.shards.Load().equals, x.Region, shardEqual, statsOn); ok {
 			return in
 		}
 	case ImageExpr:
-		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
-		if in, ok := shardLookup(internTab.Load().images, k, shardImage, statsOn); ok {
+		k := opKey{of: t.info(x.Of).id, fn: x.Func, reg: x.Region}
+		if in, ok := shardLookup(t, t.shards.Load().images, k, shardImage, statsOn); ok {
 			return in
 		}
 	case PreimageExpr:
-		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
-		if in, ok := shardLookup(internTab.Load().preimages, k, shardPreimage, statsOn); ok {
+		k := opKey{of: t.info(x.Of).id, fn: x.Func, reg: x.Region}
+		if in, ok := shardLookup(t, t.shards.Load().preimages, k, shardPreimage, statsOn); ok {
 			return in
 		}
 	case ImageMultiExpr:
-		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
-		if in, ok := shardLookup(internTab.Load().imagesMulti, k, shardImageMulti, statsOn); ok {
+		k := opKey{of: t.info(x.Of).id, fn: x.Func, reg: x.Region}
+		if in, ok := shardLookup(t, t.shards.Load().imagesMulti, k, shardImageMulti, statsOn); ok {
 			return in
 		}
 	case PreimageMultiExpr:
-		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
-		if in, ok := shardLookup(internTab.Load().preimagesMulti, k, shardPreimageMulti, statsOn); ok {
+		k := opKey{of: t.info(x.Of).id, fn: x.Func, reg: x.Region}
+		if in, ok := shardLookup(t, t.shards.Load().preimagesMulti, k, shardPreimageMulti, statsOn); ok {
 			return in
 		}
 	case BinExpr:
-		k := binKey{op: x.Op, l: info(x.L).id, r: info(x.R).id}
-		if in, ok := shardLookup(internTab.Load().bins, k, shardBin, statsOn); ok {
+		k := binKey{op: x.Op, l: t.info(x.L).id, r: t.info(x.R).id}
+		if in, ok := shardLookup(t, t.shards.Load().bins, k, shardBin, statsOn); ok {
 			return in
 		}
 	}
-	return internSlow(e)
+	return t.internSlow(e)
+}
+
+// shardLookup is the generic body behind Table.shardLookup; split out
+// because methods cannot have type parameters.
+func shardLookup[K comparable](t *Table, m map[K]*exprInfo, k K, shard int, statsOn bool) (*exprInfo, bool) {
+	in, ok := m[k]
+	if statsOn {
+		if ok {
+			t.hits[shard].Add(1)
+		} else {
+			t.misses[shard].Add(1)
+		}
+	}
+	return in, ok
 }
 
 // copyInsert clones a shard map with one extra entry.
@@ -386,82 +584,93 @@ func copyInsert[K comparable](m map[K]*exprInfo, k K, in *exprInfo) map[K]*exprI
 // before the lock is taken — computeInfo recursively interns every
 // child, so the shard keys below are guaranteed hits and cannot
 // re-enter the lock.
-func internSlow(e Expr) *exprInfo {
-	in := computeInfo(e)
-	internMu.Lock()
-	defer internMu.Unlock()
-	t := *internTab.Load() // shallow struct copy; shard maps still shared
+func (t *Table) internSlow(e Expr) *exprInfo {
+	in := t.computeInfo(e)
+	t.internMu.Lock()
+	tab := *t.shards.Load() // shallow struct copy; shard maps still shared
 	switch x := e.(type) {
 	case Var:
-		if prior, ok := t.vars[x.Name]; ok {
+		if prior, ok := tab.vars[x.Name]; ok {
+			t.internMu.Unlock()
 			return prior
 		}
-		t.vars = copyInsert(t.vars, x.Name, in)
+		tab.vars = copyInsert(tab.vars, x.Name, in)
 	case EqualExpr:
-		if prior, ok := t.equals[x.Region]; ok {
+		if prior, ok := tab.equals[x.Region]; ok {
+			t.internMu.Unlock()
 			return prior
 		}
-		t.equals = copyInsert(t.equals, x.Region, in)
+		tab.equals = copyInsert(tab.equals, x.Region, in)
 	case ImageExpr:
-		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
-		if prior, ok := t.images[k]; ok {
+		k := opKey{of: t.info(x.Of).id, fn: x.Func, reg: x.Region}
+		if prior, ok := tab.images[k]; ok {
+			t.internMu.Unlock()
 			return prior
 		}
-		t.images = copyInsert(t.images, k, in)
+		tab.images = copyInsert(tab.images, k, in)
 	case PreimageExpr:
-		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
-		if prior, ok := t.preimages[k]; ok {
+		k := opKey{of: t.info(x.Of).id, fn: x.Func, reg: x.Region}
+		if prior, ok := tab.preimages[k]; ok {
+			t.internMu.Unlock()
 			return prior
 		}
-		t.preimages = copyInsert(t.preimages, k, in)
+		tab.preimages = copyInsert(tab.preimages, k, in)
 	case ImageMultiExpr:
-		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
-		if prior, ok := t.imagesMulti[k]; ok {
+		k := opKey{of: t.info(x.Of).id, fn: x.Func, reg: x.Region}
+		if prior, ok := tab.imagesMulti[k]; ok {
+			t.internMu.Unlock()
 			return prior
 		}
-		t.imagesMulti = copyInsert(t.imagesMulti, k, in)
+		tab.imagesMulti = copyInsert(tab.imagesMulti, k, in)
 	case PreimageMultiExpr:
-		k := opKey{of: info(x.Of).id, fn: x.Func, reg: x.Region}
-		if prior, ok := t.preimagesMulti[k]; ok {
+		k := opKey{of: t.info(x.Of).id, fn: x.Func, reg: x.Region}
+		if prior, ok := tab.preimagesMulti[k]; ok {
+			t.internMu.Unlock()
 			return prior
 		}
-		t.preimagesMulti = copyInsert(t.preimagesMulti, k, in)
+		tab.preimagesMulti = copyInsert(tab.preimagesMulti, k, in)
 	case BinExpr:
-		k := binKey{op: x.Op, l: info(x.L).id, r: info(x.R).id}
-		if prior, ok := t.bins[k]; ok {
+		k := binKey{op: x.Op, l: t.info(x.L).id, r: t.info(x.R).id}
+		if prior, ok := tab.bins[k]; ok {
+			t.internMu.Unlock()
 			return prior
 		}
-		t.bins = copyInsert(t.bins, k, in)
+		tab.bins = copyInsert(tab.bins, k, in)
 	default:
 		// Unreachable (isExpr restricts implementations to this package);
 		// hand back the computed metadata without caching it.
-		internSeq++
-		in.id = internSeq
+		t.seq++
+		in.id = t.seq
+		t.internMu.Unlock()
 		return in
 	}
-	internSeq++
-	in.id = internSeq
-	internTab.Store(&t)
+	t.seq++
+	in.id = t.seq
+	t.shards.Store(&tab)
+	t.entries++
+	total := t.entries
+	t.internMu.Unlock()
+	t.noteGrowth(total)
 	return in
 }
 
 // computeInfo builds the metadata for e from its (recursively interned)
 // children. It runs outside the intern lock; duplicate concurrent
 // computation is harmless because insertion is first-writer-wins.
-func computeInfo(e Expr) *exprInfo {
-	in := computeInfoNoHash(e)
+func (t *Table) computeInfo(e Expr) *exprInfo {
+	in := t.computeInfoNoHash(e)
 	in.h = hash128(in.key)
 	if len(in.fvs) > 0 {
 		in.fvIDs = make([]int32, len(in.fvs))
 	}
 	for i, v := range in.fvs {
 		in.fvMask |= SymBit(v)
-		in.fvIDs[i] = SymID(v)
+		in.fvIDs[i] = t.SymID(v)
 	}
 	return in
 }
 
-func computeInfoNoHash(e Expr) *exprInfo {
+func (t *Table) computeInfoNoHash(e Expr) *exprInfo {
 	var sb strings.Builder
 	switch x := e.(type) {
 	case Var:
@@ -472,7 +681,7 @@ func computeInfoNoHash(e Expr) *exprInfo {
 		sb.WriteString(")")
 		return &exprInfo{key: sb.String(), size: 1}
 	case ImageExpr:
-		of := info(x.Of)
+		of := t.info(x.Of)
 		sb.WriteString("image(")
 		sb.WriteString(of.key)
 		sb.WriteString(", ")
@@ -482,7 +691,7 @@ func computeInfoNoHash(e Expr) *exprInfo {
 		sb.WriteString(")")
 		return &exprInfo{key: sb.String(), fvs: of.fvs, size: 1 + of.size}
 	case PreimageExpr:
-		of := info(x.Of)
+		of := t.info(x.Of)
 		sb.WriteString("preimage(")
 		sb.WriteString(x.Region)
 		sb.WriteString(", ")
@@ -492,7 +701,7 @@ func computeInfoNoHash(e Expr) *exprInfo {
 		sb.WriteString(")")
 		return &exprInfo{key: sb.String(), fvs: of.fvs, size: 1 + of.size}
 	case ImageMultiExpr:
-		of := info(x.Of)
+		of := t.info(x.Of)
 		sb.WriteString("IMAGE(")
 		sb.WriteString(of.key)
 		sb.WriteString(", ")
@@ -502,7 +711,7 @@ func computeInfoNoHash(e Expr) *exprInfo {
 		sb.WriteString(")")
 		return &exprInfo{key: sb.String(), fvs: of.fvs, size: 1 + of.size}
 	case PreimageMultiExpr:
-		of := info(x.Of)
+		of := t.info(x.Of)
 		sb.WriteString("PREIMAGE(")
 		sb.WriteString(x.Region)
 		sb.WriteString(", ")
@@ -512,7 +721,7 @@ func computeInfoNoHash(e Expr) *exprInfo {
 		sb.WriteString(")")
 		return &exprInfo{key: sb.String(), fvs: of.fvs, size: 1 + of.size}
 	case BinExpr:
-		l, r := info(x.L), info(x.R)
+		l, r := t.info(x.L), t.info(x.R)
 		sb.WriteString("(")
 		sb.WriteString(l.key)
 		sb.WriteString(" ")
@@ -557,8 +766,9 @@ func mergeVars(a, b []string) []string {
 }
 
 // ID returns the interned identifier of e: equal expressions share an id,
-// distinct expressions never do. Ids are stable within a process (they
-// feed constraint-system fingerprints) but not across runs.
+// distinct expressions never do. Ids are stable within a table
+// generation (they feed in-memory fingerprints) but not across runs or
+// reclamations.
 func ID(e Expr) uint64 { return info(e).id }
 
 // Mentions reports whether the symbol name occurs free in e, using the

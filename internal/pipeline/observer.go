@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -31,8 +32,10 @@ type Observer interface {
 
 // TimingObserver accumulates per-pass wall times. The autopart façade
 // derives its API-level Timing breakdown (Table 1's rows) from one of
-// these.
+// these. It is safe to attach one TimingObserver to runners on multiple
+// goroutines; accumulation and Duration are mutex-guarded.
 type TimingObserver struct {
+	mu        sync.Mutex
 	durations map[string]time.Duration
 }
 
@@ -46,11 +49,15 @@ func (t *TimingObserver) OnPassStart(string, int) {}
 
 // OnPassEnd implements Observer.
 func (t *TimingObserver) OnPassEnd(ev PassEvent) {
+	t.mu.Lock()
 	t.durations[ev.Pass] += ev.Wall
+	t.mu.Unlock()
 }
 
 // Duration returns the accumulated wall time of one pass.
 func (t *TimingObserver) Duration(pass string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.durations[pass]
 }
 
@@ -58,9 +65,20 @@ func (t *TimingObserver) Duration(pass string) time.Duration {
 // index, wall time in microseconds, the metrics snapshot, and the error
 // (if any). Lines are deterministic apart from the timing field —
 // encoding/json marshals the metrics map with sorted keys.
+//
+// Writes are line-atomic even when concurrent Sessions trace to the
+// same io.Writer (a Service points every compile at one trace file):
+// the record is marshaled outside the lock and emitted as a single
+// guarded Write, so interleaved compiles can reorder whole lines but
+// never splice bytes mid-line.
 type TraceObserver struct {
 	W io.Writer
 }
+
+// traceMu serializes trace-line emission process-wide. Distinct
+// TraceObserver values routinely wrap the same underlying writer
+// (os.Stderr, a shared trace file), so the guard must span instances.
+var traceMu sync.Mutex
 
 // traceRecord is the JSON-lines schema of one pass-end event.
 type traceRecord struct {
@@ -87,8 +105,9 @@ func (t TraceObserver) OnPassEnd(ev PassEvent) {
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {
-		fmt.Fprintf(t.W, `{"pass":%q,"error":"trace: %s"}`+"\n", ev.Pass, err)
-		return
+		line = []byte(fmt.Sprintf(`{"pass":%q,"error":"trace: %s"}`, ev.Pass, err))
 	}
+	traceMu.Lock()
 	t.W.Write(append(line, '\n'))
+	traceMu.Unlock()
 }

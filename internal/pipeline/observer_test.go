@@ -1,0 +1,126 @@
+package pipeline
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chunkWriter makes interleaving visible: it writes its input one byte
+// at a time, so any two unsynchronized writers splice each other's
+// bytes. With the trace mutex in place every Write arrives whole.
+type chunkWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *chunkWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, b := range p {
+		w.buf.WriteByte(b)
+		// Yield between bytes to give interleaving every chance to
+		// manifest if the caller isn't holding the trace lock.
+		if b == ',' {
+			w.mu.Unlock()
+			w.mu.Lock()
+		}
+	}
+	return len(p), nil
+}
+
+// TestTraceObserverLineAtomic runs many concurrent pass streams through
+// TraceObserver values sharing one writer and requires every emitted
+// line to parse as a standalone JSON trace record. Before the trace
+// mutex, concurrent Sessions tracing to one file spliced bytes mid-line.
+func TestTraceObserverLineAtomic(t *testing.T) {
+	w := &chunkWriter{}
+	const goroutines = 8
+	const events = 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			obs := TraceObserver{W: w} // distinct observer, shared writer
+			for i := 0; i < events; i++ {
+				obs.OnPassEnd(PassEvent{
+					Pass:  fmt.Sprintf("pass%d", g),
+					Index: i,
+					Wall:  time.Duration(i) * time.Microsecond,
+					Metrics: map[string]int{
+						"loops": g, "constraints": i, "launches": g * i,
+					},
+				})
+			}
+		}()
+	}
+	wg.Wait()
+
+	lines := 0
+	sc := bufio.NewScanner(bytes.NewReader(w.buf.Bytes()))
+	for sc.Scan() {
+		lines++
+		var rec struct {
+			Pass    string         `json:"pass"`
+			Metrics map[string]int `json:"metrics"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON (interleaved write): %q", lines, sc.Text())
+		}
+		if !strings.HasPrefix(rec.Pass, "pass") {
+			t.Fatalf("line %d has mangled pass name %q", lines, rec.Pass)
+		}
+	}
+	if lines != goroutines*events {
+		t.Errorf("got %d trace lines, want %d", lines, goroutines*events)
+	}
+}
+
+// TestTimingObserverConcurrent accumulates from several goroutines into
+// one TimingObserver; under -race this pins the per-instance mutex.
+func TestTimingObserverConcurrent(t *testing.T) {
+	obs := NewTimingObserver()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				obs.OnPassEnd(PassEvent{Pass: "solve", Wall: time.Microsecond})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := obs.Duration("solve"); got != 800*time.Microsecond {
+		t.Errorf("accumulated %v, want 800µs", got)
+	}
+}
+
+// TestSessionReset checks the pooling contract: a reset session carries
+// nothing over from its previous compile.
+func TestSessionReset(t *testing.T) {
+	s := NewSession(okSrc, Config{})
+	if err := (&Runner{Passes: Default(), Observers: nil}).Run(s); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if s.Program == nil {
+		t.Fatal("compile produced no program")
+	}
+	s.Reset("region S { v: scalar }", Config{DisableRelaxation: true})
+	if s.Program != nil || s.Loops != nil || s.Solution != nil || s.Parallel != nil || len(s.Diags) != 0 {
+		t.Error("Reset left artifacts behind")
+	}
+	if s.Source != "region S { v: scalar }" || !s.Config.DisableRelaxation || s.File != "<input>" {
+		t.Errorf("Reset did not install new source/config: %+v", s.Config)
+	}
+}
+
+var _ io.Writer = (*chunkWriter)(nil)

@@ -70,7 +70,7 @@ func runRelax(s *Session) error {
 }
 
 func runSolve(s *Session) error {
-	sol, err := solver.SolveProgram(resultsOf(s.Plans), s.External, s.ExternalSyms)
+	sol, err := solver.SolveProgramWith(resultsOf(s.Plans), s.External, s.ExternalSyms, s.Config.SolverCache)
 	if err != nil && !s.Config.DisableRelaxation && anyRelaxed(s.Plans) {
 		// Fall back to the unrelaxed systems if relaxation made the
 		// system unsolvable.
@@ -79,7 +79,7 @@ func runSolve(s *Session) error {
 			p.Relaxed = false
 			p.GuardedSyms = nil
 		}
-		sol, err = solver.SolveProgram(resultsOf(s.Plans), s.External, s.ExternalSyms)
+		sol, err = solver.SolveProgramWith(resultsOf(s.Plans), s.External, s.ExternalSyms, s.Config.SolverCache)
 	}
 	if err != nil {
 		return err

@@ -29,6 +29,11 @@ type Config struct {
 	DisableRelaxation bool
 	// DisablePrivateSubPartitions turns off the §5.2 optimization.
 	DisablePrivateSubPartitions bool
+	// SolverCache, when set, is the shared cross-compile memo cache the
+	// solve pass injects into every solver it constructs. Nil keeps the
+	// solver's private per-compile cache (identical verdicts either way;
+	// sharing only changes how fast they are reached).
+	SolverCache *solver.MemoCache
 }
 
 // Session carries the source, options, and per-pass artifacts of one
@@ -72,6 +77,13 @@ type Session struct {
 // NewSession prepares a session for source text.
 func NewSession(src string, cfg Config) *Session {
 	return &Session{Source: src, File: "<input>", Config: cfg}
+}
+
+// Reset reinitializes the session for a new compilation, dropping every
+// artifact and diagnostic while keeping the allocation itself alive.
+// Services pool Sessions across requests; Reset is the recycling step.
+func (s *Session) Reset(src string, cfg Config) {
+	*s = Session{Source: src, File: "<input>", Config: cfg}
 }
 
 // Metrics snapshots artifact sizes and counts for observability: loops,

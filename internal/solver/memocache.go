@@ -1,0 +1,186 @@
+package solver
+
+import (
+	"sort"
+	"sync"
+
+	"autopart/internal/constraint"
+	"autopart/internal/dpl"
+)
+
+// MemoCache is a bounded, concurrency-safe store for the solver's three
+// verdict memos — solvability (Algorithm 3 candidate checks),
+// closed-conjunct proofs, and refuted search subtrees — shared across
+// compiles. Verdicts are deterministic functions of (a) the constraint
+// system's 128-bit content fingerprint and (b) the solving context (the
+// external assumption system and symbol set), so entries stay valid for
+// the lifetime of the process: the cache key combines both, and content
+// fingerprints are independent of intern-table generations, so epoch
+// reclamation of the dpl table never invalidates the cache.
+//
+// A Service injects one MemoCache into every compile it runs; the
+// thousandth compile of a near-identical program then finds nearly all
+// of its verdicts precomputed. A Solver constructed without an injected
+// cache gets a private one sized so it never evicts within a compile,
+// reproducing the old per-compile maps exactly.
+//
+// Bounding uses two rotating generations (a segmented LRU): inserts go
+// to the current generation; when it fills, the previous generation is
+// dropped (counted as evictions) and the current one takes its place.
+// Lookups hit both generations and promote previous-generation hits, so
+// hot entries survive rotation while stale ones age out. Memory is
+// therefore bounded by ~2× the configured capacity.
+type MemoCache struct {
+	mu       sync.Mutex
+	cap      int
+	cur, old map[memoKey]bool
+	// hits/misses count verdict-cache lookups (solvable + closed): every
+	// miss is work a warmer cache would have skipped. nodeHits/nodeMisses
+	// count refuted-subtree lookups separately — that memo is a
+	// blocklist (only refutations are ever stored; absence is the steady
+	// state for solvable subtrees), so its absences are not cache
+	// failures and must not dilute the hit rate.
+	hits, misses         uint64
+	nodeHits, nodeMisses uint64
+	evictions            uint64
+}
+
+// DefaultMemoCacheCap is the per-generation entry capacity used when
+// NewMemoCache is given a non-positive capacity.
+const DefaultMemoCacheCap = 1 << 18
+
+// privateMemoCap sizes the private cache of a Solver constructed without
+// an injected one: large enough that no realistic single compile ever
+// rotates, preserving the exact behavior of the former unbounded maps.
+const privateMemoCap = 1 << 20
+
+// memoKind namespaces the three verdict families within one cache.
+type memoKind uint8
+
+const (
+	memoSolvable memoKind = iota
+	memoClosed
+	memoNode
+)
+
+// memoKey is one cache entry's identity: verdict family, solving-context
+// fingerprint, and system fingerprint.
+type memoKey struct {
+	kind memoKind
+	ctx  [2]uint64
+	fp   [2]uint64
+}
+
+// NewMemoCache returns a cache bounded at roughly 2×capacity entries
+// (capacity <= 0 selects DefaultMemoCacheCap).
+func NewMemoCache(capacity int) *MemoCache {
+	if capacity <= 0 {
+		capacity = DefaultMemoCacheCap
+	}
+	return &MemoCache{cap: capacity, cur: map[memoKey]bool{}}
+}
+
+// lookup returns the cached verdict and whether it was present,
+// promoting previous-generation hits into the current generation.
+func (c *MemoCache) lookup(k memoKey) (verdict, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, hit := c.cur[k]; hit {
+		c.countLocked(k.kind, true)
+		return v, true
+	}
+	if v, hit := c.old[k]; hit {
+		c.countLocked(k.kind, true)
+		c.insertLocked(k, v)
+		return v, true
+	}
+	c.countLocked(k.kind, false)
+	return false, false
+}
+
+func (c *MemoCache) countLocked(kind memoKind, hit bool) {
+	switch {
+	case kind == memoNode && hit:
+		c.nodeHits++
+	case kind == memoNode:
+		c.nodeMisses++
+	case hit:
+		c.hits++
+	default:
+		c.misses++
+	}
+}
+
+// store records a verdict, rotating generations at capacity.
+func (c *MemoCache) store(k memoKey, v bool) {
+	c.mu.Lock()
+	c.insertLocked(k, v)
+	c.mu.Unlock()
+}
+
+func (c *MemoCache) insertLocked(k memoKey, v bool) {
+	if len(c.cur) >= c.cap {
+		c.evictions += uint64(len(c.old))
+		c.old = c.cur
+		c.cur = make(map[memoKey]bool, 1024)
+	}
+	c.cur[k] = v
+}
+
+// MemoCacheStats is a point-in-time snapshot of cache activity.
+type MemoCacheStats struct {
+	// Hits and Misses count verdict-cache lookups (solvability and
+	// closed-conjunct proofs) across all compiles sharing the cache
+	// since construction.
+	Hits, Misses uint64
+	// NodeHits and NodeMisses count refuted-subtree blocklist lookups.
+	// They are reported separately because only refutations are stored:
+	// a blocklist absence is the expected steady state, not avoidable
+	// work, so these do not feed HitRate.
+	NodeHits, NodeMisses uint64
+	// Evictions counts entries dropped by generation rotation.
+	Evictions uint64
+	// Entries is the current live entry count (both generations).
+	Entries int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 with no lookups.
+func (s MemoCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the cache counters.
+func (c *MemoCache) Stats() MemoCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return MemoCacheStats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		NodeHits:   c.nodeHits,
+		NodeMisses: c.nodeMisses,
+		Evictions:  c.evictions,
+		Entries:    len(c.cur) + len(c.old),
+	}
+}
+
+// contextFingerprint derives the solving-context half of every memo key:
+// a 128-bit digest of the external assumption system and the external
+// symbol set. Two Solvers with equal contexts produce interchangeable
+// verdicts for equal systems; two different contexts never share keys,
+// which is what makes one process-wide cache sound across arbitrary
+// programs.
+func contextFingerprint(external *constraint.System, externalSyms []string) [2]uint64 {
+	fp := external.Fingerprint128()
+	syms := append([]string(nil), externalSyms...)
+	sort.Strings(syms)
+	for _, sym := range syms {
+		h := dpl.HashString128(sym)
+		fp[0] = fp[0]*0x9e3779b97f4a7c15 ^ h[0]
+		fp[1] = fp[1]*0xc2b2ae3d27d4eb4f ^ h[1]
+	}
+	return fp
+}

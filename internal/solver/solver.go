@@ -112,39 +112,44 @@ type Solver struct {
 	// searches never corrupt the configured cap.
 	budget int
 
-	mu sync.Mutex
-	// memo caches solvability verdicts by canonical 128-bit system
-	// fingerprint: Algorithm 3 re-checks near-identical merged systems
-	// many times per loop, and identical conjunct sets always produce
-	// the same verdict.
-	memo map[[2]uint64]bool
-	// closedMemo caches closed-conjunct check verdicts by system
-	// fingerprint, fail-fasting branches whose closed obligations were
-	// already refuted.
-	closedMemo map[[2]uint64]bool
-	// nodeMemo records working systems (post closed-conjunct consumption)
-	// whose entire search subtree was refuted without running out of
-	// budget. Refutation means every rule candidate failed — a property
-	// of the conjunct set, not the visit order — so later searches
-	// reaching the same system (Algorithm 3 re-solves many near-identical
-	// merges) fail on one fingerprint lookup instead of re-exploring.
-	nodeMemo map[[2]uint64]bool
-	stats    SolveStats
+	// cache stores the three verdict memos — solvability (Algorithm 3's
+	// candidate checks), closed-conjunct proofs, and refuted search
+	// subtrees — keyed by (ctx, system fingerprint). It is either a
+	// private per-compile cache (New) or a cross-compile cache shared by
+	// a compile service (NewWithCache); either way the verdicts are
+	// deterministic functions of the key, so sharing is sound.
+	cache *MemoCache
+	// ctx is this solver's half of every memo key: a fingerprint of the
+	// external assumption system and symbol set (see contextFingerprint).
+	ctx [2]uint64
+
+	mu    sync.Mutex
+	stats SolveStats
 }
 
-// New creates a solver with external assumptions (may be nil).
+// New creates a solver with external assumptions (may be nil) and a
+// private memo cache.
 func New(external *constraint.System, externalSyms []string) *Solver {
+	return NewWithCache(external, externalSyms, nil)
+}
+
+// NewWithCache creates a solver whose verdict memos live in the given
+// cross-compile cache; a nil cache selects a private one sized to never
+// evict within a compile (the classic per-compile behavior).
+func NewWithCache(external *constraint.System, externalSyms []string, cache *MemoCache) *Solver {
+	if cache == nil {
+		cache = NewMemoCache(privateMemoCap)
+	}
 	s := &Solver{
 		external:     external,
 		externalSyms: map[string]bool{},
 		budget:       200000,
-		memo:         map[[2]uint64]bool{},
-		closedMemo:   map[[2]uint64]bool{},
-		nodeMemo:     map[[2]uint64]bool{},
+		cache:        cache,
 	}
 	if external == nil {
 		s.external = &constraint.System{}
 	}
+	s.ctx = contextFingerprint(s.external, externalSyms)
 	for _, sym := range externalSyms {
 		s.externalSyms[sym] = true
 		s.extMask |= dpl.SymBit(sym)
@@ -426,11 +431,10 @@ func (sr *search) solve(sol []equation, syms []symRef) ([]equation, bool) {
 	}
 
 	// Refuted-subtree memo: if an earlier (completed) exploration of this
-	// exact conjunct set failed, every rule candidate below fails again.
+	// exact conjunct set failed — in this compile or, with a shared
+	// cache, any previous one — every rule candidate below fails again.
 	fp := c.Fingerprint128()
-	s.mu.Lock()
-	refuted := s.nodeMemo[fp]
-	s.mu.Unlock()
+	refuted, _ := s.cache.lookup(memoKey{kind: memoNode, ctx: s.ctx, fp: fp})
 	if refuted {
 		sr.nodeHits++
 		sr.trail.UndoTo(entry)
@@ -601,9 +605,7 @@ func (sr *search) noteRefuted(fp [2]uint64) {
 	if sr.exhausted {
 		return
 	}
-	sr.s.mu.Lock()
-	sr.s.nodeMemo[fp] = true
-	sr.s.mu.Unlock()
+	sr.s.cache.store(memoKey{kind: memoNode, ctx: sr.s.ctx, fp: fp}, true)
 }
 
 // consumeClosedConjuncts verifies every conjunct without free
@@ -642,19 +644,14 @@ func (sr *search) consumeClosedConjuncts() bool {
 	}
 
 	fp := c.Fingerprint128()
-	s.mu.Lock()
-	verdict, cached := s.closedMemo[fp]
+	key := memoKey{kind: memoClosed, ctx: s.ctx, fp: fp}
+	verdict, cached := s.cache.lookup(key)
 	if cached {
 		sr.closedHits++
 	} else {
 		sr.closedMisses++
-	}
-	s.mu.Unlock()
-	if !cached {
 		verdict = sr.proveClosedConjuncts(closedPredIdx, closedSubIdx)
-		s.mu.Lock()
-		s.closedMemo[fp] = verdict
-		s.mu.Unlock()
+		s.cache.store(key, verdict)
 	}
 	if !verdict {
 		return false

@@ -25,21 +25,20 @@ const solvableBudget = 20000
 // runs an isolated search (own budget, own working clone), making
 // concurrent calls safe.
 func (s *Solver) solvable(sys *constraint.System) bool {
-	fp := sys.Fingerprint128()
-	s.mu.Lock()
-	if v, hit := s.memo[fp]; hit {
+	key := memoKey{kind: memoSolvable, ctx: s.ctx, fp: sys.Fingerprint128()}
+	if v, hit := s.cache.lookup(key); hit {
+		s.mu.Lock()
 		s.stats.MemoHits++
 		s.mu.Unlock()
 		return v
 	}
+	s.mu.Lock()
 	s.stats.MemoMisses++
 	s.mu.Unlock()
 	sr := s.newSearch(sys, solvableBudget)
 	_, ok := sr.solve(nil, s.unresolved(sr.c))
 	sr.finish()
-	s.mu.Lock()
-	s.memo[fp] = ok
-	s.mu.Unlock()
+	s.cache.store(key, ok)
 	return ok
 }
 
@@ -551,9 +550,20 @@ func subtractSystem(a, b *constraint.System) *constraint.System {
 
 // SolveProgram is the full §3 pipeline over the inference results of all
 // loops: unify, solve, and post-process the DPL program (nested-
-// subexpression reuse plus CSE).
+// subexpression reuse plus CSE). It uses a private per-compile memo
+// cache; a compile service shares verdicts across compiles through
+// SolveProgramWith.
 func SolveProgram(results []*infer.Result, external *constraint.System, externalSyms []string) (*Solution, error) {
-	s := New(external, externalSyms)
+	return SolveProgramWith(results, external, externalSyms, nil)
+}
+
+// SolveProgramWith is SolveProgram with an injected cross-compile memo
+// cache (nil selects a private one). Verdict reuse never changes output:
+// cached solvability/closed/refuted verdicts are exactly what the
+// searches would recompute, so a warm cache accelerates the same
+// byte-identical solution.
+func SolveProgramWith(results []*infer.Result, external *constraint.System, externalSyms []string, cache *MemoCache) (*Solution, error) {
+	s := NewWithCache(external, externalSyms, cache)
 	systems := make([]*constraint.System, len(results))
 	for i, r := range results {
 		systems[i] = r.Sys

@@ -113,31 +113,57 @@ func CompileSession(src string, opts Options) (*Compiled, *pipeline.Session, err
 }
 
 func compile(src string, opts Options) (*Compiled, *pipeline.Session, error) {
+	if opts.Trace == nil && traceEnvEnabled() {
+		opts.Trace = os.Stderr
+	}
+	// Hold an intern-table epoch for the duration of the compile so a
+	// bounded table (configured by a Service sharing this process) never
+	// reclaims mid-compile — expression and symbol ids stay coherent for
+	// every pass.
+	ep := dpl.Default().Enter()
+	defer ep.Leave()
+
+	s := pipeline.NewSession(src, pipeline.Config{
+		DisableRelaxation:           opts.DisableRelaxation,
+		DisablePrivateSubPartitions: opts.DisablePrivateSubPartitions,
+	})
+	return runSession(s, opts)
+}
+
+// traceEnvEnabled reports whether AUTOPART_TRACE asks for stderr
+// tracing. Compile consults it per call; a Service reads it once at
+// construction.
+func traceEnvEnabled() bool {
+	v := os.Getenv("AUTOPART_TRACE")
+	return v != "" && v != "0"
+}
+
+// runSession executes the pass pipeline over a prepared session and
+// assembles the Compiled result. Both the one-shot Compile façade and
+// the pooled Service funnel through here, so results are identical
+// regardless of which entry point produced them.
+func runSession(s *pipeline.Session, opts Options) (*Compiled, *pipeline.Session, error) {
 	if opts.ForceSequential {
 		par.SetSequential(true)
 	}
 
 	timing := pipeline.NewTimingObserver()
 	obs := []pipeline.Observer{timing}
-	if opts.Trace == nil {
-		if v := os.Getenv("AUTOPART_TRACE"); v != "" && v != "0" {
-			opts.Trace = os.Stderr
-		}
-	}
 	if opts.Trace != nil {
 		obs = append(obs, pipeline.TraceObserver{W: opts.Trace})
 	}
 	obs = append(obs, opts.Observers...)
 
-	s := pipeline.NewSession(src, pipeline.Config{
-		DisableRelaxation:           opts.DisableRelaxation,
-		DisablePrivateSubPartitions: opts.DisablePrivateSubPartitions,
-	})
 	if err := pipeline.NewRunner(obs...).Run(s); err != nil {
 		return nil, s, err
 	}
+	return buildCompiled(s, timing), s, nil
+}
 
-	c := &Compiled{
+// buildCompiled lifts the session's artifacts into the public result
+// shape.
+func buildCompiled(s *pipeline.Session, timing *pipeline.TimingObserver) *Compiled {
+	return &Compiled{
 		Source:       s.Program,
 		Loops:        s.Loops,
 		Inference:    s.Inference,
@@ -157,7 +183,6 @@ func compile(src string, opts Options) (*Compiled, *pipeline.Session, error) {
 			Rewrite:   timing.Duration("rewrite"),
 		},
 	}
-	return c, s, nil
 }
 
 // DPLProgram returns the synthesized DPL program including private

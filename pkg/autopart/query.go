@@ -1,0 +1,310 @@
+package autopart
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autopart/internal/pipeline"
+	"autopart/internal/runtime"
+)
+
+// This file is the structured query facade over compile results: a
+// small, uniform way to ask "what did the compiler produce?" without
+// parsing rendered text. A result is exposed as named views (program,
+// constraints, launches, diagnostics, metrics), each a flat table of
+// rows; a Query selects a view, projects fields, filters on exact
+// values, and paginates. cmd/apcd serves the same facade over HTTP.
+
+// Observer and PassEvent re-export the pipeline's observation types so
+// API users can attach observers and read pass events without naming
+// the internal package.
+type (
+	Observer  = pipeline.Observer
+	PassEvent = pipeline.PassEvent
+)
+
+// ResultView bundles everything the query facade reads about one
+// compile: the result, the display file name for diagnostics, and the
+// per-pass events recorded during the run (the metrics view's rows).
+type ResultView struct {
+	Compiled *Compiled
+	File     string
+	Passes   []pipeline.PassEvent
+}
+
+// PassLog is an Observer that records pass-end events for the metrics
+// view. Attach one per compile (Options.Observers) and hand its Events
+// to the ResultView.
+type PassLog struct {
+	Events []pipeline.PassEvent
+}
+
+// OnPassStart implements pipeline.Observer.
+func (p *PassLog) OnPassStart(string, int) {}
+
+// OnPassEnd implements pipeline.Observer.
+func (p *PassLog) OnPassEnd(ev pipeline.PassEvent) { p.Events = append(p.Events, ev) }
+
+// Query selects, shapes, and pages one view of a result.
+type Query struct {
+	// View names the table: one of Views().
+	View string
+	// Fields projects a subset of the view's columns, in the given
+	// order; empty selects every column. Unknown fields are an error.
+	Fields []string
+	// Filter keeps only rows whose column (rendered as a string, the
+	// same rendering the row itself carries) equals the given value.
+	Filter map[string]string
+	// Offset/Limit paginate the filtered rows. Limit <= 0 means no
+	// limit.
+	Offset, Limit int
+}
+
+// QueryResult is one page of rows plus enough bookkeeping to fetch the
+// next.
+type QueryResult struct {
+	View string `json:"view"`
+	// Total counts rows matching the filter, before pagination.
+	Total  int `json:"total"`
+	Offset int `json:"offset"`
+	// NextOffset is the offset of the following page, or -1 when this
+	// page exhausts the result.
+	NextOffset int              `json:"next_offset"`
+	Fields     []string         `json:"fields"`
+	Rows       []map[string]any `json:"rows"`
+}
+
+// viewSpec couples a view's column registry with its row builder.
+type viewSpec struct {
+	fields []string
+	rows   func(rv ResultView) []map[string]any
+}
+
+var viewSpecs = map[string]viewSpec{
+	"program": {
+		fields: []string{"index", "symbol", "expr", "private", "text"},
+		rows:   programRows,
+	},
+	"constraints": {
+		fields: []string{"index", "scope", "kind", "text"},
+		rows:   constraintRows,
+	},
+	"launches": {
+		fields: []string{"index", "name", "iter_sym", "relaxed", "requirements", "text"},
+		rows:   launchRows,
+	},
+	"diagnostics": {
+		fields: []string{"index", "severity", "code", "message", "text"},
+		rows:   diagnosticRows,
+	},
+	"metrics": {
+		fields: []string{"index", "pass", "wall_us", "metrics"},
+		rows:   metricsRows,
+	},
+}
+
+// Views lists the query views in sorted order.
+func Views() []string {
+	out := make([]string, 0, len(viewSpecs))
+	for name := range viewSpecs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ViewFields lists a view's columns.
+func ViewFields(view string) ([]string, error) {
+	spec, ok := viewSpecs[view]
+	if !ok {
+		return nil, unknownView(view)
+	}
+	return append([]string(nil), spec.fields...), nil
+}
+
+func unknownView(view string) error {
+	return fmt.Errorf("autopart: unknown view %q (have %s)", view, strings.Join(Views(), ", "))
+}
+
+// RunQuery evaluates a query against one result.
+func RunQuery(rv ResultView, q Query) (*QueryResult, error) {
+	spec, ok := viewSpecs[q.View]
+	if !ok {
+		return nil, unknownView(q.View)
+	}
+	known := map[string]bool{}
+	for _, f := range spec.fields {
+		known[f] = true
+	}
+	fields := q.Fields
+	if len(fields) == 0 {
+		fields = spec.fields
+	}
+	for _, f := range fields {
+		if !known[f] {
+			return nil, fmt.Errorf("autopart: view %q has no field %q (have %s)",
+				q.View, f, strings.Join(spec.fields, ", "))
+		}
+	}
+	for f := range q.Filter {
+		if !known[f] {
+			return nil, fmt.Errorf("autopart: view %q has no filter field %q (have %s)",
+				q.View, f, strings.Join(spec.fields, ", "))
+		}
+	}
+
+	rows := spec.rows(rv)
+	if len(q.Filter) > 0 {
+		kept := rows[:0:0]
+		for _, row := range rows {
+			match := true
+			for f, want := range q.Filter {
+				if fmt.Sprint(row[f]) != want {
+					match = false
+					break
+				}
+			}
+			if match {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+
+	total := len(rows)
+	offset := q.Offset
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	page := rows[offset:]
+	if q.Limit > 0 && len(page) > q.Limit {
+		page = page[:q.Limit]
+	}
+	next := -1
+	if offset+len(page) < total {
+		next = offset + len(page)
+	}
+
+	out := make([]map[string]any, len(page))
+	for i, row := range page {
+		proj := make(map[string]any, len(fields))
+		for _, f := range fields {
+			proj[f] = row[f]
+		}
+		out[i] = proj
+	}
+	return &QueryResult{
+		View:       q.View,
+		Total:      total,
+		Offset:     offset,
+		NextOffset: next,
+		Fields:     append([]string(nil), fields...),
+		Rows:       out,
+	}, nil
+}
+
+func programRows(rv ResultView) []map[string]any {
+	c := rv.Compiled
+	if c == nil || c.Solution == nil {
+		return nil
+	}
+	solved := len(c.Solution.Program.Stmts)
+	var rows []map[string]any
+	for i, st := range c.DPLProgram().Stmts {
+		rows = append(rows, map[string]any{
+			"index":   i,
+			"symbol":  st.Name,
+			"expr":    st.Expr.String(),
+			"private": i >= solved,
+			"text":    st.String(),
+		})
+	}
+	return rows
+}
+
+func constraintRows(rv ResultView) []map[string]any {
+	c := rv.Compiled
+	if c == nil {
+		return nil
+	}
+	var rows []map[string]any
+	add := func(scope, kind, text string) {
+		rows = append(rows, map[string]any{
+			"index": len(rows), "scope": scope, "kind": kind, "text": text,
+		})
+	}
+	for i, p := range c.Plans {
+		scope := fmt.Sprintf("loop%d", i)
+		for _, pr := range p.Sys.Preds {
+			add(scope, pr.Kind.String(), pr.String())
+		}
+		for _, sub := range p.Sys.Subsets {
+			add(scope, "SUBSET", sub.String())
+		}
+	}
+	if c.External != nil {
+		for _, pr := range c.External.Preds {
+			add("external", pr.Kind.String(), pr.String())
+		}
+		for _, sub := range c.External.Subsets {
+			add("external", "SUBSET", sub.String())
+		}
+	}
+	return rows
+}
+
+func launchRows(rv ResultView) []map[string]any {
+	c := rv.Compiled
+	if c == nil {
+		return nil
+	}
+	var rows []map[string]any
+	for i, pl := range c.Parallel {
+		name := fmt.Sprintf("loop%d", i)
+		l := runtime.FromParallelLoop(name, pl)
+		rows = append(rows, map[string]any{
+			"index":        i,
+			"name":         name,
+			"iter_sym":     pl.IterSym,
+			"relaxed":      pl.Relaxed,
+			"requirements": len(l.Reqs),
+			"text":         l.String(),
+		})
+	}
+	return rows
+}
+
+func diagnosticRows(rv ResultView) []map[string]any {
+	c := rv.Compiled
+	if c == nil {
+		return nil
+	}
+	var rows []map[string]any
+	for i, d := range c.Diagnostics {
+		rows = append(rows, map[string]any{
+			"index":    i,
+			"severity": d.Severity.String(),
+			"code":     d.Code,
+			"message":  d.Message,
+			"text":     d.Format(rv.File),
+		})
+	}
+	return rows
+}
+
+func metricsRows(rv ResultView) []map[string]any {
+	var rows []map[string]any
+	for i, ev := range rv.Passes {
+		rows = append(rows, map[string]any{
+			"index":   i,
+			"pass":    ev.Pass,
+			"wall_us": ev.Wall.Microseconds(),
+			"metrics": ev.Metrics,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,194 @@
+package autopart_test
+
+import (
+	"strings"
+	"testing"
+
+	"autopart/internal/apps/builtins"
+	"autopart/pkg/autopart"
+)
+
+// compileView compiles a builtin with a pass log attached and returns
+// the facade's input bundle.
+func compileView(t *testing.T, name string) autopart.ResultView {
+	t.Helper()
+	src, file, ok := builtins.Source(name)
+	if !ok {
+		t.Fatalf("unknown builtin %q", name)
+	}
+	log := &autopart.PassLog{}
+	c, err := autopart.Compile(src, autopart.Options{Observers: []autopart.Observer{log}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return autopart.ResultView{Compiled: c, File: file, Passes: log.Events}
+}
+
+func TestQueryProgramView(t *testing.T) {
+	rv := compileView(t, "spmv")
+	res, err := autopart.RunQuery(rv, autopart.Query{View: "program"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total == 0 || len(res.Rows) != res.Total {
+		t.Fatalf("program view: total=%d rows=%d", res.Total, len(res.Rows))
+	}
+	if res.NextOffset != -1 {
+		t.Errorf("unpaginated query has NextOffset %d, want -1", res.NextOffset)
+	}
+	row := res.Rows[0]
+	if row["symbol"] == "" || row["expr"] == "" {
+		t.Errorf("row 0 missing fields: %v", row)
+	}
+	if !strings.Contains(row["text"].(string), " = ") {
+		t.Errorf("text %q is not a DPL statement", row["text"])
+	}
+}
+
+func TestQueryProjectionAndPagination(t *testing.T) {
+	rv := compileView(t, "pennant")
+	full, err := autopart.RunQuery(rv, autopart.Query{View: "constraints"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Total < 3 {
+		t.Fatalf("pennant has only %d constraints; test needs a few", full.Total)
+	}
+
+	// Page through with limit 2 and a projection; rows must tile the
+	// full result exactly.
+	var got []map[string]any
+	offset := 0
+	for {
+		page, err := autopart.RunQuery(rv, autopart.Query{
+			View: "constraints", Fields: []string{"index", "kind"},
+			Offset: offset, Limit: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Rows) > 2 {
+			t.Fatalf("limit 2 returned %d rows", len(page.Rows))
+		}
+		for _, r := range page.Rows {
+			if len(r) != 2 {
+				t.Fatalf("projection leaked fields: %v", r)
+			}
+			got = append(got, r)
+		}
+		if page.NextOffset == -1 {
+			break
+		}
+		if page.NextOffset != offset+len(page.Rows) {
+			t.Fatalf("NextOffset %d, want %d", page.NextOffset, offset+len(page.Rows))
+		}
+		offset = page.NextOffset
+	}
+	if len(got) != full.Total {
+		t.Errorf("pagination visited %d rows, want %d", len(got), full.Total)
+	}
+}
+
+func TestQueryFilter(t *testing.T) {
+	rv := compileView(t, "circuit")
+	all, err := autopart.RunQuery(rv, autopart.Query{View: "constraints"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range all.Rows {
+		if r["kind"] == "DISJ" {
+			want++
+		}
+	}
+	if want == 0 {
+		t.Fatal("circuit has no DISJ constraints; filter test needs some")
+	}
+	res, err := autopart.RunQuery(rv, autopart.Query{
+		View: "constraints", Filter: map[string]string{"kind": "DISJ"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != want {
+		t.Errorf("filter kind=DISJ: total=%d, want %d", res.Total, want)
+	}
+	for _, r := range res.Rows {
+		if r["kind"] != "DISJ" {
+			t.Errorf("filtered row has kind %v", r["kind"])
+		}
+	}
+}
+
+func TestQueryMetricsView(t *testing.T) {
+	rv := compileView(t, "stencil")
+	res, err := autopart.RunQuery(rv, autopart.Query{
+		View: "metrics", Filter: map[string]string{"pass": "solve"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 1 {
+		t.Fatalf("metrics filtered to solve: total=%d, want 1", res.Total)
+	}
+	m, ok := res.Rows[0]["metrics"].(map[string]int)
+	if !ok {
+		t.Fatalf("metrics field has type %T", res.Rows[0]["metrics"])
+	}
+	if m["partitions"] == 0 {
+		t.Error("solve pass metrics report zero partitions")
+	}
+}
+
+func TestQueryLaunchesView(t *testing.T) {
+	rv := compileView(t, "spmv")
+	res, err := autopart.RunQuery(rv, autopart.Query{View: "launches"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total == 0 {
+		t.Fatal("spmv compiled to zero launches")
+	}
+	row := res.Rows[0]
+	if row["iter_sym"] == "" || row["requirements"].(int) == 0 {
+		t.Errorf("launch row incomplete: %v", row)
+	}
+	if !strings.HasPrefix(row["text"].(string), "launch ") {
+		t.Errorf("launch text %q", row["text"])
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	rv := compileView(t, "spmv")
+	if _, err := autopart.RunQuery(rv, autopart.Query{View: "nope"}); err == nil {
+		t.Error("unknown view accepted")
+	}
+	if _, err := autopart.RunQuery(rv, autopart.Query{View: "program", Fields: []string{"bogus"}}); err == nil {
+		t.Error("unknown projection field accepted")
+	}
+	if _, err := autopart.RunQuery(rv, autopart.Query{View: "program", Filter: map[string]string{"bogus": "x"}}); err == nil {
+		t.Error("unknown filter field accepted")
+	}
+}
+
+func TestViewsRegistry(t *testing.T) {
+	views := autopart.Views()
+	for _, want := range []string{"program", "constraints", "launches", "diagnostics", "metrics"} {
+		found := false
+		for _, v := range views {
+			if v == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Views() lacks %q: %v", want, views)
+		}
+	}
+	fields, err := autopart.ViewFields("launches")
+	if err != nil || len(fields) == 0 {
+		t.Errorf("ViewFields(launches) = %v, %v", fields, err)
+	}
+	if _, err := autopart.ViewFields("nope"); err == nil {
+		t.Error("ViewFields accepted unknown view")
+	}
+}

@@ -1,0 +1,151 @@
+package autopart
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"autopart/internal/dpl"
+	"autopart/internal/pipeline"
+	"autopart/internal/solver"
+)
+
+// ServiceOptions configure a compile service.
+type ServiceOptions struct {
+	// MaxConcurrent bounds the number of compiles executing at once;
+	// excess requests queue. Non-positive selects GOMAXPROCS.
+	MaxConcurrent int
+	// MemoCacheCap is the per-generation capacity of the shared solver
+	// memo cache (entries); non-positive selects
+	// solver.DefaultMemoCacheCap. The cache holds at most ~2× this many
+	// entries.
+	MemoCacheCap int
+	// InternMaxEntries, when positive, bounds the process-wide dpl intern
+	// table: once it grows past the bound, it is rebuilt between compiles
+	// (never during one — compiles hold epochs). Zero leaves the table
+	// unbounded, the behavior of one-shot Compile.
+	InternMaxEntries int
+	// Base are the per-compile options applied when Compile is used;
+	// CompileWith overrides them per request. Base.Trace == nil consults
+	// AUTOPART_TRACE once, at construction time, not per compile.
+	Base Options
+}
+
+// Service is a concurrency-safe compile-as-a-service front end: it
+// pools pipeline Sessions across requests, shares one solver memo cache
+// across every compile it runs (so recompiles of similar programs reuse
+// solvability, closed-conjunct, and refuted-subtree verdicts), bounds
+// in-flight compiles, and keeps the shared intern table inside a memory
+// budget via epoch-based reclamation. Results are byte-identical to
+// one-shot Compile — the cache stores verdicts a fresh solver would
+// recompute, never approximations.
+type Service struct {
+	base     Options
+	cache    *solver.MemoCache
+	table    *dpl.Table
+	sem      chan struct{}
+	sessions sync.Pool
+
+	compiles atomic.Uint64
+	failures atomic.Uint64
+}
+
+// NewService constructs a compile service. The AUTOPART_TRACE
+// environment knob is resolved here, once: compiles through the service
+// never read the environment.
+func NewService(opts ServiceOptions) *Service {
+	conc := opts.MaxConcurrent
+	if conc <= 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
+	base := opts.Base
+	if base.Trace == nil && traceEnvEnabled() {
+		base.Trace = os.Stderr
+	}
+	sv := &Service{
+		base:  base,
+		cache: solver.NewMemoCache(opts.MemoCacheCap),
+		table: dpl.Default(),
+		sem:   make(chan struct{}, conc),
+	}
+	sv.sessions.New = func() any { return &pipeline.Session{} }
+	if opts.InternMaxEntries > 0 {
+		sv.table.SetMaxEntries(opts.InternMaxEntries)
+	}
+	return sv
+}
+
+// Compile compiles source text with the service's base options.
+func (sv *Service) Compile(src string) (*Compiled, error) {
+	return sv.CompileWith(src, sv.base)
+}
+
+// CompileWith compiles source text with per-request options. A nil
+// opts.Trace inherits the service's trace writer; concurrent compiles
+// tracing to one writer emit whole, never interleaved, JSON lines.
+func (sv *Service) CompileWith(src string, opts Options) (*Compiled, error) {
+	if opts.Trace == nil {
+		opts.Trace = sv.base.Trace
+	}
+	sv.sem <- struct{}{}
+	defer func() { <-sv.sem }()
+
+	// Pin the intern table's current generation: ids handed out during
+	// this compile stay coherent until Leave, even if the table is over
+	// its bound.
+	ep := sv.table.Enter()
+	defer ep.Leave()
+
+	s := sv.sessions.Get().(*pipeline.Session)
+	s.Reset(src, pipeline.Config{
+		DisableRelaxation:           opts.DisableRelaxation,
+		DisablePrivateSubPartitions: opts.DisablePrivateSubPartitions,
+		SolverCache:                 sv.cache,
+	})
+	c, s, err := runSession(s, opts)
+	sv.sessions.Put(s)
+	if err != nil {
+		sv.failures.Add(1)
+		return nil, err
+	}
+	sv.compiles.Add(1)
+	return c, nil
+}
+
+// ServiceStats is a point-in-time snapshot of service activity.
+type ServiceStats struct {
+	// Compiles and Failures count completed requests since construction.
+	Compiles, Failures uint64
+	// InFlight is the number of compiles currently executing.
+	InFlight int
+	// MaxConcurrent is the configured concurrency bound.
+	MaxConcurrent int
+	// Memo snapshots the shared solver memo cache.
+	Memo solver.MemoCacheStats
+	// InternEntries is the shared intern table's live entry count;
+	// InternGeneration and InternReclaims count rebuilds (an id is only
+	// meaningful within one generation).
+	InternEntries    int
+	InternGeneration uint64
+	InternReclaims   uint64
+}
+
+// Stats snapshots the service counters, the shared memo cache, and the
+// intern table.
+func (sv *Service) Stats() ServiceStats {
+	return ServiceStats{
+		Compiles:         sv.compiles.Load(),
+		Failures:         sv.failures.Load(),
+		InFlight:         len(sv.sem),
+		MaxConcurrent:    cap(sv.sem),
+		Memo:             sv.cache.Stats(),
+		InternEntries:    sv.table.Entries(),
+		InternGeneration: sv.table.Generation(),
+		InternReclaims:   sv.table.Reclaims(),
+	}
+}
+
+// MemoCache exposes the shared solver cache (for benchmarks that
+// pre-warm or inspect it).
+func (sv *Service) MemoCache() *solver.MemoCache { return sv.cache }
