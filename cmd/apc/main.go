@@ -8,8 +8,15 @@
 //
 //	apc [-constraints] [-launches] [-trace] file.dsl
 //	apc -builtin spmv|stencil|circuit|miniaero|pennant
+//	apc -incremental base.dsl edited.dsl
 //	apc -explain P001
 //	cat file.dsl | apc
+//
+// -incremental compiles the baseline file first, then recompiles the
+// input against it through the incremental frontend: unedited loops
+// reuse the baseline's parse/check/normalize/infer artifacts, and a
+// reuse summary line reports the clean/dirty split. Output is
+// byte-identical to a plain compile of the input.
 //
 // Compile errors are reported as structured diagnostics with a source
 // position and a stable code, e.g.
@@ -33,6 +40,7 @@ import (
 	"autopart/internal/apps/spmv"
 	"autopart/internal/apps/stencil"
 	"autopart/internal/diag"
+	"autopart/internal/pipeline"
 	"autopart/internal/runtime"
 	"autopart/pkg/autopart"
 )
@@ -51,6 +59,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	builtin := fs.String("builtin", "", "compile a builtin benchmark program (spmv, stencil, circuit, miniaero, pennant)")
 	noRelax := fs.Bool("no-relax", false, "disable the §5.1 disjointness relaxation")
 	noPrivate := fs.Bool("no-private", false, "disable §5.2 private sub-partitions")
+	incrBase := fs.String("incremental", "", "baseline program file: compile it first, then recompile the input incrementally against it, reporting per-loop reuse")
 	trace := fs.Bool("trace", false, "emit one JSON line per compiler pass to stderr (wall time, artifact metrics)")
 	explain := fs.String("explain", "", "explain a diagnostic code (e.g. P001) and exit; 'all' lists every code")
 	if err := fs.Parse(args); err != nil {
@@ -74,16 +83,49 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *trace {
 		opts.Trace = stderr
 	}
-	c, session, err := autopart.CompileSession(src, opts)
-	if err != nil {
-		if session != nil && len(session.Diags) > 0 {
-			for _, d := range session.Diags {
-				fmt.Fprintf(stderr, "apc: %s\n", d.Format(file))
-			}
-		} else {
+	var c *autopart.Compiled
+	if *incrBase != "" {
+		// Incremental mode: seed a keyed session with the baseline, then
+		// recompile the input against it. Output is byte-identical to a
+		// cold compile; only the work performed (and the reuse line
+		// below) differs.
+		base, err := os.ReadFile(*incrBase)
+		if err != nil {
 			fmt.Fprintln(stderr, "apc:", err)
+			return 1
 		}
-		return 1
+		sv := autopart.NewService(autopart.ServiceOptions{Base: opts})
+		if _, err := sv.CompileIncremental("apc", string(base)); err != nil {
+			fmt.Fprintf(stderr, "apc: baseline %s: %v\n", *incrBase, err)
+			return 1
+		}
+		seeded := sv.Stats()
+		c, err = sv.CompileIncremental("apc", src)
+		if err != nil {
+			fmt.Fprintln(stderr, "apc:", err)
+			return 1
+		}
+		st := sv.Stats()
+		if st.IncrementalCold > seeded.IncrementalCold {
+			fmt.Fprintf(stdout, "incremental vs %s: cold fallback (program not diffable against baseline)\n", *incrBase)
+		} else {
+			fmt.Fprintf(stdout, "incremental vs %s: %d clean / %d dirty loops\n", *incrBase,
+				st.IncrementalCleanLoops-seeded.IncrementalCleanLoops,
+				st.IncrementalDirtyLoops-seeded.IncrementalDirtyLoops)
+		}
+	} else {
+		var session *pipeline.Session
+		c, session, err = autopart.CompileSession(src, opts)
+		if err != nil {
+			if session != nil && len(session.Diags) > 0 {
+				for _, d := range session.Diags {
+					fmt.Fprintf(stderr, "apc: %s\n", d.Format(file))
+				}
+			} else {
+				fmt.Fprintln(stderr, "apc:", err)
+			}
+			return 1
+		}
 	}
 
 	if *showConstraints {

@@ -14,7 +14,10 @@
 //
 // API:
 //
-//	POST /v1/compile            {"source": "..."} or {"builtin": "spmv"}
+//	POST /v1/compile            {"source": "..."} or {"builtin": "spmv"};
+//	                            add {"key": "myprog"} to recompile
+//	                            incrementally against the previous
+//	                            compile of the same key
 //	GET  /v1/results            list retained results
 //	GET  /v1/results/{id}       one result's summary
 //	GET  /v1/results/{id}/{view}?fields=a,b&filter=kind=DISJ&limit=10&offset=0
@@ -32,9 +35,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -88,14 +93,72 @@ type server struct {
 	order      []string // insertion order, for eviction and listing
 	nextID     int
 	maxResults int
+
+	viewHits   atomic.Uint64
+	viewMisses atomic.Uint64
 }
 
 // storedResult is one retained compile: the query facade's input plus
-// summary fields.
+// summary fields and a cache of rendered query views. The cache lives
+// on the result, so evicting the result invalidates every cached view
+// with it; compiled artifacts are immutable, so a cached rendering
+// never goes stale while the result is retained.
 type storedResult struct {
 	ID      string
+	Key     string // incremental recompile key, "" for one-shot compiles
 	View    autopart.ResultView
 	Elapsed time.Duration
+
+	viewMu    sync.Mutex
+	viewCache map[string]*autopart.QueryResult
+}
+
+// maxCachedViews bounds the per-result view cache; an unlikely flood of
+// distinct queries resets the cache rather than growing it.
+const maxCachedViews = 64
+
+// cachedQuery runs a query against the result, serving an identical
+// earlier query's rendering from cache. Returns whether it was a hit.
+func (res *storedResult) cachedQuery(q autopart.Query) (*autopart.QueryResult, bool, error) {
+	key := viewCacheKey(q)
+	res.viewMu.Lock()
+	if out, ok := res.viewCache[key]; ok {
+		res.viewMu.Unlock()
+		return out, true, nil
+	}
+	res.viewMu.Unlock()
+	out, err := autopart.RunQuery(res.View, q)
+	if err != nil {
+		return nil, false, err
+	}
+	res.viewMu.Lock()
+	if len(res.viewCache) >= maxCachedViews {
+		res.viewCache = nil
+	}
+	if res.viewCache == nil {
+		res.viewCache = map[string]*autopart.QueryResult{}
+	}
+	res.viewCache[key] = out
+	res.viewMu.Unlock()
+	return out, false, nil
+}
+
+// viewCacheKey canonicalizes a query's parameters: filters are order-
+// insensitive (sorted here), everything else is significant.
+func viewCacheKey(q autopart.Query) string {
+	var b strings.Builder
+	b.WriteString(q.View)
+	b.WriteByte(0)
+	b.WriteString(strings.Join(q.Fields, ","))
+	b.WriteByte(0)
+	filters := make([]string, 0, len(q.Filter))
+	for k, v := range q.Filter {
+		filters = append(filters, k+"="+v)
+	}
+	sort.Strings(filters)
+	b.WriteString(strings.Join(filters, "&"))
+	fmt.Fprintf(&b, "\x00%d\x00%d", q.Limit, q.Offset)
+	return b.String()
 }
 
 func newServer(sv *autopart.Service, maxResults int) *server {
@@ -126,6 +189,11 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 type compileRequest struct {
 	Source  string `json:"source,omitempty"`
 	Builtin string `json:"builtin,omitempty"`
+	// Key, when set, routes the compile to the incremental session that
+	// last built this key: unedited loops reuse the previous compile's
+	// parse/check/normalize/infer artifacts wholesale. Results are
+	// byte-identical to a keyless compile; only the latency differs.
+	Key     string `json:"key,omitempty"`
 	Options struct {
 		DisableRelaxation           bool `json:"disable_relaxation,omitempty"`
 		DisablePrivateSubPartitions bool `json:"disable_private_sub_partitions,omitempty"`
@@ -135,6 +203,7 @@ type compileRequest struct {
 // compileResponse summarizes a stored result.
 type compileResponse struct {
 	ID          string   `json:"id"`
+	Key         string   `json:"key,omitempty"`
 	File        string   `json:"file"`
 	Views       []string `json:"views"`
 	Launches    int      `json:"launches"`
@@ -172,12 +241,18 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 
 	log := &autopart.PassLog{}
-	start := time.Now()
-	c, err := s.sv.CompileWith(src, autopart.Options{
+	opts := autopart.Options{
 		DisableRelaxation:           req.Options.DisableRelaxation,
 		DisablePrivateSubPartitions: req.Options.DisablePrivateSubPartitions,
 		Observers:                   []autopart.Observer{log},
-	})
+	}
+	start := time.Now()
+	var c *autopart.Compiled
+	if req.Key != "" {
+		c, err = s.sv.CompileIncrementalWith(req.Key, src, opts)
+	} else {
+		c, err = s.sv.CompileWith(src, opts)
+	}
 	elapsed := time.Since(start)
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
@@ -188,6 +263,7 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 
 	res := &storedResult{
+		Key:     req.Key,
 		View:    autopart.ResultView{Compiled: c, File: file, Passes: log.Events},
 		Elapsed: elapsed,
 	}
@@ -209,6 +285,7 @@ func summarize(res *storedResult) compileResponse {
 	c := res.View.Compiled
 	return compileResponse{
 		ID:          res.ID,
+		Key:         res.Key,
 		File:        res.View.File,
 		Views:       autopart.Views(),
 		Launches:    len(c.Parallel),
@@ -279,16 +356,22 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	out, err := autopart.RunQuery(res.View, q)
+	out, hit, err := res.cachedQuery(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if hit {
+		s.viewHits.Add(1)
+	} else {
+		s.viewMisses.Add(1)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.sv.Stats()
+	hits, misses := s.viewHits.Load(), s.viewMisses.Load()
 	s.mu.Lock()
 	retained := len(s.order)
 	s.mu.Unlock()
@@ -311,8 +394,28 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"generation": st.InternGeneration,
 			"reclaims":   st.InternReclaims,
 		},
+		"incremental": map[string]any{
+			"compiles":    st.IncrementalCompiles,
+			"cold":        st.IncrementalCold,
+			"clean_loops": st.IncrementalCleanLoops,
+			"dirty_loops": st.IncrementalDirtyLoops,
+			"sessions":    st.IncrementalSessions,
+		},
+		"view_cache": map[string]any{
+			"hits":     hits,
+			"misses":   misses,
+			"hit_rate": viewHitRate(hits, misses),
+		},
 		"retained_results": retained,
 	})
+}
+
+// viewHitRate is hits/(hits+misses), 0 when no queries ran.
+func viewHitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 func intParam(v string) (int, error) {

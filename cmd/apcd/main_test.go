@@ -224,3 +224,74 @@ func TestHealthz(t *testing.T) {
 		t.Errorf("healthz: %d %v", code, body)
 	}
 }
+
+// TestIncrementalKeyRouting drives the recompile flow: a second compile
+// under the same key reuses the keyed session's retained artifacts, and
+// its result is byte-identical to the keyless compile of the same
+// source (checked via the program view).
+func TestIncrementalKeyRouting(t *testing.T) {
+	srv := newTestServer(t)
+
+	code, res := postCompile(t, srv.URL, `{"builtin": "spmv", "key": "edit-loop"}`)
+	if code != http.StatusOK {
+		t.Fatalf("compile: status %d: %v", code, res)
+	}
+	if res["key"] != "edit-loop" {
+		t.Fatalf("response key = %v, want edit-loop", res["key"])
+	}
+	code, res2 := postCompile(t, srv.URL, `{"builtin": "spmv", "key": "edit-loop"}`)
+	if code != http.StatusOK {
+		t.Fatalf("recompile: status %d: %v", code, res2)
+	}
+	code, keyless := postCompile(t, srv.URL, `{"builtin": "spmv"}`)
+	if code != http.StatusOK {
+		t.Fatalf("keyless compile: status %d: %v", code, keyless)
+	}
+
+	_, incView := getJSON(t, fmt.Sprintf("%s/v1/results/%s/program", srv.URL, res2["id"]))
+	_, coldView := getJSON(t, fmt.Sprintf("%s/v1/results/%s/program", srv.URL, keyless["id"]))
+	if fmt.Sprint(incView["rows"]) != fmt.Sprint(coldView["rows"]) {
+		t.Errorf("incremental program view differs from keyless:\n%v\n%v", incView["rows"], coldView["rows"])
+	}
+
+	_, stats := getJSON(t, srv.URL+"/v1/stats")
+	incr := stats["incremental"].(map[string]any)
+	if incr["compiles"].(float64) != 2 {
+		t.Errorf("incremental compiles = %v, want 2", incr["compiles"])
+	}
+	if incr["clean_loops"].(float64) == 0 {
+		t.Errorf("recompile reused no loops: %v", incr)
+	}
+	if incr["sessions"].(float64) != 1 {
+		t.Errorf("incremental sessions = %v, want 1", incr["sessions"])
+	}
+}
+
+// TestViewCache checks that identical query parameters are answered
+// from the per-result view cache and that the hit counters surface in
+// /v1/stats.
+func TestViewCache(t *testing.T) {
+	srv := newTestServer(t)
+
+	code, res := postCompile(t, srv.URL, `{"builtin": "spmv"}`)
+	if code != http.StatusOK {
+		t.Fatalf("compile: status %d: %v", code, res)
+	}
+	url := fmt.Sprintf("%s/v1/results/%s/program?fields=symbol,expr&limit=3", srv.URL, res["id"])
+	_, first := getJSON(t, url)
+	_, second := getJSON(t, url)
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("cached query differs from fresh query:\n%v\n%v", first, second)
+	}
+	// A different projection is a distinct cache entry, not a hit.
+	getJSON(t, fmt.Sprintf("%s/v1/results/%s/program?fields=symbol", srv.URL, res["id"]))
+
+	_, stats := getJSON(t, srv.URL+"/v1/stats")
+	vc := stats["view_cache"].(map[string]any)
+	if vc["hits"].(float64) != 1 || vc["misses"].(float64) != 2 {
+		t.Errorf("view cache hits/misses = %v/%v, want 1/2", vc["hits"], vc["misses"])
+	}
+	if rate := vc["hit_rate"].(float64); rate <= 0 || rate >= 1 {
+		t.Errorf("hit_rate = %v, want in (0,1)", rate)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,6 +35,7 @@ import (
 	"autopart/internal/apps/spmv"
 	"autopart/internal/apps/stencil"
 	"autopart/internal/dpl"
+	"autopart/internal/lang"
 	"autopart/internal/pipeline"
 	"autopart/pkg/autopart"
 )
@@ -123,14 +125,39 @@ type throughputRow struct {
 	MemoHitRate float64 `json:"memo_hit_rate"`
 }
 
+// editRecompileRow measures edit-heavy traffic: after each single-loop
+// edit, the same warm service recompiles the program both ways — full
+// pipeline (Compile) and incrementally (CompileIncremental, diffing
+// against the previous version under one key). Both share the warm
+// solver memo cache, so the delta isolates the front half of the
+// pipeline that incremental compiles skip for clean loops.
+type editRecompileRow struct {
+	Name  string `json:"name"`
+	Loops int    `json:"loops"`
+	Edits int    `json:"edits"`
+	// WarmFullP50US is the p50 wall time of a warm-service full-pipeline
+	// recompile of the edited source.
+	WarmFullP50US int64 `json:"warm_full_p50_us"`
+	// IncrementalP50US is the p50 wall time of the incremental recompile
+	// of the same edit.
+	IncrementalP50US int64 `json:"incremental_p50_us"`
+	// Speedup is WarmFullP50US / IncrementalP50US.
+	Speedup float64 `json:"speedup"`
+	// CleanLoops/DirtyLoops total the loops reused vs re-run across the
+	// measured incremental recompiles.
+	CleanLoops uint64 `json:"clean_loops"`
+	DirtyLoops uint64 `json:"dirty_loops"`
+}
+
 // report is the top-level JSON document.
 type report struct {
-	Runs       int             `json:"runs"`
-	Sequential bool            `json:"sequential"`
-	GoOS       string          `json:"goos"`
-	GoArch     string          `json:"goarch"`
-	Apps       []appResult     `json:"apps"`
-	Throughput []throughputRow `json:"throughput"`
+	Runs          int                `json:"runs"`
+	Sequential    bool               `json:"sequential"`
+	GoOS          string             `json:"goos"`
+	GoArch        string             `json:"goarch"`
+	Apps          []appResult        `json:"apps"`
+	Throughput    []throughputRow    `json:"throughput"`
+	EditRecompile []editRecompileRow `json:"edit_recompile"`
 }
 
 // measureThroughput runs one timed batch: clients goroutines, each
@@ -186,6 +213,116 @@ func measureThroughput(srcs []string, clients int, warm bool) throughputRow {
 		WallUS:         wall.Microseconds(),
 		CompilesPerSec: float64(compiles) / wall.Seconds(),
 		MemoHitRate:    rate,
+	}
+}
+
+// synthLoops generates an n-loop program whose loops are long scalar
+// temporary chains bracketed by one region read and one region write:
+// front-half (parse/check/normalize/infer) work dominates, while each
+// loop contributes only a handful of constraints, modeling a large
+// edit-heavy source where full recompiles are front-half-bound.
+func synthLoops(n int) string {
+	const stmts = 60
+	var b strings.Builder
+	b.WriteString("region Grid { a: scalar, b: scalar }\n")
+	for l := 0; l < n; l++ {
+		b.WriteString("for i in Grid {\n")
+		fmt.Fprintf(&b, "  t0 = Grid[i].a + %d\n", l)
+		for k := 1; k < stmts; k++ {
+			fmt.Fprintf(&b, "  t%d = t%d * t%d + %d\n", k, k-1, k-1, k)
+		}
+		fmt.Fprintf(&b, "  Grid[i].b = t%d\n", stmts-1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// editLoop edits the (i mod loops)-th top-level loop of src by
+// duplicating its first plain statement line — a realistic one-loop
+// edit that changes the loop's token fingerprint.
+func editLoop(src string, i int) (string, error) {
+	seg, err := lang.SplitSource(src)
+	if err != nil {
+		return "", err
+	}
+	if len(seg.Loops) == 0 {
+		return "", fmt.Errorf("no loops to edit")
+	}
+	s := seg.LoopSeg(i % len(seg.Loops))
+	loop := src[s.Start:s.End]
+	for _, line := range strings.SplitAfter(loop, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || !strings.HasSuffix(line, "\n") || strings.ContainsAny(t, "{}") || strings.HasPrefix(t, "//") {
+			continue
+		}
+		loop = strings.Replace(loop, line, line+line, 1)
+		return src[:s.Start] + loop + src[s.End:], nil
+	}
+	return "", fmt.Errorf("loop %d has no editable statement", i%len(seg.Loops))
+}
+
+// measureEditRecompile replays runs single-loop edits against two warm
+// services — one serving full-pipeline recompiles, one serving
+// incremental recompiles under a single key — timing both compiles of
+// every edited version. Separate services mean separate solver memo
+// caches: neither path warms the other's cache mid-measurement, so each
+// side's p50 is what a dedicated service of that kind would deliver for
+// the same edit-heavy traffic.
+func measureEditRecompile(name, src string, runs int) editRecompileRow {
+	dpl.Default().Reset()
+	svFull := autopart.NewService(autopart.ServiceOptions{})
+	svIncr := autopart.NewService(autopart.ServiceOptions{})
+	const key = "bench"
+	c, err := svIncr.CompileIncremental(key, src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compilebench: edit-recompile %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	loops := len(c.Parallel)
+	if _, err := svFull.Compile(src); err != nil {
+		fmt.Fprintf(os.Stderr, "compilebench: edit-recompile %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	cur := src
+	var incrS, fullS []time.Duration
+	before := svIncr.Stats()
+	for i := 0; i < runs; i++ {
+		edited, err := editLoop(cur, i)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compilebench: edit-recompile %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		if _, err := svFull.Compile(edited); err != nil {
+			fmt.Fprintf(os.Stderr, "compilebench: edit-recompile %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fullS = append(fullS, time.Since(start))
+		start = time.Now()
+		if _, err := svIncr.CompileIncremental(key, edited); err != nil {
+			fmt.Fprintf(os.Stderr, "compilebench: edit-recompile %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		incrS = append(incrS, time.Since(start))
+		cur = edited
+	}
+	after := svIncr.Stats()
+
+	full, incr := p50(fullS), p50(incrS)
+	speedup := 0.0
+	if incr > 0 {
+		speedup = float64(full) / float64(incr)
+	}
+	return editRecompileRow{
+		Name:             name,
+		Loops:            loops,
+		Edits:            runs,
+		WarmFullP50US:    full.Microseconds(),
+		IncrementalP50US: incr.Microseconds(),
+		Speedup:          speedup,
+		CleanLoops:       after.IncrementalCleanLoops - before.IncrementalCleanLoops,
+		DirtyLoops:       after.IncrementalDirtyLoops - before.IncrementalDirtyLoops,
 	}
 }
 
@@ -311,6 +448,19 @@ func main() {
 		}
 	}
 
+	// Edit-recompile latency: the five builtins plus a 50-loop synthetic
+	// whose compile time is front-half-bound, the shape incremental
+	// recompilation targets. Edit rounds are floored at 40 so the p50s
+	// are stable even at the default -runs.
+	editRounds := *runs
+	if editRounds < 40 {
+		editRounds = 40
+	}
+	for _, app := range apps {
+		rep.EditRecompile = append(rep.EditRecompile, measureEditRecompile(app.name, app.src, editRounds))
+	}
+	rep.EditRecompile = append(rep.EditRecompile, measureEditRecompile("Synth50", synthLoops(50), editRounds))
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "compilebench:", err)
@@ -336,5 +486,10 @@ func main() {
 	for _, row := range rep.Throughput {
 		fmt.Printf("  service %2d clients %-4s %7.1f compiles/sec  (memo hit rate %.3f)\n",
 			row.Clients, row.Mode, row.CompilesPerSec, row.MemoHitRate)
+	}
+	for _, row := range rep.EditRecompile {
+		fmt.Printf("  edit-recompile %-9s full p50 %8.1fus  incremental p50 %8.1fus  speedup %5.2fx  (%d clean / %d dirty loops)\n",
+			row.Name, float64(row.WarmFullP50US), float64(row.IncrementalP50US),
+			row.Speedup, row.CleanLoops, row.DirtyLoops)
 	}
 }

@@ -442,6 +442,29 @@ func (s *System) Fingerprint128() [2]uint64 {
 	return s.fp
 }
 
+// OrderedFingerprint128 returns a 128-bit fingerprint of the conjunct
+// *sequence*: unlike Fingerprint128 it distinguishes orderings of the
+// same multiset. The solver's unification-round memo needs that
+// sensitivity because Algorithm 3's greedy winner depends on graph
+// construction order, which follows conjunct order. Computed in one
+// pass over the cached per-conjunct hashes; not cached on the system
+// (callers memoize by pointer where it matters).
+func (s *System) OrderedFingerprint128() [2]uint64 {
+	const p1, p2 = 0x9e3779b97f4a7c15, 0xc2b2ae3d27d4eb4f
+	f := [2]uint64{uint64(len(s.Preds)) + 1, uint64(len(s.Subsets)) + 1}
+	for _, p := range s.Preds {
+		h := p.hash128()
+		f[0] = (f[0] ^ h[0]) * p1
+		f[1] = (f[1] ^ h[1]) * p2
+	}
+	for _, c := range s.Subsets {
+		h := c.hash128()
+		f[0] = (f[0] ^ h[0]) * p1
+		f[1] = (f[1] ^ h[1]) * p2
+	}
+	return f
+}
+
 // Subst replaces a partition symbol with an expression throughout the
 // system and drops resulting tautologies and duplicates. Deduplication
 // matters for soundness: the final entailment check removes a conjunct

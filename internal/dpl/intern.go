@@ -394,6 +394,49 @@ func Hash128(e Expr) [2]uint64 { return info(e).h }
 // (e.g. predicate regions).
 func HashString128(s string) [2]uint64 { return hash128(s) }
 
+// Hasher128 is the streaming form of HashString128: feeding it bytes
+// piecewise yields exactly HashString128 of their concatenation,
+// without materializing the concatenation. The zero value is not ready
+// for use; construct with NewHasher128.
+type Hasher128 struct {
+	h1, h2 uint64
+}
+
+// NewHasher128 returns a streaming hasher in its initial state.
+func NewHasher128() Hasher128 {
+	return Hasher128{h1: 14695981039346656037, h2: 0x9e3779b97f4a7c15}
+}
+
+// WriteString folds s into the running hashes.
+func (h *Hasher128) WriteString(s string) {
+	const (
+		prime1 = 1099511628211
+		prime2 = 0x00000100000001b5
+	)
+	h1, h2 := h.h1, h.h2
+	for i := 0; i < len(s); i++ {
+		b := uint64(s[i])
+		h1 = (h1 ^ b) * prime1
+		h2 = (h2 ^ b) * prime2
+	}
+	h.h1, h.h2 = h1, h2
+}
+
+// WriteByte folds one byte into the running hashes. The error is always
+// nil; the signature matches io.ByteWriter.
+func (h *Hasher128) WriteByte(b byte) error {
+	const (
+		prime1 = 1099511628211
+		prime2 = 0x00000100000001b5
+	)
+	h.h1 = (h.h1 ^ uint64(b)) * prime1
+	h.h2 = (h.h2 ^ uint64(b)) * prime2
+	return nil
+}
+
+// Sum128 returns the hash of everything written so far.
+func (h *Hasher128) Sum128() [2]uint64 { return [2]uint64{h.h1, h.h2} }
+
 // opKey identifies an image/preimage expression by its interned child
 // and the two string fields. All four unary-op shards share this shape.
 type opKey struct {

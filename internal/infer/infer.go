@@ -114,6 +114,18 @@ type Inferencer struct {
 // New creates an Inferencer for a program.
 func New(prog *lang.Program) *Inferencer { return &Inferencer{prog: prog} }
 
+// SymCounter returns the number of partition symbols handed out so far.
+// A loop's inference output depends only on its IR, the program header,
+// and this counter's value when InferLoop starts — the basis of
+// incremental reuse: a retained Result is valid for an unedited loop
+// exactly when the counter at its position matches the retained base.
+func (inf *Inferencer) SymCounter() int { return inf.gen.n }
+
+// SetSymCounter forces the symbol counter, letting the incremental
+// frontend skip clean loops while keeping the symbols of later loops
+// identical to a cold compile's.
+func (inf *Inferencer) SetSymCounter(n int) { inf.gen.n = n }
+
 // InferProgram infers constraints for every loop.
 func (inf *Inferencer) InferProgram(loops []*ir.Loop) ([]*Result, error) {
 	out := make([]*Result, 0, len(loops))

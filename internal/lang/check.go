@@ -8,15 +8,54 @@ import (
 // name uniqueness, region/field existence, field kinds, and assert symbol
 // resolution (the pipeline's check pass).
 func Check(prog *Program) error {
+	regions, externs, err := checkDecls(prog)
+	if err != nil {
+		return err
+	}
+	for _, l := range prog.Loops {
+		if err := checkLoop(prog, l, regions, externs); err != nil {
+			return err
+		}
+	}
+	return checkAsserts(prog, regions, externs)
+}
+
+// CheckLoop checks a single loop against a program whose declarations
+// and asserts are already known to be valid. The incremental frontend
+// re-checks only the dirty loops of an edited program this way; a loop
+// whose tokens and header are unchanged cannot newly fail, so skipping
+// clean loops preserves Check's verdict exactly.
+func CheckLoop(prog *Program, l *Loop) error {
+	regions := map[string]*RegionDecl{}
+	for _, r := range prog.Regions {
+		regions[r.Name] = r
+	}
+	externs := map[string]*ExternDecl{}
+	for _, e := range prog.Externs {
+		externs[e.Name] = e
+	}
+	return checkLoop(prog, l, regions, externs)
+}
+
+func checkLoop(prog *Program, l *Loop, regions map[string]*RegionDecl, externs map[string]*ExternDecl) error {
+	if _, ok := regions[l.Region]; !ok {
+		return errorf("C011", l.Pos, "loop iterates over unknown region %q", l.Region)
+	}
+	return checkStmts(prog, l.Body, regions, externs)
+}
+
+// checkDecls validates the declaration header (regions, functions,
+// externs) and returns the name maps the loop and assert checks consult.
+func checkDecls(prog *Program) (map[string]*RegionDecl, map[string]*ExternDecl, error) {
 	regions := map[string]*RegionDecl{}
 	for _, r := range prog.Regions {
 		if _, dup := regions[r.Name]; dup {
-			return errorf("C001", r.Pos, "duplicate region %q", r.Name)
+			return nil, nil, errorf("C001", r.Pos, "duplicate region %q", r.Name)
 		}
 		fields := map[string]bool{}
 		for _, f := range r.Fields {
 			if fields[f.Name] {
-				return errorf("C002", r.Pos, "region %q: duplicate field %q", r.Name, f.Name)
+				return nil, nil, errorf("C002", r.Pos, "region %q: duplicate field %q", r.Name, f.Name)
 			}
 			fields[f.Name] = true
 		}
@@ -31,12 +70,12 @@ func Check(prog *Program) error {
 		cur := r.Space
 		for cur != "" {
 			if seen[cur] {
-				return errorf("C003", r.Pos, "region %q: index-space sharing cycle through %q", r.Name, cur)
+				return nil, nil, errorf("C003", r.Pos, "region %q: index-space sharing cycle through %q", r.Name, cur)
 			}
 			seen[cur] = true
 			next, ok := regions[cur]
 			if !ok {
-				return errorf("C004", r.Pos, "region %q shares index space with unknown region %q", r.Name, cur)
+				return nil, nil, errorf("C004", r.Pos, "region %q shares index space with unknown region %q", r.Name, cur)
 			}
 			cur = next.Space
 		}
@@ -46,46 +85,52 @@ func Check(prog *Program) error {
 		for _, f := range r.Fields {
 			if f.Kind != ScalarKind {
 				if _, ok := regions[f.Target]; !ok {
-					return errorf("C005", r.Pos, "region %q: field %q targets unknown region %q", r.Name, f.Name, f.Target)
+					return nil, nil, errorf("C005", r.Pos, "region %q: field %q targets unknown region %q", r.Name, f.Name, f.Target)
 				}
 			}
 		}
 	}
 
-	funcs := map[string]*FuncDecl{}
-	for _, f := range prog.Funcs {
-		if _, dup := funcs[f.Name]; dup {
-			return errorf("C006", f.Pos, "duplicate function %q", f.Name)
-		}
-		if _, ok := regions[f.From]; !ok {
-			return errorf("C007", f.Pos, "function %q: unknown domain region %q", f.Name, f.From)
-		}
-		if _, ok := regions[f.To]; !ok {
-			return errorf("C008", f.Pos, "function %q: unknown codomain region %q", f.Name, f.To)
-		}
-		funcs[f.Name] = f
+	if _, err := funcsOf(prog, regions); err != nil {
+		return nil, nil, err
 	}
 
 	externs := map[string]*ExternDecl{}
 	for _, e := range prog.Externs {
 		if _, dup := externs[e.Name]; dup {
-			return errorf("C009", e.Pos, "duplicate extern partition %q", e.Name)
+			return nil, nil, errorf("C009", e.Pos, "duplicate extern partition %q", e.Name)
 		}
 		if _, ok := regions[e.Region]; !ok {
-			return errorf("C010", e.Pos, "extern partition %q: unknown region %q", e.Name, e.Region)
+			return nil, nil, errorf("C010", e.Pos, "extern partition %q: unknown region %q", e.Name, e.Region)
 		}
 		externs[e.Name] = e
 	}
+	return regions, externs, nil
+}
 
-	for _, l := range prog.Loops {
-		if _, ok := regions[l.Region]; !ok {
-			return errorf("C011", l.Pos, "loop iterates over unknown region %q", l.Region)
+// funcsOf validates function declarations and returns their name map.
+func funcsOf(prog *Program, regions map[string]*RegionDecl) (map[string]*FuncDecl, error) {
+	funcs := map[string]*FuncDecl{}
+	for _, f := range prog.Funcs {
+		if _, dup := funcs[f.Name]; dup {
+			return nil, errorf("C006", f.Pos, "duplicate function %q", f.Name)
 		}
-		if err := checkStmts(prog, l.Body, regions, externs); err != nil {
-			return err
+		if _, ok := regions[f.From]; !ok {
+			return nil, errorf("C007", f.Pos, "function %q: unknown domain region %q", f.Name, f.From)
 		}
+		if _, ok := regions[f.To]; !ok {
+			return nil, errorf("C008", f.Pos, "function %q: unknown codomain region %q", f.Name, f.To)
+		}
+		funcs[f.Name] = f
 	}
+	return funcs, nil
+}
 
+func checkAsserts(prog *Program, regions map[string]*RegionDecl, externs map[string]*ExternDecl) error {
+	funcs, err := funcsOf(prog, regions)
+	if err != nil {
+		return err
+	}
 	for _, a := range prog.Asserts {
 		if err := checkAssertExpr(a, a.L, regions, externs, funcs); err != nil {
 			return err

@@ -19,6 +19,17 @@ func NewLexer(src string) *Lexer {
 	return &Lexer{src: src, line: 1, col: 1}
 }
 
+// NewLexerAt creates a lexer over a fragment of a larger file, reporting
+// positions as if the fragment started at base. The incremental frontend
+// uses it to reparse a single dirty loop with positions identical to a
+// full parse of the whole file.
+func NewLexerAt(src string, base Pos) *Lexer {
+	if !base.Valid() {
+		return NewLexer(src)
+	}
+	return &Lexer{src: src, line: base.Line, col: base.Col}
+}
+
 func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
 
 func (l *Lexer) peek() byte {
@@ -48,27 +59,52 @@ func (l *Lexer) advance() byte {
 }
 
 func (l *Lexer) skipSpaceAndComments() {
-	for l.off < len(l.src) {
-		c := l.peek()
-		switch {
-		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
-			l.advance()
-		case c == '#' || (c == '/' && l.peek2() == '/'):
-			for l.off < len(l.src) && l.peek() != '\n' {
-				l.advance()
+	// Hot path of segmentation and parsing: scan bytes with local
+	// position state instead of per-byte advance() calls. Columns only
+	// need adjusting at the end of a same-line run; newlines reset them.
+	src, i, line, col := l.src, l.off, l.line, l.col
+	for i < len(src) {
+		switch c := src[i]; {
+		case c == '\n':
+			i++
+			line++
+			col = 1
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			col++
+		case c == '#' || (c == '/' && i+1 < len(src) && src[i+1] == '/'):
+			for i < len(src) && src[i] != '\n' {
+				i++
+				col++
 			}
 		default:
+			l.off, l.line, l.col = i, line, col
 			return
 		}
 	}
+	l.off, l.line, l.col = i, line, col
 }
 
 func isIdentStart(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c))
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+		(c >= 0x80 && unicode.IsLetter(rune(c)))
 }
 
 func isIdentCont(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// oneCharText maps single-character token bytes to static strings so
+// Next never allocates for punctuation (the bulk of tokens in dense
+// numeric code).
+var oneCharText [256]string
+
+func init() {
+	for _, c := range "{}[](),:.+-*/<=!" {
+		oneCharText[byte(c)] = string(c)
+	}
 }
 
 // Next returns the next token; it returns EOF forever once exhausted.
@@ -82,10 +118,15 @@ func (l *Lexer) Next() (Token, error) {
 
 	switch {
 	case isIdentStart(c):
+		// Identifiers never contain newlines, so the column advances by
+		// the scanned length in one step.
 		start := l.off
-		for l.off < len(l.src) && isIdentCont(l.peek()) {
-			l.advance()
+		i := l.off
+		for i < len(l.src) && isIdentCont(l.src[i]) {
+			i++
 		}
+		l.col += i - l.off
+		l.off = i
 		text := l.src[start:l.off]
 		// max= / min= reduction operators.
 		if (text == "max" || text == "min") && l.peek() == '=' && l.peek2() != '=' {
@@ -100,11 +141,14 @@ func (l *Lexer) Next() (Token, error) {
 		}
 		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
 
-	case unicode.IsDigit(rune(c)):
+	case isDigit(c):
 		start := l.off
-		for l.off < len(l.src) && (unicode.IsDigit(rune(l.peek())) || l.peek() == '.') {
-			l.advance()
+		i := l.off
+		for i < len(l.src) && (isDigit(l.src[i]) || l.src[i] == '.') {
+			i++
 		}
+		l.col += i - l.off
+		l.off = i
 		text := l.src[start:l.off]
 		if strings.Count(text, ".") > 1 {
 			return Token{}, errorf("L001", pos, "malformed number %q", text)
@@ -119,7 +163,7 @@ func (l *Lexer) Next() (Token, error) {
 	}
 	one := func(k Kind) (Token, error) {
 		l.advance()
-		return Token{Kind: k, Text: string(c), Pos: pos}, nil
+		return Token{Kind: k, Text: oneCharText[c], Pos: pos}, nil
 	}
 
 	switch c {

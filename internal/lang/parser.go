@@ -38,6 +38,28 @@ func ParseSource(src string) (*Program, error) {
 	return p.parseProgram()
 }
 
+// ParseLoopAt parses a single top-level loop from a fragment of a larger
+// file, with positions reported as if the fragment started at base (the
+// segment's Pos from SplitSource). The incremental frontend reparses
+// exactly the dirty loops this way, so their AST positions — and any
+// parse error — match a full parse of the edited file byte for byte.
+func ParseLoopAt(fragment string, base Pos) (*Loop, error) {
+	p := &Parser{lex: NewLexerAt(fragment, base)}
+	p.advance()
+	p.advance()
+	if p.err != nil {
+		return nil, p.err
+	}
+	l, err := p.parseLoop()
+	if err != nil {
+		return nil, err
+	}
+	if p.err == nil && p.tok.Kind != EOF {
+		return nil, errorf("P002", p.tok.Pos, "expected declaration, loop, or assert; found %s", p.tok)
+	}
+	return l, p.err
+}
+
 func (p *Parser) advance() {
 	if p.err != nil {
 		return

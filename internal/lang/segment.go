@@ -1,0 +1,214 @@
+package lang
+
+import (
+	"autopart/internal/dpl"
+)
+
+// This file implements loop-granular source segmentation, the diffing
+// substrate of incremental recompilation: a token-level scan splits a
+// source file into its top-level constructs (region, function, extern,
+// assert, for) and fingerprints each one over its token stream. Because
+// the fingerprint sees tokens, not bytes, comment and whitespace edits
+// leave it unchanged — a recompile after such an edit marks no loop
+// dirty. Segmentation never validates grammar beyond brace balance;
+// malformed input makes SplitSource fail, and callers fall back to a
+// full cold parse so errors surface exactly as they always have.
+
+// Segment is one top-level construct of a source file.
+type Segment struct {
+	// Kind is the construct's introducing keyword: KwRegion, KwFunction,
+	// KwExtern, KwAssert, or KwFor.
+	Kind Kind
+	// Start and End are the byte offsets of the construct's first token
+	// and of the end of its last token; src[Start:End] reparses the
+	// construct (comments inside the range are skipped by the lexer).
+	Start, End int
+	// Pos is the source position of the first token, the base for
+	// position-correct reparses of this segment alone.
+	Pos Pos
+	// FP is the 128-bit fingerprint of the construct's token stream.
+	FP [2]uint64
+}
+
+// Segmented is the decomposition of a source file into top-level
+// constructs plus the combined fingerprint of everything that is not a
+// loop (the "header": declarations and asserts).
+type Segmented struct {
+	// Segments lists every construct in source order.
+	Segments []Segment
+	// Loops indexes the KwFor entries of Segments, in source order — the
+	// per-loop diff units.
+	Loops []int
+	// HeaderFP fingerprints the token streams of all non-loop segments
+	// in order. Any header change invalidates every retained artifact,
+	// because declarations scope the meaning of every loop.
+	HeaderFP [2]uint64
+}
+
+// LoopFP returns the fingerprint of the i-th top-level loop.
+func (sg *Segmented) LoopFP(i int) [2]uint64 { return sg.Segments[sg.Loops[i]].FP }
+
+// LoopSeg returns the segment of the i-th top-level loop.
+func (sg *Segmented) LoopSeg(i int) Segment { return sg.Segments[sg.Loops[i]] }
+
+// constructKwOf maps a raw word to its construct keyword, if it is one.
+func constructKwOf(word string) (Kind, bool) {
+	switch word {
+	case "region":
+		return KwRegion, true
+	case "function":
+		return KwFunction, true
+	case "extern":
+		return KwExtern, true
+	case "assert":
+		return KwAssert, true
+	case "for":
+		return KwFor, true
+	}
+	return 0, false
+}
+
+// SplitSource scans src into top-level construct segments with
+// fingerprints. It fails on unbalanced braces or top-level content that
+// cannot belong to any construct; callers treat failure as "not
+// segmentable" and run the full frontend, which reports the
+// authoritative error (SplitSource's own errors are never user-facing).
+//
+// The scan fingerprints "runs" — maximal byte sequences delimited by
+// whitespace and comments — rather than lexed tokens. Tokens never span
+// whitespace and lexing is deterministic per run, so equal run
+// sequences lex to equal token streams: fingerprint equality still
+// guarantees token-stream equality, at a fraction of full lexing's
+// cost. The converse is weaker than with token fingerprints — an edit
+// that only moves whitespace *inside* an expression ("a+b" → "a + b")
+// changes the run structure and marks the loop dirty — which costs a
+// recompile of that loop, never correctness. Line-level whitespace and
+// comment edits keep every fingerprint unchanged, as before.
+func SplitSource(src string) (*Segmented, error) {
+	sg := &Segmented{}
+	var (
+		cur       *Segment
+		curH      = dpl.NewHasher128()
+		headerH   = dpl.NewHasher128()
+		depth     int
+		braced    bool // current construct is brace-delimited (region, for)
+		closed    bool // current braced construct's outer brace has closed
+		sawBraces bool // current braced construct has opened its brace
+	)
+	finish := func() {
+		if cur == nil {
+			return
+		}
+		cur.FP = curH.Sum128()
+		if cur.Kind == KwFor {
+			sg.Loops = append(sg.Loops, len(sg.Segments))
+		} else {
+			headerH.WriteByte(1)
+		}
+		sg.Segments = append(sg.Segments, *cur)
+		cur = nil
+		curH = dpl.NewHasher128()
+	}
+	fail := func(line, col int, format string, args ...any) (*Segmented, error) {
+		return nil, errorf("P002", Pos{Line: line, Col: col}, format, args...)
+	}
+
+	i, line, col := 0, 1, 1
+	for i < len(src) {
+		c := src[i]
+		if c == '\n' {
+			i, line, col = i+1, line+1, 1
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\r' {
+			i++
+			col++
+			continue
+		}
+		if c == '#' || (c == '/' && i+1 < len(src) && src[i+1] == '/') {
+			for i < len(src) && src[i] != '\n' {
+				i++
+				col++
+			}
+			continue
+		}
+
+		// A run: maximal bytes up to whitespace or a comment start.
+		start, startLine, startCol := i, line, col
+		j := i
+		for j < len(src) {
+			b := src[j]
+			if b == ' ' || b == '\t' || b == '\r' || b == '\n' || b == '#' {
+				break
+			}
+			if b == '/' && j+1 < len(src) && src[j+1] == '/' {
+				break
+			}
+			j++
+		}
+		run := src[i:j]
+		col += j - i
+		i = j
+
+		isKw := false
+		if depth == 0 {
+			if kw, ok := constructKwOf(run); ok {
+				finish()
+				cur = &Segment{Kind: kw, Start: start, Pos: Pos{Line: startLine, Col: startCol}}
+				braced = kw == KwRegion || kw == KwFor
+				closed, sawBraces = false, false
+				isKw = true
+			}
+		}
+		if cur == nil {
+			return fail(startLine, startCol, "expected declaration, loop, or assert; found %q", run)
+		}
+		if !isKw {
+			// Track brace depth through the run, rejecting content after a
+			// completed region/loop exactly where the token scan would: a
+			// completed construct can only be followed by another
+			// construct keyword.
+			for k := 0; k < len(run); k++ {
+				switch run[k] {
+				case '{':
+					if depth == 0 && braced && closed {
+						return fail(startLine, startCol, "expected declaration, loop, or assert; found %q", run)
+					}
+					depth++
+					sawBraces = true
+				case '}':
+					depth--
+					if depth < 0 {
+						return fail(startLine, startCol, "unmatched '}'")
+					}
+					if depth == 0 && braced && sawBraces {
+						closed = true
+					}
+				default:
+					if depth == 0 && braced && closed {
+						return fail(startLine, startCol, "expected declaration, loop, or assert; found %q", run)
+					}
+				}
+			}
+		}
+		cur.End = i
+		curH.WriteString(run)
+		curH.WriteByte(0)
+		if cur.Kind != KwFor {
+			// Header constructs also stream into the combined header
+			// fingerprint; finish() appends a 1-byte terminator per
+			// construct so adjacent constructs cannot alias.
+			headerH.WriteString(run)
+			headerH.WriteByte(0)
+		}
+	}
+	if depth != 0 {
+		return fail(line, col, "unexpected end of input in block")
+	}
+	if cur != nil && braced && !closed {
+		return fail(line, col, "unexpected end of input in block")
+	}
+	finish()
+	sg.HeaderFP = headerH.Sum128()
+	return sg, nil
+}

@@ -1,0 +1,292 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"autopart/internal/dpl"
+	"autopart/internal/infer"
+	"autopart/internal/ir"
+	"autopart/internal/lang"
+)
+
+// Incremental recompilation: a Session whose Config.Incremental is set
+// retains the front-half artifacts of its last successful compile —
+// per-loop AST, normalized IR, and inference results, keyed by the
+// loop's token fingerprint (internal/lang SplitSource) — and diffs each
+// new source against them. Clean loops reuse their artifacts wholesale;
+// only dirty loops pay parse→check→normalize→infer. The solve pass then
+// consumes the merged artifact set, where the shared solver.MemoCache
+// already reuses verdicts, so an edit-heavy client pays roughly one
+// loop's front half plus a warm solve per recompile.
+//
+// Reuse is sound because of three invariants:
+//   - artifacts are immutable once built (the solver, relaxation, and
+//     rewrite passes never mutate inference results or their systems);
+//   - a loop's AST/IR depend only on its own tokens plus the header,
+//     and any header change invalidates the whole retained state;
+//   - a loop's inference output additionally depends on the program-
+//     global symbol counter at its position, so a retained Result is
+//     reused only when its recorded symbol base matches — guaranteeing
+//     the incremental compile assigns byte-identical symbol names.
+//
+// Retained constraint systems cache dense dpl.Table ids internally, and
+// those ids are only meaningful within one table generation; the state
+// records the generation it was built under and is discarded wholesale
+// if the table has been reclaimed since (Service compiles hold an epoch,
+// so the generation cannot move mid-compile).
+
+// cfgKey is the subset of Config that changes compilation semantics; a
+// retained state is only reusable under an identical key.
+type cfgKey struct {
+	relax, private bool
+}
+
+func cfgKeyOf(c Config) cfgKey {
+	return cfgKey{relax: !c.DisableRelaxation, private: !c.DisablePrivateSubPartitions}
+}
+
+// loopArtifact is one loop's retained front-half output.
+type loopArtifact struct {
+	fp  [2]uint64
+	pos int // ordinal in the retained program, for stable claiming
+	ast *lang.Loop
+	irl *ir.Loop
+	inf *infer.Result
+	// symBase is the symbol counter when the loop's inference started;
+	// symCount is how many symbols it consumed.
+	symBase, symCount int
+	claimed           bool
+}
+
+// IncrState is the retained artifact set of one successful compile.
+type IncrState struct {
+	gen      uint64 // dpl.Default() generation the artifacts were built under
+	cfg      cfgKey
+	headerFP [2]uint64
+	program  *lang.Program
+	loops    []*loopArtifact
+	index    map[[2]uint64][]*loopArtifact
+}
+
+// usable reports whether the retained state can seed an incremental
+// compile of a program with the given header fingerprint and config.
+func (st *IncrState) usable(cfg Config, headerFP [2]uint64) bool {
+	return st != nil &&
+		st.gen == dpl.Default().Generation() &&
+		st.cfg == cfgKeyOf(cfg) &&
+		st.headerFP == headerFP &&
+		st.program != nil
+}
+
+func (st *IncrState) resetClaims() {
+	for _, a := range st.loops {
+		a.claimed = false
+	}
+}
+
+// claim hands out an unclaimed artifact with the given fingerprint,
+// preferring one at the same loop position (symbol bases then line up,
+// maximizing inference reuse when a program contains identical loops).
+// Each artifact is claimed at most once so duplicate loops map
+// one-to-one.
+func (st *IncrState) claim(fp [2]uint64, pos int) *loopArtifact {
+	var pick *loopArtifact
+	for _, a := range st.index[fp] {
+		if a.claimed {
+			continue
+		}
+		if a.pos == pos {
+			pick = a
+			break
+		}
+		if pick == nil {
+			pick = a
+		}
+	}
+	if pick != nil {
+		pick.claimed = true
+	}
+	return pick
+}
+
+// symSpan records one loop's symbol consumption during the infer pass.
+type symSpan struct {
+	base, count int
+}
+
+// retain snapshots the session's per-loop artifacts for the next
+// compile on this session. Called by the Runner after every successful
+// incremental compile; a failed compile leaves the previous retained
+// state in place (it still describes the last successful compile, which
+// is exactly what the next edit should be diffed against).
+func (s *Session) retain() {
+	if s.Seg == nil || s.Program == nil || s.Loops == nil || s.Inference == nil {
+		s.Incr = nil
+		return
+	}
+	n := len(s.Program.Loops)
+	if len(s.Seg.Loops) != n || len(s.Loops) != n || len(s.Inference) != n || len(s.symSpans) != n {
+		s.Incr = nil
+		return
+	}
+	st := &IncrState{
+		gen:      dpl.Default().Generation(),
+		cfg:      cfgKeyOf(s.Config),
+		headerFP: s.Seg.HeaderFP,
+		program:  s.Program,
+		index:    make(map[[2]uint64][]*loopArtifact, n),
+	}
+	for i := 0; i < n; i++ {
+		a := &loopArtifact{
+			fp:       s.Seg.LoopFP(i),
+			pos:      i,
+			ast:      s.Program.Loops[i],
+			irl:      s.Loops[i],
+			inf:      s.Inference[i],
+			symBase:  s.symSpans[i].base,
+			symCount: s.symSpans[i].count,
+		}
+		st.loops = append(st.loops, a)
+		st.index[a.fp] = append(st.index[a.fp], a)
+	}
+	s.Incr = st
+}
+
+// claimedAt returns the artifact reused for loop i, nil when dirty.
+func (s *Session) claimedAt(i int) *loopArtifact {
+	if i < len(s.claimed) {
+		return s.claimed[i]
+	}
+	return nil
+}
+
+// runParseIncremental is the parse pass under Config.Incremental:
+// segment the source, diff loop fingerprints against the retained
+// state, reuse clean loops' ASTs, and reparse only dirty loops (with
+// positions identical to a full parse). Any condition that prevents
+// diffing — unsegmentable source, no or stale retained state, header
+// edits, config or intern-generation changes — falls back to the cold
+// full parse, so results and errors are byte-identical to a fresh
+// compile in every case.
+func runParseIncremental(s *Session) error {
+	seg, segErr := lang.SplitSource(s.Source)
+	if segErr != nil {
+		// Unsegmentable (lexically broken or malformed at top level):
+		// the full parser is authoritative for the error, and there is
+		// nothing to retain.
+		s.incrCold = true
+		prog, err := lang.ParseSource(s.Source)
+		if err != nil {
+			return err
+		}
+		s.Program = prog
+		return nil
+	}
+	s.Seg = seg
+
+	prev := s.Incr
+	if !prev.usable(s.Config, seg.HeaderFP) {
+		s.incrCold = true
+		prog, err := lang.ParseSource(s.Source)
+		if err != nil {
+			return err
+		}
+		s.Program = prog
+		s.claimed = make([]*loopArtifact, len(prog.Loops))
+		return nil
+	}
+
+	prev.resetClaims()
+	prog := &lang.Program{
+		Regions: prev.program.Regions,
+		Funcs:   prev.program.Funcs,
+		Externs: prev.program.Externs,
+		Asserts: prev.program.Asserts,
+	}
+	s.claimed = make([]*loopArtifact, len(seg.Loops))
+	for i := range seg.Loops {
+		sgm := seg.LoopSeg(i)
+		if art := prev.claim(sgm.FP, i); art != nil {
+			s.claimed[i] = art
+			s.incrReusedAST++
+			prog.Loops = append(prog.Loops, art.ast)
+			continue
+		}
+		l, err := lang.ParseLoopAt(s.Source[sgm.Start:sgm.End], sgm.Pos)
+		if err != nil {
+			return err
+		}
+		prog.Loops = append(prog.Loops, l)
+	}
+	s.Program = prog
+	return nil
+}
+
+// runCheckIncremental re-checks only dirty loops. The header is token-
+// identical to one that passed Check, so declaration and assert checks
+// cannot newly fail; clean loops are likewise guaranteed to pass.
+func runCheckIncremental(s *Session) error {
+	if s.incrCold || s.claimed == nil {
+		return lang.Check(s.Program)
+	}
+	for i, l := range s.Program.Loops {
+		if s.claimedAt(i) != nil {
+			continue
+		}
+		if err := lang.CheckLoop(s.Program, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runNormalizeIncremental reuses clean loops' IR and normalizes only
+// dirty loops, preserving NormalizeProgram's error shape.
+func runNormalizeIncremental(s *Session) error {
+	loops := make([]*ir.Loop, 0, len(s.Program.Loops))
+	for i, l := range s.Program.Loops {
+		if art := s.claimedAt(i); art != nil {
+			loops = append(loops, art.irl)
+			s.incrReusedIR++
+			continue
+		}
+		nl, err := ir.NormalizeLoop(s.Program, l)
+		if err != nil {
+			return fmt.Errorf("loop %d (for %s in %s): %w", i, l.Var, l.Region, err)
+		}
+		loops = append(loops, nl)
+	}
+	s.Loops = loops
+	return nil
+}
+
+// runInferIncremental walks loops in order, reusing a retained Result
+// whenever the loop is clean and the program-global symbol counter
+// matches its retained base (so all symbol names match a cold compile),
+// and re-running inference otherwise. It records every loop's symbol
+// span for the next retention. The external assumption system is cheap
+// and order-insensitive, so it is always rebuilt.
+func runInferIncremental(s *Session) error {
+	inf := infer.New(s.Program)
+	results := make([]*infer.Result, len(s.Loops))
+	s.symSpans = make([]symSpan, len(s.Loops))
+	for i, l := range s.Loops {
+		base := inf.SymCounter()
+		if art := s.claimedAt(i); art != nil && art.inf != nil && art.symBase == base {
+			results[i] = art.inf
+			inf.SetSymCounter(base + art.symCount)
+			s.symSpans[i] = symSpan{base: base, count: art.symCount}
+			s.incrReusedInf++
+			continue
+		}
+		res, err := inf.InferLoop(l)
+		if err != nil {
+			return fmt.Errorf("loop %d (for %s in %s): %w", i, l.Var, l.Region, err)
+		}
+		results[i] = res
+		s.symSpans[i] = symSpan{base: base, count: inf.SymCounter() - base}
+	}
+	s.Inference = results
+	s.External, s.ExternalSyms = infer.ExternalSystem(s.Program)
+	return nil
+}

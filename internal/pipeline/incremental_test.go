@@ -1,0 +1,212 @@
+package pipeline
+
+import (
+	"testing"
+)
+
+const incrSrc = `
+region A { x: scalar, y: scalar }
+region B { v: scalar }
+for i in A {
+  A[i].x = A[i].y + 1
+}
+for j in B {
+  B[j].v = 2
+}
+`
+
+// compileIncr runs one incremental compile on s and returns the final
+// metrics snapshot.
+func compileIncr(t *testing.T, s *Session, src string) map[string]int {
+	t.Helper()
+	s.Reset(src, Config{Incremental: true})
+	if err := NewRunner().Run(s); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return s.Metrics()
+}
+
+func TestIncrementalFirstCompileIsCold(t *testing.T) {
+	s := NewSession(incrSrc, Config{Incremental: true})
+	if err := NewRunner().Run(s); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m["incr_cold"] != 1 || m["incr_clean_loops"] != 0 {
+		t.Errorf("first compile: cold=%d clean=%d, want 1/0", m["incr_cold"], m["incr_clean_loops"])
+	}
+	if s.Incr == nil {
+		t.Fatal("no state retained after successful cold incremental compile")
+	}
+	if len(s.Incr.loops) != 2 {
+		t.Fatalf("retained %d loop artifacts, want 2", len(s.Incr.loops))
+	}
+}
+
+func TestIncrementalIdenticalSourceReusesEverything(t *testing.T) {
+	s := NewSession(incrSrc, Config{Incremental: true})
+	if err := NewRunner().Run(s); err != nil {
+		t.Fatal(err)
+	}
+	m := compileIncr(t, s, incrSrc)
+	if m["incr_cold"] != 0 {
+		t.Errorf("recompile fell back to cold: %v", m)
+	}
+	if m["incr_clean_loops"] != 2 || m["incr_dirty_loops"] != 0 {
+		t.Errorf("clean/dirty = %d/%d, want 2/0", m["incr_clean_loops"], m["incr_dirty_loops"])
+	}
+	if m["incr_reused_ir"] != 2 || m["incr_reused_infer"] != 2 {
+		t.Errorf("reused ir/infer = %d/%d, want 2/2", m["incr_reused_ir"], m["incr_reused_infer"])
+	}
+}
+
+func TestIncrementalSingleLoopEditMarksOneDirty(t *testing.T) {
+	s := NewSession(incrSrc, Config{Incremental: true})
+	if err := NewRunner().Run(s); err != nil {
+		t.Fatal(err)
+	}
+	edited := incrSrc[:len(incrSrc)-2] + "  B[j].v = 3\n}\n"
+	m := compileIncr(t, s, edited)
+	if m["incr_cold"] != 0 {
+		t.Fatalf("edit fell back to cold: %v", m)
+	}
+	if m["incr_clean_loops"] != 1 || m["incr_dirty_loops"] != 1 {
+		t.Errorf("clean/dirty = %d/%d, want 1/1", m["incr_clean_loops"], m["incr_dirty_loops"])
+	}
+	// The edited (second) loop re-infers; it did not change its symbol
+	// consumption, so the first loop's artifacts all reuse.
+	if m["incr_reused_infer"] != 1 {
+		t.Errorf("reused_infer = %d, want 1", m["incr_reused_infer"])
+	}
+}
+
+func TestIncrementalCommentEditIsClean(t *testing.T) {
+	s := NewSession(incrSrc, Config{Incremental: true})
+	if err := NewRunner().Run(s); err != nil {
+		t.Fatal(err)
+	}
+	commented := "// harmless banner\n" + incrSrc + "\n// trailing note\n"
+	m := compileIncr(t, s, commented)
+	if m["incr_cold"] != 0 || m["incr_dirty_loops"] != 0 {
+		t.Errorf("comment-only edit: cold=%d dirty=%d, want 0/0", m["incr_cold"], m["incr_dirty_loops"])
+	}
+}
+
+func TestIncrementalHeaderEditFallsBackCold(t *testing.T) {
+	s := NewSession(incrSrc, Config{Incremental: true})
+	if err := NewRunner().Run(s); err != nil {
+		t.Fatal(err)
+	}
+	m := compileIncr(t, s, incrSrc+"\nregion C { w: scalar }\n")
+	if m["incr_cold"] != 1 {
+		t.Errorf("header edit did not fall back cold: %v", m)
+	}
+	if s.Incr == nil {
+		t.Error("cold fallback should still retain new state")
+	}
+}
+
+func TestIncrementalConfigChangeFallsBackCold(t *testing.T) {
+	s := NewSession(incrSrc, Config{Incremental: true})
+	if err := NewRunner().Run(s); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset(incrSrc, Config{Incremental: true, DisableRelaxation: true})
+	if err := NewRunner().Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if m := s.Metrics(); m["incr_cold"] != 1 {
+		t.Errorf("config change did not fall back cold: %v", m)
+	}
+}
+
+func TestIncrementalLoopReorderReuses(t *testing.T) {
+	s := NewSession(incrSrc, Config{Incremental: true})
+	if err := NewRunner().Run(s); err != nil {
+		t.Fatal(err)
+	}
+	reordered := `
+region A { x: scalar, y: scalar }
+region B { v: scalar }
+for j in B {
+  B[j].v = 2
+}
+for i in A {
+  A[i].x = A[i].y + 1
+}
+`
+	m := compileIncr(t, s, reordered)
+	if m["incr_cold"] != 0 || m["incr_clean_loops"] != 2 {
+		t.Errorf("reorder: cold=%d clean=%d, want 0/2", m["incr_cold"], m["incr_clean_loops"])
+	}
+	// Reordered loops reuse AST and IR but not inference: each loop's
+	// symbol base moved, so symbols must be re-assigned to stay byte-
+	// identical to a cold compile. (Both loops here consume the same
+	// number of symbols, but reuse keys on the base actually matching.)
+	if m["incr_reused_ir"] != 2 {
+		t.Errorf("reused_ir = %d, want 2", m["incr_reused_ir"])
+	}
+}
+
+func TestIncrementalFailedCompileKeepsPriorState(t *testing.T) {
+	s := NewSession(incrSrc, Config{Incremental: true})
+	if err := NewRunner().Run(s); err != nil {
+		t.Fatal(err)
+	}
+	// A lexically broken edit fails the parse pass; the retained state
+	// must survive so the next good compile still diffs incrementally.
+	s.Reset(incrSrc+"\nfor k in A { A[k].x = $ }\n", Config{Incremental: true})
+	if err := NewRunner().Run(s); err == nil {
+		t.Fatal("broken source compiled")
+	}
+	m := compileIncr(t, s, incrSrc)
+	if m["incr_cold"] != 0 || m["incr_clean_loops"] != 2 {
+		t.Errorf("after failed compile: cold=%d clean=%d, want 0/2", m["incr_cold"], m["incr_clean_loops"])
+	}
+}
+
+func TestIncrementalDuplicateLoopsClaimOnce(t *testing.T) {
+	dup := `
+region A { x: scalar }
+for i in A {
+  A[i].x = 1
+}
+for i in A {
+  A[i].x = 1
+}
+`
+	s := NewSession(dup, Config{Incremental: true})
+	if err := NewRunner().Run(s); err != nil {
+		t.Fatal(err)
+	}
+	m := compileIncr(t, s, dup)
+	if m["incr_clean_loops"] != 2 || m["incr_reused_infer"] != 2 {
+		t.Errorf("duplicate loops: clean=%d reused_infer=%d, want 2/2", m["incr_clean_loops"], m["incr_reused_infer"])
+	}
+	// Dropping one duplicate claims exactly one artifact.
+	one := `
+region A { x: scalar }
+for i in A {
+  A[i].x = 1
+}
+`
+	m = compileIncr(t, s, one)
+	if m["incr_clean_loops"] != 1 || m["incr_dirty_loops"] != 0 {
+		t.Errorf("dropped duplicate: clean=%d dirty=%d, want 1/0", m["incr_clean_loops"], m["incr_dirty_loops"])
+	}
+}
+
+func TestNonIncrementalMetricsHaveNoIncrKeys(t *testing.T) {
+	s := NewSession(incrSrc, Config{})
+	if err := NewRunner().Run(s); err != nil {
+		t.Fatal(err)
+	}
+	for k := range s.Metrics() {
+		if len(k) >= 5 && k[:5] == "incr_" {
+			t.Errorf("non-incremental compile emitted %s", k)
+		}
+	}
+	if s.Incr != nil {
+		t.Error("non-incremental compile retained state")
+	}
+}

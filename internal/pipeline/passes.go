@@ -26,6 +26,9 @@ func init() {
 }
 
 func runParse(s *Session) error {
+	if s.Config.Incremental {
+		return runParseIncremental(s)
+	}
 	prog, err := lang.ParseSource(s.Source)
 	if err != nil {
 		return err
@@ -35,10 +38,16 @@ func runParse(s *Session) error {
 }
 
 func runCheck(s *Session) error {
+	if s.Config.Incremental {
+		return runCheckIncremental(s)
+	}
 	return lang.Check(s.Program)
 }
 
 func runNormalize(s *Session) error {
+	if s.Config.Incremental && s.claimed != nil {
+		return runNormalizeIncremental(s)
+	}
 	loops, err := ir.NormalizeProgram(s.Program)
 	if err != nil {
 		return err
@@ -48,6 +57,12 @@ func runNormalize(s *Session) error {
 }
 
 func runInfer(s *Session) error {
+	if s.Config.Incremental {
+		// The incremental variant also runs on cold incremental compiles:
+		// it produces identical results to InferProgram while recording
+		// the per-loop symbol spans the retention step needs.
+		return runInferIncremental(s)
+	}
 	results, err := infer.New(s.Program).InferProgram(s.Loops)
 	if err != nil {
 		return err

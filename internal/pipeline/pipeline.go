@@ -34,6 +34,13 @@ type Config struct {
 	// solver's private per-compile cache (identical verdicts either way;
 	// sharing only changes how fast they are reached).
 	SolverCache *solver.MemoCache
+	// Incremental makes the frontend passes diff the source against the
+	// session's retained artifacts from its previous successful compile,
+	// reusing the AST, IR, and inference results of unedited loops (see
+	// incremental.go). Output is byte-identical to a cold compile; only
+	// the work performed changes. Requires compiling related sources on
+	// the same Session (Reset preserves the retained state).
+	Incremental bool
 }
 
 // Session carries the source, options, and per-pass artifacts of one
@@ -72,6 +79,26 @@ type Session struct {
 	// Diags accumulates structured diagnostics; a failed pass always
 	// appends one before the error propagates.
 	Diags []diag.Diagnostic
+
+	// Incr is the artifact set retained from this session's previous
+	// successful incremental compile; nil means the next incremental
+	// compile starts cold. It is the only field Reset preserves.
+	Incr *IncrState
+	// Seg is the source segmentation (incremental parse pass only).
+	Seg *lang.Segmented
+	// claimed maps each loop index to the retained artifact reused for
+	// it; nil entries are dirty loops. Nil slice means no diff happened
+	// (cold or non-incremental compile).
+	claimed []*loopArtifact
+	// symSpans records each loop's symbol base and count (incremental
+	// infer pass), the validity condition for future inference reuse.
+	symSpans []symSpan
+	// incrCold flags an incremental compile that fell back to the full
+	// cold frontend; incrReused* count artifact reuses for Metrics.
+	incrCold      bool
+	incrReusedAST int
+	incrReusedIR  int
+	incrReusedInf int
 }
 
 // NewSession prepares a session for source text.
@@ -82,8 +109,13 @@ func NewSession(src string, cfg Config) *Session {
 // Reset reinitializes the session for a new compilation, dropping every
 // artifact and diagnostic while keeping the allocation itself alive.
 // Services pool Sessions across requests; Reset is the recycling step.
+// The retained incremental state survives Reset — it describes the last
+// successful compile, which is exactly what the next incremental
+// compile diffs against (stale state is rejected by its fingerprints,
+// so carrying it across unrelated sources is safe, just useless).
 func (s *Session) Reset(src string, cfg Config) {
-	*s = Session{Source: src, File: "<input>", Config: cfg}
+	incr := s.Incr
+	*s = Session{Source: src, File: "<input>", Config: cfg, Incr: incr}
 }
 
 // Metrics snapshots artifact sizes and counts for observability: loops,
@@ -141,6 +173,19 @@ func (s *Session) Metrics() map[string]int {
 	}
 	if s.Parallel != nil {
 		m["launches"] = len(s.Parallel)
+	}
+	if s.Config.Incremental {
+		if s.incrCold {
+			m["incr_cold"] = 1
+		} else {
+			m["incr_cold"] = 0
+		}
+		m["incr_clean_loops"] = s.incrReusedAST
+		if s.Program != nil {
+			m["incr_dirty_loops"] = len(s.Program.Loops) - s.incrReusedAST
+		}
+		m["incr_reused_ir"] = s.incrReusedIR
+		m["incr_reused_infer"] = s.incrReusedInf
 	}
 	m["diags"] = len(s.Diags)
 	return m
@@ -282,6 +327,9 @@ func (r *Runner) Run(s *Session) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", p.Name(), err)
 		}
+	}
+	if s.Config.Incremental {
+		s.retain()
 	}
 	return nil
 }

@@ -43,7 +43,28 @@ type MemoCache struct {
 	hits, misses         uint64
 	nodeHits, nodeMisses uint64
 	evictions            uint64
+
+	// The unification-round memo caches Algorithm 3's per-round greedy
+	// winner (the committed rename set, or the absence of one) keyed by
+	// the round's complete deterministic input: solving context plus
+	// order-sensitive fingerprints of the accumulated and incoming
+	// systems. Recompiles of a near-identical program replay the same
+	// rounds, so a warm service skips subgraph matching and candidate
+	// solvability checks entirely for every unchanged round. Bounded by
+	// the same two-generation rotation as the verdict maps.
+	unifyCur, unifyOld     map[memoKey]unifyWinner
+	unifyHits, unifyMisses uint64
 }
+
+// unifyWinner is one memoized unification-round outcome. A nil Renames
+// with ok=true records "no winner: stop unifying this system".
+type unifyWinner struct {
+	renames []renamePair
+}
+
+// renamePair is one from→to symbol rename, stored sorted for
+// deterministic replay.
+type renamePair struct{ from, to string }
 
 // DefaultMemoCacheCap is the per-generation entry capacity used when
 // NewMemoCache is given a non-positive capacity.
@@ -61,6 +82,7 @@ const (
 	memoSolvable memoKind = iota
 	memoClosed
 	memoNode
+	memoUnify
 )
 
 // memoKey is one cache entry's identity: verdict family, solving-context
@@ -127,6 +149,42 @@ func (c *MemoCache) insertLocked(k memoKey, v bool) {
 	c.cur[k] = v
 }
 
+// lookupUnify returns the memoized round winner for k, if present.
+func (c *MemoCache) lookupUnify(k memoKey) (unifyWinner, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, hit := c.unifyCur[k]; hit {
+		c.unifyHits++
+		return w, true
+	}
+	if w, hit := c.unifyOld[k]; hit {
+		c.unifyHits++
+		c.insertUnifyLocked(k, w)
+		return w, true
+	}
+	c.unifyMisses++
+	return unifyWinner{}, false
+}
+
+// storeUnify records a round winner, rotating generations at capacity.
+func (c *MemoCache) storeUnify(k memoKey, w unifyWinner) {
+	c.mu.Lock()
+	c.insertUnifyLocked(k, w)
+	c.mu.Unlock()
+}
+
+func (c *MemoCache) insertUnifyLocked(k memoKey, w unifyWinner) {
+	if c.unifyCur == nil {
+		c.unifyCur = map[memoKey]unifyWinner{}
+	}
+	if len(c.unifyCur) >= c.cap {
+		c.evictions += uint64(len(c.unifyOld))
+		c.unifyOld = c.unifyCur
+		c.unifyCur = make(map[memoKey]unifyWinner, 1024)
+	}
+	c.unifyCur[k] = w
+}
+
 // MemoCacheStats is a point-in-time snapshot of cache activity.
 type MemoCacheStats struct {
 	// Hits and Misses count verdict-cache lookups (solvability and
@@ -138,6 +196,10 @@ type MemoCacheStats struct {
 	// a blocklist absence is the expected steady state, not avoidable
 	// work, so these do not feed HitRate.
 	NodeHits, NodeMisses uint64
+	// UnifyHits and UnifyMisses count unification-round memo lookups;
+	// every hit skips one round of subgraph matching and candidate
+	// solvability checks.
+	UnifyHits, UnifyMisses uint64
 	// Evictions counts entries dropped by generation rotation.
 	Evictions uint64
 	// Entries is the current live entry count (both generations).
@@ -158,12 +220,14 @@ func (c *MemoCache) Stats() MemoCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return MemoCacheStats{
-		Hits:       c.hits,
-		Misses:     c.misses,
-		NodeHits:   c.nodeHits,
-		NodeMisses: c.nodeMisses,
-		Evictions:  c.evictions,
-		Entries:    len(c.cur) + len(c.old),
+		Hits:        c.hits,
+		Misses:      c.misses,
+		NodeHits:    c.nodeHits,
+		NodeMisses:  c.nodeMisses,
+		UnifyHits:   c.unifyHits,
+		UnifyMisses: c.unifyMisses,
+		Evictions:   c.evictions,
+		Entries:     len(c.cur) + len(c.old) + len(c.unifyCur) + len(c.unifyOld),
 	}
 }
 

@@ -77,6 +77,11 @@ type SolveStats struct {
 	// activity: full BuildGraph constructions versus incremental
 	// Extended growths. A healthy run extends far more than it builds.
 	GraphBuilds, GraphExtends int
+	// UnifyRoundHits/UnifyRoundMisses count unification-round memo
+	// lookups: a hit replays a previously committed rename set (or a
+	// previously established "nothing left to unify") without building
+	// graphs, matching subgraphs, or running candidate checks.
+	UnifyRoundHits, UnifyRoundMisses int
 }
 
 // extCandidate is a closed expression appearing in the external

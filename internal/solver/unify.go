@@ -246,6 +246,46 @@ func (s *Solver) UnifyAndSolve(systems []*constraint.System) (*constraint.System
 		return out
 	}
 
+	// Each unification round is a deterministic function of the solving
+	// context, the accumulated state, and the incoming system, so its
+	// greedy winner is memoized in the shared cache: a warm service
+	// replays the committed renames of an identical round without
+	// building graphs, matching subgraphs, or running candidate checks.
+	// The key folds *order-sensitive* system fingerprints — the winner
+	// depends on graph construction order, which follows conjunct order,
+	// so the order-free Fingerprint128 would conflate distinct rounds.
+	// Fingerprints are cached per System pointer for this call; systems
+	// are never mutated after construction (grown ones get fresh
+	// headers), so pointer identity is a sound cache key here too.
+	orderedFPs := map[*constraint.System][2]uint64{}
+	orderedFPOf := func(sys *constraint.System) [2]uint64 {
+		fp, ok := orderedFPs[sys]
+		if !ok {
+			fp = sys.OrderedFingerprint128()
+			orderedFPs[sys] = fp
+		}
+		return fp
+	}
+	extOrderedFP := s.external.OrderedFingerprint128()
+	roundKey := func(acc, remaining *constraint.System) memoKey {
+		const p1, p2 = 0x9e3779b97f4a7c15, 0xc2b2ae3d27d4eb4f
+		fp := extOrderedFP
+		for _, h := range [][2]uint64{orderedFPOf(acc), orderedFPOf(combined), orderedFPOf(remaining)} {
+			fp[0] = (fp[0] ^ h[0]) * p1
+			fp[1] = (fp[1] ^ h[1]) * p2
+		}
+		return memoKey{kind: memoUnify, ctx: s.ctx, fp: fp}
+	}
+	noteUnifyMemo := func(hit bool) {
+		s.mu.Lock()
+		if hit {
+			s.stats.UnifyRoundHits++
+		} else {
+			s.stats.UnifyRoundMisses++
+		}
+		s.mu.Unlock()
+	}
+
 	for _, cur := range ordered {
 		remaining := cur.Clone()
 		// Bound the unification rounds per system: each round runs full
@@ -258,6 +298,22 @@ func (s *Solver) UnifyAndSolve(systems []*constraint.System) (*constraint.System
 			if sysSize(remaining) == 0 {
 				break
 			}
+			rk := roundKey(accGraphSys, remaining)
+			if w, hit := s.cache.lookupUnify(rk); hit {
+				noteUnifyMemo(true)
+				if w.renames == nil {
+					break
+				}
+				renames := make(map[string]string, len(w.renames))
+				for _, rp := range w.renames {
+					renames[rp.from] = rp.to
+					canon[rp.from] = rp.to
+				}
+				remaining = subtractSets(applyRenames(remaining, renames), combinedPred, combinedSub)
+				accGraphSys = mergeWithBase(extCombined, remaining, basePred, baseSub)
+				continue
+			}
+			noteUnifyMemo(false)
 			accGraph := accGraphOf(accGraphSys)
 			curGraph := constraint.BuildGraph(remaining)
 
@@ -366,9 +422,19 @@ func (s *Solver) UnifyAndSolve(systems []*constraint.System) (*constraint.System
 				}
 			}
 			if winner == nil {
+				// A nil rename set memoizes "no winner": the identical
+				// round in a later compile stops unifying immediately.
+				s.cache.storeUnify(rk, unifyWinner{})
 				break
 			}
-			// Commit this unification.
+			// Commit this unification, memoizing the committed renames for
+			// identical future rounds (sorted for deterministic replay).
+			pairs := make([]renamePair, 0, len(winner.renames))
+			for from, to := range winner.renames {
+				pairs = append(pairs, renamePair{from: from, to: to})
+			}
+			sort.Slice(pairs, func(i, j int) bool { return pairs[i].from < pairs[j].from })
+			s.cache.storeUnify(rk, unifyWinner{renames: pairs})
 			remaining = winner.candidate
 			for from, to := range winner.renames {
 				canon[from] = to

@@ -1,0 +1,269 @@
+package autopart_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"autopart/internal/apps/builtins"
+	"autopart/internal/lang"
+	"autopart/internal/runtime"
+	"autopart/pkg/autopart"
+)
+
+// This file is the differential harness for incremental recompilation:
+// every incremental compile must produce output byte-identical to a
+// cold full compile of the same source — including failures, which must
+// carry the same error text. The replay test drives seeded randomized
+// single-loop edits across the builtin programs; the targeted tests pin
+// the edge cases (comment-only edits, whitespace churn, loop
+// reordering, header renames, panic recovery).
+
+// renderCompiled serializes everything semantically observable about a
+// compile result: per-loop plans, the synthesized DPL program, the
+// obligation system, private sub-partitions, and the launch structure.
+func renderFull(c *autopart.Compiled) string {
+	var b strings.Builder
+	for i, plan := range c.Plans {
+		fmt.Fprintf(&b, "loop %d: for %s in %s relaxed=%v\n  %s\n",
+			i, c.Loops[i].Var, c.Loops[i].Region, plan.Relaxed, plan.Sys)
+	}
+	b.WriteString("program:\n")
+	b.WriteString(c.Solution.Program.String())
+	b.WriteString("\nobligations:\n")
+	fmt.Fprintf(&b, "%s\n", c.Solution.System)
+	if c.Private != nil {
+		b.WriteString("private:\n")
+		b.WriteString(c.Private.Extra.String())
+		b.WriteString("\n")
+	}
+	for i, pl := range c.Parallel {
+		fmt.Fprintf(&b, "launch %s\n", runtime.FromParallelLoop(fmt.Sprintf("loop%d", i), pl))
+	}
+	return b.String()
+}
+
+// mutateLoop applies one syntactically plausible edit to a random
+// top-level loop. Edits may make the program invalid — the harness then
+// checks that incremental and cold compiles fail with identical errors.
+func mutateLoop(t *testing.T, src string, rnd *rand.Rand, step int) string {
+	t.Helper()
+	seg, err := lang.SplitSource(src)
+	if err != nil {
+		t.Fatalf("step %d: source no longer segmentable: %v", step, err)
+	}
+	if len(seg.Loops) == 0 {
+		t.Fatalf("step %d: no loops to edit", step)
+	}
+	s := seg.LoopSeg(rnd.Intn(len(seg.Loops)))
+	loop := src[s.Start:s.End]
+	switch rnd.Intn(4) {
+	case 0: // comment-only edit: fingerprint unchanged, loop stays clean
+		i := strings.Index(loop, "{")
+		loop = loop[:i+1] + fmt.Sprintf(" // edit %d", step) + loop[i+1:]
+	case 1: // duplicate a statement line: loop goes dirty
+		if line, ok := statementLine(loop); ok {
+			loop = strings.Replace(loop, line, line+line, 1)
+		} else {
+			i := strings.Index(loop, "{")
+			loop = loop[:i+1] + fmt.Sprintf(" // edit %d", step) + loop[i+1:]
+		}
+	case 2: // whitespace churn: fingerprint unchanged
+		loop = strings.ReplaceAll(loop, "\n", "\n ")
+	case 3: // delete a statement line: dirty, possibly now invalid
+		if line, ok := statementLine(loop); ok {
+			loop = strings.Replace(loop, line, "", 1)
+		}
+	}
+	return src[:s.Start] + loop + src[s.End:]
+}
+
+// statementLine picks the first full line inside the loop body that is
+// a plain statement (non-empty, no braces), returned with its trailing
+// newline so it can be duplicated or deleted in place.
+func statementLine(loop string) (string, bool) {
+	for _, line := range strings.SplitAfter(loop, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || !strings.HasSuffix(line, "\n") {
+			continue
+		}
+		if strings.ContainsAny(trimmed, "{}") || strings.HasPrefix(trimmed, "//") {
+			continue
+		}
+		return line, true
+	}
+	return "", false
+}
+
+// TestIncrementalReplay replays seeded randomized edit sequences on the
+// builtin programs, asserting after every edit that the incremental
+// recompile is byte-identical to a cold compile — same output on
+// success, same error text on failure.
+func TestIncrementalReplay(t *testing.T) {
+	for _, name := range []string{"spmv", "stencil", "circuit", "miniaero", "pennant"} {
+		t.Run(name, func(t *testing.T) {
+			src, _, ok := builtins.Source(name)
+			if !ok {
+				t.Fatalf("unknown builtin %q", name)
+			}
+			sv := autopart.NewService(autopart.ServiceOptions{})
+			rnd := rand.New(rand.NewSource(42))
+			for step := 0; step < 10; step++ {
+				cold, coldErr := autopart.Compile(src, autopart.Options{})
+				inc, incErr := sv.CompileIncremental("replay", src)
+				if (coldErr == nil) != (incErr == nil) {
+					t.Fatalf("step %d: cold err %v, incremental err %v", step, coldErr, incErr)
+				}
+				if coldErr != nil {
+					if coldErr.Error() != incErr.Error() {
+						t.Fatalf("step %d: error mismatch\ncold: %v\nincr: %v", step, coldErr, incErr)
+					}
+				} else if got, want := renderFull(inc), renderFull(cold); got != want {
+					t.Fatalf("step %d: incremental output diverged from cold compile\nsource:\n%s\n--- incremental ---\n%s\n--- cold ---\n%s",
+						step, src, got, want)
+				}
+				src = mutateLoop(t, src, rnd, step)
+			}
+			st := sv.Stats()
+			if st.IncrementalCleanLoops == 0 {
+				t.Errorf("replay never reused a loop: %+v", st)
+			}
+		})
+	}
+}
+
+// compileBoth compiles src cold and incrementally under key and asserts
+// identical rendered output, returning the incremental stats delta.
+func compileBoth(t *testing.T, sv *autopart.Service, key, src string) (clean, dirty, cold uint64) {
+	t.Helper()
+	before := sv.Stats()
+	inc, err := sv.CompileIncremental(key, src)
+	if err != nil {
+		t.Fatalf("incremental compile: %v", err)
+	}
+	coldC, err := autopart.Compile(src, autopart.Options{})
+	if err != nil {
+		t.Fatalf("cold compile: %v", err)
+	}
+	if got, want := renderFull(inc), renderFull(coldC); got != want {
+		t.Fatalf("incremental output diverged from cold\n--- incremental ---\n%s\n--- cold ---\n%s", got, want)
+	}
+	after := sv.Stats()
+	return after.IncrementalCleanLoops - before.IncrementalCleanLoops,
+		after.IncrementalDirtyLoops - before.IncrementalDirtyLoops,
+		after.IncrementalCold - before.IncrementalCold
+}
+
+const twoLoopSrc = `
+region Cells { phi: scalar, rhs: scalar }
+region Faces { flux: scalar }
+for c in Cells {
+  Cells[c].phi = Cells[c].rhs + 1
+}
+for f in Faces {
+  Faces[f].flux = 2
+}
+`
+
+func TestIncrementalCommentOnlyEditStaysClean(t *testing.T) {
+	sv := autopart.NewService(autopart.ServiceOptions{})
+	compileBoth(t, sv, "k", twoLoopSrc)
+	edited := strings.Replace(twoLoopSrc, "phi = Cells[c].rhs + 1",
+		"phi = Cells[c].rhs + 1 // tweak comment", 1)
+	clean, dirty, cold := compileBoth(t, sv, "k", "// banner\n"+edited)
+	if cold != 0 || dirty != 0 || clean != 2 {
+		t.Errorf("comment-only edit: clean=%d dirty=%d cold=%d, want 2/0/0", clean, dirty, cold)
+	}
+}
+
+func TestIncrementalWhitespaceReorderStaysClean(t *testing.T) {
+	sv := autopart.NewService(autopart.ServiceOptions{})
+	compileBoth(t, sv, "k", twoLoopSrc)
+	reordered := `
+region Cells { phi: scalar, rhs: scalar }
+region Faces { flux: scalar }
+
+
+for f in Faces {
+    Faces[f].flux = 2
+}
+for c in Cells {
+      Cells[c].phi = Cells[c].rhs + 1
+}
+`
+	// Loops swapped and reindented: ASTs and IR reuse, but inference
+	// reruns (symbol bases moved) so the output still matches a cold
+	// compile of the reordered source exactly.
+	clean, dirty, cold := compileBoth(t, sv, "k", reordered)
+	if cold != 0 || dirty != 0 || clean != 2 {
+		t.Errorf("reorder: clean=%d dirty=%d cold=%d, want 2/0/0", clean, dirty, cold)
+	}
+}
+
+func TestIncrementalRegionRenameInvalidates(t *testing.T) {
+	sv := autopart.NewService(autopart.ServiceOptions{})
+	compileBoth(t, sv, "k", twoLoopSrc)
+	// Renaming a region rewrites the header and the loops that mention
+	// it; the unedited Faces loop must not be compiled against the stale
+	// declaration set. The header fingerprint changes, so the whole
+	// retained state is dropped and the compile runs cold — and still
+	// matches a fresh compile byte for byte.
+	renamed := strings.ReplaceAll(twoLoopSrc, "Cells", "Zones")
+	_, _, cold := compileBoth(t, sv, "k", renamed)
+	if cold != 1 {
+		t.Errorf("region rename should force a cold fallback, got cold=%d", cold)
+	}
+}
+
+// panicObserver panics during the named pass, simulating a compiler bug
+// mid-compile.
+type panicObserver struct{ pass string }
+
+func (p panicObserver) OnPassStart(pass string, _ int) {
+	if pass == p.pass {
+		panic("injected compiler fault")
+	}
+}
+func (p panicObserver) OnPassEnd(autopart.PassEvent) {}
+
+func TestServiceDiscardsPanickedPooledSession(t *testing.T) {
+	sv := autopart.NewService(autopart.ServiceOptions{MaxConcurrent: 1})
+	_, err := sv.CompileWith(twoLoopSrc, autopart.Options{
+		Observers: []autopart.Observer{panicObserver{pass: "solve"}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("want panic error, got %v", err)
+	}
+	// MaxConcurrent 1 means the next compile would receive the same
+	// pooled session if it were returned; it must compile cleanly on a
+	// fresh one instead.
+	c, err := sv.Compile(twoLoopSrc)
+	if err != nil {
+		t.Fatalf("compile after panic: %v", err)
+	}
+	cold, _ := autopart.Compile(twoLoopSrc, autopart.Options{})
+	if renderFull(c) != renderFull(cold) {
+		t.Error("post-panic pooled compile diverged from cold compile")
+	}
+	if st := sv.Stats(); st.Failures != 1 {
+		t.Errorf("failures = %d, want 1", st.Failures)
+	}
+}
+
+func TestServiceDiscardsPanickedIncrementalSession(t *testing.T) {
+	sv := autopart.NewService(autopart.ServiceOptions{})
+	compileBoth(t, sv, "k", twoLoopSrc)
+	_, err := sv.CompileIncrementalWith("k", twoLoopSrc, autopart.Options{
+		Observers: []autopart.Observer{panicObserver{pass: "infer"}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("want panic error, got %v", err)
+	}
+	// The keyed session was discarded with its retained artifacts, so
+	// the next compile runs cold — and correct.
+	clean, _, cold := compileBoth(t, sv, "k", twoLoopSrc)
+	if cold != 1 || clean != 0 {
+		t.Errorf("post-panic compile: clean=%d cold=%d, want 0/1", clean, cold)
+	}
+}

@@ -1,6 +1,7 @@
 package autopart
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"sync"
@@ -26,6 +27,10 @@ type ServiceOptions struct {
 	// (never during one — compiles hold epochs). Zero leaves the table
 	// unbounded, the behavior of one-shot Compile.
 	InternMaxEntries int
+	// MaxIncrementalSessions bounds the number of keyed incremental
+	// sessions (CompileIncremental) retained at once; the least recently
+	// used key is evicted past the bound. Non-positive selects 64.
+	MaxIncrementalSessions int
 	// Base are the per-compile options applied when Compile is used;
 	// CompileWith overrides them per request. Base.Trace == nil consults
 	// AUTOPART_TRACE once, at construction time, not per compile.
@@ -49,6 +54,29 @@ type Service struct {
 
 	compiles atomic.Uint64
 	failures atomic.Uint64
+
+	// Keyed incremental sessions: each key identifies one evolving
+	// program, and its session retains the previous compile's front-half
+	// artifacts so edits skip the clean loops' parse/check/normalize/
+	// infer work entirely.
+	incrMu       sync.Mutex
+	incrSessions map[string]*keyedSession
+	incrTick     uint64
+	incrMax      int
+
+	incrCompiles atomic.Uint64
+	incrCold     atomic.Uint64
+	incrClean    atomic.Uint64
+	incrDirty    atomic.Uint64
+}
+
+// keyedSession serializes compiles for one incremental key. The mutex
+// is held for the whole compile: two concurrent recompiles of the same
+// key must not share a Session mid-flight.
+type keyedSession struct {
+	mu   sync.Mutex
+	s    *pipeline.Session
+	tick uint64 // last-use order under Service.incrMu, for LRU eviction
 }
 
 // NewService constructs a compile service. The AUTOPART_TRACE
@@ -72,6 +100,10 @@ func NewService(opts ServiceOptions) *Service {
 	sv.sessions.New = func() any { return &pipeline.Session{} }
 	if opts.InternMaxEntries > 0 {
 		sv.table.SetMaxEntries(opts.InternMaxEntries)
+	}
+	sv.incrMax = opts.MaxIncrementalSessions
+	if sv.incrMax <= 0 {
+		sv.incrMax = 64
 	}
 	return sv
 }
@@ -103,14 +135,123 @@ func (sv *Service) CompileWith(src string, opts Options) (*Compiled, error) {
 		DisablePrivateSubPartitions: opts.DisablePrivateSubPartitions,
 		SolverCache:                 sv.cache,
 	})
-	c, s, err := runSession(s, opts)
-	sv.sessions.Put(s)
+	c, panicked, err := runSessionGuarded(s, opts)
+	if !panicked {
+		// A panicked session's artifacts are in an unknown state; it must
+		// never re-enter the pool, or a later request would compile on
+		// top of them. Dropping it lets the pool mint a fresh one.
+		sv.sessions.Put(s)
+	}
 	if err != nil {
 		sv.failures.Add(1)
 		return nil, err
 	}
 	sv.compiles.Add(1)
 	return c, nil
+}
+
+// CompileIncremental compiles source under a caller-chosen key with the
+// service's base options, reusing the front-half artifacts retained
+// from the previous compile of the same key for every unedited loop.
+// Output is byte-identical to Compile on the same source; only the work
+// performed differs. Unrelated sources under one key are safe (the diff
+// falls back to a cold compile) but waste the retained state.
+func (sv *Service) CompileIncremental(key, src string) (*Compiled, error) {
+	return sv.CompileIncrementalWith(key, src, sv.base)
+}
+
+// CompileIncrementalWith is CompileIncremental with per-request
+// options. Changing semantic options between compiles of one key is
+// safe: the retained state records the options it was built under and a
+// mismatch recompiles cold.
+func (sv *Service) CompileIncrementalWith(key, src string, opts Options) (*Compiled, error) {
+	if opts.Trace == nil {
+		opts.Trace = sv.base.Trace
+	}
+	ks := sv.keyedSession(key)
+	// Hold the key's lock for the whole compile, then the global
+	// concurrency slot. Slot holders never wait on a key they do not
+	// already hold, so the ordering cannot deadlock.
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	sv.sem <- struct{}{}
+	defer func() { <-sv.sem }()
+
+	ep := sv.table.Enter()
+	defer ep.Leave()
+
+	s := ks.s
+	s.Reset(src, pipeline.Config{
+		DisableRelaxation:           opts.DisableRelaxation,
+		DisablePrivateSubPartitions: opts.DisablePrivateSubPartitions,
+		SolverCache:                 sv.cache,
+		Incremental:                 true,
+	})
+	c, panicked, err := runSessionGuarded(s, opts)
+	if panicked {
+		// Discard the poisoned session, retained artifacts and all; the
+		// key's next compile starts clean.
+		ks.s = &pipeline.Session{}
+	}
+	if err != nil {
+		sv.failures.Add(1)
+		return nil, err
+	}
+	sv.compiles.Add(1)
+	sv.incrCompiles.Add(1)
+	m := s.Metrics()
+	sv.incrCold.Add(uint64(m["incr_cold"]))
+	sv.incrClean.Add(uint64(m["incr_clean_loops"]))
+	sv.incrDirty.Add(uint64(m["incr_dirty_loops"]))
+	return c, nil
+}
+
+// keyedSession finds or creates the session slot for an incremental
+// key, evicting the least recently used slot past the bound.
+func (sv *Service) keyedSession(key string) *keyedSession {
+	sv.incrMu.Lock()
+	defer sv.incrMu.Unlock()
+	if sv.incrSessions == nil {
+		sv.incrSessions = make(map[string]*keyedSession)
+	}
+	ks, ok := sv.incrSessions[key]
+	if !ok {
+		if len(sv.incrSessions) >= sv.incrMax {
+			var lruKey string
+			var lruTick uint64
+			first := true
+			for k, v := range sv.incrSessions {
+				if first || v.tick < lruTick {
+					lruKey, lruTick, first = k, v.tick, false
+				}
+			}
+			// An evicted slot that is mid-compile finishes on its own
+			// session; only the map entry goes away.
+			delete(sv.incrSessions, lruKey)
+		}
+		ks = &keyedSession{s: &pipeline.Session{}}
+		sv.incrSessions[key] = ks
+	}
+	sv.incrTick++
+	ks.tick = sv.incrTick
+	return ks
+}
+
+// runSessionGuarded runs the pipeline, converting a pass panic into an
+// error. The boolean tells the caller the session is poisoned and must
+// be discarded rather than pooled or retained.
+func runSessionGuarded(s *pipeline.Session, opts Options) (c *Compiled, panicked bool, err error) {
+	done := false
+	defer func() {
+		if done {
+			return
+		}
+		panicked = true
+		c, err = nil, fmt.Errorf("autopart: internal error: compile panicked: %v", recover())
+	}()
+	c, _, err = runSession(s, opts)
+	done = true
+	return c, false, err
 }
 
 // ServiceStats is a point-in-time snapshot of service activity.
@@ -129,20 +270,39 @@ type ServiceStats struct {
 	InternEntries    int
 	InternGeneration uint64
 	InternReclaims   uint64
+	// IncrementalCompiles counts successful CompileIncremental requests;
+	// IncrementalCold counts those that fell back to a full cold
+	// frontend. IncrementalCleanLoops and IncrementalDirtyLoops total
+	// the loops reused versus re-run across all incremental compiles.
+	// IncrementalSessions is the number of keyed sessions currently
+	// retained.
+	IncrementalCompiles   uint64
+	IncrementalCold       uint64
+	IncrementalCleanLoops uint64
+	IncrementalDirtyLoops uint64
+	IncrementalSessions   int
 }
 
 // Stats snapshots the service counters, the shared memo cache, and the
 // intern table.
 func (sv *Service) Stats() ServiceStats {
+	sv.incrMu.Lock()
+	incrSessions := len(sv.incrSessions)
+	sv.incrMu.Unlock()
 	return ServiceStats{
-		Compiles:         sv.compiles.Load(),
-		Failures:         sv.failures.Load(),
-		InFlight:         len(sv.sem),
-		MaxConcurrent:    cap(sv.sem),
-		Memo:             sv.cache.Stats(),
-		InternEntries:    sv.table.Entries(),
-		InternGeneration: sv.table.Generation(),
-		InternReclaims:   sv.table.Reclaims(),
+		Compiles:              sv.compiles.Load(),
+		Failures:              sv.failures.Load(),
+		InFlight:              len(sv.sem),
+		MaxConcurrent:         cap(sv.sem),
+		Memo:                  sv.cache.Stats(),
+		InternEntries:         sv.table.Entries(),
+		InternGeneration:      sv.table.Generation(),
+		InternReclaims:        sv.table.Reclaims(),
+		IncrementalCompiles:   sv.incrCompiles.Load(),
+		IncrementalCold:       sv.incrCold.Load(),
+		IncrementalCleanLoops: sv.incrClean.Load(),
+		IncrementalDirtyLoops: sv.incrDirty.Load(),
+		IncrementalSessions:   incrSessions,
 	}
 }
 
