@@ -20,7 +20,17 @@
 // Usage:
 //
 //	execbench [-o BENCH_exec.json] [-max-nodes 256] [-steps 2]
-//	          [-transport inproc] [-check-nodes 8]
+//	          [-transport inproc] [-check-nodes 8] [-proc-nodes 2,4]
+//
+// -transport proc runs the whole sweep multi-process: each node is a
+// spawned worker process (execbench re-execs itself, like cmd/run) and
+// the coordinator distributes the program over the bootstrap protocol.
+// A full 256-node ladder spawns 256 processes per run, so pass a small
+// -max-nodes with it. Independently, -proc-nodes (default 2,4) appends
+// multi-process rows at those node counts to every in-process sweep,
+// so the default BENCH_exec.json always carries a few proc rows whose
+// byte/message counters can be diffed against the inproc rows (they
+// must be identical; wall times will not be, which is the point).
 //
 // The benchmark is observational, not gating: no performance
 // thresholds are enforced here (the correctness cross-checks are).
@@ -33,6 +43,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"autopart/internal/apps/circuit"
@@ -41,6 +53,7 @@ import (
 	"autopart/internal/apps/spmv"
 	"autopart/internal/apps/stencil"
 	"autopart/internal/exec"
+	"autopart/internal/exec/cluster"
 	"autopart/internal/sim"
 	"autopart/pkg/autopart"
 )
@@ -113,6 +126,7 @@ type launchBench struct {
 
 type runBench struct {
 	App          string        `json:"app"`
+	Transport    string        `json:"transport"`
 	Nodes        int           `json:"nodes"`
 	Steps        int           `json:"steps"`
 	Bytes        float64       `json:"bytes"`
@@ -180,13 +194,29 @@ func main() {
 	out := flag.String("o", "BENCH_exec.json", "output JSON path")
 	maxNodes := flag.Int("max-nodes", 256, "largest node count in the doubling ladder")
 	steps := flag.Int("steps", 2, "main-loop iterations per run")
-	transport := flag.String("transport", "inproc", "message transport: inproc, tcp, or flaky")
+	transport := flag.String("transport", "inproc", "message transport: inproc, tcp, flaky, or proc (one worker process per node)")
 	checkNodes := flag.Int("check-nodes", 8, "verify bit-identity against the sequential executor up to this node count")
+	procNodesFlag := flag.String("proc-nodes", "2,4", "append multi-process rows at these node counts (comma list; empty disables; ignored with -transport proc)")
+	procWorker := flag.Bool("proc-worker", false, "internal: run as a spawned worker process")
+	listen := flag.String("listen", "127.0.0.1:0", "worker mode: control listen address")
 	flag.Parse()
 
-	tf, err := exec.TransportByName(*transport)
-	if err != nil {
-		fatal(err)
+	if *procWorker {
+		err := cluster.WorkerMain(*listen, os.Stdout, cluster.WorkerOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "execbench worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var tf exec.TransportFactory
+	var err error
+	if *transport != "proc" {
+		tf, err = exec.TransportByName(*transport)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	apps, err := benchApps()
 	if err != nil {
@@ -195,6 +225,13 @@ func main() {
 	var ladder []int
 	for n := 1; n <= *maxNodes; n *= 2 {
 		ladder = append(ladder, n)
+	}
+	var procNodes []int
+	if *transport != "proc" {
+		procNodes, err = parseNodeList(*procNodesFlag)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	rep := report{
@@ -206,67 +243,20 @@ func main() {
 	}
 	for _, app := range apps {
 		for _, nodes := range ladder {
-			prog, err := app.build(nodes)
+			run, err := benchOne(app, *transport, tf, nodes, *steps, *checkNodes)
 			if err != nil {
-				fatal(fmt.Errorf("%s at %d nodes: build: %w", app.name, nodes, err))
+				fatal(err)
 			}
-			start := time.Now()
-			res, err := exec.Run(prog, exec.Config{Nodes: nodes, Steps: *steps, Transport: tf})
-			if err != nil {
-				fatal(fmt.Errorf("%s at %d nodes: %w", app.name, nodes, err))
-			}
-			wall := time.Since(start)
-
-			// prog.Owners is untouched by Run, so it can seed the model's
-			// valid-instance replay for the cross-check.
-			if err := crossCheck(prog, res, *steps); err != nil {
-				fatal(fmt.Errorf("%s at %d nodes: counter cross-check: %w", app.name, nodes, err))
-			}
-			checked := false
-			if nodes <= *checkNodes {
-				want, err := exec.RunSequentialReference(prog, *steps)
-				if err != nil {
-					fatal(fmt.Errorf("%s at %d nodes: sequential reference: %w", app.name, nodes, err))
-				}
-				for name, wr := range want.Regions {
-					if same, diff := wr.SameData(res.Machine.Regions[name]); !same {
-						fatal(fmt.Errorf("%s at %d nodes: region %s diverges from sequential: %s", app.name, nodes, name, diff))
-					}
-				}
-				checked = true
-			}
-
-			run := runBench{
-				App: app.name, Nodes: nodes, Steps: *steps,
-				Bytes: res.TotalBytes(), Msgs: res.TotalMsgs(),
-				WallNS: wall.Nanoseconds(), SimExact: true, Checked: checked,
-			}
-			nLaunches := len(prog.Plan.Tasks)
-			var totOv, totCp int64
-			for li := 0; li < nLaunches; li++ {
-				lb := launchBench{Name: res.Steps[0].Launches[li].Name}
-				var walls []int64
-				var ov, cp int64
-				for _, sc := range res.Steps {
-					lc := sc.Launches[li]
-					lb.Bytes += lc.TotalBytes
-					lb.Msgs += lc.TotalMsgs
-					for _, nt := range lc.Times {
-						walls = append(walls, nt.WallNS)
-						ov += nt.OverlapNS
-						cp += nt.ComputeNS
-					}
-				}
-				lb.OverlapRatio = ratio(ov, cp)
-				lb.WallP50NS = p50(walls)
-				totOv += ov
-				totCp += cp
-				run.Launches = append(run.Launches, lb)
-			}
-			run.OverlapRatio = ratio(totOv, totCp)
 			rep.Runs = append(rep.Runs, run)
-			fmt.Fprintf(os.Stderr, "execbench: %-12s nodes=%-3d bytes=%10.0f msgs=%6d overlap=%.3f wall=%v\n",
-				app.name, nodes, run.Bytes, run.Msgs, run.OverlapRatio, wall.Round(time.Millisecond))
+		}
+		// The multi-process rows for this app: same programs, every node a
+		// spawned worker process, same exactness contract.
+		for _, nodes := range procNodes {
+			run, err := benchOne(app, "proc", nil, nodes, *steps, *checkNodes)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Runs = append(rep.Runs, run)
 		}
 	}
 
@@ -283,6 +273,108 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "execbench: wrote %s (%d runs)\n", *out, len(rep.Runs))
+}
+
+// benchOne builds and runs one (app, transport, nodes) cell, cross
+// checks it, and condenses the measurements into a runBench row.
+// transportName "proc" ignores tf and spawns one worker process per
+// node via the cluster coordinator.
+func benchOne(app benchApp, transportName string, tf exec.TransportFactory, nodes, steps, checkNodes int) (runBench, error) {
+	prog, err := app.build(nodes)
+	if err != nil {
+		return runBench{}, fmt.Errorf("%s at %d nodes: build: %w", app.name, nodes, err)
+	}
+	start := time.Now()
+	var res *exec.Result
+	if transportName == "proc" {
+		res, err = procRun(prog, nodes, steps)
+	} else {
+		res, err = exec.Run(prog, exec.Config{Nodes: nodes, Steps: steps, Transport: tf})
+	}
+	if err != nil {
+		return runBench{}, fmt.Errorf("%s at %d nodes (%s): %w", app.name, nodes, transportName, err)
+	}
+	wall := time.Since(start)
+
+	// prog.Owners is untouched by Run, so it can seed the model's
+	// valid-instance replay for the cross-check.
+	if err := crossCheck(prog, res, steps); err != nil {
+		return runBench{}, fmt.Errorf("%s at %d nodes (%s): counter cross-check: %w", app.name, nodes, transportName, err)
+	}
+	checked := false
+	if nodes <= checkNodes {
+		want, err := exec.RunSequentialReference(prog, steps)
+		if err != nil {
+			return runBench{}, fmt.Errorf("%s at %d nodes: sequential reference: %w", app.name, nodes, err)
+		}
+		for name, wr := range want.Regions {
+			if same, diff := wr.SameData(res.Machine.Regions[name]); !same {
+				return runBench{}, fmt.Errorf("%s at %d nodes (%s): region %s diverges from sequential: %s",
+					app.name, nodes, transportName, name, diff)
+			}
+		}
+		checked = true
+	}
+
+	run := runBench{
+		App: app.name, Transport: transportName, Nodes: nodes, Steps: steps,
+		Bytes: res.TotalBytes(), Msgs: res.TotalMsgs(),
+		WallNS: wall.Nanoseconds(), SimExact: true, Checked: checked,
+	}
+	nLaunches := len(prog.Plan.Tasks)
+	var totOv, totCp int64
+	for li := 0; li < nLaunches; li++ {
+		lb := launchBench{Name: res.Steps[0].Launches[li].Name}
+		var walls []int64
+		var ov, cp int64
+		for _, sc := range res.Steps {
+			lc := sc.Launches[li]
+			lb.Bytes += lc.TotalBytes
+			lb.Msgs += lc.TotalMsgs
+			for _, nt := range lc.Times {
+				walls = append(walls, nt.WallNS)
+				ov += nt.OverlapNS
+				cp += nt.ComputeNS
+			}
+		}
+		lb.OverlapRatio = ratio(ov, cp)
+		lb.WallP50NS = p50(walls)
+		totOv += ov
+		totCp += cp
+		run.Launches = append(run.Launches, lb)
+	}
+	run.OverlapRatio = ratio(totOv, totCp)
+	fmt.Fprintf(os.Stderr, "execbench: %-12s %-6s nodes=%-3d bytes=%10.0f msgs=%6d overlap=%.3f wall=%v\n",
+		app.name, transportName, nodes, run.Bytes, run.Msgs, run.OverlapRatio, wall.Round(time.Millisecond))
+	return run, nil
+}
+
+// procRun executes prog with each node in its own worker process, the
+// benchmark twin of cmd/run's proc transport: execbench re-execs
+// itself with -proc-worker, so one build serves both roles.
+func procRun(prog *exec.Program, nodes, steps int) (*exec.Result, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locate own binary for worker re-exec: %w", err)
+	}
+	return cluster.Spawn(prog, exec.Config{Nodes: nodes, Steps: steps},
+		cluster.SpawnOptions{Command: []string{self, "-proc-worker"}})
+}
+
+func parseNodeList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -proc-nodes entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,58 @@
+// Command node is one worker of a multi-process executor run. It
+// listens for a coordinator (internal/exec/cluster, typically behind
+// `run -transport proc -node-bin ./node` or cluster.Join), completes
+// the versioned bootstrap handshake — hello with its assigned node id,
+// data-plane address exchange, serialized program + partitions — runs
+// its node of the plan against the full-mesh socket transport, streams
+// its stats and final shards back, and exits.
+//
+// Usage:
+//
+//	node [-listen 127.0.0.1:0] [-quiet]
+//
+// On startup it prints one line to stdout:
+//
+//	NODE_LISTEN <host:port>
+//
+// which is the control address a coordinator dials (spawning
+// coordinators scan stdout for it; with Join, pass it by hand). The
+// process serves exactly one run: supervisors that want a resident
+// worker pool should restart it per run, keeping the failure model
+// trivial — a worker is alive exactly as long as its run.
+//
+// -crash-at-launch N makes the process exit abruptly (status 3) the
+// first time its node sends a step-0 message for launch index N. This
+// is the deterministic mid-run death the failure-semantics drills and
+// CI use; it has no production purpose.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autopart/internal/exec/cluster"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "control listen address (port 0 = ephemeral)")
+	crashAtLaunch := flag.Int("crash-at-launch", -1, "exit abruptly when first sending for this launch index (failure drill)")
+	quiet := flag.Bool("quiet", false, "suppress progress logging on stderr")
+	flag.Parse()
+
+	opts := cluster.WorkerOptions{
+		CrashFn: func() { os.Exit(3) },
+	}
+	if *crashAtLaunch >= 0 {
+		opts.CrashAtLaunch = crashAtLaunch
+	}
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "node: "+format+"\n", args...)
+		}
+	}
+	if err := cluster.WorkerMain(*listen, os.Stdout, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "node: %v\n", err)
+		os.Exit(1)
+	}
+}

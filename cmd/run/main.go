@@ -12,7 +12,18 @@
 // Apps: stencil, circuit, circuit-hint, spmv, miniaero, pennant-h2.
 // Transports: inproc (default), tcp (loopback sockets with the compact
 // wire encoding), flaky (inproc plus seeded random per-message latency,
-// for chaos-testing delivery-order independence).
+// for chaos-testing delivery-order independence), proc (each node in
+// its own OS process, bootstrapped by the internal/exec/cluster
+// coordinator).
+//
+// -transport proc re-execs this binary as the worker (or the binary
+// named by -node-bin, typically cmd/node). -crash-node N, with
+// -crash-at-launch L, makes worker N exit abruptly when it first sends
+// for launch L — the failure drill CI uses to assert a clean abort.
+//
+// A run that starts but fails (transport error, worker crash,
+// divergence from the sequential reference) still prints the JSON
+// report with its "error" field set, and exits nonzero.
 //
 // -size small selects the reduced per-node configurations the wide
 // test matrix and cmd/execbench use, making high node counts (and the
@@ -30,6 +41,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 
 	"autopart/internal/apps/circuit"
 	"autopart/internal/apps/miniaero"
@@ -37,6 +49,7 @@ import (
 	"autopart/internal/apps/spmv"
 	"autopart/internal/apps/stencil"
 	"autopart/internal/exec"
+	"autopart/internal/exec/cluster"
 	"autopart/internal/sim"
 	"autopart/pkg/autopart"
 )
@@ -148,15 +161,19 @@ type stepJSON struct {
 }
 
 type reportJSON struct {
-	App          string     `json:"app"`
-	Nodes        int        `json:"nodes"`
-	Steps        int        `json:"steps"`
-	Transport    string     `json:"transport"`
-	TotalBytes   float64    `json:"total_bytes"`
-	TotalMsgs    int        `json:"total_msgs"`
-	OverlapRatio float64    `json:"overlap_ratio"`
-	Checked      bool       `json:"checked_vs_sequential"`
-	PerStep      []stepJSON `json:"per_step"`
+	App          string  `json:"app"`
+	Nodes        int     `json:"nodes"`
+	Steps        int     `json:"steps"`
+	Transport    string  `json:"transport"`
+	TotalBytes   float64 `json:"total_bytes"`
+	TotalMsgs    int     `json:"total_msgs"`
+	OverlapRatio float64 `json:"overlap_ratio"`
+	Checked      bool    `json:"checked_vs_sequential"`
+	// Error is set when the run started but failed — a deferred
+	// transport socket error, a crashed worker process, or divergence
+	// from the sequential reference — and the exit status is nonzero.
+	Error   string     `json:"error,omitempty"`
+	PerStep []stepJSON `json:"per_step,omitempty"`
 }
 
 func nodeRows(nodes []sim.NodeStats, times []exec.NodeTiming) []nodeStatsJSON {
@@ -192,11 +209,20 @@ func main() {
 	app := flag.String("app", "", "builtin program to run (required)")
 	nodes := flag.Int("nodes", 4, "number of executor nodes")
 	steps := flag.Int("steps", 1, "main-loop iterations")
-	transport := flag.String("transport", "inproc", "message transport: inproc, tcp, or flaky")
+	transport := flag.String("transport", "inproc", "message transport: inproc, tcp, flaky, or proc")
 	size := flag.String("size", "default", "app configuration: default (paper scale) or small (test scale)")
 	minBytes := flag.Float64("min-bytes", 0, "fail unless at least this many bytes moved")
 	noCheck := flag.Bool("no-check", false, "skip bit-identity check against the sequential executor")
+	nodeBin := flag.String("node-bin", "", "proc transport: worker binary (default: re-exec this binary)")
+	crashNode := flag.Int("crash-node", -1, "proc transport: worker to crash mid-run (failure drill)")
+	crashAtLaunch := flag.Int("crash-at-launch", -1, "launch index at which -crash-node dies (worker mode: this worker's own crash point)")
+	procWorker := flag.Bool("proc-worker", false, "internal: serve as a spawned worker process")
+	listen := flag.String("listen", "127.0.0.1:0", "worker mode: control listen address")
 	flag.Parse()
+
+	if *procWorker {
+		os.Exit(workerMode(*listen, *crashAtLaunch))
+	}
 
 	build, ok := builders[*app]
 	if !ok {
@@ -209,9 +235,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	tf, err := exec.TransportByName(*transport)
-	if err != nil {
-		fatal(err)
+	var tf exec.TransportFactory
+	if *transport != "proc" {
+		var err error
+		tf, err = exec.TransportByName(*transport)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *size != "default" && *size != "small" {
 		fmt.Fprintf(os.Stderr, "run: unknown -size %q (have default, small)\n", *size)
@@ -221,32 +251,38 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := exec.Run(prog, exec.Config{Nodes: *nodes, Steps: *steps, Transport: tf})
+
+	rep := reportJSON{
+		App:       *app,
+		Nodes:     *nodes,
+		Steps:     *steps,
+		Transport: *transport,
+	}
+	var res *exec.Result
+	if *transport == "proc" {
+		res, err = procRun(prog, *nodes, *steps, *nodeBin, *crashNode, *crashAtLaunch)
+	} else {
+		res, err = exec.Run(prog, exec.Config{Nodes: *nodes, Steps: *steps, Transport: tf})
+	}
 	if err != nil {
-		fatal(err)
+		failJSON(rep, err)
 	}
 
 	if !*noCheck {
 		want, err := exec.RunSequentialReference(prog, *steps)
 		if err != nil {
-			fatal(fmt.Errorf("sequential reference: %w", err))
+			failJSON(rep, fmt.Errorf("sequential reference: %w", err))
 		}
-		for name, wr := range want.Regions {
-			if same, diff := wr.SameData(res.Machine.Regions[name]); !same {
-				fatal(fmt.Errorf("region %s diverges from sequential executor: %s", name, diff))
+		for _, name := range sortedRegionNames(want.Regions) {
+			if same, diff := want.Regions[name].SameData(res.Machine.Regions[name]); !same {
+				failJSON(rep, fmt.Errorf("region %s diverges from sequential executor: %s", name, diff))
 			}
 		}
 	}
 
-	rep := reportJSON{
-		App:        *app,
-		Nodes:      *nodes,
-		Steps:      *steps,
-		Transport:  *transport,
-		TotalBytes: res.TotalBytes(),
-		TotalMsgs:  res.TotalMsgs(),
-		Checked:    !*noCheck,
-	}
+	rep.TotalBytes = res.TotalBytes()
+	rep.TotalMsgs = res.TotalMsgs()
+	rep.Checked = !*noCheck
 	var totOverlap, totCompute int64
 	for si, sc := range res.Steps {
 		sj := stepJSON{Step: si, TotalBytes: sc.TotalBytes, TotalMsgs: sc.TotalMsgs}
@@ -270,16 +306,87 @@ func main() {
 	}
 	rep.OverlapRatio = overlapRatio(totOverlap, totCompute)
 
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fatal(err)
-	}
+	emitJSON(rep)
 
 	if rep.TotalBytes < *minBytes {
 		fmt.Fprintf(os.Stderr, "run: moved %.0f bytes, below -min-bytes %.0f\n", rep.TotalBytes, *minBytes)
 		os.Exit(1)
 	}
+}
+
+// workerMode is the hidden -proc-worker entry point: the process the
+// proc transport spawns when no -node-bin is given re-execs this same
+// binary, so a single build serves both roles.
+func workerMode(listen string, crashAtLaunch int) int {
+	opts := cluster.WorkerOptions{
+		CrashFn: func() { os.Exit(3) },
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "run worker: "+format+"\n", args...)
+		},
+	}
+	if crashAtLaunch >= 0 {
+		opts.CrashAtLaunch = &crashAtLaunch
+	}
+	err := cluster.WorkerMain(listen, os.Stdout, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run worker: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// procRun executes prog with each node in its own worker process.
+func procRun(prog *exec.Program, nodes, steps int, nodeBin string, crashNode, crashAtLaunch int) (*exec.Result, error) {
+	var command []string
+	if nodeBin != "" {
+		command = []string{nodeBin}
+	} else {
+		self, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("locate own binary for worker re-exec: %w", err)
+		}
+		command = []string{self, "-proc-worker"}
+	}
+	opts := cluster.SpawnOptions{Command: command}
+	if crashNode >= 0 {
+		if crashAtLaunch < 0 {
+			crashAtLaunch = 0
+		}
+		opts.ExtraArgs = func(id int) []string {
+			if id == crashNode {
+				return []string{"-crash-at-launch", strconv.Itoa(crashAtLaunch)}
+			}
+			return nil
+		}
+	}
+	return cluster.Spawn(prog, exec.Config{Nodes: nodes, Steps: steps}, opts)
+}
+
+func sortedRegionNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func emitJSON(rep reportJSON) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+// failJSON renders the failure into the run's JSON report — so callers
+// parsing stdout see the error, not just a silent nonzero exit — and
+// exits nonzero.
+func failJSON(rep reportJSON, err error) {
+	rep.Error = err.Error()
+	emitJSON(rep)
+	fmt.Fprintf(os.Stderr, "run: %v\n", err)
+	os.Exit(1)
 }
 
 func fatal(err error) {

@@ -1,0 +1,299 @@
+package cluster_test
+
+import (
+	"encoding/binary"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"autopart/internal/apps/circuit"
+	"autopart/internal/exec"
+	"autopart/internal/exec/cluster"
+	"autopart/internal/sim"
+	"autopart/pkg/autopart"
+)
+
+var (
+	compileMu sync.Mutex
+	compiledC *autopart.Compiled
+)
+
+// prog builds the circuit app at test scale — the same configuration
+// cmd/run -size small uses, so the multi-process drills here exercise
+// exactly what CI runs through the binaries.
+func prog(t *testing.T, nodes int) *exec.Program {
+	t.Helper()
+	compileMu.Lock()
+	if compiledC == nil {
+		c, err := autopart.Compile(circuit.Source, autopart.Options{})
+		if err != nil {
+			compileMu.Unlock()
+			t.Fatalf("compile circuit: %v", err)
+		}
+		compiledC = c
+	}
+	c := compiledC
+	compileMu.Unlock()
+	cfg := circuit.Config{WiresPerCluster: 200, NodesPerCluster: 100, SharedFraction: 0.02, CrossFraction: 0.20}
+	p, err := circuit.Executable(cfg, c, nodes, false)
+	if err != nil {
+		t.Fatalf("build circuit: %v", err)
+	}
+	return p
+}
+
+// startWorkers runs n in-process workers (the same ServeWorker loop
+// cmd/node wraps), returning their control addresses in node-id order
+// and a bounded wait for their exit errors.
+func startWorkers(t *testing.T, n int, optsFor func(id int) cluster.WorkerOptions) ([]string, func() []error) {
+	t.Helper()
+	addrs := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("worker %d: listen: %v", i, err)
+		}
+		addrs[i] = ln.Addr().String()
+		wg.Add(1)
+		go func(i int, ln net.Listener) {
+			defer wg.Done()
+			errs[i] = cluster.ServeWorker(ln, optsFor(i))
+		}(i, ln)
+	}
+	return addrs, func() []error {
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatal("workers did not exit within 60s")
+		}
+		return errs
+	}
+}
+
+// checkNoGoroutineLeak polls until the goroutine count returns to its
+// baseline (the pipe-leak idiom: teardown is asynchronous, so give it a
+// bounded window rather than a single sample).
+func checkNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestJoinBitIdentityAndSimCrossCheck is the cluster's headline
+// guarantee, mirroring the in-process executor's: a 4-worker
+// multi-process run is bit-identical to the sequential reference, and
+// every per-node, per-launch communication counter matches the analytic
+// model exactly.
+func TestJoinBitIdentityAndSimCrossCheck(t *testing.T) {
+	const nodes, steps = 4, 2
+	before := runtime.NumGoroutine()
+	p := prog(t, nodes)
+	addrs, wait := startWorkers(t, nodes, func(int) cluster.WorkerOptions { return cluster.WorkerOptions{} })
+	res, err := cluster.Join(p, exec.Config{Nodes: nodes, Steps: steps}, addrs, cluster.Options{})
+	for i, werr := range wait() {
+		if werr != nil {
+			t.Errorf("worker %d error: %v", i, werr)
+		}
+	}
+	if err != nil {
+		t.Fatalf("join run: %v", err)
+	}
+
+	want, err := exec.RunSequentialReference(p, steps)
+	if err != nil {
+		t.Fatalf("sequential reference: %v", err)
+	}
+	for name, wr := range want.Regions {
+		if same, diff := wr.SameData(res.Machine.Regions[name]); !same {
+			t.Errorf("region %s diverges from sequential: %s", name, diff)
+		}
+	}
+	if res.TotalBytes() == 0 {
+		t.Error("no bytes moved; the multi-process path is vacuous")
+	}
+
+	model := sim.Default()
+	launches := p.Plan.Launches()
+	for step := 0; step < steps; step++ {
+		its, err := model.RunIteration(launches, p.Parts, p.Owners)
+		if err != nil {
+			t.Fatalf("step %d: sim: %v", step, err)
+		}
+		for li, ls := range its.Launches {
+			measured := res.Steps[step].Launches[li]
+			for j := range ls.Nodes {
+				want, got := ls.Nodes[j], measured.Nodes[j]
+				want.ComputeUnits, got.ComputeUnits = 0, 0
+				if want != got {
+					t.Errorf("step %d launch %s node %d: sim predicts %+v, cluster measured %+v",
+						step, ls.Name, j, want, got)
+				}
+			}
+		}
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// writeRawCtrl frames a control body with an arbitrary version byte —
+// how a peer from a different build would look on the wire.
+func writeRawCtrl(t *testing.T, conn net.Conn, version uint8, c *exec.Ctrl) {
+	t.Helper()
+	body, err := exec.AppendCtrl(nil, version, c)
+	if err != nil {
+		t.Fatalf("append ctrl: %v", err)
+	}
+	frame := make([]byte, 4, 4+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
+	if _, err := conn.Write(append(frame, body...)); err != nil {
+		t.Fatalf("write ctrl: %v", err)
+	}
+}
+
+// TestWorkerRejectsWrongProtocolVersion: a coordinator from a foreign
+// build is refused at its first frame, with the version named.
+func TestWorkerRejectsWrongProtocolVersion(t *testing.T) {
+	before := runtime.NumGoroutine()
+	addrs, wait := startWorkers(t, 1, func(int) cluster.WorkerOptions {
+		return cluster.WorkerOptions{HandshakeTimeout: 5 * time.Second}
+	})
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatalf("dial worker: %v", err)
+	}
+	writeRawCtrl(t, conn, exec.WireProtoVersion+1, &exec.Ctrl{Kind: exec.CtrlHello, Node: 0, Nodes: 1, Steps: 1})
+	werr := wait()[0]
+	conn.Close()
+	if werr == nil || !strings.Contains(werr.Error(), "version") {
+		t.Fatalf("worker error = %v, want protocol version mismatch", werr)
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestCoordinatorRejectsWrongProtocolVersion: the converse — a worker
+// from a foreign build replies to hello with its version byte, and Join
+// refuses it, identifying the worker.
+func TestCoordinatorRejectsWrongProtocolVersion(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, err := exec.ReadCtrl(conn); err != nil {
+			return
+		}
+		writeRawCtrl(t, conn, exec.WireProtoVersion+1, &exec.Ctrl{Kind: exec.CtrlHello, Node: 0, Text: "127.0.0.1:1"})
+		// Linger so the coordinator's read sees the frame, not a reset.
+		buf := make([]byte, 1)
+		conn.Read(buf)
+	}()
+	p := prog(t, 1)
+	_, err = cluster.Join(p, exec.Config{Nodes: 1, Steps: 1}, []string{ln.Addr().String()},
+		cluster.Options{HandshakeTimeout: 5 * time.Second, AbortDrain: time.Second})
+	if err == nil || !strings.Contains(err.Error(), "version") || !strings.Contains(err.Error(), "worker 0") {
+		t.Fatalf("join error = %v, want worker 0 version mismatch", err)
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestHandshakeTimeout: a worker that connects but never completes the
+// handshake fails the run within the configured timeout instead of
+// hanging, and the error names it. The silent worker here also checks
+// the worker side's own patience: ServeWorker gives up when no
+// coordinator frame arrives.
+func TestHandshakeTimeout(t *testing.T) {
+	before := runtime.NumGoroutine()
+	// A listener that accepts and then says nothing.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		<-stop
+	}()
+	p := prog(t, 1)
+	start := time.Now()
+	_, err = cluster.Join(p, exec.Config{Nodes: 1, Steps: 1}, []string{ln.Addr().String()},
+		cluster.Options{HandshakeTimeout: 300 * time.Millisecond, AbortDrain: 300 * time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "worker 0") {
+		t.Fatalf("join error = %v, want worker 0 timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("timeout took %v; the deadline did not bite", elapsed)
+	}
+
+	// Worker side: a coordinator that never sends the hello frame.
+	addrs, wait := startWorkers(t, 1, func(int) cluster.WorkerOptions {
+		return cluster.WorkerOptions{HandshakeTimeout: 300 * time.Millisecond}
+	})
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if werr := wait()[0]; werr == nil {
+		t.Fatal("silent coordinator: worker returned nil, want handshake timeout")
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestWorkerKilledMidLaunch is the failure-semantics drill: one of four
+// workers dies abruptly mid-run (its launch-1 sends never happen, its
+// sockets slam shut). The coordinator must identify the dead node and
+// abort the whole run — no hang — and the survivors must exit, leaving
+// no goroutines behind.
+func TestWorkerKilledMidLaunch(t *testing.T) {
+	const nodes = 4
+	const victim = 2
+	before := runtime.NumGoroutine()
+	p := prog(t, nodes)
+	addrs, wait := startWorkers(t, nodes, func(id int) cluster.WorkerOptions {
+		if id == victim {
+			// Default CrashFn: drop the control connection and abort the
+			// mesh without a report — a process death in miniature.
+			crashAt := 1
+			return cluster.WorkerOptions{CrashAtLaunch: &crashAt}
+		}
+		return cluster.WorkerOptions{}
+	})
+	_, err := cluster.Join(p, exec.Config{Nodes: nodes, Steps: 1}, addrs,
+		cluster.Options{AbortDrain: 2 * time.Second})
+	if err == nil {
+		t.Fatal("join succeeded despite a killed worker")
+	}
+	if !strings.Contains(err.Error(), "node 2 died") {
+		t.Fatalf("join error = %v, want the dead node identified (node 2 died)", err)
+	}
+	errs := wait()
+	if errs[victim] == nil {
+		t.Error("crashed worker reported success")
+	}
+	checkNoGoroutineLeak(t, before)
+}

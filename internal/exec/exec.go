@@ -207,15 +207,222 @@ func validate(prog *Program, cfg Config) error {
 	return nil
 }
 
-// Run executes the program's plan cfg.Steps times on cfg.Nodes nodes
-// and gathers the distributed final state back into one machine.
-func Run(prog *Program, cfg Config) (*Result, error) {
+// applyDefaults fills the zero-value Config fields in place.
+func applyDefaults(cfg *Config) {
 	if cfg.Steps <= 0 {
 		cfg.Steps = 1
 	}
 	if cfg.BytesPerElem == 0 {
 		cfg.BytesPerElem = sim.Default().BytesPerElem
 	}
+}
+
+// NodeResult is one node's share of a run's outcome: its per-step,
+// per-launch measured statistics and timings, plus the final values of
+// the elements it owns (packed per field in the deterministic gather
+// order). RunNode produces one; AssembleResult recombines one per node
+// into a Result; EncodeNodeResult moves one across a process boundary.
+type NodeResult struct {
+	ID    int
+	Stats [][]sim.NodeStats
+	Times [][]NodeTiming
+	// final holds one packed piece per entry of finalOwners (sorted
+	// field keys): this node's owned slice of the field, with the
+	// region/field names stamped for cross-process validation.
+	final []message
+}
+
+// RunNode executes node id's share of the program against tr: the
+// single-node body of Run, exported so a worker process can run exactly
+// one color of a multi-process deployment. It drives the node's launch
+// loop and its inbox receiver, then packs the node's finally-owned data.
+// The caller owns the transport's lifecycle (deferred Err, Close).
+func RunNode(prog *Program, cfg Config, id int, tr Transport) (*NodeResult, error) {
+	applyDefaults(&cfg)
+	if err := validate(prog, cfg); err != nil {
+		return nil, err
+	}
+	if id < 0 || id >= cfg.Nodes {
+		return nil, fmt.Errorf("exec: node id %d out of range [0, %d)", id, cfg.Nodes)
+	}
+	nd := &node{
+		id:     id,
+		cfg:    cfg,
+		prog:   prog,
+		m:      cloneMachine(prog.Machine),
+		owners: cloneOwners(prog.Owners),
+		tr:     tr,
+		mb:     newMailbox(),
+		stats:  make([][]sim.NodeStats, cfg.Steps),
+		times:  make([][]NodeTiming, cfg.Steps),
+	}
+
+	// The receiver drains the merged inbox into the mailbox; eof
+	// sentinels become peer-death marks so a blocked take fails instead
+	// of hanging.
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for m := range tr.Inbox(id) {
+			if m.kind == eofMsg {
+				nd.mb.peerDead(m.from)
+				continue
+			}
+			nd.mb.put(m)
+		}
+		nd.mb.close()
+	}()
+
+	runErr := nd.run()
+	// Closing the send side on exit (normal or error) unblocks peers:
+	// queued messages drain, then receivers see the death and fail
+	// loudly instead of deadlocking.
+	tr.CloseSend(id)
+	rwg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := nd.mb.leftoverErr(); err != nil {
+		return nil, err
+	}
+
+	nr := &NodeResult{ID: id, Stats: nd.stats, Times: nd.times}
+	for _, fo := range finalOwners(prog, cfg.Steps) {
+		r := nd.m.Regions[fo.key.Region]
+		if r == nil {
+			return nil, fmt.Errorf("exec: gather: owner declared for unknown region %q", fo.key.Region)
+		}
+		msg, err := packField(r, fo.key.Field, fo.owner.Sub(id))
+		if err != nil {
+			return nil, err
+		}
+		msg.region, msg.field = fo.key.Region, fo.key.Field
+		nr.final = append(nr.final, msg)
+	}
+	return nr, nil
+}
+
+// finalOwner pairs a field with its owner partition after the run's
+// deterministic ownership evolution.
+type finalOwner struct {
+	key   sim.FieldKey
+	owner *region.Partition
+}
+
+// finalOwners replays the ownership evolution to its final state and
+// returns (field, owner) pairs in sorted field-key order — the shared
+// gather order both RunNode (packing) and AssembleResult (installing)
+// iterate in.
+func finalOwners(prog *Program, steps int) []finalOwner {
+	owners := cloneOwners(prog.Owners)
+	for step := 0; step < steps; step++ {
+		for _, t := range prog.Plan.Tasks {
+			for _, req := range t.Launch.Reqs {
+				if req.Priv != runtime.ReadWrite && req.Priv != runtime.WriteDiscard {
+					continue
+				}
+				for _, f := range req.Fields {
+					owners[sim.FieldKey{Region: req.Region, Field: f}] = prog.Parts[req.Sym]
+				}
+			}
+		}
+	}
+	out := make([]finalOwner, 0, len(owners))
+	for fk, p := range owners {
+		out = append(out, finalOwner{fk, p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key.Region != out[j].key.Region {
+			return out[i].key.Region < out[j].key.Region
+		}
+		return out[i].key.Field < out[j].key.Field
+	})
+	return out
+}
+
+// AssembleResult combines one NodeResult per color into the run's
+// Result: for every field, each element's final value comes from its
+// final owner's packed piece, installed in ascending color order (the
+// same order gather always used, so assembly is bit-identical whether
+// the results crossed a process boundary or not). Elements outside the
+// final owner's union keep their initial values — under the coherence
+// protocol they have no valid copy anywhere.
+func AssembleResult(prog *Program, cfg Config, results []*NodeResult) (*Result, error) {
+	applyDefaults(&cfg)
+	n := cfg.Nodes
+	if len(results) != n {
+		return nil, fmt.Errorf("exec: assemble: %d node results for %d nodes", len(results), n)
+	}
+	fos := finalOwners(prog, cfg.Steps)
+	for j, nr := range results {
+		if nr == nil {
+			return nil, fmt.Errorf("exec: assemble: missing result for node %d", j)
+		}
+		if nr.ID != j {
+			return nil, fmt.Errorf("exec: assemble: result %d claims node id %d", j, nr.ID)
+		}
+		if len(nr.Stats) != cfg.Steps || len(nr.Times) != cfg.Steps {
+			return nil, fmt.Errorf("exec: assemble: node %d reports %d/%d steps, want %d", j, len(nr.Stats), len(nr.Times), cfg.Steps)
+		}
+		if len(nr.final) != len(fos) {
+			return nil, fmt.Errorf("exec: assemble: node %d packed %d field pieces, want %d", j, len(nr.final), len(fos))
+		}
+	}
+
+	final := cloneMachine(prog.Machine)
+	for i, fo := range fos {
+		out := final.Regions[fo.key.Region]
+		if out == nil {
+			return nil, fmt.Errorf("exec: gather: owner declared for unknown region %q", fo.key.Region)
+		}
+		for c := 0; c < n; c++ {
+			piece := &results[c].final[i]
+			if piece.region != fo.key.Region || piece.field != fo.key.Field || !piece.set.Equal(fo.owner.Sub(c)) {
+				return nil, fmt.Errorf("exec: assemble: node %d piece %d is %s.%s %s, want %s.%s %s",
+					c, i, piece.region, piece.field, piece.set, fo.key.Region, fo.key.Field, fo.owner.Sub(c))
+			}
+			if err := installField(out, fo.key.Field, piece); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res := &Result{Machine: final}
+	for step := 0; step < cfg.Steps; step++ {
+		sc := StepComm{}
+		for li, t := range prog.Plan.Tasks {
+			lc := LaunchComm{
+				Name:  t.Launch.Name,
+				Nodes: make([]sim.NodeStats, n),
+				Times: make([]NodeTiming, n),
+			}
+			for j := 0; j < n; j++ {
+				if len(results[j].Stats[step]) != len(prog.Plan.Tasks) {
+					return nil, fmt.Errorf("exec: assemble: node %d step %d reports %d launches, want %d",
+						j, step, len(results[j].Stats[step]), len(prog.Plan.Tasks))
+				}
+				ns := results[j].Stats[step][li]
+				lc.Nodes[j] = ns
+				lc.Times[j] = results[j].Times[step][li]
+				lc.TotalBytes += ns.BytesOut
+				lc.TotalMsgs += ns.MsgsOut
+			}
+			sc.TotalBytes += lc.TotalBytes
+			sc.TotalMsgs += lc.TotalMsgs
+			sc.Launches = append(sc.Launches, lc)
+		}
+		res.Steps = append(res.Steps, sc)
+	}
+	return res, nil
+}
+
+// Run executes the program's plan cfg.Steps times on cfg.Nodes nodes
+// and gathers the distributed final state back into one machine. All
+// nodes run in this process as goroutines; package exec/cluster runs
+// the same RunNode bodies in separate worker processes.
+func Run(prog *Program, cfg Config) (*Result, error) {
+	applyDefaults(&cfg)
 	if cfg.Transport == nil {
 		cfg.Transport = InprocTransport()
 	}
@@ -229,55 +436,17 @@ func Run(prog *Program, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("exec: transport: %w", err)
 	}
 
-	nodes := make([]*node, n)
-	for j := 0; j < n; j++ {
-		nodes[j] = &node{
-			id:     j,
-			cfg:    cfg,
-			prog:   prog,
-			m:      cloneMachine(prog.Machine),
-			owners: cloneOwners(prog.Owners),
-			tr:     tr,
-			mb:     newMailbox(),
-			stats:  make([][]sim.NodeStats, cfg.Steps),
-			times:  make([][]NodeTiming, cfg.Steps),
-		}
-	}
-
-	// One receiver per node drains its merged inbox into the mailbox,
-	// timestamping arrivals; eof sentinels become peer-death marks so a
-	// blocked take fails instead of hanging.
-	var rwg sync.WaitGroup
-	for j := 0; j < n; j++ {
-		rwg.Add(1)
-		go func(nd *node) {
-			defer rwg.Done()
-			for m := range tr.Inbox(nd.id) {
-				if m.kind == eofMsg {
-					nd.mb.peerDead(m.from)
-					continue
-				}
-				nd.mb.put(m)
-			}
-			nd.mb.close()
-		}(nodes[j])
-	}
-
+	results := make([]*NodeResult, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for j := 0; j < n; j++ {
 		wg.Add(1)
-		go func(nd *node) {
+		go func(id int) {
 			defer wg.Done()
-			// Closing the node's send side on exit (normal or error)
-			// unblocks peers: queued messages drain, then receivers see the
-			// death and fail loudly instead of deadlocking.
-			defer tr.CloseSend(nd.id)
-			errs[nd.id] = nd.run()
-		}(nodes[j])
+			results[id], errs[id] = RunNode(prog, cfg, id, tr)
+		}(j)
 	}
 	wg.Wait()
-	rwg.Wait()
 	for j, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("exec: node %d: %w", j, err)
@@ -288,94 +457,12 @@ func Run(prog *Program, cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	for j, nd := range nodes {
-		if err := nd.mb.leftoverErr(); err != nil {
-			return nil, fmt.Errorf("exec: node %d: %w", j, err)
-		}
-	}
 	if c, ok := tr.(io.Closer); ok {
 		if err := c.Close(); err != nil {
 			return nil, fmt.Errorf("exec: transport close: %w", err)
 		}
 	}
-
-	final, err := gather(prog, nodes)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Machine: final}
-	for step := 0; step < cfg.Steps; step++ {
-		sc := StepComm{}
-		for li, t := range prog.Plan.Tasks {
-			lc := LaunchComm{
-				Name:  t.Launch.Name,
-				Nodes: make([]sim.NodeStats, n),
-				Times: make([]NodeTiming, n),
-			}
-			for j := 0; j < n; j++ {
-				ns := nodes[j].stats[step][li]
-				lc.Nodes[j] = ns
-				lc.Times[j] = nodes[j].times[step][li]
-				lc.TotalBytes += ns.BytesOut
-				lc.TotalMsgs += ns.MsgsOut
-			}
-			sc.TotalBytes += lc.TotalBytes
-			sc.TotalMsgs += lc.TotalMsgs
-			sc.Launches = append(sc.Launches, lc)
-		}
-		res.Steps = append(res.Steps, sc)
-	}
-	return res, nil
-}
-
-// gather assembles the final global state: for every field, each
-// element's value comes from its final owner's local copy, in ascending
-// color order. Elements outside the final owner's union keep their
-// initial values — under the coherence protocol they have no valid copy
-// anywhere, and reading them in a later launch would have failed loudly.
-func gather(prog *Program, nodes []*node) (*ir.Machine, error) {
-	out := cloneMachine(prog.Machine)
-	// Replay the deterministic ownership evolution to its final state.
-	owners := cloneOwners(prog.Owners)
-	for step := 0; step < len(nodes[0].stats); step++ {
-		for _, t := range prog.Plan.Tasks {
-			for _, req := range t.Launch.Reqs {
-				if req.Priv != runtime.ReadWrite && req.Priv != runtime.WriteDiscard {
-					continue
-				}
-				for _, f := range req.Fields {
-					owners[sim.FieldKey{Region: req.Region, Field: f}] = prog.Parts[req.Sym]
-				}
-			}
-		}
-	}
-	fks := make([]sim.FieldKey, 0, len(owners))
-	for fk := range owners {
-		fks = append(fks, fk)
-	}
-	sort.Slice(fks, func(i, j int) bool {
-		if fks[i].Region != fks[j].Region {
-			return fks[i].Region < fks[j].Region
-		}
-		return fks[i].Field < fks[j].Field
-	})
-	for _, fk := range fks {
-		owner := owners[fk]
-		for c := 0; c < len(nodes); c++ {
-			r := nodes[c].m.Regions[fk.Region]
-			if r == nil {
-				return nil, fmt.Errorf("exec: gather: owner declared for unknown region %q", fk.Region)
-			}
-			msg, err := packField(r, fk.Field, owner.Sub(c))
-			if err != nil {
-				return nil, err
-			}
-			if err := installField(out.Regions[fk.Region], fk.Field, &msg); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return out, nil
+	return AssembleResult(prog, cfg, results)
 }
 
 // RunSequentialReference executes the same plan with the sequential

@@ -1,0 +1,1273 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"autopart/internal/geometry"
+	"autopart/internal/infer"
+	"autopart/internal/ir"
+	"autopart/internal/lang"
+	"autopart/internal/region"
+	"autopart/internal/rewrite"
+	"autopart/internal/runtime"
+	"autopart/internal/sim"
+)
+
+// Program wire format: the serialized form of an executable Program that
+// the coordinator ships to every worker process during bootstrap. It
+// reuses wire.go's primitives (little-endian, length-prefixed counts,
+// bounds-checked reads) and its safety contract: DecodeProgram never
+// panics on corrupt input, never allocates more than the input's own
+// size allows, rejects trailing bytes, and rejects any version byte it
+// does not speak.
+//
+// Layout (one blob, no outer frame — the control plane frames it):
+//
+//	u8  progWireVersion
+//	u32 region count, then per region (sorted by name):
+//	    str name, u64 size, and per field kind (sorted field names):
+//	    u32 count { str field, size × payload }
+//	u32 func count { str name, u8 kind, kind-specific body }
+//	u32 extern partition count { partition }   (machine.Partitions)
+//	u32 partition count { str sym, partition } (prog.Parts)
+//	u32 owner count { str region, str field, partition }
+//	u32 task count { launch, parallel loop }
+//
+// A partition is its name, its parent region's name, and its subregion
+// index sets; decode re-parents it onto the already-decoded region and
+// verifies every subregion stays inside the parent's index space (the
+// invariant region.NewPartition would otherwise enforce by panicking).
+// A parallel loop's Access map is keyed by statement pointers, which
+// cannot cross the wire: statements are numbered by pre-order walk of
+// the loop body, and access entries are written as (index, info) pairs
+// re-associated after the statement tree is rebuilt.
+const progWireVersion = 1
+
+// maxProgDepth bounds statement and scalar-expression nesting during
+// decode: real programs are a handful of levels deep, and the limit
+// keeps fuzzed inputs from overflowing the decoder's stack.
+const maxProgDepth = 200
+
+// ErrProgWireVersion is wrapped by decode errors caused by a version
+// byte mismatch, so callers can distinguish "foreign version" from
+// "corrupt blob".
+var errProgWireVersion = fmt.Errorf("exec: progwire: version mismatch")
+
+func appendStr(buf []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return nil, fmt.Errorf("exec: progwire: string of %d bytes too long", len(s))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...), nil
+}
+
+func (r *wireReader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func appendSet(buf []byte, set geometry.IndexSet) []byte {
+	ivs := set.Intervals()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ivs)))
+	for _, iv := range ivs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(iv.Lo))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(iv.Hi))
+	}
+	return buf
+}
+
+func (r *wireReader) set() (geometry.IndexSet, error) {
+	n, err := r.count(16)
+	if err != nil {
+		return geometry.IndexSet{}, err
+	}
+	ivs := make([]geometry.Interval, n)
+	for i := range ivs {
+		lo, err := r.u64()
+		if err != nil {
+			return geometry.IndexSet{}, err
+		}
+		hi, err := r.u64()
+		if err != nil {
+			return geometry.IndexSet{}, err
+		}
+		ivs[i] = geometry.Interval{Lo: int64(lo), Hi: int64(hi)}
+	}
+	return geometry.FromIntervals(ivs...), nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EncodeProgram serializes prog for distribution to worker processes.
+// The encoding is deterministic: maps are written in sorted key order,
+// so the same program always produces the same bytes.
+func EncodeProgram(prog *Program) ([]byte, error) {
+	if prog == nil || prog.Machine == nil || prog.Plan == nil || prog.Owners == nil {
+		return nil, fmt.Errorf("exec: progwire: incomplete program")
+	}
+	buf := []byte{progWireVersion}
+	var err error
+	if buf, err = appendRegions(buf, prog.Machine); err != nil {
+		return nil, err
+	}
+	if buf, err = appendFuncs(buf, prog.Machine); err != nil {
+		return nil, err
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(prog.Machine.Partitions)))
+	for _, name := range sortedKeys(prog.Machine.Partitions) {
+		if buf, err = appendPartition(buf, prog.Machine.Partitions[name]); err != nil {
+			return nil, err
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(prog.Parts)))
+	for _, sym := range sortedKeys(prog.Parts) {
+		if buf, err = appendStr(buf, sym); err != nil {
+			return nil, err
+		}
+		if buf, err = appendPartition(buf, prog.Parts[sym]); err != nil {
+			return nil, err
+		}
+	}
+	fks := make([]sim.FieldKey, 0, len(prog.Owners.Owners))
+	for fk := range prog.Owners.Owners {
+		fks = append(fks, fk)
+	}
+	sort.Slice(fks, func(i, j int) bool {
+		if fks[i].Region != fks[j].Region {
+			return fks[i].Region < fks[j].Region
+		}
+		return fks[i].Field < fks[j].Field
+	})
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fks)))
+	for _, fk := range fks {
+		if buf, err = appendStr(buf, fk.Region); err != nil {
+			return nil, err
+		}
+		if buf, err = appendStr(buf, fk.Field); err != nil {
+			return nil, err
+		}
+		if buf, err = appendPartition(buf, prog.Owners.Owners[fk]); err != nil {
+			return nil, err
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(prog.Plan.Tasks)))
+	for _, t := range prog.Plan.Tasks {
+		if buf, err = appendLaunch(buf, t.Launch); err != nil {
+			return nil, err
+		}
+		if buf, err = appendParallelLoop(buf, t.Loop); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeProgram rebuilds a Program from EncodeProgram's output. The
+// result shares nothing with the encoder's program: regions, partitions,
+// and the plan are freshly built, ready for a worker's RunNode.
+func DecodeProgram(data []byte) (*Program, error) {
+	r := &wireReader{data: data}
+	v, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if v != progWireVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", errProgWireVersion, v, progWireVersion)
+	}
+	m := ir.NewMachine()
+	if err := readRegions(r, m); err != nil {
+		return nil, err
+	}
+	if err := readFuncs(r, m); err != nil {
+		return nil, err
+	}
+	nparts, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nparts; i++ {
+		p, err := readPartition(r, m)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m.Partitions[p.Name()]; dup {
+			return nil, fmt.Errorf("exec: progwire: duplicate extern partition %q", p.Name())
+		}
+		m.Partitions[p.Name()] = p
+	}
+	prog := &Program{Machine: m, Plan: &runtime.Plan{}, Parts: map[string]*region.Partition{}, Owners: sim.NewState()}
+	nsyms, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nsyms; i++ {
+		sym, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		p, err := readPartition(r, m)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := prog.Parts[sym]; dup {
+			return nil, fmt.Errorf("exec: progwire: duplicate partition symbol %q", sym)
+		}
+		prog.Parts[sym] = p
+	}
+	nowners, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nowners; i++ {
+		regionName, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		field, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		p, err := readPartition(r, m)
+		if err != nil {
+			return nil, err
+		}
+		fk := sim.FieldKey{Region: regionName, Field: field}
+		if _, dup := prog.Owners.Owners[fk]; dup {
+			return nil, fmt.Errorf("exec: progwire: duplicate owner for %s.%s", regionName, field)
+		}
+		prog.Owners.Owners[fk] = p
+	}
+	ntasks, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ntasks; i++ {
+		launch, err := readLaunch(r)
+		if err != nil {
+			return nil, err
+		}
+		loop, err := readParallelLoop(r)
+		if err != nil {
+			return nil, err
+		}
+		prog.Plan.Tasks = append(prog.Plan.Tasks, runtime.Task{Launch: launch, Loop: loop})
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("exec: progwire: %d trailing bytes after program", r.remaining())
+	}
+	return prog, nil
+}
+
+func appendRegions(buf []byte, m *ir.Machine) ([]byte, error) {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Regions)))
+	var err error
+	for _, name := range sortedKeys(m.Regions) {
+		reg := m.Regions[name]
+		if buf, err = appendStr(buf, reg.Name()); err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(reg.Size()))
+		var scalars, indexes, ranges []string
+		for _, f := range reg.FieldNames() {
+			switch kind, _ := reg.FieldKindOf(f); kind {
+			case region.ScalarField:
+				scalars = append(scalars, f)
+			case region.IndexField:
+				indexes = append(indexes, f)
+			case region.RangeField:
+				ranges = append(ranges, f)
+			}
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(scalars)))
+		for _, f := range scalars {
+			if buf, err = appendStr(buf, f); err != nil {
+				return nil, err
+			}
+			for _, v := range reg.Scalar(f) {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+			}
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(indexes)))
+		for _, f := range indexes {
+			if buf, err = appendStr(buf, f); err != nil {
+				return nil, err
+			}
+			for _, v := range reg.Index(f) {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+			}
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ranges)))
+		for _, f := range ranges {
+			if buf, err = appendStr(buf, f); err != nil {
+				return nil, err
+			}
+			for _, iv := range reg.Ranges(f) {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(iv.Lo))
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(iv.Hi))
+			}
+		}
+	}
+	return buf, nil
+}
+
+func readRegions(r *wireReader, m *ir.Machine) error {
+	nregions, err := r.count(1)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nregions; i++ {
+		name, err := r.str()
+		if err != nil {
+			return err
+		}
+		if _, dup := m.Regions[name]; dup {
+			return fmt.Errorf("exec: progwire: duplicate region %q", name)
+		}
+		rawSize, err := r.u64()
+		if err != nil {
+			return err
+		}
+		size := int64(rawSize)
+		if size < 0 {
+			return fmt.Errorf("exec: progwire: region %q has negative size", name)
+		}
+		reg := region.New(name, size)
+		// Each field kind reads: field count, then per field a name and
+		// exactly size elements. The per-element count guard is the
+		// region size itself, checked against the remaining frame.
+		for kind := region.ScalarField; kind <= region.RangeField; kind++ {
+			elem := 8
+			if kind == region.RangeField {
+				elem = 16
+			}
+			nfields, err := r.count(1)
+			if err != nil {
+				return err
+			}
+			for j := 0; j < nfields; j++ {
+				f, err := r.str()
+				if err != nil {
+					return err
+				}
+				if f == "" || reg.HasField(f) {
+					return fmt.Errorf("exec: progwire: region %q: bad or duplicate field %q", name, f)
+				}
+				if size > int64(r.remaining()/elem) {
+					return fmt.Errorf("exec: progwire: region %q field %q: %d elements exceed frame remainder %d", name, f, size, r.remaining())
+				}
+				switch kind {
+				case region.ScalarField:
+					reg.AddScalarField(f)
+					data := reg.Scalar(f)
+					for k := range data {
+						v, err := r.u64()
+						if err != nil {
+							return err
+						}
+						data[k] = math.Float64frombits(v)
+					}
+				case region.IndexField:
+					reg.AddIndexField(f)
+					data := reg.Index(f)
+					for k := range data {
+						v, err := r.u64()
+						if err != nil {
+							return err
+						}
+						data[k] = int64(v)
+					}
+				case region.RangeField:
+					reg.AddRangeField(f)
+					data := reg.Ranges(f)
+					for k := range data {
+						lo, err := r.u64()
+						if err != nil {
+							return err
+						}
+						hi, err := r.u64()
+						if err != nil {
+							return err
+						}
+						data[k] = geometry.Interval{Lo: int64(lo), Hi: int64(hi)}
+					}
+				}
+			}
+		}
+		m.AddRegion(reg)
+	}
+	return nil
+}
+
+// Index function kinds on the wire.
+const (
+	funcIdentity = iota
+	funcAffine
+	funcTable
+)
+
+func appendFuncs(buf []byte, m *ir.Machine) ([]byte, error) {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Funcs)))
+	var err error
+	for _, name := range sortedKeys(m.Funcs) {
+		if buf, err = appendStr(buf, name); err != nil {
+			return nil, err
+		}
+		switch f := m.Funcs[name].(type) {
+		case geometry.IdentityMap:
+			buf = append(buf, funcIdentity)
+		case geometry.AffineMap:
+			buf = append(buf, funcAffine)
+			if buf, err = appendStr(buf, f.Name); err != nil {
+				return nil, err
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Stride))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Offset))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Modulo))
+			if f.Clamp != nil {
+				buf = append(buf, 1)
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Clamp.Lo))
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Clamp.Hi))
+			} else {
+				buf = append(buf, 0)
+			}
+		case geometry.TableMap:
+			buf = append(buf, funcTable)
+			if buf, err = appendStr(buf, f.Name); err != nil {
+				return nil, err
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Table)))
+			for _, v := range f.Table {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+			}
+		default:
+			return nil, fmt.Errorf("exec: progwire: index function %q has unserializable type %T", name, m.Funcs[name])
+		}
+	}
+	return buf, nil
+}
+
+func readFuncs(r *wireReader, m *ir.Machine) error {
+	nfuncs, err := r.count(1)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nfuncs; i++ {
+		name, err := r.str()
+		if err != nil {
+			return err
+		}
+		if _, dup := m.Funcs[name]; dup {
+			return fmt.Errorf("exec: progwire: duplicate index function %q", name)
+		}
+		kind, err := r.u8()
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case funcIdentity:
+			m.Funcs[name] = geometry.IdentityMap{}
+		case funcAffine:
+			f := geometry.AffineMap{}
+			if f.Name, err = r.str(); err != nil {
+				return err
+			}
+			fields := [3]*int64{&f.Stride, &f.Offset, &f.Modulo}
+			for _, dst := range fields {
+				v, err := r.u64()
+				if err != nil {
+					return err
+				}
+				*dst = int64(v)
+			}
+			hasClamp, err := r.u8()
+			if err != nil {
+				return err
+			}
+			if hasClamp != 0 {
+				lo, err := r.u64()
+				if err != nil {
+					return err
+				}
+				hi, err := r.u64()
+				if err != nil {
+					return err
+				}
+				f.Clamp = &geometry.Interval{Lo: int64(lo), Hi: int64(hi)}
+			}
+			m.Funcs[name] = f
+		case funcTable:
+			f := geometry.TableMap{}
+			if f.Name, err = r.str(); err != nil {
+				return err
+			}
+			n, err := r.count(8)
+			if err != nil {
+				return err
+			}
+			f.Table = make([]int64, n)
+			for k := range f.Table {
+				v, err := r.u64()
+				if err != nil {
+					return err
+				}
+				f.Table[k] = int64(v)
+			}
+			m.Funcs[name] = f
+		default:
+			return fmt.Errorf("exec: progwire: unknown index function kind %d", kind)
+		}
+	}
+	return nil
+}
+
+func appendPartition(buf []byte, p *region.Partition) ([]byte, error) {
+	if p == nil || p.Parent() == nil {
+		return nil, fmt.Errorf("exec: progwire: partition without a parent region")
+	}
+	buf, err := appendStr(buf, p.Name())
+	if err != nil {
+		return nil, err
+	}
+	if buf, err = appendStr(buf, p.Parent().Name()); err != nil {
+		return nil, err
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.NumSubs()))
+	for _, s := range p.Subs() {
+		buf = appendSet(buf, s)
+	}
+	return buf, nil
+}
+
+// readPartition decodes a partition and re-parents it onto m's region of
+// the recorded name, rejecting (rather than panicking on) subregions
+// that escape the parent's index space.
+func readPartition(r *wireReader, m *ir.Machine) (*region.Partition, error) {
+	name, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	parentName, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	parent := m.Regions[parentName]
+	if parent == nil {
+		return nil, fmt.Errorf("exec: progwire: partition %q references unknown region %q", name, parentName)
+	}
+	nsubs, err := r.count(4)
+	if err != nil {
+		return nil, err
+	}
+	space := parent.Space()
+	subs := make([]geometry.IndexSet, nsubs)
+	for i := range subs {
+		s, err := r.set()
+		if err != nil {
+			return nil, err
+		}
+		if !s.SubsetOf(space) {
+			return nil, fmt.Errorf("exec: progwire: partition %q: subregion %d escapes region %q", name, i, parentName)
+		}
+		subs[i] = s
+	}
+	return region.NewPartition(name, parent, subs), nil
+}
+
+func appendLaunch(buf []byte, l *runtime.Launch) ([]byte, error) {
+	if l == nil {
+		return nil, fmt.Errorf("exec: progwire: task without a launch")
+	}
+	var err error
+	for _, s := range []string{l.Name, l.IterSym, l.WorkSym} {
+		if buf, err = appendStr(buf, s); err != nil {
+			return nil, err
+		}
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(l.WorkPerElement))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.Reqs)))
+	for _, req := range l.Reqs {
+		if buf, err = appendStr(buf, req.Region); err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Fields)))
+		for _, f := range req.Fields {
+			if buf, err = appendStr(buf, f); err != nil {
+				return nil, err
+			}
+		}
+		buf = append(buf, byte(req.Priv))
+		for _, s := range []string{req.Sym, req.ReduceOp, req.PrivateSym, req.TouchedSym} {
+			if buf, err = appendStr(buf, s); err != nil {
+				return nil, err
+			}
+		}
+		buf = append(buf, boolByte(req.Guarded))
+	}
+	return buf, nil
+}
+
+func readLaunch(r *wireReader) (*runtime.Launch, error) {
+	l := &runtime.Launch{}
+	for _, dst := range []*string{&l.Name, &l.IterSym, &l.WorkSym} {
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		*dst = s
+	}
+	bits, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	l.WorkPerElement = math.Float64frombits(bits)
+	nreqs, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nreqs; i++ {
+		var req runtime.Requirement
+		if req.Region, err = r.str(); err != nil {
+			return nil, err
+		}
+		nfields, err := r.count(2)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < nfields; j++ {
+			f, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			req.Fields = append(req.Fields, f)
+		}
+		priv, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if priv > byte(runtime.Reduce) {
+			return nil, fmt.Errorf("exec: progwire: launch %s: unknown privilege %d", l.Name, priv)
+		}
+		req.Priv = runtime.Privilege(priv)
+		for _, dst := range []*string{&req.Sym, &req.ReduceOp, &req.PrivateSym, &req.TouchedSym} {
+			s, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			*dst = s
+		}
+		guarded, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		req.Guarded = guarded != 0
+		l.Reqs = append(l.Reqs, req)
+	}
+	return l, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// walkStmts visits the statement tree in pre-order, the traversal both
+// sides of the wire use to number statements for the Access map.
+func walkStmts(stmts []ir.Stmt, fn func(ir.Stmt)) {
+	for _, s := range stmts {
+		fn(s)
+		switch st := s.(type) {
+		case *ir.Inner:
+			walkStmts(st.Body, fn)
+		case *ir.IfIn:
+			walkStmts(st.Then, fn)
+			walkStmts(st.Else, fn)
+		case *ir.IfCmp:
+			walkStmts(st.Then, fn)
+			walkStmts(st.Else, fn)
+		}
+	}
+}
+
+func appendParallelLoop(buf []byte, pl *rewrite.ParallelLoop) ([]byte, error) {
+	if pl == nil || pl.Loop == nil {
+		return nil, fmt.Errorf("exec: progwire: task without a loop")
+	}
+	var err error
+	if buf, err = appendStr(buf, pl.IterSym); err != nil {
+		return nil, err
+	}
+	buf = append(buf, boolByte(pl.Relaxed))
+	if buf, err = appendStr(buf, pl.Loop.Var); err != nil {
+		return nil, err
+	}
+	if buf, err = appendStr(buf, pl.Loop.Region); err != nil {
+		return nil, err
+	}
+	if buf, err = appendStmts(buf, pl.Loop.Stmts); err != nil {
+		return nil, err
+	}
+	// Access entries, keyed by the statement's pre-order index and
+	// written in index order for determinism.
+	index := map[ir.Stmt]int{}
+	walkStmts(pl.Loop.Stmts, func(s ir.Stmt) { index[s] = len(index) })
+	type entry struct {
+		idx  int
+		info *rewrite.AccessInfo
+	}
+	entries := make([]entry, 0, len(pl.Access))
+	for s, info := range pl.Access {
+		idx, ok := index[s]
+		if !ok {
+			return nil, fmt.Errorf("exec: progwire: access entry for statement outside the loop body (%s)", s)
+		}
+		entries = append(entries, entry{idx, info})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].idx < entries[j].idx })
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.idx))
+		info := e.info
+		for _, s := range []string{info.Sym, string(info.Op), info.Region, info.Field, info.PrivateSym} {
+			if buf, err = appendStr(buf, s); err != nil {
+				return nil, err
+			}
+		}
+		buf = append(buf, byte(info.Kind))
+		var flags byte
+		if info.Centered {
+			flags |= 1
+		}
+		if info.Guarded {
+			flags |= 2
+		}
+		if info.Buffered {
+			flags |= 4
+		}
+		buf = append(buf, flags)
+	}
+	return buf, nil
+}
+
+func readParallelLoop(r *wireReader) (*rewrite.ParallelLoop, error) {
+	pl := &rewrite.ParallelLoop{Loop: &ir.Loop{}, Access: map[ir.Stmt]*rewrite.AccessInfo{}}
+	var err error
+	if pl.IterSym, err = r.str(); err != nil {
+		return nil, err
+	}
+	relaxed, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	pl.Relaxed = relaxed != 0
+	if pl.Loop.Var, err = r.str(); err != nil {
+		return nil, err
+	}
+	if pl.Loop.Region, err = r.str(); err != nil {
+		return nil, err
+	}
+	if pl.Loop.Stmts, err = readStmts(r, 0); err != nil {
+		return nil, err
+	}
+	var order []ir.Stmt
+	walkStmts(pl.Loop.Stmts, func(s ir.Stmt) { order = append(order, s) })
+	naccess, err := r.count(4)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < naccess; i++ {
+		idx, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(idx) >= len(order) {
+			return nil, fmt.Errorf("exec: progwire: access entry for statement %d of %d", idx, len(order))
+		}
+		st := order[idx]
+		if _, dup := pl.Access[st]; dup {
+			return nil, fmt.Errorf("exec: progwire: duplicate access entry for statement %d", idx)
+		}
+		info := &rewrite.AccessInfo{}
+		var op string
+		for _, dst := range []*string{&info.Sym, &op, &info.Region, &info.Field, &info.PrivateSym} {
+			s, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			*dst = s
+		}
+		info.Op = lang.ReduceOp(op)
+		kind, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if kind > byte(infer.RangeAccess) {
+			return nil, fmt.Errorf("exec: progwire: unknown access kind %d", kind)
+		}
+		info.Kind = infer.AccessKind(kind)
+		flags, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		info.Centered = flags&1 != 0
+		info.Guarded = flags&2 != 0
+		info.Buffered = flags&4 != 0
+		pl.Access[st] = info
+	}
+	return pl, nil
+}
+
+// Statement tags on the wire.
+const (
+	stmtLoad = iota + 1
+	stmtStore
+	stmtApply
+	stmtAlias
+	stmtInner
+	stmtIfIn
+	stmtIfCmp
+	stmtLet
+)
+
+func appendPos(buf []byte, p lang.Pos) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Line))
+	return binary.LittleEndian.AppendUint32(buf, uint32(p.Col))
+}
+
+func (r *wireReader) srcPos() (lang.Pos, error) {
+	line, err := r.u32()
+	if err != nil {
+		return lang.Pos{}, err
+	}
+	col, err := r.u32()
+	if err != nil {
+		return lang.Pos{}, err
+	}
+	return lang.Pos{Line: int(int32(line)), Col: int(int32(col))}, nil
+}
+
+func appendStmts(buf []byte, stmts []ir.Stmt) ([]byte, error) {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(stmts)))
+	var err error
+	for _, s := range stmts {
+		if buf, err = appendStmt(buf, s); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func appendStmt(buf []byte, s ir.Stmt) ([]byte, error) {
+	var err error
+	appendAll := func(tag byte, pos lang.Pos, strs ...string) error {
+		buf = append(buf, tag)
+		buf = appendPos(buf, pos)
+		for _, str := range strs {
+			if buf, err = appendStr(buf, str); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch st := s.(type) {
+	case *ir.Load:
+		return buf, appendAll(stmtLoad, st.Pos, st.Var, st.Region, st.Field, st.Idx)
+	case *ir.Store:
+		if err := appendAll(stmtStore, st.Pos, st.Region, st.Field, st.Idx, string(st.Op)); err != nil {
+			return nil, err
+		}
+		buf, err = appendScalarExpr(buf, st.Rhs)
+		return buf, err
+	case *ir.Apply:
+		return buf, appendAll(stmtApply, st.Pos, st.Var, st.Func, st.Arg)
+	case *ir.Alias:
+		return buf, appendAll(stmtAlias, st.Pos, st.Var, st.Src)
+	case *ir.Inner:
+		if err := appendAll(stmtInner, st.Pos, st.Var, st.RangeRegion, st.RangeField, st.Idx); err != nil {
+			return nil, err
+		}
+		buf, err = appendStmts(buf, st.Body)
+		return buf, err
+	case *ir.IfIn:
+		if err := appendAll(stmtIfIn, st.Pos, st.Idx, st.Space); err != nil {
+			return nil, err
+		}
+		if buf, err = appendStmts(buf, st.Then); err != nil {
+			return nil, err
+		}
+		buf, err = appendStmts(buf, st.Else)
+		return buf, err
+	case *ir.IfCmp:
+		if err := appendAll(stmtIfCmp, st.Pos, st.Op); err != nil {
+			return nil, err
+		}
+		if buf, err = appendScalarExpr(buf, st.L); err != nil {
+			return nil, err
+		}
+		if buf, err = appendScalarExpr(buf, st.R); err != nil {
+			return nil, err
+		}
+		if buf, err = appendStmts(buf, st.Then); err != nil {
+			return nil, err
+		}
+		buf, err = appendStmts(buf, st.Else)
+		return buf, err
+	case *ir.LetScalar:
+		if err := appendAll(stmtLet, st.Pos, st.Var); err != nil {
+			return nil, err
+		}
+		buf, err = appendScalarExpr(buf, st.Rhs)
+		return buf, err
+	default:
+		return nil, fmt.Errorf("exec: progwire: unserializable statement type %T", s)
+	}
+}
+
+func readStmts(r *wireReader, depth int) ([]ir.Stmt, error) {
+	if depth > maxProgDepth {
+		return nil, fmt.Errorf("exec: progwire: statement nesting exceeds %d", maxProgDepth)
+	}
+	// A statement is at least tag + pos = 9 bytes.
+	n, err := r.count(9)
+	if err != nil {
+		return nil, err
+	}
+	var out []ir.Stmt
+	for i := 0; i < n; i++ {
+		s, err := readStmt(r, depth)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func readStmt(r *wireReader, depth int) (ir.Stmt, error) {
+	tag, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	pos, err := r.srcPos()
+	if err != nil {
+		return nil, err
+	}
+	strs := func(dsts ...*string) error {
+		for _, dst := range dsts {
+			s, err := r.str()
+			if err != nil {
+				return err
+			}
+			*dst = s
+		}
+		return nil
+	}
+	switch tag {
+	case stmtLoad:
+		st := &ir.Load{Pos: pos}
+		return st, strs(&st.Var, &st.Region, &st.Field, &st.Idx)
+	case stmtStore:
+		st := &ir.Store{Pos: pos}
+		var op string
+		if err := strs(&st.Region, &st.Field, &st.Idx, &op); err != nil {
+			return nil, err
+		}
+		st.Op = lang.ReduceOp(op)
+		if st.Rhs, err = readScalarExpr(r, depth+1); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case stmtApply:
+		st := &ir.Apply{Pos: pos}
+		return st, strs(&st.Var, &st.Func, &st.Arg)
+	case stmtAlias:
+		st := &ir.Alias{Pos: pos}
+		return st, strs(&st.Var, &st.Src)
+	case stmtInner:
+		st := &ir.Inner{Pos: pos}
+		if err := strs(&st.Var, &st.RangeRegion, &st.RangeField, &st.Idx); err != nil {
+			return nil, err
+		}
+		if st.Body, err = readStmts(r, depth+1); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case stmtIfIn:
+		st := &ir.IfIn{Pos: pos}
+		if err := strs(&st.Idx, &st.Space); err != nil {
+			return nil, err
+		}
+		if st.Then, err = readStmts(r, depth+1); err != nil {
+			return nil, err
+		}
+		if st.Else, err = readStmts(r, depth+1); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case stmtIfCmp:
+		st := &ir.IfCmp{Pos: pos}
+		if err := strs(&st.Op); err != nil {
+			return nil, err
+		}
+		if st.L, err = readScalarExpr(r, depth+1); err != nil {
+			return nil, err
+		}
+		if st.R, err = readScalarExpr(r, depth+1); err != nil {
+			return nil, err
+		}
+		if st.Then, err = readStmts(r, depth+1); err != nil {
+			return nil, err
+		}
+		if st.Else, err = readStmts(r, depth+1); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case stmtLet:
+		st := &ir.LetScalar{Pos: pos}
+		if err := strs(&st.Var); err != nil {
+			return nil, err
+		}
+		if st.Rhs, err = readScalarExpr(r, depth+1); err != nil {
+			return nil, err
+		}
+		return st, nil
+	default:
+		return nil, fmt.Errorf("exec: progwire: unknown statement tag %d", tag)
+	}
+}
+
+// Scalar expression tags on the wire.
+const (
+	exprConst = iota + 1
+	exprVar
+	exprCall
+	exprBin
+)
+
+func appendScalarExpr(buf []byte, e ir.ScalarExpr) ([]byte, error) {
+	var err error
+	switch x := e.(type) {
+	case ir.Const:
+		buf = append(buf, exprConst)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x.V))
+		return buf, nil
+	case ir.VarExpr:
+		buf = append(buf, exprVar)
+		return appendStr(buf, x.Name)
+	case ir.CallExpr:
+		buf = append(buf, exprCall)
+		if buf, err = appendStr(buf, x.Func); err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x.Args)))
+		for _, a := range x.Args {
+			if buf, err = appendScalarExpr(buf, a); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	case ir.BinExpr:
+		buf = append(buf, exprBin)
+		if buf, err = appendStr(buf, x.Op); err != nil {
+			return nil, err
+		}
+		if buf, err = appendScalarExpr(buf, x.L); err != nil {
+			return nil, err
+		}
+		return appendScalarExpr(buf, x.R)
+	default:
+		return nil, fmt.Errorf("exec: progwire: unserializable scalar expression type %T", e)
+	}
+}
+
+func readScalarExpr(r *wireReader, depth int) (ir.ScalarExpr, error) {
+	if depth > maxProgDepth {
+		return nil, fmt.Errorf("exec: progwire: expression nesting exceeds %d", maxProgDepth)
+	}
+	tag, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case exprConst:
+		bits, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		return ir.Const{V: math.Float64frombits(bits)}, nil
+	case exprVar:
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		return ir.VarExpr{Name: name}, nil
+	case exprCall:
+		x := ir.CallExpr{}
+		if x.Func, err = r.str(); err != nil {
+			return nil, err
+		}
+		n, err := r.count(1)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			a, err := readScalarExpr(r, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			x.Args = append(x.Args, a)
+		}
+		return x, nil
+	case exprBin:
+		x := ir.BinExpr{}
+		if x.Op, err = r.str(); err != nil {
+			return nil, err
+		}
+		if x.L, err = readScalarExpr(r, depth+1); err != nil {
+			return nil, err
+		}
+		if x.R, err = readScalarExpr(r, depth+1); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, fmt.Errorf("exec: progwire: unknown expression tag %d", tag)
+	}
+}
+
+// EncodeNodeResult serializes one node's share of a run's outcome for
+// the worker → coordinator result frame.
+func EncodeNodeResult(nr *NodeResult) ([]byte, error) {
+	buf := []byte{progWireVersion}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(nr.ID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(nr.Stats)))
+	if len(nr.Times) != len(nr.Stats) {
+		return nil, fmt.Errorf("exec: progwire: node result has %d stat steps but %d timing steps", len(nr.Stats), len(nr.Times))
+	}
+	for step, launches := range nr.Stats {
+		if len(nr.Times[step]) != len(launches) {
+			return nil, fmt.Errorf("exec: progwire: node result step %d has %d stat launches but %d timing launches", step, len(launches), len(nr.Times[step]))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(launches)))
+		for li, ns := range launches {
+			for _, v := range []float64{ns.ComputeUnits, ns.BufferElems, ns.BytesIn, ns.BytesOut} {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+			}
+			for _, v := range []int{ns.MsgsIn, ns.MsgsOut, ns.FragsIn, ns.FragsOut} {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+			}
+			nt := nr.Times[step][li]
+			for _, v := range []int64{nt.WallNS, nt.ComputeNS, nt.OverlapNS} {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+			}
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(nr.final)))
+	for i := range nr.final {
+		body, err := appendMessage(nil, &nr.final[i])
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+		buf = append(buf, body...)
+	}
+	return buf, nil
+}
+
+// DecodeNodeResult parses EncodeNodeResult's output.
+func DecodeNodeResult(data []byte) (*NodeResult, error) {
+	r := &wireReader{data: data}
+	v, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if v != progWireVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", errProgWireVersion, v, progWireVersion)
+	}
+	nr := &NodeResult{}
+	id, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	nr.ID = int(id)
+	nsteps, err := r.count(4)
+	if err != nil {
+		return nil, err
+	}
+	for step := 0; step < nsteps; step++ {
+		nlaunches, err := r.count(88)
+		if err != nil {
+			return nil, err
+		}
+		stats := make([]sim.NodeStats, nlaunches)
+		times := make([]NodeTiming, nlaunches)
+		for li := range stats {
+			ns := &stats[li]
+			for _, dst := range []*float64{&ns.ComputeUnits, &ns.BufferElems, &ns.BytesIn, &ns.BytesOut} {
+				bits, err := r.u64()
+				if err != nil {
+					return nil, err
+				}
+				*dst = math.Float64frombits(bits)
+			}
+			for _, dst := range []*int{&ns.MsgsIn, &ns.MsgsOut, &ns.FragsIn, &ns.FragsOut} {
+				v, err := r.u64()
+				if err != nil {
+					return nil, err
+				}
+				*dst = int(int64(v))
+			}
+			nt := &times[li]
+			for _, dst := range []*int64{&nt.WallNS, &nt.ComputeNS, &nt.OverlapNS} {
+				v, err := r.u64()
+				if err != nil {
+					return nil, err
+				}
+				*dst = int64(v)
+			}
+		}
+		nr.Stats = append(nr.Stats, stats)
+		nr.Times = append(nr.Times, times)
+	}
+	npieces, err := r.count(4)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < npieces; i++ {
+		n, err := r.count(1)
+		if err != nil {
+			return nil, err
+		}
+		body, err := r.bytes(n)
+		if err != nil {
+			return nil, err
+		}
+		m, err := decodeMessage(body)
+		if err != nil {
+			return nil, err
+		}
+		nr.final = append(nr.final, m)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("exec: progwire: %d trailing bytes after node result", r.remaining())
+	}
+	return nr, nil
+}

@@ -331,3 +331,238 @@ func readFrame(r *bufio.Reader) (message, error) {
 	}
 	return decodeMessage(body)
 }
+
+// Control plane: the bootstrap and lifecycle frames of a multi-process
+// deployment (package exec/cluster). Unlike data frames — which flow
+// between workers that already agreed on a protocol during bootstrap —
+// every control frame carries an explicit protocol version byte right
+// after the length prefix, so a coordinator and worker from different
+// builds fail the handshake with a version error instead of
+// misinterpreting each other's bytes.
+//
+//	u32 payload length (not counting the prefix)
+//	u8  WireProtoVersion
+//	u8  kind
+//	u32 node, nodes, steps
+//	f64 bytes-per-elem
+//	u16 len(text) + bytes
+//	u32 address count { u16 len + bytes }
+//	u32 blob length + bytes
+//
+// The same struct serves every kind; unused fields stay zero. Frames
+// are small (the program blob is the one large payload) and infrequent,
+// so uniformity beats per-kind compactness.
+
+// WireProtoVersion is the cross-process protocol version. Bump it on
+// any change to the control frames, the data frames, or the program
+// encoding; mismatched peers refuse each other during bootstrap.
+const WireProtoVersion = 1
+
+// CtrlKind enumerates the control-plane frame types.
+type CtrlKind uint8
+
+// Control frame kinds, in rough bootstrap order.
+const (
+	// CtrlHello opens the handshake: coordinator → worker it assigns
+	// the node id and run shape; worker → coordinator it answers with
+	// the worker's data-plane address in Text.
+	CtrlHello CtrlKind = iota + 1
+	// CtrlTopology broadcasts every worker's data-plane address so the
+	// workers can dial each other full-mesh.
+	CtrlTopology
+	// CtrlProgram carries the serialized program (EncodeProgram) in
+	// Blob.
+	CtrlProgram
+	// CtrlReady reports a worker has decoded the program and built its
+	// mesh: all peer streams are up.
+	CtrlReady
+	// CtrlStart releases the workers into the launch loop.
+	CtrlStart
+	// CtrlResult returns a worker's EncodeNodeResult blob.
+	CtrlResult
+	// CtrlAbort tears the run down: coordinator → worker on any peer
+	// failure; worker → coordinator when the worker's own run errors.
+	// Text carries the reason.
+	CtrlAbort
+)
+
+func (k CtrlKind) String() string {
+	switch k {
+	case CtrlHello:
+		return "hello"
+	case CtrlTopology:
+		return "topology"
+	case CtrlProgram:
+		return "program"
+	case CtrlReady:
+		return "ready"
+	case CtrlStart:
+		return "start"
+	case CtrlResult:
+		return "result"
+	case CtrlAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("CtrlKind(%d)", uint8(k))
+	}
+}
+
+// Ctrl is one control-plane frame.
+type Ctrl struct {
+	Kind         CtrlKind
+	Node         int
+	Nodes        int
+	Steps        int
+	BytesPerElem float64
+	Text         string
+	Addrs        []string
+	Blob         []byte
+}
+
+// ErrWireVersion marks a control frame (or stream preamble) whose
+// protocol version byte does not match this build's WireProtoVersion.
+var ErrWireVersion = fmt.Errorf("exec: wire: protocol version mismatch")
+
+// AppendCtrl appends c's frame body under an explicit version byte.
+// Exported tests use a foreign version to exercise rejection; real
+// senders pass WireProtoVersion.
+func AppendCtrl(buf []byte, version uint8, c *Ctrl) ([]byte, error) {
+	buf = append(buf, version, byte(c.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Node))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Nodes))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Steps))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.BytesPerElem))
+	if len(c.Text) > math.MaxUint16 {
+		return nil, fmt.Errorf("exec: wire: ctrl text of %d bytes too long", len(c.Text))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(c.Text)))
+	buf = append(buf, c.Text...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Addrs)))
+	for _, a := range c.Addrs {
+		if len(a) > math.MaxUint16 {
+			return nil, fmt.Errorf("exec: wire: ctrl address of %d bytes too long", len(a))
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(a)))
+		buf = append(buf, a...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Blob)))
+	return append(buf, c.Blob...), nil
+}
+
+// decodeCtrl parses one control frame body. Corrupt input errors out;
+// it never panics and never over-allocates.
+func decodeCtrl(data []byte) (Ctrl, error) {
+	var c Ctrl
+	r := &wireReader{data: data}
+	v, err := r.u8()
+	if err != nil {
+		return c, err
+	}
+	if v != WireProtoVersion {
+		return c, fmt.Errorf("%w: peer speaks version %d, this build speaks %d", ErrWireVersion, v, WireProtoVersion)
+	}
+	kind, err := r.u8()
+	if err != nil {
+		return c, err
+	}
+	if kind < byte(CtrlHello) || kind > byte(CtrlAbort) {
+		return c, fmt.Errorf("exec: wire: unknown ctrl kind %d", kind)
+	}
+	c.Kind = CtrlKind(kind)
+	for _, dst := range [3]*int{&c.Node, &c.Nodes, &c.Steps} {
+		v, err := r.u32()
+		if err != nil {
+			return c, err
+		}
+		*dst = int(int32(v))
+	}
+	bits, err := r.u64()
+	if err != nil {
+		return c, err
+	}
+	c.BytesPerElem = math.Float64frombits(bits)
+	n, err := r.u16()
+	if err != nil {
+		return c, err
+	}
+	text, err := r.bytes(int(n))
+	if err != nil {
+		return c, err
+	}
+	c.Text = string(text)
+	naddrs, err := r.count(2)
+	if err != nil {
+		return c, err
+	}
+	for i := 0; i < naddrs; i++ {
+		an, err := r.u16()
+		if err != nil {
+			return c, err
+		}
+		a, err := r.bytes(int(an))
+		if err != nil {
+			return c, err
+		}
+		c.Addrs = append(c.Addrs, string(a))
+	}
+	blobLen, err := r.count(1)
+	if err != nil {
+		return c, err
+	}
+	blob, err := r.bytes(blobLen)
+	if err != nil {
+		return c, err
+	}
+	if blobLen > 0 {
+		c.Blob = append([]byte(nil), blob...)
+	}
+	if r.remaining() != 0 {
+		return c, fmt.Errorf("exec: wire: %d trailing bytes after ctrl frame", r.remaining())
+	}
+	return c, nil
+}
+
+// WriteCtrl writes one length-prefixed control frame and flushes it to
+// w in a single Write (control conns have one writer at a time, so the
+// frame lands atomically enough for interleaved readers).
+func WriteCtrl(w io.Writer, c *Ctrl) error {
+	return writeCtrlVersion(w, WireProtoVersion, c)
+}
+
+// writeCtrlVersion is WriteCtrl with an explicit version byte; tests
+// use it to present a foreign protocol version.
+func writeCtrlVersion(w io.Writer, version uint8, c *Ctrl) error {
+	body, err := AppendCtrl(nil, version, c)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxWireFrame {
+		return fmt.Errorf("exec: wire: ctrl frame of %d bytes exceeds limit", len(body))
+	}
+	frame := make([]byte, 4, 4+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
+	frame = append(frame, body...)
+	_, err = w.Write(frame)
+	return err
+}
+
+// ReadCtrl reads one length-prefixed control frame. io.EOF (clean, at a
+// frame boundary) means the peer closed the control conn.
+func ReadCtrl(r io.Reader) (Ctrl, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("exec: wire: truncated ctrl frame prefix")
+		}
+		return Ctrl{}, err
+	}
+	n := binary.LittleEndian.Uint32(prefix[:])
+	if n > maxWireFrame {
+		return Ctrl{}, fmt.Errorf("exec: wire: ctrl frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Ctrl{}, fmt.Errorf("exec: wire: truncated ctrl frame: %w", err)
+	}
+	return decodeCtrl(body)
+}
