@@ -10,7 +10,12 @@
 //	apc -builtin spmv|stencil|circuit|miniaero|pennant
 //	apc -incremental base.dsl edited.dsl
 //	apc -explain P001
+//	apc -seed 42 [-tier tiny|small]
 //	cat file.dsl | apc
+//
+// -seed reproduces one differential-fuzzing scenario (internal/gen): it
+// prints the scenario's self-contained reproducer and runs both oracles
+// on it, exiting 1 if either finds a divergence.
 //
 // -incremental compiles the baseline file first, then recompiles the
 // input against it through the incremental frontend: unedited loops
@@ -40,6 +45,7 @@ import (
 	"autopart/internal/apps/spmv"
 	"autopart/internal/apps/stencil"
 	"autopart/internal/diag"
+	"autopart/internal/gen"
 	"autopart/internal/pipeline"
 	"autopart/internal/runtime"
 	"autopart/pkg/autopart"
@@ -62,12 +68,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	incrBase := fs.String("incremental", "", "baseline program file: compile it first, then recompile the input incrementally against it, reporting per-loop reuse")
 	trace := fs.Bool("trace", false, "emit one JSON line per compiler pass to stderr (wall time, artifact metrics)")
 	explain := fs.String("explain", "", "explain a diagnostic code (e.g. P001) and exit; 'all' lists every code")
+	fuzzSeed := fs.Int64("seed", -1, "generate the fuzz scenario for this seed, print its reproducer, and run the differential oracles on it")
+	fuzzTier := fs.String("tier", "small", "generator tier for -seed (tiny, small)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *explain != "" {
 		return runExplain(*explain, stdout, stderr)
+	}
+	if *fuzzSeed >= 0 {
+		return runSeed(*fuzzSeed, *fuzzTier, stdout, stderr)
 	}
 
 	src, file, err := loadSource(*builtin, fs.Args(), stdin)
@@ -157,6 +168,35 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "\ncompile time: parse %v, inference %v, solver %v, rewrite %v (total %v)\n",
 		c.Timing.Parse, c.Timing.Inference, c.Timing.Solver, c.Timing.Rewrite, c.Timing.Total())
+	return 0
+}
+
+// runSeed implements -seed: reproduce one fuzz scenario end to end. The
+// reproducer is printed first so a failing seed can be saved to a .dsl
+// file directly, then both differential oracles report their verdicts.
+// Exit status 1 means an oracle found a divergence.
+func runSeed(seed int64, tierName string, stdout, stderr io.Writer) int {
+	var tier gen.Tier
+	switch tierName {
+	case "tiny":
+		tier = gen.Tiny
+	case "small":
+		tier = gen.Small
+	default:
+		fmt.Fprintf(stderr, "apc: unknown tier %q (want tiny or small)\n", tierName)
+		return 2
+	}
+	sc := gen.Generate(seed, tier)
+	fmt.Fprint(stdout, sc.Repro())
+	fmt.Fprintln(stdout)
+
+	execRep := gen.RunExecOracle(sc)
+	fmt.Fprintf(stdout, "exec oracle:   %s\n", execRep)
+	solverRep := gen.RunSolverOracle(sc)
+	fmt.Fprintf(stdout, "solver oracle: %s\n", solverRep)
+	if execRep.Failed() || solverRep.Failed() {
+		return 1
+	}
 	return 0
 }
 

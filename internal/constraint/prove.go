@@ -31,6 +31,13 @@ type Prover struct {
 	hypDisjExprs map[dpl.Expr]int
 	hypCompExprs map[Pred]int
 
+	// partialFns names the index functions declared `partial`. Lemmas
+	// that require totality (L7) must not apply to them: the preimage of
+	// a complete partition under a partial function misses every element
+	// where the function is undefined, so COMP(preimage(R,f,E), R) does
+	// not follow from COMP(E, R1) unless f is total on R.
+	partialFns map[string]bool
+
 	maxDepth int
 }
 
@@ -38,6 +45,15 @@ type Prover struct {
 // except the one being proven (the caller excludes it), plus any external
 // assumptions already inside sys.
 func NewProver(sys *System) *Prover { return NewProverOver(sys, nil) }
+
+// SetPartialFns records which index functions are declared partial, so
+// totality-dependent lemmas refuse them. Returns the prover for
+// chaining. A nil map means every function is total (the language
+// default).
+func (p *Prover) SetPartialFns(fns map[string]bool) *Prover {
+	p.partialFns = fns
+	return p
+}
 
 // NewProverOver builds a prover over the conjuncts of sys followed by
 // those of extra (may be nil), without materializing the conjunction —
@@ -272,8 +288,16 @@ func (p *Prover) proveComp(e dpl.Expr, region string, depth int) bool {
 				return true
 			}
 		}
-	case dpl.PreimageExpr: // L7
-		if x.Region == region {
+	case dpl.PreimageExpr: // L7 — total functions only
+		// L7 is only valid when f is total on R: every element of R must
+		// have an image, or the preimage of even a complete partition
+		// misses the elements where f is undefined. Differential fuzzing
+		// found a relaxed solve assigning an iteration partition
+		// P1 = preimage(R, h, P) for a clamped (partial) h; the prover
+		// accepted COMP(P1, R) unconditionally and the distributed run
+		// dropped the uncovered iterations. Functions are total by
+		// language convention unless declared `partial`.
+		if x.Region == region && !p.partialFns[x.Func] {
 			// COMP(E1, R1) for the source partition; its region is the
 			// region E1 partitions.
 			if r1, ok := dpl.RegionOf(x.Of, p.partOf); ok && p.proveComp(x.Of, r1, depth-1) {
@@ -415,7 +439,13 @@ func (p *Prover) proveSubset(a, b dpl.Expr, depth int, visited map[string]proofS
 // and the DPL lemmas. It returns the first unprovable conjunct on
 // failure.
 func CheckResolved(obligations, assumptions *System) (bool, string) {
-	prover := NewProverOver(obligations, assumptions)
+	return CheckResolvedWith(obligations, assumptions, nil)
+}
+
+// CheckResolvedWith is CheckResolved with the program's declared-partial
+// function set, which totality-dependent lemmas must respect.
+func CheckResolvedWith(obligations, assumptions *System, partialFns map[string]bool) (bool, string) {
+	prover := NewProverOver(obligations, assumptions).SetPartialFns(partialFns)
 	for _, pred := range obligations.Preds {
 		// A goal must not be used as its own hypothesis: drop one
 		// occurrence while proving it. PART predicates are exempt (they

@@ -32,6 +32,7 @@ var codeTable = []CodeInfo{
 	{"P009", "bad guard condition", "Guard conditions are 'x in S' membership tests or '=='/'!=' comparisons."},
 	{"P010", "expected expression", "An expression was required here."},
 	{"P011", "unknown partition operator", "Assert expressions use image, preimage, IMAGE, or PREIMAGE applications and '+' unions."},
+	{"P012", "nesting too deep", "Expressions, blocks, and assert expressions may nest at most 200 levels deep; deeper input is rejected instead of risking a stack overflow."},
 
 	{"C000", "semantic check error", "Semantic validation failed without a more specific code."},
 	{"C001", "duplicate region", "Two region declarations share a name."},
@@ -80,6 +81,7 @@ var codeTable = []CodeInfo{
 	{"I006", "uncentered write", "Plain writes must be centered (indexed by the loop variable); the loop is not parallelizable."},
 	{"I007", "unknown index function", "The IR references an undeclared index function."},
 	{"I008", "unknown IR statement", "Internal error: the inference walker saw an unknown IR statement form."},
+	{"I009", "plain write with uncentered reduction", "A region field with both a plain write and an uncentered reduction is not parallelizable: stores flush at task end but buffered contributions fold after the launch, while sequential execution interleaves them per iteration."},
 
 	{"S000", "solver error", "Constraint solving failed without a more specific code."},
 	{"S001", "no solution", "Algorithm 2 exhausted its rules and backtracking without a consistent assignment of DPL expressions to partition symbols. The message shows the unsolved system."},

@@ -322,8 +322,10 @@ func finalOwners(prog *Program, steps int) []finalOwner {
 				if req.Priv != runtime.ReadWrite && req.Priv != runtime.WriteDiscard {
 					continue
 				}
+				// Mirror the nodes' move exactly, including the
+				// disjointification of aliased writing partitions.
 				for _, f := range req.Fields {
-					owners[sim.FieldKey{Region: req.Region, Field: f}] = prog.Parts[req.Sym]
+					owners[sim.FieldKey{Region: req.Region, Field: f}] = sim.OwnerView(prog.Parts[req.Sym])
 				}
 			}
 		}

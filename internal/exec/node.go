@@ -256,7 +256,7 @@ func (n *node) runLaunch(step, li int, t runtime.Task) error {
 		p := parts[req.Sym]
 		if req.Guarded {
 			for _, f := range req.Fields {
-				owner, err := n.ownerOf(req.Region, f)
+				owner, err := n.postOwnerOf(l, req.Region, f)
 				if err != nil {
 					return err
 				}
@@ -293,7 +293,7 @@ func (n *node) runLaunch(step, li int, t runtime.Task) error {
 			continue
 		}
 		for _, f := range req.Fields {
-			owner, err := n.ownerOf(req.Region, f)
+			owner, err := n.postOwnerOf(l, req.Region, f)
 			if err != nil {
 				return err
 			}
@@ -346,13 +346,20 @@ func (n *node) runLaunch(step, li int, t runtime.Task) error {
 	n.pending = append(n.pending, &pendingFinish{sched: sched, res: res})
 
 	// Writes move ownership to the writing partition (metadata; every
-	// replica applies the same move at the same launch).
+	// replica applies the same move at the same launch). The owner map
+	// must stay a true partition: an aliased writer (e.g. an overlapping
+	// user extern reused as a write partition) would give an element two
+	// owners, and fold routing, ghost need-sets, and the final gather all
+	// assume exactly one. Duplicated writers compute identical values
+	// under snapshot semantics, so keeping the first color's copy is
+	// sound — differential fuzzing caught a reduction fold landing on a
+	// non-gathered replica before this disjointification.
 	for _, req := range l.Reqs {
 		if req.Priv != runtime.ReadWrite && req.Priv != runtime.WriteDiscard {
 			continue
 		}
 		for _, f := range req.Fields {
-			n.owners[sim.FieldKey{Region: req.Region, Field: f}] = parts[req.Sym]
+			n.owners[sim.FieldKey{Region: req.Region, Field: f}] = sim.OwnerView(parts[req.Sym])
 		}
 	}
 
@@ -468,6 +475,36 @@ func (n *node) ownerOf(regionName, field string) (*region.Partition, error) {
 	owner := n.owners[sim.FieldKey{Region: regionName, Field: field}]
 	if owner == nil {
 		return nil, fmt.Errorf("no owner for %s.%s", regionName, field)
+	}
+	return owner, nil
+}
+
+// postOwnerOf returns the owner partition of a field as it will stand
+// AFTER the launch's ownership moves. Reduction write-backs (ships and
+// merges) must land on the copies that later launches and the final
+// gather read: when the same launch also writes the field through an
+// RW/WD requirement, routing them by the owner at launch entry folds
+// contributions into replicas that stop being authoritative the moment
+// the launch completes — differential fuzzing caught exactly that with
+// a centered and an uncentered reduction of one field sharing a launch.
+// The last write requirement wins, matching the ownership-move loop.
+func (n *node) postOwnerOf(l *runtime.Launch, regionName, field string) (*region.Partition, error) {
+	owner, err := n.ownerOf(regionName, field)
+	if err != nil {
+		return nil, err
+	}
+	for _, req := range l.Reqs {
+		if req.Priv != runtime.ReadWrite && req.Priv != runtime.WriteDiscard {
+			continue
+		}
+		if req.Region != regionName {
+			continue
+		}
+		for _, f := range req.Fields {
+			if f == field {
+				owner = sim.OwnerView(n.prog.Parts[req.Sym])
+			}
+		}
 	}
 	return owner, nil
 }

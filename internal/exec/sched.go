@@ -206,7 +206,9 @@ type launchSched struct {
 // buildSched computes the launch's dependency schedule and charges all
 // incoming-side statistics (the executor knows what it will receive
 // before receiving it). It must run before the launch's ownership
-// update: every set is relative to owners at launch entry.
+// update: ghost sets are relative to owners at launch entry (where
+// valid data IS), while write-back sets use postOwnerOf (where valid
+// data will be READ after the launch), mirroring the send side.
 func (n *node) buildSched(step, li int, t runtime.Task) (*launchSched, error) {
 	l := t.Launch
 	st := &n.stats[step][li]
@@ -259,7 +261,7 @@ func (n *node) buildSched(step, li int, t runtime.Task) (*launchSched, error) {
 		p := parts[req.Sym]
 		if req.Guarded {
 			for _, f := range req.Fields {
-				owner, err := n.ownerOf(req.Region, f)
+				owner, err := n.postOwnerOf(l, req.Region, f)
 				if err != nil {
 					return nil, err
 				}
@@ -290,7 +292,7 @@ func (n *node) buildSched(step, li int, t runtime.Task) (*launchSched, error) {
 			touched = parts[req.TouchedSym]
 		}
 		for _, f := range req.Fields {
-			owner, err := n.ownerOf(req.Region, f)
+			owner, err := n.postOwnerOf(l, req.Region, f)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,654 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Tier bounds the shape of generated programs. Tiny keeps index spaces
+// small enough for the brute-force solver oracle to enumerate; Small
+// adds room for the execution oracle to exercise ghost exchange and
+// reduction buffers across more data.
+type Tier struct {
+	MaxRoots     int
+	MaxSharers   int // extra same-space regions per root
+	MaxFields    int // fields per region
+	MaxFuncs     int
+	MaxExterns   int
+	MaxLoops     int
+	MaxStmts     int // statements per loop body
+	MinSize      int64
+	MaxSize      int64 // extent per space root
+	AllowInner   bool
+	AllowCompare bool
+}
+
+// Tiny is the solver-oracle tier: few constraint symbols per loop and
+// single-digit extents, so brute-force enumeration stays cheap.
+var Tiny = Tier{
+	MaxRoots: 2, MaxSharers: 1, MaxFields: 3,
+	MaxFuncs: 2, MaxExterns: 2, MaxLoops: 3, MaxStmts: 3,
+	MinSize: 3, MaxSize: 8,
+	AllowInner: false, AllowCompare: true,
+}
+
+// Small is the execution-oracle tier: bigger extents and the full
+// construct set, including inner loops over range fields.
+var Small = Tier{
+	MaxRoots: 2, MaxSharers: 2, MaxFields: 4,
+	MaxFuncs: 3, MaxExterns: 2, MaxLoops: 4, MaxStmts: 5,
+	MinSize: 6, MaxSize: 24,
+	AllowInner: true, AllowCompare: true,
+}
+
+// Generate builds the scenario for a seed deterministically: equal
+// seeds and tiers produce byte-identical scenarios.
+func Generate(seed int64, tier Tier) *Scenario {
+	g := &generator{
+		rng:  rand.New(rand.NewSource(seed)),
+		tier: tier,
+		prog: &Program{},
+	}
+	g.genRegions()
+	g.genFuncs()
+	g.genExterns()
+	g.genLoops()
+	spec := Spec{
+		Sizes:    map[string]int64{},
+		DataSeed: seed ^ 0x5eed5eed,
+		Nodes:    2 + g.rng.Intn(2),
+		Steps:    1 + g.rng.Intn(2),
+	}
+	for _, r := range g.prog.Regions {
+		if r.Space == "" {
+			spec.Sizes[r.Name] = r.Size
+		}
+	}
+	return &Scenario{Seed: seed, Prog: g.prog, Src: g.prog.Print(), Spec: spec}
+}
+
+type generator struct {
+	rng  *rand.Rand
+	tier Tier
+	prog *Program
+
+	fieldN, funcN, varN int
+}
+
+func (g *generator) genRegions() {
+	roots := 1 + g.rng.Intn(g.tier.MaxRoots)
+	for ri := 0; ri < roots; ri++ {
+		size := g.tier.MinSize + g.rng.Int63n(g.tier.MaxSize-g.tier.MinSize+1)
+		root := &Region{Name: fmt.Sprintf("R%d", len(g.prog.Regions)), Size: size}
+		g.prog.Regions = append(g.prog.Regions, root)
+		for si := g.rng.Intn(g.tier.MaxSharers + 1); si > 0; si-- {
+			g.prog.Regions = append(g.prog.Regions, &Region{
+				Name:  fmt.Sprintf("R%d", len(g.prog.Regions)),
+				Space: root.Name,
+			})
+		}
+	}
+	// Fields second, so index/range targets can point anywhere.
+	for _, r := range g.prog.Regions {
+		n := 1 + g.rng.Intn(g.tier.MaxFields)
+		for i := 0; i < n; i++ {
+			r.Fields = append(r.Fields, g.genField())
+		}
+	}
+}
+
+func (g *generator) genField() *Field {
+	f := &Field{Name: fmt.Sprintf("f%d", g.fieldN)}
+	g.fieldN++
+	roll := g.rng.Float64()
+	switch {
+	case roll < 0.62:
+		f.Kind = ScalarField
+		switch r := g.rng.Float64(); {
+		case r < 0.40:
+			f.Role = RoleInput
+		case r < 0.70:
+			f.Role = RoleOutput
+		default:
+			f.Role = RoleAccum
+			f.Op = pick(g.rng, []string{"+=", "+=", "max=", "min=", "*="})
+		}
+	case roll < 0.88 || !g.tier.AllowInner:
+		f.Kind = IndexField
+		f.Role = RoleInput
+		f.Target = g.anyRegion().Name
+	default:
+		f.Kind = RangeField
+		f.Role = RoleInput
+		f.Target = g.anyRegion().Name
+	}
+	return f
+}
+
+func (g *generator) genFuncs() {
+	n := g.rng.Intn(g.tier.MaxFuncs + 1)
+	for i := 0; i < n; i++ {
+		f := &FuncSpec{
+			Name: fmt.Sprintf("h%d", g.funcN),
+			Dom:  g.anyRegion().Name,
+			Cod:  g.anyRegion().Name,
+		}
+		g.funcN++
+		if g.rng.Float64() < 0.7 {
+			f.Affine = true
+			f.Stride = pick(g.rng, []int64{1, 1, 1, -1, 2})
+			f.Offset = g.rng.Int63n(5) - 2
+			f.Total = g.rng.Float64() < 0.5
+		} else {
+			f.TablePartial = g.rng.Float64() < 0.3
+		}
+		g.prog.Funcs = append(g.prog.Funcs, f)
+	}
+}
+
+func (g *generator) genExterns() {
+	n := g.rng.Intn(g.tier.MaxExterns + 1)
+	for i := 0; i < n; i++ {
+		e := &Extern{
+			Name:   fmt.Sprintf("E%d", i),
+			Region: g.anyRegion().Name,
+			Flavor: ExternFlavor(g.rng.Intn(3)),
+		}
+		switch e.Flavor {
+		case FlavorBlock:
+			e.AssertDisj = g.rng.Float64() < 0.8
+			e.AssertComp = g.rng.Float64() < 0.8
+		case FlavorGapped:
+			e.AssertDisj = g.rng.Float64() < 0.9
+		case FlavorOverlap:
+			e.AssertComp = g.rng.Float64() < 0.9
+		}
+		// A gapped partition is derived from the block partition of the
+		// same region by trimming, so asserting containment in an
+		// earlier block/overlap extern over the same region is sound.
+		if e.Flavor == FlavorGapped && g.rng.Float64() < 0.5 {
+			for _, prev := range g.prog.Externs {
+				if prev.Region == e.Region && prev.Flavor != FlavorGapped {
+					e.SubsetOf = prev.Name
+					break
+				}
+			}
+		}
+		g.prog.Externs = append(g.prog.Externs, e)
+	}
+}
+
+func (g *generator) genLoops() {
+	n := 1 + g.rng.Intn(g.tier.MaxLoops)
+	for i := 0; i < n; i++ {
+		l := &Loop{Var: fmt.Sprintf("i%d", i), Region: g.anyRegion().Name}
+		lg := &loopGen{g: g, loop: l}
+		stmts := 1 + g.rng.Intn(g.tier.MaxStmts)
+		for s := 0; s < stmts; s++ {
+			if st := lg.genStmt(0); st != nil {
+				l.Body = append(l.Body, st)
+			}
+		}
+		if len(l.Body) > 0 {
+			g.prog.Loops = append(g.prog.Loops, l)
+		}
+	}
+	if len(g.prog.Loops) == 0 {
+		// Degenerate seeds still produce one trivial loop so every
+		// scenario exercises the full pipeline.
+		r := g.prog.Regions[0]
+		l := &Loop{Var: "i0", Region: r.Name}
+		if f := firstScalar(r); f != nil {
+			l.Body = []Stmt{Store{Region: r.Name, Idx: "i0", Field: f.Name, Op: "=", RHS: "1"}}
+		} else {
+			r.Fields = append(r.Fields, &Field{Name: "fz", Kind: ScalarField, Role: RoleOutput})
+			l.Body = []Stmt{Store{Region: r.Name, Idx: "i0", Field: "fz", Op: "=", RHS: "1"}}
+		}
+		g.prog.Loops = append(g.prog.Loops, l)
+	}
+}
+
+func firstScalar(r *Region) *Field {
+	for _, f := range r.Fields {
+		if f.Kind == ScalarField {
+			return f
+		}
+	}
+	return nil
+}
+
+func (g *generator) anyRegion() *Region {
+	return g.prog.Regions[g.rng.Intn(len(g.prog.Regions))]
+}
+
+// guardReq is a membership guard a statement must sit under before a
+// partial index application may be dereferenced: `if (text in <region
+// of root>)`. Guards must nest in creation order (outermost first),
+// because a later partial application's own guard condition evaluates
+// the earlier application.
+type guardReq struct {
+	text string
+	root string
+}
+
+// indexExpr is a generated index-typed expression: its text, the space
+// root it indexes into, the membership guards its partial steps
+// require, and whether it is the bare loop variable (the only shape the
+// inference pass treats as centered).
+type indexExpr struct {
+	text     string
+	root     string
+	guards   []guardReq
+	centered bool
+}
+
+// loopGen carries the per-loop generation scope.
+type loopGen struct {
+	g    *generator
+	loop *Loop
+	vars []string // bound scalar variables
+}
+
+// genIndex builds an index expression reachable from the loop variable:
+// the variable itself, optionally extended by pointer-field hops and
+// index-function applications. Every partial application contributes a
+// guard requirement at the hop where it appears; pointer-field data is
+// valid by construction and adds none.
+func (lg *loopGen) genIndex(maxHops int) indexExpr {
+	g := lg.g
+	e := indexExpr{text: lg.loop.Var, root: g.prog.SpaceRoot(lg.loop.Region), centered: true}
+	hops := g.rng.Intn(maxHops + 1)
+	for h := 0; h < hops; h++ {
+		type ext struct {
+			viaFunc *FuncSpec
+			region  string // pointer hop: region holding the field
+			field   *Field
+		}
+		var exts []ext
+		for _, r := range g.prog.Regions {
+			if g.prog.SpaceRoot(r.Name) != e.root {
+				continue
+			}
+			for _, f := range r.Fields {
+				if f.Kind == IndexField {
+					exts = append(exts, ext{region: r.Name, field: f})
+				}
+			}
+		}
+		for _, f := range g.prog.Funcs {
+			if g.prog.SpaceRoot(f.Dom) == e.root {
+				exts = append(exts, ext{viaFunc: f})
+			}
+		}
+		if len(exts) == 0 {
+			break
+		}
+		x := exts[g.rng.Intn(len(exts))]
+		if x.viaFunc != nil {
+			next := indexExpr{
+				text:   fmt.Sprintf("%s(%s)", x.viaFunc.Name, e.text),
+				root:   g.prog.SpaceRoot(x.viaFunc.Cod),
+				guards: e.guards,
+			}
+			if x.viaFunc.Partial() {
+				next.guards = append(next.guards, guardReq{text: next.text, root: next.root})
+			}
+			e = next
+		} else {
+			e = indexExpr{
+				text:   fmt.Sprintf("%s[%s].%s", x.region, e.text, x.field.Name),
+				root:   g.prog.SpaceRoot(x.field.Target),
+				guards: e.guards,
+			}
+		}
+	}
+	return e
+}
+
+// regionIn picks a region of a given space root.
+func (lg *loopGen) regionIn(root string) *Region {
+	var cands []*Region
+	for _, r := range lg.g.prog.Regions {
+		if lg.g.prog.SpaceRoot(r.Name) == root {
+			cands = append(cands, r)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[lg.g.rng.Intn(len(cands))]
+}
+
+// scalarAtom generates one leaf of a scalar expression; loads append
+// the membership guards their index expressions require.
+func (lg *loopGen) scalarAtom(needGuards *[]guardReq) string {
+	g := lg.g
+	roll := g.rng.Float64()
+	switch {
+	case roll < 0.3:
+		return fmt.Sprintf("%d", g.rng.Intn(10))
+	case roll < 0.4 && len(lg.vars) > 0:
+		return lg.vars[g.rng.Intn(len(lg.vars))]
+	default:
+		for try := 0; try < 4; try++ {
+			e := lg.genIndex(2)
+			r := lg.regionIn(e.root)
+			if r == nil {
+				continue
+			}
+			var scalars []*Field
+			for _, f := range r.Fields {
+				// Mostly read input fields; occasionally read outputs and
+				// accumulators to exercise the exclusivity rejections.
+				if f.Kind == ScalarField && (f.Role == RoleInput || g.rng.Float64() < 0.03) {
+					scalars = append(scalars, f)
+				}
+			}
+			if len(scalars) == 0 {
+				continue
+			}
+			f := scalars[g.rng.Intn(len(scalars))]
+			*needGuards = append(*needGuards, e.guards...)
+			return fmt.Sprintf("%s[%s].%s", r.Name, e.text, f.Name)
+		}
+		return fmt.Sprintf("%d", g.rng.Intn(10))
+	}
+}
+
+// genScalar generates a scalar expression of bounded depth.
+func (lg *loopGen) genScalar(depth int, needGuards *[]guardReq) string {
+	g := lg.g
+	if depth <= 0 || g.rng.Float64() < 0.4 {
+		return lg.scalarAtom(needGuards)
+	}
+	if g.rng.Float64() < 0.35 {
+		// Opaque call: deterministic small-integer result, the
+		// float-exactness anchor for stored values.
+		n := 1 + g.rng.Intn(3)
+		args := make([]string, n)
+		for i := range args {
+			args[i] = lg.genScalar(depth-1, needGuards)
+		}
+		return fmt.Sprintf("g%d(%s)", g.rng.Intn(4), join(args))
+	}
+	op := pick(g.rng, []string{"+", "-", "*", "/"})
+	return fmt.Sprintf("(%s %s %s)", lg.genScalar(depth-1, needGuards), op, lg.genScalar(depth-1, needGuards))
+}
+
+// opaqueScalar generates a pure opaque-call expression: the only RHS
+// form allowed for uncentered reductions, where reassociation by the
+// reduction buffers must stay bit-exact (opaque results are small
+// integers, so +, max, min commute exactly in float64).
+func (lg *loopGen) opaqueScalar(needGuards *[]guardReq) string {
+	n := 1 + lg.g.rng.Intn(3)
+	args := make([]string, n)
+	for i := range args {
+		args[i] = lg.scalarAtom(needGuards)
+	}
+	return fmt.Sprintf("g%d(%s)", lg.g.rng.Intn(4), join(args))
+}
+
+// guardWrap wraps a statement in the membership guards its partial
+// index applications require (the stencil idiom: `if (h(i) in R)`).
+// Guards wrap in reverse so the earliest requirement is outermost: a
+// later guard's condition may evaluate an earlier partial application.
+func (lg *loopGen) guardWrap(st Stmt, needGuards []guardReq) Stmt {
+	seen := map[string]bool{}
+	var uniq []guardReq
+	for _, gr := range needGuards {
+		if !seen[gr.text] {
+			seen[gr.text] = true
+			uniq = append(uniq, gr)
+		}
+	}
+	for i := len(uniq) - 1; i >= 0; i-- {
+		r := lg.regionIn(uniq[i].root)
+		if r == nil {
+			continue
+		}
+		st = Guard{Cond: fmt.Sprintf("%s in %s", uniq[i].text, r.Name), Then: []Stmt{st}}
+	}
+	return st
+}
+
+func (lg *loopGen) genStmt(depth int) Stmt {
+	g := lg.g
+	roll := g.rng.Float64()
+	switch {
+	case roll < 0.15 && depth == 0:
+		// Scalar binding. Only at the top level: a variable bound inside
+		// a guard branch would be unbound on the other path.
+		var needGuards []guardReq
+		v := fmt.Sprintf("x%d", g.varN)
+		g.varN++
+		rhs := lg.genScalar(2, &needGuards)
+		if len(needGuards) > 0 {
+			// The binding itself cannot sit under a guard; fall back to a
+			// total expression.
+			rhs = fmt.Sprintf("%d", g.rng.Intn(10))
+		}
+		lg.vars = append(lg.vars, v)
+		return VarBind{Var: v, RHS: rhs}
+
+	case roll < 0.30 && depth < 2:
+		// Guard with generated condition.
+		var cond string
+		var needGuards []guardReq
+		if g.rng.Float64() < 0.6 || !g.tier.AllowCompare {
+			e := lg.genIndex(2)
+			space := lg.spaceName(e.root)
+			cond = fmt.Sprintf("%s in %s", e.text, space)
+			// Guards for partial steps other than the condition itself
+			// must still wrap outside.
+			for _, gr := range e.guards {
+				if gr.text != e.text {
+					needGuards = append(needGuards, gr)
+				}
+			}
+		} else {
+			op := pick(g.rng, []string{"==", "!="})
+			cond = fmt.Sprintf("%s %s %d", lg.scalarAtom(&needGuards), op, g.rng.Intn(5))
+		}
+		var then []Stmt
+		for n := 1 + g.rng.Intn(2); n > 0; n-- {
+			if st := lg.genStmt(depth + 1); st != nil {
+				then = append(then, st)
+			}
+		}
+		if len(then) == 0 {
+			return nil
+		}
+		gd := Guard{Cond: cond, Then: then}
+		if g.rng.Float64() < 0.3 {
+			if st := lg.genStmt(depth + 1); st != nil {
+				gd.Else = []Stmt{st}
+			}
+		}
+		return lg.guardWrap(gd, needGuards)
+
+	case roll < 0.42 && g.tier.AllowInner && depth < 2:
+		if st := lg.genInner(depth); st != nil {
+			return st
+		}
+		return lg.genStore()
+
+	default:
+		return lg.genStore()
+	}
+}
+
+// spaceName picks a membership space for a guard over a space root:
+// usually a region of that space, sometimes an extern partition over
+// it.
+func (lg *loopGen) spaceName(root string) string {
+	g := lg.g
+	var externs []string
+	for _, e := range g.prog.Externs {
+		if g.prog.SpaceRoot(e.Region) == root {
+			externs = append(externs, e.Name)
+		}
+	}
+	if len(externs) > 0 && g.rng.Float64() < 0.5 {
+		return externs[g.rng.Intn(len(externs))]
+	}
+	if r := lg.regionIn(root); r != nil {
+		return r.Name
+	}
+	return root
+}
+
+// genStore generates a plain store or a reduction, mostly following
+// field roles.
+func (lg *loopGen) genStore() Stmt {
+	g := lg.g
+	var needGuards []guardReq
+	if g.rng.Float64() < 0.5 {
+		// Centered plain store to an output field of the loop's region.
+		r := g.prog.RegionByName(lg.loop.Region)
+		var outs []*Field
+		for _, f := range r.Fields {
+			if f.Kind == ScalarField && (f.Role == RoleOutput || g.rng.Float64() < 0.02) {
+				outs = append(outs, f)
+			}
+		}
+		if len(outs) > 0 {
+			f := outs[g.rng.Intn(len(outs))]
+			rhs := lg.genScalar(2, &needGuards)
+			st := Store{Region: r.Name, Idx: lg.loop.Var, Field: f.Name, Op: "=", RHS: rhs}
+			return lg.guardWrap(st, needGuards)
+		}
+	}
+	// Reduction to an accumulator field, anywhere reachable.
+	for try := 0; try < 4; try++ {
+		e := lg.genIndex(2)
+		r := lg.regionIn(e.root)
+		if r == nil {
+			continue
+		}
+		var accums []*Field
+		for _, f := range r.Fields {
+			if f.Kind == ScalarField && (f.Role == RoleAccum || g.rng.Float64() < 0.02) {
+				accums = append(accums, f)
+			}
+		}
+		if len(accums) == 0 {
+			continue
+		}
+		f := accums[g.rng.Intn(len(accums))]
+		op := f.Op
+		if op == "" {
+			op = "+="
+		}
+		centered := e.centered && r.Name == lg.loop.Region
+		if op == "*=" && !centered {
+			// Uncentered *= reassociates inexactly; keep it centered.
+			r = g.prog.RegionByName(lg.loop.Region)
+			if !hasField(r, f.Name) {
+				continue
+			}
+			e = indexExpr{text: lg.loop.Var, root: g.prog.SpaceRoot(lg.loop.Region), centered: true}
+			centered = true
+		}
+		var rhs string
+		if centered {
+			rhs = lg.genScalar(2, &needGuards)
+		} else {
+			rhs = lg.opaqueScalar(&needGuards)
+		}
+		needGuards = append(needGuards, e.guards...)
+		st := Store{Region: r.Name, Idx: e.text, Field: f.Name, Op: op, RHS: rhs}
+		return lg.guardWrap(st, needGuards)
+	}
+	// Fall back to a constant store on the loop region's first scalar.
+	r := g.prog.RegionByName(lg.loop.Region)
+	if f := firstScalar(r); f != nil {
+		return Store{Region: r.Name, Idx: lg.loop.Var, Field: f.Name, Op: "=", RHS: fmt.Sprintf("%d", g.rng.Intn(10))}
+	}
+	return nil
+}
+
+func hasField(r *Region, name string) bool {
+	for _, f := range r.Fields {
+		if f.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// genInner generates an inner loop over a range field reachable from
+// the loop variable, mirroring the SpMV pattern: accumulate inner-space
+// loads into a centered accumulator.
+func (lg *loopGen) genInner(depth int) Stmt {
+	g := lg.g
+	root := g.prog.SpaceRoot(lg.loop.Region)
+	type cand struct {
+		region string
+		field  *Field
+	}
+	var cands []cand
+	for _, r := range g.prog.Regions {
+		if g.prog.SpaceRoot(r.Name) != root {
+			continue
+		}
+		for _, f := range r.Fields {
+			if f.Kind == RangeField {
+				cands = append(cands, cand{r.Name, f})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	c := cands[g.rng.Intn(len(cands))]
+	kv := fmt.Sprintf("k%d", g.varN)
+	g.varN++
+	inner := Inner{Var: kv, RangeRegion: c.region, Idx: lg.loop.Var, RangeField: c.field.Name}
+
+	// Body: reduce loads of the inner space into a centered accumulator
+	// on the outer loop's region.
+	innerRoot := g.prog.SpaceRoot(c.field.Target)
+	ir := lg.regionIn(innerRoot)
+	if ir == nil {
+		return nil
+	}
+	var loads []string
+	for _, f := range ir.Fields {
+		if f.Kind == ScalarField && f.Role == RoleInput {
+			loads = append(loads, fmt.Sprintf("%s[%s].%s", ir.Name, kv, f.Name))
+		}
+	}
+	arg := fmt.Sprintf("%d", g.rng.Intn(10))
+	if len(loads) > 0 {
+		arg = loads[g.rng.Intn(len(loads))]
+	}
+	or := g.prog.RegionByName(lg.loop.Region)
+	var accums []*Field
+	for _, f := range or.Fields {
+		if f.Kind == ScalarField && f.Role == RoleAccum && f.Op != "*=" {
+			accums = append(accums, f)
+		}
+	}
+	if len(accums) == 0 {
+		return nil
+	}
+	af := accums[g.rng.Intn(len(accums))]
+	inner.Body = []Stmt{Store{
+		Region: or.Name, Idx: lg.loop.Var, Field: af.Name, Op: af.Op,
+		RHS: fmt.Sprintf("g%d(%s)", g.rng.Intn(4), arg),
+	}}
+	return inner
+}
+
+func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }
+
+func join(xs []string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += ", "
+		}
+		out += x
+	}
+	return out
+}

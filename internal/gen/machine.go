@@ -1,0 +1,163 @@
+package gen
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"autopart/internal/geometry"
+	"autopart/internal/ir"
+	"autopart/internal/region"
+	"autopart/internal/sim"
+)
+
+// This file instantiates a generated program as a concrete machine:
+// regions with seed-derived data, index maps realizing the declared
+// functions, extern partitions realized so that every emitted assert is
+// actually true of them, and an owner state for the distributed
+// executor.
+
+// mix derives a deterministic small nonneg integer from the data seed
+// and a key path. All generated data flows through it, so a scenario is
+// fully determined by (seed, tier).
+func mix(seed int64, parts ...string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", seed)
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	v := int64(h.Sum64() % (1 << 40))
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+// BuildMachine realizes a generated program on concrete data. It
+// returns the machine, the external partition bindings keyed by extern
+// name, and the owner state for the distributed executor.
+func BuildMachine(prog *Program, spec Spec) (*ir.Machine, map[string]*region.Partition, *sim.State, error) {
+	m := ir.NewMachine()
+	owners := sim.NewState()
+	seed := spec.DataSeed
+
+	regions := map[string]*region.Region{}
+	for _, rd := range prog.Regions {
+		size := spec.Sizes[prog.SpaceRoot(rd.Name)]
+		if size <= 0 {
+			return nil, nil, nil, fmt.Errorf("region %s: no size for space root %s", rd.Name, prog.SpaceRoot(rd.Name))
+		}
+		r := region.New(rd.Name, size)
+		regions[rd.Name] = r
+		m.AddRegion(r)
+	}
+
+	// Field data. Scalars get small integers (exact in float64 under any
+	// reassociation the reduction buffers perform); index fields always
+	// hold valid targets (partiality enters only through declared partial
+	// functions); range fields hold small in-bounds intervals.
+	for _, rd := range prog.Regions {
+		r := regions[rd.Name]
+		var fieldNames []string
+		for _, f := range rd.Fields {
+			fieldNames = append(fieldNames, f.Name)
+			switch f.Kind {
+			case ScalarField:
+				r.AddScalarField(f.Name)
+				data := r.Scalar(f.Name)
+				for i := range data {
+					data[i] = float64(mix(seed, rd.Name, f.Name, fmt.Sprint(i)) % 10)
+				}
+			case IndexField:
+				r.AddIndexField(f.Name)
+				tgt := spec.Sizes[prog.SpaceRoot(f.Target)]
+				data := r.Index(f.Name)
+				for i := range data {
+					data[i] = mix(seed, rd.Name, f.Name, fmt.Sprint(i)) % tgt
+				}
+			case RangeField:
+				r.AddRangeField(f.Name)
+				tgt := spec.Sizes[prog.SpaceRoot(f.Target)]
+				data := r.Ranges(f.Name)
+				for i := range data {
+					lo := mix(seed, rd.Name, f.Name, fmt.Sprint(i)) % tgt
+					n := mix(seed, rd.Name, f.Name, "len", fmt.Sprint(i)) % 3
+					hi := lo + n
+					if hi > tgt {
+						hi = tgt
+					}
+					data[i] = geometry.Interval{Lo: lo, Hi: hi}
+				}
+			}
+		}
+		// Every region is block-owned for the transfer simulator.
+		owners.OwnAll(rd.Name, fieldNames, region.Equal("own_"+rd.Name, r, spec.Nodes))
+	}
+
+	for _, f := range prog.Funcs {
+		codSize := spec.Sizes[prog.SpaceRoot(f.Cod)]
+		if f.Affine {
+			am := geometry.AffineMap{Name: f.Name, Stride: f.Stride, Offset: f.Offset}
+			if f.Total {
+				am.Modulo = codSize
+			} else {
+				am.Clamp = &geometry.Interval{Lo: 0, Hi: codSize}
+			}
+			m.AddFunc(f.Name, am)
+		} else {
+			domSize := spec.Sizes[prog.SpaceRoot(f.Dom)]
+			table := make([]int64, domSize)
+			for k := range table {
+				table[k] = mix(seed, "fn", f.Name, fmt.Sprint(k)) % codSize
+				if f.TablePartial && mix(seed, "fnundef", f.Name, fmt.Sprint(k))%3 == 0 {
+					table[k] = -1
+				}
+			}
+			m.AddFunc(f.Name, geometry.TableMap{Name: f.Name, Table: table})
+		}
+	}
+
+	external := map[string]*region.Partition{}
+	for _, e := range prog.Externs {
+		r := regions[e.Region]
+		p := realizeExtern(e, r, spec.Nodes)
+		external[e.Name] = p
+		m.AddPartition(e.Name, p)
+	}
+
+	return m, external, owners, nil
+}
+
+// realizeExtern builds an extern partition whose realized shape makes
+// every assert the generator emits about it true: block partitions are
+// disjoint and complete; gapped ones trim each block's tail (disjoint,
+// incomplete, and a subset of the block partition over the same
+// region); overlapping ones extend each block by one element (complete,
+// and aliased whenever the region has more than one nonempty block).
+func realizeExtern(e *Extern, r *region.Region, nodes int) *region.Partition {
+	size := r.Size()
+	subs := make([]geometry.IndexSet, nodes)
+	chunk := size / int64(nodes)
+	rem := size % int64(nodes)
+	var lo int64
+	for i := 0; i < nodes; i++ {
+		hi := lo + chunk
+		if int64(i) < rem {
+			hi++
+		}
+		slo, shi := lo, hi
+		switch e.Flavor {
+		case FlavorGapped:
+			if shi > slo {
+				shi--
+			}
+		case FlavorOverlap:
+			if shi < size {
+				shi++
+			}
+		}
+		subs[i] = geometry.Range(slo, shi)
+		lo = hi
+	}
+	return region.NewPartition(e.Name, r, subs)
+}

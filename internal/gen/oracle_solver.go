@@ -1,0 +1,532 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autopart/internal/constraint"
+	"autopart/internal/diag"
+	"autopart/internal/dpl"
+	"autopart/internal/geometry"
+	"autopart/internal/lang"
+	"autopart/internal/region"
+	"autopart/pkg/autopart"
+)
+
+// The solver oracle cross-checks the constraint solver against concrete
+// set semantics, in both directions:
+//
+//   - Validity: when the solver accepts a program, every conjunct of
+//     every loop's (possibly relaxed) obligation system is re-checked
+//     semantically — partitions evaluated on the concrete machine,
+//     DISJ/COMP/PART/⊆ decided by interval arithmetic instead of the
+//     prover's lemmas. A violated conjunct means the prover derived
+//     something false (this is how the L7-on-partial-functions
+//     unsoundness would have surfaced had it not first corrupted an
+//     execution).
+//
+//   - Completeness: when the solver rejects with S001 ("no solution"),
+//     a brute-force enumerator tries every assignment of the unsolved
+//     symbols from the solver's own candidate language (equal(R),
+//     extern partitions, and a bounded image/preimage/union closure).
+//     A semantically valid assignment the solver missed is a
+//     completeness bug. The enumerator is budgeted; exhausting the
+//     budget yields Undecided, not a finding.
+
+// SolverVerdict classifies one scenario's trip through the solver
+// oracle.
+type SolverVerdict int
+
+// Solver oracle verdicts.
+const (
+	// SolverOK: accepted and semantically valid, or rejected and the
+	// enumerator agrees no candidate assignment works.
+	SolverOK SolverVerdict = iota
+	// SolverRejected: rejected before the solver ran (parse/type/infer
+	// diagnostics) — outside this oracle's scope.
+	SolverRejected
+	// SolverUndecided: rejected with S001 and the enumerator ran out of
+	// budget before deciding.
+	SolverUndecided
+	// SolverDivergence: a validity or completeness finding. Always a bug.
+	SolverDivergence
+)
+
+// SolverReport is the outcome of the solver oracle on one scenario.
+type SolverReport struct {
+	Verdict SolverVerdict
+	// Code is the diagnostic code for SolverRejected.
+	Code string
+	// Class is "solver-validity" or "solver-completeness" for
+	// SolverDivergence.
+	Class  string
+	Detail string
+}
+
+func (r *SolverReport) String() string {
+	switch r.Verdict {
+	case SolverOK:
+		return "ok"
+	case SolverRejected:
+		return "rejected " + r.Code
+	case SolverUndecided:
+		return "undecided (budget exhausted)"
+	default:
+		return fmt.Sprintf("DIVERGENCE [%s]: %s", r.Class, r.Detail)
+	}
+}
+
+// Failed reports whether the oracle found a bug.
+func (r *SolverReport) Failed() bool { return r.Verdict == SolverDivergence }
+
+// bruteBudget bounds the enumerator: candidate constructions plus
+// search-tree nodes. Tiny-tier systems decide well within it.
+const bruteBudget = 20000
+
+// RunSolverOracle compiles one scenario and cross-checks the solver
+// semantically. Intended for the Tiny tier, where extents keep
+// enumeration cheap; it is correct (just slower) on any tier.
+func RunSolverOracle(sc *Scenario) *SolverReport {
+	c, sess, err := autopart.CompileSession(sc.Src, autopart.Options{})
+	if err != nil {
+		code := diag.From(err, "X000").Code
+		if code != "S001" || sess == nil || sess.Program == nil {
+			return &SolverReport{Verdict: SolverRejected, Code: code}
+		}
+		// The solver's fallback obligations are the unrelaxed per-loop
+		// systems; externals are assumptions, realized on the machine.
+		obligations := &constraint.System{}
+		for _, r := range sess.Inference {
+			obligations.And(r.Sys)
+		}
+		return bruteForceCheck(sc, sess.Program, obligations, sess.ExternalSyms)
+	}
+	return validityCheck(sc, c)
+}
+
+// validityCheck re-proves every accepted conjunct on concrete data.
+func validityCheck(sc *Scenario, c *autopart.Compiled) *SolverReport {
+	m, external, _, err := BuildMachine(sc.Prog, sc.Spec)
+	if err != nil {
+		return &SolverReport{Verdict: SolverDivergence, Class: "solver-validity", Detail: "machine build: " + err.Error()}
+	}
+	ctx, err := c.NewContext(sc.Spec.Nodes, m)
+	if err != nil {
+		return &SolverReport{Verdict: SolverDivergence, Class: "solver-validity", Detail: err.Error()}
+	}
+	for sym, p := range external {
+		ctx.Bind(sym, p)
+	}
+	parts, err := c.Evaluate(ctx)
+	if err != nil {
+		return &SolverReport{Verdict: SolverDivergence, Class: "solver-validity", Detail: "evaluate: " + err.Error()}
+	}
+	// The obligation systems name original access symbols; bind each to
+	// its canonical partition so conjuncts evaluate directly.
+	for _, plan := range c.Plans {
+		for _, sym := range plan.Sys.Symbols() {
+			if _, ok := ctx.Binding(sym); ok {
+				continue
+			}
+			p, ok := parts[c.Solution.Resolve(sym)]
+			if !ok {
+				return &SolverReport{
+					Verdict: SolverDivergence, Class: "solver-validity",
+					Detail: fmt.Sprintf("accepted symbol %s has no evaluated partition", sym),
+				}
+			}
+			ctx.Bind(sym, p)
+		}
+	}
+	for li, plan := range c.Plans {
+		if bad := checkSystem(ctx, plan.Sys); bad != "" {
+			return &SolverReport{
+				Verdict: SolverDivergence, Class: "solver-validity",
+				Detail: fmt.Sprintf("loop %d: %s", li, bad),
+			}
+		}
+	}
+	return &SolverReport{Verdict: SolverOK}
+}
+
+// checkSystem semantically verifies every conjunct against the
+// context's concrete bindings; empty means all hold.
+func checkSystem(ctx *dpl.Context, sys *constraint.System) string {
+	for _, p := range sys.Preds {
+		part, err := ctx.Eval(p.E)
+		if err != nil {
+			return fmt.Sprintf("%s: %v", p, err)
+		}
+		switch p.Kind {
+		case constraint.Disj:
+			if !part.IsDisjoint() {
+				return fmt.Sprintf("%s violated: %s", p, part)
+			}
+		case constraint.Comp:
+			r, ok := ctx.Region(p.Region)
+			if !ok {
+				return fmt.Sprintf("%s: unknown region", p)
+			}
+			if !r.Space().SubsetOf(part.UnionAll()) {
+				return fmt.Sprintf("%s violated: %s", p, part)
+			}
+		case constraint.Part:
+			r, ok := ctx.Region(p.Region)
+			if !ok {
+				return fmt.Sprintf("%s: unknown region", p)
+			}
+			if !part.UnionAll().SubsetOf(r.Space()) {
+				return fmt.Sprintf("%s violated: %s", p, part)
+			}
+		}
+	}
+	for _, c := range sys.Subsets {
+		l, err := ctx.Eval(c.L)
+		if err != nil {
+			return fmt.Sprintf("%s: %v", c, err)
+		}
+		r, err := ctx.Eval(c.R)
+		if err != nil {
+			return fmt.Sprintf("%s: %v", c, err)
+		}
+		if l.NumSubs() != r.NumSubs() {
+			return fmt.Sprintf("%s violated: color counts %d vs %d", c, l.NumSubs(), r.NumSubs())
+		}
+		for i := 0; i < l.NumSubs(); i++ {
+			if !l.Sub(i).SubsetOf(r.Sub(i)) {
+				return fmt.Sprintf("%s violated at color %d: %s ⊄ %s", c, i, l.Sub(i), r.Sub(i))
+			}
+		}
+	}
+	return ""
+}
+
+// bruteForceCheck enumerates candidate assignments for an S001-rejected
+// program. The session carries the frontend artifacts of the failed
+// compile; the unrelaxed per-loop systems are the obligations the
+// solver ultimately fell back to, so a valid assignment for them is a
+// completeness finding.
+func bruteForceCheck(sc *Scenario, src *lang.Program, sys *constraint.System, externalSyms []string) *SolverReport {
+	m, external, _, err := BuildMachine(sc.Prog, sc.Spec)
+	if err != nil {
+		// An unbuildable scenario cannot indict the solver.
+		return &SolverReport{Verdict: SolverRejected, Code: "S001"}
+	}
+	ctx := dpl.NewContext(sc.Spec.Nodes)
+	for _, decl := range src.Regions {
+		r, ok := m.Regions[decl.Name]
+		if !ok {
+			return &SolverReport{Verdict: SolverRejected, Code: "S001"}
+		}
+		ctx.AddRegion(r)
+		for _, f := range decl.Fields {
+			name := fmt.Sprintf("%s[·].%s", decl.Name, f.Name)
+			switch f.Kind {
+			case lang.IndexKind:
+				ctx.AddMap(name, r.PointerMap(f.Name))
+			case lang.RangeKind:
+				ctx.AddMultiMap(name, r.RangeMap(f.Name))
+			}
+		}
+	}
+	for _, f := range src.Funcs {
+		if fn, ok := m.Funcs[f.Name]; ok {
+			ctx.AddMap(f.Name, fn)
+		}
+	}
+	for sym, p := range external {
+		ctx.Bind(sym, p)
+	}
+
+	budget := bruteBudget
+	cands := candidateUniverse(ctx, sys, &budget)
+	fixed := map[string]bool{}
+	for _, sym := range externalSyms {
+		fixed[sym] = true
+	}
+	var syms []string
+	for _, sym := range sys.Symbols() {
+		if !fixed[sym] {
+			syms = append(syms, sym)
+		}
+	}
+	sort.Strings(syms)
+
+	prebound := map[string]bool{}
+	for _, sym := range sys.Symbols() {
+		if _, ok := ctx.Binding(sym); ok {
+			prebound[sym] = true
+		}
+	}
+	e := &enumerator{ctx: ctx, sys: sys, syms: syms, cands: cands, budget: &budget, prebound: prebound}
+	switch e.search(0) {
+	case searchFound:
+		var b strings.Builder
+		for _, sym := range syms {
+			p, _ := ctx.Binding(sym)
+			fmt.Fprintf(&b, " %s=%s", sym, p.Name())
+		}
+		return &SolverReport{
+			Verdict: SolverDivergence, Class: "solver-completeness",
+			Detail: "solver said S001 but a candidate assignment satisfies all obligations:" + b.String(),
+		}
+	case searchExhausted:
+		return &SolverReport{Verdict: SolverUndecided}
+	default:
+		return &SolverReport{Verdict: SolverOK, Code: "S001"}
+	}
+}
+
+// candidateUniverse builds the concrete candidate partitions per region,
+// mirroring the solver's assignment language: equal(R), the extern
+// partitions, one level of every image/preimage operator appearing in
+// the obligations applied to each base candidate, and pairwise unions.
+func candidateUniverse(ctx *dpl.Context, sys *constraint.System, budget *int) map[string][]*region.Partition {
+	type application struct {
+		img          bool
+		multi        bool
+		fn, toRegion string
+		domRegion    string // preimage source region
+	}
+	var apps []application
+	seenApp := map[string]bool{}
+	var collect func(e dpl.Expr)
+	collect = func(e dpl.Expr) {
+		switch x := e.(type) {
+		case dpl.ImageExpr:
+			k := "i\x00" + x.Func + "\x00" + x.Region
+			if !seenApp[k] {
+				seenApp[k] = true
+				apps = append(apps, application{img: true, fn: x.Func, toRegion: x.Region})
+			}
+			collect(x.Of)
+		case dpl.PreimageExpr:
+			k := "p\x00" + x.Func + "\x00" + x.Region
+			if !seenApp[k] {
+				seenApp[k] = true
+				apps = append(apps, application{fn: x.Func, domRegion: x.Region})
+			}
+			collect(x.Of)
+		case dpl.ImageMultiExpr:
+			k := "I\x00" + x.Func + "\x00" + x.Region
+			if !seenApp[k] {
+				seenApp[k] = true
+				apps = append(apps, application{img: true, multi: true, fn: x.Func, toRegion: x.Region})
+			}
+			collect(x.Of)
+		case dpl.PreimageMultiExpr:
+			k := "P\x00" + x.Func + "\x00" + x.Region
+			if !seenApp[k] {
+				seenApp[k] = true
+				apps = append(apps, application{multi: true, fn: x.Func, domRegion: x.Region})
+			}
+			collect(x.Of)
+		case dpl.BinExpr:
+			collect(x.L)
+			collect(x.R)
+		}
+	}
+	for _, p := range sys.Preds {
+		collect(p.E)
+	}
+	for _, c := range sys.Subsets {
+		collect(c.L)
+		collect(c.R)
+	}
+
+	add := func(out map[string][]*region.Partition, p *region.Partition) {
+		if p == nil || p.Parent() == nil {
+			return
+		}
+		r := p.Parent().Name()
+		for _, q := range out[r] {
+			if q.SamePartition(p) {
+				return
+			}
+		}
+		out[r] = append(out[r], p)
+	}
+
+	out := map[string][]*region.Partition{}
+	regions := map[string]bool{}
+	for _, sym := range sys.Symbols() {
+		if r, ok := sys.RegionOfSym(sym); ok {
+			regions[r] = true
+		}
+		if p, ok := ctx.Binding(sym); ok {
+			add(out, p)
+		}
+	}
+	for _, p := range sys.Preds {
+		if p.Region != "" {
+			regions[p.Region] = true
+		}
+	}
+	sorted := make([]string, 0, len(regions))
+	for r := range regions {
+		sorted = append(sorted, r)
+	}
+	sort.Strings(sorted)
+	for _, r := range sorted {
+		if p, err := ctx.Eval(dpl.EqualExpr{Region: r}); err == nil {
+			add(out, p)
+		}
+	}
+
+	// Two rounds of operator application (depth-2 closure), then unions.
+	for round := 0; round < 2; round++ {
+		frontier := map[string][]*region.Partition{}
+		for r, ps := range out {
+			frontier[r] = append([]*region.Partition(nil), ps...)
+		}
+		for _, base := range sorted {
+			for _, p := range frontier[base] {
+				for _, a := range apps {
+					if *budget <= 0 {
+						return out
+					}
+					*budget--
+					var e dpl.Expr
+					bindName := "brute_" + p.Name()
+					ctx.Bind(bindName, p)
+					if a.img {
+						if a.multi {
+							e = dpl.ImageMultiExpr{Of: dpl.Var{Name: bindName}, Func: a.fn, Region: a.toRegion}
+						} else {
+							e = dpl.ImageExpr{Of: dpl.Var{Name: bindName}, Func: a.fn, Region: a.toRegion}
+						}
+					} else {
+						if a.multi {
+							e = dpl.PreimageMultiExpr{Region: a.domRegion, Func: a.fn, Of: dpl.Var{Name: bindName}}
+						} else {
+							e = dpl.PreimageExpr{Region: a.domRegion, Func: a.fn, Of: dpl.Var{Name: bindName}}
+						}
+					}
+					if q, err := ctx.Eval(e); err == nil {
+						add(out, q)
+					}
+				}
+			}
+		}
+	}
+	for _, r := range sorted {
+		ps := out[r]
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
+				if *budget <= 0 {
+					return out
+				}
+				*budget--
+				add(out, unionParts(ps[i], ps[j]))
+			}
+		}
+	}
+	return out
+}
+
+// unionParts is the color-wise union of two partitions of one region.
+func unionParts(a, b *region.Partition) *region.Partition {
+	if a.NumSubs() != b.NumSubs() {
+		return nil
+	}
+	union := make([]geometry.IndexSet, a.NumSubs())
+	for i := range union {
+		union[i] = a.Sub(i).Union(b.Sub(i))
+	}
+	return region.NewPartition(fmt.Sprintf("(%s∪%s)", a.Name(), b.Name()), a.Parent(), union)
+}
+
+type searchOutcome int
+
+const (
+	searchNone searchOutcome = iota
+	searchFound
+	searchExhausted
+)
+
+// enumerator is the DFS over sym→candidate assignments with eager
+// conjunct pruning: after each binding, every conjunct whose free
+// symbols are all bound is checked semantically.
+type enumerator struct {
+	ctx    *dpl.Context
+	sys    *constraint.System
+	syms   []string
+	cands  map[string][]*region.Partition
+	budget *int
+	// prebound are the symbols bound before the search started (the
+	// externals). The context accumulates stale bindings from abandoned
+	// branches, so "is v assigned" must consult this set and the bound
+	// prefix, never the context.
+	prebound map[string]bool
+}
+
+func (e *enumerator) search(depth int) searchOutcome {
+	if *e.budget <= 0 {
+		return searchExhausted
+	}
+	if depth == len(e.syms) {
+		if checkSystem(e.ctx, e.sys) == "" {
+			return searchFound
+		}
+		return searchNone
+	}
+	sym := e.syms[depth]
+	reg, _ := e.sys.RegionOfSym(sym)
+	exhausted := false
+	for _, cand := range e.cands[reg] {
+		*e.budget--
+		if *e.budget <= 0 {
+			return searchExhausted
+		}
+		e.ctx.Bind(sym, cand)
+		if !e.boundConjunctsHold(depth) {
+			continue
+		}
+		switch e.search(depth + 1) {
+		case searchFound:
+			return searchFound
+		case searchExhausted:
+			exhausted = true
+		}
+	}
+	if exhausted {
+		return searchExhausted
+	}
+	return searchNone
+}
+
+// boundConjunctsHold checks the conjuncts that became fully bound with
+// the depth-th symbol (their free symbols are a subset of the bound
+// prefix and include the newest symbol), pruning dead branches early.
+func (e *enumerator) boundConjunctsHold(depth int) bool {
+	bound := map[string]bool{}
+	for i := 0; i <= depth; i++ {
+		bound[e.syms[i]] = true
+	}
+	newest := e.syms[depth]
+	ready := func(fvs []string) bool {
+		sawNew := false
+		for _, v := range fvs {
+			if v == newest {
+				sawNew = true
+			}
+			if !e.prebound[v] && !bound[v] {
+				return false
+			}
+		}
+		return sawNew
+	}
+	sub := &constraint.System{}
+	for _, p := range e.sys.Preds {
+		if ready(dpl.FreeVars(p.E)) {
+			sub.AddPred(p)
+		}
+	}
+	for _, c := range e.sys.Subsets {
+		if ready(append(dpl.FreeVars(c.L), dpl.FreeVars(c.R)...)) {
+			sub.AddSubset(c)
+		}
+	}
+	return checkSystem(e.ctx, sub) == ""
+}

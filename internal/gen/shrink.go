@@ -1,0 +1,310 @@
+package gen
+
+// The shrinker reduces a failing scenario by greedy deletion: loops,
+// statements (recursively, including hoisting guard bodies), asserts,
+// externs, declarations, and finally node/step/extent counts are
+// removed one at a time, keeping any edit under which the failure
+// predicate still holds. Edits that break name references simply fail
+// to compile, so the predicate rejects them without special casing.
+
+// Shrink greedily minimizes sc while pred holds. pred must be true of
+// sc itself; the result is 1-minimal with respect to the edit set (no
+// single remaining edit preserves the failure).
+func Shrink(sc *Scenario, pred func(*Scenario) bool) *Scenario {
+	cur := sc
+	for {
+		improved := false
+		for _, cand := range candidates(cur) {
+			if pred(cand) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// rebuild re-prints a modified program into a scenario, dropping sizes
+// of deleted space roots.
+func rebuild(sc *Scenario, p *Program, spec Spec) *Scenario {
+	sizes := map[string]int64{}
+	for _, r := range p.Regions {
+		if r.Space == "" {
+			if sz, ok := spec.Sizes[r.Name]; ok {
+				sizes[r.Name] = sz
+			} else {
+				sizes[r.Name] = r.Size
+			}
+		}
+	}
+	spec.Sizes = sizes
+	return &Scenario{Seed: sc.Seed, Prog: p, Src: p.Print(), Spec: spec}
+}
+
+// candidates enumerates every single-edit reduction of sc, cheapest
+// (most source removed) first.
+func candidates(sc *Scenario) []*Scenario {
+	var out []*Scenario
+	add := func(p *Program, spec Spec) {
+		out = append(out, rebuild(sc, p, spec))
+	}
+
+	// Drop a whole loop.
+	for i := range sc.Prog.Loops {
+		p := copyProg(sc.Prog)
+		p.Loops = append(p.Loops[:i:i], p.Loops[i+1:]...)
+		if len(p.Loops) > 0 {
+			add(p, sc.Spec)
+		}
+	}
+
+	// Drop or simplify one statement anywhere.
+	nEdits := countStmtEdits(sc.Prog)
+	for e := 0; e < nEdits; e++ {
+		p := copyProg(sc.Prog)
+		applyStmtEdit(p, e)
+		ok := false
+		for _, l := range p.Loops {
+			if len(l.Body) > 0 {
+				ok = true
+			}
+		}
+		if ok {
+			add(p, sc.Spec)
+		}
+	}
+
+	// Drop asserts, then whole externs.
+	for i, ex := range sc.Prog.Externs {
+		if ex.AssertDisj {
+			p := copyProg(sc.Prog)
+			p.Externs[i].AssertDisj = false
+			add(p, sc.Spec)
+		}
+		if ex.AssertComp {
+			p := copyProg(sc.Prog)
+			p.Externs[i].AssertComp = false
+			add(p, sc.Spec)
+		}
+		if ex.SubsetOf != "" {
+			p := copyProg(sc.Prog)
+			p.Externs[i].SubsetOf = ""
+			add(p, sc.Spec)
+		}
+	}
+	for i := range sc.Prog.Externs {
+		p := copyProg(sc.Prog)
+		p.Externs = append(p.Externs[:i:i], p.Externs[i+1:]...)
+		for _, e := range p.Externs {
+			if e.SubsetOf != "" && sc.Prog.Externs[i].Name == e.SubsetOf {
+				e.SubsetOf = ""
+			}
+		}
+		add(p, sc.Spec)
+	}
+
+	// Drop declarations. Broken references fail to compile and are
+	// rejected by the predicate.
+	for i := range sc.Prog.Funcs {
+		p := copyProg(sc.Prog)
+		p.Funcs = append(p.Funcs[:i:i], p.Funcs[i+1:]...)
+		add(p, sc.Spec)
+	}
+	for ri, r := range sc.Prog.Regions {
+		for fi := range r.Fields {
+			p := copyProg(sc.Prog)
+			p.Regions[ri].Fields = append(p.Regions[ri].Fields[:fi:fi], p.Regions[ri].Fields[fi+1:]...)
+			add(p, sc.Spec)
+		}
+	}
+	for i := range sc.Prog.Regions {
+		p := copyProg(sc.Prog)
+		p.Regions = append(p.Regions[:i:i], p.Regions[i+1:]...)
+		if len(p.Regions) > 0 {
+			add(p, sc.Spec)
+		}
+	}
+
+	// Shrink the run shape: fewer steps, fewer nodes, smaller extents.
+	if sc.Spec.Steps > 1 {
+		spec := sc.Spec
+		spec.Steps = 1
+		add(copyProg(sc.Prog), spec)
+	}
+	if sc.Spec.Nodes > 2 {
+		spec := sc.Spec
+		spec.Nodes = 2
+		add(copyProg(sc.Prog), spec)
+	}
+	for root, sz := range sortedSizes(sc.Spec.Sizes) {
+		_ = root
+		for _, next := range []int64{sz / 2, sz - 1} {
+			if next >= 2 && next < sz {
+				spec := sc.Spec
+				spec.Sizes = map[string]int64{}
+				for k, v := range sc.Spec.Sizes {
+					spec.Sizes[k] = v
+				}
+				spec.Sizes[sortedRoots(sc.Spec.Sizes)[root]] = next
+				add(copyProg(sc.Prog), spec)
+			}
+		}
+	}
+	return out
+}
+
+func sortedRoots(sizes map[string]int64) []string {
+	roots := make([]string, 0, len(sizes))
+	for r := range sizes {
+		roots = append(roots, r)
+	}
+	for i := 1; i < len(roots); i++ {
+		for j := i; j > 0 && roots[j] < roots[j-1]; j-- {
+			roots[j], roots[j-1] = roots[j-1], roots[j]
+		}
+	}
+	return roots
+}
+
+func sortedSizes(sizes map[string]int64) []int64 {
+	roots := sortedRoots(sizes)
+	out := make([]int64, len(roots))
+	for i, r := range roots {
+		out[i] = sizes[r]
+	}
+	return out
+}
+
+// copyProg deep-copies a program so candidate edits never alias.
+func copyProg(p *Program) *Program {
+	out := &Program{}
+	for _, r := range p.Regions {
+		nr := &Region{Name: r.Name, Space: r.Space, Size: r.Size}
+		for _, f := range r.Fields {
+			nf := *f
+			nr.Fields = append(nr.Fields, &nf)
+		}
+		out.Regions = append(out.Regions, nr)
+	}
+	for _, f := range p.Funcs {
+		nf := *f
+		out.Funcs = append(out.Funcs, &nf)
+	}
+	for _, e := range p.Externs {
+		ne := *e
+		out.Externs = append(out.Externs, &ne)
+	}
+	for _, l := range p.Loops {
+		out.Loops = append(out.Loops, &Loop{Var: l.Var, Region: l.Region, Body: copyStmts(l.Body)})
+	}
+	return out
+}
+
+func copyStmts(stmts []Stmt) []Stmt {
+	out := make([]Stmt, len(stmts))
+	for i, s := range stmts {
+		switch st := s.(type) {
+		case Guard:
+			out[i] = Guard{Cond: st.Cond, Then: copyStmts(st.Then), Else: copyStmts(st.Else)}
+		case Inner:
+			out[i] = Inner{Var: st.Var, RangeRegion: st.RangeRegion, Idx: st.Idx, RangeField: st.RangeField, Body: copyStmts(st.Body)}
+		default:
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// Statement edits are enumerated by a preorder walk: each statement
+// contributes "delete me", guards additionally contribute "hoist my
+// then-body" and "drop my else", inner loops "hoist my body".
+
+func countStmtEdits(p *Program) int {
+	n := 0
+	for _, l := range p.Loops {
+		n += countEditsIn(l.Body)
+	}
+	return n
+}
+
+func countEditsIn(stmts []Stmt) int {
+	n := 0
+	for _, s := range stmts {
+		n++ // delete
+		switch st := s.(type) {
+		case Guard:
+			n++ // hoist then
+			if len(st.Else) > 0 {
+				n++ // drop else
+			}
+			n += countEditsIn(st.Then) + countEditsIn(st.Else)
+		case Inner:
+			n++ // hoist body
+			n += countEditsIn(st.Body)
+		}
+	}
+	return n
+}
+
+// applyStmtEdit applies the k-th edit of the preorder enumeration.
+func applyStmtEdit(p *Program, k int) {
+	for _, l := range p.Loops {
+		var done bool
+		l.Body, k, done = editIn(l.Body, k)
+		if done {
+			return
+		}
+	}
+}
+
+func editIn(stmts []Stmt, k int) (out []Stmt, rest int, done bool) {
+	for i := 0; i < len(stmts); i++ {
+		if k == 0 {
+			return append(stmts[:i:i], stmts[i+1:]...), 0, true
+		}
+		k--
+		switch st := stmts[i].(type) {
+		case Guard:
+			if k == 0 { // hoist then-body in place of the guard
+				repl := append(stmts[:i:i], st.Then...)
+				return append(repl, stmts[i+1:]...), 0, true
+			}
+			k--
+			if len(st.Else) > 0 {
+				if k == 0 {
+					stmts[i] = Guard{Cond: st.Cond, Then: st.Then}
+					return stmts, 0, true
+				}
+				k--
+			}
+			var d bool
+			st.Then, k, d = editIn(st.Then, k)
+			if d {
+				stmts[i] = st
+				return stmts, 0, true
+			}
+			st.Else, k, d = editIn(st.Else, k)
+			if d {
+				stmts[i] = st
+				return stmts, 0, true
+			}
+		case Inner:
+			if k == 0 { // hoist body (inner indices rarely survive, but
+				// the predicate arbitrates)
+				repl := append(stmts[:i:i], st.Body...)
+				return append(repl, stmts[i+1:]...), 0, true
+			}
+			k--
+			var d bool
+			st.Body, k, d = editIn(st.Body, k)
+			if d {
+				stmts[i] = st
+				return stmts, 0, true
+			}
+		}
+	}
+	return stmts, k, false
+}

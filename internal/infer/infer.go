@@ -12,6 +12,7 @@ package infer
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
 	"autopart/internal/constraint"
@@ -143,11 +144,21 @@ func (inf *Inferencer) InferProgram(loops []*ir.Loop) ([]*Result, error) {
 type fieldAccessKey struct{ region, field string }
 
 type fieldUse struct {
-	reads             int
-	writes            int
+	reads  int
+	writes int // plain writes AND reductions
+	// plainWrites counts only op-free stores. A field with both a plain
+	// write and a buffered reduction cannot parallelize: the sequential
+	// semantics interleave them per iteration, while the parallel form
+	// applies all writes at task end and folds the buffered
+	// contributions afterwards.
+	plainWrites       int
 	uncenteredReads   int
 	uncenteredReduces int
-	reduceOps         map[lang.ReduceOp]bool
+	// bufferedReduces counts reductions that are uncentered in the
+	// rewriter's sense (not indexed by the loop variable), i.e. the ones
+	// executed through a reduction buffer rather than in place.
+	bufferedReduces int
+	reduceOps       map[lang.ReduceOp]bool
 	// pos is the source position of the first access to the field,
 	// anchoring the exclusivity-check diagnostics.
 	pos lang.Pos
@@ -181,8 +192,30 @@ func (inf *Inferencer) InferLoop(l *ir.Loop) (*Result, error) {
 		return nil, err
 	}
 
-	// Exclusivity checks (parallelizability conditions).
-	for key, u := range uses {
+	// Exclusivity checks (parallelizability conditions). The uses map is
+	// walked in source order (position, then region/field): with several
+	// violating fields in one loop, map order would make the reported
+	// diagnostic code vary between processes — differential fuzzing
+	// flagged the instability.
+	keys := make([]fieldAccessKey, 0, len(uses))
+	for key := range uses {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := uses[keys[i]].pos, uses[keys[j]].pos
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if keys[i].region != keys[j].region {
+			return keys[i].region < keys[j].region
+		}
+		return keys[i].field < keys[j].field
+	})
+	for _, key := range keys {
+		u := uses[key]
 		if u.uncenteredReduces > 0 {
 			if u.reads > 0 {
 				return nil, errorAt("I001", u.pos, "region %s.%s has an uncentered reduction and a read access; not parallelizable", key.region, key.field)
@@ -193,6 +226,16 @@ func (inf *Inferencer) InferLoop(l *ir.Loop) (*Result, error) {
 		}
 		if u.uncenteredReads > 0 && u.writes > 0 {
 			return nil, errorAt("I003", u.pos, "region %s.%s has an uncentered read and a write access; not parallelizable", key.region, key.field)
+		}
+		if u.bufferedReduces > 0 && u.plainWrites > 0 {
+			// Caught by differential fuzzing (internal/gen): a loop with
+			// a centered plain store and an uncentered reduction to the
+			// same field passed every check above — the plain store is
+			// not a read, and a single reduction operator is legal — yet
+			// sequential execution interleaves store and contributions in
+			// iteration order, while the parallel form applies stores at
+			// task end and folds the reduction buffer after them.
+			return nil, errorAt("I009", u.pos, "region %s.%s has both a plain write and an uncentered reduction; not parallelizable", key.region, key.field)
 		}
 	}
 	return res, nil
@@ -312,7 +355,11 @@ func (w *loopWalker) step(s ir.Stmt, e env, centered map[string]bool) error {
 			if !a.Centered {
 				return errorAt("I006", st.Pos, "uncentered write to %s[%s].%s; not parallelizable", st.Region, st.Idx, st.Field)
 			}
+			u.plainWrites++
 			return nil
+		}
+		if !a.Centered {
+			u.bufferedReduces++
 		}
 		u.reduceOps[st.Op] = true
 		// Lines 16-17: an uncentered reduction (E ≠ P_R) forces a

@@ -38,6 +38,22 @@ func (p *Program) FuncByName(name string) (*FuncDecl, bool) {
 	return nil, false
 }
 
+// PartialFuncs collects the names of functions declared `partial`, the
+// set the solver's totality-dependent lemmas must refuse. Nil when every
+// declared function is total.
+func (p *Program) PartialFuncs() map[string]bool {
+	var out map[string]bool
+	for _, f := range p.Funcs {
+		if f.Partial {
+			if out == nil {
+				out = map[string]bool{}
+			}
+			out[f.Name] = true
+		}
+	}
+	return out
+}
+
 // SpaceOf resolves the root index space of a region: the name of the
 // region at the end of its `: shares` chain (or the region itself).
 func (p *Program) SpaceOf(regionName string) string {
@@ -106,11 +122,18 @@ func (r *RegionDecl) FieldByName(name string) (FieldDecl, bool) {
 }
 
 // FuncDecl declares an opaque index function between two regions' index
-// spaces (e.g. the neighbor function h in Fig. 1).
+// spaces (e.g. the neighbor function h in Fig. 1). Following the
+// paper's convention, a declared function is a total map unless marked
+// `partial`; the solver's completeness lemma for preimages (L7) is only
+// valid for total functions, so the marker is load-bearing — a program
+// whose runtime map can be undefined anywhere must declare it.
 type FuncDecl struct {
 	Name     string
 	From, To string
-	Pos      Pos
+	// Partial marks the function as possibly undefined on part of its
+	// domain (`function h : A -> B partial`).
+	Partial bool
+	Pos     Pos
 }
 
 // ExternDecl declares a partition created outside the scope of

@@ -1,0 +1,117 @@
+package lang_test
+
+// Regression tests for the parser's recursion-depth guard (P012). Each
+// input nests one of the parser's recursive productions 10k deep —
+// enough to overflow a goroutine stack without the guard — and must
+// come back as a coded diagnostic, not a crash.
+
+import (
+	"strings"
+	"testing"
+
+	"autopart/internal/lang"
+)
+
+func TestParserDepthGuard(t *testing.T) {
+	const n = 10000
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			// parsePrimary ↔ parseExpr via parenthesized expressions.
+			"parens",
+			"region R { a: scalar }\nfor i in R { R[i].a = " +
+				strings.Repeat("(", n) + "1" + strings.Repeat(")", n) + " }\n",
+		},
+		{
+			// parseBlock ↔ parseStmt via nested guards.
+			"blocks",
+			"region R { a: scalar }\nfor i in R { " +
+				strings.Repeat("if (1 == 1) { ", n) + "R[i].a = 1" + strings.Repeat(" }", n) + " }\n",
+		},
+		{
+			// parsePartitionExpr ↔ parsePartitionTerm via nested image().
+			"assert",
+			"region R { a: scalar }\nextern partition E of R\nassert " +
+				strings.Repeat("image(", n) + "E" + strings.Repeat(", f, R)", n) + " <= E\n",
+		},
+		{
+			// Unary minus recurses into parsePrimary directly.
+			"unary-minus",
+			"region R { a: scalar }\nfor i in R { R[i].a = " +
+				strings.Repeat("-", n) + "1 }\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := lang.ParseSource(tc.src)
+			if err == nil {
+				t.Fatalf("want P012 for %d-deep %s nesting, got success", n, tc.name)
+			}
+			le, ok := err.(*lang.Error)
+			if !ok {
+				t.Fatalf("want *lang.Error, got %T: %v", err, err)
+			}
+			if le.Code != "P012" {
+				t.Fatalf("want code P012, got %s: %v", le.Code, err)
+			}
+		})
+	}
+}
+
+// TestParserDepthGuardAllowsDeepButLegalNesting pins the guard's
+// threshold: nesting below the limit still parses.
+func TestParserDepthGuardAllowsDeepButLegalNesting(t *testing.T) {
+	const n = 50
+	src := "region R { a: scalar }\nfor i in R { R[i].a = " +
+		strings.Repeat("(", n) + "1" + strings.Repeat(")", n) + " }\n"
+	if _, err := lang.ParseSource(src); err != nil {
+		t.Fatalf("%d-deep nesting should parse: %v", n, err)
+	}
+}
+
+// TestSplitSourceRejectsEmbeddedControlBytes pins the segmenter fix for
+// the fingerprint-aliasing bug: a NUL inside a run used to hash
+// identically to a run separator, so "ab\x00c" and "ab c" shared a
+// fingerprint while lexing differently — breaking the fingerprint ⇒
+// token-equality invariant. Control bytes now refuse to segment.
+func TestSplitSourceRejectsEmbeddedControlBytes(t *testing.T) {
+	cases := []string{
+		"region R { a\x00b: scalar }",   // NUL mid-run: the aliasing case
+		"region R { a\x01b: scalar }",   // 0x01 aliases the header terminator
+		"\x00region R { a: scalar }",    // control byte at construct start
+		"region R { a: scalar }\x0bfor", // vertical tab between runs
+	}
+	for _, src := range cases {
+		if _, err := lang.SplitSource(src); err == nil {
+			t.Fatalf("SplitSource accepted control-byte input %q", src)
+		}
+	}
+	// Tab, CR, LF remain ordinary whitespace.
+	if _, err := lang.SplitSource("region\tR\r\n{ a: scalar }\n"); err != nil {
+		t.Fatalf("SplitSource rejected tab/CR/LF whitespace: %v", err)
+	}
+}
+
+// TestSplitSourceRejectsKeywordInUnbracedConstruct pins the fuzz-found
+// slicing bug (corpus entry 0101d7ffb3e84a21): "region for {}" used to
+// split into a brace-less "region" fragment that no reparse of the
+// segment could accept. A construct keyword before the previous braced
+// construct opens its brace now refuses to segment.
+func TestSplitSourceRejectsKeywordInUnbracedConstruct(t *testing.T) {
+	for _, src := range []string{
+		"region for {}",
+		"for region R { a: scalar }",
+		"region R for i in R {}",
+	} {
+		if _, err := lang.SplitSource(src); err == nil {
+			t.Fatalf("SplitSource accepted %q", src)
+		}
+	}
+	// The legitimate adjacency still splits.
+	sg, err := lang.SplitSource("region R { a: scalar } for i in R { R[i].a = 1 }")
+	if err != nil || len(sg.Segments) != 2 {
+		t.Fatalf("legitimate region+for failed to split: %v", err)
+	}
+}

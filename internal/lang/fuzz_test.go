@@ -1,0 +1,225 @@
+package lang_test
+
+// Frontend fuzzing. Two targets:
+//
+//   - FuzzParseSource: the full cold frontend (lex, parse, check) must
+//     never panic or hang on arbitrary bytes, and must be deterministic.
+//   - FuzzSplitSource: the incremental frontend's segmenter. Its
+//     run-based fingerprints underwrite the incremental-recompile
+//     correctness argument: equal fingerprint must imply equal token
+//     stream. The target checks that invariant directly by rebuilding
+//     each segment from its runs with normalized whitespace — the
+//     fingerprints agree by construction, so the token streams must too.
+//
+// The external test package (lang_test) lets us seed from the builtin
+// applications without an import cycle.
+
+import (
+	"strings"
+	"testing"
+
+	"autopart/internal/apps/builtins"
+	"autopart/internal/lang"
+)
+
+// seedCorpus returns the five builtin programs plus crafted edge cases
+// covering the historical segmenter/lexer trouble spots.
+func seedCorpus() []string {
+	var seeds []string
+	for _, name := range builtins.Names() {
+		src, _, ok := builtins.Source(name)
+		if !ok {
+			continue
+		}
+		seeds = append(seeds, src)
+	}
+	seeds = append(seeds,
+		"region R { a: scalar }\r\nfor i in R { R[i].a = 1 }\r\n",         // CRLF line endings
+		"region R { a: scalar }\rfor i in R { R[i].a = 1 }",               // bare CR
+		"# comment only\n// and another\n",                                // comments, no constructs
+		"region R {",                                                      // unterminated construct
+		"region R { a: scalar } for i in R { R[i].a = R[i].a + 1 }",       // single line
+		"assert disjoint(E)",                                              // braceless construct
+		"region \xc3\xa9 { a: scalar }",                                   // non-ASCII identifier bytes
+		"region R { a: scalar }\x00for i in R {}",                         // NUL between constructs
+		"for i in R { if (i in R) { R[i].a = 1 } else { R[i].a = 2 } }",   // guards
+		"function f : A -> B\nextern partition E of R\nassert E <= E",     // header constructs
+		"for i in R { for j in R[i].nbr { R[j].a += image(i, f, R) } }\n", // nested loop
+		"region R { a: scalar } for i in R { R[i].a max= 0 - 1 }",         // max= and unary minus
+	)
+	return seeds
+}
+
+// FuzzParseSource asserts the cold frontend is total: any byte string
+// either parses (and then checks without panicking) or returns a coded
+// *lang.Error, deterministically.
+func FuzzParseSource(f *testing.F) {
+	for _, s := range seedCorpus() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := lang.ParseSource(src)
+		if err != nil {
+			le, ok := err.(*lang.Error)
+			if !ok {
+				t.Fatalf("ParseSource returned non-coded error %T: %v", err, err)
+			}
+			if le.Code == "" {
+				t.Fatalf("ParseSource error has empty diagnostic code: %v", err)
+			}
+		} else {
+			// Semantic checking must be total on anything that parses.
+			_ = lang.Check(prog)
+		}
+		// Determinism: a second run must agree exactly.
+		_, err2 := lang.ParseSource(src)
+		if (err == nil) != (err2 == nil) || (err != nil && err.Error() != err2.Error()) {
+			t.Fatalf("ParseSource nondeterministic:\n first: %v\nsecond: %v", err, err2)
+		}
+	})
+}
+
+// extractRuns mirrors the segmenter's run discipline: maximal byte
+// sequences delimited by whitespace, comments, or control bytes. It is
+// the reference implementation the fuzz target uses to build a
+// whitespace-normalized variant of each segment.
+func extractRuns(src string) ([]string, bool) {
+	var runs []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			i++
+			continue
+		}
+		if c == '#' || (c == '/' && i+1 < len(src) && src[i+1] == '/') {
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			continue
+		}
+		if c < 0x20 {
+			return nil, false // segmenter rejects control bytes
+		}
+		j := i
+		for j < len(src) {
+			b := src[j]
+			if b == ' ' || b == '\t' || b == '\r' || b == '\n' || b == '#' || b < 0x20 {
+				break
+			}
+			if b == '/' && j+1 < len(src) && src[j+1] == '/' {
+				break
+			}
+			j++
+		}
+		runs = append(runs, src[i:j])
+		i = j
+	}
+	return runs, true
+}
+
+// sameTokens compares two token streams ignoring positions.
+func sameTokens(a, b []lang.Token) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Text != b[i].Text {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzSplitSource asserts the segmenter never panics, is deterministic,
+// and upholds the fingerprint ⇒ token-stream-equality invariant that
+// incremental recompilation depends on.
+func FuzzSplitSource(f *testing.F) {
+	for _, s := range seedCorpus() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sg, err := lang.SplitSource(src)
+		sg2, err2 := lang.SplitSource(src)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("SplitSource nondeterministic: %v vs %v", err, err2)
+		}
+		if err != nil {
+			if le, ok := err.(*lang.Error); !ok || le.Code == "" {
+				t.Fatalf("SplitSource returned non-coded error %T: %v", err, err)
+			}
+			return
+		}
+		if len(sg.Segments) != len(sg2.Segments) || sg.HeaderFP != sg2.HeaderFP {
+			t.Fatalf("SplitSource nondeterministic segment structure")
+		}
+
+		for si, seg := range sg.Segments {
+			if seg.Start < 0 || seg.End > len(src) || seg.Start > seg.End {
+				t.Fatalf("segment %d has bad byte range [%d,%d) of %d", si, seg.Start, seg.End, len(src))
+			}
+			text := src[seg.Start:seg.End]
+
+			// Re-splitting a segment's own text must yield exactly that
+			// segment with an identical fingerprint: extraction is stable.
+			sub, err := lang.SplitSource(text)
+			if err != nil {
+				t.Fatalf("segment %d (%q...) does not re-split: %v", si, head(text), err)
+			}
+			if len(sub.Segments) != 1 || sub.Segments[0].Kind != seg.Kind || sub.Segments[0].FP != seg.FP {
+				t.Fatalf("segment %d unstable under extraction: got %d segments", si, len(sub.Segments))
+			}
+
+			// Whitespace-normalized variant: same runs joined by single
+			// spaces. Its fingerprint matches by construction, so the
+			// invariant demands an identical token stream.
+			runs, ok := extractRuns(text)
+			if !ok {
+				t.Fatalf("segment %d contains control bytes the splitter should have rejected", si)
+			}
+			variant := strings.Join(runs, " ")
+			vsg, err := lang.SplitSource(variant)
+			if err != nil {
+				t.Fatalf("segment %d normalized variant does not split: %v", si, err)
+			}
+			if len(vsg.Segments) != 1 || vsg.Segments[0].FP != seg.FP {
+				t.Fatalf("segment %d: normalized variant fingerprint diverges (runs not the hash unit?)", si)
+			}
+			origToks, origErr := lang.LexAll(text)
+			varToks, varErr := lang.LexAll(variant)
+			if (origErr == nil) != (varErr == nil) {
+				t.Fatalf("segment %d: equal fingerprints but lexing disagrees: %v vs %v", si, origErr, varErr)
+			}
+			if origErr == nil && !sameTokens(origToks, varToks) {
+				t.Fatalf("segment %d: equal fingerprints but different token streams\n orig: %q\n variant: %q", si, text, variant)
+			}
+		}
+
+		// Segment concatenation must re-split to the same fingerprints:
+		// segmentation loses nothing between constructs.
+		var parts []string
+		for _, seg := range sg.Segments {
+			parts = append(parts, src[seg.Start:seg.End])
+		}
+		joined := strings.Join(parts, "\n")
+		jsg, err := lang.SplitSource(joined)
+		if err != nil {
+			t.Fatalf("concatenated segments do not re-split: %v", err)
+		}
+		if len(jsg.Segments) != len(sg.Segments) || jsg.HeaderFP != sg.HeaderFP {
+			t.Fatalf("concatenated segments re-split differently: %d vs %d segments", len(jsg.Segments), len(sg.Segments))
+		}
+		for i := range jsg.Segments {
+			if jsg.Segments[i].FP != sg.Segments[i].FP {
+				t.Fatalf("segment %d fingerprint changed across concatenation", i)
+			}
+		}
+	})
+}
+
+func head(s string) string {
+	if len(s) > 24 {
+		return s[:24]
+	}
+	return s
+}

@@ -12,7 +12,30 @@ type Parser struct {
 	tok  Token // current token
 	next Token // one token of lookahead
 	err  error
+	// depth counts the current recursion depth across blocks,
+	// expressions, and assert expressions; enter rejects input nested
+	// beyond maxParseDepth so adversarial sources (e.g. ten thousand
+	// opening parentheses) produce a coded diagnostic instead of
+	// overflowing the goroutine stack.
+	depth int
 }
+
+// maxParseDepth bounds parser recursion, mirroring the depth>200
+// rejection of the progwire decoder.
+const maxParseDepth = 200
+
+// enter increments the recursion depth, failing on overflow. Callers
+// must pair it with leave (deferred) on the success path; on error the
+// parser is abandoned wholesale, so a missed leave is harmless.
+func (p *Parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return errorf("P012", p.tok.Pos, "nesting exceeds %d levels", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // Parse parses and semantically validates a complete DSL source file.
 // It is ParseSource followed by Check; the pass pipeline runs the two
@@ -234,7 +257,14 @@ func (p *Parser) parseFuncDecl() (*FuncDecl, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FuncDecl{Name: name.Text, From: from.Text, To: to.Text, Pos: pos}, nil
+	// `partial` is a contextual keyword: only meaningful right after the
+	// codomain, so it stays usable as an ordinary identifier elsewhere.
+	partial := false
+	if p.tok.Kind == IDENT && p.tok.Text == "partial" {
+		partial = true
+		p.advance()
+	}
+	return &FuncDecl{Name: name.Text, From: from.Text, To: to.Text, Partial: partial, Pos: pos}, nil
 }
 
 func (p *Parser) parseExternDecl() (*ExternDecl, error) {
@@ -283,6 +313,10 @@ func (p *Parser) parseLoop() (*Loop, error) {
 }
 
 func (p *Parser) parseBlock() ([]Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if _, err := p.expect(LBrace); err != nil {
 		return nil, err
 	}
@@ -472,6 +506,10 @@ func (p *Parser) parseTerm() (Expr, error) {
 }
 
 func (p *Parser) parsePrimary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	pos := p.tok.Pos
 	switch p.tok.Kind {
 	case NUMBER:
@@ -611,6 +649,10 @@ func (p *Parser) parseAssert() (*Assert, error) {
 // asserts: symbols, image/preimage applications, and '+' for
 // subregion-wise union.
 func (p *Parser) parsePartitionExpr() (dpl.Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	l, err := p.parsePartitionTerm()
 	if err != nil {
 		return nil, err

@@ -133,12 +133,23 @@ func SplitSource(src string) (*Segmented, error) {
 			continue
 		}
 
-		// A run: maximal bytes up to whitespace or a comment start.
+		if c < 0x20 {
+			// Control bytes other than tab/CR/LF (handled above) cannot
+			// start or continue any token, and a NUL or 0x01 inside a run
+			// would collide with the fingerprint's separator bytes: the
+			// runs of "ab\x00c" would hash identically to those of "ab c"
+			// while lexing completely differently. Refuse to segment;
+			// the cold frontend reports the authoritative lexer error.
+			return fail(line, col, "control byte %#x in source", c)
+		}
+
+		// A run: maximal bytes up to whitespace, a comment start, or a
+		// control byte (rejected when the scan reaches it).
 		start, startLine, startCol := i, line, col
 		j := i
 		for j < len(src) {
 			b := src[j]
-			if b == ' ' || b == '\t' || b == '\r' || b == '\n' || b == '#' {
+			if b == ' ' || b == '\t' || b == '\r' || b == '\n' || b == '#' || b < 0x20 {
 				break
 			}
 			if b == '/' && j+1 < len(src) && src[j+1] == '/' {
@@ -153,6 +164,13 @@ func SplitSource(src string) (*Segmented, error) {
 		isKw := false
 		if depth == 0 {
 			if kw, ok := constructKwOf(run); ok {
+				if cur != nil && braced && !closed {
+					// A construct keyword cannot start before the previous
+					// region/for opened and closed its braces ("region for
+					// {}"); slicing here would emit a brace-less fragment
+					// that no reparse of the segment could accept.
+					return fail(startLine, startCol, "construct %q inside unterminated construct", run)
+				}
 				finish()
 				cur = &Segment{Kind: kw, Start: start, Pos: Pos{Line: startLine, Col: startCol}}
 				braced = kw == KwRegion || kw == KwFor

@@ -80,13 +80,42 @@ func canRelax(r *infer.Result) bool {
 	if !r.NeedsDisjointIter {
 		return false
 	}
+	// A field reduced both centered and uncentered cannot be guarded:
+	// the centered update applies in place on the writing partition's
+	// copies while the guarded update applies in place on the guard
+	// partition's copies, and guarded write-backs ship whole values —
+	// whichever copy ships last erases the other update. The buffered
+	// path composes (buffer merges are deltas folded onto the written
+	// copy), so such loops must keep their reduction buffers.
+	// Differential fuzzing caught the distributed run losing a centered
+	// contribution this way.
+	centeredReduced := map[[2]string]bool{}
+	for _, a := range r.Accesses {
+		if a.Kind == infer.ReduceAccess && a.Centered {
+			centeredReduced[[2]string{a.Region, a.Field}] = true
+		}
+	}
 	sawUncentered := false
 	for _, a := range r.Accesses {
 		if a.Kind != infer.ReduceAccess {
 			continue
 		}
-		if dpl.Equal(a.Lower, dpl.Var{Name: r.IterSym}) {
-			continue // centered on the iteration partition
+		if !a.Centered && centeredReduced[[2]string{a.Region, a.Field}] {
+			return false
+		}
+		if a.Centered {
+			// Centered reductions (including identity images into a
+			// sibling region of the loop's space) are idempotent under an
+			// aliased iteration partition: every task that runs iteration
+			// i computes the same in-place result for element i. They
+			// must keep their image constraints, so they are neither a
+			// reason to relax nor an obstacle. Matching on the lower
+			// bound instead (Var only) used to relax identity-image
+			// reductions here while the rewriter still executed them
+			// unguarded — the preimage constraint the relaxation leaves
+			// behind does not bound the task's accesses, and the launch
+			// escaped its subregion.
+			continue
 		}
 		sawUncentered = true
 		imgExpr, ok := a.Lower.(dpl.ImageExpr)
@@ -117,7 +146,10 @@ func relaxSystem(r *infer.Result) (*constraint.System, []string) {
 	}
 	var rewrites []rewriteInfo
 	for _, a := range r.Accesses {
-		if a.Kind != infer.ReduceAccess || dpl.Equal(a.Lower, iter) {
+		// Skip centered reductions by the same criterion as canRelax:
+		// their image constraints stay, and the rewriter executes them
+		// unguarded in place.
+		if a.Kind != infer.ReduceAccess || a.Centered {
 			continue
 		}
 		imgExpr := a.Lower.(dpl.ImageExpr)

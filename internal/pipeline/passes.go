@@ -85,7 +85,11 @@ func runRelax(s *Session) error {
 }
 
 func runSolve(s *Session) error {
-	sol, err := solver.SolveProgramWith(resultsOf(s.Plans), s.External, s.ExternalSyms, s.Config.SolverCache)
+	// The declared-partial function set is recomputed from the current
+	// program on every compile (never cached across incremental edits):
+	// the prover refuses totality lemmas on these functions.
+	partial := s.Program.PartialFuncs()
+	sol, err := solver.SolveProgramPartial(resultsOf(s.Plans), s.External, s.ExternalSyms, s.Config.SolverCache, partial)
 	if err != nil && !s.Config.DisableRelaxation && anyRelaxed(s.Plans) {
 		// Fall back to the unrelaxed systems if relaxation made the
 		// system unsolvable.
@@ -94,7 +98,7 @@ func runSolve(s *Session) error {
 			p.Relaxed = false
 			p.GuardedSyms = nil
 		}
-		sol, err = solver.SolveProgramWith(resultsOf(s.Plans), s.External, s.ExternalSyms, s.Config.SolverCache)
+		sol, err = solver.SolveProgramPartial(resultsOf(s.Plans), s.External, s.ExternalSyms, s.Config.SolverCache, partial)
 	}
 	if err != nil {
 		return err

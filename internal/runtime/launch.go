@@ -170,13 +170,20 @@ func FromParallelLoop(name string, pl *rewrite.ParallelLoop) *Launch {
 		sym, region string
 		priv        Privilege
 		guarded     bool
+		// op splits Reduce requirements by operator: a reduction instance
+		// folds every field it covers with one redop, so fields reduced
+		// with different operators under the same partition must land in
+		// separate requirements. (Merging them handed the second field the
+		// first field's fold operator — a += folded as max=, caught by
+		// differential fuzzing.)
+		op string
 	}
 	agg := map[rkey]*Requirement{}
 	var order []rkey
 	for _, k := range forder {
 		u := uses[k]
 		priv := privOf(u)
-		rk := rkey{k.sym, k.region, priv, k.guarded}
+		rk := rkey{k.sym, k.region, priv, k.guarded, u.op}
 		req, ok := agg[rk]
 		if !ok {
 			req = &Requirement{
@@ -211,7 +218,10 @@ func FromParallelLoop(name string, pl *rewrite.ParallelLoop) *Launch {
 		if order[i].region != order[j].region {
 			return order[i].region < order[j].region
 		}
-		return order[i].priv < order[j].priv
+		if order[i].priv != order[j].priv {
+			return order[i].priv < order[j].priv
+		}
+		return order[i].op < order[j].op
 	})
 	l := &Launch{Name: name, IterSym: pl.IterSym, WorkPerElement: work}
 	for _, k := range order {

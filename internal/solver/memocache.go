@@ -237,7 +237,7 @@ func (c *MemoCache) Stats() MemoCacheStats {
 // verdicts for equal systems; two different contexts never share keys,
 // which is what makes one process-wide cache sound across arbitrary
 // programs.
-func contextFingerprint(external *constraint.System, externalSyms []string) [2]uint64 {
+func contextFingerprint(external *constraint.System, externalSyms []string, partialFns map[string]bool) [2]uint64 {
 	fp := external.Fingerprint128()
 	syms := append([]string(nil), externalSyms...)
 	sort.Strings(syms)
@@ -245,6 +245,24 @@ func contextFingerprint(external *constraint.System, externalSyms []string) [2]u
 		h := dpl.HashString128(sym)
 		fp[0] = fp[0]*0x9e3779b97f4a7c15 ^ h[0]
 		fp[1] = fp[1]*0xc2b2ae3d27d4eb4f ^ h[1]
+	}
+	// The declared-partial function set changes prover verdicts (L7 is
+	// refused on partial functions), so it is part of the solving
+	// context a shared cache keys on. Mixed with distinct multipliers so
+	// "h external" and "h partial" cannot collide.
+	if len(partialFns) > 0 {
+		fns := make([]string, 0, len(partialFns))
+		for fn, partial := range partialFns {
+			if partial {
+				fns = append(fns, fn)
+			}
+		}
+		sort.Strings(fns)
+		for _, fn := range fns {
+			h := dpl.HashString128(fn)
+			fp[0] = fp[0]*0xc2b2ae3d27d4eb4f ^ h[1]
+			fp[1] = fp[1]*0x9e3779b97f4a7c15 ^ h[0]
+		}
 	}
 	return fp
 }

@@ -100,19 +100,19 @@ func TestContextFingerprintSeparation(t *testing.T) {
 		Kind: constraint.Disj, E: dpl.Var{Name: "px"}, Region: "R",
 	})
 
-	base := contextFingerprint(empty, nil)
-	if got := contextFingerprint(empty, nil); got != base {
+	base := contextFingerprint(empty, nil, nil)
+	if got := contextFingerprint(empty, nil, nil); got != base {
 		t.Fatal("context fingerprint not deterministic")
 	}
-	if got := contextFingerprint(withPred, nil); got == base {
+	if got := contextFingerprint(withPred, nil, nil); got == base {
 		t.Error("different external systems share a context fingerprint")
 	}
-	if got := contextFingerprint(empty, []string{"px"}); got == base {
+	if got := contextFingerprint(empty, []string{"px"}, nil); got == base {
 		t.Error("different external symbol sets share a context fingerprint")
 	}
 	// Symbol order must not matter.
-	a := contextFingerprint(empty, []string{"pa", "pb"})
-	b := contextFingerprint(empty, []string{"pb", "pa"})
+	a := contextFingerprint(empty, []string{"pa", "pb"}, nil)
+	b := contextFingerprint(empty, []string{"pb", "pa"}, nil)
 	if a != b {
 		t.Error("context fingerprint depends on external symbol order")
 	}

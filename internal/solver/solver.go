@@ -125,8 +125,15 @@ type Solver struct {
 	// deterministic functions of the key, so sharing is sound.
 	cache *MemoCache
 	// ctx is this solver's half of every memo key: a fingerprint of the
-	// external assumption system and symbol set (see contextFingerprint).
+	// external assumption system, symbol set, and declared-partial
+	// function set (see contextFingerprint).
 	ctx [2]uint64
+	// ctxSyms retains the external symbol list so SetPartialFns can
+	// recompute ctx.
+	ctxSyms []string
+	// partialFns names the program's declared-partial index functions;
+	// provers built by the search must refuse totality lemmas on them.
+	partialFns map[string]bool
 
 	mu    sync.Mutex
 	stats SolveStats
@@ -154,7 +161,8 @@ func NewWithCache(external *constraint.System, externalSyms []string, cache *Mem
 	if external == nil {
 		s.external = &constraint.System{}
 	}
-	s.ctx = contextFingerprint(s.external, externalSyms)
+	s.ctxSyms = append([]string(nil), externalSyms...)
+	s.ctx = contextFingerprint(s.external, externalSyms, nil)
 	for _, sym := range externalSyms {
 		s.externalSyms[sym] = true
 		s.extMask |= dpl.SymBit(sym)
@@ -168,6 +176,20 @@ func NewWithCache(external *constraint.System, externalSyms []string, cache *Mem
 	s.external.RegionOfSym("")
 	s.external.RegionOfSymID(-1)
 	return s
+}
+
+// SetPartialFns records the program's declared-partial index functions.
+// It must be called before solving: provers refuse totality-dependent
+// lemmas (L7) on these functions, so the set changes verdicts. The memo
+// context fingerprint is recomputed to include it (a shared cross-
+// compile cache must not serve a total-world verdict to a program whose
+// functions are partial), and the external candidate proofs are redone
+// under the new set.
+func (s *Solver) SetPartialFns(fns map[string]bool) {
+	s.partialFns = fns
+	s.ctx = contextFingerprint(s.external, s.ctxSyms, fns)
+	s.extCands = nil
+	s.collectExternalCandidates()
 }
 
 // SetBudget overrides the per-Solve backtracking node cap. Each Solve
@@ -188,7 +210,7 @@ func (s *Solver) Stats() SolveStats {
 // DISJ/COMP assertions as assignment candidates (reusing user partitions
 // is the paper's fewest-partitions heuristic applied to §3.3 hints).
 func (s *Solver) collectExternalCandidates() {
-	prover := constraint.NewProver(s.external)
+	prover := constraint.NewProver(s.external).SetPartialFns(s.partialFns)
 	partOf := s.external.PartOf()
 	seen := map[string]*extCandidate{}
 	var order []string
@@ -594,7 +616,7 @@ func (sr *search) solve(sol []equation, syms []symRef) ([]equation, bool) {
 		sr.trail.UndoTo(entry)
 		return nil, false
 	}
-	if ok, _ := constraint.CheckResolved(c, s.external); !ok {
+	if ok, _ := constraint.CheckResolvedWith(c, s.external, s.partialFns); !ok {
 		sr.noteRefuted(fp)
 		sr.trail.UndoTo(entry)
 		return nil, false
@@ -675,7 +697,7 @@ func (sr *search) proveClosedConjuncts(closedPredIdx, closedSubIdx []int) bool {
 	// without materializing the conjunction. Goal predicates must not
 	// serve as their own hypotheses: drop their occurrences up front,
 	// restore them before the subset proofs (which may use them).
-	prover := constraint.NewProverOver(c, s.external)
+	prover := constraint.NewProverOver(c, s.external).SetPartialFns(s.partialFns)
 	for _, i := range closedPredIdx {
 		prover.ExcludePredOnce(c.Preds[i])
 	}

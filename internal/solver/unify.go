@@ -629,7 +629,19 @@ func SolveProgram(results []*infer.Result, external *constraint.System, external
 // searches would recompute, so a warm cache accelerates the same
 // byte-identical solution.
 func SolveProgramWith(results []*infer.Result, external *constraint.System, externalSyms []string, cache *MemoCache) (*Solution, error) {
+	return SolveProgramPartial(results, external, externalSyms, cache, nil)
+}
+
+// SolveProgramPartial is SolveProgramWith plus the program's declared-
+// partial index function set: provers refuse totality-dependent lemmas
+// (L7) on those functions, and the memo context is keyed on the set so
+// a shared cache never serves total-world verdicts to a partial-world
+// program.
+func SolveProgramPartial(results []*infer.Result, external *constraint.System, externalSyms []string, cache *MemoCache, partialFns map[string]bool) (*Solution, error) {
 	s := NewWithCache(external, externalSyms, cache)
+	if len(partialFns) > 0 {
+		s.SetPartialFns(partialFns)
+	}
 	systems := make([]*constraint.System, len(results))
 	for i, r := range results {
 		systems[i] = r.Sys
